@@ -1,0 +1,154 @@
+//! Delay bounds for greedy routing on the butterfly (§4.2–§4.3).
+
+use crate::hypercube_bounds::DelayBounds;
+use crate::load::butterfly_load_factor;
+use hyperroute_queueing::md1;
+
+/// Proposition 14 (universal lower bound): under **any** routing scheme,
+/// `T ≥ d + λp²/(2(1-λp)) + λ(1-p)²/(2(1-λ(1-p)))`.
+///
+/// First-level arcs `(x;0;v)` and `(x;0;s)` behave at best as M/D/1 queues
+/// with rates `λp`, `λ(1-p)`; every packet then needs `d-1` further hops.
+pub fn universal_lower_bound(d: usize, lambda: f64, p: f64) -> f64 {
+    check(d, lambda, p);
+    let (rv, rs) = (lambda * p, lambda * (1.0 - p));
+    let w_v = if p > 0.0 { md1::mean_sojourn(rv) } else { 1.0 };
+    let w_s = if p < 1.0 { md1::mean_sojourn(rs) } else { 1.0 };
+    (d - 1) as f64 + p * w_v + (1.0 - p) * w_s
+}
+
+/// Proposition 17 (upper bound for greedy routing):
+/// `T ≤ dp/(1-λp) + d(1-p)/(1-λ(1-p))`.
+pub fn greedy_upper_bound(d: usize, lambda: f64, p: f64) -> f64 {
+    check(d, lambda, p);
+    let d = d as f64;
+    d * p / (1.0 - lambda * p) + d * (1.0 - p) / (1.0 - lambda * (1.0 - p))
+}
+
+/// The Prop. 14/17 bracket for greedy butterfly routing.
+pub fn greedy_delay_bounds(d: usize, lambda: f64, p: f64) -> DelayBounds {
+    DelayBounds {
+        lower: universal_lower_bound(d, lambda, p),
+        upper: greedy_upper_bound(d, lambda, p),
+    }
+}
+
+/// "Overall" mean queue per node, `κ = λp/(1-λp) + λ(1-p)/(1-λ(1-p))`
+/// (§4.3 discussion): the per-node average over levels `0..d` is `O(1)`
+/// for any fixed load factor.
+pub fn mean_queue_per_node_estimate(d: usize, lambda: f64, p: f64) -> f64 {
+    check(d, lambda, p);
+    lambda * p / (1.0 - lambda * p) + lambda * (1.0 - p) / (1.0 - lambda * (1.0 - p))
+}
+
+/// Mean total packets in the product-form comparison network R̄:
+/// `N̄ = d·2^d·[λp/(1-λp) + λ(1-p)/(1-λ(1-p))]` (Eq. (21)).
+pub fn product_form_mean_total(d: usize, lambda: f64, p: f64) -> f64 {
+    (d as f64) * (2.0f64).powi(d as i32) * mean_queue_per_node_estimate(d, lambda, p)
+}
+
+fn check(d: usize, lambda: f64, p: f64) {
+    assert!(d >= 1, "dimension must be positive");
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    let rho = butterfly_load_factor(lambda, p);
+    assert!(rho < 1.0, "bounds require a stable system (ρ_bf = {rho} ≥ 1)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_below_upper_on_grid() {
+        for d in [2usize, 4, 8, 12] {
+            for rho in [0.2, 0.5, 0.8, 0.95] {
+                for p in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+                    let lambda = rho / p.max(1.0 - p);
+                    let b = greedy_delay_bounds(d, lambda, p);
+                    assert!(
+                        b.lower <= b.upper + 1e-12,
+                        "d={d} ρ={rho} p={p}: [{}, {}]",
+                        b.lower,
+                        b.upper
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn light_traffic_collapses_to_d() {
+        // Every butterfly path has exactly d arcs, so T → d as λ → 0.
+        let d = 7;
+        let lb = universal_lower_bound(d, 1e-12, 0.4);
+        let ub = greedy_upper_bound(d, 1e-12, 0.4);
+        assert!((lb - 7.0).abs() < 1e-6);
+        assert!((ub - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_in_p_at_uniform_lambda() {
+        // Both bounds are invariant under p ↔ 1-p (straight/vertical swap).
+        let (d, lambda) = (6, 1.0);
+        for p in [0.1, 0.25, 0.4] {
+            assert!(
+                (universal_lower_bound(d, lambda, p) - universal_lower_bound(d, lambda, 1.0 - p))
+                    .abs()
+                    < 1e-12
+            );
+            assert!(
+                (greedy_upper_bound(d, lambda, p) - greedy_upper_bound(d, lambda, 1.0 - p)).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_destination_values() {
+        // p = 1/2, λ = 1: both arc classes at ρ = 1/2.
+        // LB = d - 1 + W(1/2) = d - 1 + 1.5 = d + 0.5 exactly:
+        //   (d-1) + 0.5·1.5 + 0.5·1.5.
+        // UB = d·0.5/0.5 + d·0.5/0.5 = 2d.
+        let d = 8;
+        assert!((universal_lower_bound(d, 1.0, 0.5) - (d as f64 + 0.5)).abs() < 1e-12);
+        assert!((greedy_upper_bound(d, 1.0, 0.5) - 2.0 * d as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_p_one() {
+        // p = 1: only vertical arcs used; straight terms vanish.
+        let (d, lambda) = (5, 0.8);
+        let lb = universal_lower_bound(d, lambda, 1.0);
+        let ub = greedy_upper_bound(d, lambda, 1.0);
+        assert!((lb - ((d - 1) as f64 + md1::mean_sojourn(0.8))).abs() < 1e-12);
+        assert!((ub - d as f64 / 0.2).abs() < 1e-12);
+        assert!(lb <= ub);
+    }
+
+    #[test]
+    fn per_node_estimate_is_order_one() {
+        // κ stays bounded as d grows (the §4.3 observation).
+        let (lambda, p) = (1.0, 0.5);
+        let k4 = mean_queue_per_node_estimate(4, lambda, p);
+        let k16 = mean_queue_per_node_estimate(16, lambda, p);
+        assert!((k4 - k16).abs() < 1e-12);
+        assert!((k4 - 2.0).abs() < 1e-12); // 2·(0.5/0.5)
+    }
+
+    #[test]
+    fn product_form_total_eq21() {
+        // N̄ = d·2^d·κ directly from Eq. (21).
+        let (d, lambda, p) = (4, 0.9, 0.3);
+        let expect = (d as f64)
+            * 16.0
+            * (lambda * p / (1.0 - lambda * p) + lambda * (1.0 - p) / (1.0 - lambda * (1.0 - p)));
+        let got = product_form_mean_total(d, lambda, p);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stable system")]
+    fn rejects_supercritical() {
+        greedy_upper_bound(4, 2.5, 0.5);
+    }
+}

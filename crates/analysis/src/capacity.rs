@@ -1,0 +1,146 @@
+//! Capacity planning: the paper's bounds inverted into design questions a
+//! network architect actually asks — "what load can a `d`-cube guarantee a
+//! target delay at?", "what rate can each node sustain?".
+//!
+//! All answers use the *guaranteed* (Prop. 12/17) upper bounds, so they are
+//! conservative: the real network is faster.
+
+use crate::butterfly_bounds;
+
+/// Largest load factor `ρ` at which Prop. 12 guarantees mean delay at most
+/// `target` on the `d`-cube: solving `dp/(1-ρ) ≤ T*` gives
+/// `ρ ≤ 1 - dp/T*`. Returns `None` when `target < dp` (unreachable even
+/// empty: packets need `dp` hops on average).
+pub fn hypercube_max_load_for_delay(d: usize, p: f64, target: f64) -> Option<f64> {
+    assert!(d >= 1 && (0.0..=1.0).contains(&p) && target > 0.0);
+    let dp = d as f64 * p;
+    if target < dp {
+        return None;
+    }
+    Some((1.0 - dp / target).clamp(0.0, 1.0))
+}
+
+/// Largest per-node Poisson rate `λ` with the same guarantee
+/// (`λ = ρ/p`).
+pub fn hypercube_max_lambda_for_delay(d: usize, p: f64, target: f64) -> Option<f64> {
+    assert!(p > 0.0, "p must be positive to convert load to rate");
+    hypercube_max_load_for_delay(d, p, target).map(|rho| rho / p)
+}
+
+/// Smallest hypercube dimension hosting at least `nodes` processors.
+pub fn dimension_for_nodes(nodes: u64) -> usize {
+    assert!(nodes >= 1);
+    (64 - nodes.saturating_sub(1).leading_zeros() as usize).max(1)
+}
+
+/// Guaranteed mean delay of the `d`-cube at load `ρ` (Prop. 12 restated
+/// for planning): `dp/(1-ρ)`.
+pub fn hypercube_guaranteed_delay(d: usize, p: f64, rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho));
+    d as f64 * p / (1.0 - rho)
+}
+
+/// Largest per-node rate `λ` at which Prop. 17 guarantees butterfly mean
+/// delay at most `target`, found by bisection (the bound is increasing in
+/// `λ`). Returns `None` when even `λ → 0` misses the target (`target < d`).
+pub fn butterfly_max_lambda_for_delay(d: usize, p: f64, target: f64) -> Option<f64> {
+    assert!(d >= 1 && (0.0..=1.0).contains(&p) && target > 0.0);
+    if target < d as f64 {
+        return None;
+    }
+    let lambda_cap = 1.0 / p.max(1.0 - p); // stability limit
+    let bound = |lambda: f64| butterfly_bounds::greedy_upper_bound(d, lambda, p);
+    // Bisection on (0, lambda_cap).
+    let (mut lo, mut hi) = (0.0f64, lambda_cap * (1.0 - 1e-9));
+    if bound(hi.min(lambda_cap * 0.999_999)) <= target {
+        return Some(hi);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if bound(mid) <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Throughput–delay frontier of the `d`-cube: the guaranteed
+/// (total packets/unit time, delay) pairs swept over `ρ`.
+pub fn hypercube_frontier(d: usize, p: f64, rhos: &[f64]) -> Vec<(f64, f64)> {
+    rhos.iter()
+        .map(|&rho| {
+            let lambda = rho / p;
+            let throughput = lambda * (1u64 << d) as f64;
+            (throughput, hypercube_guaranteed_delay(d, p, rho))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_for_delay_round_trips() {
+        let (d, p) = (8usize, 0.5);
+        for &target in &[5.0, 10.0, 50.0] {
+            let rho = hypercube_max_load_for_delay(d, p, target).unwrap();
+            let achieved = hypercube_guaranteed_delay(d, p, rho);
+            assert!(
+                (achieved - target).abs() < 1e-9,
+                "target {target}: ρ={rho} gives {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_are_none() {
+        // dp = 4: targets below the bare path length are impossible.
+        assert!(hypercube_max_load_for_delay(8, 0.5, 3.9).is_none());
+        assert!(butterfly_max_lambda_for_delay(8, 0.5, 7.9).is_none());
+    }
+
+    #[test]
+    fn more_headroom_at_larger_targets() {
+        let (d, p) = (8usize, 0.5);
+        let tight = hypercube_max_load_for_delay(d, p, 5.0).unwrap();
+        let loose = hypercube_max_load_for_delay(d, p, 100.0).unwrap();
+        assert!(loose > tight);
+        assert!(loose < 1.0);
+    }
+
+    #[test]
+    fn dimension_for_nodes_rounds_up() {
+        assert_eq!(dimension_for_nodes(1), 1);
+        assert_eq!(dimension_for_nodes(2), 1);
+        assert_eq!(dimension_for_nodes(3), 2);
+        assert_eq!(dimension_for_nodes(1024), 10);
+        assert_eq!(dimension_for_nodes(1025), 11);
+    }
+
+    #[test]
+    fn butterfly_bisection_hits_target() {
+        let (d, p, target) = (6usize, 0.5, 20.0);
+        let lambda = butterfly_max_lambda_for_delay(d, p, target).unwrap();
+        let achieved = butterfly_bounds::greedy_upper_bound(d, lambda, p);
+        assert!(
+            achieved <= target + 1e-6 && achieved > target * 0.99,
+            "λ={lambda}: bound {achieved} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn butterfly_huge_target_returns_near_capacity() {
+        let lambda = butterfly_max_lambda_for_delay(4, 0.5, 1e9).unwrap();
+        assert!((lambda - 2.0).abs() < 1e-6); // 1/max{p,1-p} = 2
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let f = hypercube_frontier(6, 0.5, &[0.1, 0.5, 0.9]);
+        assert_eq!(f.len(), 3);
+        assert!(f.windows(2).all(|w| w[1].0 > w[0].0 && w[1].1 > w[0].1));
+    }
+}

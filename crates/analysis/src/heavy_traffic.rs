@@ -1,0 +1,83 @@
+//! Heavy-traffic behaviour `lim_{ρ→1} (1-ρ)·T` (§3.3 end, §4.3 end).
+//!
+//! From Props. 12/13: for fixed `d` and `p`,
+//! `p/2 ≤ lim_{ρ→1} (1-ρ)T ≤ dp` for greedy hypercube routing — the `1/(1-ρ)`
+//! blow-up rate is optimal (Prop. 2 gives a matching `Ω(1/(1-ρ))` for *any*
+//! scheme at fixed `d`). Closing the factor-`2d` gap is the paper's stated
+//! open question; it conjectures the upper end is tight for `p ∈ (0,1)` and
+//! proves the lower end tight at `p = 1`.
+
+/// Greedy hypercube routing: the `[p/2, dp]` bracket for
+/// `lim_{ρ→1} (1-ρ)T` (from Props. 13 and 12).
+pub fn hypercube_bracket(d: usize, p: f64) -> (f64, f64) {
+    assert!(d >= 1 && (0.0..=1.0).contains(&p));
+    (p / 2.0, d as f64 * p)
+}
+
+/// At `p = 1` the limit is exactly `1/2` (disjoint paths, §3.3 end:
+/// `T = d + ρ/(2(1-ρ))`).
+pub fn hypercube_p_one_limit() -> f64 {
+    0.5
+}
+
+/// Greedy butterfly routing: the `[max{p,1-p}/2, d·max{p,1-p}]` bracket for
+/// `lim_{ρ_bf→1} (1-ρ_bf)T` (§4.3 end).
+pub fn butterfly_bracket(d: usize, p: f64) -> (f64, f64) {
+    assert!(d >= 1 && (0.0..=1.0).contains(&p));
+    let m = p.max(1.0 - p);
+    (m / 2.0, d as f64 * m)
+}
+
+/// Scaled delay `(1-ρ)·T` — the quantity whose limit the brackets bound.
+pub fn scaled_delay(rho: f64, t: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho));
+    (1.0 - rho) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube_bounds;
+
+    #[test]
+    fn bracket_orders() {
+        for d in [1usize, 4, 16] {
+            for p in [0.1, 0.5, 1.0] {
+                let (lo, hi) = hypercube_bracket(d, p);
+                assert!(lo <= hi);
+                let (blo, bhi) = butterfly_bracket(d, p);
+                assert!(blo <= bhi);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_bounds_converge_into_bracket() {
+        // (1-ρ)·LB and (1-ρ)·UB both land inside [p/2, dp] as ρ → 1.
+        let (d, p) = (8usize, 0.5);
+        let (lo, hi) = hypercube_bracket(d, p);
+        for &rho in &[0.99, 0.999, 0.9999] {
+            let lambda = rho / p;
+            let slb = scaled_delay(rho, hypercube_bounds::greedy_lower_bound(d, lambda, p));
+            let sub = scaled_delay(rho, hypercube_bounds::greedy_upper_bound(d, lambda, p));
+            assert!(slb >= lo * 0.99 && slb <= hi * 1.01, "scaled LB {slb}");
+            assert!(sub >= lo * 0.99 && sub <= hi * 1.01, "scaled UB {sub}");
+        }
+    }
+
+    #[test]
+    fn p_one_limit_from_exact_formula() {
+        // (1-ρ)·(d + ρ/(2(1-ρ))) → 1/2.
+        let d = 6;
+        for &rho in &[0.999, 0.99999] {
+            let t = hypercube_bounds::p_one_exact_delay(d, rho);
+            let s = scaled_delay(rho, t);
+            assert!((s - hypercube_p_one_limit()).abs() < 0.02, "scaled {s}");
+        }
+    }
+
+    #[test]
+    fn butterfly_bracket_symmetric() {
+        assert_eq!(butterfly_bracket(4, 0.3), butterfly_bracket(4, 0.7));
+    }
+}

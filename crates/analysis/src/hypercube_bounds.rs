@@ -1,0 +1,241 @@
+//! Delay bounds for greedy routing on the hypercube (§2.2, §3.3, §3.4).
+
+use crate::load::{expected_path_length, hypercube_load_factor};
+use hyperroute_queueing::{md1, mds};
+use serde::{Deserialize, Serialize};
+
+/// A lower/upper pair bracketing the stationary mean delay `T`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DelayBounds {
+    /// Guaranteed lower bound on `T`.
+    pub lower: f64,
+    /// Guaranteed upper bound on `T`.
+    pub upper: f64,
+}
+
+impl DelayBounds {
+    /// Does a measured delay fall inside the bracket (with slack `tol`
+    /// relative on each side, for simulation noise)?
+    pub fn contains(&self, measured: f64, tol: f64) -> bool {
+        measured >= self.lower * (1.0 - tol) && measured <= self.upper * (1.0 + tol)
+    }
+}
+
+/// Proposition 2 (universal lower bound), using the **provably valid**
+/// M/D/2^d delay bound of
+/// [`mds::workload_lower_bound`]:
+/// `T ≥ max{ dp, p·D_lb(2^d; ρ) }` for any routing scheme.
+pub fn universal_lower_bound(d: usize, lambda: f64, p: f64) -> f64 {
+    let rho = check_stable(d, lambda, p);
+    let servers = (2.0f64).powi(d as i32);
+    let dlb = mds::workload_lower_bound(servers, rho);
+    expected_path_length(d, p).max(p * dlb)
+}
+
+/// Proposition 2 with the bound expression **as printed in the paper**,
+/// `T ≥ max{dp, p(1 + ρ/(2^{d+1}(1-ρ)))}`; exact only as `ρ → 1` (see
+/// `hyperroute_queueing::mds` for why the two forms are distinguished).
+pub fn universal_lower_bound_paper_form(d: usize, lambda: f64, p: f64) -> f64 {
+    let rho = check_stable(d, lambda, p);
+    let servers = (2.0f64).powi(d as i32);
+    let dlb = mds::paper_heavy_traffic_form(servers, rho);
+    expected_path_length(d, p).max(p * dlb)
+}
+
+/// Proposition 3 (oblivious schemes): `T ≥ max{dp, p(1 + ρ/(2(1-ρ)))}`.
+///
+/// Every oblivious, time-independent path-selection rule — greedy routing
+/// included — obeys this.
+pub fn oblivious_lower_bound(d: usize, lambda: f64, p: f64) -> f64 {
+    let rho = check_stable(d, lambda, p);
+    expected_path_length(d, p).max(p * md1::mean_sojourn(rho))
+}
+
+/// Proposition 12 (the headline upper bound): greedy routing satisfies
+/// `T ≤ dp / (1-ρ)` for every `ρ < 1` — average delay `O(d)` at any fixed
+/// load.
+pub fn greedy_upper_bound(d: usize, lambda: f64, p: f64) -> f64 {
+    let rho = check_stable(d, lambda, p);
+    expected_path_length(d, p) / (1.0 - rho)
+}
+
+/// Proposition 13: greedy routing satisfies
+/// `T ≥ dp + p·ρ/(2(1-ρ))` (first-dimension arcs are M/D/1; deeper arcs
+/// hold each packet at least one unit).
+pub fn greedy_lower_bound(d: usize, lambda: f64, p: f64) -> f64 {
+    let rho = check_stable(d, lambda, p);
+    expected_path_length(d, p) + p * md1::mean_wait(rho)
+}
+
+/// The Prop. 12/13 bracket for greedy routing.
+pub fn greedy_delay_bounds(d: usize, lambda: f64, p: f64) -> DelayBounds {
+    DelayBounds {
+        lower: greedy_lower_bound(d, lambda, p),
+        upper: greedy_upper_bound(d, lambda, p),
+    }
+}
+
+/// Exact delay for `p = 1` (end of §3.3): every packet crosses all `d`
+/// dimensions, canonical paths from different origins are arc-disjoint, so
+/// each origin's stream sees an M/D/1 at dimension 0 and never queues
+/// afterwards: `T = d + ρ/(2(1-ρ))` with `ρ = λ`.
+pub fn p_one_exact_delay(d: usize, lambda: f64) -> f64 {
+    let rho = check_stable(d, lambda, 1.0);
+    d as f64 + md1::mean_wait(rho)
+}
+
+/// Slotted-time upper bound (§3.4): with slot length `r` (`1/r` integer)
+/// and per-slot Poisson batches of mean `λr`,
+/// `T_slot ≤ dp/(1-ρ) + r`.
+pub fn slotted_upper_bound(d: usize, lambda: f64, p: f64, slot: f64) -> f64 {
+    assert!(slot > 0.0 && slot <= 1.0, "slot length must be in (0, 1]");
+    greedy_upper_bound(d, lambda, p) + slot
+}
+
+/// Steady-state mean number of packets stored per node is at most
+/// `d·ρ/(1-ρ)` (§3.3 discussion after Prop. 12: `N ≤ d·2^d·ρ/(1-ρ)`
+/// divided by `2^d` nodes).
+pub fn mean_queue_per_node_bound(d: usize, lambda: f64, p: f64) -> f64 {
+    let rho = check_stable(d, lambda, p);
+    d as f64 * rho / (1.0 - rho)
+}
+
+/// Mean total packets in the product-form comparison network Q̄:
+/// `N̄ = d·2^d·ρ/(1-ρ)` (proof of Prop. 12).
+pub fn product_form_mean_total(d: usize, lambda: f64, p: f64) -> f64 {
+    let rho = check_stable(d, lambda, p);
+    (d as f64) * (2.0f64).powi(d as i32) * rho / (1.0 - rho)
+}
+
+fn check_stable(d: usize, lambda: f64, p: f64) -> f64 {
+    assert!(d >= 1, "dimension must be positive");
+    let rho = hypercube_load_factor(lambda, p);
+    assert!(rho < 1.0, "bounds require a stable system (ρ = {rho} ≥ 1)");
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRID_D: [usize; 4] = [2, 4, 8, 12];
+    const GRID_RHO: [f64; 5] = [0.1, 0.3, 0.5, 0.8, 0.95];
+    const GRID_P: [f64; 4] = [0.2, 0.5, 0.8, 1.0];
+
+    #[test]
+    fn bound_ordering_on_grid() {
+        // universal ≤ oblivious ≤ greedy-LB ≤ greedy-UB everywhere.
+        for &d in &GRID_D {
+            for &rho in &GRID_RHO {
+                for &p in &GRID_P {
+                    let lambda = rho / p;
+                    let u = universal_lower_bound(d, lambda, p);
+                    let o = oblivious_lower_bound(d, lambda, p);
+                    let gl = greedy_lower_bound(d, lambda, p);
+                    let gu = greedy_upper_bound(d, lambda, p);
+                    assert!(u <= o + 1e-12, "d={d} ρ={rho} p={p}: {u} > {o}");
+                    assert!(o <= gl + 1e-12, "d={d} ρ={rho} p={p}: {o} > {gl}");
+                    assert!(gl <= gu + 1e-12, "d={d} ρ={rho} p={p}: {gl} > {gu}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn light_traffic_limits() {
+        // As ρ → 0 all brackets collapse to dp.
+        let (d, p) = (8, 0.5);
+        let lambda = 1e-9 / p;
+        let dp = 4.0;
+        assert!((greedy_upper_bound(d, lambda, p) - dp).abs() < 1e-6);
+        assert!((greedy_lower_bound(d, lambda, p) - dp).abs() < 1e-6);
+        assert!((universal_lower_bound(d, lambda, p) - dp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_values_prop12() {
+        // d=10, p=1/2, ρ=0.9 → T ≤ 5/(0.1) = 50.
+        let t = greedy_upper_bound(10, 1.8, 0.5);
+        assert!((t - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_values_prop13() {
+        // d=10, p=1/2, ρ=0.9 → T ≥ 5 + 0.5·0.9/(2·0.1) = 7.25.
+        let t = greedy_lower_bound(10, 1.8, 0.5);
+        assert!((t - 7.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_one_exact_is_inside_greedy_bracket() {
+        for &d in &GRID_D {
+            for &rho in &GRID_RHO {
+                let t = p_one_exact_delay(d, rho);
+                let b = greedy_delay_bounds(d, rho, 1.0);
+                assert!(
+                    b.contains(t, 1e-12),
+                    "d={d} ρ={rho}: exact {t} outside [{}, {}]",
+                    b.lower,
+                    b.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_one_lower_bound_is_tight() {
+        // §3.3: for p = 1 the Prop. 13 lower bound is exactly attained.
+        for &d in &GRID_D {
+            let rho = 0.7;
+            let exact = p_one_exact_delay(d, rho);
+            let lb = greedy_lower_bound(d, rho, 1.0);
+            assert!((exact - lb).abs() < 1e-12, "d={d}: {exact} vs {lb}");
+        }
+    }
+
+    #[test]
+    fn slotted_adds_exactly_one_slot() {
+        let (d, lambda, p) = (6, 1.0, 0.5);
+        let base = greedy_upper_bound(d, lambda, p);
+        assert_eq!(slotted_upper_bound(d, lambda, p, 0.25), base + 0.25);
+        assert_eq!(slotted_upper_bound(d, lambda, p, 1.0), base + 1.0);
+    }
+
+    #[test]
+    fn product_form_total_matches_per_node_bound() {
+        let (d, lambda, p) = (5, 1.2, 0.5);
+        let total = product_form_mean_total(d, lambda, p);
+        let per_node = mean_queue_per_node_bound(d, lambda, p);
+        assert!((total / 32.0 - per_node).abs() < 1e-9);
+    }
+
+    #[test]
+    fn universal_bound_paper_form_dominates_valid_form() {
+        // The printed form is never below the conservative valid form.
+        for &d in &GRID_D {
+            for &rho in &[0.5, 0.9] {
+                let lambda = rho / 0.5;
+                let paper = universal_lower_bound_paper_form(d, lambda, 0.5);
+                let valid = universal_lower_bound(d, lambda, 0.5);
+                assert!(paper >= valid - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_blowup_rate() {
+        // (1-ρ)·UB is constant in ρ: equals dp.
+        let (d, p) = (8, 0.5);
+        for &rho in &[0.9, 0.99, 0.999] {
+            let lambda = rho / p;
+            let scaled = (1.0 - rho) * greedy_upper_bound(d, lambda, p);
+            assert!((scaled - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stable system")]
+    fn rejects_supercritical() {
+        greedy_upper_bound(4, 2.0, 0.5);
+    }
+}

@@ -1,0 +1,29 @@
+//! Closed-form bounds from *The Efficiency of Greedy Routing in Hypercubes
+//! and Butterflies* (Stamoulis & Tsitsiklis, SPAA 1991), as documented,
+//! testable functions.
+//!
+//! Conventions: `d` is the network dimension, `lambda` the per-node Poisson
+//! generation rate, `p` the bit-flip probability of the destination
+//! distribution (Eq. (1) of the paper). The hypercube load factor is
+//! `ρ = λp`; the butterfly's is `ρ_bf = λ·max{p, 1-p}`.
+//!
+//! Module map:
+//! * [`load`] — load factors, stability predicates, expected path lengths
+//!   (§2.1, Eq. (2), Prop. 16), including the translation-invariant
+//!   generalisation at the end of §2.2;
+//! * [`hypercube_bounds`] — Props. 2, 3, 12, 13, the `p = 1` exact delay
+//!   and the slotted-time bound (§3.3–§3.4);
+//! * [`butterfly_bounds`] — Props. 14 and 17 (§4);
+//! * [`heavy_traffic`] — the `lim_{ρ→1}(1-ρ)T` brackets (§3.3, §4.3);
+//! * [`nongreedy`] — the §2.3 pipelined schemes' stability thresholds and
+//!   delay model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod butterfly_bounds;
+pub mod capacity;
+pub mod heavy_traffic;
+pub mod hypercube_bounds;
+pub mod load;
+pub mod nongreedy;

@@ -1,0 +1,155 @@
+//! Load factors and stability conditions (§2.1, §4.2).
+
+/// Hypercube load factor `ρ = λp` (Eq. (2)). The network can be stable
+/// under **any** routing scheme only if `ρ ≤ 1`, and (for non-deterministic
+/// arrivals) only if `ρ < 1`.
+pub fn hypercube_load_factor(lambda: f64, p: f64) -> f64 {
+    validate(lambda, p);
+    lambda * p
+}
+
+/// Butterfly load factor `ρ_bf = λ·max{p, 1-p}` (Eq. (17)): vertical arcs
+/// carry `λp`, straight arcs `λ(1-p)`; whichever is larger is the
+/// bottleneck (they swap roles at `p = 1/2`).
+pub fn butterfly_load_factor(lambda: f64, p: f64) -> f64 {
+    validate(lambda, p);
+    lambda * p.max(1.0 - p)
+}
+
+/// Necessary stability condition for the hypercube under any scheme.
+pub fn hypercube_necessary_condition(lambda: f64, p: f64) -> bool {
+    hypercube_load_factor(lambda, p) < 1.0
+}
+
+/// Necessary (and, for greedy routing, sufficient — Prop. 16) stability
+/// condition for the butterfly.
+pub fn butterfly_necessary_condition(lambda: f64, p: f64) -> bool {
+    butterfly_load_factor(lambda, p) < 1.0
+}
+
+/// Per-node arrival rate `λ` that realises a target hypercube load factor.
+pub fn lambda_for_load(rho: f64, p: f64) -> f64 {
+    assert!((f64::MIN_POSITIVE..=1.0).contains(&p), "need 0 < p ≤ 1");
+    assert!(rho >= 0.0);
+    rho / p
+}
+
+/// Expected Hamming distance to the destination, `d·p` (Lemma 1): the mean
+/// number of arcs any packet must traverse, hence `T ≥ dp` under any scheme.
+pub fn expected_path_length(d: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    d as f64 * p
+}
+
+/// Per-dimension load factors for an arbitrary translation-invariant
+/// destination distribution `f(x ⊕ z)` (end of §2.2):
+/// `p_j = λ · Σ_{y : y_j = 1} f(y)`, and the generalised load factor is
+/// `ρ = max_j p_j`.
+///
+/// `f` is given over XOR-masks `0..2^d`; it must sum to 1.
+pub fn dimension_load_factors(d: usize, lambda: f64, f: &dyn Fn(u64) -> f64) -> Vec<f64> {
+    assert!((1..=30).contains(&d));
+    let mut loads = vec![0.0f64; d];
+    let mut total = 0.0;
+    for y in 0..(1u64 << d) {
+        let fy = f(y);
+        assert!(fy >= 0.0, "negative probability at mask {y}");
+        total += fy;
+        for (j, load) in loads.iter_mut().enumerate() {
+            if (y >> j) & 1 == 1 {
+                *load += lambda * fy;
+            }
+        }
+    }
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "destination distribution sums to {total}, not 1"
+    );
+    loads
+}
+
+/// Generalised load factor `ρ = max_j p_j` for a translation-invariant
+/// destination distribution.
+pub fn general_load_factor(d: usize, lambda: f64, f: &dyn Fn(u64) -> f64) -> f64 {
+    dimension_load_factors(d, lambda, f)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+fn validate(lambda: f64, p: f64) {
+    assert!(lambda >= 0.0, "negative arrival rate {lambda}");
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_load_basics() {
+        assert_eq!(hypercube_load_factor(2.0, 0.5), 1.0);
+        assert!(hypercube_necessary_condition(1.9, 0.5));
+        assert!(!hypercube_necessary_condition(2.0, 0.5));
+        assert_eq!(lambda_for_load(0.9, 0.5), 1.8);
+    }
+
+    #[test]
+    fn butterfly_load_symmetry_and_crossover() {
+        // ρ_bf is symmetric in p ↔ 1-p and minimised at p = 1/2.
+        let l = 1.0;
+        assert_eq!(butterfly_load_factor(l, 0.3), butterfly_load_factor(l, 0.7));
+        assert!(butterfly_load_factor(l, 0.5) < butterfly_load_factor(l, 0.4));
+        assert_eq!(butterfly_load_factor(l, 0.5), 0.5);
+        // For p > 1/2 vertical arcs dominate: ρ_bf = λp.
+        assert_eq!(butterfly_load_factor(2.0, 0.8), 1.6);
+    }
+
+    #[test]
+    fn expected_path_length_uniform() {
+        // p = 1/2: dp = d/2, the classic average distance (with self-loops
+        // permitted as in Eq. (1)).
+        assert_eq!(expected_path_length(10, 0.5), 5.0);
+        assert_eq!(expected_path_length(4, 1.0), 4.0);
+        assert_eq!(expected_path_length(4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bitflip_distribution_recovers_rho() {
+        // The paper's Eq. (1) destination law as a mask distribution:
+        // f(y) = p^|y| (1-p)^(d-|y|); every dimension load must equal λp.
+        let (d, lambda, p) = (6usize, 1.3f64, 0.35f64);
+        let f = move |y: u64| {
+            let k = y.count_ones() as i32;
+            p.powi(k) * (1.0 - p).powi(d as i32 - k)
+        };
+        let loads = dimension_load_factors(d, lambda, &f);
+        for (j, l) in loads.iter().enumerate() {
+            assert!((l - lambda * p).abs() < 1e-9, "dim {j}: {l}");
+        }
+        assert!((general_load_factor(d, lambda, &f) - lambda * p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_distribution_bottleneck_dimension() {
+        // All traffic flips only bit 0: dimension 0 carries everything.
+        let d = 4;
+        let f = |y: u64| if y == 1 { 1.0 } else { 0.0 };
+        let loads = dimension_load_factors(d, 2.0, &f);
+        assert_eq!(loads[0], 2.0);
+        assert!(loads[1..].iter().all(|&l| l == 0.0));
+        assert_eq!(general_load_factor(d, 2.0, &f), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn rejects_non_distribution() {
+        let f = |_: u64| 0.3;
+        dimension_load_factors(3, 1.0, &f);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must lie in")]
+    fn rejects_bad_p() {
+        hypercube_load_factor(1.0, 1.5);
+    }
+}

@@ -1,0 +1,132 @@
+//! The §2.3 non-greedy pipelined schemes and their (poor) stability.
+//!
+//! *Pipelined Valiant–Brebner*: at every round each node releases one
+//! stored packet; the batch is routed as the first phase of [VaB81], which
+//! completes in time close to `R·d` with high probability for a constant
+//! `R > 1`. Each node thus behaves as an M/G/1 queue with service time
+//! `≈ R·d`, so stability needs `λ·R·d < 1`: at any fixed load factor
+//! `ρ = λp` the scheme is **unstable once `d > p/(ρR)`** — while greedy
+//! routing remains stable for every `ρ < 1` at every `d`. This contrast is
+//! the paper's §2.3 motivation, reproduced in experiment E12.
+//!
+//! *Pipelined d-permutation schemes* ([ChS86], [Val88]) improve the
+//! threshold to a small constant load factor `ρ* ≈ 0.005` (still far from
+//! greedy's `ρ < 1`).
+
+use serde::{Deserialize, Serialize};
+
+/// The [ChS86]-based pipeline's approximate maximum load factor quoted in
+/// §2.3.
+pub const CHANG_SIMON_MAX_LOAD: f64 = 0.005;
+
+/// Parameters of the pipelined Valiant–Brebner scheme.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PipelinedScheme {
+    /// The whp round-length constant `R` (> 1) of the [VaB81] first phase.
+    pub r_const: f64,
+}
+
+impl Default for PipelinedScheme {
+    fn default() -> Self {
+        // [VaB81]'s analysis allows R close to 2 for large d; any R > 1
+        // gives the same qualitative conclusion.
+        PipelinedScheme { r_const: 2.0 }
+    }
+}
+
+impl PipelinedScheme {
+    /// Round duration `R·d` for dimension `d`.
+    pub fn round_length(&self, d: usize) -> f64 {
+        assert!(d >= 1);
+        self.r_const * d as f64
+    }
+
+    /// Maximum per-node arrival rate for stability: `λ < 1/(R·d)`.
+    pub fn max_lambda(&self, d: usize) -> f64 {
+        1.0 / self.round_length(d)
+    }
+
+    /// Maximum sustainable hypercube load factor `ρ = λp`: `p/(R·d)` —
+    /// vanishes as `d` grows.
+    pub fn max_load_factor(&self, d: usize, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        p * self.max_lambda(d)
+    }
+
+    /// Is the scheme stable at per-node rate `lambda` on the `d`-cube?
+    pub fn is_stable(&self, d: usize, lambda: f64) -> bool {
+        lambda < self.max_lambda(d)
+    }
+
+    /// The smallest dimension at which a fixed load factor `rho` (with
+    /// bit-flip probability `p`) becomes unstable.
+    pub fn instability_dimension(&self, rho: f64, p: f64) -> usize {
+        assert!(rho > 0.0 && (0.0..=1.0).contains(&p) && p > 0.0);
+        // unstable iff λ R d ≥ 1 iff d ≥ p/(ρ R).
+        (p / (rho * self.r_const)).ceil().max(1.0) as usize
+    }
+
+    /// M/D/1-style delay estimate for the batch scheme (service `R·d`):
+    /// `T ≈ R·d·(1 + u/(2(1-u)))` with `u = λ·R·d` — compare with greedy's
+    /// `dp/(1-ρ)`. Returns `None` when unstable.
+    pub fn delay_estimate(&self, d: usize, lambda: f64) -> Option<f64> {
+        let s = self.round_length(d);
+        let u = lambda * s;
+        if u >= 1.0 {
+            return None;
+        }
+        Some(s * (1.0 + u / (2.0 * (1.0 - u))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_threshold_shrinks_with_d() {
+        let s = PipelinedScheme::default();
+        assert!(s.max_load_factor(2, 0.5) > s.max_load_factor(8, 0.5));
+        assert!(s.max_load_factor(8, 0.5) > s.max_load_factor(20, 0.5));
+        // ρ_max = p/(Rd) exactly.
+        assert!((s.max_load_factor(10, 0.5) - 0.5 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_load_becomes_unstable_at_predicted_dimension() {
+        let s = PipelinedScheme::default();
+        let (rho, p) = (0.1, 0.5);
+        let d_star = s.instability_dimension(rho, p);
+        // d* = ceil(0.5 / 0.2) = 3.
+        assert_eq!(d_star, 3);
+        // Just below: stable; at d*: unstable.
+        let lambda = rho / p;
+        assert!(s.is_stable(d_star - 1, lambda));
+        assert!(!s.is_stable(d_star, lambda));
+    }
+
+    #[test]
+    fn greedy_always_beats_pipeline_threshold() {
+        // Greedy sustains any ρ < 1; pipeline cannot reach ρ = 0.5 even at
+        // d = 2.
+        let s = PipelinedScheme::default();
+        for d in 2..20 {
+            assert!(s.max_load_factor(d, 0.5) < 0.5);
+        }
+    }
+
+    #[test]
+    fn delay_estimate_unstable_is_none() {
+        let s = PipelinedScheme::default();
+        assert!(s.delay_estimate(10, 0.06).is_none()); // u = 1.2
+        let t = s.delay_estimate(10, 0.01).unwrap(); // u = 0.2
+        assert!(t > 20.0); // at least a full round
+        assert!((t - 20.0 * (1.0 + 0.2 / 1.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the §2.3 constant
+    fn chang_simon_far_below_one() {
+        assert!(CHANG_SIMON_MAX_LOAD < 0.01);
+    }
+}

@@ -1,0 +1,4 @@
+//! Bench target regenerating the e12_pipelined_instability experiment table (see DESIGN.md §4).
+fn main() {
+    hyperroute_bench::run_table_bench("e12_pipelined_instability", hyperroute_experiments::e12_pipelined_instability::run);
+}

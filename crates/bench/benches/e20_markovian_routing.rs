@@ -1,0 +1,4 @@
+//! Bench target regenerating the e20_markovian_routing experiment table (see DESIGN.md §4).
+fn main() {
+    hyperroute_bench::run_table_bench("e20_markovian_routing", hyperroute_experiments::e20_markovian_routing::run);
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating the e23_dimension_occupancy experiment table.
+fn main() {
+    hyperroute_bench::run_table_bench(
+        "e23_dimension_occupancy",
+        hyperroute_experiments::e23_dimension_occupancy::run,
+    );
+}

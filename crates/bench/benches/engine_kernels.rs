@@ -1,0 +1,93 @@
+//! Criterion microbenches of the simulation kernels: event-queue
+//! throughput, packet-level simulation rate, PS-server churn, and static
+//! batch routing. These are the ablation benches for the engine design
+//! choices called out in DESIGN.md (arc-indexed flat queues, merged
+//! Poisson arrivals, virtual-time PS).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hyperroute_core::batch::{random_permutation_batch, route_batch_greedy};
+use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_desim::{EventQueue, SimRng};
+use hyperroute_queueing::PsServer;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<f64> = (0..10_000).map(|_| rng.uniform01() * 1e6).collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(times.len());
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i as u32);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v as u64);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_hypercube_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypercube_sim");
+    group.sample_size(10);
+    for &(d, rho) in &[(6usize, 0.5f64), (8, 0.8)] {
+        group.bench_function(format!("d{d}_rho{rho}"), |b| {
+            b.iter(|| {
+                let cfg = HypercubeSimConfig {
+                    dim: d,
+                    lambda: rho / 0.5,
+                    p: 0.5,
+                    horizon: 100.0,
+                    warmup: 20.0,
+                    seed: 7,
+                    ..Default::default()
+                };
+                black_box(HypercubeSim::new(cfg).run().delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ps_server(c: &mut Criterion) {
+    c.bench_function("ps_server_10k_cycles", |b| {
+        b.iter_batched(
+            PsServer::unit,
+            |mut ps| {
+                let mut t = 0.0;
+                for i in 0..10_000u64 {
+                    ps.arrive(t, i);
+                    let d = ps.next_departure_time().unwrap();
+                    ps.complete_next(d);
+                    t = d + 0.1;
+                }
+                black_box(t)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_batch_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_routing");
+    group.sample_size(20);
+    for &d in &[8usize, 10] {
+        let mut rng = SimRng::new(11);
+        let batch = random_permutation_batch(d, &mut rng);
+        group.bench_function(format!("permutation_d{d}"), |b| {
+            b.iter(|| black_box(route_batch_greedy(d, &batch).makespan));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_event_queue,
+    bench_hypercube_sim,
+    bench_ps_server,
+    bench_batch_routing
+);
+criterion_main!(kernels);

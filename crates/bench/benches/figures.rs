@@ -1,0 +1,7 @@
+//! Bench target regenerating the structural-figures table and DOT sizes.
+fn main() {
+    hyperroute_bench::run_table_bench("figures", hyperroute_experiments::figures::run);
+    for (name, dot) in hyperroute_experiments::figures::dot_documents() {
+        println!("figure {name}: {} bytes of DOT", dot.len());
+    }
+}

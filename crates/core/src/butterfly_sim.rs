@@ -1,0 +1,467 @@
+//! Event-driven packet-level simulation of the butterfly under greedy
+//! routing (paper §4).
+//!
+//! Packets are generated at level-0 nodes by independent Poisson sources
+//! (merged network-wide, as in the hypercube simulator) and must reach a
+//! random level-`d` node chosen by bit-flips with probability `p`. The
+//! path is unique, so greedy routing is the only non-idling choice; FIFO
+//! resolves contention.
+
+use crate::config::ArrivalModel;
+use crate::metrics::{DelayStats, MetricsCollector};
+use crate::packet::sample_flip_mask;
+use hyperroute_desim::{EventQueue, SimRng, Welford};
+use hyperroute_topology::{ArcKind, Butterfly, ButterflyArc, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of a butterfly routing simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ButterflySimConfig {
+    /// Butterfly dimension `d` (levels `0..=d`, `2^d` rows).
+    pub dim: usize,
+    /// Per-row Poisson generation rate `λ` at level 0.
+    pub lambda: f64,
+    /// Bit-flip probability `p` of the destination distribution.
+    pub p: f64,
+    /// Continuous (Poisson) or slotted-batch arrivals — §4.3's closing
+    /// remark: "the case of slotted time can be treated as in §3.4".
+    pub arrivals: ArrivalModel,
+    /// Generation stops at this time.
+    pub horizon: f64,
+    /// Packets born before this time are not measured.
+    pub warmup: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Deliver all in-flight packets after the horizon.
+    pub drain: bool,
+}
+
+impl Default for ButterflySimConfig {
+    fn default() -> Self {
+        ButterflySimConfig {
+            dim: 4,
+            lambda: 0.8,
+            p: 0.5,
+            arrivals: ArrivalModel::Poisson,
+            horizon: 1_000.0,
+            warmup: 200.0,
+            seed: 0xBF,
+            drain: true,
+        }
+    }
+}
+
+impl ButterflySimConfig {
+    /// Butterfly load factor `ρ_bf = λ·max{p, 1-p}` (Eq. (17)).
+    pub fn load_factor(&self) -> f64 {
+        self.lambda * self.p.max(1.0 - self.p)
+    }
+
+    fn validate(&self) {
+        assert!(self.dim >= 1 && self.dim <= 24, "bad dimension");
+        assert!(self.lambda >= 0.0, "negative λ");
+        assert!((0.0..=1.0).contains(&self.p), "p outside [0,1]");
+        assert!(self.horizon > self.warmup && self.warmup >= 0.0);
+    }
+}
+
+/// Results of a butterfly simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ButterflyReport {
+    /// Echo of the dimension.
+    pub dim: usize,
+    /// Echo of λ.
+    pub lambda: f64,
+    /// Echo of p.
+    pub p: f64,
+    /// Load factor `λ·max{p, 1-p}`.
+    pub rho: f64,
+    /// Per-packet delay statistics (all delays ≥ d, the path length).
+    pub delay: DelayStats,
+    /// Mean vertical arcs per packet (≈ dp).
+    pub mean_vertical_hops: f64,
+    /// Time-averaged packets in the network over the measurement window.
+    pub mean_in_system: f64,
+    /// Peak packets in the network.
+    pub peak_in_system: f64,
+    /// Delivered packets per unit time in the measurement window.
+    pub throughput: f64,
+    /// Relative Little's-law discrepancy.
+    pub little_error: f64,
+    /// Measured per-arc arrival rate of straight arcs, per level
+    /// (Prop. 15 predicts `λ(1-p)` everywhere).
+    pub straight_rate_per_level: Vec<f64>,
+    /// Measured per-arc arrival rate of vertical arcs, per level
+    /// (Prop. 15 predicts `λp` everywhere).
+    pub vertical_rate_per_level: Vec<f64>,
+    /// Total packets generated.
+    pub generated: u64,
+    /// Total packets delivered.
+    pub delivered: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BfPacket {
+    born: f64,
+    dest: u32,
+    verticals: u16,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Arrival,
+    SlotBoundary,
+    Complete(u32),
+}
+
+/// The butterfly simulator.
+pub struct ButterflySim {
+    cfg: ButterflySimConfig,
+    bf: Butterfly,
+    queues: Vec<VecDeque<BfPacket>>,
+    busy: Vec<bool>,
+    events: EventQueue<Ev>,
+    arrival_rng: SimRng,
+    dest_rng: SimRng,
+    collector: MetricsCollector,
+    straight_arrivals: Vec<u64>,
+    vertical_arrivals: Vec<u64>,
+    vertical_stats: Welford,
+}
+
+impl ButterflySim {
+    /// Build a simulator.
+    pub fn new(cfg: ButterflySimConfig) -> ButterflySim {
+        cfg.validate();
+        let bf = Butterfly::new(cfg.dim);
+        let arcs = bf.num_arcs();
+        let mut root = SimRng::new(cfg.seed);
+        let mut arrival_rng = root.split();
+        let dest_rng = root.split();
+        let expected = (cfg.lambda * bf.num_rows() as f64 * (cfg.horizon - cfg.warmup)).max(64.0);
+        let collector = MetricsCollector::new(
+            cfg.warmup,
+            cfg.horizon,
+            (expected / 32.0).ceil() as u64,
+            cfg.seed,
+        );
+        let mut events = EventQueue::with_capacity(1024);
+        let total_rate = cfg.lambda * bf.num_rows() as f64;
+        match cfg.arrivals {
+            ArrivalModel::Poisson => {
+                if total_rate > 0.0 {
+                    events.push(arrival_rng.exp(total_rate), Ev::Arrival);
+                }
+            }
+            ArrivalModel::Slotted { .. } => {
+                events.push(0.0, Ev::SlotBoundary);
+            }
+        }
+        ButterflySim {
+            cfg,
+            bf,
+            queues: vec![VecDeque::new(); arcs],
+            busy: vec![false; arcs],
+            events,
+            arrival_rng,
+            dest_rng,
+            collector,
+            straight_arrivals: vec![0; cfg.dim],
+            vertical_arrivals: vec![0; cfg.dim],
+            vertical_stats: Welford::new(),
+        }
+    }
+
+    /// Run to completion and summarise.
+    pub fn run(mut self) -> ButterflyReport {
+        self.drive(None);
+        self.report()
+    }
+
+    /// Run and sample the number-in-system every `interval` (for
+    /// stability probing).
+    pub fn run_sampled(mut self, interval: f64) -> (ButterflyReport, Vec<(f64, f64)>) {
+        assert!(interval > 0.0);
+        let mut samples = Vec::new();
+        self.drive(Some((interval, &mut samples)));
+        (self.report(), samples)
+    }
+
+    fn drive(&mut self, mut sampling: Option<(f64, &mut Vec<(f64, f64)>)>) {
+        let mut next_sample = match &sampling {
+            Some((interval, _)) => *interval,
+            None => f64::INFINITY,
+        };
+        while let Some((t, ev)) = self.events.pop() {
+            if let Some((interval, samples)) = &mut sampling {
+                while next_sample <= t && next_sample <= self.cfg.horizon {
+                    samples.push((next_sample, self.collector.current_in_system()));
+                    next_sample += *interval;
+                }
+            }
+            match ev {
+                Ev::Arrival => self.on_arrival(t),
+                Ev::SlotBoundary => self.on_slot_boundary(t),
+                Ev::Complete(arc) => self.on_complete(t, arc as usize),
+            }
+            if !self.cfg.drain && t >= self.cfg.horizon {
+                break;
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, t: f64) {
+        let total_rate = self.cfg.lambda * self.bf.num_rows() as f64;
+        let next = t + self.arrival_rng.exp(total_rate);
+        if next < self.cfg.horizon {
+            self.events.push(next, Ev::Arrival);
+        }
+        let row = self.arrival_rng.below(self.bf.num_rows()) as u32;
+        self.inject(t, row);
+    }
+
+    fn on_slot_boundary(&mut self, t: f64) {
+        let ArrivalModel::Slotted { slots_per_unit } = self.cfg.arrivals else {
+            unreachable!("slot boundary event outside slotted model");
+        };
+        let r = 1.0 / slots_per_unit as f64;
+        let mean = self.cfg.lambda * self.bf.num_rows() as f64 * r;
+        let batch = self.arrival_rng.poisson(mean);
+        for _ in 0..batch {
+            let row = self.arrival_rng.below(self.bf.num_rows()) as u32;
+            self.inject(t, row);
+        }
+        let next = t + r;
+        if next < self.cfg.horizon {
+            self.events.push(next, Ev::SlotBoundary);
+        }
+    }
+
+    fn inject(&mut self, t: f64, row: u32) {
+        let mask = sample_flip_mask(&mut self.dest_rng, self.cfg.dim, self.cfg.p);
+        self.collector.on_generated(t);
+        let pkt = BfPacket {
+            born: t,
+            dest: row ^ mask,
+            verticals: 0,
+        };
+        self.enqueue(t, row, 0, pkt);
+    }
+
+    /// Queue `pkt` at the unique next arc out of `[row; level]`.
+    fn enqueue(&mut self, t: f64, row: u32, level: usize, pkt: BfPacket) {
+        debug_assert!(level < self.cfg.dim);
+        let kind = if (row >> level) & 1 == (pkt.dest >> level) & 1 {
+            ArcKind::Straight
+        } else {
+            ArcKind::Vertical
+        };
+        let arc = ButterflyArc {
+            row: NodeId(row as u64),
+            level,
+            kind,
+        }
+        .index(self.cfg.dim);
+        if t >= self.cfg.warmup && t < self.cfg.horizon {
+            match kind {
+                ArcKind::Straight => self.straight_arrivals[level] += 1,
+                ArcKind::Vertical => self.vertical_arrivals[level] += 1,
+            }
+        }
+        self.queues[arc].push_back(pkt);
+        if !self.busy[arc] {
+            self.busy[arc] = true;
+            self.events.push(t + 1.0, Ev::Complete(arc as u32));
+        }
+    }
+
+    fn on_complete(&mut self, t: f64, arc_idx: usize) {
+        let mut pkt = self.queues[arc_idx]
+            .pop_front()
+            .expect("completion on empty queue");
+        if self.queues[arc_idx].is_empty() {
+            self.busy[arc_idx] = false;
+        } else {
+            self.events.push(t + 1.0, Ev::Complete(arc_idx as u32));
+        }
+        let arc = ButterflyArc::from_index(arc_idx, self.cfg.dim);
+        if arc.kind == ArcKind::Vertical {
+            pkt.verticals += 1;
+        }
+        let row = arc.to_row().0 as u32;
+        let level = arc.level + 1;
+        if level == self.cfg.dim {
+            if pkt.born >= self.cfg.warmup && pkt.born < self.cfg.horizon {
+                self.vertical_stats.push(pkt.verticals as f64);
+            }
+            self.collector.on_delivered(t, pkt.born, self.cfg.dim as u16);
+        } else {
+            self.enqueue(t, row, level, pkt);
+        }
+    }
+
+    fn report(&self) -> ButterflyReport {
+        let cfg = &self.cfg;
+        let span = cfg.horizon - cfg.warmup;
+        let arcs_per_level = self.bf.num_rows() as f64;
+        let straight: Vec<f64> = self
+            .straight_arrivals
+            .iter()
+            .map(|&c| c as f64 / (span * arcs_per_level))
+            .collect();
+        let vertical: Vec<f64> = self
+            .vertical_arrivals
+            .iter()
+            .map(|&c| c as f64 / (span * arcs_per_level))
+            .collect();
+        let little = self.collector.little_check(cfg.horizon);
+        ButterflyReport {
+            dim: cfg.dim,
+            lambda: cfg.lambda,
+            p: cfg.p,
+            rho: cfg.load_factor(),
+            delay: self.collector.delay_stats(),
+            mean_vertical_hops: self.vertical_stats.mean(),
+            mean_in_system: self.collector.mean_in_system(cfg.horizon),
+            peak_in_system: self.collector.peak_in_system(),
+            throughput: self.collector.throughput(cfg.horizon),
+            little_error: little.relative_error(),
+            straight_rate_per_level: straight,
+            vertical_rate_per_level: vertical,
+            generated: self.collector.generated(),
+            delivered: self.collector.delivered_total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperroute_analysis::butterfly_bounds;
+
+    fn base_cfg() -> ButterflySimConfig {
+        ButterflySimConfig {
+            dim: 4,
+            lambda: 1.2,
+            p: 0.5, // ρ_bf = 0.6
+            horizon: 3_000.0,
+            warmup: 500.0,
+            seed: 21,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_delivered_and_delay_at_least_d() {
+        let r = ButterflySim::new(base_cfg()).run();
+        assert_eq!(r.generated, r.delivered);
+        assert!(r.delay.p50 >= 4.0);
+        assert!(r.delay.mean >= 4.0);
+    }
+
+    #[test]
+    fn delay_within_paper_bracket() {
+        let cfg = base_cfg();
+        let r = ButterflySim::new(cfg).run();
+        let lb = butterfly_bounds::universal_lower_bound(cfg.dim, cfg.lambda, cfg.p);
+        let ub = butterfly_bounds::greedy_upper_bound(cfg.dim, cfg.lambda, cfg.p);
+        assert!(
+            r.delay.mean >= lb * 0.97 && r.delay.mean <= ub * 1.03,
+            "measured {} outside [{lb}, {ub}]",
+            r.delay.mean
+        );
+    }
+
+    #[test]
+    fn proposition_15_arc_rates() {
+        let cfg = base_cfg();
+        let r = ButterflySim::new(cfg).run();
+        for lvl in 0..cfg.dim {
+            assert!(
+                (r.straight_rate_per_level[lvl] - 0.6).abs() < 0.035,
+                "straight level {lvl}: {}",
+                r.straight_rate_per_level[lvl]
+            );
+            assert!(
+                (r.vertical_rate_per_level[lvl] - 0.6).abs() < 0.035,
+                "vertical level {lvl}: {}",
+                r.vertical_rate_per_level[lvl]
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_p_rates() {
+        let mut cfg = base_cfg();
+        cfg.p = 0.25;
+        cfg.lambda = 1.0;
+        let r = ButterflySim::new(cfg).run();
+        // Straight ≈ 0.75, vertical ≈ 0.25 at every level.
+        for lvl in 0..cfg.dim {
+            assert!((r.straight_rate_per_level[lvl] - 0.75).abs() < 0.035);
+            assert!((r.vertical_rate_per_level[lvl] - 0.25).abs() < 0.035);
+        }
+        // Mean vertical hops ≈ dp = 1.
+        assert!((r.mean_vertical_hops - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn little_and_determinism() {
+        let a = ButterflySim::new(base_cfg()).run();
+        assert!(a.little_error < 0.05, "little {}", a.little_error);
+        let b = ButterflySim::new(base_cfg()).run();
+        assert_eq!(a.delay.mean, b.delay.mean);
+    }
+
+    #[test]
+    fn zero_load_edge() {
+        let mut cfg = base_cfg();
+        cfg.lambda = 0.0;
+        let r = ButterflySim::new(cfg).run();
+        assert_eq!(r.generated, 0);
+    }
+
+    #[test]
+    fn slotted_butterfly_obeys_bound_plus_slot() {
+        // §4.3 end: slotted time treated as §3.4 — delay within
+        // UB + r (same coupling argument as the hypercube case).
+        let mut cfg = base_cfg();
+        cfg.arrivals = ArrivalModel::Slotted { slots_per_unit: 2 };
+        let r = ButterflySim::new(cfg).run();
+        assert_eq!(r.generated, r.delivered);
+        let ub = butterfly_bounds::greedy_upper_bound(cfg.dim, cfg.lambda, cfg.p) + 0.5;
+        assert!(
+            r.delay.mean <= ub * 1.03,
+            "slotted butterfly delay {} above {ub}",
+            r.delay.mean
+        );
+        // All arrivals happen on the slot grid: delays keep the d floor.
+        assert!(r.delay.p50 >= cfg.dim as f64);
+    }
+
+    #[test]
+    fn p_one_quantiles_match_md1_distribution() {
+        // At p = 1 (hypercube analogue: here p=1 means all-vertical paths
+        // with per-row streams) the butterfly's first-level vertical arc is
+        // M/D/1 and deeper levels never queue (regular departures), so
+        // delay quantiles are d - 1 + (M/D/1 sojourn quantile).
+        let cfg = ButterflySimConfig {
+            dim: 4,
+            lambda: 0.7,
+            p: 1.0,
+            horizon: 12_000.0,
+            warmup: 2_000.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let r = ButterflySim::new(cfg).run();
+        for (q, measured) in [(0.5, r.delay.p50), (0.9, r.delay.p90)] {
+            let predicted = cfg.dim as f64 + hyperroute_queueing::md1::wait_quantile(0.7, q);
+            assert!(
+                (measured - predicted).abs() <= 0.35,
+                "q={q}: measured {measured} vs M/D/1 prediction {predicted}"
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared simulation configuration types.
+
+use serde::{Deserialize, Serialize};
+
+/// Which routing scheme drives the hypercube simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Scheme {
+    /// The paper's scheme: cross the required dimensions in increasing
+    /// index order (canonical paths) — §3.
+    #[default]
+    Greedy,
+    /// Ablation: cross the required dimensions in an order chosen uniformly
+    /// at random, one hop at a time. Still shortest-path and oblivious to
+    /// traffic, but the network is no longer levelled, so the paper's proof
+    /// technique does not apply to it (experiment E19 measures whether the
+    /// *behaviour* changes).
+    RandomOrder,
+    /// Valiant–Brebner "mixing" (§5 discussion): route greedily to a
+    /// uniformly random intermediate node, then greedily to the true
+    /// destination. Doubles the expected path length but flattens any
+    /// destination skew.
+    TwoPhaseValiant,
+}
+
+impl Scheme {
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Greedy => "greedy",
+            Scheme::RandomOrder => "random-order",
+            Scheme::TwoPhaseValiant => "two-phase-valiant",
+        }
+    }
+}
+
+/// How packets are generated (paper §1.1 vs §3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub enum ArrivalModel {
+    /// Continuous time: each node generates packets as an independent
+    /// Poisson process with rate `λ`.
+    #[default]
+    Poisson,
+    /// Slotted time: at each slot boundary (slot length `1/slots_per_unit`)
+    /// each node generates a Poisson batch with mean `λ·r`.
+    Slotted {
+        /// Number of slots per unit time (`1/r`, must be ≥ 1).
+        slots_per_unit: u32,
+    },
+}
+
+impl ArrivalModel {
+    /// Slot length `r` (1.0 for the continuous model, where it is unused).
+    pub fn slot_length(self) -> f64 {
+        match self {
+            ArrivalModel::Poisson => 1.0,
+            ArrivalModel::Slotted { slots_per_unit } => 1.0 / slots_per_unit as f64,
+        }
+    }
+}
+
+/// Which waiting packet an arc serves next (ablation of the paper's FIFO
+/// contention rule, "priority to the one that arrived first").
+///
+/// All three policies are non-preemptive and work-conserving, so the mean
+/// delay is (nearly) policy-independent while the delay *distribution*
+/// changes sharply — experiment E22 measures both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ContentionPolicy {
+    /// The paper's rule: first-come, first-served.
+    #[default]
+    Fifo,
+    /// Last-come, first-served (stack order).
+    Lifo,
+    /// Serve a uniformly random waiting packet.
+    Random,
+}
+
+impl ContentionPolicy {
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContentionPolicy::Fifo => "fifo",
+            ContentionPolicy::Lifo => "lifo",
+            ContentionPolicy::Random => "random",
+        }
+    }
+}
+
+/// Destination distribution (all translation-invariant, as required by the
+/// §2.2 generalisation: `Pr[dest = z | origin = x]` depends on `x ⊕ z`
+/// only).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub enum DestinationSpec {
+    /// Eq. (1): flip each bit independently with the config's `p`
+    /// (Lemma 1's product form).
+    #[default]
+    BitFlip,
+    /// Arbitrary pmf over XOR masks `0..2^d` (must have length `2^d` and
+    /// sum to 1). The per-dimension load factors and the generalised
+    /// stability condition `λ·max_j p_j < 1` come from
+    /// `hyperroute_analysis::load::dimension_load_factors`.
+    MaskPmf(Vec<f64>),
+}
+
+impl DestinationSpec {
+    /// Build the Eq.-(1)-style product pmf from per-dimension flip
+    /// probabilities (a convenient way to construct skewed but structured
+    /// distributions).
+    pub fn product_of_flips(per_dim: &[f64]) -> DestinationSpec {
+        let d = per_dim.len();
+        assert!((1..=20).contains(&d), "dimension out of range");
+        assert!(per_dim.iter().all(|&q| (0.0..=1.0).contains(&q)));
+        let n = 1usize << d;
+        let mut pmf = vec![0.0f64; n];
+        for (mask, slot) in pmf.iter_mut().enumerate() {
+            let mut prob = 1.0;
+            for (j, &q) in per_dim.iter().enumerate() {
+                prob *= if (mask >> j) & 1 == 1 { q } else { 1.0 - q };
+            }
+            *slot = prob;
+        }
+        DestinationSpec::MaskPmf(pmf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names_unique() {
+        let names = [
+            Scheme::Greedy.name(),
+            Scheme::RandomOrder.name(),
+            Scheme::TwoPhaseValiant.name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn slot_lengths() {
+        assert_eq!(ArrivalModel::Poisson.slot_length(), 1.0);
+        assert_eq!(
+            ArrivalModel::Slotted { slots_per_unit: 4 }.slot_length(),
+            0.25
+        );
+    }
+
+    #[test]
+    fn defaults_match_paper_model() {
+        assert_eq!(Scheme::default(), Scheme::Greedy);
+        assert_eq!(ArrivalModel::default(), ArrivalModel::Poisson);
+        assert_eq!(ContentionPolicy::default(), ContentionPolicy::Fifo);
+        assert_eq!(DestinationSpec::default(), DestinationSpec::BitFlip);
+    }
+
+    #[test]
+    fn product_of_flips_recovers_eq1() {
+        // Uniform per-dimension probability q reproduces Eq. (1)'s
+        // p^|mask| (1-p)^(d-|mask|).
+        let q = 0.3f64;
+        let DestinationSpec::MaskPmf(pmf) = DestinationSpec::product_of_flips(&[q; 3]) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(pmf.len(), 8);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for (mask, &prob) in pmf.iter().enumerate() {
+            let k = (mask as u32).count_ones() as i32;
+            let expect = q.powi(k) * (1.0 - q).powi(3 - k);
+            assert!((prob - expect).abs() < 1e-12, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn skewed_product_pmf() {
+        // Dim 0 always flips: masks without bit 0 have probability 0.
+        let DestinationSpec::MaskPmf(pmf) =
+            DestinationSpec::product_of_flips(&[1.0, 0.25]) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(pmf[0b00], 0.0);
+        assert_eq!(pmf[0b10], 0.0);
+        assert!((pmf[0b01] - 0.75).abs() < 1e-12);
+        assert!((pmf[0b11] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_policy_names_unique() {
+        let names = [
+            ContentionPolicy::Fifo.name(),
+            ContentionPolicy::Lifo.name(),
+            ContentionPolicy::Random.name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,759 @@
+//! Event-driven packet-level simulation of the hypercube under greedy (and
+//! baseline) routing — the paper's model, exactly (§1.1, §3).
+//!
+//! One deterministic unit-service FIFO queue per directed arc; packets
+//! cross the dimensions their destination requires in the order the scheme
+//! dictates; contention is resolved FIFO; no idling. Per-node Poisson
+//! sources are merged into one network-wide Poisson process of rate
+//! `λ·2^d` with uniform node assignment (superposition is exact, and keeps
+//! the event heap small).
+
+use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
+use crate::metrics::{DelayStats, MetricsCollector};
+use crate::packet::{next_dim, sample_flip_mask, MaskSampler, Packet, NO_SECOND_LEG};
+use hyperroute_desim::{EventQueue, SimRng};
+use hyperroute_topology::Hypercube;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of a hypercube routing simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HypercubeSimConfig {
+    /// Hypercube dimension `d`.
+    pub dim: usize,
+    /// Per-node Poisson generation rate `λ`.
+    pub lambda: f64,
+    /// Bit-flip probability `p` of the destination distribution (Eq. (1)).
+    /// Ignored when `dest` is a custom pmf.
+    pub p: f64,
+    /// Routing scheme.
+    pub scheme: Scheme,
+    /// Continuous (Poisson) or slotted-batch arrivals (§3.4).
+    pub arrivals: ArrivalModel,
+    /// Destination distribution: Eq. (1) bit-flips, or an arbitrary
+    /// translation-invariant pmf over XOR masks (§2.2 generalisation).
+    pub dest: DestinationSpec,
+    /// Contention-resolution rule at each arc (paper: FIFO).
+    pub contention: ContentionPolicy,
+    /// Generation stops at this time.
+    pub horizon: f64,
+    /// Packets born before this time are not measured.
+    pub warmup: f64,
+    /// RNG seed; every run is a deterministic function of it.
+    pub seed: u64,
+    /// After the horizon, keep serving until every in-flight packet is
+    /// delivered (so all measured packets complete). Disable for
+    /// instability probes.
+    pub drain: bool,
+}
+
+impl Default for HypercubeSimConfig {
+    fn default() -> Self {
+        HypercubeSimConfig {
+            dim: 4,
+            lambda: 1.0,
+            p: 0.5,
+            scheme: Scheme::Greedy,
+            arrivals: ArrivalModel::Poisson,
+            dest: DestinationSpec::BitFlip,
+            contention: ContentionPolicy::Fifo,
+            horizon: 1_000.0,
+            warmup: 200.0,
+            seed: 0xC0FFEE,
+            drain: true,
+        }
+    }
+}
+
+impl HypercubeSimConfig {
+    /// Load factor `ρ = λp` (doubled expected path ⇒ doubled effective load
+    /// under two-phase Valiant, which this does *not* account for).
+    pub fn load_factor(&self) -> f64 {
+        self.lambda * self.p
+    }
+
+    fn validate(&self) {
+        assert!(self.dim >= 1 && self.dim <= 26, "bad dimension");
+        assert!(self.lambda >= 0.0, "negative λ");
+        assert!((0.0..=1.0).contains(&self.p), "p outside [0,1]");
+        assert!(self.horizon > self.warmup && self.warmup >= 0.0);
+        if let DestinationSpec::MaskPmf(pmf) = &self.dest {
+            assert_eq!(
+                pmf.len(),
+                1usize << self.dim,
+                "destination pmf length must be 2^d"
+            );
+        }
+    }
+}
+
+/// Results of a hypercube simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HypercubeReport {
+    /// Echo of the dimension.
+    pub dim: usize,
+    /// Echo of λ.
+    pub lambda: f64,
+    /// Echo of p.
+    pub p: f64,
+    /// Load factor ρ = λp.
+    pub rho: f64,
+    /// Per-packet delay statistics (packets born in the measurement
+    /// window).
+    pub delay: DelayStats,
+    /// Mean hops per measured packet (≈ dp for greedy, Lemma 1).
+    pub mean_hops: f64,
+    /// Fraction of measured packets with destination = origin
+    /// (≈ (1-p)^d).
+    pub zero_hop_fraction: f64,
+    /// Time-averaged packets in the network over the measurement window.
+    pub mean_in_system: f64,
+    /// Peak packets in the network.
+    pub peak_in_system: f64,
+    /// Delivered packets per unit time in the measurement window.
+    pub throughput: f64,
+    /// Relative Little's-law discrepancy (sanity check; small when
+    /// converged).
+    pub little_error: f64,
+    /// Measured per-arc arrival rate for each dimension (Prop. 5 predicts
+    /// every entry ≈ ρ under greedy routing).
+    pub per_dim_arc_rate: Vec<f64>,
+    /// Time-averaged number of packets at an arc of each dimension
+    /// (queue + in service). Prop. 13's proof: dimension 0 is *exactly*
+    /// M/D/1 (`ρ + ρ²/(2(1-ρ))`, Eq. (16)); deeper dimensions hold at
+    /// least `ρ` (Eq. (15) machinery).
+    pub per_dim_mean_queue: Vec<f64>,
+    /// Total packets generated.
+    pub generated: u64,
+    /// Total packets delivered.
+    pub delivered: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Merged-Poisson packet generation (continuous model).
+    Arrival,
+    /// Slot boundary: generate this slot's batches (slotted model).
+    SlotBoundary,
+    /// Service completion at the arc with this dense index.
+    Complete(u32),
+}
+
+/// The simulator. Construct with [`HypercubeSim::new`], execute with
+/// [`HypercubeSim::run`] or [`HypercubeSim::run_sampled`].
+pub struct HypercubeSim {
+    cfg: HypercubeSimConfig,
+    cube: Hypercube,
+    /// Waiting packets per arc (the packet in service sits in `serving`).
+    queues: Vec<VecDeque<Packet>>,
+    serving: Vec<Option<Packet>>,
+    events: EventQueue<Ev>,
+    arrival_rng: SimRng,
+    dest_rng: SimRng,
+    route_rng: SimRng,
+    contention_rng: SimRng,
+    mask_sampler: Option<MaskSampler>,
+    collector: MetricsCollector,
+    dim_arrivals: Vec<u64>,
+    /// Time-weighted total occupancy per dimension (all 2^d arcs pooled).
+    dim_occupancy: Vec<hyperroute_desim::TimeWeighted>,
+    dim_occ_reset_done: bool,
+    now: f64,
+}
+
+impl HypercubeSim {
+    /// Build a simulator (allocates the per-arc queues).
+    pub fn new(cfg: HypercubeSimConfig) -> HypercubeSim {
+        cfg.validate();
+        let cube = Hypercube::new(cfg.dim);
+        let arcs = cube.num_arcs();
+        let mut root = SimRng::new(cfg.seed);
+        let mut arrival_rng = root.split();
+        let dest_rng = root.split();
+        let route_rng = root.split();
+        let contention_rng = root.split();
+        let mask_sampler = match &cfg.dest {
+            DestinationSpec::BitFlip => None,
+            DestinationSpec::MaskPmf(pmf) => Some(MaskSampler::new(pmf)),
+        };
+        // Batch size for the delay CI: aim for ~30 batches over the window.
+        let expected_packets =
+            (cfg.lambda * cube.num_nodes() as f64 * (cfg.horizon - cfg.warmup)).max(64.0);
+        let batch = (expected_packets / 32.0).ceil() as u64;
+        let collector = MetricsCollector::new(cfg.warmup, cfg.horizon, batch, cfg.seed);
+        let mut events = EventQueue::with_capacity(1024);
+        match cfg.arrivals {
+            ArrivalModel::Poisson => {
+                // First merged arrival; rate λ·2^d.
+                let total_rate = cfg.lambda * cube.num_nodes() as f64;
+                if total_rate > 0.0 {
+                    events.push(arrival_rng.exp(total_rate), Ev::Arrival);
+                }
+            }
+            ArrivalModel::Slotted { .. } => {
+                events.push(0.0, Ev::SlotBoundary);
+            }
+        }
+        let dim = cfg.dim;
+        let warmup = cfg.warmup;
+        HypercubeSim {
+            cfg,
+            cube,
+            queues: vec![VecDeque::new(); arcs],
+            serving: vec![None; arcs],
+            events,
+            arrival_rng,
+            dest_rng,
+            route_rng,
+            contention_rng,
+            mask_sampler,
+            collector,
+            dim_arrivals: vec![0; dim],
+            dim_occupancy: (0..dim)
+                .map(|_| hyperroute_desim::TimeWeighted::new(0.0, 0.0))
+                .collect(),
+            dim_occ_reset_done: warmup == 0.0,
+            now: 0.0,
+        }
+    }
+
+    /// Track the pooled occupancy of one dimension's arcs; integration
+    /// restarts at the warm-up boundary and freezes at the horizon, like
+    /// the main collector's number-in-system signal.
+    fn bump_dim_occupancy(&mut self, t: f64, dim: usize, delta: f64) {
+        if !self.dim_occ_reset_done && t >= self.cfg.warmup {
+            let w = self.cfg.warmup;
+            for tw in &mut self.dim_occupancy {
+                let current = tw.current();
+                tw.set(w, current);
+                tw.reset(w);
+            }
+            self.dim_occ_reset_done = true;
+        }
+        if t < self.cfg.horizon {
+            self.dim_occupancy[dim].add(t, delta);
+        }
+    }
+
+    /// Run to completion and summarise.
+    pub fn run(mut self) -> HypercubeReport {
+        self.drive(None);
+        self.report()
+    }
+
+    /// Run to completion, additionally sampling the total number-in-system
+    /// every `interval` time units (used by the stability detector).
+    pub fn run_sampled(mut self, interval: f64) -> (HypercubeReport, Vec<(f64, f64)>) {
+        assert!(interval > 0.0);
+        let mut samples = Vec::new();
+        self.drive(Some((interval, &mut samples)));
+        (self.report(), samples)
+    }
+
+    fn drive(&mut self, mut sampling: Option<(f64, &mut Vec<(f64, f64)>)>) {
+        let mut next_sample = match &sampling {
+            Some((interval, _)) => *interval,
+            None => f64::INFINITY,
+        };
+        while let Some((t, ev)) = self.events.pop() {
+            if let Some((interval, samples)) = &mut sampling {
+                while next_sample <= t && next_sample <= self.cfg.horizon {
+                    samples.push((next_sample, self.collector.current_in_system()));
+                    next_sample += *interval;
+                }
+            }
+            self.now = t;
+            match ev {
+                Ev::Arrival => self.on_merged_arrival(t),
+                Ev::SlotBoundary => self.on_slot_boundary(t),
+                Ev::Complete(arc) => self.on_complete(t, arc as usize),
+            }
+            if !self.cfg.drain && t >= self.cfg.horizon {
+                break;
+            }
+        }
+    }
+
+    fn on_merged_arrival(&mut self, t: f64) {
+        // Schedule the next merged arrival first (keeps the stream's draws
+        // independent of per-packet sampling).
+        let total_rate = self.cfg.lambda * self.cube.num_nodes() as f64;
+        let next = t + self.arrival_rng.exp(total_rate);
+        if next < self.cfg.horizon {
+            self.events.push(next, Ev::Arrival);
+        }
+        let node = self.arrival_rng.below(self.cube.num_nodes()) as u32;
+        self.generate_packet(t, node);
+    }
+
+    fn on_slot_boundary(&mut self, t: f64) {
+        let ArrivalModel::Slotted { slots_per_unit } = self.cfg.arrivals else {
+            unreachable!("slot boundary event outside slotted model");
+        };
+        let r = 1.0 / slots_per_unit as f64;
+        // Total batch over all nodes is Poisson(λ·2^d·r); nodes uniform.
+        let mean = self.cfg.lambda * self.cube.num_nodes() as f64 * r;
+        let batch = self.arrival_rng.poisson(mean);
+        for _ in 0..batch {
+            let node = self.arrival_rng.below(self.cube.num_nodes()) as u32;
+            self.generate_packet(t, node);
+        }
+        let next = t + r;
+        if next < self.cfg.horizon {
+            self.events.push(next, Ev::SlotBoundary);
+        }
+    }
+
+    /// One destination mask from the configured distribution.
+    fn sample_dest_mask(&mut self) -> u32 {
+        match &self.mask_sampler {
+            Some(sampler) => sampler.sample(&mut self.dest_rng),
+            None => sample_flip_mask(&mut self.dest_rng, self.cfg.dim, self.cfg.p),
+        }
+    }
+
+    fn generate_packet(&mut self, t: f64, node: u32) {
+        self.collector.on_generated(t);
+        let d = self.cfg.dim;
+        match self.cfg.scheme {
+            Scheme::Greedy | Scheme::RandomOrder => {
+                let mask = self.sample_dest_mask();
+                let pkt = Packet::new(t, mask, NO_SECOND_LEG);
+                if mask == 0 {
+                    self.collector.on_delivered(t, t, 0);
+                } else {
+                    self.enqueue(t, node, pkt);
+                }
+            }
+            Scheme::TwoPhaseValiant => {
+                // Leg 1: uniformly random intermediate node ⇒ the leg mask
+                // flips each bit with probability 1/2.
+                let inter_mask = sample_flip_mask(&mut self.dest_rng, d, 0.5);
+                let dest_mask = self.sample_dest_mask();
+                let final_dest = node ^ dest_mask;
+                if inter_mask == 0 && node == final_dest {
+                    self.collector.on_delivered(t, t, 0);
+                    return;
+                }
+                if inter_mask == 0 {
+                    // Degenerate leg 1; go straight to leg 2.
+                    let pkt = Packet::new(t, node ^ final_dest, NO_SECOND_LEG);
+                    self.enqueue(t, node, pkt);
+                } else {
+                    let pkt = Packet::new(t, inter_mask, final_dest);
+                    self.enqueue(t, node, pkt);
+                }
+            }
+        }
+    }
+
+    /// Put `pkt` (whose `remaining` is non-empty) into the queue of the arc
+    /// its scheme chooses out of `node`; start service if the arc is idle.
+    fn enqueue(&mut self, t: f64, node: u32, mut pkt: Packet) {
+        debug_assert!(pkt.remaining != 0);
+        let dim = next_dim(self.cfg.scheme, pkt.remaining, &mut self.route_rng);
+        pkt.remaining &= !(1u32 << dim);
+        let arc = node as usize * self.cfg.dim + dim;
+        if t >= self.cfg.warmup && t < self.cfg.horizon {
+            self.dim_arrivals[dim] += 1;
+        }
+        self.bump_dim_occupancy(t, dim, 1.0);
+        if self.serving[arc].is_none() {
+            self.serving[arc] = Some(pkt);
+            self.events.push(t + 1.0, Ev::Complete(arc as u32));
+        } else {
+            self.queues[arc].push_back(pkt);
+        }
+    }
+
+    /// Pick the next waiting packet per the contention policy and start
+    /// its service. The queue holds waiters in arrival order, so index 0
+    /// is FIFO and the last index is LIFO.
+    fn start_next_service(&mut self, t: f64, arc: usize) {
+        debug_assert!(self.serving[arc].is_none());
+        let queue = &mut self.queues[arc];
+        if queue.is_empty() {
+            return;
+        }
+        let idx = match self.cfg.contention {
+            ContentionPolicy::Fifo => 0,
+            ContentionPolicy::Lifo => queue.len() - 1,
+            ContentionPolicy::Random => self.contention_rng.below(queue.len()),
+        };
+        let pkt = queue.remove(idx).expect("index in range");
+        self.serving[arc] = Some(pkt);
+        self.events.push(t + 1.0, Ev::Complete(arc as u32));
+    }
+
+    fn on_complete(&mut self, t: f64, arc: usize) {
+        let mut pkt = self.serving[arc]
+            .take()
+            .expect("completion with no packet in service");
+        self.bump_dim_occupancy(t, arc % self.cfg.dim, -1.0);
+        self.start_next_service(t, arc);
+        pkt.hops += 1;
+        let d = self.cfg.dim;
+        let node = (arc / d) as u32 ^ (1u32 << (arc % d));
+        if pkt.remaining != 0 {
+            self.enqueue(t, node, pkt);
+        } else if pkt.second_leg_dest != NO_SECOND_LEG {
+            let mask = node ^ pkt.second_leg_dest;
+            pkt.second_leg_dest = NO_SECOND_LEG;
+            if mask == 0 {
+                self.collector.on_delivered(t, pkt.born, pkt.hops);
+            } else {
+                pkt.remaining = mask;
+                self.enqueue(t, node, pkt);
+            }
+        } else {
+            self.collector.on_delivered(t, pkt.born, pkt.hops);
+        }
+    }
+
+    fn report(&self) -> HypercubeReport {
+        let cfg = &self.cfg;
+        let t_end = cfg.horizon;
+        let span = cfg.horizon - cfg.warmup;
+        let arcs_per_dim = self.cube.num_nodes() as f64;
+        let per_dim_arc_rate: Vec<f64> = self
+            .dim_arrivals
+            .iter()
+            .map(|&c| c as f64 / (span * arcs_per_dim))
+            .collect();
+        let per_dim_mean_queue: Vec<f64> = self
+            .dim_occupancy
+            .iter()
+            .map(|tw| tw.mean(cfg.horizon) / arcs_per_dim)
+            .collect();
+        let little = self.collector.little_check(t_end);
+        HypercubeReport {
+            dim: cfg.dim,
+            lambda: cfg.lambda,
+            p: cfg.p,
+            rho: cfg.load_factor(),
+            delay: self.collector.delay_stats(),
+            mean_hops: self.collector.mean_hops(),
+            zero_hop_fraction: self.collector.zero_hop_fraction(),
+            mean_in_system: self.collector.mean_in_system(t_end),
+            peak_in_system: self.collector.peak_in_system(),
+            throughput: self.collector.throughput(t_end),
+            little_error: little.relative_error(),
+            per_dim_arc_rate,
+            per_dim_mean_queue,
+            generated: self.collector.generated(),
+            delivered: self.collector.delivered_total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ContentionPolicy;
+    use hyperroute_analysis::hypercube_bounds;
+
+    fn base_cfg() -> HypercubeSimConfig {
+        HypercubeSimConfig {
+            dim: 4,
+            lambda: 1.2,
+            p: 0.5, // ρ = 0.6
+            horizon: 3_000.0,
+            warmup: 500.0,
+            seed: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn everything_generated_is_delivered_with_drain() {
+        let r = HypercubeSim::new(base_cfg()).run();
+        assert_eq!(r.generated, r.delivered);
+        assert!(r.generated > 50_000, "generated {}", r.generated);
+    }
+
+    #[test]
+    fn delay_within_paper_bracket() {
+        let cfg = base_cfg();
+        let r = HypercubeSim::new(cfg.clone()).run();
+        let lb = hypercube_bounds::greedy_lower_bound(cfg.dim, cfg.lambda, cfg.p);
+        let ub = hypercube_bounds::greedy_upper_bound(cfg.dim, cfg.lambda, cfg.p);
+        assert!(
+            r.delay.mean >= lb * 0.97 && r.delay.mean <= ub * 1.03,
+            "measured {} outside [{lb}, {ub}]",
+            r.delay.mean
+        );
+    }
+
+    #[test]
+    fn mean_hops_matches_dp_and_zero_hop_fraction() {
+        let cfg = base_cfg();
+        let r = HypercubeSim::new(cfg).run();
+        assert!(
+            (r.mean_hops - 2.0).abs() < 0.05,
+            "mean hops {} vs dp = 2",
+            r.mean_hops
+        );
+        // (1-p)^d = 0.0625.
+        assert!(
+            (r.zero_hop_fraction - 0.0625).abs() < 0.01,
+            "zero-hop {}",
+            r.zero_hop_fraction
+        );
+    }
+
+    #[test]
+    fn proposition_5_arc_rates() {
+        let cfg = base_cfg();
+        let r = HypercubeSim::new(cfg).run();
+        for (dim, &rate) in r.per_dim_arc_rate.iter().enumerate() {
+            assert!(
+                (rate - 0.6).abs() < 0.03,
+                "dimension {dim}: per-arc rate {rate} vs ρ=0.6"
+            );
+        }
+    }
+
+    #[test]
+    fn little_law_holds() {
+        let r = HypercubeSim::new(base_cfg()).run();
+        assert!(r.little_error < 0.05, "little error {}", r.little_error);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = HypercubeSim::new(base_cfg()).run();
+        let b = HypercubeSim::new(base_cfg()).run();
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delay.mean, b.delay.mean);
+        let mut cfg2 = base_cfg();
+        cfg2.seed ^= 1;
+        let c = HypercubeSim::new(cfg2).run();
+        assert_ne!(a.delay.mean, c.delay.mean);
+    }
+
+    #[test]
+    fn p_one_matches_exact_formula() {
+        // §3.3 end: p = 1 ⇒ T = d + ρ/(2(1-ρ)) exactly (disjoint paths).
+        let cfg = HypercubeSimConfig {
+            dim: 4,
+            lambda: 0.7,
+            p: 1.0,
+            horizon: 4_000.0,
+            warmup: 500.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let r = HypercubeSim::new(cfg).run();
+        let exact = hypercube_bounds::p_one_exact_delay(4, 0.7);
+        assert!(
+            (r.delay.mean - exact).abs() / exact < 0.02,
+            "measured {} vs exact {exact}",
+            r.delay.mean
+        );
+        // Every packet takes exactly d hops.
+        assert!((r.mean_hops - 4.0).abs() < 1e-9);
+        assert_eq!(r.zero_hop_fraction, 0.0);
+    }
+
+    #[test]
+    fn p_zero_all_packets_self_delivered() {
+        let cfg = HypercubeSimConfig {
+            dim: 5,
+            lambda: 1.0,
+            p: 0.0,
+            horizon: 200.0,
+            warmup: 10.0,
+            seed: 8,
+            ..Default::default()
+        };
+        let r = HypercubeSim::new(cfg).run();
+        assert_eq!(r.zero_hop_fraction, 1.0);
+        assert_eq!(r.delay.mean, 0.0);
+        assert_eq!(r.mean_hops, 0.0);
+    }
+
+    #[test]
+    fn random_order_scheme_also_stable_and_shortest_path() {
+        let mut cfg = base_cfg();
+        cfg.scheme = Scheme::RandomOrder;
+        cfg.horizon = 2_000.0;
+        let r = HypercubeSim::new(cfg).run();
+        assert_eq!(r.generated, r.delivered);
+        // Shortest paths: mean hops still dp.
+        assert!((r.mean_hops - 2.0).abs() < 0.06, "hops {}", r.mean_hops);
+    }
+
+    #[test]
+    fn valiant_doubles_path_length() {
+        let mut cfg = base_cfg();
+        cfg.scheme = Scheme::TwoPhaseValiant;
+        cfg.lambda = 0.4; // keep effective load below 1 (paths ~ d/2 + dp)
+        cfg.horizon = 2_000.0;
+        let r = HypercubeSim::new(cfg.clone()).run();
+        assert_eq!(r.generated, r.delivered);
+        // Expected hops = d/2 (leg 1) + dp (leg 2) = 2 + 2 = 4.
+        assert!((r.mean_hops - 4.0).abs() < 0.1, "hops {}", r.mean_hops);
+        // Delay strictly worse than direct greedy at the same (λ, p).
+        let direct = HypercubeSim::new(HypercubeSimConfig {
+            scheme: Scheme::Greedy,
+            ..cfg
+        })
+        .run();
+        assert!(r.delay.mean > direct.delay.mean);
+    }
+
+    #[test]
+    fn slotted_arrivals_obey_slotted_bound() {
+        let cfg = HypercubeSimConfig {
+            dim: 4,
+            lambda: 1.0,
+            p: 0.5,
+            arrivals: ArrivalModel::Slotted { slots_per_unit: 2 },
+            horizon: 3_000.0,
+            warmup: 500.0,
+            seed: 77,
+            ..Default::default()
+        };
+        let r = HypercubeSim::new(cfg).run();
+        let ub = hypercube_bounds::slotted_upper_bound(4, 1.0, 0.5, 0.5);
+        assert!(
+            r.delay.mean <= ub * 1.03,
+            "slotted delay {} above bound {ub}",
+            r.delay.mean
+        );
+        assert_eq!(r.generated, r.delivered);
+    }
+
+    #[test]
+    fn proposition_13_per_dimension_occupancy() {
+        // Eq. (16): dimension-0 arcs are exactly M/D/1, so their mean
+        // occupancy is ρ + ρ²/(2(1-ρ)); Eq. (15) machinery: every deeper
+        // dimension holds at least ρ (service alone) and at most the
+        // product-form ρ/(1-ρ).
+        let cfg = base_cfg(); // ρ = 0.6
+        let rho: f64 = 0.6;
+        let r = HypercubeSim::new(cfg).run();
+        let md1_exact = rho + rho * rho / (2.0 * (1.0 - rho));
+        assert!(
+            (r.per_dim_mean_queue[0] - md1_exact).abs() < 0.02,
+            "dim 0 occupancy {} vs M/D/1 {md1_exact}",
+            r.per_dim_mean_queue[0]
+        );
+        for (dim, &n) in r.per_dim_mean_queue.iter().enumerate().skip(1) {
+            assert!(
+                n >= rho * 0.97,
+                "dim {dim} occupancy {n} below ρ = {rho}"
+            );
+            assert!(
+                n <= rho / (1.0 - rho) * 1.05,
+                "dim {dim} occupancy {n} above product-form cap"
+            );
+        }
+        // Measured effect worth recording: occupancy *decreases* with the
+        // dimension index — deterministic unit service smooths traffic, so
+        // deeper dimensions see a stream more regular than Poisson and
+        // queue less than the M/D/1 first dimension. (This is why the
+        // product-form PS network, whose every server sees geometric
+        // occupancy ρ/(1-ρ), is an upper bound and not tight.)
+        assert!(
+            r.per_dim_mean_queue[3] <= r.per_dim_mean_queue[0] + 0.02,
+            "{:?}",
+            r.per_dim_mean_queue
+        );
+    }
+
+    #[test]
+    fn contention_policies_share_mean_but_not_tail() {
+        // Non-preemptive work-conserving policies that ignore service
+        // times have (near-)identical mean delay; LIFO fattens the tail.
+        let run = |contention| {
+            let cfg = HypercubeSimConfig {
+                contention,
+                horizon: 6_000.0,
+                warmup: 1_000.0,
+                ..base_cfg()
+            };
+            HypercubeSim::new(cfg).run()
+        };
+        let fifo = run(ContentionPolicy::Fifo);
+        let lifo = run(ContentionPolicy::Lifo);
+        let rand = run(ContentionPolicy::Random);
+        let rel = |a: f64, b: f64| (a - b).abs() / a;
+        assert!(
+            rel(fifo.delay.mean, lifo.delay.mean) < 0.06,
+            "means diverge: fifo {} lifo {}",
+            fifo.delay.mean,
+            lifo.delay.mean
+        );
+        assert!(rel(fifo.delay.mean, rand.delay.mean) < 0.06);
+        assert!(
+            lifo.delay.p99 > fifo.delay.p99,
+            "LIFO p99 {} not above FIFO p99 {}",
+            lifo.delay.p99,
+            fifo.delay.p99
+        );
+    }
+
+    #[test]
+    fn custom_destination_equivalent_to_bitflip() {
+        // A product-of-flips pmf with uniform q must match BitFlip(q) in
+        // law; same seed gives close statistics (not identical draws: the
+        // samplers consume different variates).
+        let q = 0.5;
+        let base = base_cfg();
+        let bitflip = HypercubeSim::new(base.clone()).run();
+        let custom = HypercubeSim::new(HypercubeSimConfig {
+            dest: DestinationSpec::product_of_flips(&[q; 4]),
+            ..base
+        })
+        .run();
+        assert!(
+            (bitflip.delay.mean - custom.delay.mean).abs() / bitflip.delay.mean < 0.05,
+            "bitflip {} vs custom {}",
+            bitflip.delay.mean,
+            custom.delay.mean
+        );
+        assert!((bitflip.mean_hops - custom.mean_hops).abs() < 0.1);
+    }
+
+    #[test]
+    fn skewed_destination_loads_bottleneck_dimension() {
+        // Flip dim 0 always, others rarely: arc rate in dim 0 is λ, in the
+        // others λ·0.1 (Prop. 5's generalisation: rate_j = λ·p_j).
+        let lambda = 0.8;
+        let cfg = HypercubeSimConfig {
+            dim: 4,
+            lambda,
+            dest: DestinationSpec::product_of_flips(&[1.0, 0.1, 0.1, 0.1]),
+            horizon: 3_000.0,
+            warmup: 500.0,
+            seed: 99,
+            ..Default::default()
+        };
+        let r = HypercubeSim::new(cfg).run();
+        assert!(
+            (r.per_dim_arc_rate[0] - lambda).abs() < 0.04,
+            "dim0 rate {}",
+            r.per_dim_arc_rate[0]
+        );
+        for dim in 1..4 {
+            assert!(
+                (r.per_dim_arc_rate[dim] - lambda * 0.1).abs() < 0.02,
+                "dim{dim} rate {}",
+                r.per_dim_arc_rate[dim]
+            );
+        }
+        // No packet is self-destined (dim 0 always flips).
+        assert_eq!(r.zero_hop_fraction, 0.0);
+    }
+
+    #[test]
+    fn sampled_run_produces_monotone_timestamps() {
+        let (_, samples) = HypercubeSim::new(base_cfg()).run_sampled(50.0);
+        assert!(samples.len() >= 50);
+        assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
+        // In a stable run the trajectory stays bounded.
+        let max_n = samples.iter().map(|&(_, n)| n).fold(0.0, f64::max);
+        assert!(max_n < 2_000.0, "suspicious queue growth: {max_n}");
+    }
+}

@@ -1,0 +1,260 @@
+//! In-flight packet state and destination sampling.
+//!
+//! A packet in the hypercube simulator is 16 bytes: its birth time, the
+//! bitmask of dimensions it still has to cross, and (for the two-phase
+//! Valiant scheme) the final destination of its second leg. Its current
+//! node is implied by the arc queue holding it, so it is not stored.
+
+use crate::config::Scheme;
+use hyperroute_desim::SimRng;
+
+/// Sentinel meaning "no second leg".
+pub const NO_SECOND_LEG: u32 = u32::MAX;
+
+/// An in-flight packet.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    /// Generation time.
+    pub born: f64,
+    /// Dimensions still to cross on the current leg (bit `i` set ⇔ must
+    /// still cross dimension `i`).
+    pub remaining: u32,
+    /// Final destination of the second leg (two-phase Valiant only), or
+    /// [`NO_SECOND_LEG`].
+    pub second_leg_dest: u32,
+    /// Hops taken so far (for path-length statistics).
+    pub hops: u16,
+}
+
+impl Packet {
+    /// Fresh packet with the given leg mask.
+    pub fn new(born: f64, remaining: u32, second_leg_dest: u32) -> Packet {
+        Packet {
+            born,
+            remaining,
+            second_leg_dest,
+            hops: 0,
+        }
+    }
+}
+
+/// Sample a destination for a packet at `origin` by flipping each of `d`
+/// bits independently with probability `p` (Lemma 1). Returns the XOR mask
+/// (`origin ⊕ destination`).
+#[inline]
+pub fn sample_flip_mask(rng: &mut SimRng, d: usize, p: f64) -> u32 {
+    debug_assert!(d <= 32);
+    // Fast paths for the degenerate cases keep the Bernoulli loop honest.
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return ((1u64 << d) - 1) as u32;
+    }
+    let mut mask = 0u32;
+    for i in 0..d {
+        if rng.bernoulli(p) {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Choose the next dimension to cross from a non-empty `remaining` mask,
+/// according to the scheme's dimension order.
+#[inline]
+pub fn next_dim(scheme: Scheme, remaining: u32, rng: &mut SimRng) -> usize {
+    debug_assert!(remaining != 0);
+    match scheme {
+        // Canonical: lowest required dimension first.
+        Scheme::Greedy | Scheme::TwoPhaseValiant => remaining.trailing_zeros() as usize,
+        // Ablation: uniformly random among the required dimensions.
+        Scheme::RandomOrder => {
+            let k = remaining.count_ones() as usize;
+            let pick = rng.below(k);
+            nth_set_bit(remaining, pick)
+        }
+    }
+}
+
+/// Sampler for arbitrary translation-invariant destination distributions
+/// (§2.2 generalisation): a pmf over XOR masks, sampled by inverse CDF.
+#[derive(Clone, Debug)]
+pub struct MaskSampler {
+    /// Cumulative distribution over masks `0..2^d`.
+    cdf: Vec<f64>,
+}
+
+impl MaskSampler {
+    /// Build from a pmf over masks. Panics unless the pmf has a power-of-2
+    /// length, non-negative entries, and sums to 1 (±1e-9).
+    pub fn new(pmf: &[f64]) -> MaskSampler {
+        assert!(pmf.len().is_power_of_two() && pmf.len() >= 2, "bad pmf length");
+        assert!(pmf.iter().all(|&x| x >= 0.0), "negative probability");
+        let mut cdf = Vec::with_capacity(pmf.len());
+        let mut acc = 0.0;
+        for &x in pmf {
+            acc += x;
+            cdf.push(acc);
+        }
+        assert!(
+            (acc - 1.0).abs() < 1e-9,
+            "destination pmf sums to {acc}, not 1"
+        );
+        // Guard the final bucket against rounding.
+        *cdf.last_mut().expect("nonempty") = 1.0;
+        MaskSampler { cdf }
+    }
+
+    /// Hypercube dimension implied by the pmf length.
+    pub fn dim(&self) -> usize {
+        self.cdf.len().trailing_zeros() as usize
+    }
+
+    /// Draw one XOR mask.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        let u = rng.uniform01();
+        self.cdf.partition_point(|&c| c <= u) as u32
+    }
+}
+
+/// Index of the `n`-th (0-based) set bit of `mask`.
+#[inline]
+fn nth_set_bit(mask: u32, n: usize) -> usize {
+    let mut m = mask;
+    for _ in 0..n {
+        m &= m - 1;
+    }
+    debug_assert!(m != 0);
+    m.trailing_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_mask_degenerate() {
+        let mut rng = SimRng::new(1);
+        assert_eq!(sample_flip_mask(&mut rng, 8, 0.0), 0);
+        assert_eq!(sample_flip_mask(&mut rng, 8, 1.0), 0xFF);
+        assert_eq!(sample_flip_mask(&mut rng, 3, 1.0), 0b111);
+    }
+
+    #[test]
+    fn flip_mask_per_bit_probability() {
+        // Lemma 1: each bit flips independently with probability p.
+        let (d, p, n) = (10usize, 0.3, 100_000);
+        let mut rng = SimRng::new(2);
+        let mut counts = vec![0u64; d];
+        for _ in 0..n {
+            let m = sample_flip_mask(&mut rng, d, p);
+            for (i, c) in counts.iter_mut().enumerate() {
+                *c += u64::from((m >> i) & 1);
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / n as f64;
+            assert!((f - p).abs() < 0.01, "bit {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn flip_mask_bit_independence_pairwise() {
+        // Joint flip frequency of bits (0,1) ≈ p².
+        let (p, n) = (0.4, 200_000);
+        let mut rng = SimRng::new(3);
+        let mut both = 0u64;
+        for _ in 0..n {
+            let m = sample_flip_mask(&mut rng, 6, p);
+            if m & 0b11 == 0b11 {
+                both += 1;
+            }
+        }
+        let f = both as f64 / n as f64;
+        assert!((f - p * p).abs() < 0.01, "joint {f}");
+    }
+
+    #[test]
+    fn hamming_distance_binomial_mean() {
+        let (d, p, n) = (12usize, 0.5, 50_000);
+        let mut rng = SimRng::new(4);
+        let mean: f64 = (0..n)
+            .map(|_| sample_flip_mask(&mut rng, d, p).count_ones() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - d as f64 * p).abs() < 0.05, "mean distance {mean}");
+    }
+
+    #[test]
+    fn greedy_next_dim_is_lowest() {
+        let mut rng = SimRng::new(5);
+        assert_eq!(next_dim(Scheme::Greedy, 0b1010, &mut rng), 1);
+        assert_eq!(next_dim(Scheme::Greedy, 0b1000, &mut rng), 3);
+        assert_eq!(next_dim(Scheme::TwoPhaseValiant, 0b0110, &mut rng), 1);
+    }
+
+    #[test]
+    fn random_order_uniform_over_set_bits() {
+        let mut rng = SimRng::new(6);
+        let mask = 0b10110u32; // dims 1, 2, 4
+        let mut counts = [0u64; 5];
+        let n = 60_000;
+        for _ in 0..n {
+            counts[next_dim(Scheme::RandomOrder, mask, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[3], 0);
+        for &i in &[1usize, 2, 4] {
+            let f = counts[i] as f64 / n as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.01, "dim {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn nth_set_bit_walks_mask() {
+        assert_eq!(nth_set_bit(0b1, 0), 0);
+        assert_eq!(nth_set_bit(0b101000, 0), 3);
+        assert_eq!(nth_set_bit(0b101000, 1), 5);
+    }
+
+    #[test]
+    fn mask_sampler_frequencies() {
+        let pmf = [0.1, 0.2, 0.3, 0.4];
+        let s = MaskSampler::new(&pmf);
+        assert_eq!(s.dim(), 2);
+        let mut rng = SimRng::new(9);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        for (mask, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - pmf[mask]).abs() < 0.01, "mask {mask}: {freq}");
+        }
+    }
+
+    #[test]
+    fn mask_sampler_degenerate_point_mass() {
+        let s = MaskSampler::new(&[0.0, 0.0, 1.0, 0.0]);
+        let mut rng = SimRng::new(10);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn mask_sampler_rejects_non_distribution() {
+        MaskSampler::new(&[0.4, 0.4]);
+    }
+
+    #[test]
+    fn packet_is_small() {
+        // The simulator stores millions of these; keep them to 24 bytes
+        // (8 time + 4 mask + 4 second-leg + 2 hop counter + padding).
+        assert!(std::mem::size_of::<Packet>() <= 24);
+    }
+}

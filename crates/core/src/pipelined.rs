@@ -1,0 +1,253 @@
+//! The §2.3 non-greedy pipelined Valiant–Brebner scheme, simulated
+//! faithfully.
+//!
+//! At each round start every node releases (at most) one stored packet; the
+//! released batch is routed greedily as one static instance
+//! ([`crate::batch::route_batch_greedy`]); the next round starts when the
+//! batch completes. Packets generated during a round are stored at their
+//! origins. Each node therefore behaves like an M/G/1 queue with service
+//! time ≈ `R·d`, so the scheme destabilises once `λ·R·d ≥ 1` — at any
+//! fixed load factor it fails for large `d`, which is the paper's §2.3
+//! point (experiment E12).
+
+use crate::batch::route_batch_greedy;
+use crate::packet::sample_flip_mask;
+use hyperroute_desim::{SimRng, Welford};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of a pipelined-scheme simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PipelinedConfig {
+    /// Hypercube dimension.
+    pub dim: usize,
+    /// Per-node Poisson generation rate.
+    pub lambda: f64,
+    /// Destination bit-flip probability.
+    pub p: f64,
+    /// Number of routing rounds to simulate.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PipelinedConfig {
+    fn default() -> Self {
+        PipelinedConfig {
+            dim: 4,
+            lambda: 0.05,
+            p: 0.5,
+            rounds: 400,
+            seed: 0x717E,
+        }
+    }
+}
+
+/// Results of a pipelined-scheme simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelinedReport {
+    /// Mean delay of delivered packets (generation → batch completion).
+    pub mean_delay: f64,
+    /// Mean round length (empirical `R·d`).
+    pub mean_round_length: f64,
+    /// Empirical round constant `R` (mean round length / d).
+    pub round_constant: f64,
+    /// Mean total backlog (stored packets) at round starts.
+    pub mean_backlog: f64,
+    /// Total backlog remaining after the last round.
+    pub final_backlog: u64,
+    /// Least-squares backlog growth per round (positive slope ⇒ unstable).
+    pub backlog_slope_per_round: f64,
+    /// Packets generated / delivered.
+    pub generated: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+}
+
+impl PipelinedReport {
+    /// Heuristic instability verdict: backlog grows by a noticeable
+    /// fraction of the per-round input.
+    pub fn looks_unstable(&self, per_round_input: f64) -> bool {
+        self.backlog_slope_per_round > 0.1 * per_round_input
+    }
+}
+
+/// Run the pipelined scheme.
+pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
+    assert!(cfg.dim >= 1 && cfg.dim <= 16, "bad dimension");
+    assert!(cfg.lambda >= 0.0 && (0.0..=1.0).contains(&cfg.p));
+    assert!(cfg.rounds >= 2);
+    let n = 1usize << cfg.dim;
+    let mut rng = SimRng::new(cfg.seed);
+    let mut arrival_rng = rng.split();
+    let mut dest_rng = rng.split();
+
+    // Per-node store of (birth time, destination).
+    let mut stores: Vec<VecDeque<(f64, u32)>> = vec![VecDeque::new(); n];
+    let mut now = 0.0f64;
+    let mut delays = Welford::new();
+    let mut round_lengths = Welford::new();
+    let mut backlog_at_round = Vec::with_capacity(cfg.rounds);
+    let mut generated = 0u64;
+    let mut delivered = 0u64;
+
+    for _ in 0..cfg.rounds {
+        backlog_at_round.push(stores.iter().map(|s| s.len()).sum::<usize>() as f64);
+
+        // Release at most one packet per node. Stores hold the destination
+        // as an XOR mask relative to the origin (Lemma 1's bit-flips);
+        // resolve to an absolute node id here.
+        let mut batch: Vec<(u32, u32)> = Vec::new();
+        let mut births: Vec<f64> = Vec::new();
+        for (node, store) in stores.iter_mut().enumerate() {
+            if let Some((born, mask)) = store.pop_front() {
+                batch.push((node as u32, node as u32 ^ mask));
+                births.push(born);
+            }
+        }
+
+        // Round length: the batch's actual completion time; an empty round
+        // idles for one unit (polling for new arrivals).
+        let round_len = if batch.is_empty() {
+            1.0
+        } else {
+            let result = route_batch_greedy(cfg.dim, &batch);
+            for (i, &born) in births.iter().enumerate() {
+                delays.push(now + result.completion[i] - born);
+                delivered += 1;
+            }
+            // A batch of self-destined packets completes instantly; the
+            // round still takes one unit of bookkeeping.
+            result.makespan.max(1.0)
+        };
+        round_lengths.push(round_len);
+
+        // Arrivals during [now, now + round_len): per-node Poisson batch
+        // with uniform birth times (order within a store is by birth).
+        for store in stores.iter_mut() {
+            let k = arrival_rng.poisson(cfg.lambda * round_len);
+            let mut times: Vec<f64> = (0..k)
+                .map(|_| now + arrival_rng.uniform01() * round_len)
+                .collect();
+            times.sort_by(f64::total_cmp);
+            for t in times {
+                let dest_mask = sample_flip_mask(&mut dest_rng, cfg.dim, cfg.p);
+                store.push_back((t, dest_mask));
+                generated += 1;
+            }
+        }
+        now += round_len;
+    }
+
+    let slope = least_squares_slope(&backlog_at_round);
+    let mean_round = round_lengths.mean();
+    PipelinedReport {
+        mean_delay: delays.mean(),
+        mean_round_length: mean_round,
+        round_constant: mean_round / cfg.dim as f64,
+        mean_backlog: backlog_at_round.iter().sum::<f64>() / backlog_at_round.len() as f64,
+        final_backlog: stores.iter().map(|s| s.len() as u64).sum(),
+        backlog_slope_per_round: slope,
+        generated,
+        delivered,
+    }
+}
+
+/// Least-squares slope of `y[i]` against `i`, over the second half of the
+/// series (transient discarded).
+pub fn least_squares_slope(ys: &[f64]) -> f64 {
+    let half = &ys[ys.len() / 2..];
+    let n = half.len() as f64;
+    if half.len() < 2 {
+        return 0.0;
+    }
+    let mean_x = (half.len() - 1) as f64 / 2.0;
+    let mean_y = half.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in half.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        num += dx * (y - mean_y);
+        den += dx * dx;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_linear_series() {
+        let ys: Vec<f64> = (0..100).map(|i| 3.0 * i as f64 + 5.0).collect();
+        assert!((least_squares_slope(&ys) - 3.0).abs() < 1e-9);
+        let flat = vec![7.0; 50];
+        assert_eq!(least_squares_slope(&flat), 0.0);
+    }
+
+    #[test]
+    fn light_load_is_stable() {
+        // λ well below 1/(Rd): backlog stays flat.
+        let cfg = PipelinedConfig {
+            dim: 4,
+            lambda: 0.02,
+            rounds: 300,
+            ..Default::default()
+        };
+        let r = simulate_pipelined(cfg);
+        let per_round_input = cfg.lambda * 16.0 * r.mean_round_length;
+        assert!(
+            !r.looks_unstable(per_round_input),
+            "slope {} at light load",
+            r.backlog_slope_per_round
+        );
+        assert!(r.delivered > 0);
+        assert!(r.round_constant > 0.1 && r.round_constant < 5.0);
+    }
+
+    #[test]
+    fn moderate_load_unstable_where_greedy_would_sail() {
+        // ρ = λp = 0.3 — trivially stable for greedy — swamps the pipeline
+        // at d=6 (threshold λRd < 1 means λ < ~1/(1.1·6) ≈ 0.15 < 0.6).
+        let cfg = PipelinedConfig {
+            dim: 6,
+            lambda: 0.6,
+            p: 0.5,
+            rounds: 150,
+            seed: 3,
+        };
+        let r = simulate_pipelined(cfg);
+        let per_round_input = cfg.lambda * 64.0 * r.mean_round_length;
+        assert!(
+            r.looks_unstable(per_round_input),
+            "expected instability, slope {}",
+            r.backlog_slope_per_round
+        );
+        assert!(r.final_backlog > 1000, "backlog {}", r.final_backlog);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = PipelinedConfig::default();
+        let a = simulate_pipelined(cfg);
+        let b = simulate_pipelined(cfg);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.mean_delay, b.mean_delay);
+    }
+
+    #[test]
+    fn zero_lambda_never_generates() {
+        let cfg = PipelinedConfig {
+            lambda: 0.0,
+            rounds: 10,
+            ..Default::default()
+        };
+        let r = simulate_pipelined(cfg);
+        assert_eq!(r.generated, 0);
+        assert_eq!(r.delivered, 0);
+    }
+}

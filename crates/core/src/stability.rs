@@ -1,0 +1,174 @@
+//! Empirical stability detection (Prop. 6 / Prop. 16 / Eq. (2) probes).
+//!
+//! A system is declared empirically unstable when the total number of
+//! in-flight packets grows with a sustained positive trend over the second
+//! half of a run. The drift is normalised by the packet *injection* rate,
+//! so the verdict reads as "fraction of offered packets that accumulate":
+//! ≈ 0 for stable systems, approaching `1 - 1/ρ` for supercritical ones.
+
+use crate::butterfly_sim::{ButterflySim, ButterflySimConfig};
+use crate::config::Scheme;
+use crate::hypercube_sim::{HypercubeSim, HypercubeSimConfig};
+use crate::pipelined::least_squares_slope;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a stability probe.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StabilityVerdict {
+    /// Raw least-squares slope of N(t) per unit time (second half).
+    pub slope: f64,
+    /// Slope divided by the total injection rate — the fraction of offered
+    /// packets that accumulate.
+    pub normalized_drift: f64,
+    /// Verdict at the drift threshold used.
+    pub stable: bool,
+    /// Mean number-in-system over the sampled second half.
+    pub mean_in_system: f64,
+}
+
+/// Default normalised-drift threshold separating stable from unstable.
+pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.05;
+
+/// Assess stability from `(time, N)` samples taken at a **fixed** interval,
+/// against the total packet injection rate.
+pub fn assess_samples(
+    samples: &[(f64, f64)],
+    injection_rate: f64,
+    threshold: f64,
+) -> StabilityVerdict {
+    assert!(samples.len() >= 8, "need at least 8 samples");
+    assert!(injection_rate > 0.0);
+    let interval = samples[1].0 - samples[0].0;
+    let ys: Vec<f64> = samples.iter().map(|&(_, n)| n).collect();
+    let slope_per_sample = least_squares_slope(&ys);
+    let slope = slope_per_sample / interval;
+    let normalized = slope / injection_rate;
+    let second_half = &ys[ys.len() / 2..];
+    StabilityVerdict {
+        slope,
+        normalized_drift: normalized,
+        stable: normalized < threshold,
+        mean_in_system: second_half.iter().sum::<f64>() / second_half.len() as f64,
+    }
+}
+
+/// Probe the hypercube under the given scheme: run without draining,
+/// sample N(t), and assess the drift.
+pub fn probe_hypercube(
+    dim: usize,
+    lambda: f64,
+    p: f64,
+    scheme: Scheme,
+    horizon: f64,
+    seed: u64,
+) -> StabilityVerdict {
+    probe_config(HypercubeSimConfig {
+        dim,
+        lambda,
+        p,
+        scheme,
+        horizon,
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Probe an arbitrary hypercube configuration (custom destination
+/// distributions, contention policies, slotted arrivals, …); `drain` and
+/// `warmup` are overridden for the probe.
+pub fn probe_config(mut cfg: HypercubeSimConfig) -> StabilityVerdict {
+    cfg.drain = false;
+    cfg.warmup = 0.0001;
+    let horizon = cfg.horizon;
+    let injection = cfg.lambda * (1usize << cfg.dim) as f64;
+    let interval = (horizon / 200.0).max(1.0);
+    let (_, samples) = HypercubeSim::new(cfg).run_sampled(interval);
+    assess_samples(&samples, injection, DEFAULT_DRIFT_THRESHOLD)
+}
+
+/// Probe the butterfly.
+pub fn probe_butterfly(
+    dim: usize,
+    lambda: f64,
+    p: f64,
+    horizon: f64,
+    seed: u64,
+) -> StabilityVerdict {
+    let cfg = ButterflySimConfig {
+        dim,
+        lambda,
+        p,
+        horizon,
+        warmup: 0.0001,
+        seed,
+        drain: false,
+        ..Default::default()
+    };
+    let interval = (horizon / 200.0).max(1.0);
+    let (_, samples) = ButterflySim::new(cfg).run_sampled(interval);
+    let injection = lambda * (1usize << dim) as f64;
+    assess_samples(&samples, injection, DEFAULT_DRIFT_THRESHOLD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcritical_hypercube_is_stable() {
+        // ρ = 0.8: Prop. 6 says stable.
+        let v = probe_hypercube(4, 1.6, 0.5, Scheme::Greedy, 2_000.0, 1);
+        assert!(v.stable, "drift {} at ρ=0.8", v.normalized_drift);
+        assert!(v.normalized_drift.abs() < 0.02);
+    }
+
+    #[test]
+    fn supercritical_hypercube_is_unstable() {
+        // ρ = 1.3 > 1: Eq. (2) says no scheme can cope. Each arc serves at
+        // most 1/time-unit; expected drift ≈ (ρ-1)/ρ of offered load.
+        let v = probe_hypercube(4, 2.6, 0.5, Scheme::Greedy, 2_000.0, 2);
+        assert!(!v.stable, "drift {} at ρ=1.3", v.normalized_drift);
+        assert!(
+            v.normalized_drift > 0.1,
+            "drift {} too small",
+            v.normalized_drift
+        );
+    }
+
+    #[test]
+    fn near_critical_stable_side() {
+        // ρ = 0.95 still stable (the paper's headline: the whole ρ < 1
+        // region works).
+        let v = probe_hypercube(4, 1.9, 0.5, Scheme::Greedy, 6_000.0, 3);
+        assert!(v.stable, "drift {} at ρ=0.95", v.normalized_drift);
+    }
+
+    #[test]
+    fn butterfly_stability_both_sides() {
+        // ρ_bf = 0.8 stable.
+        let s = probe_butterfly(4, 1.6, 0.5, 2_000.0, 4);
+        assert!(s.stable, "drift {}", s.normalized_drift);
+        // λ max{p,1-p} = 1.25 > 1 unstable.
+        let u = probe_butterfly(4, 2.5, 0.5, 2_000.0, 5);
+        assert!(!u.stable, "drift {}", u.normalized_drift);
+    }
+
+    #[test]
+    fn assess_rejects_tiny_inputs() {
+        let samples: Vec<(f64, f64)> = (0..4).map(|i| (i as f64, 0.0)).collect();
+        let r = std::panic::catch_unwind(|| assess_samples(&samples, 1.0, 0.05));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn synthetic_drift_detection() {
+        // N(t) = 0.5·t exactly: normalised drift 0.5 at injection rate 1.
+        let samples: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 0.5 * i as f64)).collect();
+        let v = assess_samples(&samples, 1.0, 0.05);
+        assert!(!v.stable);
+        assert!((v.normalized_drift - 0.5).abs() < 1e-9);
+        // Flat trajectory: stable.
+        let flat: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 10.0)).collect();
+        assert!(assess_samples(&flat, 1.0, 0.05).stable);
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal run-loop over an [`EventQueue`].
+//!
+//! A simulation is a [`Process`]: a state machine that handles one event at
+//! a time and may schedule further events. [`run_until`] drains the queue up
+//! to a horizon. Simulators that need finer control (the packet-level
+//! simulators in `hyperroute-core`) drive their queues directly; this
+//! abstraction exists so small models (single queues, the Fig. 2 network)
+//! share one tested loop.
+
+use crate::events::EventQueue;
+use crate::time::SimTime;
+
+/// Why [`run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The next event lies at or beyond the horizon (it remains queued).
+    HorizonReached,
+    /// No events remain.
+    QueueEmpty,
+    /// The process requested an early stop.
+    ProcessStopped,
+}
+
+/// A discrete-event state machine.
+pub trait Process<E> {
+    /// Handle `event` occurring at `now`; schedule follow-ups on `queue`.
+    /// Return `false` to stop the simulation immediately.
+    fn handle(&mut self, now: SimTime, event: E, queue: &mut EventQueue<E>) -> bool;
+}
+
+/// Run `process` until `horizon` (events strictly before it), the queue
+/// empties, or the process stops. Returns the stop reason and the number of
+/// events processed.
+pub fn run_until<E, P: Process<E>>(
+    process: &mut P,
+    queue: &mut EventQueue<E>,
+    horizon: SimTime,
+) -> (StopReason, u64) {
+    let mut processed = 0;
+    loop {
+        match queue.peek_time() {
+            None => return (StopReason::QueueEmpty, processed),
+            Some(t) if t >= horizon => return (StopReason::HorizonReached, processed),
+            Some(_) => {
+                let (now, ev) = queue.pop().expect("peeked event vanished");
+                processed += 1;
+                if !process.handle(now, ev, queue) {
+                    return (StopReason::ProcessStopped, processed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy process: a counter that reschedules itself every `step` until a
+    /// fixed number of firings.
+    struct Ticker {
+        step: f64,
+        remaining: u32,
+        fired_at: Vec<f64>,
+    }
+
+    impl Process<()> for Ticker {
+        fn handle(&mut self, now: f64, _ev: (), q: &mut EventQueue<()>) -> bool {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                q.push(now + self.step, ());
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn ticker_fires_until_queue_empty() {
+        let mut t = Ticker {
+            step: 0.5,
+            remaining: 4,
+            fired_at: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.push(0.0, ());
+        let (reason, n) = run_until(&mut t, &mut q, 100.0);
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(n, 5);
+        assert_eq!(t.fired_at, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn horizon_stops_and_preserves_future_events() {
+        let mut t = Ticker {
+            step: 1.0,
+            remaining: 100,
+            fired_at: vec![],
+        };
+        let mut q = EventQueue::new();
+        q.push(0.0, ());
+        let (reason, n) = run_until(&mut t, &mut q, 3.5);
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(n, 4); // events at 0,1,2,3
+        assert_eq!(q.peek_time(), Some(4.0));
+        // Resume from where we stopped.
+        let (reason2, n2) = run_until(&mut t, &mut q, 6.5);
+        assert_eq!(reason2, StopReason::HorizonReached);
+        assert_eq!(n2, 3); // 4,5,6
+    }
+
+    struct StopAfter(u32);
+    impl Process<u32> for StopAfter {
+        fn handle(&mut self, _now: f64, ev: u32, _q: &mut EventQueue<u32>) -> bool {
+            ev < self.0
+        }
+    }
+
+    #[test]
+    fn process_can_stop_early() {
+        let mut p = StopAfter(2);
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(i as f64, i);
+        }
+        let (reason, n) = run_until(&mut p, &mut q, f64::MAX);
+        assert_eq!(reason, StopReason::ProcessStopped);
+        assert_eq!(n, 3); // events 0,1 continue; 2 stops
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The paper's model — independent Poisson sources feeding a network of
+//! deterministic unit-service FIFO queues — is simulated exactly by the
+//! tools in this crate:
+//!
+//! * [`events::EventQueue`] — a future-event list with deterministic
+//!   FIFO tie-breaking for simultaneous events;
+//! * [`engine`] — a minimal process/run-loop abstraction;
+//! * [`rng::SimRng`] — seedable RNG streams with the exponential /
+//!   Poisson / Bernoulli samplers the model needs (implemented here, no
+//!   external distribution crate);
+//! * [`stats`] — streaming statistics: Welford moments, time-weighted
+//!   averages, occupancy histograms, reservoir quantiles and batch-means
+//!   confidence intervals;
+//! * [`slotted`] — the slotted-time clock of paper §3.4.
+//!
+//! Everything is deterministic given a seed, which the property tests rely
+//! on heavily.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod events;
+pub mod rng;
+pub mod slotted;
+pub mod stats;
+pub mod time;
+pub mod warmup;
+
+pub use engine::{run_until, Process, StopReason};
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use stats::{BatchMeans, OccupancyHistogram, Reservoir, TimeWeighted, Welford};
+pub use time::SimTime;

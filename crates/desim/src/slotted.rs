@@ -1,0 +1,105 @@
+//! Slotted time (paper §3.4).
+//!
+//! The time axis is divided into slots of duration `r = 1/m` for an integer
+//! `m ≥ 1` ("1/r is integer" in the paper, so packets fit slots exactly).
+//! Every node generates a Poisson-distributed **batch** of packets at the
+//! beginning of each slot, with mean `λ·r`, keeping the traffic intensity
+//! equal to the continuous-time model's.
+
+use serde::{Deserialize, Serialize};
+
+/// A slotted-time clock: slot `k` begins at `k * r`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SlotClock {
+    /// Slot duration `r`; the paper requires `1/r` integer and `r ≤ 1`.
+    slot: f64,
+    /// Inverse slot duration (`1/r`).
+    per_unit: u32,
+}
+
+impl SlotClock {
+    /// Clock with `per_unit` slots per unit time (`r = 1/per_unit`).
+    pub fn per_unit_time(per_unit: u32) -> SlotClock {
+        assert!(per_unit >= 1, "need at least one slot per unit time");
+        SlotClock {
+            slot: 1.0 / per_unit as f64,
+            per_unit,
+        }
+    }
+
+    /// Slot duration `r`.
+    #[inline]
+    pub fn slot(self) -> f64 {
+        self.slot
+    }
+
+    /// Number of slots per unit time (`1/r`).
+    #[inline]
+    pub fn slots_per_unit(self) -> u32 {
+        self.per_unit
+    }
+
+    /// Start time of slot `k`.
+    #[inline]
+    pub fn start_of(self, k: u64) -> f64 {
+        k as f64 * self.slot
+    }
+
+    /// Index of the slot containing time `t` (boundaries belong to the
+    /// starting slot).
+    ///
+    /// Slot durations like 1/3 are not representable in binary floating
+    /// point, so the division is nudged by 1 ns-scale epsilon to keep exact
+    /// boundaries in their own slot.
+    #[inline]
+    pub fn slot_of(self, t: f64) -> u64 {
+        debug_assert!(t >= 0.0);
+        (t * self.per_unit as f64 + 1e-9).floor() as u64
+    }
+
+    /// The first slot boundary at or after `t`.
+    #[inline]
+    pub fn next_boundary(self, t: f64) -> f64 {
+        let k = (t * self.per_unit as f64 - 1e-9).ceil().max(0.0) as u64;
+        self.start_of(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_exact_for_unit_slots() {
+        let c = SlotClock::per_unit_time(1);
+        assert_eq!(c.slot(), 1.0);
+        assert_eq!(c.start_of(17), 17.0);
+        assert_eq!(c.slot_of(16.999), 16);
+        assert_eq!(c.slot_of(17.0), 17);
+    }
+
+    #[test]
+    fn quarter_slots() {
+        let c = SlotClock::per_unit_time(4);
+        assert_eq!(c.slot(), 0.25);
+        assert_eq!(c.start_of(3), 0.75);
+        assert_eq!(c.slot_of(0.74), 2);
+        assert_eq!(c.slot_of(0.75), 3);
+        assert_eq!(c.next_boundary(0.6), 0.75);
+        assert_eq!(c.next_boundary(0.75), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn rejects_zero() {
+        SlotClock::per_unit_time(0);
+    }
+
+    #[test]
+    fn slot_of_inverts_start_of() {
+        let c = SlotClock::per_unit_time(3);
+        for k in 0..1000u64 {
+            assert_eq!(c.slot_of(c.start_of(k)), k);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Warm-up (initial-transient) detection via MSER-5.
+//!
+//! The experiment harnesses default to a fixed 20% warm-up fraction; this
+//! module provides the MSER-5 rule (White 1997) as a data-driven
+//! alternative, used by the high-load stability probes where transients
+//! are longest: group the observation series into batches of 5, then pick
+//! the truncation point that minimises the standard error of the remaining
+//! batch means.
+
+/// MSER statistic for truncating the first `k` of `ys`: the squared
+/// standard error of the mean of the remainder.
+fn mser_stat(ys: &[f64], k: usize) -> f64 {
+    let rest = &ys[k..];
+    let n = rest.len() as f64;
+    let mean = rest.iter().sum::<f64>() / n;
+    rest.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (n * n)
+}
+
+/// MSER-5 truncation: returns the index into `samples` before which
+/// observations should be discarded. The search is limited to the first
+/// half of the series (the standard guard against degenerate minima).
+pub fn mser5_truncation_index(samples: &[f64]) -> usize {
+    const BATCH: usize = 5;
+    if samples.len() < 4 * BATCH {
+        return 0;
+    }
+    let batches: Vec<f64> = samples
+        .chunks_exact(BATCH)
+        .map(|c| c.iter().sum::<f64>() / BATCH as f64)
+        .collect();
+    let max_k = batches.len() / 2;
+    let best_k = (0..=max_k)
+        .min_by(|&a, &b| mser_stat(&batches, a).total_cmp(&mser_stat(&batches, b)))
+        .unwrap_or(0);
+    best_k * BATCH
+}
+
+/// Mean of the post-truncation portion of `samples` under MSER-5.
+pub fn truncated_mean(samples: &[f64]) -> f64 {
+    let k = mser5_truncation_index(samples);
+    let rest = &samples[k..];
+    if rest.is_empty() {
+        return 0.0;
+    }
+    rest.iter().sum::<f64>() / rest.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn stationary_series_keeps_everything_early() {
+        let mut rng = SimRng::new(1);
+        let ys: Vec<f64> = (0..500).map(|_| 5.0 + rng.uniform01()).collect();
+        let k = mser5_truncation_index(&ys);
+        // No transient: truncation should stay small.
+        assert!(k <= ys.len() / 4, "truncated {k} of {}", ys.len());
+        assert!((truncated_mean(&ys) - 5.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn detects_initial_transient() {
+        // Ramp from 0 to 10 over the first 100 samples, then stationary.
+        let mut rng = SimRng::new(2);
+        let ys: Vec<f64> = (0..600)
+            .map(|i| {
+                let level = if i < 100 { i as f64 / 10.0 } else { 10.0 };
+                level + rng.uniform01() * 0.5
+            })
+            .collect();
+        let k = mser5_truncation_index(&ys);
+        assert!(k >= 50, "failed to cut the ramp (k = {k})");
+        assert!((truncated_mean(&ys) - 10.25).abs() < 0.3);
+    }
+
+    #[test]
+    fn short_series_untouched() {
+        let ys = vec![1.0; 10];
+        assert_eq!(mser5_truncation_index(&ys), 0);
+    }
+
+    #[test]
+    fn truncation_never_exceeds_half() {
+        let mut rng = SimRng::new(3);
+        let ys: Vec<f64> = (0..300).map(|i| i as f64 + rng.uniform01()).collect();
+        // Even for a pure trend the guard caps truncation at half.
+        assert!(mser5_truncation_index(&ys) <= 150);
+    }
+
+    #[test]
+    fn empty_truncated_mean_is_zero() {
+        assert_eq!(truncated_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! E10 — the product form of the PS comparison network Q̄ ([Wal88] as used
+//! in §3.3): per-server occupancy is geometric(ρ) and
+//! `N̄ = d·2^d·ρ/(1-ρ)`.
+
+use crate::runner::parallel_map;
+use crate::table::{f4, yn, Table};
+use crate::Scale;
+use hyperroute_core::equivalent_network::{Discipline, EqNetConfig, EqNetSim};
+use hyperroute_topology::{Hypercube, LevelledNetwork};
+
+/// PS-network occupancy distribution vs geometric(ρ), plus the total mean.
+pub fn run(scale: Scale) -> Table {
+    let d = 3usize;
+    let horizon = scale.horizon(30_000.0);
+    let p = 0.5;
+    let rhos = [0.5, 0.8];
+
+    let runs = parallel_map(rhos.to_vec(), 0, |rho| {
+        let lambda = rho / p;
+        let net = LevelledNetwork::equivalent_q(Hypercube::new(d), lambda, p);
+        let cfg = EqNetConfig {
+            discipline: Discipline::Ps,
+            horizon,
+            warmup: horizon * 0.15,
+            seed: 0xE10 ^ (rho * 10.0) as u64,
+            drain: true,
+            record_departures: false,
+            occupancy_cap: 8,
+        };
+        (rho, EqNetSim::new(&net, cfg).run())
+    });
+
+    let mut t = Table::new(
+        format!("E10 product form of Q-bar (d={d}, p={p}) — geometric occupancy"),
+        &["rho", "n", "frac_meas", "geometric", "abs_err", "ok"],
+    );
+    for (rho, r) in runs {
+        let servers = r.occupancy_fractions.len() as f64;
+        for n in 0..5usize {
+            let avg: f64 =
+                r.occupancy_fractions.iter().map(|f| f[n]).sum::<f64>() / servers;
+            let geo = (1.0 - rho) * rho.powi(n as i32);
+            let err = (avg - geo).abs();
+            t.row(vec![
+                f4(rho),
+                n.to_string(),
+                f4(avg),
+                f4(geo),
+                f4(err),
+                yn(err < 0.02),
+            ]);
+        }
+        // Total-mean row (n column marked "total").
+        let expect = d as f64 * 8.0 * rho / (1.0 - rho);
+        let err = (r.mean_in_system - expect).abs() / expect;
+        t.row(vec![
+            f4(rho),
+            "total".into(),
+            f4(r.mean_in_system),
+            f4(expect),
+            f4(err),
+            yn(err < 0.08),
+        ]);
+    }
+    t.note("'total' rows compare N̄ against d·2^d·ρ/(1-ρ) with relative error");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_everywhere() {
+        let t = run(Scale::Quick);
+        let ok = t.col("ok");
+        for row in &t.rows {
+            assert_eq!(row[ok], "yes", "{row:?}");
+        }
+    }
+}

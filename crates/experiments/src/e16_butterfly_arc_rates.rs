@@ -1,0 +1,58 @@
+//! E16 — Prop. 15: butterfly arc rates are `λ(1-p)` on straight and `λp`
+//! on vertical arcs, at every level.
+
+use crate::table::{f4, yn, Table};
+use crate::Scale;
+use hyperroute_core::butterfly_sim::{ButterflySim, ButterflySimConfig};
+
+/// Per-level, per-kind measured arrival rates.
+pub fn run(scale: Scale) -> Table {
+    let d = scale.dim(8);
+    let horizon = scale.horizon(8_000.0);
+    let (lambda, p) = (1.0, 0.3);
+
+    let cfg = ButterflySimConfig {
+        dim: d,
+        lambda,
+        p,
+        horizon,
+        warmup: horizon * 0.2,
+        seed: 0xE16,
+        ..Default::default()
+    };
+    let r = ButterflySim::new(cfg).run();
+
+    let mut t = Table::new(
+        format!("E16 Prop.15 — butterfly per-arc rates (d={d}, lambda={lambda}, p={p})"),
+        &["level", "straight_meas", "straight_pred", "vertical_meas", "vertical_pred", "ok"],
+    );
+    let (ps, pv) = (lambda * (1.0 - p), lambda * p);
+    for lvl in 0..d {
+        let s = r.straight_rate_per_level[lvl];
+        let v = r.vertical_rate_per_level[lvl];
+        let ok = (s - ps).abs() / ps < 0.05 && (v - pv).abs() / pv < 0.05;
+        t.row(vec![
+            lvl.to_string(),
+            f4(s),
+            f4(ps),
+            f4(v),
+            f4(pv),
+            yn(ok),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_prop15() {
+        let t = run(Scale::Quick);
+        let ok = t.col("ok");
+        for row in &t.rows {
+            assert_eq!(row[ok], "yes", "{row:?}");
+        }
+    }
+}

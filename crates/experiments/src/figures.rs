@@ -1,0 +1,83 @@
+//! Structural figures (Figs. 1a, 1b, 2a, 3a, 3b): the paper's diagrams as
+//! validated constructions plus Graphviz output.
+
+use crate::table::{yn, Table};
+use crate::Scale;
+use hyperroute_topology::dot;
+use hyperroute_topology::{Butterfly, Hypercube, LevelledNetwork};
+
+/// Structural checks: node/arc/level counts of every figure's object.
+pub fn run(_scale: Scale) -> Table {
+    let cube3 = Hypercube::new(3);
+    let q3 = LevelledNetwork::equivalent_q(cube3, 1.0, 0.5);
+    let fig2 = LevelledNetwork::fig2_network(0.3, 0.3, 0.2, 0.5, 0.5);
+    let bf2 = Butterfly::new(2);
+    let r2 = LevelledNetwork::equivalent_r(bf2, 1.0, 0.5);
+
+    let mut t = Table::new(
+        "Figures — structural reproduction of the paper's diagrams",
+        &["figure", "object", "quantity", "paper", "built", "match"],
+    );
+    let mut check = |fig: &str, obj: &str, q: &str, paper: usize, built: usize| {
+        t.row(vec![
+            fig.into(),
+            obj.into(),
+            q.into(),
+            paper.to_string(),
+            built.to_string(),
+            yn(paper == built),
+        ]);
+    };
+    check("1a", "3-cube", "nodes", 8, cube3.num_nodes());
+    check("1a", "3-cube", "arcs", 24, cube3.num_arcs());
+    check("1b", "network Q", "servers", 24, q3.num_servers());
+    check("1b", "network Q", "levels", 3, q3.num_levels());
+    check("2a", "network G", "servers", 3, fig2.num_servers());
+    check("2a", "network G", "levels", 2, fig2.num_levels());
+    check("3a", "2-butterfly", "nodes", 12, bf2.num_nodes());
+    check("3a", "2-butterfly", "arcs", 16, bf2.num_arcs());
+    check("3b", "network R", "servers", 16, r2.num_servers());
+    check("3b", "network R", "levels", 2, r2.num_levels());
+    t
+}
+
+/// The figures as Graphviz DOT documents, ready to render.
+pub fn dot_documents() -> Vec<(&'static str, String)> {
+    let cube3 = Hypercube::new(3);
+    let q3 = LevelledNetwork::equivalent_q(cube3, 1.0, 0.5);
+    let fig2 = LevelledNetwork::fig2_network(0.3, 0.3, 0.2, 0.5, 0.5);
+    let bf2 = Butterfly::new(2);
+    let r2 = LevelledNetwork::equivalent_r(bf2, 1.0, 0.5);
+    vec![
+        ("fig1a_hypercube_3d.dot", dot::hypercube_dot(cube3)),
+        ("fig1b_network_q_3d.dot", dot::levelled_dot(&q3, "Q3")),
+        ("fig2a_lemma9_network.dot", dot::levelled_dot(&fig2, "G")),
+        ("fig3a_butterfly_2d.dot", dot::butterfly_dot(bf2)),
+        ("fig3b_network_r_2d.dot", dot::levelled_dot(&r2, "R2")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_structures_match_paper() {
+        let t = run(Scale::Quick);
+        let ok = t.col("match");
+        assert_eq!(t.rows.len(), 10);
+        for row in &t.rows {
+            assert_eq!(row[ok], "yes", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn five_dot_documents() {
+        let docs = dot_documents();
+        assert_eq!(docs.len(), 5);
+        for (name, dot) in docs {
+            assert!(dot.starts_with("digraph"), "{name} not a digraph");
+            assert!(dot.trim_end().ends_with('}'), "{name} unterminated");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Erlang B/C formulas and the Cosmetatos M/D/s approximation.
+//!
+//! Used as an *independent cross-check* of the exact M/D/s simulator in
+//! [`crate::mds`] (and of our finding that the paper's printed Brumelle
+//! form is not a pointwise bound): `W_q(M/D/s) ≈ ½·W_q(M/M/s)·cosmetatos`
+//! is accurate to a few percent over the whole stable region.
+
+/// Erlang-B blocking probability for `s` servers at offered load `a`
+/// (recursive form, numerically stable).
+pub fn erlang_b(servers: u32, offered_load: f64) -> f64 {
+    assert!(servers >= 1 && offered_load >= 0.0);
+    let a = offered_load;
+    let mut b = 1.0f64;
+    for k in 1..=servers {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+/// Erlang-C probability of waiting for `s` servers at offered load
+/// `a = λ·E[S] < s`.
+pub fn erlang_c(servers: u32, offered_load: f64) -> f64 {
+    let a = offered_load;
+    let s = servers as f64;
+    assert!(a < s, "need offered load < servers for a stable M/M/s");
+    let b = erlang_b(servers, a);
+    b / (1.0 - (a / s) * (1.0 - b))
+}
+
+/// Mean waiting time (queue only) of M/M/s with unit mean service and
+/// per-server utilisation `rho`: `C(s, sρ) / (s(1-ρ))`.
+pub fn mms_mean_wait(servers: u32, rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho));
+    let a = servers as f64 * rho;
+    erlang_c(servers, a) / (servers as f64 * (1.0 - rho))
+}
+
+/// Cosmetatos approximation to the M/D/s mean waiting time (unit
+/// service): `W_q(M/D/s) ≈ ½·W_q(M/M/s)·[1 + (1-ρ)(s-1)(√(4+5s)-2)/(16ρs)]`.
+pub fn mds_mean_wait_cosmetatos(servers: u32, rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho) && rho > 0.0);
+    let s = servers as f64;
+    let corr = 1.0 + (1.0 - rho) * (s - 1.0) * ((4.0 + 5.0 * s).sqrt() - 2.0) / (16.0 * rho * s);
+    0.5 * mms_mean_wait(servers, rho) * corr
+}
+
+/// Approximate M/D/s mean sojourn (wait + unit service).
+pub fn mds_mean_sojourn_cosmetatos(servers: u32, rho: f64) -> f64 {
+    1.0 + mds_mean_wait_cosmetatos(servers, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic: B(1, a) = a/(1+a).
+        assert!((erlang_b(1, 1.0) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(1, 3.0) - 0.75).abs() < 1e-12);
+        // B decreases with more servers.
+        assert!(erlang_b(4, 2.0) < erlang_b(2, 2.0));
+    }
+
+    #[test]
+    fn erlang_c_exceeds_erlang_b() {
+        // Queueing (C) is more likely than blocking (B) at equal load.
+        for &(s, a) in &[(2u32, 1.0f64), (4, 3.0), (8, 6.0)] {
+            assert!(erlang_c(s, a) >= erlang_b(s, a));
+            assert!((0.0..=1.0).contains(&erlang_c(s, a)));
+        }
+    }
+
+    #[test]
+    fn mms_single_server_is_mm1() {
+        // M/M/1 wait = ρ/(1-ρ) with unit mean service.
+        for &rho in &[0.3, 0.6, 0.9] {
+            let w = mms_mean_wait(1, rho);
+            assert!((w - rho / (1.0 - rho)).abs() < 1e-12, "ρ={rho}: {w}");
+        }
+    }
+
+    #[test]
+    fn cosmetatos_single_server_is_md1() {
+        // s = 1: correction vanishes, W_q = ½·ρ/(1-ρ) = PK for M/D/1.
+        for &rho in &[0.3, 0.7, 0.95] {
+            let w = mds_mean_wait_cosmetatos(1, rho);
+            assert!((w - crate::md1::mean_wait(rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cosmetatos_matches_exact_simulation() {
+        // The independent cross-check: approximation vs the exact
+        // event-driven M/D/s simulator, within a few percent.
+        for &(s, rho) in &[(2u32, 0.7f64), (4, 0.8), (8, 0.6)] {
+            let sim = crate::mds::simulate_mean_sojourn(s as usize, rho, 80_000.0, 8_000.0, 77);
+            let approx = mds_mean_sojourn_cosmetatos(s, rho);
+            let rel = (sim - approx).abs() / sim;
+            assert!(
+                rel < 0.04,
+                "s={s} ρ={rho}: sim {sim} vs Cosmetatos {approx} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn cosmetatos_refutes_paper_printed_form_at_moderate_load() {
+        // Documents the mds.rs finding with an independent method: at
+        // s=2, ρ=0.7 the printed 1 + ρ/(2s(1-ρ)) exceeds the true delay.
+        let printed = crate::mds::paper_heavy_traffic_form(2.0, 0.7);
+        let approx = mds_mean_sojourn_cosmetatos(2, 0.7);
+        assert!(printed > approx + 0.05, "{printed} vs {approx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stable")]
+    fn erlang_c_rejects_overload() {
+        erlang_c(2, 2.5);
+    }
+}

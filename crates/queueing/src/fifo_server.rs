@@ -1,0 +1,131 @@
+//! Sample-path departures of a deterministic FIFO server (Lemma 8's
+//! object).
+//!
+//! For arrival times `t_1 ≤ t_2 ≤ …` and service duration `s`, departures
+//! follow the Lindley-style recursion
+//! `D_1 = t_1 + s`, `D_i = max(D_{i-1}, t_i) + s` — the exact equations
+//! used in the proof of Lemma 8.
+
+/// Incremental deterministic FIFO server.
+#[derive(Clone, Debug)]
+pub struct FifoServer {
+    service: f64,
+    last_departure: f64,
+    served: u64,
+}
+
+impl FifoServer {
+    /// Server with the given deterministic service duration.
+    pub fn new(service: f64) -> FifoServer {
+        assert!(service > 0.0);
+        FifoServer {
+            service,
+            last_departure: f64::NEG_INFINITY,
+            served: 0,
+        }
+    }
+
+    /// Unit-service server (the paper's model).
+    pub fn unit() -> FifoServer {
+        FifoServer::new(1.0)
+    }
+
+    /// Register an arrival at `t` (must not precede earlier arrivals) and
+    /// return its departure time.
+    pub fn arrive(&mut self, t: f64) -> f64 {
+        let d = t.max(self.last_departure) + self.service;
+        self.last_departure = d;
+        self.served += 1;
+        d
+    }
+
+    /// Unfinished work at time `t⁻` given that all arrivals so far have
+    /// been registered: how much service backlog remains just before `t`.
+    pub fn workload_before(&self, t: f64) -> f64 {
+        (self.last_departure - t).max(0.0)
+    }
+
+    /// Number of arrivals registered.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+/// Departure times of a deterministic FIFO server with service `s` fed by
+/// the (sorted) arrival sequence.
+pub fn fifo_departures(arrivals: &[f64], service: f64) -> Vec<f64> {
+    debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "unsorted input");
+    let mut server = FifoServer::new(service);
+    arrivals.iter().map(|&t| server.arrive(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_arrivals_get_pure_service() {
+        let d = fifo_departures(&[0.0, 5.0, 12.0], 1.0);
+        assert_eq!(d, vec![1.0, 6.0, 13.0]);
+    }
+
+    #[test]
+    fn back_to_back_arrivals_queue_up() {
+        let d = fifo_departures(&[0.0, 0.0, 0.0, 0.0], 1.0);
+        assert_eq!(d, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn lindley_recursion_explicitly() {
+        let arrivals = [0.0, 0.5, 0.9, 4.0];
+        let d = fifo_departures(&arrivals, 1.0);
+        assert_eq!(d[0], 1.0);
+        assert_eq!(d[1], 2.0); // max(1.0, 0.5)+1
+        assert_eq!(d[2], 3.0); // max(2.0, 0.9)+1
+        assert_eq!(d[3], 5.0); // idle gap, then service
+    }
+
+    #[test]
+    fn lemma_8_monotonicity_random_paths() {
+        // If every arrival is delayed, every departure is delayed.
+        let mut x: u64 = 0xDEADBEEF;
+        let mut rngf = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..50 {
+            let mut t = 0.0;
+            let arrivals: Vec<f64> = (0..200)
+                .map(|_| {
+                    t += rngf() * 2.0;
+                    t
+                })
+                .collect();
+            let delayed: Vec<f64> = arrivals.iter().map(|&t| t + rngf()).collect();
+            let mut sorted_delayed = delayed.clone();
+            sorted_delayed.sort_by(f64::total_cmp);
+            let d0 = fifo_departures(&arrivals, 1.0);
+            let d1 = fifo_departures(&sorted_delayed, 1.0);
+            for (a, b) in d0.iter().zip(&d1) {
+                assert!(b >= a, "Lemma 8 violated: {b} < {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_before_accounts_backlog() {
+        let mut s = FifoServer::unit();
+        s.arrive(0.0);
+        s.arrive(0.0);
+        // Two units of work at time 0; at t=0.5, 1.5 remain.
+        assert!((s.workload_before(0.5) - 1.5).abs() < 1e-12);
+        assert_eq!(s.workload_before(10.0), 0.0);
+        assert_eq!(s.served(), 2);
+    }
+
+    #[test]
+    fn non_unit_service() {
+        let d = fifo_departures(&[0.0, 0.1], 2.5);
+        assert_eq!(d, vec![2.5, 5.0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Queueing-theory substrate for the greedy-routing reproduction.
+//!
+//! The paper's proofs lean on a handful of classical queueing facts; this
+//! crate implements all of them from scratch:
+//!
+//! * [`mm1`] — M/M/1 stationary formulas (the product-form network behaves
+//!   as independent M/M/1 queues in occupancy);
+//! * [`md1`] — M/D/1 Pollaczek–Khinchine formulas (Props. 3, 13, 14 use
+//!   them for single arcs);
+//! * [`mds`] — the M/D/s multi-server queue: Brumelle's delay lower bound
+//!   (used in Prop. 2) plus an exact event-driven simulator;
+//! * [`fifo_server`] / [`ps_server`] — **sample-path** departure processes
+//!   of a deterministic server under FIFO and Processor-Sharing service,
+//!   the objects of Lemmas 7 and 8;
+//! * [`sample_path`] — "delayed version" comparisons between event streams
+//!   (the ordering at the heart of Lemmas 7–10);
+//! * [`product_form`] — stationary quantities of product-form networks
+//!   with per-server geometric occupancy ([Wal88] as used in Props. 12
+//!   and 17);
+//! * [`little`] — Little's-law conversions and consistency checks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod erlang;
+pub mod fifo_server;
+pub mod little;
+pub mod md1;
+pub mod mds;
+pub mod mg1;
+pub mod mm1;
+pub mod product_form;
+pub mod ps_server;
+pub mod sample_path;
+
+pub use fifo_server::{fifo_departures, FifoServer};
+pub use ps_server::{ps_departures, PsServer};

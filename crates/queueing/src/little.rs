@@ -1,0 +1,80 @@
+//! Little's law `N = λT` and simulation cross-checks.
+//!
+//! Both headline bounds (Props. 12 and 17) are proved by bounding the mean
+//! number-in-system of a product-form network and converting through
+//! Little's law; the simulators verify their own measurements the same way.
+
+/// Mean delay from mean number-in-system and throughput: `T = N / λ`.
+pub fn delay_from_occupancy(mean_in_system: f64, throughput: f64) -> f64 {
+    assert!(throughput > 0.0, "throughput must be positive");
+    mean_in_system / throughput
+}
+
+/// Mean number-in-system from delay and throughput: `N = λ T`.
+pub fn occupancy_from_delay(mean_delay: f64, throughput: f64) -> f64 {
+    mean_delay * throughput
+}
+
+/// A Little's-law consistency report between two independent measurements
+/// of the same system: time-averaged `N`, packet-averaged `T`, and the
+/// measured throughput `λ`.
+#[derive(Clone, Copy, Debug)]
+pub struct LittleCheck {
+    /// Time-average number in system.
+    pub mean_in_system: f64,
+    /// Per-packet average delay.
+    pub mean_delay: f64,
+    /// Measured departure rate.
+    pub throughput: f64,
+}
+
+impl LittleCheck {
+    /// Relative discrepancy `|N - λT| / max(N, λT)`; near zero for a
+    /// well-converged stationary simulation.
+    pub fn relative_error(&self) -> f64 {
+        let lhs = self.mean_in_system;
+        let rhs = self.throughput * self.mean_delay;
+        let denom = lhs.abs().max(rhs.abs()).max(f64::MIN_POSITIVE);
+        (lhs - rhs).abs() / denom
+    }
+
+    /// Does the identity hold within `tol` relative error?
+    pub fn holds(&self, tol: f64) -> bool {
+        self.relative_error() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_inverse() {
+        let (n, lam) = (12.5, 2.5);
+        let t = delay_from_occupancy(n, lam);
+        assert!((occupancy_from_delay(t, lam) - n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_detects_consistency() {
+        let ok = LittleCheck {
+            mean_in_system: 10.0,
+            mean_delay: 5.0,
+            throughput: 2.0,
+        };
+        assert!(ok.holds(1e-12));
+        let bad = LittleCheck {
+            mean_in_system: 10.0,
+            mean_delay: 4.0,
+            throughput: 2.0,
+        };
+        assert!(!bad.holds(0.1));
+        assert!((bad.relative_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_throughput() {
+        delay_from_occupancy(1.0, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! M/G/1 Pollaczek–Khinchine formulas for general service-time moments.
+//!
+//! The §2.3 pipelined scheme turns every node into an M/G/1 queue whose
+//! service time is one routing round (`≈ R·d`, nearly deterministic); the
+//! slotted model's batch fronts are another M/G/1-like object. This module
+//! provides the general formulas; `md1` is the deterministic special case.
+
+/// Mean waiting time (queue only) of M/G/1:
+/// `W_q = λ·E[S²] / (2(1-ρ))` with `ρ = λ·E[S] < 1`.
+pub fn mean_wait(lambda: f64, mean_service: f64, second_moment: f64) -> f64 {
+    validate(lambda, mean_service, second_moment);
+    let rho = lambda * mean_service;
+    assert!(rho < 1.0, "unstable M/G/1 (ρ = {rho})");
+    lambda * second_moment / (2.0 * (1.0 - rho))
+}
+
+/// Mean sojourn time: `W = E[S] + W_q`.
+pub fn mean_sojourn(lambda: f64, mean_service: f64, second_moment: f64) -> f64 {
+    mean_service + mean_wait(lambda, mean_service, second_moment)
+}
+
+/// Mean number in system through Little's law.
+pub fn mean_number_in_system(lambda: f64, mean_service: f64, second_moment: f64) -> f64 {
+    lambda * mean_sojourn(lambda, mean_service, second_moment)
+}
+
+/// Squared coefficient of variation `c² = Var(S)/E[S]²`, the shape
+/// parameter in the PK formula (`0` deterministic, `1` exponential).
+pub fn scv(mean_service: f64, second_moment: f64) -> f64 {
+    assert!(mean_service > 0.0);
+    (second_moment - mean_service * mean_service) / (mean_service * mean_service)
+}
+
+fn validate(lambda: f64, mean_service: f64, second_moment: f64) {
+    assert!(lambda >= 0.0, "negative arrival rate");
+    assert!(mean_service > 0.0, "non-positive mean service");
+    assert!(
+        second_moment >= mean_service * mean_service - 1e-12,
+        "second moment below squared mean"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_service_recovers_md1() {
+        // S ≡ 1: E[S²] = 1.
+        for &rho in &[0.2, 0.5, 0.9] {
+            let w = mean_sojourn(rho, 1.0, 1.0);
+            assert!((w - crate::md1::mean_sojourn(rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exponential_service_recovers_mm1() {
+        // S ~ exp(1): E[S] = 1, E[S²] = 2.
+        let lambda = 0.6;
+        let w = mean_sojourn(lambda, 1.0, 2.0);
+        assert!((w - crate::mm1::mean_sojourn(lambda, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_halves_exponential_wait() {
+        let lambda = 0.7;
+        let det = mean_wait(lambda, 1.0, 1.0);
+        let exp = mean_wait(lambda, 1.0, 2.0);
+        assert!((exp / det - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scv_values() {
+        assert_eq!(scv(1.0, 1.0), 0.0); // deterministic
+        assert!((scv(1.0, 2.0) - 1.0).abs() < 1e-12); // exponential
+        assert!(scv(2.0, 8.0) > 0.0);
+    }
+
+    #[test]
+    fn pipelined_round_model() {
+        // §2.3: service ≈ R·d deterministic; ρ_node = λ·R·d.
+        let (r, d, lambda) = (2.0, 8.0, 0.05);
+        let s = r * d;
+        let w = mean_sojourn(lambda, s, s * s);
+        // u = 0.8 → W = 16·(1 + 0.8/(2·0.2)) = 16·3 = 48.
+        assert!((w - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_overload() {
+        mean_wait(1.0, 2.0, 4.0);
+    }
+}

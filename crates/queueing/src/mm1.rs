@@ -1,0 +1,71 @@
+//! M/M/1 stationary formulas.
+//!
+//! Poisson arrivals at rate `λ`, exponential service at rate `μ`,
+//! utilisation `ρ = λ/μ < 1`. The per-server marginals of the product-form
+//! network Q̄ (paper §3.3) are geometric with parameter `ρ`, exactly the
+//! M/M/1 occupancy law, which is why these formulas appear throughout the
+//! upper-bound computations.
+
+/// Stationary probability of `n` customers in an M/M/1 queue with
+/// utilisation `rho`: `(1-ρ) ρ^n`.
+pub fn occupancy_pmf(rho: f64, n: u32) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "need 0 ≤ ρ < 1, got {rho}");
+    (1.0 - rho) * rho.powi(n as i32)
+}
+
+/// Mean number in system: `ρ / (1-ρ)`.
+pub fn mean_number_in_system(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "need 0 ≤ ρ < 1, got {rho}");
+    rho / (1.0 - rho)
+}
+
+/// Mean sojourn time with service rate `mu`: `1 / (μ - λ)`.
+pub fn mean_sojourn(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda >= 0.0 && mu > 0.0 && lambda < mu, "unstable M/M/1");
+    1.0 / (mu - lambda)
+}
+
+/// Mean waiting time (sojourn minus service): `ρ / (μ - λ)`.
+pub fn mean_wait(lambda: f64, mu: f64) -> f64 {
+    mean_sojourn(lambda, mu) - 1.0 / mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let rho = 0.85;
+        let total: f64 = (0..2000).map(|n| occupancy_pmf(rho, n)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_mean_matches_formula() {
+        let rho = 0.6;
+        let mean: f64 = (0..2000).map(|n| n as f64 * occupancy_pmf(rho, n)).sum();
+        assert!((mean - mean_number_in_system(rho)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn little_consistency() {
+        // N = λ T with T the sojourn.
+        let (lambda, mu) = (0.7, 1.0);
+        let n = mean_number_in_system(lambda / mu);
+        let t = mean_sojourn(lambda, mu);
+        assert!((n - lambda * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_is_sojourn_minus_service() {
+        let (lambda, mu) = (1.5, 2.0);
+        assert!((mean_wait(lambda, mu) - (mean_sojourn(lambda, mu) - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_unstable() {
+        mean_sojourn(2.0, 1.0);
+    }
+}

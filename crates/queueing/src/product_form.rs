@@ -1,0 +1,148 @@
+//! Product-form network quantities ([Wal88] pp. 93–94 as used in §3.3 and
+//! §4.3).
+//!
+//! When every server of the levelled network is switched from FIFO to
+//! Processor Sharing, the network becomes product-form: in steady state the
+//! number of customers at a server with utilisation `ρ_i` is geometric,
+//! `P[n] = (1-ρ_i) ρ_i^n`, independently across servers. Everything the
+//! paper needs — `N̄ = Σ ρ_i/(1-ρ_i)`, delays via Little, and the Chernoff
+//! concentration of the total — follows from these marginals.
+
+/// Stationary probability that a PS server with utilisation `rho` hosts
+/// exactly `n` customers.
+pub fn geometric_pmf(rho: f64, n: u32) -> f64 {
+    crate::mm1::occupancy_pmf(rho, n)
+}
+
+/// Mean number of customers at one PS server: `ρ/(1-ρ)`.
+pub fn server_mean(rho: f64) -> f64 {
+    crate::mm1::mean_number_in_system(rho)
+}
+
+/// Mean total customers over all servers: `Σ ρ_i/(1-ρ_i)`.
+///
+/// Returns `None` when any utilisation is ≥ 1 (unstable network).
+pub fn network_mean(rhos: &[f64]) -> Option<f64> {
+    let mut total = 0.0;
+    for &r in rhos {
+        if !(0.0..1.0).contains(&r) {
+            return None;
+        }
+        total += r / (1.0 - r);
+    }
+    Some(total)
+}
+
+/// Mean network delay through Little's law: `T̄ = N̄ / Λ` where `Λ` is the
+/// total external arrival rate.
+pub fn network_mean_delay(rhos: &[f64], total_external_rate: f64) -> Option<f64> {
+    assert!(total_external_rate > 0.0);
+    network_mean(rhos).map(|n| n / total_external_rate)
+}
+
+/// Chernoff-style high-probability bound on the total number of customers
+/// (end of §3.3): for `m` i.i.d.-independent geometric marginals with common
+/// utilisation `rho`, `P[N > m·(ρ/(1-ρ))·(1+ε)]` decays exponentially in
+/// `m`. This returns the optimised exponent per server (a positive number;
+/// the probability is `≤ exp(-m · exponent)`).
+///
+/// Derivation: for a geometric(ρ) variable `X` (counting failures),
+/// `E[z^X] = (1-ρ)/(1-ρz)` for `z < 1/ρ`; the Chernoff bound over the mean
+/// `a = (1+ε)ρ/(1-ρ)` optimises `exp(-θa)·E[e^{θX}]`.
+pub fn chernoff_exponent(rho: f64, epsilon: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho) && rho > 0.0);
+    assert!(epsilon > 0.0);
+    let mean = rho / (1.0 - rho);
+    let a = (1.0 + epsilon) * mean;
+    // Optimal tilt for geometric: e^θ = z with z solving a = ρz/(1-ρz)·...
+    // Closed form: the rate function of geometric(ρ) at level a is
+    //   I(a) = a ln(a / ((1+a) ρ/(1-ρ) / (1+ρ/(1-ρ)))) ... use the standard
+    // form I(a) = a ln(a(1-ρ)/ρ) - (1+a) ln((1+a)(1-ρ)) for a > mean,
+    // derived from sup_θ {θa - ln E[e^{θX}]}.
+    let i = a * (a / ((1.0 + a) * rho)).ln() - ((1.0 - rho) * (1.0 + a)).ln().neg_zero();
+    debug_assert!(i.is_finite());
+    i.max(0.0)
+}
+
+trait NegZero {
+    fn neg_zero(self) -> f64;
+}
+impl NegZero for f64 {
+    /// Normalise `-0.0` to `0.0` so downstream `max` comparisons behave.
+    fn neg_zero(self) -> f64 {
+        if self == 0.0 {
+            0.0
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_mean_homogeneous() {
+        // m identical servers: N̄ = m·ρ/(1-ρ) — the d·2^d·ρ/(1-ρ) of
+        // Prop. 12's proof.
+        let rho = 0.75;
+        let m = 24;
+        let rhos = vec![rho; m];
+        let n = network_mean(&rhos).unwrap();
+        assert!((n - m as f64 * rho / (1.0 - rho)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_mean_unstable_is_none() {
+        assert_eq!(network_mean(&[0.5, 1.0]), None);
+        assert_eq!(network_mean(&[0.5, 1.2]), None);
+    }
+
+    #[test]
+    fn delay_via_little_matches_prop12_shape() {
+        // Hypercube Q̄ with d=4: N̄ = d·2^d·ρ/(1-ρ); Λ = λ·2^d; p=1/2 →
+        // T̄ = dp/(1-ρ).
+        let (d, p, lambda) = (4usize, 0.5, 1.0);
+        let rho: f64 = lambda * p;
+        let servers = d << d;
+        let rhos = vec![rho; servers];
+        let total_rate = lambda * (1usize << d) as f64;
+        let t = network_mean_delay(&rhos, total_rate).unwrap();
+        let expect = d as f64 * p / (1.0 - rho);
+        assert!((t - expect).abs() < 1e-9, "T̄ {t} vs {expect}");
+    }
+
+    #[test]
+    fn geometric_mean_consistency() {
+        let rho = 0.6;
+        let mean: f64 = (0..1000).map(|n| n as f64 * geometric_pmf(rho, n)).sum();
+        assert!((mean - server_mean(rho)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chernoff_exponent_positive_and_monotone_in_epsilon() {
+        let rho = 0.8;
+        let e1 = chernoff_exponent(rho, 0.1);
+        let e2 = chernoff_exponent(rho, 0.5);
+        let e3 = chernoff_exponent(rho, 1.0);
+        assert!(e1 > 0.0, "exponent must be positive, got {e1}");
+        assert!(e2 > e1 && e3 > e2, "not monotone: {e1} {e2} {e3}");
+    }
+
+    #[test]
+    fn chernoff_bound_dominates_exact_tail_single_server() {
+        // For one geometric variable, P[X > (1+ε)·mean] = ρ^(floor+1);
+        // exp(-I) must upper-bound it.
+        let rho: f64 = 0.5;
+        let eps = 1.0;
+        let mean = rho / (1.0 - rho);
+        let level = (1.0 + eps) * mean; // = 2
+        let exact_tail = rho.powf(level.floor() + 1.0);
+        let bound = (-chernoff_exponent(rho, eps)).exp();
+        assert!(
+            bound >= exact_tail - 1e-12,
+            "Chernoff bound {bound} below exact tail {exact_tail}"
+        );
+    }
+}

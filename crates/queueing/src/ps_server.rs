@@ -1,0 +1,264 @@
+//! Sample-path departures of a deterministic Processor-Sharing server
+//! (Lemma 7's object).
+//!
+//! All customers present share the unit service rate equally; each customer
+//! carries the same deterministic work requirement (the paper's unit packet
+//! length), so customers depart **in arrival order** — a fact the paper uses
+//! and the tests assert.
+//!
+//! Implementation uses the classical *virtual time* construction: with
+//! `n(t)` customers in service, virtual time advances at rate `1/n(t)`; a
+//! customer arriving at virtual time `v` departs when virtual time reaches
+//! `v + work`. This gives O(1) work per event and exact departure epochs.
+
+use std::collections::VecDeque;
+
+/// Incremental deterministic PS server.
+///
+/// Drive it with alternating [`PsServer::arrive`] /
+/// [`PsServer::complete_next`] calls in non-decreasing time order;
+/// [`PsServer::next_departure_time`] tells the owner when to schedule the
+/// next completion (it changes on every arrival, so network simulators must
+/// reschedule — see `hyperroute-core`'s equivalent-network simulator).
+#[derive(Clone, Debug)]
+pub struct PsServer {
+    work: f64,
+    tnow: f64,
+    vnow: f64,
+    /// Active jobs, oldest first: (caller-supplied id, virtual departure).
+    active: VecDeque<(u64, f64)>,
+}
+
+impl PsServer {
+    /// PS server whose jobs all require `work` units of service.
+    pub fn new(work: f64) -> PsServer {
+        assert!(work > 0.0);
+        PsServer {
+            work,
+            tnow: 0.0,
+            vnow: 0.0,
+            active: VecDeque::new(),
+        }
+    }
+
+    /// Unit-work server (the paper's model).
+    pub fn unit() -> PsServer {
+        PsServer::new(1.0)
+    }
+
+    /// Advance the internal clocks to real time `t` without any arrival or
+    /// departure (useful for workload inspection at arbitrary epochs).
+    pub fn advance_to(&mut self, t: f64) {
+        self.advance(t);
+    }
+
+    /// Advance the internal clocks to real time `t`.
+    fn advance(&mut self, t: f64) {
+        debug_assert!(t >= self.tnow - 1e-9, "time went backwards");
+        let n = self.active.len();
+        if n > 0 {
+            self.vnow += (t - self.tnow) / n as f64;
+        }
+        self.tnow = t;
+    }
+
+    /// Job `id` arrives at time `t`.
+    pub fn arrive(&mut self, t: f64, id: u64) {
+        self.advance(t);
+        self.active.push_back((id, self.vnow + self.work));
+    }
+
+    /// Number of jobs currently in service.
+    pub fn in_service(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Real time at which the oldest job will depart if no further arrivals
+    /// occur before then.
+    pub fn next_departure_time(&self) -> Option<f64> {
+        let &(_, vdep) = self.active.front()?;
+        let n = self.active.len() as f64;
+        Some(self.tnow + (vdep - self.vnow).max(0.0) * n)
+    }
+
+    /// Complete the oldest job at time `t` (which must equal
+    /// [`PsServer::next_departure_time`] up to rounding); returns its id.
+    pub fn complete_next(&mut self, t: f64) -> u64 {
+        self.advance(t);
+        let (id, vdep) = self.active.pop_front().expect("no job in service");
+        debug_assert!(
+            (vdep - self.vnow).abs() < 1e-6,
+            "completion at wrong time: vdep {vdep} vs vnow {}",
+            self.vnow
+        );
+        // Snap virtual time to the departure threshold to stop rounding
+        // drift across millions of events.
+        self.vnow = vdep;
+        id
+    }
+
+    /// Unfinished work (sum of residual requirements) at the current time.
+    pub fn workload(&self) -> f64 {
+        self.active
+            .iter()
+            .map(|&(_, vdep)| (vdep - self.vnow).max(0.0))
+            .sum()
+    }
+}
+
+/// Departure times of a deterministic PS server with per-job `work` fed by
+/// the (sorted) arrival sequence; result is indexed like `arrivals`.
+pub fn ps_departures(arrivals: &[f64], work: f64) -> Vec<f64> {
+    debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "unsorted input");
+    let mut server = PsServer::new(work);
+    let mut out = vec![0.0f64; arrivals.len()];
+    let mut i = 0usize;
+    loop {
+        let next_dep = server.next_departure_time();
+        let next_arr = arrivals.get(i).copied();
+        match (next_arr, next_dep) {
+            (None, None) => break,
+            (Some(a), Some(d)) if a < d => {
+                server.arrive(a, i as u64);
+                i += 1;
+            }
+            (Some(_), Some(d)) | (None, Some(d)) => {
+                let id = server.complete_next(d) as usize;
+                out[id] = d;
+            }
+            (Some(a), None) => {
+                server.arrive(a, i as u64);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo_server::fifo_departures;
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper §3.3: arrivals at 0 and 1/2, unit work. First departs at
+        // 3/2 (slowed to rate 1/2 once the second arrives), second at 2.
+        let d = ps_departures(&[0.0, 0.5], 1.0);
+        assert!((d[0] - 1.5).abs() < 1e-12, "got {:?}", d);
+        assert!((d[1] - 2.0).abs() < 1e-12, "got {:?}", d);
+    }
+
+    #[test]
+    fn lone_job_departs_after_work() {
+        let d = ps_departures(&[3.0], 1.0);
+        assert_eq!(d, vec![4.0]);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_share_equally() {
+        // k jobs arriving together each get rate 1/k: all depart at k·work.
+        let d = ps_departures(&[0.0, 0.0, 0.0], 1.0);
+        for &x in &d {
+            assert!((x - 3.0).abs() < 1e-9, "got {d:?}");
+        }
+    }
+
+    #[test]
+    fn departures_in_arrival_order() {
+        // Equal deterministic work ⇒ FIFO departure order (paper's remark).
+        let arrivals: Vec<f64> = (0..100).map(|i| (i as f64) * 0.3).collect();
+        let d = ps_departures(&arrivals, 1.0);
+        assert!(d.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    #[test]
+    fn lemma_7_ps_never_beats_fifo() {
+        // D̄_i ≥ D_i for every i, on arbitrary sample paths.
+        let mut x: u64 = 42;
+        let mut rngf = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for rep in 0..50 {
+            let mut t = 0.0;
+            let arrivals: Vec<f64> = (0..300)
+                .map(|_| {
+                    t += rngf() * 1.4; // utilisation around 0.7
+                    t
+                })
+                .collect();
+            let fifo = fifo_departures(&arrivals, 1.0);
+            let ps = ps_departures(&arrivals, 1.0);
+            for (i, (f, p)) in fifo.iter().zip(&ps).enumerate() {
+                assert!(
+                    p >= &(f - 1e-9),
+                    "rep {rep} job {i}: PS departure {p} before FIFO {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_conservation_matches_fifo() {
+        // The PS discipline is work-conserving: unfinished work at any time
+        // equals the FIFO server's (paper's proof of Lemma 7, Eq. (12)).
+        let arrivals = [0.0, 0.2, 0.9, 1.1, 4.0, 4.05];
+        let mut fifo = crate::fifo_server::FifoServer::unit();
+        let mut ps = PsServer::unit();
+        for (i, &a) in arrivals.iter().enumerate() {
+            fifo.arrive(a);
+            // Drain PS departures that occur before this arrival.
+            while let Some(d) = ps.next_departure_time() {
+                if d <= a {
+                    ps.complete_next(d);
+                } else {
+                    break;
+                }
+            }
+            ps.arrive(a, i as u64);
+            let t_check = a + 1e-9;
+            // Fifo workload just after arrival vs PS workload.
+            let wf = fifo.workload_before(t_check);
+            ps.advance_to(t_check);
+            let wp = ps.workload();
+            assert!(
+                (wf - wp).abs() < 1e-6,
+                "work mismatch at t={a}: FIFO {wf} vs PS {wp}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_departure_reschedules_on_arrival() {
+        let mut ps = PsServer::unit();
+        ps.arrive(0.0, 0);
+        assert!((ps.next_departure_time().unwrap() - 1.0).abs() < 1e-12);
+        ps.arrive(0.5, 1);
+        // First job now shares capacity: departs at 1.5 instead of 1.0.
+        assert!((ps.next_departure_time().unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(ps.in_service(), 2);
+        assert_eq!(ps.complete_next(1.5), 0);
+        assert!((ps.next_departure_time().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(ps.complete_next(2.0), 1);
+        assert_eq!(ps.in_service(), 0);
+        assert_eq!(ps.next_departure_time(), None);
+    }
+
+    #[test]
+    fn long_stream_no_drift() {
+        // A million-ish alternations should not accumulate rounding error:
+        // final departure of an isolated job is exact.
+        let mut ps = PsServer::unit();
+        let mut t = 0.0;
+        for i in 0..10_000u64 {
+            ps.arrive(t, i);
+            let d = ps.next_departure_time().unwrap();
+            ps.complete_next(d);
+            t = d + 0.25;
+        }
+        assert_eq!(ps.in_service(), 0);
+        // Each cycle takes exactly 1.25.
+        assert!((t - 10_000.0 * 1.25).abs() < 1e-6);
+    }
+}

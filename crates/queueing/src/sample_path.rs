@@ -1,0 +1,100 @@
+//! Sample-path stream comparisons (the "delayed version" order of §3.3).
+//!
+//! The paper compares networks by coupling their randomness and ordering
+//! their event streams pointwise: a stream `τ'` is a *delayed version* of
+//! `τ` when `τ_i ≤ τ'_i` for every `i`. Lemmas 7–10 are all statements in
+//! this order; these helpers make the simulated checks exact.
+
+/// Is `delayed` a delayed version of `base`? (`base[i] ≤ delayed[i] + tol`
+/// for every `i`; streams must have equal length.)
+pub fn is_delayed_version(base: &[f64], delayed: &[f64], tol: f64) -> bool {
+    base.len() == delayed.len()
+        && base
+            .iter()
+            .zip(delayed)
+            .all(|(&a, &b)| a <= b + tol)
+}
+
+/// Index of the first violation of the delayed-version order, if any.
+pub fn first_violation(base: &[f64], delayed: &[f64], tol: f64) -> Option<usize> {
+    if base.len() != delayed.len() {
+        return Some(base.len().min(delayed.len()));
+    }
+    base.iter()
+        .zip(delayed)
+        .position(|(&a, &b)| a > b + tol)
+}
+
+/// Counting process: number of events in `times` (sorted) occurring at or
+/// before `t` — the `B(t)` of Lemma 9/10.
+pub fn count_up_to(times: &[f64], t: f64) -> usize {
+    debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "unsorted input");
+    times.partition_point(|&x| x <= t)
+}
+
+/// Check the counting-process form of dominance used by Lemma 10:
+/// `B(t) ≥ B̄(t)` for all `t` is equivalent to the sorted `base` being a
+/// delayed-version-inverse of sorted `delayed`. Both inputs are sorted
+/// internally; returns true when the *delayed* stream never gets ahead.
+pub fn counting_dominates(base: &[f64], delayed: &[f64], tol: f64) -> bool {
+    let mut a: Vec<f64> = base.to_vec();
+    let mut b: Vec<f64> = delayed.to_vec();
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    // B(t) ≥ B̄(t) ∀t  ⇔  i-th smallest of base ≤ i-th smallest of delayed.
+    a.len() >= b.len() && a.iter().zip(&b).all(|(&x, &y)| x <= y + tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delayed_version_basic() {
+        assert!(is_delayed_version(&[1.0, 2.0], &[1.0, 2.5], 0.0));
+        assert!(!is_delayed_version(&[1.0, 2.0], &[0.5, 2.5], 0.0));
+        assert!(!is_delayed_version(&[1.0], &[1.0, 2.0], 0.0));
+    }
+
+    #[test]
+    fn violation_index() {
+        assert_eq!(first_violation(&[1.0, 2.0, 3.0], &[1.0, 1.5, 3.0], 0.0), Some(1));
+        assert_eq!(first_violation(&[1.0, 2.0], &[1.1, 2.0], 0.0), None);
+    }
+
+    #[test]
+    fn tolerance_absorbs_rounding() {
+        assert!(is_delayed_version(&[1.0 + 1e-12], &[1.0], 1e-9));
+    }
+
+    #[test]
+    fn counting_process() {
+        let times = [1.0, 2.0, 2.0, 5.0];
+        assert_eq!(count_up_to(&times, 0.5), 0);
+        assert_eq!(count_up_to(&times, 1.0), 1);
+        assert_eq!(count_up_to(&times, 2.0), 3);
+        assert_eq!(count_up_to(&times, 10.0), 4);
+    }
+
+    #[test]
+    fn counting_dominance_equivalence() {
+        // Sorted pointwise order ⇔ counting dominance.
+        let base = [1.0, 2.0, 3.0];
+        let delayed = [1.5, 2.0, 4.0];
+        assert!(counting_dominates(&base, &delayed, 0.0));
+        assert!(!counting_dominates(&delayed, &base, 0.0));
+        // Out-of-order inputs are handled (the Lemma 9 proof point: packets
+        // may get out of order, only the *streams* are compared).
+        let shuffled = [4.0, 1.5, 2.0];
+        assert!(counting_dominates(&base, &shuffled, 0.0));
+    }
+
+    #[test]
+    fn counting_dominance_with_fewer_delayed_events() {
+        // If the delayed system has produced fewer events so far that's
+        // consistent with dominance only when compared over a common count;
+        // we require base ≥ delayed in length.
+        assert!(counting_dominates(&[1.0, 2.0, 3.0], &[1.0, 2.5], 0.0));
+        assert!(!counting_dominates(&[1.0], &[1.0, 2.0], 0.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Graphviz (DOT) export for the paper's structural figures.
+//!
+//! * Fig. 1a — the 3-dimensional hypercube ([`hypercube_dot`]).
+//! * Fig. 1b — the equivalent levelled network `Q` ([`levelled_dot`]).
+//! * Fig. 2a — the three-server Lemma-9 network (also [`levelled_dot`]).
+//! * Fig. 3a — the 2-dimensional butterfly ([`butterfly_dot`]).
+//! * Fig. 3b — the equivalent network `R` (also [`levelled_dot`]).
+//!
+//! The output is deterministic (stable node ordering) so the rendered
+//! figures are reproducible artifacts.
+
+use crate::butterfly::Butterfly;
+use crate::hypercube::Hypercube;
+use crate::levelled::LevelledNetwork;
+use std::fmt::Write as _;
+
+/// Render a hypercube as DOT (directed arcs, nodes labelled with their
+/// binary identity as in Fig. 1a).
+pub fn hypercube_dot(cube: Hypercube) -> String {
+    let d = cube.dim();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph hypercube_{d} {{");
+    let _ = writeln!(out, "  // Fig. 1a analogue: the {d}-dimensional hypercube");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for x in cube.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{:0width$b}\"];", x.0, x.0, width = d);
+    }
+    for arc in cube.arcs() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            arc.from.0,
+            arc.to().0,
+            arc.dim
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a butterfly as DOT with ranked levels, as in Fig. 3a.
+pub fn butterfly_dot(bf: Butterfly) -> String {
+    let d = bf.dim();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph butterfly_{d} {{");
+    let _ = writeln!(out, "  // Fig. 3a analogue: the {d}-dimensional butterfly");
+    let _ = writeln!(out, "  rankdir=LR; node [shape=circle];");
+    for level in 0..=d {
+        let _ = writeln!(out, "  subgraph level_{level} {{ rank=same;");
+        for row in bf.rows() {
+            let _ = writeln!(
+                out,
+                "    n{}_{} [label=\"[{:0width$b};{}]\"];",
+                row.0,
+                level,
+                row.0,
+                level,
+                width = d
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for arc in bf.arcs() {
+        let style = match arc.kind {
+            crate::arcs::ArcKind::Straight => "solid",
+            crate::arcs::ArcKind::Vertical => "dashed",
+        };
+        let _ = writeln!(
+            out,
+            "  n{}_{} -> n{}_{} [style={style}];",
+            arc.row.0,
+            arc.level,
+            arc.to_row().0,
+            arc.level + 1,
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a levelled queueing network as DOT: servers as boxes ranked by
+/// level, routing arcs labelled with probabilities, external-arrival and
+/// departure stubs shown as in Figs. 1b/2a/3b.
+pub fn levelled_dot(net: &LevelledNetwork, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR; node [shape=box];");
+    for lvl in 0..net.num_levels() {
+        let _ = writeln!(out, "  subgraph level_{lvl} {{ rank=same;");
+        for s in net.servers().filter(|&s| net.level(s) == lvl) {
+            let _ = writeln!(out, "    s{} [label=\"{}\"];", s.0, net.label(s));
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for s in net.servers() {
+        if net.external_rate(s) > 0.0 {
+            let _ = writeln!(
+                out,
+                "  ext{0} [shape=point]; ext{0} -> s{0} [label=\"{1:.4}\"];",
+                s.0,
+                net.external_rate(s)
+            );
+        }
+        for &(t, q) in net.routes(s) {
+            let _ = writeln!(out, "  s{} -> s{} [label=\"{q:.4}\"];", s.0, t.0);
+        }
+        let dep = net.departure_prob(s);
+        if dep > 1e-12 {
+            let _ = writeln!(
+                out,
+                "  out{0} [shape=point]; s{0} -> out{0} [label=\"{dep:.4}\"];",
+                s.0
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelled::LevelledNetwork;
+
+    #[test]
+    fn hypercube_dot_mentions_every_node_and_arc() {
+        let cube = Hypercube::new(3);
+        let dot = hypercube_dot(cube);
+        assert!(dot.starts_with("digraph hypercube_3 {"));
+        // 8 node declarations + 24 arc labels.
+        assert_eq!(dot.matches("[label=\"").count(), 8 + 24);
+        // 24 arcs.
+        assert_eq!(dot.matches(" -> ").count(), 24);
+        assert!(dot.contains("n0 [label=\"000\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn butterfly_dot_shape() {
+        let bf = Butterfly::new(2);
+        let dot = butterfly_dot(bf);
+        // 12 nodes across 3 ranks, 16 arcs (8 solid + 8 dashed).
+        assert_eq!(dot.matches("style=solid").count(), 8);
+        assert_eq!(dot.matches("style=dashed").count(), 8);
+        assert_eq!(dot.matches("rank=same").count(), 3);
+    }
+
+    #[test]
+    fn levelled_dot_includes_external_and_departures() {
+        let net = LevelledNetwork::fig2_network(0.2, 0.2, 0.1, 0.5, 0.5);
+        let dot = levelled_dot(&net, "fig2");
+        assert!(dot.contains("digraph fig2"));
+        // Three external stubs, two internal routes, three departure stubs.
+        assert_eq!(dot.matches("ext").count() / 2, 3);
+        assert_eq!(dot.matches("s0 -> s2").count(), 1);
+        assert_eq!(dot.matches("s1 -> s2").count(), 1);
+        assert_eq!(dot.matches("out").count() / 2, 3);
+    }
+
+    #[test]
+    fn dot_output_is_deterministic() {
+        let cube = Hypercube::new(3);
+        assert_eq!(hypercube_dot(cube), hypercube_dot(cube));
+        let bf = Butterfly::new(2);
+        assert_eq!(butterfly_dot(bf), butterfly_dot(bf));
+    }
+}

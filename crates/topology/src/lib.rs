@@ -1,0 +1,46 @@
+//! Interconnection-network topologies for the Stamoulis–Tsitsiklis greedy
+//! routing reproduction.
+//!
+//! This crate provides the two networks analysed in the paper —
+//! the *d*-dimensional binary [`Hypercube`] and the *d*-dimensional
+//! [`Butterfly`] — together with the abstract **levelled queueing networks**
+//! that the paper's proofs reduce them to (network `Q` for the hypercube,
+//! §3.1, and network `R` for the butterfly, §4.3), and Graphviz export for
+//! the paper's structural figures.
+//!
+//! # Conventions
+//!
+//! The paper numbers hypercube dimensions `1..=d`; this crate uses `0..d`
+//! everywhere. Dimension `i` in code corresponds to dimension `i + 1` in the
+//! paper. Greedy ("canonical") paths cross the required dimensions in
+//! increasing index order, exactly as in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperroute_topology::{Hypercube, NodeId};
+//!
+//! let cube = Hypercube::new(4);
+//! let path: Vec<_> = cube.canonical_path(NodeId(0b0000), NodeId(0b1011)).collect();
+//! // Dimensions are crossed in increasing order: 0, 1, 3.
+//! assert_eq!(path.len(), 3);
+//! assert_eq!(path[0].dim, 0);
+//! assert_eq!(path[1].dim, 1);
+//! assert_eq!(path[2].dim, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arcs;
+pub mod butterfly;
+pub mod dot;
+pub mod hypercube;
+pub mod levelled;
+pub mod node;
+
+pub use arcs::{ArcKind, ButterflyArc, HypercubeArc};
+pub use butterfly::{Butterfly, ButterflyNode};
+pub use hypercube::Hypercube;
+pub use levelled::{LevelledNetwork, ServerId};
+pub use node::NodeId;

@@ -1,0 +1,21 @@
+//! Butterfly bottleneck crossover: sweep the destination skew `p` at fixed
+//! arrival rate and watch the stability window open around `p = 1/2`
+//! (Prop. 16 / experiment E17), then check the delay bracket inside the
+//! window (Props. 14/17).
+
+use hyperroute::experiments::{
+    e15_butterfly_lower_bound, e17_butterfly_stability, e18_butterfly_upper_bound, Scale,
+};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", e17_butterfly_stability::run(scale).render());
+    println!();
+    println!("{}", e15_butterfly_lower_bound::run(scale).render());
+    println!();
+    println!("{}", e18_butterfly_upper_bound::run(scale).render());
+}

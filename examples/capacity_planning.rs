@@ -1,0 +1,54 @@
+//! Capacity planning with the paper's guarantees: size a hypercube for a
+//! processor count, read off how much traffic it sustains at a target
+//! delay, and verify the plan by simulation.
+
+use hyperroute::analysis::capacity;
+use hyperroute::prelude::*;
+
+fn main() {
+    let processors = 200u64;
+    let p = 0.5;
+    let target_delay = 12.0;
+
+    let d = capacity::dimension_for_nodes(processors);
+    println!("{processors} processors → d = {d} ({} nodes)", 1u64 << d);
+
+    let rho = capacity::hypercube_max_load_for_delay(d, p, target_delay)
+        .expect("target above the bare path length");
+    let lambda = capacity::hypercube_max_lambda_for_delay(d, p, target_delay).unwrap();
+    println!(
+        "guaranteed mean delay ≤ {target_delay}: sustain ρ ≤ {rho:.4} (λ ≤ {lambda:.4}/node, {:.1} pkts/unit total)",
+        lambda * (1u64 << d) as f64
+    );
+
+    println!("\nthroughput–delay frontier (guaranteed):");
+    for (thru, delay) in capacity::hypercube_frontier(d, p, &[0.2, 0.4, 0.6, 0.8, 0.9]) {
+        println!("  {thru:8.1} pkts/unit  →  T ≤ {delay:6.2}");
+    }
+
+    // Verify the plan at 95% of the planned rate.
+    let lam_run = lambda * 0.95;
+    println!("\nverifying by simulation at 95% of planned λ ({lam_run:.4}) ...");
+    let report = HypercubeSim::new(HypercubeSimConfig {
+        dim: d,
+        lambda: lam_run,
+        p,
+        horizon: 4_000.0,
+        warmup: 800.0,
+        seed: 7,
+        ..Default::default()
+    })
+    .run();
+    println!(
+        "measured T = {:.2} (target {target_delay}) — the guarantee is conservative, as promised",
+        report.delay.mean
+    );
+    assert!(report.delay.mean <= target_delay);
+
+    // Butterfly variant.
+    let bf_lambda = capacity::butterfly_max_lambda_for_delay(d, p, 2.5 * d as f64).unwrap();
+    println!(
+        "\nbutterfly of the same dimension: λ ≤ {bf_lambda:.4}/row guarantees T ≤ {:.1}",
+        2.5 * d as f64
+    );
+}

@@ -1,0 +1,19 @@
+//! The headline experiment: delay vs load for several hypercube sizes,
+//! printed against the Prop. 12 upper and Prop. 13 lower bounds
+//! (experiments E06/E07).
+//!
+//! Run with `cargo run --release --example delay_sweep [--full]`.
+
+use hyperroute::experiments::{e06_delay_upper_bound, e07_greedy_lower_bound, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("scale: {scale:?} (pass --full for the EXPERIMENTS.md grids)\n");
+    println!("{}", e06_delay_upper_bound::run(scale).render());
+    println!();
+    println!("{}", e07_greedy_lower_bound::run(scale).render());
+}

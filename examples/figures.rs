@@ -1,0 +1,21 @@
+//! Emit the paper's structural figures (Figs. 1a, 1b, 2a, 3a, 3b) as
+//! Graphviz DOT files under `figures/`, and print the structural
+//! verification table.
+
+use hyperroute::experiments::{figures, Scale};
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    println!("{}", figures::run(Scale::Quick).render());
+
+    let dir = Path::new("figures");
+    fs::create_dir_all(dir)?;
+    for (name, dot) in figures::dot_documents() {
+        let path = dir.join(name);
+        fs::write(&path, &dot)?;
+        println!("wrote {} ({} bytes)", path.display(), dot.len());
+    }
+    println!("\nrender with e.g.: dot -Tpng figures/fig1a_hypercube_3d.dot -o fig1a.png");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: simulate greedy routing on an 8-cube at 70% load and check
+//! the paper's delay bracket.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hyperroute::prelude::*;
+
+fn main() {
+    let (dim, lambda, p) = (8usize, 1.4f64, 0.5f64);
+    let rho = hypercube_load_factor(lambda, p);
+    println!("d-dimensional hypercube, d = {dim}");
+    println!("per-node Poisson rate λ = {lambda}, bit-flip probability p = {p}");
+    println!("load factor ρ = λp = {rho}\n");
+
+    let cfg = HypercubeSimConfig {
+        dim,
+        lambda,
+        p,
+        horizon: 5_000.0,
+        warmup: 1_000.0,
+        seed: 2026,
+        ..Default::default()
+    };
+    println!("running {} node-units of simulated time ...", cfg.horizon);
+    let report = HypercubeSim::new(cfg).run();
+
+    let bounds = greedy_delay_bounds(dim, lambda, p);
+    println!("packets generated : {}", report.generated);
+    println!("packets delivered : {}", report.delivered);
+    println!("mean hops         : {:.3}  (dp = {})", report.mean_hops, dim as f64 * p);
+    println!();
+    println!("Prop. 13 lower bound  T >= dp + pρ/(2(1-ρ)) = {:.3}", bounds.lower);
+    println!(
+        "measured delay        T  = {:.3} ± {:.3} (95% CI)",
+        report.delay.mean, report.delay.ci95
+    );
+    println!("Prop. 12 upper bound  T <= dp/(1-ρ)          = {:.3}", bounds.upper);
+    println!();
+    println!(
+        "delay quantiles: p50 = {:.2}, p90 = {:.2}, p99 = {:.2}",
+        report.delay.p50, report.delay.p90, report.delay.p99
+    );
+    println!(
+        "mean packets in network = {:.1} (Little check error {:.2}%)",
+        report.mean_in_system,
+        report.little_error * 100.0
+    );
+
+    assert!(
+        bounds.contains(report.delay.mean, 0.05),
+        "measured delay escaped the paper's bracket!"
+    );
+    println!("\n✓ measured delay sits inside the paper's bracket");
+}

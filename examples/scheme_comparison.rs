@@ -1,0 +1,17 @@
+//! Why greedy? Compare the paper's scheme against the §2.3 pipelined
+//! Valiant–Brebner batches (which collapse as `d` grows) and the §5
+//! two-phase "mixing" (which halves the sustainable load), plus the
+//! random-dimension-order ablation (experiments E12 and E19).
+
+use hyperroute::experiments::{e12_pipelined_instability, e19_scheme_ablation, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("{}", e12_pipelined_instability::run(scale).render());
+    println!();
+    println!("{}", e19_scheme_ablation::run(scale).render());
+}

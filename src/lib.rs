@@ -1,0 +1,96 @@
+//! # hyperroute
+//!
+//! A faithful, exhaustively tested reproduction of
+//! **“The Efficiency of Greedy Routing in Hypercubes and Butterflies”**
+//! (G. D. Stamoulis & J. N. Tsitsiklis, SPAA 1991 / MIT LIDS-P-1999):
+//! exact packet-level simulators for the paper's dynamic routing model,
+//! every closed-form bound as a documented function, the levelled
+//! equivalent queueing networks with FIFO/PS coupling, baseline schemes,
+//! and a bench harness that regenerates every experiment.
+//!
+//! ## The model in one paragraph
+//!
+//! Every node of the `d`-dimensional hypercube generates packets as an
+//! independent Poisson process with rate `λ`; a packet picks its
+//! destination by flipping each origin bit independently with probability
+//! `p`. Greedy routing sends it across the required dimensions in
+//! increasing index order, one unit of time per arc, FIFO per arc, no
+//! idling. With load factor `ρ = λp` the paper proves stability for every
+//! `ρ < 1` and brackets the stationary delay as
+//! `dp + pρ/(2(1-ρ)) ≤ T ≤ dp/(1-ρ)` — average delay `O(d)` at any fixed
+//! load. The butterfly analogue replaces `ρ` with `λ·max{p, 1-p}` and
+//! brackets `T` between `d + λp²/(2(1-λp)) + λ(1-p)²/(2(1-λ(1-p)))` and
+//! `dp/(1-λp) + d(1-p)/(1-λ(1-p))`.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`topology`] | hypercube, butterfly, canonical paths, equivalent networks Q/R, DOT figures |
+//! | [`desim`] | event queue, RNG streams, statistics |
+//! | [`queueing`] | M/M/1, M/D/1, M/D/s, FIFO/PS sample-path servers, product form |
+//! | [`analysis`] | every proposition's bound as a function |
+//! | [`routing`] | the packet-level simulators and schemes (crate `hyperroute-core`) |
+//! | [`experiments`] | the E01–E20 harnesses and result tables |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hyperroute::prelude::*;
+//!
+//! let cfg = HypercubeSimConfig {
+//!     dim: 5,
+//!     lambda: 1.4,
+//!     p: 0.5, // ρ = 0.7
+//!     horizon: 2_000.0,
+//!     warmup: 400.0,
+//!     seed: 7,
+//!     ..Default::default()
+//! };
+//! let report = HypercubeSim::new(cfg).run();
+//! let bounds = greedy_delay_bounds(5, 1.4, 0.5);
+//! assert!(bounds.contains(report.delay.mean, 0.05));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use hyperroute_analysis as analysis;
+pub use hyperroute_core as routing;
+pub use hyperroute_desim as desim;
+pub use hyperroute_experiments as experiments;
+pub use hyperroute_queueing as queueing;
+pub use hyperroute_topology as topology;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use hyperroute_analysis::butterfly_bounds;
+    pub use hyperroute_analysis::hypercube_bounds::{
+        greedy_delay_bounds, greedy_lower_bound, greedy_upper_bound, oblivious_lower_bound,
+        universal_lower_bound, DelayBounds,
+    };
+    pub use hyperroute_analysis::load::{butterfly_load_factor, hypercube_load_factor};
+    pub use hyperroute_core::butterfly_sim::{ButterflyReport, ButterflySim, ButterflySimConfig};
+    pub use hyperroute_core::equivalent_network::{Discipline, EqNetConfig, EqNetSim};
+    pub use hyperroute_core::hypercube_sim::{
+        HypercubeReport, HypercubeSim, HypercubeSimConfig,
+    };
+    pub use hyperroute_core::{ArrivalModel, Scheme};
+    pub use hyperroute_experiments::{Scale, Table};
+    pub use hyperroute_topology::{Butterfly, Hypercube, LevelledNetwork, NodeId};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let cube = Hypercube::new(3);
+        assert_eq!(cube.num_arcs(), 24);
+        let rho = hypercube_load_factor(1.0, 0.5);
+        assert_eq!(rho, 0.5);
+        let b = greedy_delay_bounds(3, 1.0, 0.5);
+        assert!(b.lower < b.upper);
+    }
+}

@@ -1,0 +1,205 @@
+//! Cross-crate integration tests: the packet-level simulators, the
+//! abstract equivalent networks, and the closed-form bounds must all agree
+//! with each other.
+
+use hyperroute::prelude::*;
+use hyperroute::routing::stability::{probe_butterfly, probe_hypercube};
+
+/// §3.1: the hypercube under greedy routing IS the network Q. The
+/// packet-level simulator and the abstract FIFO network simulator are
+/// independent implementations; their stationary delays must coincide
+/// (after conditioning on packets that actually move — Q has no zero-hop
+/// customers).
+#[test]
+fn packet_sim_equals_equivalent_network_q() {
+    let (d, lambda, p) = (4usize, 1.2f64, 0.5f64);
+    let horizon = 4_000.0;
+
+    let packet = HypercubeSim::new(HypercubeSimConfig {
+        dim: d,
+        lambda,
+        p,
+        horizon,
+        warmup: horizon * 0.2,
+        seed: 101,
+        ..Default::default()
+    })
+    .run();
+
+    let net = LevelledNetwork::equivalent_q(Hypercube::new(d), lambda, p);
+    let eq = EqNetSim::new(
+        &net,
+        EqNetConfig {
+            discipline: Discipline::Fifo,
+            horizon,
+            warmup: horizon * 0.2,
+            seed: 202, // independent seed: distributional, not pathwise, equality
+            ..Default::default()
+        },
+    )
+    .run();
+
+    // Packet-sim delay averages over ALL packets incl. zero-hop ones
+    // (fraction (1-p)^d with delay 0); Q only sees moving packets.
+    let moving = 1.0 - (1.0 - p).powi(d as i32);
+    let packet_conditional = packet.delay.mean / moving;
+    let rel = (packet_conditional - eq.delay.mean).abs() / eq.delay.mean;
+    assert!(
+        rel < 0.05,
+        "packet sim {packet_conditional} vs equivalent network {} (rel {rel})",
+        eq.delay.mean
+    );
+}
+
+/// The three layers of Prop. 12's proof, measured:
+/// packet-level T ≤ PS-network T̄ (Prop. 11) ≤ closed form dp/(1-ρ).
+#[test]
+fn three_layer_upper_bound_chain() {
+    let (d, lambda, p) = (4usize, 1.4f64, 0.5f64); // ρ = 0.7
+    let horizon = 6_000.0;
+
+    let packet = HypercubeSim::new(HypercubeSimConfig {
+        dim: d,
+        lambda,
+        p,
+        horizon,
+        warmup: horizon * 0.2,
+        seed: 11,
+        ..Default::default()
+    })
+    .run();
+
+    let net = LevelledNetwork::equivalent_q(Hypercube::new(d), lambda, p);
+    let ps = EqNetSim::new(
+        &net,
+        EqNetConfig {
+            discipline: Discipline::Ps,
+            horizon,
+            warmup: horizon * 0.2,
+            seed: 12,
+            ..Default::default()
+        },
+    )
+    .run();
+
+    let moving = 1.0 - (1.0 - p).powi(d as i32);
+    let t_packet_cond = packet.delay.mean / moving;
+    let closed_form = greedy_upper_bound(d, lambda, p) / moving;
+    assert!(
+        t_packet_cond <= ps.delay.mean * 1.05,
+        "packet {t_packet_cond} above PS network {}",
+        ps.delay.mean
+    );
+    assert!(
+        ps.delay.mean <= closed_form * 1.05,
+        "PS network {} above closed form {closed_form}",
+        ps.delay.mean
+    );
+}
+
+/// Hypercube and butterfly brackets hold at a matrix of parameter points.
+#[test]
+fn delay_brackets_hold_meshwide() {
+    for &(d, rho) in &[(3usize, 0.4f64), (4, 0.7), (5, 0.85)] {
+        let p = 0.5;
+        let lambda = rho / p;
+        let horizon = 4_000.0;
+        let r = HypercubeSim::new(HypercubeSimConfig {
+            dim: d,
+            lambda,
+            p,
+            horizon,
+            warmup: horizon * 0.2,
+            seed: 31 + d as u64,
+            ..Default::default()
+        })
+        .run();
+        let b = greedy_delay_bounds(d, lambda, p);
+        assert!(
+            b.contains(r.delay.mean, 0.05),
+            "hypercube d={d} ρ={rho}: {} outside [{}, {}]",
+            r.delay.mean,
+            b.lower,
+            b.upper
+        );
+    }
+
+    for &(d, lambda, p) in &[(3usize, 1.0f64, 0.5f64), (4, 1.4, 0.3)] {
+        let horizon = 4_000.0;
+        let r = ButterflySim::new(ButterflySimConfig {
+            dim: d,
+            lambda,
+            p,
+            horizon,
+            warmup: horizon * 0.2,
+            seed: 41 + d as u64,
+            ..Default::default()
+        })
+        .run();
+        let lb = butterfly_bounds::universal_lower_bound(d, lambda, p);
+        let ub = butterfly_bounds::greedy_upper_bound(d, lambda, p);
+        assert!(
+            r.delay.mean >= lb * 0.95 && r.delay.mean <= ub * 1.05,
+            "butterfly d={d}: {} outside [{lb}, {ub}]",
+            r.delay.mean
+        );
+    }
+}
+
+/// Stability frontiers: both networks flip from stable to unstable exactly
+/// where their load factors cross 1.
+#[test]
+fn stability_frontiers() {
+    // Hypercube: ρ = λp.
+    assert!(probe_hypercube(4, 1.7, 0.5, Scheme::Greedy, 3_000.0, 51).stable);
+    assert!(!probe_hypercube(4, 2.4, 0.5, Scheme::Greedy, 3_000.0, 52).stable);
+    // Butterfly: ρ_bf = λ·max{p, 1-p}; skew p breaks it sooner.
+    assert!(probe_butterfly(4, 1.2, 0.5, 3_000.0, 53).stable);
+    assert!(!probe_butterfly(4, 1.2, 0.1, 3_000.0, 54).stable); // ρ_bf=1.08
+}
+
+/// Slotted arrivals obey the §3.4 bound and approach the continuous delay
+/// as slots shrink.
+#[test]
+fn slotted_time_consistency() {
+    let (d, lambda, p) = (4usize, 1.2f64, 0.5f64);
+    let horizon = 4_000.0;
+    let run = |arrivals| {
+        HypercubeSim::new(HypercubeSimConfig {
+            dim: d,
+            lambda,
+            p,
+            arrivals,
+            horizon,
+            warmup: horizon * 0.2,
+            seed: 61,
+            ..Default::default()
+        })
+        .run()
+        .delay
+        .mean
+    };
+    let continuous = run(ArrivalModel::Poisson);
+    let coarse = run(ArrivalModel::Slotted { slots_per_unit: 1 });
+    let fine = run(ArrivalModel::Slotted { slots_per_unit: 8 });
+    let bound = hyperroute::analysis::hypercube_bounds::slotted_upper_bound(d, lambda, p, 1.0);
+    assert!(coarse <= bound * 1.03, "coarse slotted {coarse} above {bound}");
+    // Finer slots converge towards the continuous model.
+    assert!(
+        (fine - continuous).abs() < (coarse - continuous).abs() + 0.15,
+        "fine {fine} not closer to continuous {continuous} than coarse {coarse}"
+    );
+}
+
+/// The experiment harness end-to-end: every registered experiment renders
+/// a non-empty table at Quick scale. (This is the bench harness's code
+/// path, exercised in CI.)
+#[test]
+#[ignore = "slow: runs all 20 experiment harnesses; use --ignored to include"]
+fn all_experiments_render() {
+    for (name, f) in hyperroute::experiments::all_experiments() {
+        let t = f(Scale::Quick);
+        assert!(!t.rows.is_empty(), "{name} produced an empty table");
+        assert!(t.render().contains("=="));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based test of the paper's central sample-path theorem
+//! (Lemmas 9/10): on *randomly generated* levelled networks with Markovian
+//! routing, switching every server from FIFO to PS never accelerates the
+//! departure process on coupled sample paths.
+
+use hyperroute::prelude::*;
+use hyperroute::queueing::sample_path::counting_dominates;
+use hyperroute::topology::ServerId;
+use proptest::prelude::*;
+
+/// A random 2-to-3-level feed-forward network description.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    /// Servers per level.
+    layout: Vec<usize>,
+    /// External arrival rate per server (same order as levels).
+    rates: Vec<f64>,
+    /// Raw routing weights, normalised into probabilities summing < 1.
+    weights: Vec<u8>,
+    seed: u64,
+}
+
+fn net_spec() -> impl Strategy<Value = NetSpec> {
+    (
+        prop::collection::vec(1usize..=3, 2..=3),
+        any::<u64>(),
+        prop::collection::vec(0.05f64..0.5, 9),
+        prop::collection::vec(any::<u8>(), 32),
+    )
+        .prop_map(|(layout, seed, rates, weights)| NetSpec {
+            layout,
+            rates,
+            weights,
+            seed,
+        })
+}
+
+fn build(spec: &NetSpec) -> LevelledNetwork {
+    let total: usize = spec.layout.iter().sum();
+    let mut level = Vec::with_capacity(total);
+    for (lvl, &n) in spec.layout.iter().enumerate() {
+        level.extend(std::iter::repeat(lvl).take(n));
+    }
+    let external: Vec<f64> = (0..total)
+        .map(|i| spec.rates[i % spec.rates.len()])
+        .collect();
+    // Route from each server to every server of the next level with
+    // weights normalised so the total forward probability is ≤ 0.9.
+    let mut routing: Vec<Vec<(ServerId, f64)>> = vec![Vec::new(); total];
+    let mut w_iter = spec.weights.iter().cycle();
+    let level_start: Vec<usize> = spec
+        .layout
+        .iter()
+        .scan(0usize, |acc, &n| {
+            let s = *acc;
+            *acc += n;
+            Some(s)
+        })
+        .collect();
+    for s in 0..total {
+        let lvl = level[s];
+        if lvl + 1 >= spec.layout.len() {
+            continue;
+        }
+        let next_start = level_start[lvl + 1];
+        let next_n = spec.layout[lvl + 1];
+        let raw: Vec<f64> = (0..next_n)
+            .map(|_| 1.0 + *w_iter.next().expect("cycle") as f64)
+            .collect();
+        let total_w: f64 = raw.iter().sum();
+        routing[s] = raw
+            .iter()
+            .enumerate()
+            .map(|(j, w)| (ServerId(next_start + j), 0.9 * w / total_w))
+            .collect();
+    }
+    let labels = (0..total).map(|s| format!("s{s}")).collect();
+    LevelledNetwork::new(level, external, routing, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lemma_10_on_random_networks(spec in net_spec()) {
+        let net = build(&spec);
+        prop_assume!(net.max_utilization() < 0.95);
+        let mk = |discipline| EqNetConfig {
+            discipline,
+            horizon: 400.0,
+            warmup: 50.0,
+            seed: spec.seed,
+            drain: true,
+            record_departures: true,
+            occupancy_cap: 0,
+        };
+        let fifo = EqNetSim::new(&net, mk(Discipline::Fifo)).run();
+        let ps = EqNetSim::new(&net, mk(Discipline::Ps)).run();
+        // Coupled sample paths: same customers in both systems.
+        prop_assert_eq!(fifo.generated, ps.generated);
+        // Lemma 10: B(t) ≥ B̄(t) for every t.
+        prop_assert!(
+            counting_dominates(&fifo.departures, &ps.departures, 1e-7),
+            "PS departures got ahead on a random levelled network"
+        );
+        // Prop. 11 corollary in expectation.
+        prop_assert!(fifo.mean_in_system <= ps.mean_in_system * 1.10 + 0.05);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the queueing substrate — the sample-path lemmas
+//! hold on *every* path, so they are ideal proptest targets.
+
+use hyperroute::queueing::sample_path::{counting_dominates, is_delayed_version};
+use hyperroute::queueing::{fifo_departures, ps_departures};
+use proptest::prelude::*;
+
+/// Strategy: a sorted arrival sequence built from positive gaps.
+fn arrivals(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..3.0, 1..max_len).prop_map(|gaps| {
+        let mut t = 0.0;
+        gaps.iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fifo_departures_sorted_and_causal(arr in arrivals(200)) {
+        let dep = fifo_departures(&arr, 1.0);
+        // Sorted (FIFO preserves order) and at least service after arrival.
+        prop_assert!(dep.windows(2).all(|w| w[0] <= w[1]));
+        for (a, d) in arr.iter().zip(&dep) {
+            prop_assert!(d >= &(a + 1.0) && d.is_finite());
+        }
+    }
+
+    #[test]
+    fn lemma_7_ps_dominates_fifo_everywhere(arr in arrivals(200)) {
+        let fifo = fifo_departures(&arr, 1.0);
+        let ps = ps_departures(&arr, 1.0);
+        prop_assert!(
+            is_delayed_version(&fifo, &ps, 1e-7),
+            "PS departed earlier than FIFO somewhere"
+        );
+    }
+
+    #[test]
+    fn lemma_8_delaying_arrivals_delays_departures(
+        arr in arrivals(150),
+        extra in prop::collection::vec(0.0f64..2.0, 150),
+    ) {
+        // Build a cumulatively delayed (hence still sorted) arrival stream.
+        let mut shift = 0.0;
+        let delayed: Vec<f64> = arr
+            .iter()
+            .zip(extra.iter().chain(std::iter::repeat(&0.0)))
+            .map(|(a, e)| {
+                shift += e;
+                a + shift
+            })
+            .collect();
+        let d0 = fifo_departures(&arr, 1.0);
+        let d1 = fifo_departures(&delayed, 1.0);
+        prop_assert!(is_delayed_version(&d0, &d1, 1e-9));
+    }
+
+    #[test]
+    fn ps_departures_preserve_arrival_order(arr in arrivals(150)) {
+        let ps = ps_departures(&arr, 1.0);
+        prop_assert!(ps.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    #[test]
+    fn work_conservation_total_busy_time(arr in arrivals(100)) {
+        // Both disciplines finish the same total work: the last departure
+        // coincides (equal workload paths + non-idling).
+        let fifo = fifo_departures(&arr, 1.0);
+        let ps = ps_departures(&arr, 1.0);
+        let last_fifo = fifo.iter().cloned().fold(f64::MIN, f64::max);
+        let last_ps = ps.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((last_fifo - last_ps).abs() < 1e-6,
+            "busy periods end apart: {} vs {}", last_fifo, last_ps);
+    }
+
+    #[test]
+    fn counting_dominance_is_a_partial_order(arr in arrivals(100)) {
+        let fifo = fifo_departures(&arr, 1.0);
+        let ps = ps_departures(&arr, 1.0);
+        // Reflexive; FIFO dominates PS; antisymmetric unless equal.
+        prop_assert!(counting_dominates(&fifo, &fifo, 0.0));
+        prop_assert!(counting_dominates(&fifo, &ps, 1e-7));
+    }
+
+    #[test]
+    fn mds_workload_bound_below_md1_truth(rho in 0.01f64..0.99) {
+        // s = 1: the workload bound equals the exact M/D/1 delay; for
+        // larger s it must only decrease.
+        use hyperroute::queueing::{md1, mds};
+        let exact = md1::mean_sojourn(rho);
+        prop_assert!((mds::workload_lower_bound(1.0, rho) - exact).abs() < 1e-12);
+        prop_assert!(mds::workload_lower_bound(4.0, rho) <= exact + 1e-12);
+        prop_assert!(mds::workload_lower_bound(4.0, rho) >= 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the packet-level simulators: structural
+//! invariants that must hold for *any* stable configuration and seed.
+
+use hyperroute::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SimCase {
+    dim: usize,
+    rho: f64,
+    p: f64,
+    seed: u64,
+}
+
+fn sim_case() -> impl Strategy<Value = SimCase> {
+    (2usize..=4, 0.1f64..0.85, 0.2f64..=1.0, any::<u64>()).prop_map(|(dim, rho, p, seed)| {
+        SimCase { dim, rho, p, seed }
+    })
+}
+
+fn run_case(c: &SimCase, horizon: f64) -> HypercubeReport {
+    HypercubeSim::new(HypercubeSimConfig {
+        dim: c.dim,
+        lambda: c.rho / c.p,
+        p: c.p,
+        horizon,
+        warmup: horizon * 0.2,
+        seed: c.seed,
+        ..Default::default()
+    })
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_and_quantile_order(c in sim_case()) {
+        let r = run_case(&c, 400.0);
+        // With drain enabled, everything generated is delivered.
+        prop_assert_eq!(r.generated, r.delivered);
+        // Quantiles are ordered and the mean is sane.
+        if r.delay.count > 0 {
+            prop_assert!(r.delay.p50 <= r.delay.p90 + 1e-9);
+            prop_assert!(r.delay.p90 <= r.delay.p99 + 1e-9);
+            prop_assert!(r.delay.mean >= 0.0 && r.delay.mean.is_finite());
+        }
+        // Hop counts cannot exceed the diameter (shortest-path routing).
+        prop_assert!(r.mean_hops <= c.dim as f64 + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&r.zero_hop_fraction));
+    }
+
+    #[test]
+    fn determinism_per_seed(c in sim_case()) {
+        let a = run_case(&c, 300.0);
+        let b = run_case(&c, 300.0);
+        prop_assert_eq!(a.generated, b.generated);
+        prop_assert_eq!(a.delay.mean, b.delay.mean);
+        prop_assert_eq!(a.mean_in_system, b.mean_in_system);
+    }
+
+    #[test]
+    fn delay_never_below_hops(c in sim_case()) {
+        // Every hop takes at least one unit, so mean delay ≥ mean hops.
+        let r = run_case(&c, 400.0);
+        if r.delay.count > 0 {
+            prop_assert!(
+                r.delay.mean >= r.mean_hops - 1e-9,
+                "delay {} below hops {}", r.delay.mean, r.mean_hops
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bound_holds_for_random_configs(c in sim_case()) {
+        // Prop. 12 with CI slack; horizon long enough for rough convergence.
+        let r = run_case(&c, 1_500.0);
+        let ub = greedy_upper_bound(c.dim, c.rho / c.p, c.p);
+        prop_assert!(
+            r.delay.mean <= ub * 1.10 + 0.1,
+            "T {} above UB {} for {:?}", r.delay.mean, ub, c
+        );
+    }
+
+    #[test]
+    fn butterfly_invariants(
+        dim in 2usize..=4,
+        load in 0.1f64..0.8,
+        p in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let lambda = load / p.max(1.0 - p);
+        let r = ButterflySim::new(ButterflySimConfig {
+            dim,
+            lambda,
+            p,
+            horizon: 400.0,
+            warmup: 80.0,
+            seed,
+            ..Default::default()
+        })
+        .run();
+        prop_assert_eq!(r.generated, r.delivered);
+        if r.delay.count > 0 {
+            // Unique path of length d: delay at least d, verticals ≤ d.
+            prop_assert!(r.delay.mean >= dim as f64 - 1e-9);
+            prop_assert!(r.mean_vertical_hops <= dim as f64 + 1e-9);
+        }
+    }
+}

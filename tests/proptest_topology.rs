@@ -1,0 +1,129 @@
+//! Property-based tests of the topology substrate: canonical paths,
+//! butterfly paths, arc indexing, and the equivalent networks' traffic
+//! equations.
+
+use hyperroute::topology::{
+    Butterfly, ButterflyArc, Hypercube, HypercubeArc, LevelledNetwork, NodeId,
+};
+use proptest::prelude::*;
+
+fn dim_and_two_nodes() -> impl Strategy<Value = (usize, u64, u64)> {
+    (1usize..=10).prop_flat_map(|d| {
+        let n = 1u64 << d;
+        (Just(d), 0..n, 0..n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn canonical_path_is_shortest_connected_monotone((d, src, dst) in dim_and_two_nodes()) {
+        let cube = Hypercube::new(d);
+        let (src, dst) = (NodeId(src), NodeId(dst));
+        let path: Vec<_> = cube.canonical_path(src, dst).collect();
+        // Shortest.
+        prop_assert_eq!(path.len() as u32, src.hamming(dst));
+        // Connected, ends at dst.
+        let mut at = src;
+        for arc in &path {
+            prop_assert_eq!(arc.from, at);
+            at = arc.to();
+        }
+        prop_assert_eq!(at, dst);
+        // Increasing dimension order — the defining greedy property.
+        prop_assert!(path.windows(2).all(|w| w[0].dim < w[1].dim));
+    }
+
+    #[test]
+    fn translation_invariance((d, src, dst) in dim_and_two_nodes(), shift in any::<u64>()) {
+        let cube = Hypercube::new(d);
+        let mask = shift & ((1u64 << d) - 1);
+        let dims_base: Vec<_> = cube
+            .canonical_path(NodeId(src), NodeId(dst))
+            .map(|a| a.dim)
+            .collect();
+        let dims_shift: Vec<_> = cube
+            .canonical_path(NodeId(src ^ mask), NodeId(dst ^ mask))
+            .map(|a| a.dim)
+            .collect();
+        prop_assert_eq!(dims_base, dims_shift);
+    }
+
+    #[test]
+    fn hypercube_arc_index_roundtrip((d, node, _) in dim_and_two_nodes(), dim_pick in any::<usize>()) {
+        let dim = dim_pick % d;
+        let arc = HypercubeArc { from: NodeId(node), dim };
+        let idx = arc.index(d);
+        prop_assert!(idx < d << d);
+        prop_assert_eq!(HypercubeArc::from_index(idx, d), arc);
+    }
+
+    #[test]
+    fn butterfly_path_properties((d, src, dst) in dim_and_two_nodes()) {
+        let bf = Butterfly::new(d);
+        let (src, dst) = (NodeId(src), NodeId(dst));
+        let path: Vec<ButterflyArc> = bf.path(src, dst).collect();
+        // Always exactly d arcs, levels 0..d in order.
+        prop_assert_eq!(path.len(), d);
+        for (j, arc) in path.iter().enumerate() {
+            prop_assert_eq!(arc.level, j);
+        }
+        // Verticals exactly at the differing dimensions, in order.
+        let verticals: Vec<usize> = path
+            .iter()
+            .filter(|a| a.kind == hyperroute::topology::ArcKind::Vertical)
+            .map(|a| a.level)
+            .collect();
+        let expected: Vec<usize> = src.differing_dims(dst).collect();
+        prop_assert_eq!(verticals, expected);
+        // Ends at the destination row.
+        let mut row = src;
+        for arc in &path {
+            row = arc.to_row();
+        }
+        prop_assert_eq!(row, dst);
+    }
+
+    #[test]
+    fn q_network_traffic_equations(
+        d in 1usize..=6,
+        lambda in 0.01f64..2.0,
+        p in 0.05f64..=1.0,
+    ) {
+        let net = LevelledNetwork::equivalent_q(Hypercube::new(d), lambda, p);
+        prop_assert!(net.validate().is_ok());
+        // Prop. 5: every server's total arrival rate is λp.
+        let rho = lambda * p;
+        for rate in net.total_arrival_rates() {
+            prop_assert!((rate - rho).abs() < 1e-9, "rate {} vs ρ {}", rate, rho);
+        }
+    }
+
+    #[test]
+    fn r_network_traffic_equations(
+        d in 1usize..=6,
+        lambda in 0.01f64..2.0,
+        p in 0.0f64..=1.0,
+    ) {
+        let bf = Butterfly::new(d);
+        let net = LevelledNetwork::equivalent_r(bf, lambda, p);
+        prop_assert!(net.validate().is_ok());
+        let rates = net.total_arrival_rates();
+        for arc in bf.arcs() {
+            let expect = match arc.kind {
+                hyperroute::topology::ArcKind::Straight => lambda * (1.0 - p),
+                hyperroute::topology::ArcKind::Vertical => lambda * p,
+            };
+            prop_assert!((rates[arc.index(d)] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn num_shortest_paths_is_factorial((d, src, dst) in dim_and_two_nodes()) {
+        let cube = Hypercube::new(d);
+        let k = NodeId(src).hamming(NodeId(dst)) as u64;
+        let expect: u64 = (1..=k).product::<u64>().max(1);
+        prop_assert_eq!(cube.num_shortest_paths(NodeId(src), NodeId(dst)), expect);
+    }
+}
