@@ -51,7 +51,10 @@ fn check(d: usize, lambda: f64, p: f64) {
     assert!(d >= 1, "dimension must be positive");
     assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
     let rho = butterfly_load_factor(lambda, p);
-    assert!(rho < 1.0, "bounds require a stable system (ρ_bf = {rho} ≥ 1)");
+    assert!(
+        rho < 1.0,
+        "bounds require a stable system (ρ_bf = {rho} ≥ 1)"
+    );
 }
 
 #[cfg(test)]

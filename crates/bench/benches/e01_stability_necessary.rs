@@ -1,4 +1,7 @@
 //! Bench target regenerating the e01_stability_necessary experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e01_stability_necessary", hyperroute_experiments::e01_stability_necessary::run);
+    hyperroute_bench::run_table_bench(
+        "e01_stability_necessary",
+        hyperroute_experiments::e01_stability_necessary::run,
+    );
 }

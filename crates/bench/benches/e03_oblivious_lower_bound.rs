@@ -1,4 +1,7 @@
 //! Bench target regenerating the e03_oblivious_lower_bound experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e03_oblivious_lower_bound", hyperroute_experiments::e03_oblivious_lower_bound::run);
+    hyperroute_bench::run_table_bench(
+        "e03_oblivious_lower_bound",
+        hyperroute_experiments::e03_oblivious_lower_bound::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e05_greedy_stability experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e05_greedy_stability", hyperroute_experiments::e05_greedy_stability::run);
+    hyperroute_bench::run_table_bench(
+        "e05_greedy_stability",
+        hyperroute_experiments::e05_greedy_stability::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e08_fifo_ps_servers experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e08_fifo_ps_servers", hyperroute_experiments::e08_fifo_ps_servers::run);
+    hyperroute_bench::run_table_bench(
+        "e08_fifo_ps_servers",
+        hyperroute_experiments::e08_fifo_ps_servers::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e09_ps_dominance experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e09_ps_dominance", hyperroute_experiments::e09_ps_dominance::run);
+    hyperroute_bench::run_table_bench(
+        "e09_ps_dominance",
+        hyperroute_experiments::e09_ps_dominance::run,
+    );
 }

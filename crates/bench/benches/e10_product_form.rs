@@ -1,4 +1,7 @@
 //! Bench target regenerating the e10_product_form experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e10_product_form", hyperroute_experiments::e10_product_form::run);
+    hyperroute_bench::run_table_bench(
+        "e10_product_form",
+        hyperroute_experiments::e10_product_form::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e11_slotted_time experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e11_slotted_time", hyperroute_experiments::e11_slotted_time::run);
+    hyperroute_bench::run_table_bench(
+        "e11_slotted_time",
+        hyperroute_experiments::e11_slotted_time::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e12_pipelined_instability experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e12_pipelined_instability", hyperroute_experiments::e12_pipelined_instability::run);
+    hyperroute_bench::run_table_bench(
+        "e12_pipelined_instability",
+        hyperroute_experiments::e12_pipelined_instability::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e14_heavy_traffic experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e14_heavy_traffic", hyperroute_experiments::e14_heavy_traffic::run);
+    hyperroute_bench::run_table_bench(
+        "e14_heavy_traffic",
+        hyperroute_experiments::e14_heavy_traffic::run,
+    );
 }

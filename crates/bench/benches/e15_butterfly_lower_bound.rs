@@ -1,4 +1,7 @@
 //! Bench target regenerating the e15_butterfly_lower_bound experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e15_butterfly_lower_bound", hyperroute_experiments::e15_butterfly_lower_bound::run);
+    hyperroute_bench::run_table_bench(
+        "e15_butterfly_lower_bound",
+        hyperroute_experiments::e15_butterfly_lower_bound::run,
+    );
 }

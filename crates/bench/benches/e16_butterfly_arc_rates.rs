@@ -1,4 +1,7 @@
 //! Bench target regenerating the e16_butterfly_arc_rates experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e16_butterfly_arc_rates", hyperroute_experiments::e16_butterfly_arc_rates::run);
+    hyperroute_bench::run_table_bench(
+        "e16_butterfly_arc_rates",
+        hyperroute_experiments::e16_butterfly_arc_rates::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e17_butterfly_stability experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e17_butterfly_stability", hyperroute_experiments::e17_butterfly_stability::run);
+    hyperroute_bench::run_table_bench(
+        "e17_butterfly_stability",
+        hyperroute_experiments::e17_butterfly_stability::run,
+    );
 }

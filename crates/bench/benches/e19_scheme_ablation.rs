@@ -1,4 +1,7 @@
 //! Bench target regenerating the e19_scheme_ablation experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e19_scheme_ablation", hyperroute_experiments::e19_scheme_ablation::run);
+    hyperroute_bench::run_table_bench(
+        "e19_scheme_ablation",
+        hyperroute_experiments::e19_scheme_ablation::run,
+    );
 }

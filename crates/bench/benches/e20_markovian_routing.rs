@@ -1,4 +1,7 @@
 //! Bench target regenerating the e20_markovian_routing experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e20_markovian_routing", hyperroute_experiments::e20_markovian_routing::run);
+    hyperroute_bench::run_table_bench(
+        "e20_markovian_routing",
+        hyperroute_experiments::e20_markovian_routing::run,
+    );
 }

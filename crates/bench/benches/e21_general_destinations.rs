@@ -1,4 +1,7 @@
 //! Bench target regenerating the e21_general_destinations experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e21_general_destinations", hyperroute_experiments::e21_general_destinations::run);
+    hyperroute_bench::run_table_bench(
+        "e21_general_destinations",
+        hyperroute_experiments::e21_general_destinations::run,
+    );
 }

@@ -1,4 +1,7 @@
 //! Bench target regenerating the e22_contention_policies experiment table (see DESIGN.md §4).
 fn main() {
-    hyperroute_bench::run_table_bench("e22_contention_policies", hyperroute_experiments::e22_contention_policies::run);
+    hyperroute_bench::run_table_bench(
+        "e22_contention_policies",
+        hyperroute_experiments::e22_contention_policies::run,
+    );
 }

@@ -1,0 +1,165 @@
+//! `BENCH_engine.json` emitter: engine-throughput grid over
+//! d ∈ {6, 8, 10} × ρ ∈ {0.5, 0.8, 0.95}, run on three engines in the same
+//! process —
+//!
+//! * `seed`: the frozen seed engine (binary heap + `VecDeque` arc queues +
+//!   per-event asserts; see `hyperroute_bench::seed_baseline`) — the
+//!   baseline the calendar/slab engine is measured against;
+//! * `heap`: the shipped simulator with the heap scheduler backend
+//!   (isolates the scheduler swap from the slab/layout work);
+//! * `calendar`: the shipped default.
+//!
+//! Each cell reports wall seconds (best of `reps` alternating repetitions,
+//! to shed scheduler noise), events/sec and packets/sec, plus the speedup
+//! of the default engine over both baselines. The JSON lands at the repo
+//! root (override with `HYPERROUTE_BENCH_OUT`) so the perf trajectory is
+//! tracked in-tree from this PR onward.
+//!
+//! Scale: `HYPERROUTE_SCALE=full` lengthens the horizon and adds
+//! repetitions; the default `quick` keeps the grid under a minute.
+
+use hyperroute_bench::seed_baseline::run_seed_engine;
+use hyperroute_core::hypercube_sim::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_desim::SchedulerKind;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Cell {
+    dim: usize,
+    rho: f64,
+    engine: &'static str,
+    wall_s: f64,
+    events: u64,
+    generated: u64,
+    events_per_sec: f64,
+    packets_per_sec: f64,
+}
+
+fn run_new(kind: SchedulerKind, dim: usize, rho: f64, horizon: f64) -> (f64, u64, u64) {
+    let cfg = HypercubeSimConfig {
+        dim,
+        lambda: rho / 0.5,
+        p: 0.5,
+        horizon,
+        warmup: horizon * 0.2,
+        seed: 7,
+        scheduler: kind,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let r = HypercubeSim::new(cfg).run();
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
+fn run_seed(dim: usize, rho: f64, horizon: f64) -> (f64, u64, u64) {
+    let start = Instant::now();
+    let r = run_seed_engine(dim, rho / 0.5, 0.5, horizon, 7);
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
+fn main() {
+    let full = matches!(
+        std::env::var("HYPERROUTE_SCALE").as_deref(),
+        Ok("full") | Ok("FULL")
+    );
+    let (horizon, reps) = if full { (400.0, 9) } else { (120.0, 5) };
+    let dims = [6usize, 8, 10];
+    let rhos = [0.5f64, 0.8, 0.95];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &dim in &dims {
+        for &rho in &rhos {
+            // Alternate engines within each repetition so slow drift in
+            // machine speed cancels out of the ratios; keep each engine's
+            // best (least-interference) time.
+            let mut best = [f64::MAX; 3];
+            let mut meta = [(0u64, 0u64); 3];
+            for _ in 0..reps {
+                let runs = [
+                    run_seed(dim, rho, horizon),
+                    run_new(SchedulerKind::Heap, dim, rho, horizon),
+                    run_new(SchedulerKind::Calendar, dim, rho, horizon),
+                ];
+                for (i, &(t, ev, gen)) in runs.iter().enumerate() {
+                    best[i] = best[i].min(t);
+                    meta[i] = (ev, gen);
+                }
+            }
+            for (i, engine) in ["seed", "heap", "calendar"].into_iter().enumerate() {
+                let (events, generated) = meta[i];
+                cells.push(Cell {
+                    dim,
+                    rho,
+                    engine,
+                    wall_s: best[i],
+                    events,
+                    generated,
+                    events_per_sec: events as f64 / best[i],
+                    packets_per_sec: generated as f64 / best[i],
+                });
+            }
+            let speed = |engine: &str| {
+                let c = cells
+                    .iter()
+                    .rfind(|c| c.dim == dim && c.rho == rho && c.engine == engine)
+                    .expect("cell recorded");
+                c.events as f64 / c.wall_s
+            };
+            eprintln!(
+                "d{dim} rho{rho}: seed {:.2} Mev/s | heap {:.2} Mev/s | calendar {:.2} Mev/s | calendar/seed {:.2}x, calendar/heap {:.2}x",
+                speed("seed") / 1e6,
+                speed("heap") / 1e6,
+                speed("calendar") / 1e6,
+                speed("calendar") / speed("seed"),
+                speed("calendar") / speed("heap"),
+            );
+        }
+    }
+
+    let rate = |dim: usize, rho: f64, engine: &str| {
+        cells
+            .iter()
+            .find(|c| c.dim == dim && (c.rho - rho).abs() < 1e-9 && c.engine == engine)
+            .map(|c| c.events_per_sec)
+            .expect("grid cell present")
+    };
+    let headline_seed = rate(8, 0.8, "calendar") / rate(8, 0.8, "seed");
+    let headline_heap = rate(8, 0.8, "calendar") / rate(8, 0.8, "heap");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"engine\",");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        if full { "full" } else { "quick" }
+    );
+    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5, horizon {horizon}, warmup 20%, best of {reps}\",");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"seed = frozen pre-PR engine (binary-heap FEL, VecDeque arc queues, per-event asserts); heap = shipped simulator on the heap backend\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{ \"kernel\": \"hypercube_sim/d8_rho0.8\", \"calendar_vs_seed_speedup\": {headline_seed:.3}, \"calendar_vs_heap_backend_speedup\": {headline_heap:.3} }},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"sim\": \"hypercube\", \"dim\": {}, \"rho\": {}, \"engine\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \"packets\": {}, \"events_per_sec\": {:.0}, \"packets_per_sec\": {:.0} }}{sep}",
+            c.dim, c.rho, c.engine, c.wall_s, c.events, c.generated, c.events_per_sec, c.packets_per_sec
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("HYPERROUTE_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
+    });
+    std::fs::write(&out, &json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out}");
+    eprintln!(
+        "headline d8_rho0.8: calendar vs seed baseline {headline_seed:.2}x, vs heap backend {headline_heap:.2}x"
+    );
+}

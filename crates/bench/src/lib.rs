@@ -9,6 +9,8 @@
 //! (long horizons); the default `quick` keeps a full `cargo bench` run in
 //! the minutes range on a laptop.
 
+pub mod seed_baseline;
+
 use hyperroute_experiments::{Scale, Table};
 use std::time::Instant;
 

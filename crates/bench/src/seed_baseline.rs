@@ -1,0 +1,484 @@
+//! The seed revision's hypercube engine, frozen for A/B benchmarking.
+//!
+//! This module preserves the **pre-calendar-queue** engine as the seed
+//! tree ran it, so `BENCH_engine.json` can measure the shipped engine
+//! against its true baseline *in the same process*:
+//!
+//! * binary-heap future-event list with a release-mode validity `assert!`
+//!   on every push;
+//! * one `VecDeque<Packet>` per arc plus a separate `Vec<Option<Packet>>`
+//!   serving array (scattered per-arc ring buffers), with
+//!   `VecDeque::remove(idx)` service selection;
+//! * per-bit Bernoulli destination sampling (one `uniform01` draw per
+//!   dimension) behind the custom-pmf `Option` check;
+//! * the seed metrics stack on every event: Welford mean/variance for
+//!   delays and hops, nested-Welford batch means, the float-multiply
+//!   reservoir step, and peak-tracking time-weighted signals for the
+//!   number-in-system and per-dimension occupancies (with their warm-up
+//!   reset and horizon freeze branches);
+//! * `arc / d`, `arc % d` integer divisions by the runtime dimension on
+//!   every completion, and the per-event sampling/drain checks of the
+//!   seed's `drive` loop.
+//!
+//! Faithfulness check: at d8/ρ0.8 this module reproduces the throughput of
+//! the actual seed tree built standalone to within measurement noise
+//! (~7.9 Mev/s on the build machine). Do not "fix" this module — its
+//! inefficiencies are the measurement. It produces the same
+//! *distributions* as the shipped engine but not the same draws (the
+//! shipped engine batches its Bernoulli sampling), so it is benchmarked,
+//! never differentially tested.
+
+use hyperroute_desim::SimRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Clone, Copy)]
+struct Packet {
+    born: f64,
+    remaining: u32,
+    second_leg_dest: u32,
+    hops: u16,
+}
+
+const NO_SECOND_LEG: u32 = u32::MAX;
+
+struct Entry {
+    time: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    Arrival,
+    Complete(u32),
+}
+
+/// Seed-style Welford (division per push).
+#[derive(Clone, Copy, Default)]
+struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    #[inline]
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+}
+
+/// Seed-style nested-Welford batch means.
+#[derive(Clone, Copy)]
+struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batches: Welford,
+}
+
+impl BatchMeans {
+    #[inline]
+    fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count == self.batch_size {
+            let m = self.current.mean;
+            self.batches.push(m);
+            self.current = Welford::default();
+        }
+    }
+}
+
+/// Seed-style reservoir (float multiply acceptance draw).
+struct Reservoir {
+    sample: Vec<f64>,
+    capacity: usize,
+    seen: u64,
+    rng: SimRng,
+}
+
+impl Reservoir {
+    #[inline]
+    fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(x);
+        } else {
+            let j = (self.rng.uniform01() * self.seen as f64) as u64;
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = x;
+            }
+        }
+    }
+}
+
+/// Seed-style time-weighted signal (peak tracking everywhere, `set`-based
+/// updates).
+#[derive(Clone, Copy)]
+struct TimeWeighted {
+    start: f64,
+    last_t: f64,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    fn new() -> TimeWeighted {
+        TimeWeighted {
+            start: 0.0,
+            last_t: 0.0,
+            value: 0.0,
+            integral: 0.0,
+            peak: 0.0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, t: f64, value: f64) {
+        self.integral += self.value * (t - self.last_t);
+        self.last_t = t;
+        self.value = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, t: f64, delta: f64) {
+        let v = self.value + delta;
+        self.set(t, v);
+    }
+
+    fn reset(&mut self, t: f64) {
+        self.start = t;
+        self.last_t = t;
+        self.integral = 0.0;
+        self.peak = self.value;
+    }
+}
+
+/// Seed-style collector: warm-up reset, horizon freeze, Welford delays and
+/// hops, batch means, reservoir, zero-hop counting.
+struct Collector {
+    warmup: f64,
+    horizon: f64,
+    delays: Welford,
+    delay_batches: BatchMeans,
+    reservoir: Reservoir,
+    hops: Welford,
+    zero_hop: u64,
+    in_system: TimeWeighted,
+    in_system_reset_done: bool,
+    in_system_frozen: bool,
+    generated: u64,
+    delivered_measured: u64,
+    delivered_total: u64,
+}
+
+impl Collector {
+    #[inline]
+    fn bump_in_system(&mut self, t: f64, delta: f64) {
+        if self.in_system_frozen {
+            return;
+        }
+        if !self.in_system_reset_done && t >= self.warmup {
+            self.in_system.set(self.warmup, self.in_system.value);
+            self.in_system.reset(self.warmup);
+            self.in_system_reset_done = true;
+        }
+        if t >= self.horizon {
+            self.in_system.set(self.horizon, self.in_system.value);
+            self.in_system_frozen = true;
+            return;
+        }
+        self.in_system.add(t, delta);
+    }
+
+    #[inline]
+    fn on_generated(&mut self, t: f64) {
+        self.generated += 1;
+        self.bump_in_system(t, 1.0);
+    }
+
+    #[inline]
+    fn on_delivered(&mut self, t: f64, born: f64, hops: u16) {
+        self.delivered_total += 1;
+        self.bump_in_system(t, -1.0);
+        if born >= self.warmup && born < self.horizon {
+            let delay = t - born;
+            self.delays.push(delay);
+            self.delay_batches.push(delay);
+            self.reservoir.push(delay);
+            self.hops.push(hops as f64);
+            if hops == 0 {
+                self.zero_hop += 1;
+            }
+            self.delivered_measured += 1;
+        }
+    }
+}
+
+/// Summary counters from a baseline run (throughput measurement only).
+pub struct BaselineRun {
+    /// Events processed (arrivals + completions).
+    pub events: u64,
+    /// Packets generated.
+    pub generated: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Guard value so the optimizer cannot elide the statistics work.
+    pub checksum: f64,
+}
+
+/// Run the frozen seed engine: hypercube, greedy routing, FIFO contention,
+/// Poisson arrivals, bit-flip destinations — the seed's exact hot path,
+/// including its full measurement stack. `warmup` is `0.2 · horizon`,
+/// matching the shipped bench configs.
+pub fn run_seed_engine(dim: usize, lambda: f64, p: f64, horizon: f64, seed: u64) -> BaselineRun {
+    assert!((1..=26).contains(&dim));
+    let nodes = 1usize << dim;
+    let arcs = nodes * dim;
+    let warmup = horizon * 0.2;
+    let mut root = SimRng::new(seed);
+    let mut arrival_rng = root.split();
+    let mut dest_rng = root.split();
+    let _route_rng = root.split();
+    let _contention_rng = root.split();
+
+    let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); arcs];
+    let mut serving: Vec<Option<Packet>> = vec![None; arcs];
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(1024);
+    let mut seq = 0u64;
+    let total_rate = lambda * nodes as f64;
+
+    let expected = (lambda * nodes as f64 * (horizon - warmup)).max(64.0);
+    let mut collector = Collector {
+        warmup,
+        horizon,
+        delays: Welford::default(),
+        delay_batches: BatchMeans {
+            batch_size: ((expected / 32.0).ceil() as u64).max(1),
+            current: Welford::default(),
+            batches: Welford::default(),
+        },
+        reservoir: Reservoir {
+            sample: Vec::with_capacity(4096),
+            capacity: 4096,
+            seen: 0,
+            rng: SimRng::new(seed ^ 0x5EED_5EED),
+        },
+        hops: Welford::default(),
+        zero_hop: 0,
+        in_system: TimeWeighted::new(),
+        in_system_reset_done: warmup == 0.0,
+        in_system_frozen: false,
+        generated: 0,
+        delivered_measured: 0,
+        delivered_total: 0,
+    };
+    let mut dim_occupancy: Vec<TimeWeighted> = vec![TimeWeighted::new(); dim];
+    let mut dim_occ_reset_done = warmup == 0.0;
+    let mut dim_arrivals: Vec<u64> = vec![0; dim];
+    // The seed's custom-pmf hook: a per-packet Option check on this path.
+    let mask_sampler: Option<Vec<f64>> = None;
+
+    let mut events = 0u64;
+    // The seed's drive() sampling hook, checked once per event.
+    let mut sampling: Option<(f64, Vec<(f64, f64)>)> = None;
+    let drain = true;
+    #[allow(unused_assignments)]
+    let mut now = 0.0f64;
+
+    macro_rules! push_event {
+        ($t:expr, $ev:expr) => {{
+            let time: f64 = $t;
+            // Seed behavior: validity assert on every push, release too.
+            assert!(time.is_finite() && time >= 0.0, "bad event time {time}");
+            heap.push(Entry { time, seq, ev: $ev });
+            seq += 1;
+        }};
+    }
+
+    macro_rules! bump_dim_occupancy {
+        ($t:expr, $dim:expr, $delta:expr) => {{
+            let t: f64 = $t;
+            if !dim_occ_reset_done && t >= warmup {
+                for tw in dim_occupancy.iter_mut() {
+                    let current = tw.value;
+                    tw.set(warmup, current);
+                    tw.reset(warmup);
+                }
+                dim_occ_reset_done = true;
+            }
+            if t < horizon {
+                dim_occupancy[$dim].add(t, $delta);
+            }
+        }};
+    }
+
+    macro_rules! enqueue {
+        ($t:expr, $node:expr, $pkt:expr) => {{
+            let t: f64 = $t;
+            let node: u32 = $node;
+            let mut pkt: Packet = $pkt;
+            let d0 = pkt.remaining.trailing_zeros() as usize;
+            pkt.remaining &= !(1u32 << d0);
+            let arc = node as usize * dim + d0;
+            if t >= warmup && t < horizon {
+                dim_arrivals[d0] += 1;
+            }
+            bump_dim_occupancy!(t, d0, 1.0);
+            if serving[arc].is_none() {
+                serving[arc] = Some(pkt);
+                push_event!(t + 1.0, Ev::Complete(arc as u32));
+            } else {
+                queues[arc].push_back(pkt);
+            }
+        }};
+    }
+
+    // Seed flip sampling: one Bernoulli draw per dimension.
+    let flip_mask = |rng: &mut SimRng| -> u32 {
+        let mut mask = 0u32;
+        for i in 0..dim {
+            if rng.bernoulli(p) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    };
+
+    if total_rate > 0.0 {
+        push_event!(arrival_rng.exp(total_rate), Ev::Arrival);
+    }
+
+    while let Some(Entry { time: t, ev, .. }) = heap.pop() {
+        if let Some((interval, samples)) = &mut sampling {
+            if *interval <= t {
+                samples.push((t, 0.0));
+            }
+        }
+        events += 1;
+        now = t;
+        match ev {
+            Ev::Arrival => {
+                let next = t + arrival_rng.exp(total_rate);
+                if next < horizon {
+                    push_event!(next, Ev::Arrival);
+                }
+                let node = arrival_rng.below(nodes) as u32;
+                collector.on_generated(t);
+                let mask = match &mask_sampler {
+                    Some(_) => unreachable!("no custom pmf in the baseline bench"),
+                    None => flip_mask(&mut dest_rng),
+                };
+                if mask == 0 {
+                    collector.on_delivered(t, t, 0);
+                } else {
+                    let pkt = Packet {
+                        born: t,
+                        remaining: mask,
+                        second_leg_dest: NO_SECOND_LEG,
+                        hops: 0,
+                    };
+                    enqueue!(t, node, pkt);
+                }
+            }
+            Ev::Complete(arc) => {
+                let arc = arc as usize;
+                let mut pkt = serving[arc].take().expect("no packet in service");
+                // Seed hot path: divisions by the runtime dimension.
+                bump_dim_occupancy!(t, arc % dim, -1.0);
+                // start_next_service: contention pick via VecDeque::remove.
+                if !queues[arc].is_empty() {
+                    let idx = 0; // ContentionPolicy::Fifo
+                    let next = queues[arc].remove(idx).expect("index in range");
+                    serving[arc] = Some(next);
+                    push_event!(t + 1.0, Ev::Complete(arc as u32));
+                }
+                pkt.hops += 1;
+                let node = (arc / dim) as u32 ^ (1u32 << (arc % dim));
+                if pkt.remaining != 0 {
+                    enqueue!(t, node, pkt);
+                } else if pkt.second_leg_dest != NO_SECOND_LEG {
+                    unreachable!("greedy baseline has no second leg");
+                } else {
+                    collector.on_delivered(t, pkt.born, pkt.hops);
+                }
+            }
+        }
+        if !drain && t >= horizon {
+            break;
+        }
+    }
+
+    BaselineRun {
+        events,
+        generated: collector.generated,
+        delivered: collector.delivered_total,
+        checksum: now
+            + collector.delays.mean
+            + collector.delays.m2
+            + collector.delay_batches.batches.mean
+            + collector.hops.mean
+            + collector.zero_hop as f64
+            + collector.in_system.integral
+            + collector.in_system.peak
+            + collector.delivered_measured as f64
+            + dim_occupancy
+                .iter()
+                .map(|x| x.integral + x.peak + x.start)
+                .sum::<f64>()
+            + collector.reservoir.sample.iter().sum::<f64>()
+            + dim_arrivals.iter().sum::<u64>() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_engine_conserves_packets() {
+        let r = run_seed_engine(4, 1.2, 0.5, 300.0, 9);
+        assert_eq!(r.generated, r.delivered);
+        assert!(r.events > r.generated);
+        assert!(r.checksum.is_finite());
+    }
+
+    #[test]
+    fn seed_engine_event_count_matches_hop_structure() {
+        // events = arrivals + completions = generated + total hops; mean
+        // hops ≈ dp ⇒ events ≈ generated · (1 + dp).
+        let r = run_seed_engine(6, 1.0, 0.5, 400.0, 3);
+        let per_packet = r.events as f64 / r.generated as f64;
+        assert!(
+            (per_packet - 4.0).abs() < 0.2,
+            "events per packet {per_packet} vs 1 + dp = 4"
+        );
+    }
+}

@@ -10,10 +10,10 @@
 use crate::config::ArrivalModel;
 use crate::metrics::{DelayStats, MetricsCollector};
 use crate::packet::sample_flip_mask;
-use hyperroute_desim::{EventQueue, SimRng, Welford};
+use crate::pool::{ArcFifo, SlabPool};
+use hyperroute_desim::{Scheduler, SchedulerKind, SimRng, Tally};
 use hyperroute_topology::{ArcKind, Butterfly, ButterflyArc, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Configuration of a butterfly routing simulation.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -35,6 +35,9 @@ pub struct ButterflySimConfig {
     pub seed: u64,
     /// Deliver all in-flight packets after the horizon.
     pub drain: bool,
+    /// Future-event-list backend (both are bit-identical; the calendar
+    /// queue is the fast default on this unit-service model).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ButterflySimConfig {
@@ -48,6 +51,7 @@ impl Default for ButterflySimConfig {
             warmup: 200.0,
             seed: 0xBF,
             drain: true,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -59,15 +63,23 @@ impl ButterflySimConfig {
     }
 
     fn validate(&self) {
+        // Release-mode validation happens here once, not per event in the
+        // scheduler (see `HypercubeSimConfig::validate`).
         assert!(self.dim >= 1 && self.dim <= 24, "bad dimension");
-        assert!(self.lambda >= 0.0, "negative λ");
+        assert!(self.lambda >= 0.0 && self.lambda.is_finite(), "bad λ");
         assert!((0.0..=1.0).contains(&self.p), "p outside [0,1]");
+        assert!(self.horizon.is_finite() && self.warmup.is_finite());
         assert!(self.horizon > self.warmup && self.warmup >= 0.0);
+        if let ArrivalModel::Slotted { slots_per_unit } = self.arrivals {
+            assert!(slots_per_unit >= 1, "slotted model needs ≥ 1 slot per unit");
+        }
     }
 }
 
 /// Results of a butterfly simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` is bit-exact, for the scheduler-equivalence tests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ButterflyReport {
     /// Echo of the dimension.
     pub dim: usize,
@@ -99,6 +111,9 @@ pub struct ButterflyReport {
     pub generated: u64,
     /// Total packets delivered.
     pub delivered: u64,
+    /// Discrete events processed (arrivals + slot boundaries + service
+    /// completions).
+    pub events: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -115,19 +130,37 @@ enum Ev {
     Complete(u32),
 }
 
+/// Per-arc state: the waiting list (whose head is the packet in service
+/// when `busy`), the busy flag, and the arc's precomputed geometry — one
+/// cache line per completion, and no integer division by the runtime
+/// dimension (`ButterflyArc::from_index` costs two) on the hot path.
+#[derive(Clone, Copy, Debug, Default)]
+struct ArcState {
+    queue: ArcFifo,
+    /// Row at the arc's head node (`to_row` of the topology arc).
+    to_row: u32,
+    /// Level the arc leaves from.
+    level: u8,
+    vertical: bool,
+    busy: bool,
+}
+
 /// The butterfly simulator.
 pub struct ButterflySim {
     cfg: ButterflySimConfig,
     bf: Butterfly,
-    queues: Vec<VecDeque<BfPacket>>,
-    busy: Vec<bool>,
-    events: EventQueue<Ev>,
+    /// One slab for every queued packet; arcs hold intrusive lists (the
+    /// head of a busy arc's list is the packet in service).
+    pool: SlabPool<BfPacket>,
+    arcs: Vec<ArcState>,
+    events: Scheduler<Ev>,
+    events_processed: u64,
     arrival_rng: SimRng,
     dest_rng: SimRng,
     collector: MetricsCollector,
     straight_arrivals: Vec<u64>,
     vertical_arrivals: Vec<u64>,
-    vertical_stats: Welford,
+    vertical_stats: Tally,
 }
 
 impl ButterflySim {
@@ -146,7 +179,9 @@ impl ButterflySim {
             (expected / 32.0).ceil() as u64,
             cfg.seed,
         );
-        let mut events = EventQueue::with_capacity(1024);
+        // Rate hint: one arrival plus d completions per packet per unit.
+        let events_per_unit = cfg.lambda * bf.num_rows() as f64 * (1.0 + cfg.dim as f64);
+        let mut events = Scheduler::new(cfg.scheduler, events_per_unit);
         let total_rate = cfg.lambda * bf.num_rows() as f64;
         match cfg.arrivals {
             ArrivalModel::Poisson => {
@@ -161,15 +196,27 @@ impl ButterflySim {
         ButterflySim {
             cfg,
             bf,
-            queues: vec![VecDeque::new(); arcs],
-            busy: vec![false; arcs],
+            pool: SlabPool::with_capacity(1024),
+            arcs: (0..arcs)
+                .map(|idx| {
+                    let arc = ButterflyArc::from_index(idx, cfg.dim);
+                    ArcState {
+                        queue: ArcFifo::new(),
+                        to_row: arc.to_row().0 as u32,
+                        level: arc.level as u8,
+                        vertical: arc.kind == ArcKind::Vertical,
+                        busy: false,
+                    }
+                })
+                .collect(),
             events,
+            events_processed: 0,
             arrival_rng,
             dest_rng,
             collector,
             straight_arrivals: vec![0; cfg.dim],
             vertical_arrivals: vec![0; cfg.dim],
-            vertical_stats: Welford::new(),
+            vertical_stats: Tally::new(),
         }
     }
 
@@ -200,6 +247,7 @@ impl ButterflySim {
                     next_sample += *interval;
                 }
             }
+            self.events_processed += 1;
             match ev {
                 Ev::Arrival => self.on_arrival(t),
                 Ev::SlotBoundary => self.on_slot_boundary(t),
@@ -269,33 +317,35 @@ impl ButterflySim {
                 ArcKind::Vertical => self.vertical_arrivals[level] += 1,
             }
         }
-        self.queues[arc].push_back(pkt);
-        if !self.busy[arc] {
-            self.busy[arc] = true;
+        self.arcs[arc].queue.push_back(&mut self.pool, pkt);
+        if !self.arcs[arc].busy {
+            self.arcs[arc].busy = true;
             self.events.push(t + 1.0, Ev::Complete(arc as u32));
         }
     }
 
     fn on_complete(&mut self, t: f64, arc_idx: usize) {
-        let mut pkt = self.queues[arc_idx]
-            .pop_front()
+        let mut pkt = self.arcs[arc_idx]
+            .queue
+            .pop_front(&mut self.pool)
             .expect("completion on empty queue");
-        if self.queues[arc_idx].is_empty() {
-            self.busy[arc_idx] = false;
+        if self.arcs[arc_idx].queue.is_empty() {
+            self.arcs[arc_idx].busy = false;
         } else {
             self.events.push(t + 1.0, Ev::Complete(arc_idx as u32));
         }
-        let arc = ButterflyArc::from_index(arc_idx, self.cfg.dim);
-        if arc.kind == ArcKind::Vertical {
+        let state = self.arcs[arc_idx];
+        if state.vertical {
             pkt.verticals += 1;
         }
-        let row = arc.to_row().0 as u32;
-        let level = arc.level + 1;
+        let row = state.to_row;
+        let level = state.level as usize + 1;
         if level == self.cfg.dim {
             if pkt.born >= self.cfg.warmup && pkt.born < self.cfg.horizon {
                 self.vertical_stats.push(pkt.verticals as f64);
             }
-            self.collector.on_delivered(t, pkt.born, self.cfg.dim as u16);
+            self.collector
+                .on_delivered(t, pkt.born, self.cfg.dim as u16);
         } else {
             self.enqueue(t, row, level, pkt);
         }
@@ -331,6 +381,7 @@ impl ButterflySim {
             vertical_rate_per_level: vertical,
             generated: self.collector.generated(),
             delivered: self.collector.delivered_total(),
+            events: self.events_processed,
         }
     }
 }
@@ -412,6 +463,16 @@ mod tests {
         assert!(a.little_error < 0.05, "little {}", a.little_error);
         let b = ButterflySim::new(base_cfg()).run();
         assert_eq!(a.delay.mean, b.delay.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot per unit")]
+    fn rejects_zero_slots_per_unit() {
+        let cfg = ButterflySimConfig {
+            arrivals: ArrivalModel::Slotted { slots_per_unit: 0 },
+            ..base_cfg()
+        };
+        ButterflySim::new(cfg);
     }
 
     #[test]

@@ -176,8 +176,7 @@ mod tests {
     #[test]
     fn skewed_product_pmf() {
         // Dim 0 always flips: masks without bit 0 have probability 0.
-        let DestinationSpec::MaskPmf(pmf) =
-            DestinationSpec::product_of_flips(&[1.0, 0.25]) else {
+        let DestinationSpec::MaskPmf(pmf) = DestinationSpec::product_of_flips(&[1.0, 0.25]) else {
             panic!("wrong variant");
         };
         assert_eq!(pmf[0b00], 0.0);

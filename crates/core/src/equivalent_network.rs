@@ -15,11 +15,11 @@
 //! `N(t) ≤ N̄(t)` are sample-path exact.
 
 use crate::metrics::{DelayStats, MetricsCollector};
-use hyperroute_desim::{EventQueue, OccupancyHistogram, SimRng};
+use crate::pool::{ArcFifo, SlabPool};
+use hyperroute_desim::{OccupancyHistogram, Scheduler, SchedulerKind, SimRng};
 use hyperroute_queueing::PsServer;
 use hyperroute_topology::LevelledNetwork;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Service discipline for every server of the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,6 +49,8 @@ pub struct EqNetConfig {
     /// Track per-server occupancy histograms up to this many customers
     /// (0 disables tracking).
     pub occupancy_cap: usize,
+    /// Future-event-list backend (bit-identical results either way).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for EqNetConfig {
@@ -61,12 +63,15 @@ impl Default for EqNetConfig {
             drain: true,
             record_departures: false,
             occupancy_cap: 0,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
 
 /// Results of an equivalent-network run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` is bit-exact, for the scheduler-equivalence tests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EqNetReport {
     /// Network-delay statistics (external arrival → departure), customers
     /// born in the measurement window.
@@ -102,7 +107,9 @@ enum Ev {
 pub struct EqNetSim {
     cfg: EqNetConfig,
     routes: Vec<Vec<(u32, f64)>>,
-    fifo_queues: Vec<VecDeque<u64>>,
+    /// Slab of queued customer ids; FIFO servers hold intrusive lists.
+    fifo_pool: SlabPool<u64>,
+    fifo_queues: Vec<ArcFifo>,
     fifo_busy: Vec<bool>,
     ps_servers: Vec<PsServer>,
     ps_generation: Vec<u32>,
@@ -110,7 +117,7 @@ pub struct EqNetSim {
     route_rngs: Vec<SimRng>,
     external_rate: Vec<f64>,
     born: Vec<f64>,
-    events: EventQueue<Ev>,
+    events: Scheduler<Ev>,
     collector: MetricsCollector,
     departures: Vec<f64>,
     occupancy: Vec<OccupancyHistogram>,
@@ -140,12 +147,14 @@ impl EqNetSim {
             .map(|s| SimRng::new(cfg.seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15)))
             .collect();
         let route_rngs: Vec<SimRng> = (0..n)
-            .map(|s| {
-                SimRng::new(cfg.seed ^ (s as u64).wrapping_mul(0xC2B2AE3D27D4EB4F) ^ 0xABCD)
-            })
+            .map(|s| SimRng::new(cfg.seed ^ (s as u64).wrapping_mul(0xC2B2AE3D27D4EB4F) ^ 0xABCD))
             .collect();
 
-        let mut events = EventQueue::with_capacity(n * 2);
+        // Rate hint: external arrivals plus one completion per stage
+        // visited (bounded by the server count per customer in these
+        // feed-forward networks; 4 is a comfortable average).
+        let events_per_unit = external_rate.iter().sum::<f64>() * 4.0 + n as f64;
+        let mut events = Scheduler::new(cfg.scheduler, events_per_unit);
         let mut arrival_rngs = arrival_rngs;
         for s in 0..n {
             if external_rate[s] > 0.0 {
@@ -174,7 +183,8 @@ impl EqNetSim {
         EqNetSim {
             cfg,
             routes,
-            fifo_queues: vec![VecDeque::new(); n],
+            fifo_pool: SlabPool::with_capacity(256),
+            fifo_queues: vec![ArcFifo::new(); n],
             fifo_busy: vec![false; n],
             ps_servers: vec![PsServer::unit(); n],
             ps_generation: vec![0; n],
@@ -245,7 +255,7 @@ impl EqNetSim {
         self.occ_bump(t, s, 1);
         match self.cfg.discipline {
             Discipline::Fifo => {
-                self.fifo_queues[s].push_back(id);
+                self.fifo_queues[s].push_back(&mut self.fifo_pool, id);
                 if !self.fifo_busy[s] {
                     self.fifo_busy[s] = true;
                     self.events.push(t + 1.0, Ev::FifoComplete(s as u32));
@@ -273,7 +283,7 @@ impl EqNetSim {
 
     fn on_fifo_complete(&mut self, t: f64, s: usize) {
         let id = self.fifo_queues[s]
-            .pop_front()
+            .pop_front(&mut self.fifo_pool)
             .expect("completion on empty queue");
         if self.fifo_queues[s].is_empty() {
             self.fifo_busy[s] = false;
@@ -300,8 +310,7 @@ impl EqNetSim {
         match decision {
             Some(next) => self.join(t, next as usize, id),
             None => {
-                self.collector
-                    .on_delivered(t, self.born[id as usize], 0);
+                self.collector.on_delivered(t, self.born[id as usize], 0);
                 if self.cfg.record_departures {
                     self.departures.push(t);
                 }
@@ -360,9 +369,8 @@ mod tests {
             horizon,
             warmup: horizon * 0.2,
             seed,
-            drain: true,
             record_departures: true,
-            occupancy_cap: 0,
+            ..Default::default()
         };
         let fifo = EqNetSim::new(net, mk(Discipline::Fifo)).run();
         let ps = EqNetSim::new(net, mk(Discipline::Ps)).run();
@@ -446,12 +454,7 @@ mod tests {
         // exchangeable) and compare with (1-ρ)ρ^n.
         let servers = r.occupancy_fractions.len() as f64;
         for n in 0..4usize {
-            let avg: f64 = r
-                .occupancy_fractions
-                .iter()
-                .map(|f| f[n])
-                .sum::<f64>()
-                / servers;
+            let avg: f64 = r.occupancy_fractions.iter().map(|f| f[n]).sum::<f64>() / servers;
             let expect = (1.0 - rho) * rho.powi(n as i32);
             assert!(
                 (avg - expect).abs() < 0.02,
@@ -501,7 +504,11 @@ mod tests {
     fn little_law_in_both_disciplines() {
         let net = q_net(3, 1.0, 0.5);
         let (fifo, ps) = run_pair(&net, 31, 3_000.0);
-        assert!(fifo.little_error < 0.05, "FIFO little {}", fifo.little_error);
+        assert!(
+            fifo.little_error < 0.05,
+            "FIFO little {}",
+            fifo.little_error
+        );
         assert!(ps.little_error < 0.05, "PS little {}", ps.little_error);
     }
 }

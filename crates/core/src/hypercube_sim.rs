@@ -11,10 +11,10 @@
 use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
 use crate::metrics::{DelayStats, MetricsCollector};
 use crate::packet::{next_dim, sample_flip_mask, MaskSampler, Packet, NO_SECOND_LEG};
-use hyperroute_desim::{EventQueue, SimRng};
+use crate::pool::{ArcFifo, SlabPool};
+use hyperroute_desim::{Scheduler, SchedulerKind, SimRng};
 use hyperroute_topology::Hypercube;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Configuration of a hypercube routing simulation.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -35,6 +35,10 @@ pub struct HypercubeSimConfig {
     pub dest: DestinationSpec,
     /// Contention-resolution rule at each arc (paper: FIFO).
     pub contention: ContentionPolicy,
+    /// Future-event-list backend. Both produce bit-identical runs; the
+    /// calendar queue (default) is amortized `O(1)` per event on this
+    /// unit-service model where the heap pays `O(log n)`.
+    pub scheduler: SchedulerKind,
     /// Generation stops at this time.
     pub horizon: f64,
     /// Packets born before this time are not measured.
@@ -57,6 +61,7 @@ impl Default for HypercubeSimConfig {
             arrivals: ArrivalModel::Poisson,
             dest: DestinationSpec::BitFlip,
             contention: ContentionPolicy::Fifo,
+            scheduler: SchedulerKind::default(),
             horizon: 1_000.0,
             warmup: 200.0,
             seed: 0xC0FFEE,
@@ -73,10 +78,18 @@ impl HypercubeSimConfig {
     }
 
     fn validate(&self) {
+        // Release builds validate here, once, instead of per event inside
+        // the scheduler's push (whose time check is a debug_assert!): every
+        // event time is `now + 1.0`, `now + Exp(Λ)` or `now + r`, so finite
+        // non-negative inputs imply finite non-negative event times.
         assert!(self.dim >= 1 && self.dim <= 26, "bad dimension");
-        assert!(self.lambda >= 0.0, "negative λ");
+        assert!(self.lambda >= 0.0 && self.lambda.is_finite(), "bad λ");
         assert!((0.0..=1.0).contains(&self.p), "p outside [0,1]");
+        assert!(self.horizon.is_finite() && self.warmup.is_finite());
         assert!(self.horizon > self.warmup && self.warmup >= 0.0);
+        if let ArrivalModel::Slotted { slots_per_unit } = self.arrivals {
+            assert!(slots_per_unit >= 1, "slotted model needs ≥ 1 slot per unit");
+        }
         if let DestinationSpec::MaskPmf(pmf) = &self.dest {
             assert_eq!(
                 pmf.len(),
@@ -88,7 +101,11 @@ impl HypercubeSimConfig {
 }
 
 /// Results of a hypercube simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field bit-for-bit — the scheduler-equivalence
+/// tests assert that heap- and calendar-backed runs of the same seed yield
+/// *equal* reports, not merely statistically close ones.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HypercubeReport {
     /// Echo of the dimension.
     pub dim: usize,
@@ -127,6 +144,9 @@ pub struct HypercubeReport {
     pub generated: u64,
     /// Total packets delivered.
     pub delivered: u64,
+    /// Discrete events processed (arrivals + slot boundaries + service
+    /// completions) — the denominator of the engine's events/sec metric.
+    pub events: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -139,15 +159,33 @@ enum Ev {
     Complete(u32),
 }
 
+/// Per-arc state, packed so one completion touches one cache line: the
+/// packet in service, the intrusive list of waiters, and the arc's
+/// precomputed routing info (arcs are visited in data-dependent random
+/// order, so locality here is worth more than anywhere else in the
+/// simulator; and the packed `to_node`/`dim` replaces two integer
+/// divisions by the runtime dimension on every completion).
+#[derive(Clone, Copy, Debug, Default)]
+struct ArcState {
+    serving: Option<Packet>,
+    waiting: ArcFifo,
+    /// Target node of this arc (bits 0..27, `node ⊕ 2^dim`) and the arc's
+    /// dimension (bits 27..32); `d ≤ 26` keeps both in range.
+    to_node_dim: u32,
+}
+
 /// The simulator. Construct with [`HypercubeSim::new`], execute with
 /// [`HypercubeSim::run`] or [`HypercubeSim::run_sampled`].
 pub struct HypercubeSim {
     cfg: HypercubeSimConfig,
     cube: Hypercube,
-    /// Waiting packets per arc (the packet in service sits in `serving`).
-    queues: Vec<VecDeque<Packet>>,
-    serving: Vec<Option<Packet>>,
-    events: EventQueue<Ev>,
+    /// One slab for every waiting packet in the network; arcs hold only
+    /// intrusive `(head, tail)` lists into it.
+    pool: SlabPool<Packet>,
+    /// Packet in service + waiting list, one entry per arc.
+    arcs: Vec<ArcState>,
+    events: Scheduler<Ev>,
+    events_processed: u64,
     arrival_rng: SimRng,
     dest_rng: SimRng,
     route_rng: SimRng,
@@ -156,7 +194,7 @@ pub struct HypercubeSim {
     collector: MetricsCollector,
     dim_arrivals: Vec<u64>,
     /// Time-weighted total occupancy per dimension (all 2^d arcs pooled).
-    dim_occupancy: Vec<hyperroute_desim::TimeWeighted>,
+    dim_occupancy: Vec<hyperroute_desim::TimeIntegral>,
     dim_occ_reset_done: bool,
     now: f64,
 }
@@ -181,7 +219,11 @@ impl HypercubeSim {
             (cfg.lambda * cube.num_nodes() as f64 * (cfg.horizon - cfg.warmup)).max(64.0);
         let batch = (expected_packets / 32.0).ceil() as u64;
         let collector = MetricsCollector::new(cfg.warmup, cfg.horizon, batch, cfg.seed);
-        let mut events = EventQueue::with_capacity(1024);
+        // Calendar sizing hint: arrivals (λ·2^d per unit) plus one
+        // completion per hop (≤ d per packet). Only bucket granularity
+        // depends on this; correctness never does.
+        let events_per_unit = cfg.lambda * cube.num_nodes() as f64 * (1.0 + cfg.dim as f64);
+        let mut events = Scheduler::new(cfg.scheduler, events_per_unit);
         match cfg.arrivals {
             ArrivalModel::Poisson => {
                 // First merged arrival; rate λ·2^d.
@@ -199,9 +241,19 @@ impl HypercubeSim {
         HypercubeSim {
             cfg,
             cube,
-            queues: vec![VecDeque::new(); arcs],
-            serving: vec![None; arcs],
+            pool: SlabPool::with_capacity(1024),
+            arcs: (0..arcs)
+                .map(|arc| {
+                    let (node, d) = ((arc / dim) as u32, arc % dim);
+                    ArcState {
+                        serving: None,
+                        waiting: ArcFifo::new(),
+                        to_node_dim: (node ^ (1 << d)) | ((d as u32) << 27),
+                    }
+                })
+                .collect(),
             events,
+            events_processed: 0,
             arrival_rng,
             dest_rng,
             route_rng,
@@ -210,7 +262,7 @@ impl HypercubeSim {
             collector,
             dim_arrivals: vec![0; dim],
             dim_occupancy: (0..dim)
-                .map(|_| hyperroute_desim::TimeWeighted::new(0.0, 0.0))
+                .map(|_| hyperroute_desim::TimeIntegral::new(0.0, 0.0))
                 .collect(),
             dim_occ_reset_done: warmup == 0.0,
             now: 0.0,
@@ -224,8 +276,7 @@ impl HypercubeSim {
         if !self.dim_occ_reset_done && t >= self.cfg.warmup {
             let w = self.cfg.warmup;
             for tw in &mut self.dim_occupancy {
-                let current = tw.current();
-                tw.set(w, current);
+                tw.add(w, 0.0);
                 tw.reset(w);
             }
             self.dim_occ_reset_done = true;
@@ -262,6 +313,7 @@ impl HypercubeSim {
                     next_sample += *interval;
                 }
             }
+            self.events_processed += 1;
             self.now = t;
             match ev {
                 Ev::Arrival => self.on_merged_arrival(t),
@@ -358,42 +410,50 @@ impl HypercubeSim {
             self.dim_arrivals[dim] += 1;
         }
         self.bump_dim_occupancy(t, dim, 1.0);
-        if self.serving[arc].is_none() {
-            self.serving[arc] = Some(pkt);
+        if self.arcs[arc].serving.is_none() {
+            self.arcs[arc].serving = Some(pkt);
             self.events.push(t + 1.0, Ev::Complete(arc as u32));
         } else {
-            self.queues[arc].push_back(pkt);
+            self.arcs[arc].waiting.push_back(&mut self.pool, pkt);
         }
     }
 
     /// Pick the next waiting packet per the contention policy and start
-    /// its service. The queue holds waiters in arrival order, so index 0
-    /// is FIFO and the last index is LIFO.
+    /// its service. The intrusive list holds waiters in arrival order:
+    /// FIFO pops the head, LIFO the tail (both `O(1)`); Random walks to
+    /// the drawn position from the nearer end and unlinks in `O(1)` —
+    /// same uniform draw and residual order as the seed's
+    /// `VecDeque::remove(idx)`, without the memmove (see
+    /// [`ArcFifo::take_nth`] for the complexity discussion).
     fn start_next_service(&mut self, t: f64, arc: usize) {
-        debug_assert!(self.serving[arc].is_none());
-        let queue = &mut self.queues[arc];
-        if queue.is_empty() {
+        debug_assert!(self.arcs[arc].serving.is_none());
+        let len = self.arcs[arc].waiting.len();
+        if len == 0 {
             return;
         }
-        let idx = match self.cfg.contention {
-            ContentionPolicy::Fifo => 0,
-            ContentionPolicy::Lifo => queue.len() - 1,
-            ContentionPolicy::Random => self.contention_rng.below(queue.len()),
-        };
-        let pkt = queue.remove(idx).expect("index in range");
-        self.serving[arc] = Some(pkt);
+        let pkt = match self.cfg.contention {
+            ContentionPolicy::Fifo => self.arcs[arc].waiting.pop_front(&mut self.pool),
+            ContentionPolicy::Lifo => self.arcs[arc].waiting.pop_back(&mut self.pool),
+            ContentionPolicy::Random => {
+                let n = self.contention_rng.below(len);
+                self.arcs[arc].waiting.take_nth(&mut self.pool, n)
+            }
+        }
+        .expect("non-empty queue");
+        self.arcs[arc].serving = Some(pkt);
         self.events.push(t + 1.0, Ev::Complete(arc as u32));
     }
 
     fn on_complete(&mut self, t: f64, arc: usize) {
-        let mut pkt = self.serving[arc]
+        let packed = self.arcs[arc].to_node_dim;
+        let mut pkt = self.arcs[arc]
+            .serving
             .take()
             .expect("completion with no packet in service");
-        self.bump_dim_occupancy(t, arc % self.cfg.dim, -1.0);
+        self.bump_dim_occupancy(t, (packed >> 27) as usize, -1.0);
         self.start_next_service(t, arc);
         pkt.hops += 1;
-        let d = self.cfg.dim;
-        let node = (arc / d) as u32 ^ (1u32 << (arc % d));
+        let node = packed & 0x07FF_FFFF;
         if pkt.remaining != 0 {
             self.enqueue(t, node, pkt);
         } else if pkt.second_leg_dest != NO_SECOND_LEG {
@@ -442,6 +502,7 @@ impl HypercubeSim {
             per_dim_mean_queue,
             generated: self.collector.generated(),
             delivered: self.collector.delivered_total(),
+            events: self.events_processed,
         }
     }
 }
@@ -556,6 +617,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "slot per unit")]
+    fn rejects_zero_slots_per_unit() {
+        let cfg = HypercubeSimConfig {
+            arrivals: ArrivalModel::Slotted { slots_per_unit: 0 },
+            ..base_cfg()
+        };
+        HypercubeSim::new(cfg);
+    }
+
+    #[test]
     fn p_zero_all_packets_self_delivered() {
         let cfg = HypercubeSimConfig {
             dim: 5,
@@ -640,10 +711,7 @@ mod tests {
             r.per_dim_mean_queue[0]
         );
         for (dim, &n) in r.per_dim_mean_queue.iter().enumerate().skip(1) {
-            assert!(
-                n >= rho * 0.97,
-                "dim {dim} occupancy {n} below ρ = {rho}"
-            );
+            assert!(n >= rho * 0.97, "dim {dim} occupancy {n} below ρ = {rho}");
             assert!(
                 n <= rho / (1.0 - rho) * 1.05,
                 "dim {dim} occupancy {n} above product-form cap"

@@ -43,6 +43,7 @@ pub mod hypercube_sim;
 pub mod metrics;
 pub mod packet;
 pub mod pipelined;
+pub mod pool;
 pub mod stability;
 
 pub use config::{ArrivalModel, Scheme};

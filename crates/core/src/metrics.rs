@@ -1,10 +1,16 @@
 //! Measurement collection shared by the simulators.
 
-use hyperroute_desim::{BatchMeans, Reservoir, TimeWeighted, Welford};
+use hyperroute_desim::{BatchMeans, Reservoir, Tally, TimeWeighted};
 use hyperroute_queueing::little::LittleCheck;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics of per-packet delay.
+///
+/// `PartialEq` is bit-exact (no tolerance): it exists for the
+/// scheduler-equivalence tests, which demand identical reports from both
+/// event-queue backends. It compares floats by bit pattern, so the NaN
+/// quantiles of an empty measurement window compare equal instead of
+/// poisoning `Report == Report` with IEEE `NaN != NaN`.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct DelayStats {
     /// Mean delay over measured packets.
@@ -21,16 +27,27 @@ pub struct DelayStats {
     pub count: u64,
 }
 
+impl PartialEq for DelayStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.mean.to_bits() == other.mean.to_bits()
+            && self.ci95.to_bits() == other.ci95.to_bits()
+            && self.p50.to_bits() == other.p50.to_bits()
+            && self.p90.to_bits() == other.p90.to_bits()
+            && self.p99.to_bits() == other.p99.to_bits()
+            && self.count == other.count
+    }
+}
+
 /// Collects delay / occupancy / throughput measurements with warm-up
 /// truncation. All simulators in this crate drive one of these.
 #[derive(Debug)]
 pub struct MetricsCollector {
     warmup: f64,
     horizon: f64,
-    delays: Welford,
+    delays: Tally,
     delay_batches: BatchMeans,
     reservoir: Reservoir,
-    hops: Welford,
+    hops: Tally,
     zero_hop: u64,
     in_system: TimeWeighted,
     in_system_reset_done: bool,
@@ -50,10 +67,10 @@ impl MetricsCollector {
         MetricsCollector {
             warmup,
             horizon,
-            delays: Welford::new(),
+            delays: Tally::new(),
             delay_batches: BatchMeans::new(batch_size.max(1)),
             reservoir: Reservoir::new(4096, seed ^ 0x5EED_5EED),
-            hops: Welford::new(),
+            hops: Tally::new(),
             zero_hop: 0,
             in_system: TimeWeighted::new(0.0, 0.0),
             in_system_reset_done: warmup == 0.0,
@@ -66,6 +83,7 @@ impl MetricsCollector {
 
     /// Record a packet generation at time `t`; updates the number-in-system
     /// trajectory (restarting its integral at the warm-up boundary).
+    #[inline]
     pub fn on_generated(&mut self, t: f64) {
         self.generated += 1;
         self.bump_in_system(t, 1.0);
@@ -73,6 +91,7 @@ impl MetricsCollector {
 
     /// Record a delivery at `t` of a packet born at `born` having taken
     /// `hops` arcs.
+    #[inline]
     pub fn on_delivered(&mut self, t: f64, born: f64, hops: u16) {
         self.delivered_total += 1;
         self.bump_in_system(t, -1.0);

@@ -12,9 +12,9 @@
 
 use crate::batch::route_batch_greedy;
 use crate::packet::sample_flip_mask;
+use crate::pool::{ArcFifo, SlabPool};
 use hyperroute_desim::{SimRng, Welford};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Configuration of a pipelined-scheme simulation.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -82,8 +82,10 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
     let mut arrival_rng = rng.split();
     let mut dest_rng = rng.split();
 
-    // Per-node store of (birth time, destination).
-    let mut stores: Vec<VecDeque<(f64, u32)>> = vec![VecDeque::new(); n];
+    // Per-node store of (birth time, destination mask): intrusive FIFO
+    // lists over one shared slab, like the event-driven simulators.
+    let mut pool: SlabPool<(f64, u32)> = SlabPool::with_capacity(n);
+    let mut stores: Vec<ArcFifo> = vec![ArcFifo::new(); n];
     let mut now = 0.0f64;
     let mut delays = Welford::new();
     let mut round_lengths = Welford::new();
@@ -92,7 +94,7 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
     let mut delivered = 0u64;
 
     for _ in 0..cfg.rounds {
-        backlog_at_round.push(stores.iter().map(|s| s.len()).sum::<usize>() as f64);
+        backlog_at_round.push(pool.len() as f64);
 
         // Release at most one packet per node. Stores hold the destination
         // as an XOR mask relative to the origin (Lemma 1's bit-flips);
@@ -100,7 +102,7 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
         let mut batch: Vec<(u32, u32)> = Vec::new();
         let mut births: Vec<f64> = Vec::new();
         for (node, store) in stores.iter_mut().enumerate() {
-            if let Some((born, mask)) = store.pop_front() {
+            if let Some((born, mask)) = store.pop_front(&mut pool) {
                 batch.push((node as u32, node as u32 ^ mask));
                 births.push(born);
             }
@@ -132,7 +134,7 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
             times.sort_by(f64::total_cmp);
             for t in times {
                 let dest_mask = sample_flip_mask(&mut dest_rng, cfg.dim, cfg.p);
-                store.push_back((t, dest_mask));
+                store.push_back(&mut pool, (t, dest_mask));
                 generated += 1;
             }
         }
@@ -146,7 +148,7 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
         mean_round_length: mean_round,
         round_constant: mean_round / cfg.dim as f64,
         mean_backlog: backlog_at_round.iter().sum::<f64>() / backlog_at_round.len() as f64,
-        final_backlog: stores.iter().map(|s| s.len() as u64).sum(),
+        final_backlog: pool.len() as u64,
         backlog_slope_per_round: slope,
         generated,
         delivered,

@@ -1,0 +1,394 @@
+//! Slab-allocated packet pool with intrusive per-arc FIFO lists.
+//!
+//! The simulators keep every waiting packet of every arc in **one**
+//! contiguous slab (`Vec` of slots); each arc holds only a `(head, tail)`
+//! pair of `u32` slot indices ([`ArcFifo`]). Freed slots recycle through an
+//! internal free list, so after the warm-up transient the steady state
+//! performs **zero allocation**: a packet enqueue is "pop free slot, write
+//! 24 bytes, link", a dequeue is "unlink, push free slot". Compare the seed
+//! implementation — one `VecDeque<Packet>` per arc, i.e. `d·2^d` separate
+//! ring buffers scattered across the heap.
+//!
+//! The lists are doubly linked, which buys two things:
+//!
+//! * LIFO service ([`ArcFifo::pop_back`]) stays `O(1)`, matching the
+//!   `VecDeque` ablation it replaces.
+//! * [`ArcFifo::take_nth`] (the `ContentionPolicy::Random` pick) unlinks in
+//!   `O(1)` after walking from the nearer end — replacing the seed's
+//!   `VecDeque::remove(idx)` memmove with a walk of equal asymptotics (see
+//!   `take_nth` for why constant time is out of reach on an intrusive
+//!   list). The walk preserves residual order, so random-policy sample
+//!   paths are unchanged from the seed implementation.
+//!
+//! Items are `Copy` (packets are ≤ 24 bytes), which keeps the pool free of
+//! `unsafe`/`MaybeUninit`: a freed slot simply retains its stale payload
+//! until reused.
+
+/// Null slot index (no packet).
+pub const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Slot<T> {
+    item: T,
+    /// Next toward the tail; doubles as the free-list link.
+    next: u32,
+    /// Previous toward the head.
+    prev: u32,
+}
+
+/// A contiguous slab of `T` with an internal free list.
+///
+/// All list operations live on [`ArcFifo`] and borrow the pool, so many
+/// lists (one per arc) can share one slab.
+#[derive(Clone, Debug)]
+pub struct SlabPool<T: Copy> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    live: usize,
+}
+
+impl<T: Copy> SlabPool<T> {
+    /// Empty pool with room for `cap` items before the first regrowth.
+    pub fn with_capacity(cap: usize) -> SlabPool<T> {
+        SlabPool {
+            slots: Vec::with_capacity(cap),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+
+    /// Number of live (allocated) items.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no items are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Slots ever created (live + free); the slab's high-water mark.
+    pub fn capacity_used(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn alloc(&mut self, item: T) -> u32 {
+        self.live += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next;
+            slot.item = item;
+            slot.next = NIL;
+            slot.prev = NIL;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "slab pool exhausted u32 index space");
+            self.slots.push(Slot {
+                item,
+                next: NIL,
+                prev: NIL,
+            });
+            idx
+        }
+    }
+
+    #[inline]
+    fn release(&mut self, idx: u32) -> T {
+        let item = self.slots[idx as usize].item;
+        self.slots[idx as usize].next = self.free_head;
+        self.free_head = idx;
+        self.live -= 1;
+        item
+    }
+}
+
+/// An intrusive doubly-linked FIFO of slab slots: 12 bytes per arc.
+#[derive(Clone, Copy, Debug)]
+pub struct ArcFifo {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for ArcFifo {
+    fn default() -> Self {
+        ArcFifo::new()
+    }
+}
+
+impl ArcFifo {
+    /// Empty list.
+    pub const fn new() -> ArcFifo {
+        ArcFifo {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of queued items.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Append `item` at the tail (arrival order). `O(1)`.
+    #[inline]
+    pub fn push_back<T: Copy>(&mut self, pool: &mut SlabPool<T>, item: T) {
+        let idx = pool.alloc(item);
+        let slot_prev = self.tail;
+        {
+            let slot = &mut pool.slots[idx as usize];
+            slot.prev = slot_prev;
+            slot.next = NIL;
+        }
+        if slot_prev == NIL {
+            self.head = idx;
+        } else {
+            pool.slots[slot_prev as usize].next = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+    }
+
+    /// Remove and return the head (oldest) item. `O(1)`.
+    #[inline]
+    pub fn pop_front<T: Copy>(&mut self, pool: &mut SlabPool<T>) -> Option<T> {
+        let idx = self.head;
+        if idx == NIL {
+            return None;
+        }
+        let next = pool.slots[idx as usize].next;
+        self.head = next;
+        if next == NIL {
+            self.tail = NIL;
+        } else {
+            pool.slots[next as usize].prev = NIL;
+        }
+        self.len -= 1;
+        Some(pool.release(idx))
+    }
+
+    /// Remove and return the tail (newest) item. `O(1)`.
+    #[inline]
+    pub fn pop_back<T: Copy>(&mut self, pool: &mut SlabPool<T>) -> Option<T> {
+        let idx = self.tail;
+        if idx == NIL {
+            return None;
+        }
+        let prev = pool.slots[idx as usize].prev;
+        self.tail = prev;
+        if prev == NIL {
+            self.head = NIL;
+        } else {
+            pool.slots[prev as usize].next = NIL;
+        }
+        self.len -= 1;
+        Some(pool.release(idx))
+    }
+
+    /// Remove and return the `n`-th item in arrival order (0 = head).
+    ///
+    /// Walks from the nearer end (`O(min(n, len-n))` link hops), then
+    /// unlinks in `O(1)` — the `ContentionPolicy::Random` replacement for
+    /// the seed's `VecDeque::remove(idx)`, trading its memmove for a walk
+    /// of the same asymptotics. (The constant-time swap-with-front trick
+    /// needs indexed storage; an intrusive list cannot reach a uniformly
+    /// random node without walking. Queues are `O(1)` long under any
+    /// stable load, so the walk only matters in instability probes.)
+    /// Residual order is preserved — under uniform random picks it would
+    /// not matter anyway.
+    pub fn take_nth<T: Copy>(&mut self, pool: &mut SlabPool<T>, n: usize) -> Option<T> {
+        if n >= self.len as usize {
+            return None;
+        }
+        if n == 0 {
+            return self.pop_front(pool);
+        }
+        if n + 1 == self.len as usize {
+            return self.pop_back(pool);
+        }
+        let idx = if n <= self.len as usize / 2 {
+            let mut idx = self.head;
+            for _ in 0..n {
+                idx = pool.slots[idx as usize].next;
+            }
+            idx
+        } else {
+            let mut idx = self.tail;
+            for _ in 0..(self.len as usize - 1 - n) {
+                idx = pool.slots[idx as usize].prev;
+            }
+            idx
+        };
+        // Interior node: both neighbours exist (head/tail handled above).
+        let Slot { next, prev, .. } = pool.slots[idx as usize];
+        pool.slots[prev as usize].next = next;
+        pool.slots[next as usize].prev = prev;
+        self.len -= 1;
+        Some(pool.release(idx))
+    }
+
+    /// The head item without removing it.
+    pub fn front<T: Copy>(self, pool: &SlabPool<T>) -> Option<T> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(pool.slots[self.head as usize].item)
+        }
+    }
+
+    /// Iterate the items in arrival order (head to tail).
+    pub fn iter<T: Copy>(self, pool: &SlabPool<T>) -> ArcFifoIter<'_, T> {
+        ArcFifoIter {
+            pool,
+            at: self.head,
+        }
+    }
+}
+
+/// Iterator over an [`ArcFifo`]'s items in arrival order.
+pub struct ArcFifoIter<'a, T: Copy> {
+    pool: &'a SlabPool<T>,
+    at: u32,
+}
+
+impl<T: Copy> Iterator for ArcFifoIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.at == NIL {
+            return None;
+        }
+        let slot = &self.pool.slots[self.at as usize];
+        self.at = slot.next;
+        Some(slot.item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_roundtrip() {
+        let mut pool = SlabPool::with_capacity(8);
+        let mut q = ArcFifo::new();
+        for i in 0..10 {
+            q.push_back(&mut pool, i);
+        }
+        assert_eq!(q.len(), 10);
+        assert_eq!(pool.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop_front(&mut pool), Some(i));
+        }
+        assert_eq!(q.pop_front(&mut pool), None);
+        assert!(q.is_empty() && pool.is_empty());
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut pool = SlabPool::with_capacity(4);
+        let mut q = ArcFifo::new();
+        for i in 0..5 {
+            q.push_back(&mut pool, i);
+        }
+        for i in (0..5).rev() {
+            assert_eq!(q.pop_back(&mut pool), Some(i));
+        }
+        assert_eq!(q.pop_back(&mut pool), None);
+    }
+
+    #[test]
+    fn slots_recycle_zero_steady_state_growth() {
+        let mut pool = SlabPool::with_capacity(0);
+        let mut q = ArcFifo::new();
+        for round in 0..1000 {
+            for i in 0..8 {
+                q.push_back(&mut pool, round * 8 + i);
+            }
+            for _ in 0..8 {
+                q.pop_front(&mut pool);
+            }
+        }
+        // High-water mark, not 8000: every slot was recycled.
+        assert_eq!(pool.capacity_used(), 8);
+    }
+
+    #[test]
+    fn many_lists_share_one_pool() {
+        let mut pool = SlabPool::with_capacity(16);
+        let mut a = ArcFifo::new();
+        let mut b = ArcFifo::new();
+        for i in 0..6 {
+            if i % 2 == 0 {
+                a.push_back(&mut pool, i);
+            } else {
+                b.push_back(&mut pool, i);
+            }
+        }
+        assert_eq!(a.iter(&pool).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(b.iter(&pool).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(a.pop_front(&mut pool), Some(0));
+        assert_eq!(b.pop_back(&mut pool), Some(5));
+        assert_eq!(a.iter(&pool).collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(b.iter(&pool).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn take_nth_matches_vecdeque_remove() {
+        use std::collections::VecDeque;
+        let mut pool = SlabPool::with_capacity(32);
+        let mut q = ArcFifo::new();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        // Deterministic pseudo-random interleaving of pushes and removals.
+        let mut x = 0x12345u64;
+        let mut rng = move |m: usize| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 33) as usize) % m
+        };
+        let mut serial = 0u32;
+        for _ in 0..5000 {
+            if model.is_empty() || rng(3) > 0 {
+                q.push_back(&mut pool, serial);
+                model.push_back(serial);
+                serial += 1;
+            } else {
+                let n = rng(model.len());
+                assert_eq!(q.take_nth(&mut pool, n), model.remove(n));
+            }
+            assert_eq!(q.len(), model.len());
+        }
+        assert_eq!(q.iter(&pool).collect::<Vec<_>>(), Vec::from(model));
+    }
+
+    #[test]
+    fn take_nth_out_of_range() {
+        let mut pool = SlabPool::with_capacity(2);
+        let mut q = ArcFifo::new();
+        q.push_back(&mut pool, 1);
+        assert_eq!(q.take_nth(&mut pool, 1), None);
+        assert_eq!(q.take_nth(&mut pool, 0), Some(1));
+        assert_eq!(q.take_nth(&mut pool, 0), None);
+    }
+
+    #[test]
+    fn front_peeks() {
+        let mut pool = SlabPool::with_capacity(2);
+        let mut q = ArcFifo::new();
+        assert_eq!(q.front(&pool), None::<u32>);
+        q.push_back(&mut pool, 9);
+        q.push_back(&mut pool, 10);
+        assert_eq!(q.front(&pool), Some(9));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -4,8 +4,12 @@
 //! deterministic unit-service FIFO queues — is simulated exactly by the
 //! tools in this crate:
 //!
-//! * [`events::EventQueue`] — a future-event list with deterministic
-//!   FIFO tie-breaking for simultaneous events;
+//! * [`events::EventQueue`] — a binary-heap future-event list with
+//!   deterministic FIFO tie-breaking for simultaneous events;
+//! * [`calendar::CalendarQueue`] — a bucketed time-wheel future-event list
+//!   with the same deterministic order at amortized `O(1)` per event,
+//!   exploiting the model's unit service times;
+//! * [`sched::Scheduler`] — runtime selection between the two backends;
 //! * [`engine`] — a minimal process/run-loop abstraction;
 //! * [`rng::SimRng`] — seedable RNG streams with the exponential /
 //!   Poisson / Bernoulli samplers the model needs (implemented here, no
@@ -21,16 +25,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod engine;
 pub mod events;
 pub mod rng;
+pub mod sched;
 pub mod slotted;
 pub mod stats;
 pub mod time;
 pub mod warmup;
 
+pub use calendar::CalendarQueue;
 pub use engine::{run_until, Process, StopReason};
 pub use events::EventQueue;
 pub use rng::SimRng;
-pub use stats::{BatchMeans, OccupancyHistogram, Reservoir, TimeWeighted, Welford};
+pub use sched::{Scheduler, SchedulerKind};
+pub use stats::{
+    BatchMeans, OccupancyHistogram, Reservoir, Tally, TimeIntegral, TimeWeighted, Welford,
+};
 pub use time::SimTime;

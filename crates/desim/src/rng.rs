@@ -36,6 +36,13 @@ impl SimRng {
         self.inner.gen::<f64>()
     }
 
+    /// 64 uniform random bits (one raw generator step — the cheapest draw;
+    /// batch samplers slice it into independent sub-draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
     /// Uniform integer in `0..n`. Panics when `n == 0`.
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
@@ -181,11 +188,7 @@ mod tests {
         let n = 100_000;
         let samples: Vec<u64> = (0..n).map(|_| rng.poisson(mean)).collect();
         let m = samples.iter().sum::<u64>() as f64 / n as f64;
-        let v = samples
-            .iter()
-            .map(|&x| (x as f64 - m).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let v = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n as f64;
         assert!((m - mean).abs() < 0.05, "mean {m}");
         assert!((v - mean).abs() < 0.1, "variance {v}");
     }

@@ -19,6 +19,51 @@ use crate::rng::SimRng;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Count-and-sum accumulator for streaming means.
+///
+/// The hot-path sibling of [`Welford`]: one add per observation, no
+/// division, no variance. The simulators push one of these per delivered
+/// packet, where Welford's per-push division is measurable; use [`Welford`]
+/// whenever a variance is needed.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Tally {
+    count: u64,
+    sum: f64,
+}
+
+impl Tally {
+    /// Empty accumulator.
+    pub fn new() -> Tally {
+        Tally::default()
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
 /// Numerically stable streaming mean/variance (Welford's algorithm).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Welford {
@@ -124,7 +169,11 @@ impl TimeWeighted {
     /// `t` must not decrease between calls.
     #[inline]
     pub fn set(&mut self, t: SimTime, value: f64) {
-        debug_assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        debug_assert!(
+            t >= self.last_t,
+            "time went backwards: {t} < {}",
+            self.last_t
+        );
         self.integral += self.value * (t - self.last_t);
         self.last_t = t;
         self.value = value;
@@ -167,6 +216,63 @@ impl TimeWeighted {
         self.last_t = t;
         self.integral = 0.0;
         self.peak = self.value;
+    }
+}
+
+/// Time-average of a piecewise-constant signal, without peak tracking.
+///
+/// The hot-path sibling of [`TimeWeighted`]: the packet simulators update
+/// one of these per dimension on **every** enqueue and completion, where
+/// the peak comparison is dead weight (only the mean is reported).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TimeIntegral {
+    start: SimTime,
+    last_t: SimTime,
+    value: f64,
+    integral: f64,
+}
+
+impl TimeIntegral {
+    /// Signal starting at `t0` with initial `value`.
+    pub fn new(t0: SimTime, value: f64) -> TimeIntegral {
+        TimeIntegral {
+            start: t0,
+            last_t: t0,
+            value,
+            integral: 0.0,
+        }
+    }
+
+    /// Add `delta` to the signal at time `t` (`t` must not decrease).
+    #[inline]
+    pub fn add(&mut self, t: SimTime, delta: f64) {
+        debug_assert!(t >= self.last_t, "time went backwards");
+        self.integral += self.value * (t - self.last_t);
+        self.last_t = t;
+        self.value += delta;
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-average over `[t0, t]`; `t` must be ≥ the last update time.
+    pub fn mean(&self, t: SimTime) -> f64 {
+        debug_assert!(t >= self.last_t);
+        let span = t - self.start;
+        if span <= 0.0 {
+            return self.value;
+        }
+        (self.integral + self.value * (t - self.last_t)) / span
+    }
+
+    /// Restart integration from time `t`, keeping the current value
+    /// (discards a warm-up transient).
+    pub fn reset(&mut self, t: SimTime) {
+        self.start = t;
+        self.last_t = t;
+        self.integral = 0.0;
     }
 }
 
@@ -276,12 +382,15 @@ impl Reservoir {
     }
 
     /// Offer one observation.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.seen += 1;
         if self.sample.len() < self.capacity {
             self.sample.push(x);
         } else {
-            let j = (self.rng.uniform01() * self.seen as f64) as u64;
+            // Uniform j in [0, seen) by integer multiply-shift — the same
+            // algorithm-R acceptance, without the float round trip.
+            let j = ((self.rng.next_u64() as u128 * self.seen as u128) >> 64) as u64;
             if (j as usize) < self.capacity {
                 self.sample[j as usize] = x;
             }
@@ -314,7 +423,7 @@ impl Reservoir {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BatchMeans {
     batch_size: u64,
-    current: Welford,
+    current: Tally,
     batches: Welford,
 }
 
@@ -324,17 +433,18 @@ impl BatchMeans {
         assert!(batch_size >= 1);
         BatchMeans {
             batch_size,
-            current: Welford::new(),
+            current: Tally::new(),
             batches: Welford::new(),
         }
     }
 
     /// Add one observation.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.current.push(x);
         if self.current.count() == self.batch_size {
             self.batches.push(self.current.mean());
-            self.current = Welford::new();
+            self.current = Tally::new();
         }
     }
 
@@ -427,7 +537,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.set(1.0, 2.0); // 0 on [0,1)
         tw.set(3.0, 0.0); // 2 on [1,3)
-        // mean over [0,4] = (0*1 + 2*2 + 0*1)/4 = 1.0
+                          // mean over [0,4] = (0*1 + 2*2 + 0*1)/4 = 1.0
         assert!((tw.mean(4.0) - 1.0).abs() < 1e-12);
         assert_eq!(tw.peak(), 2.0);
         assert_eq!(tw.current(), 0.0);
@@ -454,7 +564,7 @@ mod tests {
         h.set(1.0, 1); // 0 on [0,1)
         h.set(2.0, 2); // 1 on [1,2)
         h.set(4.0, 0); // 2 on [2,4)
-        // At t=5: 0 for 1+1=2 of 5; 1 for 1 of 5; 2 for 2 of 5.
+                       // At t=5: 0 for 1+1=2 of 5; 1 for 1 of 5; 2 for 2 of 5.
         assert!((h.fraction(0, 5.0) - 0.4).abs() < 1e-12);
         assert!((h.fraction(1, 5.0) - 0.2).abs() < 1e-12);
         assert!((h.fraction(2, 5.0) - 0.4).abs() < 1e-12);
@@ -483,8 +593,8 @@ mod tests {
             h.set(t, (x % 13) as usize);
         }
         let end = t + 1.0;
-        let total: f64 = (0..16).map(|n| h.fraction(n, end)).sum::<f64>()
-            + h.overflow_fraction(end);
+        let total: f64 =
+            (0..16).map(|n| h.fraction(n, end)).sum::<f64>() + h.overflow_fraction(end);
         assert!((total - 1.0).abs() < 1e-9, "sum {total}");
     }
 
@@ -497,7 +607,10 @@ mod tests {
         assert_eq!(r.seen(), 50);
         assert_eq!(r.quantile(0.0), Some(0.0));
         assert_eq!(r.quantile(1.0), Some(49.0));
-        assert_eq!(r.quantile(0.5), Some(24.0).map(|_| r.quantile(0.5).unwrap()));
+        assert_eq!(
+            r.quantile(0.5),
+            Some(24.0).map(|_| r.quantile(0.5).unwrap())
+        );
     }
 
     #[test]

@@ -16,7 +16,14 @@ pub fn run(scale: Scale) -> Table {
     let p = 0.5;
     let rows = parallel_map(rho_grid_boundary(), 0, |rho| {
         let lambda = rho / p;
-        let v = probe_hypercube(d, lambda, p, Scheme::Greedy, horizon, 0xE01 + (rho * 100.0) as u64);
+        let v = probe_hypercube(
+            d,
+            lambda,
+            p,
+            Scheme::Greedy,
+            horizon,
+            0xE01 + (rho * 100.0) as u64,
+        );
         (rho, lambda, v)
     });
 

@@ -39,7 +39,9 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E02 Prop.2 — universal lower bound (p={p})"),
-        &["d", "rho", "T_meas", "ci95", "LB_valid", "LB_paper", "T>=LB"],
+        &[
+            "d", "rho", "T_meas", "ci95", "LB_valid", "LB_paper", "T>=LB",
+        ],
     );
     for (d, rho, tm, ci) in rows {
         let lambda = rho / p;
@@ -55,7 +57,9 @@ pub fn run(scale: Scale) -> Table {
             yn(tm >= lb * 0.97),
         ]);
     }
-    t.note("LB_valid: workload-derived bound (provable); LB_paper: printed form, exact only as ρ→1");
+    t.note(
+        "LB_valid: workload-derived bound (provable); LB_paper: printed form, exact only as ρ→1",
+    );
     t
 }
 

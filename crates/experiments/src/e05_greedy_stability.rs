@@ -32,7 +32,9 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E05 Prop.6 — greedy is stable throughout ρ < 1 (N vs Eq.(13) bound)",
-        &["d", "rho", "drift", "stable", "N_mean", "N_bound", "N<=bound"],
+        &[
+            "d", "rho", "drift", "stable", "N_mean", "N_bound", "N<=bound",
+        ],
     );
     for (d, rho, v, bound) in rows {
         t.row(vec![

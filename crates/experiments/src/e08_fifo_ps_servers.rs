@@ -68,11 +68,7 @@ pub fn run(scale: Scale) -> Table {
             .count();
 
         let mean = |xs: &[f64]| -> f64 {
-            xs.iter()
-                .zip(&arrivals)
-                .map(|(d, a)| d - a)
-                .sum::<f64>()
-                / xs.len() as f64
+            xs.iter().zip(&arrivals).map(|(d, a)| d - a).sum::<f64>() / xs.len() as f64
         };
         t.row(vec![
             f4(util),

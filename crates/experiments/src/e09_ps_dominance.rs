@@ -47,9 +47,8 @@ pub fn run(scale: Scale) -> Table {
             horizon,
             warmup: horizon * 0.2,
             seed: 0xE09 ^ seed,
-            drain: true,
             record_departures: true,
-            occupancy_cap: 0,
+            ..Default::default()
         };
         let fifo = EqNetSim::new(&net, mk(Discipline::Fifo)).run();
         let ps = EqNetSim::new(&net, mk(Discipline::Ps)).run();
@@ -66,7 +65,15 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E09 Lem.9/10, Prop.11 — coupled FIFO/PS dominance on levelled networks",
-        &["network", "seed", "departures", "B>=B_ps", "N_fifo", "N_ps", "N<=N_ps"],
+        &[
+            "network",
+            "seed",
+            "departures",
+            "B>=B_ps",
+            "N_fifo",
+            "N_ps",
+            "N<=N_ps",
+        ],
     );
     for (name, seed, deps, dom, nf, np) in rows {
         t.row(vec![

@@ -23,9 +23,8 @@ pub fn run(scale: Scale) -> Table {
             horizon,
             warmup: horizon * 0.15,
             seed: 0xE10 ^ (rho * 10.0) as u64,
-            drain: true,
-            record_departures: false,
             occupancy_cap: 8,
+            ..Default::default()
         };
         (rho, EqNetSim::new(&net, cfg).run())
     });
@@ -37,8 +36,7 @@ pub fn run(scale: Scale) -> Table {
     for (rho, r) in runs {
         let servers = r.occupancy_fractions.len() as f64;
         for n in 0..5usize {
-            let avg: f64 =
-                r.occupancy_fractions.iter().map(|f| f[n]).sum::<f64>() / servers;
+            let avg: f64 = r.occupancy_fractions.iter().map(|f| f[n]).sum::<f64>() / servers;
             let geo = (1.0 - rho) * rho.powi(n as i32);
             let err = (avg - geo).abs();
             t.row(vec![

@@ -37,7 +37,11 @@ pub fn run(scale: Scale) -> Table {
     });
 
     let mut t = Table::new(
-        format!("E14 heavy traffic — (1-rho)*T within [p/2, dp] = [{}, {}] (d={d})", f4(lo), f4(hi)),
+        format!(
+            "E14 heavy traffic — (1-rho)*T within [p/2, dp] = [{}, {}] (d={d})",
+            f4(lo),
+            f4(hi)
+        ),
         &["rho", "T_meas", "scaled", "in_bracket"],
     );
     for (rho, tm) in rows {

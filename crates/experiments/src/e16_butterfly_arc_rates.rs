@@ -24,21 +24,21 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E16 Prop.15 — butterfly per-arc rates (d={d}, lambda={lambda}, p={p})"),
-        &["level", "straight_meas", "straight_pred", "vertical_meas", "vertical_pred", "ok"],
+        &[
+            "level",
+            "straight_meas",
+            "straight_pred",
+            "vertical_meas",
+            "vertical_pred",
+            "ok",
+        ],
     );
     let (ps, pv) = (lambda * (1.0 - p), lambda * p);
     for lvl in 0..d {
         let s = r.straight_rate_per_level[lvl];
         let v = r.vertical_rate_per_level[lvl];
         let ok = (s - ps).abs() / ps < 0.05 && (v - pv).abs() / pv < 0.05;
-        t.row(vec![
-            lvl.to_string(),
-            f4(s),
-            f4(ps),
-            f4(v),
-            f4(pv),
-            yn(ok),
-        ]);
+        t.row(vec![lvl.to_string(), f4(s), f4(ps), f4(v), f4(pv), yn(ok)]);
     }
     t
 }

@@ -22,7 +22,15 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E17 Prop.16 — butterfly stability window around p=1/2 (d={d}, lambda={lambda})"),
-        &["p", "rho_bf", "bottleneck", "drift", "stable", "paper", "agree"],
+        &[
+            "p",
+            "rho_bf",
+            "bottleneck",
+            "drift",
+            "stable",
+            "paper",
+            "agree",
+        ],
     );
     for (p, v) in rows {
         let rho = lambda * p.max(1.0 - p);

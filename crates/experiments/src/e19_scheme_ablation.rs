@@ -79,7 +79,12 @@ mod tests {
     #[test]
     fn shape_of_ablation() {
         let t = run(Scale::Quick);
-        let (sc, rc, tc, st) = (t.col("scheme"), t.col("rho"), t.col("T_meas"), t.col("stable"));
+        let (sc, rc, tc, st) = (
+            t.col("scheme"),
+            t.col("rho"),
+            t.col("T_meas"),
+            t.col("stable"),
+        );
         // Greedy and random-order stable at every load; Valiant unstable at
         // ρ = 0.8 (effective load 1.6).
         let mut greedy_low = None;

@@ -42,7 +42,9 @@ pub fn run(scale: Scale) -> Table {
     });
 
     let mut t = Table::new(
-        format!("E21 §2.2 — generalised stability rho_gen = lambda*max_j p_j (d={d}, p=(1,.2,.2,.2))"),
+        format!(
+            "E21 §2.2 — generalised stability rho_gen = lambda*max_j p_j (d={d}, p=(1,.2,.2,.2))"
+        ),
         &["lambda", "rho_gen", "drift", "stable", "paper", "agree"],
     );
     for (lambda, rho_gen, v) in rows {

@@ -52,7 +52,9 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E22 ablation — contention rules (d={d}, p={p})"),
-        &["policy", "rho", "T_mean", "T/T_fifo", "p50", "p99", "mean_ok"],
+        &[
+            "policy", "rho", "T_mean", "T/T_fifo", "p50", "p99", "mean_ok",
+        ],
     );
     for (contention, rho, r) in rows {
         let fifo_mean = fifo_means

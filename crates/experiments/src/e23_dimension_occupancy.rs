@@ -40,7 +40,15 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E23 Prop.13 internals — per-dimension arc occupancy (d={d}, p={p})"),
-        &["rho", "dim", "N_meas", "md1_exact", ">=rho", "<=pf_cap", "ok"],
+        &[
+            "rho",
+            "dim",
+            "N_meas",
+            "md1_exact",
+            ">=rho",
+            "<=pf_cap",
+            "ok",
+        ],
     );
     for (rho, r) in runs {
         let md1_exact = md1::mean_number_in_system(rho);
@@ -92,12 +100,7 @@ mod tests {
         let (dim_col, n_col, rho_col) = (t.col("dim"), t.col("N_meas"), t.col("rho"));
         let rho0 = t.rows[0][rho_col].clone();
         let first: f64 = t.rows[0][n_col].parse().unwrap();
-        let last: f64 = t
-            .rows
-            .iter()
-            .filter(|r| r[rho_col] == rho0)
-            .last()
-            .unwrap()[n_col]
+        let last: f64 = t.rows.iter().rfind(|r| r[rho_col] == rho0).unwrap()[n_col]
             .parse()
             .unwrap();
         assert!(

@@ -3,11 +3,12 @@
 //! Sweeps are embarrassingly parallel; this runner fans work items over a
 //! scoped thread pool with an atomic work-stealing counter, preserving the
 //! input order of results. It uses `std::thread::scope` for data-race-free
-//! borrowing of the worker closure and `parking_lot::Mutex` for result
-//! collection (see the workspace's HPC guide notes).
+//! borrowing of the worker closure and `std::sync::Mutex` for result
+//! collection — every slot is touched by exactly one worker, so the locks
+//! are uncontended and poisoning cannot occur outside a worker panic.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Map `f` over `items` on up to `threads` worker threads, returning
 /// results in input order. `threads = 0` means "hardware parallelism".
@@ -33,16 +34,24 @@ where
                 if i >= n {
                     break;
                 }
-                let item = work[i].lock().take().expect("work item taken twice");
+                let item = work[i]
+                    .lock()
+                    .expect("work mutex poisoned")
+                    .take()
+                    .expect("work item taken twice");
                 let out = f(item);
-                *results[i].lock() = Some(out);
+                *results[i].lock().expect("result mutex poisoned") = Some(out);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("missing result"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result mutex poisoned")
+                .expect("missing result")
+        })
         .collect()
 }
 

@@ -84,10 +84,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {}\n\n", self.title));
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.columns.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -125,10 +122,9 @@ impl Table {
 
     /// Value of cell `(row, col)` parsed as `f64` (test helper).
     pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
-        self.rows[row][col]
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+        self.rows[row][col].trim().parse().unwrap_or_else(|_| {
+            panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col])
+        })
     }
 
     /// Column index by header name.
@@ -162,7 +158,11 @@ pub fn f4(x: f64) -> String {
 
 /// Yes/no cell.
 pub fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "NO".into() }
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]

@@ -90,7 +90,9 @@ mod tests {
         // If every arrival is delayed, every departure is delayed.
         let mut x: u64 = 0xDEADBEEF;
         let mut rngf = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..50 {

@@ -175,9 +175,7 @@ mod tests {
         let f: Vec<f64> = xs.iter().map(|&x| rate_weighted_sojourn(x)).collect();
         assert!(f.windows(2).all(|w| w[1] > w[0]), "not increasing");
         // Convexity: second differences non-negative.
-        assert!(f
-            .windows(3)
-            .all(|w| w[2] - 2.0 * w[1] + w[0] >= -1e-12));
+        assert!(f.windows(3).all(|w| w[2] - 2.0 * w[1] + w[0] >= -1e-12));
     }
 
     #[test]

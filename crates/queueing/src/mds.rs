@@ -122,9 +122,7 @@ mod tests {
     fn workload_bound_reduces_to_md1_form() {
         // s = 1 recovers the M/D/1 sojourn formula exactly.
         for &rho in &[0.2, 0.5, 0.9] {
-            assert!(
-                (workload_lower_bound(1.0, rho) - crate::md1::mean_sojourn(rho)).abs() < 1e-12
-            );
+            assert!((workload_lower_bound(1.0, rho) - crate::md1::mean_sojourn(rho)).abs() < 1e-12);
         }
     }
 

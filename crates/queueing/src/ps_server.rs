@@ -177,7 +177,9 @@ mod tests {
         // D̄_i ≥ D_i for every i, on arbitrary sample paths.
         let mut x: u64 = 42;
         let mut rngf = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 11) as f64 / (1u64 << 53) as f64
         };
         for rep in 0..50 {

@@ -8,11 +8,7 @@
 /// Is `delayed` a delayed version of `base`? (`base[i] ≤ delayed[i] + tol`
 /// for every `i`; streams must have equal length.)
 pub fn is_delayed_version(base: &[f64], delayed: &[f64], tol: f64) -> bool {
-    base.len() == delayed.len()
-        && base
-            .iter()
-            .zip(delayed)
-            .all(|(&a, &b)| a <= b + tol)
+    base.len() == delayed.len() && base.iter().zip(delayed).all(|(&a, &b)| a <= b + tol)
 }
 
 /// Index of the first violation of the delayed-version order, if any.
@@ -20,9 +16,7 @@ pub fn first_violation(base: &[f64], delayed: &[f64], tol: f64) -> Option<usize>
     if base.len() != delayed.len() {
         return Some(base.len().min(delayed.len()));
     }
-    base.iter()
-        .zip(delayed)
-        .position(|(&a, &b)| a > b + tol)
+    base.iter().zip(delayed).position(|(&a, &b)| a > b + tol)
 }
 
 /// Counting process: number of events in `times` (sorted) occurring at or
@@ -58,7 +52,10 @@ mod tests {
 
     #[test]
     fn violation_index() {
-        assert_eq!(first_violation(&[1.0, 2.0, 3.0], &[1.0, 1.5, 3.0], 0.0), Some(1));
+        assert_eq!(
+            first_violation(&[1.0, 2.0, 3.0], &[1.0, 1.5, 3.0], 0.0),
+            Some(1)
+        );
         assert_eq!(first_violation(&[1.0, 2.0], &[1.1, 2.0], 0.0), None);
     }
 

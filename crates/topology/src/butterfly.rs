@@ -90,11 +90,12 @@ impl Butterfly {
     /// Iterator over all nodes, level-major.
     pub fn nodes(self) -> impl Iterator<Item = ButterflyNode> {
         let rows = self.num_rows() as u64;
-        (0..=self.dim)
-            .flat_map(move |level| (0..rows).map(move |r| ButterflyNode {
+        (0..=self.dim).flat_map(move |level| {
+            (0..rows).map(move |r| ButterflyNode {
                 row: NodeId(r),
                 level,
-            }))
+            })
+        })
     }
 
     /// Iterator over all arcs, dense-index order.

@@ -290,11 +290,7 @@ impl LevelledNetwork {
         LevelledNetwork::new(
             vec![0, 0, 1],
             vec![rate1, rate2, rate3],
-            vec![
-                vec![(ServerId(2), q1)],
-                vec![(ServerId(2), q2)],
-                Vec::new(),
-            ],
+            vec![vec![(ServerId(2), q1)], vec![(ServerId(2), q2)], Vec::new()],
             vec!["S1".into(), "S2".into(), "S3".into()],
         )
     }

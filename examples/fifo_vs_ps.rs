@@ -21,14 +21,19 @@ fn main() {
         horizon: 2_000.0,
         warmup: 400.0,
         seed: 99,
-        drain: true,
         record_departures: true,
-        occupancy_cap: 0,
+        ..Default::default()
     };
     let fifo = EqNetSim::new(&net, mk(Discipline::Fifo)).run();
     let ps = EqNetSim::new(&net, mk(Discipline::Ps)).run();
-    println!("  FIFO: mean delay {:.3}, mean in system {:.2}", fifo.delay.mean, fifo.mean_in_system);
-    println!("  PS  : mean delay {:.3}, mean in system {:.2}", ps.delay.mean, ps.mean_in_system);
+    println!(
+        "  FIFO: mean delay {:.3}, mean in system {:.2}",
+        fifo.delay.mean, fifo.mean_in_system
+    );
+    println!(
+        "  PS  : mean delay {:.3}, mean in system {:.2}",
+        ps.delay.mean, ps.mean_in_system
+    );
     println!(
         "  departures: FIFO {} / PS {} (same coupled sample path)",
         fifo.departures.len(),

@@ -27,14 +27,24 @@ fn main() {
     let bounds = greedy_delay_bounds(dim, lambda, p);
     println!("packets generated : {}", report.generated);
     println!("packets delivered : {}", report.delivered);
-    println!("mean hops         : {:.3}  (dp = {})", report.mean_hops, dim as f64 * p);
+    println!(
+        "mean hops         : {:.3}  (dp = {})",
+        report.mean_hops,
+        dim as f64 * p
+    );
     println!();
-    println!("Prop. 13 lower bound  T >= dp + pρ/(2(1-ρ)) = {:.3}", bounds.lower);
+    println!(
+        "Prop. 13 lower bound  T >= dp + pρ/(2(1-ρ)) = {:.3}",
+        bounds.lower
+    );
     println!(
         "measured delay        T  = {:.3} ± {:.3} (95% CI)",
         report.delay.mean, report.delay.ci95
     );
-    println!("Prop. 12 upper bound  T <= dp/(1-ρ)          = {:.3}", bounds.upper);
+    println!(
+        "Prop. 12 upper bound  T <= dp/(1-ρ)          = {:.3}",
+        bounds.upper
+    );
     println!();
     println!(
         "delay quantiles: p50 = {:.2}, p90 = {:.2}, p99 = {:.2}",

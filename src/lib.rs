@@ -27,7 +27,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`topology`] | hypercube, butterfly, canonical paths, equivalent networks Q/R, DOT figures |
-//! | [`desim`] | event queue, RNG streams, statistics |
+//! | [`desim`] | event schedulers (binary heap + calendar queue), RNG streams, statistics |
 //! | [`queueing`] | M/M/1, M/D/1, M/D/s, FIFO/PS sample-path servers, product form |
 //! | [`analysis`] | every proposition's bound as a function |
 //! | [`routing`] | the packet-level simulators and schemes (crate `hyperroute-core`) |
@@ -72,9 +72,7 @@ pub mod prelude {
     pub use hyperroute_analysis::load::{butterfly_load_factor, hypercube_load_factor};
     pub use hyperroute_core::butterfly_sim::{ButterflyReport, ButterflySim, ButterflySimConfig};
     pub use hyperroute_core::equivalent_network::{Discipline, EqNetConfig, EqNetSim};
-    pub use hyperroute_core::hypercube_sim::{
-        HypercubeReport, HypercubeSim, HypercubeSimConfig,
-    };
+    pub use hyperroute_core::hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};
     pub use hyperroute_core::{ArrivalModel, Scheme};
     pub use hyperroute_experiments::{Scale, Table};
     pub use hyperroute_topology::{Butterfly, Hypercube, LevelledNetwork, NodeId};

@@ -183,7 +183,10 @@ fn slotted_time_consistency() {
     let coarse = run(ArrivalModel::Slotted { slots_per_unit: 1 });
     let fine = run(ArrivalModel::Slotted { slots_per_unit: 8 });
     let bound = hyperroute::analysis::hypercube_bounds::slotted_upper_bound(d, lambda, p, 1.0);
-    assert!(coarse <= bound * 1.03, "coarse slotted {coarse} above {bound}");
+    assert!(
+        coarse <= bound * 1.03,
+        "coarse slotted {coarse} above {bound}"
+    );
     // Finer slots converge towards the continuous model.
     assert!(
         (fine - continuous).abs() < (coarse - continuous).abs() + 0.15,

@@ -39,7 +39,7 @@ fn build(spec: &NetSpec) -> LevelledNetwork {
     let total: usize = spec.layout.iter().sum();
     let mut level = Vec::with_capacity(total);
     for (lvl, &n) in spec.layout.iter().enumerate() {
-        level.extend(std::iter::repeat(lvl).take(n));
+        level.extend(std::iter::repeat_n(lvl, n));
     }
     let external: Vec<f64> = (0..total)
         .map(|i| spec.rates[i % spec.rates.len()])
@@ -90,9 +90,8 @@ proptest! {
             horizon: 400.0,
             warmup: 50.0,
             seed: spec.seed,
-            drain: true,
             record_departures: true,
-            occupancy_cap: 0,
+            ..Default::default()
         };
         let fifo = EqNetSim::new(&net, mk(Discipline::Fifo)).run();
         let ps = EqNetSim::new(&net, mk(Discipline::Ps)).run();

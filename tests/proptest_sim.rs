@@ -1,7 +1,10 @@
 //! Property-based tests of the packet-level simulators: structural
-//! invariants that must hold for *any* stable configuration and seed.
+//! invariants that must hold for *any* stable configuration and seed —
+//! plus pop-order equivalence of the two event-scheduler backends on
+//! random event streams.
 
 use hyperroute::prelude::*;
+use hyperroute_desim::{CalendarQueue, EventQueue, SchedulerKind};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -13,8 +16,11 @@ struct SimCase {
 }
 
 fn sim_case() -> impl Strategy<Value = SimCase> {
-    (2usize..=4, 0.1f64..0.85, 0.2f64..=1.0, any::<u64>()).prop_map(|(dim, rho, p, seed)| {
-        SimCase { dim, rho, p, seed }
+    (2usize..=4, 0.1f64..0.85, 0.2f64..=1.0, any::<u64>()).prop_map(|(dim, rho, p, seed)| SimCase {
+        dim,
+        rho,
+        p,
+        seed,
     })
 }
 
@@ -80,6 +86,78 @@ proptest! {
             r.delay.mean <= ub * 1.10 + 0.1,
             "T {} above UB {} for {:?}", r.delay.mean, ub, c
         );
+    }
+
+    #[test]
+    fn scheduler_backends_pop_identically_on_batch_streams(
+        times in prop::collection::vec(0.0f64..50.0, 1..300),
+        rate_hint in 0.5f64..500.0,
+    ) {
+        // All events pushed up front, then drained: both backends must
+        // agree on the full (time, payload) sequence, including FIFO
+        // tie-breaks for duplicate times.
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::with_rate_hint(rate_hint);
+        for (i, &t) in times.iter().enumerate() {
+            heap.push(t, i);
+            cal.push(t, i);
+        }
+        for _ in 0..times.len() {
+            prop_assert_eq!(heap.pop(), cal.pop());
+        }
+        prop_assert_eq!(heap.pop(), None);
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn scheduler_backends_pop_identically_under_interleaving(
+        gaps in prop::collection::vec((0.0f64..2.5, 0u32..4), 10..200),
+        rate_hint in 0.5f64..200.0,
+    ) {
+        // DES-like interleaving: pop one event, then schedule `n` new ones
+        // at `now + gap` (sub-unit, unit, and multi-unit gaps mixed).
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::with_rate_hint(rate_hint);
+        heap.push(0.0, 0usize);
+        cal.push(0.0, 0usize);
+        let mut id = 1usize;
+        for &(gap, fanout) in &gaps {
+            let (Some(a), Some(b)) = (heap.pop(), cal.pop()) else {
+                prop_assert!(heap.is_empty() && cal.is_empty());
+                break;
+            };
+            prop_assert_eq!(a, b);
+            let now = a.0;
+            for k in 0..fanout {
+                let t = now + gap * (k as f64 + 0.5);
+                heap.push(t, id);
+                cal.push(t, id);
+                id += 1;
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+        }
+        while let Some(a) = heap.pop() {
+            prop_assert_eq!(Some(a), cal.pop());
+        }
+        prop_assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn hypercube_backends_bit_identical_on_random_configs(c in sim_case()) {
+        let run = |kind| {
+            HypercubeSim::new(HypercubeSimConfig {
+                dim: c.dim,
+                lambda: c.rho / c.p,
+                p: c.p,
+                scheduler: kind,
+                horizon: 250.0,
+                warmup: 50.0,
+                seed: c.seed,
+                ..Default::default()
+            })
+            .run()
+        };
+        prop_assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Calendar));
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Differential tests of the two future-event-list backends.
+//!
+//! The calendar queue's contract is not "statistically equivalent" but
+//! **bit-identical**: for a fixed seed, a simulation driven by the
+//! calendar backend must pop every event in exactly the same order as the
+//! heap backend, consume exactly the same random draws, and therefore
+//! produce byte-for-byte equal reports. These tests run every simulator
+//! across schemes, arrival models, and contention policies under both
+//! backends and compare full reports with `==` (the reports derive
+//! bit-exact `PartialEq`).
+
+use hyperroute::prelude::*;
+use hyperroute::routing::config::{ContentionPolicy, DestinationSpec};
+use hyperroute::routing::equivalent_network::EqNetReport;
+use hyperroute_desim::SchedulerKind;
+
+fn hypercube_report(
+    scheme: Scheme,
+    arrivals: ArrivalModel,
+    contention: ContentionPolicy,
+    dest: DestinationSpec,
+    seed: u64,
+    kind: SchedulerKind,
+) -> HypercubeReport {
+    HypercubeSim::new(HypercubeSimConfig {
+        dim: 4,
+        lambda: 1.0,
+        p: 0.5,
+        scheme,
+        arrivals,
+        dest,
+        contention,
+        scheduler: kind,
+        horizon: 400.0,
+        warmup: 80.0,
+        seed,
+        drain: true,
+    })
+    .run()
+}
+
+#[test]
+fn hypercube_reports_identical_across_schemes_arrivals_contention() {
+    let schemes = [Scheme::Greedy, Scheme::RandomOrder, Scheme::TwoPhaseValiant];
+    let arrivals = [
+        ArrivalModel::Poisson,
+        ArrivalModel::Slotted { slots_per_unit: 2 },
+    ];
+    let contentions = [
+        ContentionPolicy::Fifo,
+        ContentionPolicy::Lifo,
+        ContentionPolicy::Random,
+    ];
+    for (i, &scheme) in schemes.iter().enumerate() {
+        for (j, &arrival) in arrivals.iter().enumerate() {
+            for (k, &contention) in contentions.iter().enumerate() {
+                let seed = 1000 + (i * 10 + j * 100 + k) as u64;
+                let heap = hypercube_report(
+                    scheme,
+                    arrival,
+                    contention,
+                    DestinationSpec::BitFlip,
+                    seed,
+                    SchedulerKind::Heap,
+                );
+                let calendar = hypercube_report(
+                    scheme,
+                    arrival,
+                    contention,
+                    DestinationSpec::BitFlip,
+                    seed,
+                    SchedulerKind::Calendar,
+                );
+                assert_eq!(
+                    heap, calendar,
+                    "backends diverged: {scheme:?} / {arrival:?} / {contention:?} / seed {seed}"
+                );
+                assert!(heap.generated > 0, "degenerate case {scheme:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hypercube_reports_identical_with_custom_destination_pmf() {
+    for seed in [7u64, 8, 9] {
+        let dest = DestinationSpec::product_of_flips(&[0.9, 0.3, 0.3, 0.1]);
+        let heap = hypercube_report(
+            Scheme::Greedy,
+            ArrivalModel::Poisson,
+            ContentionPolicy::Fifo,
+            dest.clone(),
+            seed,
+            SchedulerKind::Heap,
+        );
+        let calendar = hypercube_report(
+            Scheme::Greedy,
+            ArrivalModel::Poisson,
+            ContentionPolicy::Fifo,
+            dest,
+            seed,
+            SchedulerKind::Calendar,
+        );
+        assert_eq!(heap, calendar, "seed {seed}");
+    }
+}
+
+#[test]
+fn hypercube_sampled_trajectories_identical() {
+    let cfg = |kind| HypercubeSimConfig {
+        dim: 4,
+        lambda: 1.4,
+        p: 0.5,
+        scheduler: kind,
+        horizon: 500.0,
+        warmup: 100.0,
+        seed: 33,
+        ..Default::default()
+    };
+    let (rh, sh) = HypercubeSim::new(cfg(SchedulerKind::Heap)).run_sampled(25.0);
+    let (rc, sc) = HypercubeSim::new(cfg(SchedulerKind::Calendar)).run_sampled(25.0);
+    assert_eq!(rh, rc);
+    assert_eq!(sh, sc, "number-in-system sample paths diverged");
+}
+
+#[test]
+fn butterfly_reports_identical_both_arrival_models() {
+    for (arrivals, seed) in [
+        (ArrivalModel::Poisson, 21u64),
+        (ArrivalModel::Slotted { slots_per_unit: 2 }, 22),
+        (ArrivalModel::Poisson, 0xDEAD),
+    ] {
+        let run = |kind| {
+            ButterflySim::new(ButterflySimConfig {
+                dim: 4,
+                lambda: 1.2,
+                p: 0.4,
+                arrivals,
+                scheduler: kind,
+                horizon: 400.0,
+                warmup: 80.0,
+                seed,
+                drain: true,
+            })
+            .run()
+        };
+        let heap = run(SchedulerKind::Heap);
+        let calendar = run(SchedulerKind::Calendar);
+        assert_eq!(heap, calendar, "{arrivals:?} / seed {seed}");
+        assert!(heap.generated > 0);
+    }
+}
+
+#[test]
+fn equivalent_network_reports_identical_both_disciplines() {
+    use hyperroute::topology::Hypercube;
+    let net = LevelledNetwork::equivalent_q(Hypercube::new(3), 1.2, 0.5);
+    for discipline in [Discipline::Fifo, Discipline::Ps] {
+        let run = |kind| -> EqNetReport {
+            EqNetSim::new(
+                &net,
+                EqNetConfig {
+                    discipline,
+                    scheduler: kind,
+                    horizon: 400.0,
+                    warmup: 80.0,
+                    seed: 55,
+                    record_departures: true,
+                    ..Default::default()
+                },
+            )
+            .run()
+        };
+        let heap = run(SchedulerKind::Heap);
+        let calendar = run(SchedulerKind::Calendar);
+        assert_eq!(heap, calendar, "{discipline:?}");
+        assert!(heap.generated > 0);
+    }
+}
+
+#[test]
+fn near_zero_rate_identical_and_terminates() {
+    // λ so small that the first merged arrival lands ~1e19 time units out:
+    // the calendar's epoch arithmetic must not overflow or spin, and both
+    // backends must agree on the (empty) run.
+    let run = |kind| {
+        HypercubeSim::new(HypercubeSimConfig {
+            dim: 3,
+            lambda: 1e-20,
+            p: 0.5,
+            scheduler: kind,
+            horizon: 100.0,
+            warmup: 10.0,
+            seed: 5,
+            ..Default::default()
+        })
+        .run()
+    };
+    let heap = run(SchedulerKind::Heap);
+    let calendar = run(SchedulerKind::Calendar);
+    assert_eq!(heap, calendar);
+}
+
+#[test]
+fn instability_probe_without_drain_identical() {
+    // ρ > 1: unstable, queues grow, horizon cut without drain — the
+    // backends must agree on the truncated run too.
+    let run = |kind| {
+        HypercubeSim::new(HypercubeSimConfig {
+            dim: 4,
+            lambda: 2.6,
+            p: 0.5,
+            scheduler: kind,
+            horizon: 150.0,
+            warmup: 30.0,
+            seed: 99,
+            drain: false,
+            ..Default::default()
+        })
+        .run()
+    };
+    let heap = run(SchedulerKind::Heap);
+    let calendar = run(SchedulerKind::Calendar);
+    assert_eq!(heap, calendar);
+    assert!(
+        heap.generated > heap.delivered,
+        "expected backlog at ρ = 1.3"
+    );
+}

@@ -1,0 +1,252 @@
+//! Offline mini-criterion.
+//!
+//! A wall-clock microbenchmark harness exposing the slice of the
+//! `criterion` API the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It runs a short warm-up, then timed batches
+//! until a time budget is spent, and prints mean time per iteration with a
+//! min/max spread — no statistics engine, plots, or saved baselines. Swap
+//! the `vendor/` path dependency for the real crate when network access is
+//! available; bench sources compile unchanged.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much of the measurement time one setup batch should cover
+/// (only a hint in the real crate; ignored here beyond existing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing handle passed to bench closures.
+pub struct Bencher {
+    /// (iterations, total duration) pairs recorded by `iter*`.
+    samples: Vec<(u64, Duration)>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            measurement_time,
+        }
+    }
+
+    /// Measure `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call, then estimate the per-iter cost.
+        black_box(routine());
+        let probe = Instant::now();
+        black_box(routine());
+        let est = probe.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (self.measurement_time.as_nanos() / 10 / est.as_nanos()).clamp(1, 1 << 20) as u64;
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            self.samples.push((per_batch, start.elapsed()));
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`, excluding setup time
+    /// from the per-batch estimate as far as the mini harness can (setup
+    /// runs outside the timed section).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((1, start.elapsed()));
+        }
+    }
+
+    fn report(&self, name: &str) {
+        let iters: u64 = self.samples.iter().map(|&(n, _)| n).sum();
+        if iters == 0 {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().map(|&(_, d)| d).sum();
+        let mean = total.as_secs_f64() / iters as f64;
+        let per_iter = |&(n, d): &(u64, Duration)| d.as_secs_f64() / n as f64;
+        let min = self.samples.iter().map(per_iter).fold(f64::MAX, f64::min);
+        let max = self.samples.iter().map(per_iter).fold(0.0f64, f64::max);
+        println!(
+            "{name:<40} time: [{} {} {}]  ({iters} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500u64);
+        Criterion {
+            measurement_time: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            measurement_time: self.measurement_time,
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (`group/name` labels).
+pub struct BenchmarkGroup<'a> {
+    /// Group-local budget; overrides die with the group (`finish`), like
+    /// the real crate.
+    measurement_time: Duration,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the mini harness paces by wall
+    /// clock, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set this group's measurement budget (does not outlive the group).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_and_reports() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(!b.samples.is_empty());
+        b.report("smoke");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.samples.iter().all(|&(n, _)| n == 1));
+    }
+
+    #[test]
+    fn group_measurement_time_does_not_leak_to_parent() {
+        let mut c = Criterion::default();
+        let parent_budget = c.measurement_time;
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("inner", |b| b.iter(|| 1u64 + 1));
+        group.finish();
+        assert_eq!(c.measurement_time, parent_budget);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

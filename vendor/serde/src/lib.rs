@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! macro namespace so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. Nothing in this
+//! workspace performs serialization, so the traits carry no methods and the
+//! derives expand to nothing. Replace the `vendor/` path dependencies with
+//! the real crates.io versions once network access is available; no source
+//! changes are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; never invoked).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; never invoked).
+pub trait Deserialize<'de> {}

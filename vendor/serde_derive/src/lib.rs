@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and report
+//! types but never actually serializes anything (there is no `serde_json`
+//! in the tree), so the derives here expand to nothing. Swapping the
+//! `vendor/` stubs for the real crates requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted on any item, expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted on any item, expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
