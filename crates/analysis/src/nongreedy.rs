@@ -1,7 +1,7 @@
 //! The §2.3 non-greedy pipelined schemes and their (poor) stability.
 //!
 //! *Pipelined Valiant–Brebner*: at every round each node releases one
-//! stored packet; the batch is routed as the first phase of [VaB81], which
+//! stored packet; the batch is routed as the first phase of \[VaB81\], which
 //! completes in time close to `R·d` with high probability for a constant
 //! `R > 1`. Each node thus behaves as an M/G/1 queue with service time
 //! `≈ R·d`, so stability needs `λ·R·d < 1`: at any fixed load factor
@@ -9,20 +9,20 @@
 //! routing remains stable for every `ρ < 1` at every `d`. This contrast is
 //! the paper's §2.3 motivation, reproduced in experiment E12.
 //!
-//! *Pipelined d-permutation schemes* ([ChS86], [Val88]) improve the
+//! *Pipelined d-permutation schemes* (\[ChS86\], \[Val88\]) improve the
 //! threshold to a small constant load factor `ρ* ≈ 0.005` (still far from
 //! greedy's `ρ < 1`).
 
 use serde::{Deserialize, Serialize};
 
-/// The [ChS86]-based pipeline's approximate maximum load factor quoted in
+/// The \[ChS86\]-based pipeline's approximate maximum load factor quoted in
 /// §2.3.
 pub const CHANG_SIMON_MAX_LOAD: f64 = 0.005;
 
 /// Parameters of the pipelined Valiant–Brebner scheme.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct PipelinedScheme {
-    /// The whp round-length constant `R` (> 1) of the [VaB81] first phase.
+    /// The whp round-length constant `R` (> 1) of the \[VaB81\] first phase.
     pub r_const: f64,
 }
 

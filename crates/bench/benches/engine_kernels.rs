@@ -6,6 +6,11 @@
 //! virtual-time PS, and the calendar-queue scheduler). The end-to-end
 //! engine grid with JSON output lives in the `engine_report` bench.
 
+// Perf harness pinned to the engine-level config structs so results stay
+// comparable with the frozen seed engine; the scenario layer adds nothing
+// to measure here.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hyperroute_core::batch::{random_permutation_batch, route_batch_greedy};
 use hyperroute_core::{HypercubeSim, HypercubeSimConfig};

@@ -18,6 +18,11 @@
 //! Scale: `HYPERROUTE_SCALE=full` lengthens the horizon and adds
 //! repetitions; the default `quick` keeps the grid under a minute.
 
+// Perf harness pinned to the engine-level config structs so results stay
+// comparable with the frozen seed engine; the scenario layer adds nothing
+// to measure here.
+#![allow(deprecated)]
+
 use hyperroute_bench::seed_baseline::run_seed_engine;
 use hyperroute_core::hypercube_sim::{HypercubeSim, HypercubeSimConfig};
 use hyperroute_desim::SchedulerKind;

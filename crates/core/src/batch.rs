@@ -2,8 +2,8 @@
 //! (no further arrivals).
 //!
 //! This is the inner step of the §2.3 pipelined Valiant–Brebner scheme —
-//! "all selected packets are routed as in the first phase of [VaB81]" —
-//! and doubles as a static permutation-routing facility: [VaB81] showed the
+//! "all selected packets are routed as in the first phase of \[VaB81\]" —
+//! and doubles as a static permutation-routing facility: \[VaB81\] showed the
 //! completion time of a random batch is `≤ R·d` with high probability for a
 //! constant `R`.
 
@@ -107,7 +107,7 @@ pub fn route_batch_greedy(d: usize, packets: &[(u32, u32)]) -> BatchResult {
 }
 
 /// A uniformly random permutation batch: node `i` sends one packet to
-/// `σ(i)` for a uniform permutation `σ` (the [Val82] permutation task).
+/// `σ(i)` for a uniform permutation `σ` (the \[Val82\] permutation task).
 pub fn random_permutation_batch(d: usize, rng: &mut SimRng) -> Vec<(u32, u32)> {
     let n = 1u32 << d;
     let mut dests: Vec<u32> = (0..n).collect();
@@ -128,7 +128,7 @@ pub fn random_flip_batch(d: usize, p: f64, rng: &mut SimRng) -> Vec<(u32, u32)> 
         .collect()
 }
 
-/// Empirical estimate of the [VaB81] round-length constant `R`: the mean
+/// Empirical estimate of the \[VaB81\] round-length constant `R`: the mean
 /// makespan of `reps` random batches divided by `d`.
 pub fn estimate_round_constant(d: usize, p: f64, reps: usize, seed: u64) -> f64 {
     let mut rng = SimRng::new(seed);

@@ -7,8 +7,13 @@
 //! path is unique, so greedy routing is the only non-idling choice; FIFO
 //! resolves contention.
 
-use crate::config::ArrivalModel;
+// The config struct defined here is the deprecated legacy entry point;
+// this module necessarily keeps using it internally.
+#![allow(deprecated)]
+
+use crate::config::{ArrivalModel, ConfigError};
 use crate::metrics::{DelayStats, MetricsCollector};
+use crate::observe::{NullObserver, Observer, TimeSeriesProbe};
 use crate::packet::sample_flip_mask;
 use crate::pool::{ArcFifo, SlabPool};
 use hyperroute_desim::{Scheduler, SchedulerKind, SimRng, Tally};
@@ -16,6 +21,16 @@ use hyperroute_topology::{ArcKind, Butterfly, ButterflyArc, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a butterfly routing simulation.
+///
+/// Deprecated legacy entry point: build a
+/// [`crate::scenario::Scenario`] with
+/// [`crate::scenario::Topology::Butterfly`] instead; the scenario path
+/// produces byte-identical reports. This struct remains as a thin shim
+/// for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `scenario::Scenario` with `Topology::Butterfly` instead"
+)]
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ButterflySimConfig {
     /// Butterfly dimension `d` (levels `0..=d`, `2^d` rows).
@@ -62,16 +77,27 @@ impl ButterflySimConfig {
         self.lambda * self.p.max(1.0 - self.p)
     }
 
+    /// Structured validation of this configuration — every check the
+    /// constructor enforces, as a [`ConfigError`] instead of a panic.
+    ///
+    /// Release-mode validation happens here once, not per event in the
+    /// scheduler (see `HypercubeSimConfig::check`).
+    pub fn check(&self) -> Result<(), ConfigError> {
+        crate::config::check_sim_fields(
+            self.dim,
+            24,
+            self.lambda,
+            self.p,
+            self.horizon,
+            self.warmup,
+            self.arrivals,
+            None,
+        )
+    }
+
     fn validate(&self) {
-        // Release-mode validation happens here once, not per event in the
-        // scheduler (see `HypercubeSimConfig::validate`).
-        assert!(self.dim >= 1 && self.dim <= 24, "bad dimension");
-        assert!(self.lambda >= 0.0 && self.lambda.is_finite(), "bad λ");
-        assert!((0.0..=1.0).contains(&self.p), "p outside [0,1]");
-        assert!(self.horizon.is_finite() && self.warmup.is_finite());
-        assert!(self.horizon > self.warmup && self.warmup >= 0.0);
-        if let ArrivalModel::Slotted { slots_per_unit } = self.arrivals {
-            assert!(slots_per_unit >= 1, "slotted model needs ≥ 1 slot per unit");
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }
@@ -221,37 +247,38 @@ impl ButterflySim {
     }
 
     /// Run to completion and summarise.
-    pub fn run(mut self) -> ButterflyReport {
-        self.drive(None);
+    pub fn run(self) -> ButterflyReport {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Run to completion under a streaming [`Observer`] and summarise.
+    ///
+    /// The observer never changes the simulation — reports are
+    /// bit-identical to an unobserved [`ButterflySim::run`].
+    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> ButterflyReport {
+        self.drive(obs);
         self.report()
     }
 
-    /// Run and sample the number-in-system every `interval` (for
-    /// stability probing).
-    pub fn run_sampled(mut self, interval: f64) -> (ButterflyReport, Vec<(f64, f64)>) {
-        assert!(interval > 0.0);
-        let mut samples = Vec::new();
-        self.drive(Some((interval, &mut samples)));
-        (self.report(), samples)
+    /// Run and sample the number-in-system every `interval`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run with an `observe::TimeSeriesProbe` via `run_observed` instead"
+    )]
+    pub fn run_sampled(self, interval: f64) -> (ButterflyReport, Vec<(f64, f64)>) {
+        let mut probe = TimeSeriesProbe::new(interval, self.cfg.horizon);
+        let report = self.run_observed(&mut probe);
+        (report, probe.into_samples())
     }
 
-    fn drive(&mut self, mut sampling: Option<(f64, &mut Vec<(f64, f64)>)>) {
-        let mut next_sample = match &sampling {
-            Some((interval, _)) => *interval,
-            None => f64::INFINITY,
-        };
+    fn drive<O: Observer>(&mut self, obs: &mut O) {
         while let Some((t, ev)) = self.events.pop() {
-            if let Some((interval, samples)) = &mut sampling {
-                while next_sample <= t && next_sample <= self.cfg.horizon {
-                    samples.push((next_sample, self.collector.current_in_system()));
-                    next_sample += *interval;
-                }
-            }
+            obs.on_event(t, self.collector.current_in_system());
             self.events_processed += 1;
             match ev {
                 Ev::Arrival => self.on_arrival(t),
                 Ev::SlotBoundary => self.on_slot_boundary(t),
-                Ev::Complete(arc) => self.on_complete(t, arc as usize),
+                Ev::Complete(arc) => self.on_complete(t, arc as usize, obs),
             }
             if !self.cfg.drain && t >= self.cfg.horizon {
                 break;
@@ -324,7 +351,7 @@ impl ButterflySim {
         }
     }
 
-    fn on_complete(&mut self, t: f64, arc_idx: usize) {
+    fn on_complete<O: Observer>(&mut self, t: f64, arc_idx: usize, obs: &mut O) {
         let mut pkt = self.arcs[arc_idx]
             .queue
             .pop_front(&mut self.pool)
@@ -346,6 +373,7 @@ impl ButterflySim {
             }
             self.collector
                 .on_delivered(t, pkt.born, self.cfg.dim as u16);
+            obs.on_delivered(t, pkt.born);
         } else {
             self.enqueue(t, row, level, pkt);
         }

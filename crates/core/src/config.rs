@@ -1,6 +1,123 @@
-//! Shared simulation configuration types.
+//! Shared simulation configuration types and their validation errors.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structured configuration-validation error.
+///
+/// Returned by the [`crate::scenario::Scenario`] builder and by the
+/// fallible constructors in this module; the legacy per-simulator config
+/// structs funnel the same checks through panics for backward
+/// compatibility (their `Display` text is the panic message).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// Topology dimension outside the supported range.
+    Dimension {
+        /// The rejected dimension.
+        dim: usize,
+        /// Smallest accepted value.
+        min: usize,
+        /// Largest accepted value.
+        max: usize,
+    },
+    /// Per-node arrival rate is negative, NaN or infinite.
+    Lambda(
+        /// The rejected rate.
+        f64,
+    ),
+    /// Bit-flip probability outside `[0, 1]`.
+    FlipProbability(
+        /// The rejected probability.
+        f64,
+    ),
+    /// Measurement window is empty, inverted or non-finite.
+    Window {
+        /// Configured generation horizon.
+        horizon: f64,
+        /// Configured warm-up cutoff.
+        warmup: f64,
+    },
+    /// Slotted arrivals need at least one slot per unit time.
+    SlotsPerUnit,
+    /// Destination pmf has the wrong number of entries.
+    PmfLength {
+        /// Number of entries supplied.
+        len: usize,
+        /// Required length (`2^d`), when the dimension is known.
+        expected: Option<usize>,
+    },
+    /// Destination pmf entry is negative, NaN or infinite.
+    PmfEntry {
+        /// Index of the offending entry.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Destination pmf does not sum to 1.
+    PmfSum(
+        /// The actual sum.
+        f64,
+    ),
+    /// Pipelined scheme needs at least two rounds.
+    Rounds(
+        /// The rejected round count.
+        usize,
+    ),
+    /// The requested combination is meaningless for the chosen topology
+    /// (e.g. a routing scheme on the butterfly, whose paths are unique).
+    Unsupported {
+        /// The topology that rejected the setting.
+        topology: String,
+        /// What was requested.
+        feature: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Dimension { dim, min, max } => {
+                write!(f, "dimension {dim} outside supported range {min}..={max}")
+            }
+            ConfigError::Lambda(l) => {
+                write!(f, "arrival rate λ = {l} must be finite and non-negative")
+            }
+            ConfigError::FlipProbability(p) => {
+                write!(f, "flip probability p = {p} outside [0, 1]")
+            }
+            ConfigError::Window { horizon, warmup } => write!(
+                f,
+                "measurement window needs finite 0 <= warmup < horizon, \
+                 got warmup = {warmup}, horizon = {horizon}"
+            ),
+            ConfigError::SlotsPerUnit => {
+                write!(f, "slotted model needs at least one slot per unit time")
+            }
+            ConfigError::PmfLength { len, expected } => match expected {
+                Some(e) => write!(f, "destination pmf has {len} entries, needs 2^d = {e}"),
+                None => write!(
+                    f,
+                    "destination pmf has {len} entries, needs a power of two covering 2^d masks"
+                ),
+            },
+            ConfigError::PmfEntry { index, value } => write!(
+                f,
+                "destination pmf entry {index} = {value} must be finite and non-negative"
+            ),
+            ConfigError::PmfSum(s) => {
+                write!(f, "destination pmf sums to {s}, must sum to 1")
+            }
+            ConfigError::Rounds(r) => {
+                write!(f, "pipelined simulation needs at least 2 rounds, got {r}")
+            }
+            ConfigError::Unsupported { topology, feature } => {
+                write!(f, "the {topology} topology does not support {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which routing scheme drives the hypercube simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -22,8 +139,19 @@ pub enum Scheme {
     TwoPhaseValiant,
 }
 
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scheme::Greedy => "greedy",
+            Scheme::RandomOrder => "random-order",
+            Scheme::TwoPhaseValiant => "two-phase-valiant",
+        })
+    }
+}
+
 impl Scheme {
     /// Human-readable name used in experiment tables.
+    #[deprecated(since = "0.2.0", note = "format with `Display` instead")]
     pub fn name(self) -> &'static str {
         match self {
             Scheme::Greedy => "greedy",
@@ -56,6 +184,26 @@ impl ArrivalModel {
             ArrivalModel::Slotted { slots_per_unit } => 1.0 / slots_per_unit as f64,
         }
     }
+
+    /// Reject zero-slot configurations.
+    pub fn validate(self) -> Result<(), ConfigError> {
+        match self {
+            ArrivalModel::Poisson => Ok(()),
+            ArrivalModel::Slotted { slots_per_unit } if slots_per_unit >= 1 => Ok(()),
+            ArrivalModel::Slotted { .. } => Err(ConfigError::SlotsPerUnit),
+        }
+    }
+}
+
+impl fmt::Display for ArrivalModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalModel::Poisson => f.write_str("poisson"),
+            ArrivalModel::Slotted { slots_per_unit } => {
+                write!(f, "slotted({slots_per_unit}/unit)")
+            }
+        }
+    }
 }
 
 /// Which waiting packet an arc serves next (ablation of the paper's FIFO
@@ -75,8 +223,19 @@ pub enum ContentionPolicy {
     Random,
 }
 
+impl fmt::Display for ContentionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ContentionPolicy::Fifo => "fifo",
+            ContentionPolicy::Lifo => "lifo",
+            ContentionPolicy::Random => "random",
+        })
+    }
+}
+
 impl ContentionPolicy {
     /// Human-readable name used in experiment tables.
+    #[deprecated(since = "0.2.0", note = "format with `Display` instead")]
     pub fn name(self) -> &'static str {
         match self {
             ContentionPolicy::Fifo => "fifo",
@@ -99,13 +258,105 @@ pub enum DestinationSpec {
     /// sum to 1). The per-dimension load factors and the generalised
     /// stability condition `λ·max_j p_j < 1` come from
     /// `hyperroute_analysis::load::dimension_load_factors`.
+    ///
+    /// Construct with [`DestinationSpec::mask_pmf`], which validates the
+    /// entries up front.
     MaskPmf(Vec<f64>),
 }
 
+/// Tolerance for the pmf unit-sum check (matches the analysis crate's).
+const PMF_SUM_TOLERANCE: f64 = 1e-9;
+
+/// Borrowed-field validation shared by the legacy sim configs and the
+/// hypercube arm of `Scenario::validate` — one implementation, so the
+/// scenario's no-clone validation can never drift from what the engine
+/// constructor enforces.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_sim_fields(
+    dim: usize,
+    max_dim: usize,
+    lambda: f64,
+    p: f64,
+    horizon: f64,
+    warmup: f64,
+    arrivals: ArrivalModel,
+    dest: Option<&DestinationSpec>,
+) -> Result<(), ConfigError> {
+    if dim < 1 || dim > max_dim {
+        return Err(ConfigError::Dimension {
+            dim,
+            min: 1,
+            max: max_dim,
+        });
+    }
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(ConfigError::Lambda(lambda));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ConfigError::FlipProbability(p));
+    }
+    if !(horizon.is_finite() && warmup.is_finite() && horizon > warmup && warmup >= 0.0) {
+        return Err(ConfigError::Window { horizon, warmup });
+    }
+    arrivals.validate()?;
+    match dest {
+        Some(dest) => dest.validate(dim),
+        None => Ok(()),
+    }
+}
+
+/// Borrowed-slice pmf checks shared by [`DestinationSpec::mask_pmf`] and
+/// [`DestinationSpec::validate`] — no allocation, so validating a dim-20
+/// pmf (1M entries) does not copy it.
+fn check_pmf(pmf: &[f64], expected: Option<usize>) -> Result<(), ConfigError> {
+    let length_ok = match expected {
+        Some(e) => pmf.len() == e,
+        None => !pmf.is_empty() && pmf.len().is_power_of_two(),
+    };
+    if !length_ok {
+        return Err(ConfigError::PmfLength {
+            len: pmf.len(),
+            expected,
+        });
+    }
+    for (index, &value) in pmf.iter().enumerate() {
+        if !value.is_finite() || value < 0.0 {
+            return Err(ConfigError::PmfEntry { index, value });
+        }
+    }
+    let sum: f64 = pmf.iter().sum();
+    if (sum - 1.0).abs() > PMF_SUM_TOLERANCE {
+        return Err(ConfigError::PmfSum(sum));
+    }
+    Ok(())
+}
+
 impl DestinationSpec {
+    /// Validated construction of a [`DestinationSpec::MaskPmf`]: the pmf
+    /// must have a power-of-two length (one entry per XOR mask of some
+    /// dimension), finite non-negative entries, and unit sum.
+    pub fn mask_pmf(pmf: Vec<f64>) -> Result<DestinationSpec, ConfigError> {
+        check_pmf(&pmf, None)?;
+        Ok(DestinationSpec::MaskPmf(pmf))
+    }
+
+    /// Check this spec against a concrete topology dimension `d` (re-runs
+    /// the construction checks too, because the `MaskPmf` variant is still
+    /// directly constructible).
+    pub fn validate(&self, dim: usize) -> Result<(), ConfigError> {
+        match self {
+            DestinationSpec::BitFlip => Ok(()),
+            DestinationSpec::MaskPmf(pmf) => check_pmf(pmf, Some(1usize << dim)),
+        }
+    }
+
     /// Build the Eq.-(1)-style product pmf from per-dimension flip
     /// probabilities (a convenient way to construct skewed but structured
     /// distributions).
+    ///
+    /// Panics on malformed input (dimension outside `1..=20` or
+    /// probabilities outside `[0, 1]`); use [`DestinationSpec::mask_pmf`]
+    /// for fallible construction from raw entries.
     pub fn product_of_flips(per_dim: &[f64]) -> DestinationSpec {
         let d = per_dim.len();
         assert!((1..=20).contains(&d), "dimension out of range");
@@ -119,7 +370,7 @@ impl DestinationSpec {
             }
             *slot = prob;
         }
-        DestinationSpec::MaskPmf(pmf)
+        DestinationSpec::mask_pmf(pmf).expect("product pmf is valid by construction")
     }
 }
 
@@ -128,14 +379,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scheme_names_unique() {
+    fn display_names_unique() {
         let names = [
-            Scheme::Greedy.name(),
-            Scheme::RandomOrder.name(),
-            Scheme::TwoPhaseValiant.name(),
+            Scheme::Greedy.to_string(),
+            Scheme::RandomOrder.to_string(),
+            Scheme::TwoPhaseValiant.to_string(),
         ];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_name_matches_display() {
+        for scheme in [Scheme::Greedy, Scheme::RandomOrder, Scheme::TwoPhaseValiant] {
+            assert_eq!(scheme.name(), scheme.to_string());
+        }
+        for policy in [
+            ContentionPolicy::Fifo,
+            ContentionPolicy::Lifo,
+            ContentionPolicy::Random,
+        ] {
+            assert_eq!(policy.name(), policy.to_string());
+        }
     }
 
     #[test]
@@ -144,6 +410,18 @@ mod tests {
         assert_eq!(
             ArrivalModel::Slotted { slots_per_unit: 4 }.slot_length(),
             0.25
+        );
+    }
+
+    #[test]
+    fn arrival_model_validation() {
+        assert!(ArrivalModel::Poisson.validate().is_ok());
+        assert!(ArrivalModel::Slotted { slots_per_unit: 1 }
+            .validate()
+            .is_ok());
+        assert_eq!(
+            ArrivalModel::Slotted { slots_per_unit: 0 }.validate(),
+            Err(ConfigError::SlotsPerUnit)
         );
     }
 
@@ -186,13 +464,62 @@ mod tests {
     }
 
     #[test]
-    fn contention_policy_names_unique() {
-        let names = [
-            ContentionPolicy::Fifo.name(),
-            ContentionPolicy::Lifo.name(),
-            ContentionPolicy::Random.name(),
-        ];
-        let set: std::collections::HashSet<_> = names.iter().collect();
-        assert_eq!(set.len(), 3);
+    fn mask_pmf_rejects_bad_lengths() {
+        assert!(matches!(
+            DestinationSpec::mask_pmf(vec![]),
+            Err(ConfigError::PmfLength { len: 0, .. })
+        ));
+        assert!(matches!(
+            DestinationSpec::mask_pmf(vec![0.5, 0.3, 0.2]),
+            Err(ConfigError::PmfLength { len: 3, .. })
+        ));
+        assert!(DestinationSpec::mask_pmf(vec![0.25; 4]).is_ok());
+    }
+
+    #[test]
+    fn mask_pmf_rejects_bad_entries() {
+        assert!(matches!(
+            DestinationSpec::mask_pmf(vec![1.5, -0.5]),
+            Err(ConfigError::PmfEntry { index: 1, .. })
+        ));
+        assert!(matches!(
+            DestinationSpec::mask_pmf(vec![f64::NAN, 1.0]),
+            Err(ConfigError::PmfEntry { index: 0, .. })
+        ));
+        assert!(matches!(
+            DestinationSpec::mask_pmf(vec![0.9, 0.3]),
+            Err(ConfigError::PmfSum(_))
+        ));
+    }
+
+    #[test]
+    fn validate_against_dimension() {
+        let spec = DestinationSpec::mask_pmf(vec![0.25; 4]).unwrap();
+        assert!(spec.validate(2).is_ok());
+        assert_eq!(
+            spec.validate(3),
+            Err(ConfigError::PmfLength {
+                len: 4,
+                expected: Some(8),
+            })
+        );
+        assert!(DestinationSpec::BitFlip.validate(12).is_ok());
+        // Directly-constructed malformed pmfs are caught by validate too.
+        let bad = DestinationSpec::MaskPmf(vec![0.7, 0.7]);
+        assert_eq!(bad.validate(1), Err(ConfigError::PmfSum(1.4)));
+    }
+
+    #[test]
+    fn config_error_messages_render() {
+        let e = ConfigError::Dimension {
+            dim: 99,
+            min: 1,
+            max: 26,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(ConfigError::SlotsPerUnit
+            .to_string()
+            .contains("slot per unit"));
+        assert!(ConfigError::PmfSum(0.8).to_string().contains("0.8"));
     }
 }

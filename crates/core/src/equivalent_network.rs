@@ -14,7 +14,13 @@
 //! paper's coupled pair, and the dominance checks `B(t) ≥ B̄(t)`,
 //! `N(t) ≤ N̄(t)` are sample-path exact.
 
+// The config struct defined here is the deprecated legacy entry point;
+// this module necessarily keeps using it internally.
+#![allow(deprecated)]
+
+use crate::config::ConfigError;
 use crate::metrics::{DelayStats, MetricsCollector};
+use crate::observe::{NullObserver, Observer, TimeSeriesProbe};
 use crate::pool::{ArcFifo, SlabPool};
 use hyperroute_desim::{OccupancyHistogram, Scheduler, SchedulerKind, SimRng};
 use hyperroute_queueing::PsServer;
@@ -22,16 +28,35 @@ use hyperroute_topology::LevelledNetwork;
 use serde::{Deserialize, Serialize};
 
 /// Service discipline for every server of the network.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Discipline {
     /// Deterministic unit-service FIFO (the real network).
+    #[default]
     Fifo,
     /// Deterministic unit-work Processor Sharing (the product-form
     /// comparison network Q̄ / R̄).
     Ps,
 }
 
+impl std::fmt::Display for Discipline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Discipline::Fifo => "fifo",
+            Discipline::Ps => "ps",
+        })
+    }
+}
+
 /// Configuration of an equivalent-network simulation.
+///
+/// Deprecated legacy entry point: build a
+/// [`crate::scenario::Scenario`] with [`crate::scenario::Topology::EqNet`]
+/// instead; the scenario path produces byte-identical reports. This
+/// struct remains as a thin shim for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `scenario::Scenario` with `Topology::EqNet` instead"
+)]
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct EqNetConfig {
     /// FIFO or PS service at every server.
@@ -88,6 +113,9 @@ pub struct EqNetReport {
     pub generated: u64,
     /// Total customers that left.
     pub delivered: u64,
+    /// Discrete events processed (arrivals + FIFO completions + PS
+    /// tentative departures, including superseded ones).
+    pub events: u64,
     /// All departure epochs in time order (empty unless
     /// `record_departures`).
     pub departures: Vec<f64>,
@@ -118,17 +146,37 @@ pub struct EqNetSim {
     external_rate: Vec<f64>,
     born: Vec<f64>,
     events: Scheduler<Ev>,
+    events_processed: u64,
     collector: MetricsCollector,
     departures: Vec<f64>,
     occupancy: Vec<OccupancyHistogram>,
     occ_count: Vec<usize>,
 }
 
+impl EqNetConfig {
+    /// Structured validation of this configuration.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if !(self.horizon.is_finite()
+            && self.warmup.is_finite()
+            && self.horizon > self.warmup
+            && self.warmup >= 0.0)
+        {
+            return Err(ConfigError::Window {
+                horizon: self.horizon,
+                warmup: self.warmup,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl EqNetSim {
     /// Build a simulator over `net` (the network is consumed into flat
     /// routing tables).
     pub fn new(net: &LevelledNetwork, cfg: EqNetConfig) -> EqNetSim {
-        assert!(cfg.horizon > cfg.warmup && cfg.warmup >= 0.0);
+        if let Err(e) = cfg.check() {
+            panic!("{e}");
+        }
         let n = net.num_servers();
         let routes: Vec<Vec<(u32, f64)>> = net
             .servers()
@@ -193,6 +241,7 @@ impl EqNetSim {
             external_rate,
             born: Vec::new(),
             events,
+            events_processed: 0,
             collector,
             departures: Vec::new(),
             occupancy,
@@ -201,37 +250,40 @@ impl EqNetSim {
     }
 
     /// Run to completion and summarise.
-    pub fn run(mut self) -> EqNetReport {
-        self.drive(None);
+    pub fn run(self) -> EqNetReport {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Run to completion under a streaming [`Observer`] and summarise.
+    ///
+    /// The observer never changes the simulation — reports are
+    /// bit-identical to an unobserved [`EqNetSim::run`].
+    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> EqNetReport {
+        self.drive(obs);
         self.report()
     }
 
     /// Run, sampling total customers in system every `interval` — the
     /// `N(t)` trajectory for Prop. 11 comparisons.
-    pub fn run_sampled(mut self, interval: f64) -> (EqNetReport, Vec<(f64, f64)>) {
-        assert!(interval > 0.0);
-        let mut samples = Vec::new();
-        self.drive(Some((interval, &mut samples)));
-        (self.report(), samples)
+    #[deprecated(
+        since = "0.2.0",
+        note = "run with an `observe::TimeSeriesProbe` via `run_observed` instead"
+    )]
+    pub fn run_sampled(self, interval: f64) -> (EqNetReport, Vec<(f64, f64)>) {
+        let mut probe = TimeSeriesProbe::new(interval, self.cfg.horizon);
+        let report = self.run_observed(&mut probe);
+        (report, probe.into_samples())
     }
 
-    fn drive(&mut self, mut sampling: Option<(f64, &mut Vec<(f64, f64)>)>) {
-        let mut next_sample = match &sampling {
-            Some((interval, _)) => *interval,
-            None => f64::INFINITY,
-        };
+    fn drive<O: Observer>(&mut self, obs: &mut O) {
         while let Some((t, ev)) = self.events.pop() {
-            if let Some((interval, samples)) = &mut sampling {
-                while next_sample <= t && next_sample <= self.cfg.horizon {
-                    samples.push((next_sample, self.collector.current_in_system()));
-                    next_sample += *interval;
-                }
-            }
+            obs.on_event(t, self.collector.current_in_system());
+            self.events_processed += 1;
             match ev {
                 Ev::Arrival(s) => self.on_arrival(t, s as usize),
-                Ev::FifoComplete(s) => self.on_fifo_complete(t, s as usize),
+                Ev::FifoComplete(s) => self.on_fifo_complete(t, s as usize, obs),
                 Ev::PsTentative { server, generation } => {
-                    self.on_ps_tentative(t, server as usize, generation)
+                    self.on_ps_tentative(t, server as usize, generation, obs)
                 }
             }
             if !self.cfg.drain && t >= self.cfg.horizon {
@@ -281,7 +333,7 @@ impl EqNetSim {
         }
     }
 
-    fn on_fifo_complete(&mut self, t: f64, s: usize) {
+    fn on_fifo_complete<O: Observer>(&mut self, t: f64, s: usize, obs: &mut O) {
         let id = self.fifo_queues[s]
             .pop_front(&mut self.fifo_pool)
             .expect("completion on empty queue");
@@ -290,27 +342,28 @@ impl EqNetSim {
         } else {
             self.events.push(t + 1.0, Ev::FifoComplete(s as u32));
         }
-        self.route(t, s, id);
+        self.route(t, s, id, obs);
     }
 
-    fn on_ps_tentative(&mut self, t: f64, s: usize, generation: u32) {
+    fn on_ps_tentative<O: Observer>(&mut self, t: f64, s: usize, generation: u32, obs: &mut O) {
         if generation != self.ps_generation[s] {
             return; // superseded by a later arrival/departure
         }
         let id = self.ps_servers[s].complete_next(t);
         self.reschedule_ps(s);
-        self.route(t, s, id);
+        self.route(t, s, id, obs);
     }
 
     /// Positional routing decision: the k-th completion at server `s`
     /// consumes the k-th draw of `route_rngs[s]` (same in FIFO and PS).
-    fn route(&mut self, t: f64, s: usize, id: u64) {
+    fn route<O: Observer>(&mut self, t: f64, s: usize, id: u64, obs: &mut O) {
         self.occ_bump(t, s, -1);
         let decision = self.route_rngs[s].route(&self.routes[s]);
         match decision {
             Some(next) => self.join(t, next as usize, id),
             None => {
                 self.collector.on_delivered(t, self.born[id as usize], 0);
+                obs.on_delivered(t, self.born[id as usize]);
                 if self.cfg.record_departures {
                     self.departures.push(t);
                 }
@@ -347,6 +400,7 @@ impl EqNetSim {
             little_error: little.relative_error(),
             generated: self.collector.generated(),
             delivered: self.collector.delivered_total(),
+            events: self.events_processed,
             departures: self.departures.clone(),
             occupancy_fractions,
         }

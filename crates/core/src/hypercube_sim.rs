@@ -8,15 +8,31 @@
 //! `λ·2^d` with uniform node assignment (superposition is exact, and keeps
 //! the event heap small).
 
-use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
+// The config struct defined here is the deprecated legacy entry point;
+// this module necessarily keeps using it internally.
+#![allow(deprecated)]
+
+use crate::config::{ArrivalModel, ConfigError, ContentionPolicy, DestinationSpec, Scheme};
 use crate::metrics::{DelayStats, MetricsCollector};
+use crate::observe::{NullObserver, Observer, TimeSeriesProbe};
 use crate::packet::{next_dim, sample_flip_mask, MaskSampler, Packet, NO_SECOND_LEG};
-use crate::pool::{ArcFifo, SlabPool};
+use crate::pool::{ArcBag, ArcFifo, SlabPool};
 use hyperroute_desim::{Scheduler, SchedulerKind, SimRng};
 use hyperroute_topology::Hypercube;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a hypercube routing simulation.
+///
+/// Deprecated legacy entry point: build a
+/// [`crate::scenario::Scenario`] with
+/// [`crate::scenario::Topology::Hypercube`] instead — one spec drives all
+/// topologies, validates fallibly, and serialises to scenario files. This
+/// struct remains as a thin shim for one release; the scenario path
+/// produces byte-identical reports.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `scenario::Scenario` with `Topology::Hypercube` instead"
+)]
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HypercubeSimConfig {
     /// Hypercube dimension `d`.
@@ -77,25 +93,29 @@ impl HypercubeSimConfig {
         self.lambda * self.p
     }
 
+    /// Structured validation of this configuration — every check the
+    /// constructor enforces, as a [`ConfigError`] instead of a panic.
+    ///
+    /// Release builds validate here, once, instead of per event inside
+    /// the scheduler's push (whose time check is a debug_assert!): every
+    /// event time is `now + 1.0`, `now + Exp(Λ)` or `now + r`, so finite
+    /// non-negative inputs imply finite non-negative event times.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        crate::config::check_sim_fields(
+            self.dim,
+            26,
+            self.lambda,
+            self.p,
+            self.horizon,
+            self.warmup,
+            self.arrivals,
+            Some(&self.dest),
+        )
+    }
+
     fn validate(&self) {
-        // Release builds validate here, once, instead of per event inside
-        // the scheduler's push (whose time check is a debug_assert!): every
-        // event time is `now + 1.0`, `now + Exp(Λ)` or `now + r`, so finite
-        // non-negative inputs imply finite non-negative event times.
-        assert!(self.dim >= 1 && self.dim <= 26, "bad dimension");
-        assert!(self.lambda >= 0.0 && self.lambda.is_finite(), "bad λ");
-        assert!((0.0..=1.0).contains(&self.p), "p outside [0,1]");
-        assert!(self.horizon.is_finite() && self.warmup.is_finite());
-        assert!(self.horizon > self.warmup && self.warmup >= 0.0);
-        if let ArrivalModel::Slotted { slots_per_unit } = self.arrivals {
-            assert!(slots_per_unit >= 1, "slotted model needs ≥ 1 slot per unit");
-        }
-        if let DestinationSpec::MaskPmf(pmf) = &self.dest {
-            assert_eq!(
-                pmf.len(),
-                1usize << self.dim,
-                "destination pmf length must be 2^d"
-            );
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }
@@ -175,7 +195,7 @@ struct ArcState {
 }
 
 /// The simulator. Construct with [`HypercubeSim::new`], execute with
-/// [`HypercubeSim::run`] or [`HypercubeSim::run_sampled`].
+/// [`HypercubeSim::run`] or [`HypercubeSim::run_observed`].
 pub struct HypercubeSim {
     cfg: HypercubeSimConfig,
     cube: Hypercube,
@@ -184,6 +204,10 @@ pub struct HypercubeSim {
     pool: SlabPool<Packet>,
     /// Packet in service + waiting list, one entry per arc.
     arcs: Vec<ArcState>,
+    /// Indexed waiting storage, one bag per arc — allocated (and used)
+    /// only under [`ContentionPolicy::Random`], where a uniform pick from
+    /// an intrusive list would walk `O(queue)` links ([`ArcBag`]).
+    bags: Vec<ArcBag<Packet>>,
     events: Scheduler<Ev>,
     events_processed: u64,
     arrival_rng: SimRng,
@@ -239,6 +263,11 @@ impl HypercubeSim {
         let dim = cfg.dim;
         let warmup = cfg.warmup;
         HypercubeSim {
+            bags: if cfg.contention == ContentionPolicy::Random {
+                vec![ArcBag::new(); arcs]
+            } else {
+                Vec::new()
+            },
             cfg,
             cube,
             pool: SlabPool::with_capacity(1024),
@@ -287,38 +316,41 @@ impl HypercubeSim {
     }
 
     /// Run to completion and summarise.
-    pub fn run(mut self) -> HypercubeReport {
-        self.drive(None);
+    pub fn run(self) -> HypercubeReport {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Run to completion under a streaming [`Observer`] and summarise.
+    ///
+    /// The observer sees every event (before it is applied) and every
+    /// delivery; it never changes the simulation — reports are
+    /// bit-identical to an unobserved [`HypercubeSim::run`].
+    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> HypercubeReport {
+        self.drive(obs);
         self.report()
     }
 
     /// Run to completion, additionally sampling the total number-in-system
-    /// every `interval` time units (used by the stability detector).
-    pub fn run_sampled(mut self, interval: f64) -> (HypercubeReport, Vec<(f64, f64)>) {
-        assert!(interval > 0.0);
-        let mut samples = Vec::new();
-        self.drive(Some((interval, &mut samples)));
-        (self.report(), samples)
+    /// every `interval` time units.
+    #[deprecated(
+        since = "0.2.0",
+        note = "run with an `observe::TimeSeriesProbe` via `run_observed` instead"
+    )]
+    pub fn run_sampled(self, interval: f64) -> (HypercubeReport, Vec<(f64, f64)>) {
+        let mut probe = TimeSeriesProbe::new(interval, self.cfg.horizon);
+        let report = self.run_observed(&mut probe);
+        (report, probe.into_samples())
     }
 
-    fn drive(&mut self, mut sampling: Option<(f64, &mut Vec<(f64, f64)>)>) {
-        let mut next_sample = match &sampling {
-            Some((interval, _)) => *interval,
-            None => f64::INFINITY,
-        };
+    fn drive<O: Observer>(&mut self, obs: &mut O) {
         while let Some((t, ev)) = self.events.pop() {
-            if let Some((interval, samples)) = &mut sampling {
-                while next_sample <= t && next_sample <= self.cfg.horizon {
-                    samples.push((next_sample, self.collector.current_in_system()));
-                    next_sample += *interval;
-                }
-            }
+            obs.on_event(t, self.collector.current_in_system());
             self.events_processed += 1;
             self.now = t;
             match ev {
-                Ev::Arrival => self.on_merged_arrival(t),
-                Ev::SlotBoundary => self.on_slot_boundary(t),
-                Ev::Complete(arc) => self.on_complete(t, arc as usize),
+                Ev::Arrival => self.on_merged_arrival(t, obs),
+                Ev::SlotBoundary => self.on_slot_boundary(t, obs),
+                Ev::Complete(arc) => self.on_complete(t, arc as usize, obs),
             }
             if !self.cfg.drain && t >= self.cfg.horizon {
                 break;
@@ -326,7 +358,7 @@ impl HypercubeSim {
         }
     }
 
-    fn on_merged_arrival(&mut self, t: f64) {
+    fn on_merged_arrival<O: Observer>(&mut self, t: f64, obs: &mut O) {
         // Schedule the next merged arrival first (keeps the stream's draws
         // independent of per-packet sampling).
         let total_rate = self.cfg.lambda * self.cube.num_nodes() as f64;
@@ -335,10 +367,10 @@ impl HypercubeSim {
             self.events.push(next, Ev::Arrival);
         }
         let node = self.arrival_rng.below(self.cube.num_nodes()) as u32;
-        self.generate_packet(t, node);
+        self.generate_packet(t, node, obs);
     }
 
-    fn on_slot_boundary(&mut self, t: f64) {
+    fn on_slot_boundary<O: Observer>(&mut self, t: f64, obs: &mut O) {
         let ArrivalModel::Slotted { slots_per_unit } = self.cfg.arrivals else {
             unreachable!("slot boundary event outside slotted model");
         };
@@ -348,7 +380,7 @@ impl HypercubeSim {
         let batch = self.arrival_rng.poisson(mean);
         for _ in 0..batch {
             let node = self.arrival_rng.below(self.cube.num_nodes()) as u32;
-            self.generate_packet(t, node);
+            self.generate_packet(t, node, obs);
         }
         let next = t + r;
         if next < self.cfg.horizon {
@@ -364,7 +396,7 @@ impl HypercubeSim {
         }
     }
 
-    fn generate_packet(&mut self, t: f64, node: u32) {
+    fn generate_packet<O: Observer>(&mut self, t: f64, node: u32, obs: &mut O) {
         self.collector.on_generated(t);
         let d = self.cfg.dim;
         match self.cfg.scheme {
@@ -373,6 +405,7 @@ impl HypercubeSim {
                 let pkt = Packet::new(t, mask, NO_SECOND_LEG);
                 if mask == 0 {
                     self.collector.on_delivered(t, t, 0);
+                    obs.on_delivered(t, t);
                 } else {
                     self.enqueue(t, node, pkt);
                 }
@@ -385,6 +418,7 @@ impl HypercubeSim {
                 let final_dest = node ^ dest_mask;
                 if inter_mask == 0 && node == final_dest {
                     self.collector.on_delivered(t, t, 0);
+                    obs.on_delivered(t, t);
                     return;
                 }
                 if inter_mask == 0 {
@@ -413,38 +447,41 @@ impl HypercubeSim {
         if self.arcs[arc].serving.is_none() {
             self.arcs[arc].serving = Some(pkt);
             self.events.push(t + 1.0, Ev::Complete(arc as u32));
+        } else if self.cfg.contention == ContentionPolicy::Random {
+            self.bags[arc].insert(pkt);
         } else {
             self.arcs[arc].waiting.push_back(&mut self.pool, pkt);
         }
     }
 
     /// Pick the next waiting packet per the contention policy and start
-    /// its service. The intrusive list holds waiters in arrival order:
-    /// FIFO pops the head, LIFO the tail (both `O(1)`); Random walks to
-    /// the drawn position from the nearer end and unlinks in `O(1)` —
-    /// same uniform draw and residual order as the seed's
-    /// `VecDeque::remove(idx)`, without the memmove (see
-    /// [`ArcFifo::take_nth`] for the complexity discussion).
+    /// its service. FIFO pops the head of the intrusive list, LIFO the
+    /// tail (both `O(1)`). Random draws a uniform position from the arc's
+    /// [`ArcBag`] — indexed storage where removal is a `swap_remove`, so
+    /// the pick is `O(1)` however long the queue grows (the intrusive
+    /// list would walk `O(min(n, len-n))` links; see [`ArcFifo::take_nth`]
+    /// for why). The bag does not preserve arrival order, which only a
+    /// policy that ignores arrival order can afford.
     fn start_next_service(&mut self, t: f64, arc: usize) {
         debug_assert!(self.arcs[arc].serving.is_none());
-        let len = self.arcs[arc].waiting.len();
-        if len == 0 {
-            return;
-        }
         let pkt = match self.cfg.contention {
             ContentionPolicy::Fifo => self.arcs[arc].waiting.pop_front(&mut self.pool),
             ContentionPolicy::Lifo => self.arcs[arc].waiting.pop_back(&mut self.pool),
             ContentionPolicy::Random => {
+                let len = self.bags[arc].len();
+                if len == 0 {
+                    return;
+                }
                 let n = self.contention_rng.below(len);
-                self.arcs[arc].waiting.take_nth(&mut self.pool, n)
+                self.bags[arc].take(n)
             }
-        }
-        .expect("non-empty queue");
+        };
+        let Some(pkt) = pkt else { return };
         self.arcs[arc].serving = Some(pkt);
         self.events.push(t + 1.0, Ev::Complete(arc as u32));
     }
 
-    fn on_complete(&mut self, t: f64, arc: usize) {
+    fn on_complete<O: Observer>(&mut self, t: f64, arc: usize, obs: &mut O) {
         let packed = self.arcs[arc].to_node_dim;
         let mut pkt = self.arcs[arc]
             .serving
@@ -461,12 +498,14 @@ impl HypercubeSim {
             pkt.second_leg_dest = NO_SECOND_LEG;
             if mask == 0 {
                 self.collector.on_delivered(t, pkt.born, pkt.hops);
+                obs.on_delivered(t, pkt.born);
             } else {
                 pkt.remaining = mask;
                 self.enqueue(t, node, pkt);
             }
         } else {
             self.collector.on_delivered(t, pkt.born, pkt.hops);
+            obs.on_delivered(t, pkt.born);
         }
     }
 

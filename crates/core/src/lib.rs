@@ -11,26 +11,47 @@
 //! Processor-Sharing service, static batch routing, and empirical stability
 //! detection.
 //!
-//! # Quick start
+//! # The scenario API
+//!
+//! Every workload is expressed as one typed [`scenario::Scenario`]:
+//! a [`scenario::Topology`] (hypercube, butterfly, equivalent network, or
+//! the §2.3 pipelined scheme), a [`scenario::Workload`] (arrival model,
+//! `λ`, destination distribution), a [`scenario::Policy`] (routing scheme,
+//! contention rule, service discipline) and a [`scenario::RunControl`]
+//! (horizon, warm-up, seed, scheduler backend). The builder validates the
+//! combination up front and returns a structured
+//! [`scenario::ConfigError`]; `run()` dispatches through the
+//! [`scenario::Simulator`] trait onto the matching engine and yields a
+//! unified [`scenario::Report`].
 //!
 //! ```
-//! use hyperroute_core::hypercube_sim::{HypercubeSim, HypercubeSimConfig};
+//! use hyperroute_core::scenario::{Scenario, Topology};
 //!
-//! let cfg = HypercubeSimConfig {
-//!     dim: 4,
-//!     lambda: 1.0,
-//!     p: 0.5, // load factor ρ = λp = 0.5
-//!     horizon: 2_000.0,
-//!     warmup: 400.0,
-//!     seed: 1,
-//!     ..Default::default()
-//! };
-//! let report = HypercubeSim::new(cfg).run();
-//! // Prop. 12: T ≤ dp/(1-ρ) = 4.
-//! assert!(report.delay.mean < 4.0);
-//! // Prop. 13: T ≥ dp + pρ/(2(1-ρ)) = 2.25.
-//! assert!(report.delay.mean > 2.0);
+//! let report = Scenario::builder(Topology::Hypercube { dim: 4 })
+//!     .lambda(1.0)
+//!     .p(0.5) // load factor ρ = λp = 0.5
+//!     .horizon(2_000.0)
+//!     .warmup(400.0)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid scenario")
+//!     .run()
+//!     .expect("runs to completion");
+//! // Prop. 12: T ≤ dp/(1-ρ) = 4. Prop. 13: T ≥ dp + pρ/(2(1-ρ)) = 2.25.
+//! assert!(report.delay.mean < 4.0 && report.delay.mean > 2.0);
 //! ```
+//!
+//! Scenarios serialise to JSON files ([`scenario::Scenario::to_json`] /
+//! [`scenario::Scenario::from_json`]) and parameter grids run as
+//! deterministic [`scenario::Sweep`]s with splitmix-derived per-point
+//! seeds. Live runs are tapped through the composable [`observe`] probes
+//! (time series, occupancy, delay reservoirs) without touching the
+//! simulation's random draws.
+//!
+//! The per-simulator config structs (`HypercubeSimConfig`,
+//! `ButterflySimConfig`, `EqNetConfig`, `PipelinedConfig`) remain as
+//! deprecated shims for one release; scenario-driven runs are
+//! byte-identical to them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,11 +62,18 @@ pub mod config;
 pub mod equivalent_network;
 pub mod hypercube_sim;
 pub mod metrics;
+pub mod observe;
 pub mod packet;
 pub mod pipelined;
 pub mod pool;
+pub mod runner;
+pub mod scenario;
 pub mod stability;
 
-pub use config::{ArrivalModel, Scheme};
-pub use hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};
+pub use config::{ArrivalModel, ConfigError, ContentionPolicy, DestinationSpec, Scheme};
 pub use metrics::DelayStats;
+pub use observe::{NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe};
+pub use scenario::{Report, Scenario, Simulator, Sweep, Topology};
+
+#[allow(deprecated)]
+pub use hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};

@@ -10,13 +10,29 @@
 //! fixed load factor it fails for large `d`, which is the paper's §2.3
 //! point (experiment E12).
 
+// The config struct defined here is the deprecated legacy entry point;
+// this module necessarily keeps using it internally.
+#![allow(deprecated)]
+
 use crate::batch::route_batch_greedy;
+use crate::config::ConfigError;
+use crate::observe::{NullObserver, Observer};
 use crate::packet::sample_flip_mask;
 use crate::pool::{ArcFifo, SlabPool};
 use hyperroute_desim::{SimRng, Welford};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a pipelined-scheme simulation.
+///
+/// Deprecated legacy entry point: build a
+/// [`crate::scenario::Scenario`] with
+/// [`crate::scenario::Topology::Pipelined`] instead; the scenario path
+/// produces byte-identical reports. This struct remains as a thin shim
+/// for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `scenario::Scenario` with `Topology::Pipelined` instead"
+)]
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct PipelinedConfig {
     /// Hypercube dimension.
@@ -72,11 +88,46 @@ impl PipelinedReport {
     }
 }
 
+impl PipelinedConfig {
+    /// Structured validation of this configuration.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.dim < 1 || self.dim > 16 {
+            return Err(ConfigError::Dimension {
+                dim: self.dim,
+                min: 1,
+                max: 16,
+            });
+        }
+        if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
+            return Err(ConfigError::Lambda(self.lambda));
+        }
+        if !(0.0..=1.0).contains(&self.p) {
+            return Err(ConfigError::FlipProbability(self.p));
+        }
+        if self.rounds < 2 {
+            return Err(ConfigError::Rounds(self.rounds));
+        }
+        Ok(())
+    }
+}
+
 /// Run the pipelined scheme.
 pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
-    assert!(cfg.dim >= 1 && cfg.dim <= 16, "bad dimension");
-    assert!(cfg.lambda >= 0.0 && (0.0..=1.0).contains(&cfg.p));
-    assert!(cfg.rounds >= 2);
+    simulate_pipelined_observed(cfg, &mut NullObserver)
+}
+
+/// Run the pipelined scheme under a streaming [`Observer`].
+///
+/// The observer sees one event per routing round (clock = accumulated
+/// simulated time, signal = stored backlog at the round start) and every
+/// delivered packet; it never changes the simulation.
+pub fn simulate_pipelined_observed<O: Observer>(
+    cfg: PipelinedConfig,
+    obs: &mut O,
+) -> PipelinedReport {
+    if let Err(e) = cfg.check() {
+        panic!("{e}");
+    }
     let n = 1usize << cfg.dim;
     let mut rng = SimRng::new(cfg.seed);
     let mut arrival_rng = rng.split();
@@ -94,6 +145,7 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
     let mut delivered = 0u64;
 
     for _ in 0..cfg.rounds {
+        obs.on_event(now, pool.len() as f64);
         backlog_at_round.push(pool.len() as f64);
 
         // Release at most one packet per node. Stores hold the destination
@@ -116,6 +168,7 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
             let result = route_batch_greedy(cfg.dim, &batch);
             for (i, &born) in births.iter().enumerate() {
                 delays.push(now + result.completion[i] - born);
+                obs.on_delivered(now + result.completion[i], born);
                 delivered += 1;
             }
             // A batch of self-destined packets completes instantly; the

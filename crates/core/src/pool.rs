@@ -256,6 +256,65 @@ impl ArcFifo {
     }
 }
 
+/// Indexed per-arc storage for constant-time uniform random picks.
+///
+/// [`ArcFifo::take_nth`] walks `O(min(n, len−n))` links per pick because a
+/// uniformly random node of an intrusive list cannot be reached without
+/// walking. When [`crate::config::ContentionPolicy::Random`] is selected —
+/// and only then — the hypercube simulator swaps each arc's waiting list
+/// for one of these: a plain growable array where `take(i)` is
+/// `swap_remove`, i.e. `O(1)` regardless of queue length. The swap
+/// scrambles residual *order*, which FIFO/LIFO would care about but a
+/// policy that picks uniformly at random does not: every subsequent pick
+/// is uniform over the surviving set whatever its arrangement. Under
+/// unstable loads (the only regime with long queues — exactly where the
+/// Random ablation probes run) this removes the linked-list walk that the
+/// ROADMAP flagged after PR 1.
+///
+/// Steady state performs zero allocation: the backing `Vec` retains its
+/// high-water capacity.
+#[derive(Clone, Debug, Default)]
+pub struct ArcBag<T> {
+    items: Vec<T>,
+}
+
+impl<T> ArcBag<T> {
+    /// Empty bag.
+    pub const fn new() -> ArcBag<T> {
+        ArcBag { items: Vec::new() }
+    }
+
+    /// Number of stored items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the bag is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Insert an item. `O(1)` amortised.
+    #[inline]
+    pub fn insert(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// Remove and return the item at position `n` (`swap_remove`), `O(1)`.
+    /// For `n` drawn uniformly from `0..len`, the removed item is a
+    /// uniformly random member of the bag.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Option<T> {
+        if n < self.items.len() {
+            Some(self.items.swap_remove(n))
+        } else {
+            None
+        }
+    }
+}
+
 /// Iterator over an [`ArcFifo`]'s items in arrival order.
 pub struct ArcFifoIter<'a, T: Copy> {
     pool: &'a SlabPool<T>,
@@ -379,6 +438,49 @@ mod tests {
         assert_eq!(q.take_nth(&mut pool, 1), None);
         assert_eq!(q.take_nth(&mut pool, 0), Some(1));
         assert_eq!(q.take_nth(&mut pool, 0), None);
+    }
+
+    #[test]
+    fn arc_bag_uniform_picks() {
+        // Regression test for the Random-contention fallback: repeatedly
+        // fill a bag with 8 labelled items and remove them one by one with
+        // uniform position draws; every label must be *first*-picked
+        // equally often. This catches both biased indexing and any
+        // accidental order dependence introduced by `swap_remove`.
+        use hyperroute_desim::SimRng;
+        let mut rng = SimRng::new(0xBA6);
+        let k = 8usize;
+        let rounds = 40_000usize;
+        let mut first_picks = vec![0u64; k];
+        for _ in 0..rounds {
+            let mut bag = ArcBag::new();
+            for label in 0..k {
+                bag.insert(label);
+            }
+            let first = bag.take(rng.below(bag.len())).unwrap();
+            first_picks[first] += 1;
+            while !bag.is_empty() {
+                bag.take(rng.below(bag.len())).unwrap();
+            }
+        }
+        let expect = rounds as f64 / k as f64;
+        for (label, &count) in first_picks.iter().enumerate() {
+            let rel = (count as f64 - expect).abs() / expect;
+            assert!(
+                rel < 0.05,
+                "label {label} first-picked {count} times vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn arc_bag_take_out_of_range() {
+        let mut bag = ArcBag::new();
+        bag.insert(1);
+        assert_eq!(bag.take(1), None);
+        assert_eq!(bag.take(0), Some(1));
+        assert!(bag.is_empty());
+        assert_eq!(bag.take(0), None::<i32>);
     }
 
     #[test]

@@ -1,0 +1,1362 @@
+//! The unified scenario API: one typed spec drives every topology.
+//!
+//! A [`Scenario`] bundles **what** is simulated ([`Topology`]), **which
+//! traffic** hits it ([`Workload`]), **how contention is resolved**
+//! ([`Policy`]) and **how the run is executed** ([`RunControl`]). The four
+//! engines — hypercube packet simulator, butterfly packet simulator,
+//! equivalent queueing networks `Q`/`R`, and the §2.3 pipelined scheme —
+//! sit behind one [`Simulator`] trait, so every workload is expressed the
+//! same way and new harness layers (sweeps, scenario files, CI grids) are
+//! written once.
+//!
+//! Guarantees:
+//!
+//! * **Fallible construction.** [`ScenarioBuilder::build`] returns a
+//!   structured [`ConfigError`] for every malformed spec — nothing panics
+//!   until a deliberately-legacy entry point is used.
+//! * **Bit-identical dispatch.** [`Scenario::run`] drives the exact same
+//!   engines with the exact same RNG streams as the legacy per-simulator
+//!   entry points; `tests/scenario_api.rs` proves byte-equal reports
+//!   across every scheme × arrival model × contention policy ×
+//!   discipline.
+//! * **Serde round-trip.** Scenarios (and reports) serialise to JSON via
+//!   `serde_json`; a parsed scenario reproduces its source's reports
+//!   bit-exactly.
+//! * **Deterministic sweeps.** [`Sweep`] expands named parameter grids in
+//!   row-major order and derives a per-point seed with
+//!   [`hyperroute_desim::splitmix64`], so grid results are reproducible
+//!   and independent of the worker-thread schedule.
+//!
+//! ```
+//! use hyperroute_core::scenario::{Scenario, Topology};
+//!
+//! let scenario = Scenario::builder(Topology::Hypercube { dim: 4 })
+//!     .lambda(1.2)
+//!     .p(0.5)
+//!     .horizon(600.0)
+//!     .warmup(100.0)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid scenario");
+//! let report = scenario.run().expect("runs to completion");
+//! assert_eq!(report.generated, report.delivered);
+//! ```
+
+#![allow(deprecated)] // constructs the legacy config shims internally
+
+use crate::butterfly_sim::{ButterflyReport, ButterflySim, ButterflySimConfig};
+use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
+use crate::equivalent_network::{Discipline, EqNetConfig, EqNetReport, EqNetSim};
+use crate::hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};
+use crate::metrics::DelayStats;
+use crate::observe::{NullObserver, Observer};
+use crate::pipelined::{simulate_pipelined_observed, PipelinedConfig, PipelinedReport};
+use crate::runner::parallel_map;
+use hyperroute_desim::{splitmix64, SchedulerKind};
+use hyperroute_topology::{Butterfly, Hypercube, LevelledNetwork};
+use serde::{Deserialize, Serialize};
+
+pub use crate::config::ConfigError;
+
+/// Which system a [`Scenario`] simulates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// The `d`-dimensional hypercube under a routing scheme (paper §3).
+    Hypercube {
+        /// Hypercube dimension `d` (1..=26).
+        dim: usize,
+    },
+    /// The `d`-dimensional butterfly (paper §4); paths are unique, so the
+    /// scheme is always greedy and contention is FIFO.
+    Butterfly {
+        /// Butterfly dimension `d` (1..=24).
+        dim: usize,
+    },
+    /// An abstract levelled queueing network (paper §3.1 / §4.3 / Fig. 2)
+    /// under FIFO or PS service ([`Policy::discipline`]).
+    EqNet {
+        /// Which concrete network to build.
+        net: EqNetSpec,
+        /// Record every departure epoch (for `B(t)` dominance checks).
+        record_departures: bool,
+        /// Track per-server occupancy histograms up to this many customers
+        /// (0 disables tracking).
+        occupancy_cap: usize,
+    },
+    /// The §2.3 non-greedy pipelined Valiant–Brebner scheme on the
+    /// hypercube. Runs for a round count instead of a time horizon.
+    Pipelined {
+        /// Hypercube dimension `d` (1..=16).
+        dim: usize,
+        /// Number of routing rounds (≥ 2).
+        rounds: usize,
+    },
+}
+
+impl Topology {
+    /// Short name used in error messages and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Hypercube { .. } => "hypercube",
+            Topology::Butterfly { .. } => "butterfly",
+            Topology::EqNet { .. } => "eqnet",
+            Topology::Pipelined { .. } => "pipelined",
+        }
+    }
+}
+
+/// Concrete levelled network for [`Topology::EqNet`]. The workload's `λ`
+/// and `p` parameterise the network's external rates and routing
+/// probabilities.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EqNetSpec {
+    /// Network `Q`: equivalent to the `d`-cube under greedy routing
+    /// (paper §3.1, Fig. 1b).
+    HypercubeQ {
+        /// Hypercube dimension `d`.
+        dim: usize,
+    },
+    /// Network `R`: equivalent to the `d`-dimensional butterfly
+    /// (paper §4.3, Fig. 3b).
+    ButterflyR {
+        /// Butterfly dimension `d`.
+        dim: usize,
+    },
+    /// The three-server network `G` of Lemma 9 (paper Fig. 2a). Ignores
+    /// the workload's `λ` and `p`: all parameters are explicit.
+    Fig2 {
+        /// External arrival rate at `S1`.
+        rate1: f64,
+        /// External arrival rate at `S2`.
+        rate2: f64,
+        /// External arrival rate at `S3`.
+        rate3: f64,
+        /// Forwarding probability `S1 → S3`.
+        q1: f64,
+        /// Forwarding probability `S2 → S3`.
+        q2: f64,
+    },
+}
+
+impl EqNetSpec {
+    /// Materialise the levelled network for a workload's `(λ, p)`.
+    pub fn build(&self, lambda: f64, p: f64) -> LevelledNetwork {
+        match *self {
+            EqNetSpec::HypercubeQ { dim } => {
+                LevelledNetwork::equivalent_q(Hypercube::new(dim), lambda, p)
+            }
+            EqNetSpec::ButterflyR { dim } => {
+                LevelledNetwork::equivalent_r(Butterfly::new(dim), lambda, p)
+            }
+            EqNetSpec::Fig2 {
+                rate1,
+                rate2,
+                rate3,
+                q1,
+                q2,
+            } => LevelledNetwork::fig2_network(rate1, rate2, rate3, q1, q2),
+        }
+    }
+}
+
+/// The traffic a [`Scenario`] offers: arrival process, intensity, and
+/// destination distribution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Per-node (hypercube/pipelined) or per-row (butterfly) Poisson
+    /// generation rate `λ`; scales the external rates of an `EqNet`.
+    pub lambda: f64,
+    /// Bit-flip probability `p` of the Eq. (1) destination distribution.
+    pub p: f64,
+    /// Continuous (Poisson) or slotted-batch arrivals (§3.4).
+    pub arrivals: ArrivalModel,
+    /// Destination distribution: Eq. (1) bit-flips or an arbitrary
+    /// translation-invariant mask pmf (§2.2; hypercube only).
+    pub dest: DestinationSpec,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            lambda: 1.0,
+            p: 0.5,
+            arrivals: ArrivalModel::Poisson,
+            dest: DestinationSpec::BitFlip,
+        }
+    }
+}
+
+/// How routing and contention decisions are made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Policy {
+    /// Routing scheme (hypercube only; the butterfly path is unique).
+    pub scheme: Scheme,
+    /// Which waiting packet an arc serves next (hypercube only).
+    pub contention: ContentionPolicy,
+    /// FIFO or PS service (equivalent networks only).
+    pub discipline: Discipline,
+}
+
+/// Execution control: measurement window, determinism, backend.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunControl {
+    /// Generation stops at this time (ignored by `Pipelined`, which runs
+    /// for its round count).
+    pub horizon: f64,
+    /// Packets born before this time are not measured.
+    pub warmup: f64,
+    /// RNG seed; every run is a deterministic function of it.
+    pub seed: u64,
+    /// Future-event-list backend (bit-identical results either way).
+    pub scheduler: SchedulerKind,
+    /// After the horizon, keep serving until every in-flight packet is
+    /// delivered. Disable for instability probes.
+    pub drain: bool,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl {
+            horizon: 1_000.0,
+            warmup: 200.0,
+            seed: 0x5CE9A810,
+            scheduler: SchedulerKind::default(),
+            drain: true,
+        }
+    }
+}
+
+/// One fully-specified simulation: topology + workload + policy + run
+/// control. Construct through [`Scenario::builder`] (which validates) or
+/// deserialise from a JSON scenario file with [`Scenario::from_json`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// What is simulated.
+    pub topology: Topology,
+    /// The offered traffic.
+    pub workload: Workload,
+    /// Routing / contention / service discipline choices.
+    pub policy: Policy,
+    /// Measurement window, seed, scheduler backend.
+    pub run: RunControl,
+}
+
+impl Scenario {
+    /// Start building a scenario for `topology` with default workload,
+    /// policy and run control.
+    pub fn builder(topology: Topology) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                topology,
+                workload: Workload::default(),
+                policy: Policy::default(),
+                run: RunControl::default(),
+            },
+        }
+    }
+
+    /// Validate every field combination, returning the first problem.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let w = &self.workload;
+        let pol = &self.policy;
+        let unsupported = |feature: &str| {
+            Err(ConfigError::Unsupported {
+                topology: self.topology.name().to_string(),
+                feature: feature.to_string(),
+            })
+        };
+        match &self.topology {
+            Topology::Hypercube { .. } => {
+                if pol.discipline != Discipline::Fifo {
+                    return unsupported("processor-sharing service (use Topology::EqNet)");
+                }
+                // The exact checks `HypercubeSimConfig::check` runs, via
+                // the shared borrowed-field helper — no config assembly
+                // (which would clone a possibly-2^d-entry destination
+                // pmf), no possibility of drift.
+                crate::config::check_sim_fields(
+                    self.dim(),
+                    26,
+                    w.lambda,
+                    w.p,
+                    self.run.horizon,
+                    self.run.warmup,
+                    w.arrivals,
+                    Some(&w.dest),
+                )
+            }
+            Topology::Butterfly { .. } => {
+                if pol.scheme != Scheme::Greedy {
+                    return unsupported("non-greedy schemes (butterfly paths are unique)");
+                }
+                if pol.contention != ContentionPolicy::Fifo {
+                    return unsupported("non-FIFO contention");
+                }
+                if pol.discipline != Discipline::Fifo {
+                    return unsupported("processor-sharing service (use Topology::EqNet)");
+                }
+                if w.dest != DestinationSpec::BitFlip {
+                    return unsupported("custom destination pmfs");
+                }
+                self.butterfly_config().check()
+            }
+            Topology::EqNet { net, .. } => {
+                if pol.scheme != Scheme::Greedy {
+                    return unsupported("routing schemes (routing is Markovian)");
+                }
+                if pol.contention != ContentionPolicy::Fifo {
+                    return unsupported("contention policies (per-server discipline instead)");
+                }
+                if w.arrivals != ArrivalModel::Poisson {
+                    return unsupported("slotted arrivals");
+                }
+                if w.dest != DestinationSpec::BitFlip {
+                    return unsupported("custom destination pmfs");
+                }
+                if !(w.lambda >= 0.0 && w.lambda.is_finite()) {
+                    return Err(ConfigError::Lambda(w.lambda));
+                }
+                if !(0.0..=1.0).contains(&w.p) {
+                    return Err(ConfigError::FlipProbability(w.p));
+                }
+                if let EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } = net {
+                    if *dim < 1 || *dim > 20 {
+                        return Err(ConfigError::Dimension {
+                            dim: *dim,
+                            min: 1,
+                            max: 20,
+                        });
+                    }
+                }
+                self.eqnet_config().check()
+            }
+            Topology::Pipelined { .. } => {
+                if pol.scheme != Scheme::Greedy {
+                    return unsupported("schemes (rounds are routed as greedy batches)");
+                }
+                if pol.contention != ContentionPolicy::Fifo {
+                    return unsupported("non-FIFO contention");
+                }
+                if pol.discipline != Discipline::Fifo {
+                    return unsupported("processor-sharing service");
+                }
+                if w.arrivals != ArrivalModel::Poisson {
+                    return unsupported("slotted arrivals");
+                }
+                if w.dest != DestinationSpec::BitFlip {
+                    return unsupported("custom destination pmfs");
+                }
+                self.pipelined_config().check()
+            }
+        }
+    }
+
+    /// Instantiate the engine behind this scenario.
+    pub fn into_simulator(&self) -> Result<Box<dyn Simulator>, ConfigError> {
+        self.validate()?;
+        Ok(match &self.topology {
+            // Validation above used borrowed checks; assembly here is the
+            // single (unavoidable) clone handed to the engine.
+            Topology::Hypercube { .. } => Box::new(HypercubeSim::new(self.hypercube_config())),
+            Topology::Butterfly { .. } => Box::new(ButterflySim::new(self.butterfly_config())),
+            Topology::EqNet { net, .. } => {
+                let network = net.build(self.workload.lambda, self.workload.p);
+                Box::new(EqNetSim::new(&network, self.eqnet_config()))
+            }
+            Topology::Pipelined { .. } => Box::new(PipelinedRunner {
+                cfg: self.pipelined_config(),
+            }),
+        })
+    }
+
+    /// Run the scenario to completion.
+    pub fn run(&self) -> Result<Report, ConfigError> {
+        // Monomorphised unobserved path: the engines' event loops see the
+        // concrete `NullObserver`, not a `dyn` no-op per event.
+        Ok(self.into_simulator()?.run_unobserved())
+    }
+
+    /// Run the scenario under a streaming [`Observer`]. The observer
+    /// never changes the simulation; reports are bit-identical to
+    /// [`Scenario::run`].
+    pub fn run_observed(&self, obs: &mut dyn Observer) -> Result<Report, ConfigError> {
+        Ok(self.into_simulator()?.run_boxed(obs))
+    }
+
+    /// Serialise to pretty JSON (the scenario-file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenarios always serialise")
+    }
+
+    /// Parse a scenario file and validate it.
+    pub fn from_json(text: &str) -> Result<Scenario, ScenarioFileError> {
+        let scenario: Scenario = serde_json::from_str(text).map_err(ScenarioFileError::Parse)?;
+        scenario.validate().map_err(ScenarioFileError::Invalid)?;
+        Ok(scenario)
+    }
+
+    // -----------------------------------------------------------------
+    // Legacy-config assembly (the single dispatch point onto the
+    // engines; shared by `validate` and `into_simulator` so the checks
+    // can never drift from what actually runs).
+    // -----------------------------------------------------------------
+
+    fn dim(&self) -> usize {
+        match &self.topology {
+            Topology::Hypercube { dim }
+            | Topology::Butterfly { dim }
+            | Topology::Pipelined { dim, .. } => *dim,
+            Topology::EqNet { net, .. } => match net {
+                EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => *dim,
+                EqNetSpec::Fig2 { .. } => 0,
+            },
+        }
+    }
+
+    fn hypercube_config(&self) -> HypercubeSimConfig {
+        HypercubeSimConfig {
+            dim: self.dim(),
+            lambda: self.workload.lambda,
+            p: self.workload.p,
+            scheme: self.policy.scheme,
+            arrivals: self.workload.arrivals,
+            dest: self.workload.dest.clone(),
+            contention: self.policy.contention,
+            scheduler: self.run.scheduler,
+            horizon: self.run.horizon,
+            warmup: self.run.warmup,
+            seed: self.run.seed,
+            drain: self.run.drain,
+        }
+    }
+
+    fn butterfly_config(&self) -> ButterflySimConfig {
+        ButterflySimConfig {
+            dim: self.dim(),
+            lambda: self.workload.lambda,
+            p: self.workload.p,
+            arrivals: self.workload.arrivals,
+            horizon: self.run.horizon,
+            warmup: self.run.warmup,
+            seed: self.run.seed,
+            drain: self.run.drain,
+            scheduler: self.run.scheduler,
+        }
+    }
+
+    fn eqnet_config(&self) -> EqNetConfig {
+        let Topology::EqNet {
+            record_departures,
+            occupancy_cap,
+            ..
+        } = &self.topology
+        else {
+            unreachable!("eqnet_config on non-eqnet scenario");
+        };
+        EqNetConfig {
+            discipline: self.policy.discipline,
+            horizon: self.run.horizon,
+            warmup: self.run.warmup,
+            seed: self.run.seed,
+            drain: self.run.drain,
+            record_departures: *record_departures,
+            occupancy_cap: *occupancy_cap,
+            scheduler: self.run.scheduler,
+        }
+    }
+
+    fn pipelined_config(&self) -> PipelinedConfig {
+        let Topology::Pipelined { dim, rounds } = &self.topology else {
+            unreachable!("pipelined_config on non-pipelined scenario");
+        };
+        PipelinedConfig {
+            dim: *dim,
+            lambda: self.workload.lambda,
+            p: self.workload.p,
+            rounds: *rounds,
+            seed: self.run.seed,
+        }
+    }
+}
+
+/// Why a scenario file was rejected: malformed JSON, or well-formed JSON
+/// describing an invalid combination. Keeping the two sources distinct
+/// (and the [`ConfigError`] structured) lets file-driven harnesses report
+/// precisely.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioFileError {
+    /// The text is not valid JSON for a `Scenario`.
+    Parse(serde_json::Error),
+    /// The parsed scenario fails validation.
+    Invalid(ConfigError),
+}
+
+impl std::fmt::Display for ScenarioFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioFileError::Parse(e) => write!(f, "scenario file does not parse: {e}"),
+            ScenarioFileError::Invalid(e) => write!(f, "scenario file is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioFileError {}
+
+/// Fluent fallible construction of a [`Scenario`].
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Set the per-node/per-row arrival rate `λ`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.scenario.workload.lambda = lambda;
+        self
+    }
+
+    /// Set the bit-flip probability `p`.
+    pub fn p(mut self, p: f64) -> Self {
+        self.scenario.workload.p = p;
+        self
+    }
+
+    /// Set the arrival model.
+    pub fn arrivals(mut self, arrivals: ArrivalModel) -> Self {
+        self.scenario.workload.arrivals = arrivals;
+        self
+    }
+
+    /// Set the destination distribution.
+    pub fn dest(mut self, dest: DestinationSpec) -> Self {
+        self.scenario.workload.dest = dest;
+        self
+    }
+
+    /// Set the routing scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scenario.policy.scheme = scheme;
+        self
+    }
+
+    /// Set the contention policy.
+    pub fn contention(mut self, contention: ContentionPolicy) -> Self {
+        self.scenario.policy.contention = contention;
+        self
+    }
+
+    /// Set the service discipline (equivalent networks).
+    pub fn discipline(mut self, discipline: Discipline) -> Self {
+        self.scenario.policy.discipline = discipline;
+        self
+    }
+
+    /// Set the generation horizon.
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.scenario.run.horizon = horizon;
+        self
+    }
+
+    /// Set the warm-up cutoff.
+    pub fn warmup(mut self, warmup: f64) -> Self {
+        self.scenario.run.warmup = warmup;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.run.seed = seed;
+        self
+    }
+
+    /// Select the future-event-list backend.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scenario.run.scheduler = scheduler;
+        self
+    }
+
+    /// Enable or disable the post-horizon drain.
+    pub fn drain(mut self, drain: bool) -> Self {
+        self.scenario.run.drain = drain;
+        self
+    }
+
+    /// Validate and produce the scenario.
+    pub fn build(self) -> Result<Scenario, ConfigError> {
+        self.scenario.validate()?;
+        Ok(self.scenario)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The unified report.
+// ---------------------------------------------------------------------
+
+/// Topology-independent summary of one scenario run, with a typed
+/// per-topology extension in [`Report::ext`].
+///
+/// `PartialEq` is hand-written and bit-exact on every float (NaN equals
+/// NaN), so differential tests can assert `==` between scenario and
+/// legacy runs — including pipelined reports, whose fields without a
+/// meaningful value are NaN and would poison a derived IEEE comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// Per-packet delay statistics over the measurement window.
+    pub delay: DelayStats,
+    /// Time-averaged packets in the system over the measurement window.
+    pub mean_in_system: f64,
+    /// Peak packets in the system.
+    pub peak_in_system: f64,
+    /// Delivered packets per unit time in the measurement window.
+    pub throughput: f64,
+    /// Relative Little's-law discrepancy (NaN where not meaningful).
+    pub little_error: f64,
+    /// Total packets generated.
+    pub generated: u64,
+    /// Total packets delivered.
+    pub delivered: u64,
+    /// Discrete events processed (0 for the round-driven pipelined
+    /// scheme, which has no event queue).
+    pub events: u64,
+    /// Topology-specific measurements.
+    pub ext: ReportExt,
+}
+
+/// The per-topology extension of a [`Report`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ReportExt {
+    /// Hypercube-only measurements.
+    Hypercube(HypercubeExt),
+    /// Butterfly-only measurements.
+    Butterfly(ButterflyExt),
+    /// Equivalent-network-only measurements.
+    EqNet(EqNetExt),
+    /// Pipelined-scheme-only measurements.
+    Pipelined(PipelinedExt),
+}
+
+/// Hypercube-specific fields of a [`Report`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HypercubeExt {
+    /// Load factor ρ = λp.
+    pub rho: f64,
+    /// Mean hops per measured packet (≈ dp for greedy, Lemma 1).
+    pub mean_hops: f64,
+    /// Fraction of measured packets with destination = origin.
+    pub zero_hop_fraction: f64,
+    /// Measured per-arc arrival rate for each dimension (Prop. 5).
+    pub per_dim_arc_rate: Vec<f64>,
+    /// Time-averaged packets at an arc of each dimension (Prop. 13).
+    pub per_dim_mean_queue: Vec<f64>,
+}
+
+/// Butterfly-specific fields of a [`Report`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ButterflyExt {
+    /// Load factor `λ·max{p, 1-p}` (Eq. (17)).
+    pub rho: f64,
+    /// Mean vertical arcs per packet (≈ dp).
+    pub mean_vertical_hops: f64,
+    /// Per-arc arrival rate of straight arcs, per level (Prop. 15).
+    pub straight_rate_per_level: Vec<f64>,
+    /// Per-arc arrival rate of vertical arcs, per level (Prop. 15).
+    pub vertical_rate_per_level: Vec<f64>,
+}
+
+/// Equivalent-network-specific fields of a [`Report`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EqNetExt {
+    /// All departure epochs in time order (empty unless
+    /// `record_departures`).
+    pub departures: Vec<f64>,
+    /// Per-server fraction of time at each occupancy below the cap
+    /// (empty unless `occupancy_cap > 0`).
+    pub occupancy_fractions: Vec<Vec<f64>>,
+}
+
+/// Pipelined-scheme-specific fields of a [`Report`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelinedExt {
+    /// Mean round length (empirical `R·d`).
+    pub mean_round_length: f64,
+    /// Empirical round constant `R` (mean round length / d).
+    pub round_constant: f64,
+    /// Mean stored backlog at round starts.
+    pub mean_backlog: f64,
+    /// Backlog remaining after the last round.
+    pub final_backlog: u64,
+    /// Least-squares backlog growth per round (positive ⇒ unstable).
+    pub backlog_slope_per_round: f64,
+}
+
+impl PipelinedExt {
+    /// Heuristic instability verdict: backlog grows by a noticeable
+    /// fraction of the per-round input (mirrors
+    /// `PipelinedReport::looks_unstable`).
+    pub fn looks_unstable(&self, per_round_input: f64) -> bool {
+        self.backlog_slope_per_round > 0.1 * per_round_input
+    }
+}
+
+/// Bit-exact float comparison that also equates NaNs with differing
+/// payloads (a JSON round-trip maps every NaN through `null` to the
+/// canonical `f64::NAN`).
+fn f64_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+fn f64_slice_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| f64_eq(x, y))
+}
+
+impl PartialEq for Report {
+    fn eq(&self, other: &Self) -> bool {
+        self.delay == other.delay
+            && f64_eq(self.mean_in_system, other.mean_in_system)
+            && f64_eq(self.peak_in_system, other.peak_in_system)
+            && f64_eq(self.throughput, other.throughput)
+            && f64_eq(self.little_error, other.little_error)
+            && self.generated == other.generated
+            && self.delivered == other.delivered
+            && self.events == other.events
+            && self.ext == other.ext
+    }
+}
+
+impl PartialEq for ReportExt {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ReportExt::Hypercube(a), ReportExt::Hypercube(b)) => a == b,
+            (ReportExt::Butterfly(a), ReportExt::Butterfly(b)) => a == b,
+            (ReportExt::EqNet(a), ReportExt::EqNet(b)) => a == b,
+            (ReportExt::Pipelined(a), ReportExt::Pipelined(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for HypercubeExt {
+    fn eq(&self, other: &Self) -> bool {
+        f64_eq(self.rho, other.rho)
+            && f64_eq(self.mean_hops, other.mean_hops)
+            && f64_eq(self.zero_hop_fraction, other.zero_hop_fraction)
+            && f64_slice_eq(&self.per_dim_arc_rate, &other.per_dim_arc_rate)
+            && f64_slice_eq(&self.per_dim_mean_queue, &other.per_dim_mean_queue)
+    }
+}
+
+impl PartialEq for ButterflyExt {
+    fn eq(&self, other: &Self) -> bool {
+        f64_eq(self.rho, other.rho)
+            && f64_eq(self.mean_vertical_hops, other.mean_vertical_hops)
+            && f64_slice_eq(
+                &self.straight_rate_per_level,
+                &other.straight_rate_per_level,
+            )
+            && f64_slice_eq(
+                &self.vertical_rate_per_level,
+                &other.vertical_rate_per_level,
+            )
+    }
+}
+
+impl PartialEq for EqNetExt {
+    fn eq(&self, other: &Self) -> bool {
+        f64_slice_eq(&self.departures, &other.departures)
+            && self.occupancy_fractions.len() == other.occupancy_fractions.len()
+            && self
+                .occupancy_fractions
+                .iter()
+                .zip(&other.occupancy_fractions)
+                .all(|(a, b)| f64_slice_eq(a, b))
+    }
+}
+
+impl PartialEq for PipelinedExt {
+    fn eq(&self, other: &Self) -> bool {
+        f64_eq(self.mean_round_length, other.mean_round_length)
+            && f64_eq(self.round_constant, other.round_constant)
+            && f64_eq(self.mean_backlog, other.mean_backlog)
+            && self.final_backlog == other.final_backlog
+            && f64_eq(self.backlog_slope_per_round, other.backlog_slope_per_round)
+    }
+}
+
+impl Report {
+    /// The hypercube extension, if this report came from a hypercube run.
+    pub fn hypercube(&self) -> Option<&HypercubeExt> {
+        match &self.ext {
+            ReportExt::Hypercube(ext) => Some(ext),
+            _ => None,
+        }
+    }
+
+    /// The butterfly extension, if any.
+    pub fn butterfly(&self) -> Option<&ButterflyExt> {
+        match &self.ext {
+            ReportExt::Butterfly(ext) => Some(ext),
+            _ => None,
+        }
+    }
+
+    /// The equivalent-network extension, if any.
+    pub fn eqnet(&self) -> Option<&EqNetExt> {
+        match &self.ext {
+            ReportExt::EqNet(ext) => Some(ext),
+            _ => None,
+        }
+    }
+
+    /// The pipelined extension, if any.
+    pub fn pipelined(&self) -> Option<&PipelinedExt> {
+        match &self.ext {
+            ReportExt::Pipelined(ext) => Some(ext),
+            _ => None,
+        }
+    }
+}
+
+impl From<HypercubeReport> for Report {
+    fn from(r: HypercubeReport) -> Report {
+        Report {
+            delay: r.delay,
+            mean_in_system: r.mean_in_system,
+            peak_in_system: r.peak_in_system,
+            throughput: r.throughput,
+            little_error: r.little_error,
+            generated: r.generated,
+            delivered: r.delivered,
+            events: r.events,
+            ext: ReportExt::Hypercube(HypercubeExt {
+                rho: r.rho,
+                mean_hops: r.mean_hops,
+                zero_hop_fraction: r.zero_hop_fraction,
+                per_dim_arc_rate: r.per_dim_arc_rate,
+                per_dim_mean_queue: r.per_dim_mean_queue,
+            }),
+        }
+    }
+}
+
+impl From<ButterflyReport> for Report {
+    fn from(r: ButterflyReport) -> Report {
+        Report {
+            delay: r.delay,
+            mean_in_system: r.mean_in_system,
+            peak_in_system: r.peak_in_system,
+            throughput: r.throughput,
+            little_error: r.little_error,
+            generated: r.generated,
+            delivered: r.delivered,
+            events: r.events,
+            ext: ReportExt::Butterfly(ButterflyExt {
+                rho: r.rho,
+                mean_vertical_hops: r.mean_vertical_hops,
+                straight_rate_per_level: r.straight_rate_per_level,
+                vertical_rate_per_level: r.vertical_rate_per_level,
+            }),
+        }
+    }
+}
+
+impl From<EqNetReport> for Report {
+    fn from(r: EqNetReport) -> Report {
+        Report {
+            delay: r.delay,
+            mean_in_system: r.mean_in_system,
+            peak_in_system: r.peak_in_system,
+            throughput: r.throughput,
+            little_error: r.little_error,
+            generated: r.generated,
+            delivered: r.delivered,
+            events: r.events,
+            ext: ReportExt::EqNet(EqNetExt {
+                departures: r.departures,
+                occupancy_fractions: r.occupancy_fractions,
+            }),
+        }
+    }
+}
+
+impl From<PipelinedReport> for Report {
+    fn from(r: PipelinedReport) -> Report {
+        Report {
+            delay: DelayStats {
+                mean: r.mean_delay,
+                ci95: f64::NAN,
+                p50: f64::NAN,
+                p90: f64::NAN,
+                p99: f64::NAN,
+                count: r.delivered,
+            },
+            mean_in_system: r.mean_backlog,
+            peak_in_system: f64::NAN,
+            throughput: f64::NAN,
+            little_error: f64::NAN,
+            generated: r.generated,
+            delivered: r.delivered,
+            events: 0,
+            ext: ReportExt::Pipelined(PipelinedExt {
+                mean_round_length: r.mean_round_length,
+                round_constant: r.round_constant,
+                mean_backlog: r.mean_backlog,
+                final_backlog: r.final_backlog,
+                backlog_slope_per_round: r.backlog_slope_per_round,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Uniform engine dispatch.
+// ---------------------------------------------------------------------
+
+/// A fully-constructed simulation engine, ready to run once.
+///
+/// Implemented by all four engines; [`Scenario::into_simulator`] is the
+/// only constructor the unified API needs. The `Box<Self>` receiver keeps
+/// the trait object-safe while letting engines consume themselves (their
+/// legacy `run` methods take `self` by value).
+pub trait Simulator {
+    /// Drive the simulation to completion under `obs` and summarise.
+    fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report;
+
+    /// Drive the simulation to completion unobserved.
+    ///
+    /// Separate from [`Simulator::run_boxed`] so implementations
+    /// monomorphise their event loop over the concrete [`NullObserver`]
+    /// (which compiles away) instead of paying a per-event virtual call
+    /// to a no-op — `Scenario::run` goes through this path.
+    fn run_unobserved(self: Box<Self>) -> Report;
+}
+
+impl Simulator for HypercubeSim {
+    fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
+        self.run_observed(&mut &mut *obs).into()
+    }
+
+    fn run_unobserved(self: Box<Self>) -> Report {
+        self.run().into()
+    }
+}
+
+impl Simulator for ButterflySim {
+    fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
+        self.run_observed(&mut &mut *obs).into()
+    }
+
+    fn run_unobserved(self: Box<Self>) -> Report {
+        self.run().into()
+    }
+}
+
+impl Simulator for EqNetSim {
+    fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
+        self.run_observed(&mut &mut *obs).into()
+    }
+
+    fn run_unobserved(self: Box<Self>) -> Report {
+        self.run().into()
+    }
+}
+
+/// Adapter running the round-driven pipelined scheme behind the
+/// [`Simulator`] trait.
+struct PipelinedRunner {
+    cfg: PipelinedConfig,
+}
+
+impl Simulator for PipelinedRunner {
+    fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
+        simulate_pipelined_observed(self.cfg, &mut &mut *obs).into()
+    }
+
+    fn run_unobserved(self: Box<Self>) -> Report {
+        simulate_pipelined_observed(self.cfg, &mut NullObserver).into()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic sweeps.
+// ---------------------------------------------------------------------
+
+/// A parameter a [`Sweep`] axis can vary. Numeric grids are `f64`;
+/// integer-valued parameters round to the nearest integer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepParam {
+    /// Vary [`Workload::lambda`].
+    Lambda,
+    /// Vary [`Workload::p`].
+    P,
+    /// Vary the topology dimension (hypercube/butterfly/pipelined/eqnet).
+    Dim,
+    /// Vary [`RunControl::horizon`] (warm-up stays fixed).
+    Horizon,
+    /// Vary the pipelined round count.
+    Rounds,
+}
+
+/// One named grid axis of a [`Sweep`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    /// Which parameter this axis varies.
+    pub param: SweepParam,
+    /// The grid values, in sweep order.
+    pub values: Vec<f64>,
+}
+
+impl Axis {
+    /// Axis over explicit values.
+    pub fn new(param: SweepParam, values: Vec<f64>) -> Axis {
+        Axis { param, values }
+    }
+}
+
+/// A declarative parameter sweep: a base [`Scenario`] plus named grid
+/// axes, expanded in row-major order (the **last** axis varies fastest).
+///
+/// With [`Sweep::derive_seeds`] set (the default), grid point `i` runs
+/// with seed `splitmix64(base_seed + (i+1)·φ64)` — deterministic,
+/// collision-free across points (splitmix64 is a bijection), and
+/// independent of the thread schedule. Disable it to run every point with
+/// the base seed (common-random-numbers comparisons).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// The scenario every grid point starts from.
+    pub base: Scenario,
+    /// The grid axes (row-major expansion, last axis fastest).
+    pub axes: Vec<Axis>,
+    /// Derive a distinct per-point seed from the base seed and grid index
+    /// (`true`), or reuse the base seed everywhere (`false`).
+    pub derive_seeds: bool,
+}
+
+/// The odd constant `⌊2^64/φ⌋` used by splitmix-style sequence seeding.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Sweep {
+    /// Sweep over `base` with the given axes and derived per-point seeds.
+    pub fn new(base: Scenario, axes: Vec<Axis>) -> Sweep {
+        Sweep {
+            base,
+            axes,
+            derive_seeds: true,
+        }
+    }
+
+    /// Number of grid points (product of axis lengths).
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Whether the grid is empty (any axis without values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The seed grid point `index` runs with.
+    pub fn seed_for(&self, index: usize) -> u64 {
+        if self.derive_seeds {
+            splitmix64(
+                self.base
+                    .run
+                    .seed
+                    .wrapping_add((index as u64 + 1).wrapping_mul(GOLDEN_GAMMA)),
+            )
+        } else {
+            self.base.run.seed
+        }
+    }
+
+    /// Expand the grid into validated scenarios, in row-major order.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, ConfigError> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut index = vec![0usize; self.axes.len()];
+        for i in 0..self.len() {
+            let mut s = self.base.clone();
+            for (axis, &value_idx) in self.axes.iter().zip(&index) {
+                apply_param(&mut s, axis.param, axis.values[value_idx])?;
+            }
+            s.run.seed = self.seed_for(i);
+            s.validate()?;
+            out.push(s);
+            // Row-major increment: last axis fastest.
+            for pos in (0..index.len()).rev() {
+                index[pos] += 1;
+                if index[pos] < self.axes[pos].values.len() {
+                    break;
+                }
+                index[pos] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run every grid point (fanning out over `threads` workers; 0 means
+    /// hardware parallelism) and return reports in grid order.
+    pub fn run(&self, threads: usize) -> Result<Vec<Report>, ConfigError> {
+        let scenarios = self.scenarios()?;
+        // Validation happened above, so per-point failures are impossible;
+        // unwrap inside the workers keeps the output shape simple.
+        Ok(parallel_map(scenarios, threads, |s| {
+            s.run().expect("pre-validated scenario")
+        }))
+    }
+}
+
+fn apply_param(s: &mut Scenario, param: SweepParam, value: f64) -> Result<(), ConfigError> {
+    let as_usize = |v: f64| v.round().max(0.0) as usize;
+    match param {
+        SweepParam::Lambda => s.workload.lambda = value,
+        SweepParam::P => s.workload.p = value,
+        SweepParam::Horizon => s.run.horizon = value,
+        SweepParam::Dim => match &mut s.topology {
+            Topology::Hypercube { dim }
+            | Topology::Butterfly { dim }
+            | Topology::Pipelined { dim, .. } => *dim = as_usize(value),
+            Topology::EqNet { net, .. } => match net {
+                EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => {
+                    *dim = as_usize(value)
+                }
+                EqNetSpec::Fig2 { .. } => {
+                    return Err(ConfigError::Unsupported {
+                        topology: "eqnet".to_string(),
+                        feature: "sweeping Dim on the Fig. 2 network".to_string(),
+                    })
+                }
+            },
+        },
+        SweepParam::Rounds => match &mut s.topology {
+            Topology::Pipelined { rounds, .. } => *rounds = as_usize(value),
+            _ => {
+                return Err(ConfigError::Unsupported {
+                    topology: s.topology.name().to_string(),
+                    feature: "sweeping Rounds (pipelined only)".to_string(),
+                })
+            }
+        },
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypercube_scenario() -> Scenario {
+        Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(1.2)
+            .p(0.5)
+            .horizon(400.0)
+            .warmup(80.0)
+            .seed(12)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        let err = Scenario::builder(Topology::Hypercube { dim: 0 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Dimension { dim: 0, .. }));
+        let err = Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(-1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Lambda(_)));
+        let err = Scenario::builder(Topology::Hypercube { dim: 4 })
+            .horizon(10.0)
+            .warmup(20.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Window { .. }));
+    }
+
+    #[test]
+    fn butterfly_rejects_hypercube_only_settings() {
+        let err = Scenario::builder(Topology::Butterfly { dim: 4 })
+            .scheme(Scheme::TwoPhaseValiant)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Unsupported { .. }));
+        let err = Scenario::builder(Topology::Butterfly { dim: 4 })
+            .contention(ContentionPolicy::Lifo)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn eqnet_rejects_slotted_arrivals() {
+        let err = Scenario::builder(Topology::EqNet {
+            net: EqNetSpec::HypercubeQ { dim: 3 },
+            record_departures: false,
+            occupancy_cap: 0,
+        })
+        .arrivals(ArrivalModel::Slotted { slots_per_unit: 2 })
+        .build()
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn scenario_runs_all_topologies() {
+        let hc = hypercube_scenario().run().unwrap();
+        assert!(hc.generated > 0);
+        assert!(hc.hypercube().is_some());
+
+        let bf = Scenario::builder(Topology::Butterfly { dim: 3 })
+            .lambda(1.0)
+            .horizon(300.0)
+            .warmup(50.0)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(bf.butterfly().is_some());
+        assert_eq!(bf.generated, bf.delivered);
+
+        let eq = Scenario::builder(Topology::EqNet {
+            net: EqNetSpec::HypercubeQ { dim: 3 },
+            record_departures: false,
+            occupancy_cap: 0,
+        })
+        .discipline(Discipline::Ps)
+        .horizon(300.0)
+        .warmup(50.0)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(eq.eqnet().is_some());
+        assert!(eq.generated > 0);
+
+        let pipe = Scenario::builder(Topology::Pipelined { dim: 3, rounds: 50 })
+            .lambda(0.05)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(pipe.pipelined().is_some());
+        assert!(pipe.delivered > 0);
+    }
+
+    #[test]
+    fn pipelined_reports_with_nan_fields_compare_equal() {
+        // Pipelined reports set fields without a meaningful value to NaN
+        // (peak_in_system, throughput, little_error, delay quantiles);
+        // the hand-written PartialEq must still see identical runs as
+        // equal, including after a JSON round-trip (NaN → null → NaN).
+        let scenario = Scenario::builder(Topology::Pipelined { dim: 3, rounds: 40 })
+            .lambda(0.05)
+            .build()
+            .unwrap();
+        let a = scenario.run().unwrap();
+        let b = scenario.run().unwrap();
+        assert!(a.peak_in_system.is_nan(), "fixture lost its NaN fields");
+        assert_eq!(a, b);
+        let text = serde_json::to_string(&a).unwrap();
+        let back: Report = serde_json::from_str(&text).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_scenario() {
+        let scenario = hypercube_scenario();
+        let text = scenario.to_json();
+        let back = Scenario::from_json(&text).unwrap();
+        assert_eq!(scenario, back);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_scenarios() {
+        let mut scenario = hypercube_scenario();
+        scenario.workload.lambda = f64::NAN; // NaN serialises as null → NaN
+        let text = scenario.to_json();
+        assert!(Scenario::from_json(&text).is_err());
+        assert!(Scenario::from_json("{").is_err());
+    }
+
+    #[test]
+    fn sweep_row_major_order_and_seeds() {
+        let sweep = Sweep::new(
+            hypercube_scenario(),
+            vec![
+                Axis::new(SweepParam::Lambda, vec![0.5, 1.0]),
+                Axis::new(SweepParam::P, vec![0.25, 0.5, 0.75]),
+            ],
+        );
+        assert_eq!(sweep.len(), 6);
+        let points = sweep.scenarios().unwrap();
+        let got: Vec<(f64, f64)> = points
+            .iter()
+            .map(|s| (s.workload.lambda, s.workload.p))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0.5, 0.25),
+                (0.5, 0.5),
+                (0.5, 0.75),
+                (1.0, 0.25),
+                (1.0, 0.5),
+                (1.0, 0.75),
+            ]
+        );
+        // Seeds are pairwise distinct and reproducible.
+        let seeds: Vec<u64> = (0..6).map(|i| sweep.seed_for(i)).collect();
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), 6);
+        assert_eq!(seeds, (0..6).map(|i| sweep.seed_for(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_results_independent_of_thread_count() {
+        let mut base = hypercube_scenario();
+        base.run.horizon = 200.0;
+        base.run.warmup = 40.0;
+        let sweep = Sweep::new(
+            base,
+            vec![Axis::new(SweepParam::Lambda, vec![0.6, 1.0, 1.4])],
+        );
+        let serial = sweep.run(1).unwrap();
+        let parallel = sweep.run(0).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 3);
+    }
+
+    #[test]
+    fn sweep_without_derived_seeds_reuses_base_seed() {
+        let mut sweep = Sweep::new(
+            hypercube_scenario(),
+            vec![Axis::new(SweepParam::Lambda, vec![0.5, 1.0])],
+        );
+        sweep.derive_seeds = false;
+        let points = sweep.scenarios().unwrap();
+        assert!(points.iter().all(|s| s.run.seed == 12));
+    }
+
+    #[test]
+    fn sweep_rejects_invalid_grid_points() {
+        let sweep = Sweep::new(
+            hypercube_scenario(),
+            vec![Axis::new(SweepParam::P, vec![0.5, 1.5])],
+        );
+        assert!(matches!(
+            sweep.scenarios(),
+            Err(ConfigError::FlipProbability(_))
+        ));
+    }
+
+    #[test]
+    fn dim_sweep_touches_topology() {
+        let sweep = Sweep::new(
+            hypercube_scenario(),
+            vec![Axis::new(SweepParam::Dim, vec![3.0, 5.0])],
+        );
+        let points = sweep.scenarios().unwrap();
+        assert_eq!(points[0].topology, Topology::Hypercube { dim: 3 });
+        assert_eq!(points[1].topology, Topology::Hypercube { dim: 5 });
+    }
+}

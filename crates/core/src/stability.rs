@@ -6,10 +6,14 @@
 //! so the verdict reads as "fraction of offered packets that accumulate":
 //! ≈ 0 for stable systems, approaching `1 - 1/ρ` for supercritical ones.
 
+#![allow(deprecated)] // drives the legacy config shims internally
+
 use crate::butterfly_sim::{ButterflySim, ButterflySimConfig};
-use crate::config::Scheme;
+use crate::config::{ConfigError, Scheme};
 use crate::hypercube_sim::{HypercubeSim, HypercubeSimConfig};
+use crate::observe::TimeSeriesProbe;
 use crate::pipelined::least_squares_slope;
+use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of a stability probe.
@@ -82,8 +86,42 @@ pub fn probe_config(mut cfg: HypercubeSimConfig) -> StabilityVerdict {
     let horizon = cfg.horizon;
     let injection = cfg.lambda * (1usize << cfg.dim) as f64;
     let interval = (horizon / 200.0).max(1.0);
-    let (_, samples) = HypercubeSim::new(cfg).run_sampled(interval);
-    assess_samples(&samples, injection, DEFAULT_DRIFT_THRESHOLD)
+    let mut probe = TimeSeriesProbe::new(interval, horizon);
+    HypercubeSim::new(cfg).run_observed(&mut probe);
+    assess_samples(&probe.into_samples(), injection, DEFAULT_DRIFT_THRESHOLD)
+}
+
+/// Probe any scenario: run without draining, sample `N(t)` on a 200-point
+/// grid, and assess the drift against the scenario's injection rate.
+///
+/// The round-driven pipelined topology reports one "event" per round, so
+/// its trajectory is the stored backlog at round starts — the same signal
+/// its dedicated instability metrics summarise.
+pub fn probe_scenario(scenario: &Scenario) -> Result<StabilityVerdict, ConfigError> {
+    let mut probed = scenario.clone();
+    probed.run.drain = false;
+    probed.run.warmup = 0.0001;
+    let horizon = probed.run.horizon;
+    let rows = match &probed.topology {
+        crate::scenario::Topology::Butterfly { dim }
+        | crate::scenario::Topology::Hypercube { dim }
+        | crate::scenario::Topology::Pipelined { dim, .. } => 1usize << dim,
+        crate::scenario::Topology::EqNet { .. } => 1,
+    };
+    let injection = match &probed.topology {
+        crate::scenario::Topology::EqNet { net, .. } => net
+            .build(probed.workload.lambda, probed.workload.p)
+            .total_external_rate(),
+        _ => probed.workload.lambda * rows as f64,
+    };
+    let interval = (horizon / 200.0).max(1.0);
+    let mut probe = TimeSeriesProbe::new(interval, horizon);
+    probed.run_observed(&mut probe)?;
+    Ok(assess_samples(
+        &probe.into_samples(),
+        injection,
+        DEFAULT_DRIFT_THRESHOLD,
+    ))
 }
 
 /// Probe the butterfly.
@@ -105,9 +143,10 @@ pub fn probe_butterfly(
         ..Default::default()
     };
     let interval = (horizon / 200.0).max(1.0);
-    let (_, samples) = ButterflySim::new(cfg).run_sampled(interval);
+    let mut probe = TimeSeriesProbe::new(interval, horizon);
+    ButterflySim::new(cfg).run_observed(&mut probe);
     let injection = lambda * (1usize << dim) as f64;
-    assess_samples(&samples, injection, DEFAULT_DRIFT_THRESHOLD)
+    assess_samples(&probe.into_samples(), injection, DEFAULT_DRIFT_THRESHOLD)
 }
 
 #[cfg(test)]

@@ -15,9 +15,9 @@
 //!   `t` has global bucket index `g = ⌊t/width⌋`; events with `g` inside
 //!   the span are appended — unsorted, `O(1)` — to bucket `g & (nbuckets-1)`.
 //!   The width is sized from a caller-provided events-per-unit-time hint so
-//!   the average bucket holds ~[`EVENTS_PER_BUCKET`] events.
+//!   the average bucket holds ~`EVENTS_PER_BUCKET` events.
 //! * **Flat arena storage.** Bucket contents live in **one** contiguous
-//!   arena of [`STRIDE`] entry slots per bucket, with per-bucket lengths in
+//!   arena of `STRIDE` entry slots per bucket, with per-bucket lengths in
 //!   a dense `u16` array. A push is one L1 hit on the length array plus one
 //!   write into the arena; walking an empty bucket touches only the length
 //!   array. (A `Vec` per bucket would cost two scattered touches per push

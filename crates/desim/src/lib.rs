@@ -38,7 +38,7 @@ pub mod warmup;
 pub use calendar::CalendarQueue;
 pub use engine::{run_until, Process, StopReason};
 pub use events::EventQueue;
-pub use rng::SimRng;
+pub use rng::{splitmix64, SimRng};
 pub use sched::{Scheduler, SchedulerKind};
 pub use stats::{
     BatchMeans, OccupancyHistogram, Reservoir, Tally, TimeIntegral, TimeWeighted, Welford,

@@ -118,6 +118,21 @@ impl SimRng {
     }
 }
 
+/// SplitMix64 finaliser: a high-quality bijective mixing of a `u64`.
+///
+/// Used for *derived-seed* schemes — e.g. a parameter sweep gives grid
+/// point `i` the seed `splitmix64(base + (i+1)·GOLDEN)` so every point
+/// gets an independent, reproducible stream that is a pure function of
+/// `(base, i)` and never collides across neighbouring points (the
+/// function is a bijection). Reference: Steele, Lea & Flood,
+/// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

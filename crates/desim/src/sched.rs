@@ -35,6 +35,12 @@ impl SchedulerKind {
     }
 }
 
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A future-event list with a runtime-selected backend.
 ///
 /// The enum dispatch is a predictable two-way branch; the queue operations

@@ -7,7 +7,7 @@ use crate::sweep::cartesian;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::hypercube_bounds;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Measure T across (d, ρ) and compare with Prop. 3.
 pub fn run(scale: Scale) -> Table {
@@ -21,16 +21,16 @@ pub fn run(scale: Scale) -> Table {
 
     let rows = parallel_map(cartesian(&dims, &rhos), 0, |(d, rho)| {
         let lambda = rho / p;
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE03 ^ (d as u64) << 8 ^ (rho * 100.0) as u64,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
+        let r = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE03 ^ (d as u64) << 8 ^ (rho * 100.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (d, rho, r.delay.mean)
     });
 

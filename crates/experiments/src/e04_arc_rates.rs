@@ -5,7 +5,7 @@
 use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Measure per-dimension per-arc arrival rates for symmetric and skewed p.
 pub fn run(scale: Scale) -> Table {
@@ -14,16 +14,17 @@ pub fn run(scale: Scale) -> Table {
     let cases = vec![(1.2f64, 0.5f64), (1.0, 0.3)];
 
     let reports = parallel_map(cases, 0, |(lambda, p)| {
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE04 ^ (p * 100.0) as u64,
-            ..Default::default()
-        };
-        (lambda, p, HypercubeSim::new(cfg).run())
+        let report = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE04 ^ (p * 100.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
+        (lambda, p, report)
     });
 
     let mut t = Table::new(
@@ -32,7 +33,8 @@ pub fn run(scale: Scale) -> Table {
     );
     for (lambda, p, r) in reports {
         let rho = lambda * p;
-        for (dim, &rate) in r.per_dim_arc_rate.iter().enumerate() {
+        let ext = r.hypercube().expect("hypercube report");
+        for (dim, &rate) in ext.per_dim_arc_rate.iter().enumerate() {
             let rel = (rate - rho).abs() / rho;
             t.row(vec![
                 f4(lambda),

@@ -6,7 +6,7 @@ use crate::sweep::{cartesian, rho_grid_standard};
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::hypercube_bounds;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// The main delay-vs-load sweep.
 pub fn run(scale: Scale) -> Table {
@@ -20,16 +20,16 @@ pub fn run(scale: Scale) -> Table {
 
     let rows = parallel_map(cartesian(&dims, &rhos), 0, |(d, rho)| {
         let lambda = rho / p;
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE06 ^ (d as u64) << 8 ^ (rho * 1000.0) as u64,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
+        let r = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE06 ^ (d as u64) << 8 ^ (rho * 1000.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (d, rho, r.delay.mean, r.delay.ci95)
     });
 

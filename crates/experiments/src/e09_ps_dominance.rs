@@ -7,9 +7,10 @@
 use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
-use hyperroute_core::equivalent_network::{Discipline, EqNetConfig, EqNetSim};
+use hyperroute_core::equivalent_network::Discipline;
+use hyperroute_core::scenario::EqNetSpec;
+use hyperroute_core::{Scenario, Topology};
 use hyperroute_queueing::sample_path::counting_dominates;
-use hyperroute_topology::{Hypercube, LevelledNetwork};
 
 /// Run coupled FIFO/PS pairs and verify dominance.
 pub fn run(scale: Scale) -> Table {
@@ -20,18 +21,21 @@ pub fn run(scale: Scale) -> Table {
     };
 
     // (name, network) cases: Fig. 2 plus Q(d) for small d.
-    let mut cases: Vec<(String, LevelledNetwork)> = vec![(
+    let mut cases: Vec<(String, EqNetSpec)> = vec![(
         "fig2(G)".into(),
-        LevelledNetwork::fig2_network(0.5, 0.5, 0.3, 0.6, 0.6),
+        EqNetSpec::Fig2 {
+            rate1: 0.5,
+            rate2: 0.5,
+            rate3: 0.3,
+            q1: 0.6,
+            q2: 0.6,
+        },
     )];
     for d in 2..=3usize {
-        cases.push((
-            format!("Q(d={d})"),
-            LevelledNetwork::equivalent_q(Hypercube::new(d), 1.2, 0.5),
-        ));
+        cases.push((format!("Q(d={d})"), EqNetSpec::HypercubeQ { dim: d }));
     }
 
-    let jobs: Vec<(String, LevelledNetwork, u64)> = cases
+    let jobs: Vec<(String, EqNetSpec, u64)> = cases
         .into_iter()
         .flat_map(|(name, net)| {
             seeds
@@ -42,17 +46,30 @@ pub fn run(scale: Scale) -> Table {
         .collect();
 
     let rows = parallel_map(jobs, 0, |(name, net, seed)| {
-        let mk = |discipline| EqNetConfig {
-            discipline,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE09 ^ seed,
-            record_departures: true,
-            ..Default::default()
+        let mk = |discipline| {
+            Scenario::builder(Topology::EqNet {
+                net: net.clone(),
+                record_departures: true,
+                occupancy_cap: 0,
+            })
+            .lambda(1.2)
+            .p(0.5)
+            .discipline(discipline)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE09 ^ seed)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs")
         };
-        let fifo = EqNetSim::new(&net, mk(Discipline::Fifo)).run();
-        let ps = EqNetSim::new(&net, mk(Discipline::Ps)).run();
-        let dominates = counting_dominates(&fifo.departures, &ps.departures, 1e-7);
+        let fifo = mk(Discipline::Fifo);
+        let ps = mk(Discipline::Ps);
+        let dominates = counting_dominates(
+            &fifo.eqnet().expect("eqnet report").departures,
+            &ps.eqnet().expect("eqnet report").departures,
+            1e-7,
+        );
         (
             name,
             seed,

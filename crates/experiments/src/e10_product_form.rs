@@ -1,12 +1,13 @@
-//! E10 — the product form of the PS comparison network Q̄ ([Wal88] as used
+//! E10 — the product form of the PS comparison network Q̄ (\[Wal88\] as used
 //! in §3.3): per-server occupancy is geometric(ρ) and
 //! `N̄ = d·2^d·ρ/(1-ρ)`.
 
 use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
-use hyperroute_core::equivalent_network::{Discipline, EqNetConfig, EqNetSim};
-use hyperroute_topology::{Hypercube, LevelledNetwork};
+use hyperroute_core::equivalent_network::Discipline;
+use hyperroute_core::scenario::EqNetSpec;
+use hyperroute_core::{Scenario, Topology};
 
 /// PS-network occupancy distribution vs geometric(ρ), plus the total mean.
 pub fn run(scale: Scale) -> Table {
@@ -17,16 +18,22 @@ pub fn run(scale: Scale) -> Table {
 
     let runs = parallel_map(rhos.to_vec(), 0, |rho| {
         let lambda = rho / p;
-        let net = LevelledNetwork::equivalent_q(Hypercube::new(d), lambda, p);
-        let cfg = EqNetConfig {
-            discipline: Discipline::Ps,
-            horizon,
-            warmup: horizon * 0.15,
-            seed: 0xE10 ^ (rho * 10.0) as u64,
+        let report = Scenario::builder(Topology::EqNet {
+            net: EqNetSpec::HypercubeQ { dim: d },
+            record_departures: false,
             occupancy_cap: 8,
-            ..Default::default()
-        };
-        (rho, EqNetSim::new(&net, cfg).run())
+        })
+        .lambda(lambda)
+        .p(p)
+        .discipline(Discipline::Ps)
+        .horizon(horizon)
+        .warmup(horizon * 0.15)
+        .seed(0xE10 ^ (rho * 10.0) as u64)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
+        (rho, report)
     });
 
     let mut t = Table::new(
@@ -34,9 +41,10 @@ pub fn run(scale: Scale) -> Table {
         &["rho", "n", "frac_meas", "geometric", "abs_err", "ok"],
     );
     for (rho, r) in runs {
-        let servers = r.occupancy_fractions.len() as f64;
+        let occupancy = &r.eqnet().expect("eqnet report").occupancy_fractions;
+        let servers = occupancy.len() as f64;
         for n in 0..5usize {
-            let avg: f64 = r.occupancy_fractions.iter().map(|f| f[n]).sum::<f64>() / servers;
+            let avg: f64 = occupancy.iter().map(|f| f[n]).sum::<f64>() / servers;
             let geo = (1.0 - rho) * rho.powi(n as i32);
             let err = (avg - geo).abs();
             t.row(vec![

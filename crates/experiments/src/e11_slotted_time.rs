@@ -5,7 +5,7 @@ use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::hypercube_bounds;
-use hyperroute_core::{ArrivalModel, HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{ArrivalModel, Scenario, Topology};
 
 /// Slotted-vs-continuous comparison across slot lengths.
 pub fn run(scale: Scale) -> Table {
@@ -15,20 +15,21 @@ pub fn run(scale: Scale) -> Table {
     let cases: Vec<Option<u32>> = vec![None, Some(1), Some(2), Some(4)];
 
     let rows = parallel_map(cases, 0, |slots| {
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda,
-            p,
-            arrivals: match slots {
+        let report = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .arrivals(match slots {
                 None => ArrivalModel::Poisson,
                 Some(m) => ArrivalModel::Slotted { slots_per_unit: m },
-            },
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE11 ^ slots.unwrap_or(0) as u64,
-            ..Default::default()
-        };
-        (slots, HypercubeSim::new(cfg).run())
+            })
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE11 ^ slots.unwrap_or(0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
+        (slots, report)
     });
 
     let mut t = Table::new(

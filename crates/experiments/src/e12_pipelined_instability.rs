@@ -6,9 +6,8 @@
 use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
-use hyperroute_core::pipelined::{simulate_pipelined, PipelinedConfig};
 use hyperroute_core::stability::probe_hypercube;
-use hyperroute_core::Scheme;
+use hyperroute_core::{Scenario, Scheme, Topology};
 
 /// Fixed ρ = 0.1, growing d: greedy vs pipelined stability.
 pub fn run(scale: Scale) -> Table {
@@ -26,13 +25,14 @@ pub fn run(scale: Scale) -> Table {
 
     let rows = parallel_map(dims, 0, |d| {
         let greedy = probe_hypercube(d, lambda, p, Scheme::Greedy, horizon, 0xE12 ^ d as u64);
-        let pipe = simulate_pipelined(PipelinedConfig {
-            dim: d,
-            lambda,
-            p,
-            rounds,
-            seed: 0xE12 ^ d as u64,
-        });
+        let pipe = Scenario::builder(Topology::Pipelined { dim: d, rounds })
+            .lambda(lambda)
+            .p(p)
+            .seed(0xE12 ^ d as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (d, greedy, pipe)
     });
 
@@ -49,15 +49,16 @@ pub fn run(scale: Scale) -> Table {
         ],
     );
     for (d, greedy, pipe) in rows {
-        let lrd = lambda * pipe.mean_round_length;
-        let per_round_input = lambda * (1usize << d) as f64 * pipe.mean_round_length;
-        let pipe_stable = !pipe.looks_unstable(per_round_input);
+        let ext = pipe.pipelined().expect("pipelined report");
+        let lrd = lambda * ext.mean_round_length;
+        let per_round_input = lambda * (1usize << d) as f64 * ext.mean_round_length;
+        let pipe_stable = !ext.looks_unstable(per_round_input);
         t.row(vec![
             d.to_string(),
             yn(greedy.stable),
-            f4(pipe.round_constant),
+            f4(ext.round_constant),
             f4(lrd),
-            f4(pipe.backlog_slope_per_round),
+            f4(ext.backlog_slope_per_round),
             yn(pipe_stable),
             yn(lrd < 1.0),
         ]);

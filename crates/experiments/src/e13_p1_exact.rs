@@ -7,7 +7,7 @@ use crate::sweep::cartesian;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::hypercube_bounds;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Compare measured delay against the exact closed form at p = 1.
 pub fn run(scale: Scale) -> Table {
@@ -19,16 +19,16 @@ pub fn run(scale: Scale) -> Table {
     let horizon = scale.horizon(12_000.0);
 
     let rows = parallel_map(cartesian(&dims, &rhos), 0, |(d, rho)| {
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda: rho, // p = 1 ⇒ ρ = λ
-            p: 1.0,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE13 ^ (d as u64) << 8 ^ (rho * 10.0) as u64,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
+        let r = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(rho) // p = 1 ⇒ ρ = λ
+            .p(1.0)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE13 ^ (d as u64) << 8 ^ (rho * 10.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (d, rho, r.delay.mean)
     });
 

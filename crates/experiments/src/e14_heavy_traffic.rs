@@ -5,7 +5,7 @@ use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::heavy_traffic;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Scaled-delay measurements approaching the boundary.
 pub fn run(scale: Scale) -> Table {
@@ -23,16 +23,16 @@ pub fn run(scale: Scale) -> Table {
     let rows = parallel_map(rhos, 0, |rho| {
         // Mixing time scales like 1/(1-ρ)²; stretch the horizon with it.
         let horizon = (scale.horizon(10_000.0) / (1.0 - rho)).min(300_000.0);
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda: rho / p,
-            p,
-            horizon,
-            warmup: horizon * 0.3,
-            seed: 0xE14 ^ (rho * 1000.0) as u64,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
+        let r = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(rho / p)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.3)
+            .seed(0xE14 ^ (rho * 1000.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (rho, r.delay.mean)
     });
 

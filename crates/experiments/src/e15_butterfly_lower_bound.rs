@@ -6,7 +6,7 @@ use crate::sweep::cartesian;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::butterfly_bounds;
-use hyperroute_core::butterfly_sim::{ButterflySim, ButterflySimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Butterfly delay vs the Prop. 14 bound across (d, p).
 pub fn run(scale: Scale) -> Table {
@@ -20,16 +20,16 @@ pub fn run(scale: Scale) -> Table {
 
     let rows = parallel_map(cartesian(&dims, &ps), 0, |(d, p)| {
         let lambda = rho_bf / p.max(1.0 - p);
-        let cfg = ButterflySimConfig {
-            dim: d,
-            lambda,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE15 ^ (d as u64) << 8 ^ (p * 100.0) as u64,
-            ..Default::default()
-        };
-        let r = ButterflySim::new(cfg).run();
+        let r = Scenario::builder(Topology::Butterfly { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE15 ^ (d as u64) << 8 ^ (p * 100.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (d, lambda, p, r.delay.mean)
     });
 

@@ -3,7 +3,7 @@
 
 use crate::table::{f4, yn, Table};
 use crate::Scale;
-use hyperroute_core::butterfly_sim::{ButterflySim, ButterflySimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Per-level, per-kind measured arrival rates.
 pub fn run(scale: Scale) -> Table {
@@ -11,16 +11,16 @@ pub fn run(scale: Scale) -> Table {
     let horizon = scale.horizon(8_000.0);
     let (lambda, p) = (1.0, 0.3);
 
-    let cfg = ButterflySimConfig {
-        dim: d,
-        lambda,
-        p,
-        horizon,
-        warmup: horizon * 0.2,
-        seed: 0xE16,
-        ..Default::default()
-    };
-    let r = ButterflySim::new(cfg).run();
+    let r = Scenario::builder(Topology::Butterfly { dim: d })
+        .lambda(lambda)
+        .p(p)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(0xE16)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
 
     let mut t = Table::new(
         format!("E16 Prop.15 — butterfly per-arc rates (d={d}, lambda={lambda}, p={p})"),
@@ -33,10 +33,11 @@ pub fn run(scale: Scale) -> Table {
             "ok",
         ],
     );
+    let ext = r.butterfly().expect("butterfly report");
     let (ps, pv) = (lambda * (1.0 - p), lambda * p);
     for lvl in 0..d {
-        let s = r.straight_rate_per_level[lvl];
-        let v = r.vertical_rate_per_level[lvl];
+        let s = ext.straight_rate_per_level[lvl];
+        let v = ext.vertical_rate_per_level[lvl];
         let ok = (s - ps).abs() / ps < 0.05 && (v - pv).abs() / pv < 0.05;
         t.row(vec![lvl.to_string(), f4(s), f4(ps), f4(v), f4(pv), yn(ok)]);
     }

@@ -6,7 +6,7 @@ use crate::sweep::cartesian;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::butterfly_bounds;
-use hyperroute_core::butterfly_sim::{ButterflySim, ButterflySimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Butterfly delay vs the Prop. 17 bound across (d, λ, p).
 pub fn run(scale: Scale) -> Table {
@@ -20,16 +20,16 @@ pub fn run(scale: Scale) -> Table {
 
     let rows = parallel_map(cartesian(&dims, &loads), 0, |(d, rho_bf)| {
         let lambda = rho_bf / p.max(1.0 - p);
-        let cfg = ButterflySimConfig {
-            dim: d,
-            lambda,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE18 ^ (d as u64) << 8 ^ (rho_bf * 100.0) as u64,
-            ..Default::default()
-        };
-        let r = ButterflySim::new(cfg).run();
+        let r = Scenario::builder(Topology::Butterfly { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE18 ^ (d as u64) << 8 ^ (rho_bf * 100.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (d, lambda, r.delay.mean)
     });
 

@@ -13,7 +13,7 @@ use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_core::stability::probe_hypercube;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig, Scheme};
+use hyperroute_core::{Scenario, Scheme, Topology};
 
 /// Delay and stability of the three schemes across loads.
 pub fn run(scale: Scale) -> Table {
@@ -41,17 +41,17 @@ pub fn run(scale: Scale) -> Table {
             let v = probe_hypercube(d, lambda, p, scheme, horizon / 2.0, 0xE19);
             return (scheme, rho, eff, None, v.stable);
         }
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda,
-            p,
-            scheme,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE19 ^ (rho * 100.0) as u64,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
+        let r = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .scheme(scheme)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE19 ^ (rho * 100.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         (scheme, rho, eff, Some(r.delay.mean), true)
     });
 
@@ -61,7 +61,7 @@ pub fn run(scale: Scale) -> Table {
     );
     for (scheme, rho, eff, tm, stable) in rows {
         t.row(vec![
-            scheme.name().into(),
+            scheme.to_string(),
             f4(rho),
             f4(eff),
             tm.map_or("unstable".into(), f4),

@@ -10,8 +10,8 @@ use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_analysis::load::dimension_load_factors;
 use hyperroute_core::config::DestinationSpec;
-use hyperroute_core::stability::probe_config;
-use hyperroute_core::HypercubeSimConfig;
+use hyperroute_core::stability::probe_scenario;
+use hyperroute_core::{Scenario, Topology};
 
 /// Sweep λ across the *generalised* stability frontier of a skewed
 /// destination distribution (dimension 0 always flips).
@@ -29,15 +29,14 @@ pub fn run(scale: Scale) -> Table {
     let rows = parallel_map(lambdas, 0, |lambda| {
         let loads = dimension_load_factors(d, lambda, &|mask| pmf[mask as usize]);
         let rho_gen = loads.iter().copied().fold(0.0, f64::max);
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda,
-            dest: spec.clone(),
-            horizon,
-            seed: 0xE21 ^ (lambda * 100.0) as u64,
-            ..Default::default()
-        };
-        let v = probe_config(cfg);
+        let scenario = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .dest(spec.clone())
+            .horizon(horizon)
+            .seed(0xE21 ^ (lambda * 100.0) as u64)
+            .build()
+            .expect("valid scenario");
+        let v = probe_scenario(&scenario).expect("scenario probes");
         (lambda, rho_gen, v)
     });
 

@@ -10,7 +10,7 @@ use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
 use hyperroute_core::config::ContentionPolicy;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 
 /// Mean and tail delay for each contention policy at moderate/high load.
 pub fn run(scale: Scale) -> Table {
@@ -30,17 +30,18 @@ pub fn run(scale: Scale) -> Table {
         .collect();
 
     let rows = parallel_map(cases, 0, |(contention, rho)| {
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda: rho / p,
-            p,
-            contention,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE22 ^ (rho * 100.0) as u64,
-            ..Default::default()
-        };
-        (contention, rho, HypercubeSim::new(cfg).run())
+        let report = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(rho / p)
+            .p(p)
+            .contention(contention)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE22 ^ (rho * 100.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
+        (contention, rho, report)
     });
 
     // FIFO means per rho for the comparison column.
@@ -64,7 +65,7 @@ pub fn run(scale: Scale) -> Table {
             .expect("fifo baseline present");
         let ratio = r.delay.mean / fifo_mean;
         t.row(vec![
-            contention.name().into(),
+            contention.to_string(),
             f4(rho),
             f4(r.delay.mean),
             f4(ratio),

@@ -15,7 +15,7 @@
 use crate::runner::parallel_map;
 use crate::table::{f4, yn, Table};
 use crate::Scale;
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 use hyperroute_queueing::md1;
 
 /// Per-dimension mean occupancy vs the Prop. 13 proof quantities.
@@ -26,16 +26,17 @@ pub fn run(scale: Scale) -> Table {
     let rhos = [0.5, 0.8];
 
     let runs = parallel_map(rhos.to_vec(), 0, |rho| {
-        let cfg = HypercubeSimConfig {
-            dim: d,
-            lambda: rho / p,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 0xE23 ^ (rho * 100.0) as u64,
-            ..Default::default()
-        };
-        (rho, HypercubeSim::new(cfg).run())
+        let report = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(rho / p)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(0xE23 ^ (rho * 100.0) as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
+        (rho, report)
     });
 
     let mut t = Table::new(
@@ -53,7 +54,8 @@ pub fn run(scale: Scale) -> Table {
     for (rho, r) in runs {
         let md1_exact = md1::mean_number_in_system(rho);
         let pf_cap = rho / (1.0 - rho);
-        for (dim, &n) in r.per_dim_mean_queue.iter().enumerate() {
+        let ext = r.hypercube().expect("hypercube report");
+        for (dim, &n) in ext.per_dim_mean_queue.iter().enumerate() {
             let md1_cell = if dim == 0 {
                 f4(md1_exact)
             } else {

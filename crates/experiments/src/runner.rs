@@ -1,112 +1,8 @@
 //! Parallel execution of independent simulation points.
 //!
-//! Sweeps are embarrassingly parallel; this runner fans work items over a
-//! scoped thread pool with an atomic work-stealing counter, preserving the
-//! input order of results. It uses `std::thread::scope` for data-race-free
-//! borrowing of the worker closure and `std::sync::Mutex` for result
-//! collection — every slot is touched by exactly one worker, so the locks
-//! are uncontended and poisoning cannot occur outside a worker panic.
+//! The implementation moved to `hyperroute_core::runner` so that
+//! [`hyperroute_core::scenario::Sweep`] can fan scenario grids out without
+//! depending on this crate; this module re-exports it for existing
+//! callers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Map `f` over `items` on up to `threads` worker threads, returning
-/// results in input order. `threads = 0` means "hardware parallelism".
-pub fn parallel_map<T, O, F>(items: Vec<T>, threads: usize, f: F) -> Vec<O>
-where
-    T: Send,
-    O: Send,
-    F: Fn(T) -> O + Sync,
-{
-    let threads = effective_threads(threads, items.len());
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work mutex poisoned")
-                    .take()
-                    .expect("work item taken twice");
-                let out = f(item);
-                *results[i].lock().expect("result mutex poisoned") = Some(out);
-            });
-        }
-    });
-
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result mutex poisoned")
-                .expect("missing result")
-        })
-        .collect()
-}
-
-fn effective_threads(requested: usize, items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let t = if requested == 0 { hw } else { requested };
-    t.min(items.max(1))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(items, 4, |x| x * x);
-        for (i, &v) in out.iter().enumerate() {
-            assert_eq!(v, (i * i) as u64);
-        }
-    }
-
-    #[test]
-    fn single_thread_fallback() {
-        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 0, |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn each_item_processed_exactly_once() {
-        use std::sync::atomic::AtomicU64;
-        let calls = AtomicU64::new(0);
-        let out = parallel_map((0..1000).collect::<Vec<_>>(), 0, |x| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x
-        });
-        assert_eq!(out.len(), 1000);
-        assert_eq!(calls.load(Ordering::Relaxed), 1000);
-    }
-
-    #[test]
-    fn heavier_work_than_threads() {
-        // More items than threads exercises the stealing loop.
-        let out = parallel_map((0..37).collect::<Vec<_>>(), 2, |x: u64| {
-            // Busy-ish work.
-            (0..1000u64).fold(x, |a, b| a.wrapping_add(b))
-        });
-        assert_eq!(out.len(), 37);
-    }
-}
+pub use hyperroute_core::runner::parallel_map;

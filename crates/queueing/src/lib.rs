@@ -15,7 +15,7 @@
 //! * [`sample_path`] — "delayed version" comparisons between event streams
 //!   (the ordering at the heart of Lemmas 7–10);
 //! * [`product_form`] — stationary quantities of product-form networks
-//!   with per-server geometric occupancy ([Wal88] as used in Props. 12
+//!   with per-server geometric occupancy (\[Wal88\] as used in Props. 12
 //!   and 17);
 //! * [`little`] — Little's-law conversions and consistency checks.
 

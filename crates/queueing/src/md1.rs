@@ -7,7 +7,7 @@
 //! Prop. 14 for first-level butterfly arcs) and of the `p = 1` exact delay.
 
 /// Mean sojourn time (wait + service) of M/D/1 with unit service and
-/// utilisation `rho`: `1 + ρ / (2(1-ρ))` ([Kle75] as cited by the paper).
+/// utilisation `rho`: `1 + ρ / (2(1-ρ))` (\[Kle75\] as cited by the paper).
 pub fn mean_sojourn(rho: f64) -> f64 {
     assert!((0.0..1.0).contains(&rho), "need 0 ≤ ρ < 1, got {rho}");
     1.0 + rho / (2.0 * (1.0 - rho))

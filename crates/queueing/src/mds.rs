@@ -1,7 +1,7 @@
 //! The M/D/s queue: delay lower bounds and an exact simulator.
 //!
 //! Proposition 2 relaxes the whole first dimension of the hypercube into a
-//! single M/D/2^d queue and cites Brumelle ([Bru71]) for a closed-form
+//! single M/D/2^d queue and cites Brumelle (\[Bru71\]) for a closed-form
 //! lower bound on its delay of the shape `1 + Θ(ρ/(2^{d+1}(1-ρ)))`.
 //!
 //! The scanned paper loses the exact inequality, so this module provides

@@ -1,4 +1,4 @@
-//! Product-form network quantities ([Wal88] pp. 93–94 as used in §3.3 and
+//! Product-form network quantities (\[Wal88\] pp. 93–94 as used in §3.3 and
 //! §4.3).
 //!
 //! When every server of the levelled network is switched from FIFO to

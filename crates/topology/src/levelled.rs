@@ -167,7 +167,7 @@ impl LevelledNetwork {
     }
 
     /// Largest per-server utilisation (arrival rate × unit service time);
-    /// the network is stable iff this is `< 1` (Theorem 2A of [Bor87] as
+    /// the network is stable iff this is `< 1` (Theorem 2A of \[Bor87\] as
     /// invoked by Propositions 6 and 16).
     pub fn max_utilization(&self) -> f64 {
         self.total_arrival_rates()

@@ -29,16 +29,16 @@ fn main() {
     // Verify the plan at 95% of the planned rate.
     let lam_run = lambda * 0.95;
     println!("\nverifying by simulation at 95% of planned λ ({lam_run:.4}) ...");
-    let report = HypercubeSim::new(HypercubeSimConfig {
-        dim: d,
-        lambda: lam_run,
-        p,
-        horizon: 4_000.0,
-        warmup: 800.0,
-        seed: 7,
-        ..Default::default()
-    })
-    .run();
+    let report = Scenario::builder(Topology::Hypercube { dim: d })
+        .lambda(lam_run)
+        .p(p)
+        .horizon(4_000.0)
+        .warmup(800.0)
+        .seed(7)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
     println!(
         "measured T = {:.2} (target {target_delay}) — the guarantee is conservative, as promised",
         report.delay.mean

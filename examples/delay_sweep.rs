@@ -1,19 +1,77 @@
-//! The headline experiment: delay vs load for several hypercube sizes,
-//! printed against the Prop. 12 upper and Prop. 13 lower bounds
-//! (experiments E06/E07).
+//! The headline experiment as a declarative [`Sweep`]: delay vs load for
+//! several hypercube sizes, printed against the Prop. 12 upper and
+//! Prop. 13 lower bounds.
 //!
-//! Run with `cargo run --release --example delay_sweep [--full]`.
+//! The grid is a data structure — two named axes over one base scenario —
+//! expanded in deterministic row-major order with a splitmix-derived seed
+//! per point, and fanned out over all cores. The full experiment tables
+//! remain available via `--tables` (experiments E06/E07).
+//!
+//! Run with `cargo run --release --example delay_sweep [--tables]`.
 
 use hyperroute::experiments::{e06_delay_upper_bound, e07_greedy_lower_bound, Scale};
+use hyperroute::prelude::*;
+use hyperroute::routing::scenario::{Axis, SweepParam};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--full") {
-        Scale::Full
-    } else {
-        Scale::Quick
-    };
-    println!("scale: {scale:?} (pass --full for the EXPERIMENTS.md grids)\n");
-    println!("{}", e06_delay_upper_bound::run(scale).render());
-    println!();
-    println!("{}", e07_greedy_lower_bound::run(scale).render());
+    if std::env::args().any(|a| a == "--tables") {
+        println!("{}", e06_delay_upper_bound::run(Scale::Quick).render());
+        println!();
+        println!("{}", e07_greedy_lower_bound::run(Scale::Quick).render());
+        return;
+    }
+
+    let p = 0.5;
+    let base = Scenario::builder(Topology::Hypercube { dim: 4 })
+        .p(p)
+        .horizon(3_000.0)
+        .warmup(600.0)
+        .seed(0xDE1A)
+        .build()
+        .expect("valid scenario");
+
+    let dims = [4.0, 6.0, 8.0];
+    let rhos = [0.3, 0.5, 0.7, 0.85, 0.95];
+    let sweep = Sweep::new(
+        base,
+        vec![
+            Axis::new(SweepParam::Dim, dims.to_vec()),
+            // λ = ρ/p at p = 0.5.
+            Axis::new(SweepParam::Lambda, rhos.iter().map(|r| r / p).collect()),
+        ],
+    );
+    println!(
+        "sweeping {} grid points ({} dims × {} loads) over all cores ...\n",
+        sweep.len(),
+        dims.len(),
+        rhos.len()
+    );
+    let reports = sweep.run(0).expect("sweep runs");
+
+    println!("   d     rho    T_meas        LB        UB   inside");
+    for (i, report) in reports.iter().enumerate() {
+        let d = dims[i / rhos.len()] as usize;
+        let rho = rhos[i % rhos.len()];
+        let lambda = rho / p;
+        let b = greedy_delay_bounds(d, lambda, p);
+        println!(
+            "{d:4}  {rho:6.2}  {t:8.3}  {lb:8.3}  {ub:8.3}   {ok}",
+            t = report.delay.mean,
+            lb = b.lower,
+            ub = b.upper,
+            ok = if b.contains(report.delay.mean, 0.05) {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+        assert!(
+            b.contains(report.delay.mean, 0.05),
+            "d={d} rho={rho}: {} outside [{}, {}]",
+            report.delay.mean,
+            b.lower,
+            b.upper
+        );
+    }
+    println!("\n✓ every grid point sits inside the paper's bracket");
 }

@@ -13,19 +13,28 @@ fn main() {
         Scale::Quick
     };
 
-    // A tiny coupled pair, narrated.
+    // A tiny coupled pair, narrated. One scenario per discipline; equal
+    // seeds give the paper's coupled sample path.
     println!("Coupled FIFO/PS run of the 3-cube's equivalent network Q:");
-    let net = LevelledNetwork::equivalent_q(Hypercube::new(3), 1.2, 0.5);
-    let mk = |discipline| EqNetConfig {
-        discipline,
-        horizon: 2_000.0,
-        warmup: 400.0,
-        seed: 99,
-        record_departures: true,
-        ..Default::default()
+    let mk = |discipline| {
+        Scenario::builder(Topology::EqNet {
+            net: EqNetSpec::HypercubeQ { dim: 3 },
+            record_departures: true,
+            occupancy_cap: 0,
+        })
+        .lambda(1.2)
+        .p(0.5)
+        .discipline(discipline)
+        .horizon(2_000.0)
+        .warmup(400.0)
+        .seed(99)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs")
     };
-    let fifo = EqNetSim::new(&net, mk(Discipline::Fifo)).run();
-    let ps = EqNetSim::new(&net, mk(Discipline::Ps)).run();
+    let fifo = mk(Discipline::Fifo);
+    let ps = mk(Discipline::Ps);
     println!(
         "  FIFO: mean delay {:.3}, mean in system {:.2}",
         fifo.delay.mean, fifo.mean_in_system
@@ -36,8 +45,8 @@ fn main() {
     );
     println!(
         "  departures: FIFO {} / PS {} (same coupled sample path)",
-        fifo.departures.len(),
-        ps.departures.len()
+        fifo.eqnet().expect("eqnet report").departures.len(),
+        ps.eqnet().expect("eqnet report").departures.len()
     );
     println!();
 

@@ -1,5 +1,5 @@
-//! Quickstart: simulate greedy routing on an 8-cube at 70% load and check
-//! the paper's delay bracket.
+//! Quickstart: describe a greedy-routing run on an 8-cube at 70% load as
+//! one [`Scenario`], run it, and check the paper's delay bracket.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -12,24 +12,31 @@ fn main() {
     println!("per-node Poisson rate λ = {lambda}, bit-flip probability p = {p}");
     println!("load factor ρ = λp = {rho}\n");
 
-    let cfg = HypercubeSimConfig {
-        dim,
-        lambda,
-        p,
-        horizon: 5_000.0,
-        warmup: 1_000.0,
-        seed: 2026,
-        ..Default::default()
-    };
-    println!("running {} node-units of simulated time ...", cfg.horizon);
-    let report = HypercubeSim::new(cfg).run();
+    // One typed spec: topology + workload + policy + run control. The
+    // builder validates the combination and returns a ConfigError for
+    // anything malformed (no panics, no partially-applied settings).
+    let scenario = Scenario::builder(Topology::Hypercube { dim })
+        .lambda(lambda)
+        .p(p)
+        .horizon(5_000.0)
+        .warmup(1_000.0)
+        .seed(2026)
+        .build()
+        .expect("valid scenario");
+
+    println!(
+        "running {} node-units of simulated time ...",
+        scenario.run.horizon
+    );
+    let report = scenario.run().expect("scenario runs");
+    let cube = report.hypercube().expect("hypercube extension");
 
     let bounds = greedy_delay_bounds(dim, lambda, p);
     println!("packets generated : {}", report.generated);
     println!("packets delivered : {}", report.delivered);
     println!(
         "mean hops         : {:.3}  (dp = {})",
-        report.mean_hops,
+        cube.mean_hops,
         dim as f64 * p
     );
     println!();
@@ -61,4 +68,8 @@ fn main() {
         "measured delay escaped the paper's bracket!"
     );
     println!("\n✓ measured delay sits inside the paper's bracket");
+
+    // The same spec is a machine-readable artifact: print it as the JSON
+    // scenario-file format (see examples/scenario_file.rs for loading).
+    println!("\nthis run as a scenario file:\n{}", scenario.to_json());
 }

@@ -30,24 +30,30 @@
 //! | [`desim`] | event schedulers (binary heap + calendar queue), RNG streams, statistics |
 //! | [`queueing`] | M/M/1, M/D/1, M/D/s, FIFO/PS sample-path servers, product form |
 //! | [`analysis`] | every proposition's bound as a function |
-//! | [`routing`] | the packet-level simulators and schemes (crate `hyperroute-core`) |
-//! | [`experiments`] | the E01–E20 harnesses and result tables |
+//! | [`routing`] | the scenario API and packet-level simulators (crate `hyperroute-core`) |
+//! | [`experiments`] | the E01–E23 harnesses and result tables |
 //!
 //! ## Quick start
+//!
+//! One typed [`prelude::Scenario`] drives every topology — hypercube,
+//! butterfly, the equivalent queueing networks, and the pipelined
+//! baseline — through a shared engine dispatch, serialises to JSON
+//! scenario files, and expands into deterministic parameter
+//! [`prelude::Sweep`]s:
 //!
 //! ```
 //! use hyperroute::prelude::*;
 //!
-//! let cfg = HypercubeSimConfig {
-//!     dim: 5,
-//!     lambda: 1.4,
-//!     p: 0.5, // ρ = 0.7
-//!     horizon: 2_000.0,
-//!     warmup: 400.0,
-//!     seed: 7,
-//!     ..Default::default()
-//! };
-//! let report = HypercubeSim::new(cfg).run();
+//! let report = Scenario::builder(Topology::Hypercube { dim: 5 })
+//!     .lambda(1.4)
+//!     .p(0.5) // ρ = 0.7
+//!     .horizon(2_000.0)
+//!     .warmup(400.0)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid scenario")
+//!     .run()
+//!     .expect("runs to completion");
 //! let bounds = greedy_delay_bounds(5, 1.4, 0.5);
 //! assert!(bounds.contains(report.delay.mean, 0.05));
 //! ```
@@ -70,12 +76,26 @@ pub mod prelude {
         universal_lower_bound, DelayBounds,
     };
     pub use hyperroute_analysis::load::{butterfly_load_factor, hypercube_load_factor};
-    pub use hyperroute_core::butterfly_sim::{ButterflyReport, ButterflySim, ButterflySimConfig};
-    pub use hyperroute_core::equivalent_network::{Discipline, EqNetConfig, EqNetSim};
-    pub use hyperroute_core::hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};
-    pub use hyperroute_core::{ArrivalModel, Scheme};
+    pub use hyperroute_core::equivalent_network::Discipline;
+    pub use hyperroute_core::observe::{
+        NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
+    };
+    pub use hyperroute_core::scenario::{
+        Axis, ConfigError, EqNetSpec, Report, ReportExt, Scenario, ScenarioFileError, Simulator,
+        Sweep, SweepParam, Topology,
+    };
+    pub use hyperroute_core::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
     pub use hyperroute_experiments::{Scale, Table};
     pub use hyperroute_topology::{Butterfly, Hypercube, LevelledNetwork, NodeId};
+
+    // Legacy per-simulator entry points, re-exported for the one-release
+    // deprecation window. New code goes through `Scenario`.
+    #[allow(deprecated)]
+    pub use hyperroute_core::butterfly_sim::{ButterflyReport, ButterflySim, ButterflySimConfig};
+    #[allow(deprecated)]
+    pub use hyperroute_core::equivalent_network::{EqNetConfig, EqNetSim};
+    #[allow(deprecated)]
+    pub use hyperroute_core::hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};
 }
 
 #[cfg(test)]
@@ -90,5 +110,19 @@ mod tests {
         assert_eq!(rho, 0.5);
         let b = greedy_delay_bounds(3, 1.0, 0.5);
         assert!(b.lower < b.upper);
+    }
+
+    #[test]
+    fn scenario_api_through_facade() {
+        let report = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(1.0)
+            .horizon(300.0)
+            .warmup(50.0)
+            .seed(3)
+            .build()
+            .expect("valid")
+            .run()
+            .expect("runs");
+        assert_eq!(report.generated, report.delivered);
     }
 }

@@ -1,9 +1,15 @@
 //! Cross-crate integration tests: the packet-level simulators, the
 //! abstract equivalent networks, and the closed-form bounds must all agree
-//! with each other.
+//! with each other — every system expressed as one `Scenario`.
 
 use hyperroute::prelude::*;
 use hyperroute::routing::stability::{probe_butterfly, probe_hypercube};
+
+fn hypercube(dim: usize) -> Scenario {
+    Scenario::builder(Topology::Hypercube { dim })
+        .build()
+        .expect("valid scenario")
+}
 
 /// §3.1: the hypercube under greedy routing IS the network Q. The
 /// packet-level simulator and the abstract FIFO network simulator are
@@ -15,29 +21,31 @@ fn packet_sim_equals_equivalent_network_q() {
     let (d, lambda, p) = (4usize, 1.2f64, 0.5f64);
     let horizon = 4_000.0;
 
-    let packet = HypercubeSim::new(HypercubeSimConfig {
-        dim: d,
-        lambda,
-        p,
-        horizon,
-        warmup: horizon * 0.2,
-        seed: 101,
-        ..Default::default()
-    })
-    .run();
+    let packet = Scenario::builder(Topology::Hypercube { dim: d })
+        .lambda(lambda)
+        .p(p)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(101)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
 
-    let net = LevelledNetwork::equivalent_q(Hypercube::new(d), lambda, p);
-    let eq = EqNetSim::new(
-        &net,
-        EqNetConfig {
-            discipline: Discipline::Fifo,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 202, // independent seed: distributional, not pathwise, equality
-            ..Default::default()
-        },
-    )
-    .run();
+    let eq = Scenario::builder(Topology::EqNet {
+        net: EqNetSpec::HypercubeQ { dim: d },
+        record_departures: false,
+        occupancy_cap: 0,
+    })
+    .lambda(lambda)
+    .p(p)
+    .horizon(horizon)
+    .warmup(horizon * 0.2)
+    .seed(202) // independent seed: distributional, not pathwise, equality
+    .build()
+    .expect("valid scenario")
+    .run()
+    .expect("scenario runs");
 
     // Packet-sim delay averages over ALL packets incl. zero-hop ones
     // (fraction (1-p)^d with delay 0); Q only sees moving packets.
@@ -58,29 +66,32 @@ fn three_layer_upper_bound_chain() {
     let (d, lambda, p) = (4usize, 1.4f64, 0.5f64); // ρ = 0.7
     let horizon = 6_000.0;
 
-    let packet = HypercubeSim::new(HypercubeSimConfig {
-        dim: d,
-        lambda,
-        p,
-        horizon,
-        warmup: horizon * 0.2,
-        seed: 11,
-        ..Default::default()
-    })
-    .run();
+    let packet = Scenario::builder(Topology::Hypercube { dim: d })
+        .lambda(lambda)
+        .p(p)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(11)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
 
-    let net = LevelledNetwork::equivalent_q(Hypercube::new(d), lambda, p);
-    let ps = EqNetSim::new(
-        &net,
-        EqNetConfig {
-            discipline: Discipline::Ps,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 12,
-            ..Default::default()
-        },
-    )
-    .run();
+    let ps = Scenario::builder(Topology::EqNet {
+        net: EqNetSpec::HypercubeQ { dim: d },
+        record_departures: false,
+        occupancy_cap: 0,
+    })
+    .lambda(lambda)
+    .p(p)
+    .discipline(Discipline::Ps)
+    .horizon(horizon)
+    .warmup(horizon * 0.2)
+    .seed(12)
+    .build()
+    .expect("valid scenario")
+    .run()
+    .expect("scenario runs");
 
     let moving = 1.0 - (1.0 - p).powi(d as i32);
     let t_packet_cond = packet.delay.mean / moving;
@@ -97,23 +108,24 @@ fn three_layer_upper_bound_chain() {
     );
 }
 
-/// Hypercube and butterfly brackets hold at a matrix of parameter points.
+/// Hypercube and butterfly brackets hold at a matrix of parameter points —
+/// expressed as one deterministic `Sweep` per topology.
 #[test]
 fn delay_brackets_hold_meshwide() {
+    let p = 0.5;
     for &(d, rho) in &[(3usize, 0.4f64), (4, 0.7), (5, 0.85)] {
-        let p = 0.5;
         let lambda = rho / p;
         let horizon = 4_000.0;
-        let r = HypercubeSim::new(HypercubeSimConfig {
-            dim: d,
-            lambda,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 31 + d as u64,
-            ..Default::default()
-        })
-        .run();
+        let r = Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(31 + d as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         let b = greedy_delay_bounds(d, lambda, p);
         assert!(
             b.contains(r.delay.mean, 0.05),
@@ -126,16 +138,16 @@ fn delay_brackets_hold_meshwide() {
 
     for &(d, lambda, p) in &[(3usize, 1.0f64, 0.5f64), (4, 1.4, 0.3)] {
         let horizon = 4_000.0;
-        let r = ButterflySim::new(ButterflySimConfig {
-            dim: d,
-            lambda,
-            p,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 41 + d as u64,
-            ..Default::default()
-        })
-        .run();
+        let r = Scenario::builder(Topology::Butterfly { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(41 + d as u64)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         let lb = butterfly_bounds::universal_lower_bound(d, lambda, p);
         let ub = butterfly_bounds::greedy_upper_bound(d, lambda, p);
         assert!(
@@ -165,19 +177,19 @@ fn slotted_time_consistency() {
     let (d, lambda, p) = (4usize, 1.2f64, 0.5f64);
     let horizon = 4_000.0;
     let run = |arrivals| {
-        HypercubeSim::new(HypercubeSimConfig {
-            dim: d,
-            lambda,
-            p,
-            arrivals,
-            horizon,
-            warmup: horizon * 0.2,
-            seed: 61,
-            ..Default::default()
-        })
-        .run()
-        .delay
-        .mean
+        Scenario::builder(Topology::Hypercube { dim: d })
+            .lambda(lambda)
+            .p(p)
+            .arrivals(arrivals)
+            .horizon(horizon)
+            .warmup(horizon * 0.2)
+            .seed(61)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs")
+            .delay
+            .mean
     };
     let continuous = run(ArrivalModel::Poisson);
     let coarse = run(ArrivalModel::Slotted { slots_per_unit: 1 });
@@ -192,6 +204,28 @@ fn slotted_time_consistency() {
         (fine - continuous).abs() < (coarse - continuous).abs() + 0.15,
         "fine {fine} not closer to continuous {continuous} than coarse {coarse}"
     );
+}
+
+/// A `Sweep` over the default hypercube scenario reproduces what running
+/// each expanded scenario by hand produces, in grid order.
+#[test]
+fn sweep_matches_pointwise_runs() {
+    use hyperroute::routing::scenario::{Axis, SweepParam};
+    let mut base = hypercube(4);
+    base.run.horizon = 400.0;
+    base.run.warmup = 80.0;
+    let sweep = Sweep::new(
+        base,
+        vec![Axis::new(SweepParam::Lambda, vec![0.8, 1.2, 1.6])],
+    );
+    let grid = sweep.run(0).expect("sweep runs");
+    let pointwise: Vec<Report> = sweep
+        .scenarios()
+        .expect("expands")
+        .iter()
+        .map(|s| s.run().expect("runs"))
+        .collect();
+    assert_eq!(grid, pointwise);
 }
 
 /// The experiment harness end-to-end: every registered experiment renders

@@ -24,17 +24,17 @@ fn sim_case() -> impl Strategy<Value = SimCase> {
     })
 }
 
-fn run_case(c: &SimCase, horizon: f64) -> HypercubeReport {
-    HypercubeSim::new(HypercubeSimConfig {
-        dim: c.dim,
-        lambda: c.rho / c.p,
-        p: c.p,
-        horizon,
-        warmup: horizon * 0.2,
-        seed: c.seed,
-        ..Default::default()
-    })
-    .run()
+fn run_case(c: &SimCase, horizon: f64) -> Report {
+    Scenario::builder(Topology::Hypercube { dim: c.dim })
+        .lambda(c.rho / c.p)
+        .p(c.p)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(c.seed)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs")
 }
 
 proptest! {
@@ -52,8 +52,9 @@ proptest! {
             prop_assert!(r.delay.mean >= 0.0 && r.delay.mean.is_finite());
         }
         // Hop counts cannot exceed the diameter (shortest-path routing).
-        prop_assert!(r.mean_hops <= c.dim as f64 + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&r.zero_hop_fraction));
+        let ext = r.hypercube().expect("hypercube report");
+        prop_assert!(ext.mean_hops <= c.dim as f64 + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ext.zero_hop_fraction));
     }
 
     #[test]
@@ -69,10 +70,11 @@ proptest! {
     fn delay_never_below_hops(c in sim_case()) {
         // Every hop takes at least one unit, so mean delay ≥ mean hops.
         let r = run_case(&c, 400.0);
+        let hops = r.hypercube().expect("hypercube report").mean_hops;
         if r.delay.count > 0 {
             prop_assert!(
-                r.delay.mean >= r.mean_hops - 1e-9,
-                "delay {} below hops {}", r.delay.mean, r.mean_hops
+                r.delay.mean >= hops - 1e-9,
+                "delay {} below hops {}", r.delay.mean, hops
             );
         }
     }
@@ -145,17 +147,17 @@ proptest! {
     #[test]
     fn hypercube_backends_bit_identical_on_random_configs(c in sim_case()) {
         let run = |kind| {
-            HypercubeSim::new(HypercubeSimConfig {
-                dim: c.dim,
-                lambda: c.rho / c.p,
-                p: c.p,
-                scheduler: kind,
-                horizon: 250.0,
-                warmup: 50.0,
-                seed: c.seed,
-                ..Default::default()
-            })
-            .run()
+            Scenario::builder(Topology::Hypercube { dim: c.dim })
+                .lambda(c.rho / c.p)
+                .p(c.p)
+                .scheduler(kind)
+                .horizon(250.0)
+                .warmup(50.0)
+                .seed(c.seed)
+                .build()
+                .expect("valid scenario")
+                .run()
+                .expect("scenario runs")
         };
         prop_assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Calendar));
     }
@@ -168,21 +170,24 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let lambda = load / p.max(1.0 - p);
-        let r = ButterflySim::new(ButterflySimConfig {
-            dim,
-            lambda,
-            p,
-            horizon: 400.0,
-            warmup: 80.0,
-            seed,
-            ..Default::default()
-        })
-        .run();
+        let r = Scenario::builder(Topology::Butterfly { dim })
+            .lambda(lambda)
+            .p(p)
+            .horizon(400.0)
+            .warmup(80.0)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
         prop_assert_eq!(r.generated, r.delivered);
         if r.delay.count > 0 {
             // Unique path of length d: delay at least d, verticals ≤ d.
             prop_assert!(r.delay.mean >= dim as f64 - 1e-9);
-            prop_assert!(r.mean_vertical_hops <= dim as f64 + 1e-9);
+            prop_assert!(
+                r.butterfly().expect("butterfly report").mean_vertical_hops
+                    <= dim as f64 + 1e-9
+            );
         }
     }
 }

@@ -1,0 +1,340 @@
+//! The unified `Scenario` API's two core guarantees, tested:
+//!
+//! 1. **Differential equivalence** — `Scenario::run()` produces reports
+//!    byte-identical to the legacy per-simulator entry points
+//!    (`HypercubeSim`/`ButterflySim`/`EqNetSim`/`simulate_pipelined`)
+//!    for every scheme × arrival model × contention policy × discipline,
+//!    because the scenario layer dispatches onto the very same engines
+//!    and RNG streams.
+//! 2. **Serde round-trip stability** — `Scenario → JSON → Scenario` is
+//!    the identity, and (property-tested over random specs) the
+//!    round-tripped scenario's report equals the original's bit for bit.
+
+// This file deliberately exercises the deprecated legacy entry points:
+// they are the reference implementations the scenario path must match
+// during the one-release deprecation window.
+#![allow(deprecated)]
+
+use hyperroute::prelude::*;
+use hyperroute::routing::pipelined::{simulate_pipelined, PipelinedConfig};
+use hyperroute::routing::scenario::ReportExt;
+use proptest::prelude::*;
+
+fn hypercube_scenario(
+    scheme: Scheme,
+    arrivals: ArrivalModel,
+    contention: ContentionPolicy,
+    dest: DestinationSpec,
+    seed: u64,
+) -> Scenario {
+    Scenario::builder(Topology::Hypercube { dim: 4 })
+        .lambda(1.0)
+        .p(0.5)
+        .scheme(scheme)
+        .arrivals(arrivals)
+        .dest(dest)
+        .contention(contention)
+        .horizon(400.0)
+        .warmup(80.0)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+}
+
+/// Field-by-field equality between a unified report and the legacy
+/// hypercube report it must mirror.
+fn assert_matches_hypercube(report: &Report, legacy: &HypercubeReport) {
+    assert_eq!(report.delay, legacy.delay);
+    assert_eq!(
+        report.mean_in_system.to_bits(),
+        legacy.mean_in_system.to_bits()
+    );
+    assert_eq!(
+        report.peak_in_system.to_bits(),
+        legacy.peak_in_system.to_bits()
+    );
+    assert_eq!(report.throughput.to_bits(), legacy.throughput.to_bits());
+    assert_eq!(report.little_error.to_bits(), legacy.little_error.to_bits());
+    assert_eq!(report.generated, legacy.generated);
+    assert_eq!(report.delivered, legacy.delivered);
+    assert_eq!(report.events, legacy.events);
+    let ReportExt::Hypercube(ext) = &report.ext else {
+        panic!("wrong report extension");
+    };
+    assert_eq!(ext.rho.to_bits(), legacy.rho.to_bits());
+    assert_eq!(ext.mean_hops.to_bits(), legacy.mean_hops.to_bits());
+    assert_eq!(
+        ext.zero_hop_fraction.to_bits(),
+        legacy.zero_hop_fraction.to_bits()
+    );
+    assert_eq!(ext.per_dim_arc_rate, legacy.per_dim_arc_rate);
+    assert_eq!(ext.per_dim_mean_queue, legacy.per_dim_mean_queue);
+}
+
+#[test]
+fn hypercube_scenario_byte_identical_to_legacy_full_matrix() {
+    let schemes = [Scheme::Greedy, Scheme::RandomOrder, Scheme::TwoPhaseValiant];
+    let arrivals = [
+        ArrivalModel::Poisson,
+        ArrivalModel::Slotted { slots_per_unit: 2 },
+    ];
+    let contentions = [
+        ContentionPolicy::Fifo,
+        ContentionPolicy::Lifo,
+        ContentionPolicy::Random,
+    ];
+    for (i, &scheme) in schemes.iter().enumerate() {
+        for (j, &arrival) in arrivals.iter().enumerate() {
+            for (k, &contention) in contentions.iter().enumerate() {
+                let seed = 0x5CE9 + (i * 100 + j * 10 + k) as u64;
+                let scenario =
+                    hypercube_scenario(scheme, arrival, contention, DestinationSpec::BitFlip, seed);
+                let unified = scenario.run().expect("scenario runs");
+                let legacy = HypercubeSim::new(HypercubeSimConfig {
+                    dim: 4,
+                    lambda: 1.0,
+                    p: 0.5,
+                    scheme,
+                    arrivals: arrival,
+                    dest: DestinationSpec::BitFlip,
+                    contention,
+                    scheduler: Default::default(),
+                    horizon: 400.0,
+                    warmup: 80.0,
+                    seed,
+                    drain: true,
+                })
+                .run();
+                assert!(legacy.generated > 0);
+                assert_matches_hypercube(&unified, &legacy);
+            }
+        }
+    }
+}
+
+#[test]
+fn hypercube_scenario_byte_identical_with_custom_pmf() {
+    let dest = DestinationSpec::product_of_flips(&[0.9, 0.3, 0.3, 0.1]);
+    let scenario = hypercube_scenario(
+        Scheme::Greedy,
+        ArrivalModel::Poisson,
+        ContentionPolicy::Fifo,
+        dest.clone(),
+        77,
+    );
+    let unified = scenario.run().expect("scenario runs");
+    let legacy = HypercubeSim::new(HypercubeSimConfig {
+        dim: 4,
+        dest,
+        horizon: 400.0,
+        warmup: 80.0,
+        seed: 77,
+        ..Default::default()
+    })
+    .run();
+    assert_matches_hypercube(&unified, &legacy);
+}
+
+#[test]
+fn butterfly_scenario_byte_identical_to_legacy() {
+    for (arrivals, seed) in [
+        (ArrivalModel::Poisson, 9u64),
+        (ArrivalModel::Slotted { slots_per_unit: 3 }, 10),
+    ] {
+        let unified = Scenario::builder(Topology::Butterfly { dim: 4 })
+            .lambda(1.2)
+            .p(0.4)
+            .arrivals(arrivals)
+            .horizon(400.0)
+            .warmup(80.0)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs");
+        let legacy = ButterflySim::new(ButterflySimConfig {
+            dim: 4,
+            lambda: 1.2,
+            p: 0.4,
+            arrivals,
+            horizon: 400.0,
+            warmup: 80.0,
+            seed,
+            ..Default::default()
+        })
+        .run();
+        assert_eq!(unified.delay, legacy.delay);
+        assert_eq!(unified.generated, legacy.generated);
+        assert_eq!(unified.delivered, legacy.delivered);
+        assert_eq!(unified.events, legacy.events);
+        let ReportExt::Butterfly(ext) = &unified.ext else {
+            panic!("wrong report extension");
+        };
+        assert_eq!(ext.straight_rate_per_level, legacy.straight_rate_per_level);
+        assert_eq!(ext.vertical_rate_per_level, legacy.vertical_rate_per_level);
+        assert_eq!(
+            ext.mean_vertical_hops.to_bits(),
+            legacy.mean_vertical_hops.to_bits()
+        );
+    }
+}
+
+#[test]
+fn eqnet_scenario_byte_identical_to_legacy_both_disciplines() {
+    for discipline in [Discipline::Fifo, Discipline::Ps] {
+        let unified = Scenario::builder(Topology::EqNet {
+            net: EqNetSpec::HypercubeQ { dim: 3 },
+            record_departures: true,
+            occupancy_cap: 4,
+        })
+        .lambda(1.2)
+        .p(0.5)
+        .discipline(discipline)
+        .horizon(400.0)
+        .warmup(80.0)
+        .seed(55)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
+
+        let net = LevelledNetwork::equivalent_q(Hypercube::new(3), 1.2, 0.5);
+        let legacy = EqNetSim::new(
+            &net,
+            EqNetConfig {
+                discipline,
+                horizon: 400.0,
+                warmup: 80.0,
+                seed: 55,
+                record_departures: true,
+                occupancy_cap: 4,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(unified.delay, legacy.delay);
+        assert_eq!(unified.generated, legacy.generated);
+        assert_eq!(unified.delivered, legacy.delivered);
+        let ReportExt::EqNet(ext) = &unified.ext else {
+            panic!("wrong report extension");
+        };
+        assert_eq!(ext.departures, legacy.departures);
+        assert_eq!(ext.occupancy_fractions, legacy.occupancy_fractions);
+    }
+}
+
+#[test]
+fn pipelined_scenario_byte_identical_to_legacy() {
+    let unified = Scenario::builder(Topology::Pipelined { dim: 4, rounds: 80 })
+        .lambda(0.05)
+        .p(0.5)
+        .seed(0x717E)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
+    let legacy = simulate_pipelined(PipelinedConfig {
+        dim: 4,
+        lambda: 0.05,
+        p: 0.5,
+        rounds: 80,
+        seed: 0x717E,
+    });
+    assert_eq!(unified.generated, legacy.generated);
+    assert_eq!(unified.delivered, legacy.delivered);
+    assert_eq!(unified.delay.mean.to_bits(), legacy.mean_delay.to_bits());
+    let ReportExt::Pipelined(ext) = &unified.ext else {
+        panic!("wrong report extension");
+    };
+    assert_eq!(
+        ext.mean_round_length.to_bits(),
+        legacy.mean_round_length.to_bits()
+    );
+    assert_eq!(ext.final_backlog, legacy.final_backlog);
+    assert_eq!(
+        ext.backlog_slope_per_round.to_bits(),
+        legacy.backlog_slope_per_round.to_bits()
+    );
+}
+
+#[test]
+fn deprecated_run_sampled_equals_time_series_probe() {
+    let cfg = HypercubeSimConfig {
+        dim: 4,
+        lambda: 1.4,
+        horizon: 500.0,
+        warmup: 100.0,
+        seed: 33,
+        ..Default::default()
+    };
+    let (legacy_report, legacy_samples) = HypercubeSim::new(cfg.clone()).run_sampled(25.0);
+    let mut probe = TimeSeriesProbe::new(25.0, cfg.horizon);
+    let report = HypercubeSim::new(cfg).run_observed(&mut probe);
+    assert_eq!(report, legacy_report);
+    assert_eq!(probe.into_samples(), legacy_samples);
+}
+
+// ---------------------------------------------------------------------
+// Serde round-trips.
+// ---------------------------------------------------------------------
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..=5,
+        0.05f64..1.6,
+        0.05f64..=0.95,
+        any::<u64>(),
+        0usize..3,
+        0usize..3,
+        0usize..2,
+    )
+        .prop_map(|(dim, lambda, p, seed, scheme_i, contention_i, slotted)| {
+            let slotted = slotted == 1;
+            let schemes = [Scheme::Greedy, Scheme::RandomOrder, Scheme::TwoPhaseValiant];
+            let contentions = [
+                ContentionPolicy::Fifo,
+                ContentionPolicy::Lifo,
+                ContentionPolicy::Random,
+            ];
+            Scenario::builder(Topology::Hypercube { dim })
+                .lambda(lambda)
+                .p(p)
+                .scheme(schemes[scheme_i])
+                .contention(contentions[contention_i])
+                .arrivals(if slotted {
+                    ArrivalModel::Slotted { slots_per_unit: 2 }
+                } else {
+                    ArrivalModel::Poisson
+                })
+                .horizon(150.0)
+                .warmup(30.0)
+                .seed(seed)
+                .build()
+                .expect("valid scenario")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `Scenario → JSON → Scenario` is the identity, and the round-tripped
+    /// scenario reproduces the original's report bit for bit.
+    #[test]
+    fn scenario_json_round_trip_preserves_reports(scenario in scenario_strategy()) {
+        let text = scenario.to_json();
+        let back = Scenario::from_json(&text).expect("round-trip parses");
+        prop_assert_eq!(&scenario, &back);
+        let original = scenario.run().expect("original runs");
+        let replayed = back.run().expect("replay runs");
+        prop_assert_eq!(original, replayed);
+    }
+
+    /// Reports themselves survive JSON round-trips bit-exactly.
+    #[test]
+    fn report_json_round_trip(scenario in scenario_strategy()) {
+        let report = scenario.run().expect("scenario runs");
+        let text = serde_json::to_string(&report).expect("serialises");
+        let back: Report = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(report, back);
+    }
+}

@@ -5,13 +5,12 @@
 //! calendar backend must pop every event in exactly the same order as the
 //! heap backend, consume exactly the same random draws, and therefore
 //! produce byte-for-byte equal reports. These tests run every simulator
-//! across schemes, arrival models, and contention policies under both
-//! backends and compare full reports with `==` (the reports derive
-//! bit-exact `PartialEq`).
+//! (through the unified `Scenario` spec, varying only
+//! `RunControl::scheduler`) across schemes, arrival models, and contention
+//! policies under both backends and compare full reports with `==` (the
+//! reports derive bit-exact `PartialEq`).
 
 use hyperroute::prelude::*;
-use hyperroute::routing::config::{ContentionPolicy, DestinationSpec};
-use hyperroute::routing::equivalent_network::EqNetReport;
 use hyperroute_desim::SchedulerKind;
 
 fn hypercube_report(
@@ -21,22 +20,22 @@ fn hypercube_report(
     dest: DestinationSpec,
     seed: u64,
     kind: SchedulerKind,
-) -> HypercubeReport {
-    HypercubeSim::new(HypercubeSimConfig {
-        dim: 4,
-        lambda: 1.0,
-        p: 0.5,
-        scheme,
-        arrivals,
-        dest,
-        contention,
-        scheduler: kind,
-        horizon: 400.0,
-        warmup: 80.0,
-        seed,
-        drain: true,
-    })
-    .run()
+) -> Report {
+    Scenario::builder(Topology::Hypercube { dim: 4 })
+        .lambda(1.0)
+        .p(0.5)
+        .scheme(scheme)
+        .arrivals(arrivals)
+        .dest(dest)
+        .contention(contention)
+        .scheduler(kind)
+        .horizon(400.0)
+        .warmup(80.0)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs")
 }
 
 #[test]
@@ -106,21 +105,26 @@ fn hypercube_reports_identical_with_custom_destination_pmf() {
 }
 
 #[test]
-fn hypercube_sampled_trajectories_identical() {
-    let cfg = |kind| HypercubeSimConfig {
-        dim: 4,
-        lambda: 1.4,
-        p: 0.5,
-        scheduler: kind,
-        horizon: 500.0,
-        warmup: 100.0,
-        seed: 33,
-        ..Default::default()
+fn hypercube_observed_trajectories_identical() {
+    let run = |kind| {
+        let scenario = Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(1.4)
+            .p(0.5)
+            .scheduler(kind)
+            .horizon(500.0)
+            .warmup(100.0)
+            .seed(33)
+            .build()
+            .expect("valid scenario");
+        let mut probe = TimeSeriesProbe::new(25.0, scenario.run.horizon);
+        let report = scenario.run_observed(&mut probe).expect("scenario runs");
+        (report, probe.into_samples())
     };
-    let (rh, sh) = HypercubeSim::new(cfg(SchedulerKind::Heap)).run_sampled(25.0);
-    let (rc, sc) = HypercubeSim::new(cfg(SchedulerKind::Calendar)).run_sampled(25.0);
+    let (rh, sh) = run(SchedulerKind::Heap);
+    let (rc, sc) = run(SchedulerKind::Calendar);
     assert_eq!(rh, rc);
     assert_eq!(sh, sc, "number-in-system sample paths diverged");
+    assert!(sh.len() >= 10);
 }
 
 #[test]
@@ -131,18 +135,18 @@ fn butterfly_reports_identical_both_arrival_models() {
         (ArrivalModel::Poisson, 0xDEAD),
     ] {
         let run = |kind| {
-            ButterflySim::new(ButterflySimConfig {
-                dim: 4,
-                lambda: 1.2,
-                p: 0.4,
-                arrivals,
-                scheduler: kind,
-                horizon: 400.0,
-                warmup: 80.0,
-                seed,
-                drain: true,
-            })
-            .run()
+            Scenario::builder(Topology::Butterfly { dim: 4 })
+                .lambda(1.2)
+                .p(0.4)
+                .arrivals(arrivals)
+                .scheduler(kind)
+                .horizon(400.0)
+                .warmup(80.0)
+                .seed(seed)
+                .build()
+                .expect("valid scenario")
+                .run()
+                .expect("scenario runs")
         };
         let heap = run(SchedulerKind::Heap);
         let calendar = run(SchedulerKind::Calendar);
@@ -153,23 +157,24 @@ fn butterfly_reports_identical_both_arrival_models() {
 
 #[test]
 fn equivalent_network_reports_identical_both_disciplines() {
-    use hyperroute::topology::Hypercube;
-    let net = LevelledNetwork::equivalent_q(Hypercube::new(3), 1.2, 0.5);
     for discipline in [Discipline::Fifo, Discipline::Ps] {
-        let run = |kind| -> EqNetReport {
-            EqNetSim::new(
-                &net,
-                EqNetConfig {
-                    discipline,
-                    scheduler: kind,
-                    horizon: 400.0,
-                    warmup: 80.0,
-                    seed: 55,
-                    record_departures: true,
-                    ..Default::default()
-                },
-            )
+        let run = |kind| {
+            Scenario::builder(Topology::EqNet {
+                net: EqNetSpec::HypercubeQ { dim: 3 },
+                record_departures: true,
+                occupancy_cap: 0,
+            })
+            .lambda(1.2)
+            .p(0.5)
+            .discipline(discipline)
+            .scheduler(kind)
+            .horizon(400.0)
+            .warmup(80.0)
+            .seed(55)
+            .build()
+            .expect("valid scenario")
             .run()
+            .expect("scenario runs")
         };
         let heap = run(SchedulerKind::Heap);
         let calendar = run(SchedulerKind::Calendar);
@@ -184,17 +189,17 @@ fn near_zero_rate_identical_and_terminates() {
     // the calendar's epoch arithmetic must not overflow or spin, and both
     // backends must agree on the (empty) run.
     let run = |kind| {
-        HypercubeSim::new(HypercubeSimConfig {
-            dim: 3,
-            lambda: 1e-20,
-            p: 0.5,
-            scheduler: kind,
-            horizon: 100.0,
-            warmup: 10.0,
-            seed: 5,
-            ..Default::default()
-        })
-        .run()
+        Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(1e-20)
+            .p(0.5)
+            .scheduler(kind)
+            .horizon(100.0)
+            .warmup(10.0)
+            .seed(5)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs")
     };
     let heap = run(SchedulerKind::Heap);
     let calendar = run(SchedulerKind::Calendar);
@@ -206,18 +211,18 @@ fn instability_probe_without_drain_identical() {
     // ρ > 1: unstable, queues grow, horizon cut without drain — the
     // backends must agree on the truncated run too.
     let run = |kind| {
-        HypercubeSim::new(HypercubeSimConfig {
-            dim: 4,
-            lambda: 2.6,
-            p: 0.5,
-            scheduler: kind,
-            horizon: 150.0,
-            warmup: 30.0,
-            seed: 99,
-            drain: false,
-            ..Default::default()
-        })
-        .run()
+        Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(2.6)
+            .p(0.5)
+            .scheduler(kind)
+            .horizon(150.0)
+            .warmup(30.0)
+            .seed(99)
+            .drain(false)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs")
     };
     let heap = run(SchedulerKind::Heap);
     let calendar = run(SchedulerKind::Calendar);

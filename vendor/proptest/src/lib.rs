@@ -219,6 +219,8 @@ tuple_strategy! {
     (A, B, C, D);
     (A, B, C, D, E);
     (A, B, C, D, E, G);
+    (A, B, C, D, E, G, H);
+    (A, B, C, D, E, G, H, I);
 }
 
 /// Types with a canonical whole-domain strategy (mini `Arbitrary`).
@@ -297,7 +299,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Size specification for [`vec`]: a fixed size or a range.
+        /// Size specification for [`vec()`]: a fixed size or a range.
         #[derive(Clone, Debug)]
         pub struct SizeRange {
             min: usize,

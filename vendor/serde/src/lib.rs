@@ -1,17 +1,395 @@
-//! Offline stub of `serde`.
+//! Offline mini-`serde`.
 //!
-//! Provides the `Serialize`/`Deserialize` names in both the trait and the
-//! macro namespace so `use serde::{Deserialize, Serialize}` plus
-//! `#[derive(Serialize, Deserialize)]` compile unchanged. Nothing in this
-//! workspace performs serialization, so the traits carry no methods and the
-//! derives expand to nothing. Replace the `vendor/` path dependencies with
-//! the real crates.io versions once network access is available; no source
-//! changes are needed.
+//! The sealed build environment has no crates.io access, so this crate
+//! stands in for `serde`. Unlike the original no-op stub it is **functional**:
+//! [`Serialize`]/[`Deserialize`] convert values to and from a JSON-shaped
+//! [`Value`] tree, and the companion `vendor/serde_derive` proc macro
+//! generates real impls in the same externally-tagged layout the genuine
+//! `serde`/`serde_json` pair produces (unit enum variants as strings,
+//! data-carrying variants as single-key objects, newtype structs
+//! transparent). `vendor/serde_json` renders and parses the tree as JSON
+//! text.
+//!
+//! Downstream workspace code only ever uses
+//! `use serde::{Deserialize, Serialize}`, the derives, and the
+//! `serde_json::{to_string, to_string_pretty, from_str}` functions, all of
+//! which match the real crates' call signatures — so swapping the `vendor/`
+//! path dependencies back to crates.io versions requires no source changes
+//! outside `vendor/`. (The trait *methods* here differ from real serde's
+//! visitor architecture; nothing outside `vendor/` calls them directly.)
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize` (no methods; never invoked).
-pub trait Serialize {}
+/// A JSON-shaped value tree — the data model of this mini-serde.
+///
+/// Object keys keep insertion order (a `Vec` of pairs, not a map), so
+/// serialising a struct lists its fields in declaration order and text
+/// round-trips are stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (preferred for unsigned Rust ints).
+    U64(u64),
+    /// Negative integer (only produced when the value is `< 0`).
+    I64(i64),
+    /// Floating-point number. Finite values round-trip bit-exactly through
+    /// `serde_json` text; NaN/infinities serialise as `null` (as real
+    /// `serde_json` does).
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
 
-/// Marker stand-in for `serde::Deserialize` (no methods; never invoked).
-pub trait Deserialize<'de> {}
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] cannot be interpreted as the requested
+/// type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Error with a "expected X, found Y" message.
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::U64(_) | Value::I64(_) => "an integer",
+            Value::F64(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+///
+/// The `'de` lifetime exists only for signature compatibility with real
+/// serde bounds (`for<'de> Deserialize<'de>`); this mini-serde always
+/// copies out of the tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct a value from the data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match *value {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => return Err(DeError::expected("an unsigned integer", value)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *value {
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError(format!("integer {n} out of range for i64")))?,
+                    Value::I64(n) => n,
+                    _ => return Err(DeError::expected("an integer", value)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            // Real serde_json writes non-finite floats as `null`; accept the
+            // reverse mapping so report round-trips stay total.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("a number", value)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("a boolean", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("a string", value)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("an array", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let Value::Array(items) = value else {
+                    return Err(DeError::expected("a tuple (array)", value));
+                };
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                if items.len() != LEN {
+                    return Err(DeError(format!(
+                        "expected a {LEN}-tuple, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+/// Support machinery used by the generated derive code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Serialize, Value};
+
+    /// Interpret `value` as an object while deserialising `ty`.
+    pub fn as_object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            _ => Err(DeError::expected(ty, value)),
+        }
+    }
+
+    /// Interpret `value` as an array of exactly `len` items (tuple structs
+    /// and tuple enum variants).
+    pub fn as_tuple<'v>(value: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], DeError> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            _ => Err(DeError::expected(ty, value)),
+        }
+    }
+
+    /// Deserialize one named field of a struct or struct variant.
+    pub fn field<'de, T: Deserialize<'de>>(
+        obj: &[(String, Value)],
+        key: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        let value = obj
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError(format!("missing field `{key}` of {ty}")))?;
+        T::from_value(value).map_err(|e| DeError(format!("{ty}.{key}: {e}")))
+    }
+
+    /// Serialize a value (free-function form for generated code).
+    pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+        v.to_value()
+    }
+
+    /// Deserialize a value (free-function form for generated code).
+    pub fn from_value<'de, T: Deserialize<'de>>(v: &Value) -> Result<T, DeError> {
+        T::from_value(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn vec_and_option_round_trip() {
+        let v = vec![1.0f64, 2.5, -3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()), Ok(v));
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(5u32).to_value()),
+            Ok(Some(5))
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let pair = (1.5f64, 3u64);
+        assert_eq!(<(f64, u64)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn object_get() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.get("a"), Some(&Value::U64(1)));
+        assert_eq!(obj.get("b"), None);
+    }
+}

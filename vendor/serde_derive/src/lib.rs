@@ -1,20 +1,449 @@
-//! Offline stub of `serde_derive`.
+//! Offline mini-`serde_derive`.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its config and report
-//! types but never actually serializes anything (there is no `serde_json`
-//! in the tree), so the derives here expand to nothing. Swapping the
-//! `vendor/` stubs for the real crates requires no source changes.
+//! Generates working `Serialize`/`Deserialize` impls for the item shapes
+//! this workspace uses — structs with named fields, tuple structs, and
+//! enums with unit / newtype / tuple / struct variants — targeting the
+//! mini-serde data model in `vendor/serde`. The emitted layout matches
+//! real `serde_json`'s externally-tagged defaults (unit variants as bare
+//! strings, data variants as single-key objects, newtype structs
+//! transparent), so scenario files written here stay readable by the real
+//! crates after a crates.io swap.
+//!
+//! Implementation notes: the input item is parsed with a small hand-rolled
+//! scanner over `proc_macro::TokenTree`s (no `syn`/`quote` in the sealed
+//! environment); generic parameters are not supported (no derive site in
+//! this workspace needs them) and produce a compile error via `panic!`.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
 
-/// No-op `Serialize` derive: accepted on any item, expands to nothing.
-#[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+/// Field list of a struct or enum variant.
+enum Fields {
+    /// `struct X;` or `Variant`.
+    Unit,
+    /// `struct X { a: T, b: U }` — the field names.
+    Named(Vec<String>),
+    /// `struct X(T, U);` — the arity.
+    Tuple(usize),
 }
 
-/// No-op `Deserialize` derive: accepted on any item, expands to nothing.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` (mini-serde: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let item = parse_item(item);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (mini-serde: `fn from_value(&Value)`).
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let item = parse_item(item);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip outer attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Tokens, context: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("mini serde_derive: expected identifier {context}, found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = expect_ident(&mut iter, "(`struct` or `enum`)");
+    let name = expect_ident(&mut iter, "(type name)");
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("mini serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("mini serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("mini serde_derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("mini serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the names. Commas inside
+/// angle brackets (`Vec<(f64, f64)>` style generics) do not split fields:
+/// nested `()`/`[]`/`{}` arrive as single `Group` tokens, and `<`/`>`
+/// depth is tracked explicitly.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(id) = tree else {
+            panic!("mini serde_derive: expected field name, found {tree:?}");
+        };
+        names.push(id.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("mini serde_derive: expected `:` after field, found {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tree in iter.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+/// Count the fields of a tuple struct / tuple variant body: the number of
+/// top-level comma-separated segments that contain type tokens. Attributes
+/// (incl. doc comments, which arrive as `#[doc = ...]`) and trailing
+/// commas do not count.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut segment_has_type = false;
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume its bracketed body, contributes no type.
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_has_type = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                segment_has_type = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_has_type {
+                    count += 1;
+                }
+                segment_has_type = false;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => segment_has_type = true,
+        }
+    }
+    if segment_has_type {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(id) = tree else {
+            panic!("mini serde_derive: expected variant name, found {tree:?}");
+        };
+        let name = id.to_string();
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(stream))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any discriminant and the separating comma.
+        for tree in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tree {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut parts = String::new();
+            for f in names {
+                let _ = write!(
+                    parts,
+                    "(String::from(\"{f}\"), serde::__private::to_value(&self.{f})),"
+                );
+            }
+            format!("serde::Value::Object(vec![{parts}])")
+        }
+        Fields::Tuple(1) => "serde::__private::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let mut parts = String::new();
+            for i in 0..*n {
+                let _ = write!(parts, "serde::__private::to_value(&self.{i}),");
+            }
+            format!("serde::Value::Array(vec![{parts}])")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Named(names) => {
+            let mut parts = String::new();
+            for f in names {
+                let _ = write!(
+                    parts,
+                    "{f}: serde::__private::field(obj, \"{f}\", \"{name}\")?,"
+                );
+            }
+            format!(
+                "let obj = serde::__private::as_object(value, \"struct {name}\")?;\n\
+                 Ok({name} {{ {parts} }})"
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({name}(serde::__private::from_value(value)?))"),
+        Fields::Tuple(n) => {
+            let mut parts = String::new();
+            for i in 0..*n {
+                let _ = write!(parts, "serde::__private::from_value(&items[{i}])?,");
+            }
+            format!(
+                "let items = serde::__private::as_tuple(value, {n}, \"tuple struct {name}\")?;\n\
+                 Ok({name}({parts}))"
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vn} => serde::Value::String(String::from(\"{vn}\")),"
+                );
+            }
+            Fields::Named(field_names) => {
+                let binds = field_names.join(", ");
+                let mut parts = String::new();
+                for f in field_names {
+                    let _ = write!(
+                        parts,
+                        "(String::from(\"{f}\"), serde::__private::to_value({f})),"
+                    );
+                }
+                let _ = write!(
+                    arms,
+                    "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Object(vec![{parts}]))]),"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vn}(x0) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::__private::to_value(x0))]),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let mut parts = String::new();
+                for b in &binds {
+                    let _ = write!(parts, "serde::__private::to_value({b}),");
+                }
+                let _ = write!(
+                    arms,
+                    "{name}::{vn}({}) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Array(vec![{parts}]))]),",
+                    binds.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+            }
+            Fields::Named(field_names) => {
+                let mut parts = String::new();
+                for f in field_names {
+                    let _ = write!(
+                        parts,
+                        "{f}: serde::__private::field(obj, \"{f}\", \"{name}::{vn}\")?,"
+                    );
+                }
+                let _ = write!(
+                    tagged_arms,
+                    "\"{vn}\" => {{\n\
+                         let obj = serde::__private::as_object(inner, \"variant {name}::{vn}\")?;\n\
+                         Ok({name}::{vn} {{ {parts} }})\n\
+                     }}"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = write!(
+                    tagged_arms,
+                    "\"{vn}\" => Ok({name}::{vn}(serde::__private::from_value(inner)?)),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let mut parts = String::new();
+                for i in 0..*n {
+                    let _ = write!(parts, "serde::__private::from_value(&items[{i}])?,");
+                }
+                let _ = write!(
+                    tagged_arms,
+                    "\"{vn}\" => {{\n\
+                         let items = serde::__private::as_tuple(inner, {n}, \"variant {name}::{vn}\")?;\n\
+                         Ok({name}::{vn}({parts}))\n\
+                     }}"
+                );
+            }
+        }
+    }
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 match value {{\n\
+                     serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(serde::DeError(format!(\n\
+                             \"unknown unit variant `{{other}}` of enum {name}\"))),\n\
+                     }},\n\
+                     serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(serde::DeError(format!(\n\
+                                 \"unknown variant `{{other}}` of enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(serde::DeError::expected(\"enum {name}\", value)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
 }

@@ -1,0 +1,582 @@
+//! Offline mini-`serde_json`.
+//!
+//! JSON text rendering and parsing for the vendored mini-serde data model
+//! ([`serde::Value`]). The public functions mirror the real crate's
+//! signatures — [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`], [`from_value`] — so workspace code compiles unchanged if
+//! the `vendor/` path dependencies are swapped back to crates.io.
+//!
+//! Finite `f64`s round-trip **bit-exactly**: the writer emits Rust's
+//! shortest-round-trip `Display` form (with `.0` appended to integral
+//! values, matching real `serde_json`), and the parser routes any literal
+//! containing `.`/`e`/`E` through `str::parse::<f64>`, which performs
+//! correctly rounded conversion. Non-finite floats serialise as `null`
+//! (real `serde_json` behaviour); the mini-serde `f64` deserialiser maps
+//! `null` back to NaN so report round-trips stay total.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::{DeError, Value};
+
+/// Error from JSON parsing or value conversion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset in the input where parsing failed (0 for conversion
+    /// errors).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at offset {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error {
+            msg: e.0,
+            offset: 0,
+        }
+    }
+}
+
+/// Convert any serialisable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstruct a typed value from a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serialise to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialise to human-oriented JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into a typed value.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, '[', ']', |o, v, d| {
+            write_value(o, v, indent, d)
+        }),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |o, (k, v), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: ExactSizeIterator, F: Fn(&mut String, I::Item, usize)>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    write_item: F,
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * depth));
+        }
+    }
+    out.push(close);
+}
+
+/// Shortest-round-trip decimal for a finite `f64`; `null` otherwise.
+///
+/// Rust's `Display` for `f64` prints the shortest decimal string that
+/// parses back to the same bits, but renders integral values without a
+/// fractional part ("5"). A bare "5" would re-parse as an integer, so —
+/// like real `serde_json` — integral floats gain a ".0" suffix. Negative
+/// zero is special-cased ("-0.0") because "-0" would re-parse as integer
+/// zero and lose the sign bit.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser: recursive descent with a depth limit.
+// ---------------------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("JSON nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: require a low surrogate.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                first
+                            };
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 character (input is &str, so
+                    // continuation bytes are valid).
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    if self.pos > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated unicode escape"));
+            };
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if is_float {
+            let x: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("invalid number `{text}`")))?;
+            Ok(Value::F64(x))
+        } else if let Some(rest) = text.strip_prefix('-') {
+            // Negative integer.
+            let _ = rest;
+            match text.parse::<i64>() {
+                Ok(n) => Ok(Value::I64(n)),
+                // Fall back to f64 for magnitudes beyond i64.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| self.err(format!("invalid number `{text}`"))),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(n) => Ok(Value::U64(n)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::F64)
+                    .map_err(|_| self.err(format!("invalid number `{text}`"))),
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_text() {
+        for (v, s) in [
+            (Value::Null, "null"),
+            (Value::Bool(true), "true"),
+            (Value::U64(42), "42"),
+            (Value::I64(-7), "-7"),
+            (Value::F64(1.5), "1.5"),
+        ] {
+            let mut out = String::new();
+            write_value(&mut out, &v, None, 0);
+            assert_eq!(out, s);
+            assert_eq!(parse(s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_fraction() {
+        let mut out = String::new();
+        write_value(&mut out, &Value::F64(5.0), None, 0);
+        assert_eq!(out, "5.0");
+        assert_eq!(parse("5.0").unwrap(), Value::F64(5.0));
+    }
+
+    #[test]
+    fn negative_zero_keeps_sign() {
+        let mut out = String::new();
+        write_value(&mut out, &Value::F64(-0.0), None, 0);
+        assert_eq!(out, "-0.0");
+        let Value::F64(x) = parse("-0.0").unwrap() else {
+            panic!("not a float");
+        };
+        assert_eq!(x.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn non_finite_serialises_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        // And null deserialises back to NaN (mini-serde extension).
+        let x: f64 = from_str("null").unwrap();
+        assert!(x.is_nan());
+    }
+
+    #[test]
+    fn f64_bit_exact_round_trip_hard_cases() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            5e-324, // smallest subnormal
+            1.7976931348623157e308,
+            -2.2250738585072014e-308,
+            #[allow(clippy::excessive_precision)]
+            123456789.123456789,
+        ] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "a\"b\\c\nd\tü🦀\u{7}";
+        let text = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes() {
+        let back: String = from_str("\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(back, "🦀");
+    }
+
+    #[test]
+    fn arrays_objects_and_pretty() {
+        let v = Value::Object(vec![
+            (
+                "xs".into(),
+                Value::Array(vec![Value::U64(1), Value::U64(2)]),
+            ),
+            ("name".into(), Value::String("grid".into())),
+        ]);
+        let mut compact = String::new();
+        write_value(&mut compact, &v, None, 0);
+        assert_eq!(compact, "{\"xs\":[1,2],\"name\":\"grid\"}");
+        assert_eq!(parse(&compact).unwrap(), v);
+        let mut pretty = String::new();
+        write_value(&mut pretty, &v, Some(2), 0);
+        assert_eq!(parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"xs\": ["));
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1,\"a\":2}").is_err());
+        assert!(parse("42 extra").is_err());
+        assert!(parse("").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn typed_round_trip_via_derive_free_impls() {
+        let xs: Vec<f64> = vec![0.25, -1.5, 3.0];
+        let text = to_string(&xs).unwrap();
+        assert_eq!(text, "[0.25,-1.5,3.0]");
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+    }
+}
