@@ -175,22 +175,37 @@ enum Ev {
     Arrival,
     /// Slot boundary: generate this slot's batches (slotted model).
     SlotBoundary,
-    /// Service completion at the arc with this dense index.
-    Complete(u32),
+    /// Service completion at the arc with this dense index, carrying the
+    /// packet that was in service. The packet rides in the event instead
+    /// of the arc, so a completion needs no dependent load of per-arc
+    /// serving state: the scheduler entry it just popped (hot by
+    /// construction) already holds the packet.
+    Complete(u32, Packet),
 }
 
-/// Per-arc state, packed so one completion touches one cache line: the
-/// packet in service, the intrusive list of waiters, and the arc's
-/// precomputed routing info (arcs are visited in data-dependent random
-/// order, so locality here is worth more than anywhere else in the
-/// simulator; and the packed `to_node`/`dim` replaces two integer
-/// divisions by the runtime dimension on every completion).
+/// Busy flag of [`ArcState::to_node_dim`]: set while a packet occupies the
+/// arc's server (its payload rides in the pending [`Ev::Complete`]).
+const ARC_BUSY: u32 = 1 << 26;
+
+/// Bits of [`ArcState::to_node_dim`] holding the arc's target node
+/// (`d ≤ 26` ⇒ nodes fit in 26 bits, below the busy flag).
+const ARC_NODE_MASK: u32 = ARC_BUSY - 1;
+
+/// Per-arc state, exactly 16 bytes: the intrusive list of waiters plus the
+/// arc's precomputed routing word. Arcs are visited in data-dependent
+/// random order, so this is the simulator's locality-critical structure —
+/// at 16 bytes, four arcs share a cache line and the whole d=8 arc array
+/// is L1-resident. The in-service packet lives inside the pending
+/// [`Ev::Complete`] event (the completion that consumes it pops that very
+/// event), leaving only a busy bit here; the packed `to_node`/`dim`
+/// replaces two integer divisions by the runtime dimension on every
+/// completion.
 #[derive(Clone, Copy, Debug, Default)]
 struct ArcState {
-    serving: Option<Packet>,
     waiting: ArcFifo,
-    /// Target node of this arc (bits 0..27, `node ⊕ 2^dim`) and the arc's
-    /// dimension (bits 27..32); `d ≤ 26` keeps both in range.
+    /// Target node of this arc (bits 0..26, `node ⊕ 2^dim`), the busy
+    /// flag ([`ARC_BUSY`], bit 26) and the arc's dimension (bits 27..32);
+    /// `d ≤ 26` keeps every field in range.
     to_node_dim: u32,
 }
 
@@ -275,7 +290,6 @@ impl HypercubeSim {
                 .map(|arc| {
                     let (node, d) = ((arc / dim) as u32, arc % dim);
                     ArcState {
-                        serving: None,
                         waiting: ArcFifo::new(),
                         to_node_dim: (node ^ (1 << d)) | ((d as u32) << 27),
                     }
@@ -350,7 +364,7 @@ impl HypercubeSim {
             match ev {
                 Ev::Arrival => self.on_merged_arrival(t, obs),
                 Ev::SlotBoundary => self.on_slot_boundary(t, obs),
-                Ev::Complete(arc) => self.on_complete(t, arc as usize, obs),
+                Ev::Complete(arc, pkt) => self.on_complete(t, arc as usize, pkt, obs),
             }
             if !self.cfg.drain && t >= self.cfg.horizon {
                 break;
@@ -444,9 +458,9 @@ impl HypercubeSim {
             self.dim_arrivals[dim] += 1;
         }
         self.bump_dim_occupancy(t, dim, 1.0);
-        if self.arcs[arc].serving.is_none() {
-            self.arcs[arc].serving = Some(pkt);
-            self.events.push(t + 1.0, Ev::Complete(arc as u32));
+        if self.arcs[arc].to_node_dim & ARC_BUSY == 0 {
+            self.arcs[arc].to_node_dim |= ARC_BUSY;
+            self.events.push(t + 1.0, Ev::Complete(arc as u32, pkt));
         } else if self.cfg.contention == ContentionPolicy::Random {
             self.bags[arc].insert(pkt);
         } else {
@@ -463,34 +477,33 @@ impl HypercubeSim {
     /// for why). The bag does not preserve arrival order, which only a
     /// policy that ignores arrival order can afford.
     fn start_next_service(&mut self, t: f64, arc: usize) {
-        debug_assert!(self.arcs[arc].serving.is_none());
+        debug_assert!(self.arcs[arc].to_node_dim & ARC_BUSY != 0);
         let pkt = match self.cfg.contention {
             ContentionPolicy::Fifo => self.arcs[arc].waiting.pop_front(&mut self.pool),
             ContentionPolicy::Lifo => self.arcs[arc].waiting.pop_back(&mut self.pool),
             ContentionPolicy::Random => {
                 let len = self.bags[arc].len();
                 if len == 0 {
-                    return;
+                    None
+                } else {
+                    let n = self.contention_rng.below(len);
+                    self.bags[arc].take(n)
                 }
-                let n = self.contention_rng.below(len);
-                self.bags[arc].take(n)
             }
         };
-        let Some(pkt) = pkt else { return };
-        self.arcs[arc].serving = Some(pkt);
-        self.events.push(t + 1.0, Ev::Complete(arc as u32));
+        match pkt {
+            Some(pkt) => self.events.push(t + 1.0, Ev::Complete(arc as u32, pkt)),
+            None => self.arcs[arc].to_node_dim &= !ARC_BUSY,
+        }
     }
 
-    fn on_complete<O: Observer>(&mut self, t: f64, arc: usize, obs: &mut O) {
+    fn on_complete<O: Observer>(&mut self, t: f64, arc: usize, mut pkt: Packet, obs: &mut O) {
         let packed = self.arcs[arc].to_node_dim;
-        let mut pkt = self.arcs[arc]
-            .serving
-            .take()
-            .expect("completion with no packet in service");
+        debug_assert!(packed & ARC_BUSY != 0, "completion on an idle arc");
         self.bump_dim_occupancy(t, (packed >> 27) as usize, -1.0);
         self.start_next_service(t, arc);
         pkt.hops += 1;
-        let node = packed & 0x07FF_FFFF;
+        let node = packed & ARC_NODE_MASK;
         if pkt.remaining != 0 {
             self.enqueue(t, node, pkt);
         } else if pkt.second_leg_dest != NO_SECOND_LEG {
@@ -562,6 +575,15 @@ mod tests {
             seed: 12,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn arc_state_is_16_bytes() {
+        // The in-service packet rides inside the `Complete` event; the
+        // per-arc residue is the waiter list + packed routing word. Four
+        // arcs per cache line keeps the random arc walk L1-resident at
+        // d = 8 (1024 arcs × 16 B = 16 KiB).
+        assert_eq!(std::mem::size_of::<ArcState>(), 16);
     }
 
     #[test]

@@ -44,9 +44,15 @@
 //! Scenarios serialise to JSON files ([`scenario::Scenario::to_json`] /
 //! [`scenario::Scenario::from_json`]) and parameter grids run as
 //! deterministic [`scenario::Sweep`]s with splitmix-derived per-point
-//! seeds. Live runs are tapped through the composable [`observe`] probes
-//! (time series, occupancy, delay reservoirs) without touching the
-//! simulation's random draws.
+//! seeds. Because every grid point is a pure function of the spec and
+//! its row-major index ([`scenario::Sweep::scenario_at`]), grids also
+//! shard across processes and machines: the `hyperroute-grid` crate cuts
+//! sweeps into serialisable slices, runs them on thread-pool or
+//! subprocess-worker backends, and merges results byte-identical to
+//! [`scenario::Sweep::run`]. Live runs are tapped through the composable
+//! [`observe`] probes (time series, occupancy, delay reservoirs) without
+//! touching the simulation's random draws; high-frequency consumers
+//! batch the per-event virtual call with [`observe::BufferedObserver`].
 //!
 //! The per-simulator config structs (`HypercubeSimConfig`,
 //! `ButterflySimConfig`, `EqNetConfig`, `PipelinedConfig`) remain as
@@ -72,7 +78,9 @@ pub mod stability;
 
 pub use config::{ArrivalModel, ConfigError, ContentionPolicy, DestinationSpec, Scheme};
 pub use metrics::DelayStats;
-pub use observe::{NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe};
+pub use observe::{
+    BufferedObserver, NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
+};
 pub use scenario::{Report, Scenario, Simulator, Sweep, Topology};
 
 #[allow(deprecated)]

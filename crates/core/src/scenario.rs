@@ -389,8 +389,13 @@ impl Scenario {
     }
 
     /// Parse a scenario file and validate it.
+    ///
+    /// Parse failures carry the 1-based line and column of the offending
+    /// byte, so file-driven harnesses (the `hyperroute-grid` corpus
+    /// runner) can report `file:line:column` locations.
     pub fn from_json(text: &str) -> Result<Scenario, ScenarioFileError> {
-        let scenario: Scenario = serde_json::from_str(text).map_err(ScenarioFileError::Parse)?;
+        let scenario: Scenario =
+            serde_json::from_str(text).map_err(|e| ScenarioFileError::parse(text, e))?;
         scenario.validate().map_err(ScenarioFileError::Invalid)?;
         Ok(scenario)
     }
@@ -486,15 +491,56 @@ impl Scenario {
 #[derive(Clone, Debug, PartialEq)]
 pub enum ScenarioFileError {
     /// The text is not valid JSON for a `Scenario`.
-    Parse(serde_json::Error),
+    Parse {
+        /// The underlying JSON error.
+        error: serde_json::Error,
+        /// 1-based line of the offending byte. Shape errors (valid JSON
+        /// that is not a `Scenario`) have no position and report `1:1`.
+        line: usize,
+        /// 1-based column (in bytes) of the offending byte.
+        column: usize,
+    },
     /// The parsed scenario fails validation.
     Invalid(ConfigError),
+}
+
+impl ScenarioFileError {
+    /// Wrap a JSON error, resolving its byte offset into the 1-based
+    /// line/column of `text` it points at.
+    pub fn parse(text: &str, error: serde_json::Error) -> ScenarioFileError {
+        let (line, column) = line_column(text, error.offset);
+        ScenarioFileError::Parse {
+            error,
+            line,
+            column,
+        }
+    }
+}
+
+/// 1-based (line, byte-column) of byte `offset` in `text`; offsets past
+/// the end resolve to one past the final byte.
+fn line_column(text: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(text.len());
+    let before = &text.as_bytes()[..offset];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+    let line_start = before
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    (line, offset - line_start + 1)
 }
 
 impl std::fmt::Display for ScenarioFileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScenarioFileError::Parse(e) => write!(f, "scenario file does not parse: {e}"),
+            ScenarioFileError::Parse {
+                error,
+                line,
+                column,
+            } => write!(
+                f,
+                "scenario file does not parse at line {line}, column {column}: {error}"
+            ),
             ScenarioFileError::Invalid(e) => write!(f, "scenario file is invalid: {e}"),
         }
     }
@@ -1070,26 +1116,57 @@ impl Sweep {
 
     /// Expand the grid into validated scenarios, in row-major order.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, ConfigError> {
-        let mut out = Vec::with_capacity(self.len());
-        let mut index = vec![0usize; self.axes.len()];
-        for i in 0..self.len() {
-            let mut s = self.base.clone();
-            for (axis, &value_idx) in self.axes.iter().zip(&index) {
-                apply_param(&mut s, axis.param, axis.values[value_idx])?;
-            }
-            s.run.seed = self.seed_for(i);
-            s.validate()?;
-            out.push(s);
-            // Row-major increment: last axis fastest.
-            for pos in (0..index.len()).rev() {
-                index[pos] += 1;
-                if index[pos] < self.axes[pos].values.len() {
-                    break;
-                }
-                index[pos] = 0;
-            }
+        self.slice_scenarios(0, self.len())
+    }
+
+    /// The validated scenario at grid point `index` (row-major), computed
+    /// directly from the index without expanding the rest of the grid —
+    /// the random-access hook distributed executors use to materialise one
+    /// point of a sliced campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn scenario_at(&self, index: usize) -> Result<Scenario, ConfigError> {
+        assert!(
+            index < self.len(),
+            "grid index {index} out of range (grid has {} points)",
+            self.len()
+        );
+        let mut s = self.base.clone();
+        // Row-major decode: last axis varies fastest.
+        let mut rest = index;
+        let mut value_idx = vec![0usize; self.axes.len()];
+        for pos in (0..self.axes.len()).rev() {
+            let n = self.axes[pos].values.len();
+            value_idx[pos] = rest % n;
+            rest /= n;
         }
-        Ok(out)
+        for (axis, &vi) in self.axes.iter().zip(&value_idx) {
+            apply_param(&mut s, axis.param, axis.values[vi])?;
+        }
+        s.run.seed = self.seed_for(index);
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Expand the contiguous sub-grid `start..start + len` (row-major
+    /// order) into validated scenarios — the slice-extraction hook behind
+    /// `hyperroute-grid`'s `GridSlice` jobs. Equivalent to
+    /// `self.scenarios()?[start..start + len]` without expanding points
+    /// outside the slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start + len` overflows the grid.
+    pub fn slice_scenarios(&self, start: usize, len: usize) -> Result<Vec<Scenario>, ConfigError> {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len()),
+            "slice {start}..{} out of range (grid has {} points)",
+            start + len,
+            self.len()
+        );
+        (start..start + len).map(|i| self.scenario_at(i)).collect()
     }
 
     /// Run every grid point (fanning out over `threads` workers; 0 means
@@ -1309,6 +1386,63 @@ mod tests {
         let set: std::collections::HashSet<_> = seeds.iter().collect();
         assert_eq!(set.len(), 6);
         assert_eq!(seeds, (0..6).map(|i| sweep.seed_for(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scenario_at_matches_full_expansion() {
+        let sweep = Sweep::new(
+            hypercube_scenario(),
+            vec![
+                Axis::new(SweepParam::Lambda, vec![0.5, 1.0]),
+                Axis::new(SweepParam::P, vec![0.25, 0.5, 0.75]),
+                Axis::new(SweepParam::Dim, vec![3.0, 4.0]),
+            ],
+        );
+        let all = sweep.scenarios().unwrap();
+        for (i, expected) in all.iter().enumerate() {
+            assert_eq!(&sweep.scenario_at(i).unwrap(), expected, "point {i}");
+        }
+    }
+
+    #[test]
+    fn slice_scenarios_extract_contiguous_subgrid() {
+        let sweep = Sweep::new(
+            hypercube_scenario(),
+            vec![
+                Axis::new(SweepParam::Lambda, vec![0.5, 1.0]),
+                Axis::new(SweepParam::P, vec![0.25, 0.5, 0.75]),
+            ],
+        );
+        let all = sweep.scenarios().unwrap();
+        let slice = sweep.slice_scenarios(2, 3).unwrap();
+        assert_eq!(slice, all[2..5]);
+        assert!(sweep.slice_scenarios(6, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_scenarios_rejects_overflow() {
+        let sweep = Sweep::new(
+            hypercube_scenario(),
+            vec![Axis::new(SweepParam::Lambda, vec![0.5, 1.0])],
+        );
+        let _ = sweep.slice_scenarios(1, 2);
+    }
+
+    #[test]
+    fn from_json_parse_errors_carry_line_and_column() {
+        let text = "{\n  \"topology\": {\n    oops\n  }\n}";
+        let err = Scenario::from_json(text).unwrap_err();
+        let ScenarioFileError::Parse { line, column, .. } = err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert_eq!((line, column), (3, 5), "{err}");
+        // Single-line input: the column alone locates the byte.
+        let err = Scenario::from_json("{\"topology\": !}").unwrap_err();
+        let ScenarioFileError::Parse { line, column, .. } = err else {
+            panic!("expected a parse error");
+        };
+        assert_eq!((line, column), (1, 14));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Pluggable slice-execution backends.
+//!
+//! An [`ExecBackend`] takes a batch of [`GridSlice`] jobs and streams
+//! their [`SliceResult`]s back **as each slice completes, in any order**
+//! — the dispatcher ([`crate::campaign::Campaign`]) owns ordering (via
+//! [`crate::slice::merge`]) and checkpointing, so backends stay dumb
+//! executors. Two implementations ship:
+//!
+//! * [`ThreadPoolBackend`] — in-process fan-out over scoped worker
+//!   threads (the default; zero serialisation cost);
+//! * [`crate::subprocess::SubprocessBackend`] — out-of-process workers
+//!   speaking the newline-delimited JSON protocol, with retry and
+//!   timeout handling for lost workers.
+//!
+//! Every grid point is a deterministic function of the sweep spec and
+//! its row-major index, so **which** backend runs a slice — and with how
+//! many workers — can never change the merged reports.
+
+use crate::error::GridError;
+use crate::slice::{GridSlice, SliceResult};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A strategy for executing a batch of independent slice jobs.
+pub trait ExecBackend {
+    /// Execute every job in `jobs`, calling `on_result` once per slice
+    /// as it completes (completion order is backend-defined). `on_result`
+    /// runs on the calling thread; returning an error from it aborts the
+    /// batch.
+    fn execute(
+        &self,
+        jobs: &[GridSlice],
+        on_result: &mut dyn FnMut(SliceResult) -> Result<(), GridError>,
+    ) -> Result<(), GridError>;
+}
+
+/// In-process backend: a scoped thread pool with an atomic work-stealing
+/// cursor, mirroring `hyperroute_core::runner::parallel_map` but
+/// streaming results out as slices finish instead of waiting for the
+/// whole batch.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPoolBackend {
+    /// Worker threads to fan out over (`0` = hardware parallelism).
+    pub workers: usize,
+}
+
+impl ThreadPoolBackend {
+    /// Backend over `workers` threads (`0` = hardware parallelism).
+    pub fn new(workers: usize) -> ThreadPoolBackend {
+        ThreadPoolBackend { workers }
+    }
+}
+
+impl ExecBackend for ThreadPoolBackend {
+    fn execute(
+        &self,
+        jobs: &[GridSlice],
+        on_result: &mut dyn FnMut(SliceResult) -> Result<(), GridError>,
+    ) -> Result<(), GridError> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = if self.workers == 0 { hw } else { self.workers }
+            .min(jobs.len())
+            .max(1);
+        let cursor = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<Result<SliceResult, GridError>>();
+        std::thread::scope(|scope| -> Result<(), GridError> {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let cancelled = &cancelled;
+                scope.spawn(move || loop {
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    if tx.send(jobs[i].execute()).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for outcome in rx {
+                let result = match outcome {
+                    Ok(result) => result,
+                    Err(e) => {
+                        cancelled.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = on_result(result) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{merge, partition};
+    use hyperroute_core::scenario::{Axis, Scenario, Sweep, SweepParam, Topology};
+
+    fn small_sweep() -> Sweep {
+        let base = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(0.8)
+            .p(0.5)
+            .horizon(60.0)
+            .warmup(10.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        Sweep::new(
+            base,
+            vec![Axis::new(SweepParam::Lambda, vec![0.4, 0.8, 1.2, 1.6, 2.0])],
+        )
+    }
+
+    #[test]
+    fn thread_pool_streams_every_slice_once() {
+        let sweep = small_sweep();
+        let jobs = partition(&sweep, 2);
+        let mut results = Vec::new();
+        ThreadPoolBackend::new(3)
+            .execute(&jobs, &mut |r| {
+                results.push(r);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(results.len(), jobs.len());
+        assert_eq!(merge(sweep.len(), results).unwrap(), sweep.run(1).unwrap());
+    }
+
+    #[test]
+    fn thread_pool_aborts_on_callback_error() {
+        let sweep = small_sweep();
+        let jobs = partition(&sweep, 1);
+        let err = ThreadPoolBackend::new(2)
+            .execute(&jobs, &mut |_| Err(GridError::Merge("stop".into())))
+            .unwrap_err();
+        assert!(matches!(err, GridError::Merge(_)));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        ThreadPoolBackend::new(0)
+            .execute(&[], &mut |_| panic!("no results expected"))
+            .unwrap();
+    }
+}

@@ -1,0 +1,313 @@
+//! The dispatcher: slice a sweep, run it through a backend, checkpoint
+//! every finished slice, merge deterministically.
+//!
+//! # The checkpoint manifest
+//!
+//! A campaign given a checkpoint directory writes two kinds of file:
+//!
+//! * `manifest.json` — the campaign identity: the full [`Sweep`] spec,
+//!   the slice length, and the grid size. Written once when the
+//!   directory is fresh; on reuse the stored identity must match the
+//!   campaign exactly (same spec, same slicing) or the run is refused —
+//!   resuming a *different* sweep over stale slice files would silently
+//!   merge unrelated reports.
+//! * `slice_<id>.json` — one finished [`crate::slice::SliceResult`] per
+//!   completed slice, written atomically (temp file + rename) the moment
+//!   the backend delivers it.
+//!
+//! Resume is therefore implicit: rerunning the same campaign over the
+//! same directory loads every intact slice file, executes **only** the
+//! missing slices, and merges to the identical row-major `Vec<Report>`.
+//! A kill mid-write leaves at worst one orphaned temp file, which is
+//! ignored and recomputed.
+
+use crate::backend::ExecBackend;
+use crate::error::{io_error, GridError};
+use crate::slice::{merge, partition, GridSlice, SliceResult};
+use hyperroute_core::scenario::{Report, Sweep};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// A sliced sweep run: what to execute, how finely to slice it, and
+/// (optionally) where to checkpoint progress.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// The parameter grid to execute.
+    pub sweep: Sweep,
+    /// Grid points per slice (the job granularity).
+    pub slice_len: usize,
+    /// Directory for `manifest.json` + per-slice checkpoints (`None`
+    /// runs without checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Campaign {
+    /// Campaign over `sweep` with `slice_len` points per slice and no
+    /// checkpointing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slice_len == 0`.
+    pub fn new(sweep: Sweep, slice_len: usize) -> Campaign {
+        assert!(slice_len > 0, "slice length must be positive");
+        Campaign {
+            sweep,
+            slice_len,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Checkpoint into (and resume from) `dir`.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>) -> Campaign {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Execute the campaign on `backend` and return reports in row-major
+    /// grid order — byte-identical to `self.sweep.run(..)`, whatever the
+    /// backend, worker count, or completion order.
+    ///
+    /// With a checkpoint directory, already-completed slices are loaded
+    /// instead of recomputed, and every newly finished slice is persisted
+    /// before the campaign proceeds — an interrupted run resumes where it
+    /// stopped.
+    pub fn run(&self, backend: &dyn ExecBackend) -> Result<Vec<Report>, GridError> {
+        let slices = partition(&self.sweep, self.slice_len);
+        let checkpoint = self
+            .checkpoint_dir
+            .as_deref()
+            .map(|dir| Checkpoint::open(dir, &self.sweep, self.slice_len))
+            .transpose()?;
+        let mut results = match &checkpoint {
+            Some(c) => c.completed(slices.len() as u64)?,
+            None => Vec::new(),
+        };
+        let done: HashSet<u64> = results.iter().map(|r| r.id).collect();
+        let pending: Vec<GridSlice> = slices
+            .into_iter()
+            .filter(|s| !done.contains(&s.id))
+            .collect();
+        backend.execute(&pending, &mut |result| {
+            if let Some(c) = &checkpoint {
+                c.record(&result)?;
+            }
+            results.push(result);
+            Ok(())
+        })?;
+        merge(self.sweep.len(), results)
+    }
+}
+
+/// The identity block of `manifest.json`. Equality of the whole struct is
+/// what "same campaign" means.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ManifestFile {
+    sweep: Sweep,
+    slice_len: usize,
+    total_points: usize,
+}
+
+/// An open checkpoint directory whose manifest matches the campaign.
+#[derive(Debug)]
+struct Checkpoint {
+    dir: PathBuf,
+}
+
+impl Checkpoint {
+    /// Open (or initialise) `dir` for this campaign, refusing a manifest
+    /// that describes a different one.
+    fn open(dir: &Path, sweep: &Sweep, slice_len: usize) -> Result<Checkpoint, GridError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_error(dir, e))?;
+        let manifest_path = dir.join("manifest.json");
+        let manifest = ManifestFile {
+            sweep: sweep.clone(),
+            slice_len,
+            total_points: sweep.len(),
+        };
+        if manifest_path.exists() {
+            let text =
+                std::fs::read_to_string(&manifest_path).map_err(|e| io_error(&manifest_path, e))?;
+            let existing: ManifestFile = serde_json::from_str(&text).map_err(|e| {
+                GridError::Checkpoint(format!(
+                    "manifest {} does not parse: {e}",
+                    manifest_path.display()
+                ))
+            })?;
+            if existing != manifest {
+                return Err(GridError::Checkpoint(format!(
+                    "{} belongs to a different campaign (spec or slicing differs); \
+                     use a fresh directory",
+                    manifest_path.display()
+                )));
+            }
+        } else {
+            atomic_write(
+                &manifest_path,
+                &serde_json::to_string_pretty(&manifest).expect("manifests always serialise"),
+            )?;
+        }
+        Ok(Checkpoint {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn slice_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("slice_{id}.json"))
+    }
+
+    /// Load every intact finished slice with id below `slice_count`.
+    /// Unparseable or foreign files are skipped (recomputed), never
+    /// trusted.
+    fn completed(&self, slice_count: u64) -> Result<Vec<SliceResult>, GridError> {
+        let mut results = Vec::new();
+        for id in 0..slice_count {
+            let path = self.slice_path(id);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_error(&path, e)),
+            };
+            match serde_json::from_str::<SliceResult>(&text) {
+                Ok(result) if result.id == id => results.push(result),
+                // Damaged or mislabelled checkpoint: recompute the slice.
+                Ok(_) | Err(_) => {}
+            }
+        }
+        Ok(results)
+    }
+
+    /// Persist one finished slice atomically.
+    fn record(&self, result: &SliceResult) -> Result<(), GridError> {
+        atomic_write(
+            &self.slice_path(result.id),
+            &serde_json::to_string(result).expect("slice results always serialise"),
+        )
+    }
+}
+
+/// Write-then-rename so observers only ever see absent or complete files.
+fn atomic_write(path: &Path, text: &str) -> Result<(), GridError> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_error(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ThreadPoolBackend;
+    use hyperroute_core::scenario::{Axis, Scenario, SweepParam, Topology};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn small_sweep() -> Sweep {
+        let base = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(0.8)
+            .p(0.5)
+            .horizon(60.0)
+            .warmup(10.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        Sweep::new(
+            base,
+            vec![Axis::new(SweepParam::Lambda, vec![0.4, 0.8, 1.2, 1.6, 2.0])],
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hyperroute-grid-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn campaign_matches_sweep_run() {
+        let sweep = small_sweep();
+        let direct = sweep.run(1).unwrap();
+        let campaign = Campaign::new(sweep, 2);
+        let got = campaign.run(&ThreadPoolBackend::new(3)).unwrap();
+        assert_eq!(got, direct);
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_finished_slices() {
+        let sweep = small_sweep();
+        let direct = sweep.run(1).unwrap();
+        let dir = temp_dir("resume");
+        let campaign = Campaign::new(sweep, 1).with_checkpoint(&dir);
+
+        // First pass: pretend the process dies after two slices by
+        // aborting from the result callback.
+        let jobs = partition(&campaign.sweep, 1);
+        let ckpt = Checkpoint::open(&dir, &campaign.sweep, 1).unwrap();
+        for job in &jobs[..2] {
+            ckpt.record(&job.execute().unwrap()).unwrap();
+        }
+
+        // Resume: only the remaining three slices execute.
+        let executed = AtomicU64::new(0);
+        let counting = CountingBackend {
+            inner: ThreadPoolBackend::new(2),
+            executed: &executed,
+        };
+        let got = campaign.run(&counting).unwrap();
+        assert_eq!(got, direct);
+        assert_eq!(executed.load(Ordering::Relaxed), 3);
+
+        // A second resume finds everything done and executes nothing.
+        executed.store(0, Ordering::Relaxed);
+        let again = campaign.run(&counting).unwrap();
+        assert_eq!(again, direct);
+        assert_eq!(executed.load(Ordering::Relaxed), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_refuses_foreign_manifest() {
+        let dir = temp_dir("foreign");
+        let sweep = small_sweep();
+        Checkpoint::open(&dir, &sweep, 2).unwrap();
+        // Same sweep, different slicing: a different campaign.
+        let err = Checkpoint::open(&dir, &sweep, 3).unwrap_err();
+        assert!(matches!(err, GridError::Checkpoint(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_slice_files_are_recomputed() {
+        let dir = temp_dir("damaged");
+        let sweep = small_sweep();
+        let campaign = Campaign::new(sweep.clone(), 1).with_checkpoint(&dir);
+        let direct = sweep.run(1).unwrap();
+        campaign.run(&ThreadPoolBackend::new(2)).unwrap();
+        // Truncate one checkpoint as a kill-mid-write would.
+        std::fs::write(dir.join("slice_3.json"), "{\"id\":3,\"sta").unwrap();
+        let got = campaign.run(&ThreadPoolBackend::new(2)).unwrap();
+        assert_eq!(got, direct);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Wraps a backend, counting executed slices.
+    struct CountingBackend<'a> {
+        inner: ThreadPoolBackend,
+        executed: &'a AtomicU64,
+    }
+
+    impl ExecBackend for CountingBackend<'_> {
+        fn execute(
+            &self,
+            jobs: &[GridSlice],
+            on_result: &mut dyn FnMut(SliceResult) -> Result<(), GridError>,
+        ) -> Result<(), GridError> {
+            self.executed
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            self.inner.execute(jobs, on_result)
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The scenario-corpus regression gate.
+//!
+//! A corpus is a directory of scenario files (`scenarios/*.json` in this
+//! repository) plus a directory of checked-in baseline reports
+//! (`scenarios/baselines/<name>.report.json`). [`run_corpus`] executes
+//! every scenario — they are deterministic functions of their seeds — and
+//! compares each emitted [`Report`] against its baseline with the
+//! bit-exact report equality the differential tests use, so *any* change
+//! to simulation output, however small, fails the gate. Regenerate
+//! baselines with `update = true` (`hyperroute-grid run-corpus --update`)
+//! when an output change is intended, and let the diff reviewer see
+//! exactly which numbers moved.
+
+use crate::error::GridError;
+use hyperroute_core::runner::parallel_map;
+use hyperroute_core::scenario::{Report, Scenario, ScenarioFileError};
+use std::path::{Path, PathBuf};
+
+/// Outcome of one corpus entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CorpusStatus {
+    /// Report matches the checked-in baseline bit-exactly.
+    Match,
+    /// Baseline (re)written in update mode.
+    Updated,
+    /// No baseline exists for this scenario yet.
+    MissingBaseline,
+    /// Report differs from the baseline.
+    Mismatch {
+        /// Human-readable summary of the first observed difference.
+        detail: String,
+    },
+    /// The scenario file did not load (parse or validation failure).
+    Invalid {
+        /// `file:line:column`-style description of the failure.
+        message: String,
+    },
+}
+
+/// One corpus entry: the scenario's stem name and what happened to it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusEntry {
+    /// File stem of the scenario (`hypercube_heavy` for
+    /// `scenarios/hypercube_heavy.json`).
+    pub name: String,
+    /// What happened.
+    pub status: CorpusStatus,
+}
+
+/// Results of a whole corpus run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusOutcome {
+    /// Per-scenario outcomes, in file-name order.
+    pub entries: Vec<CorpusEntry>,
+}
+
+impl CorpusOutcome {
+    /// Whether the gate passes: every entry matched (or was just
+    /// updated).
+    pub fn passed(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| matches!(e.status, CorpusStatus::Match | CorpusStatus::Updated))
+    }
+
+    /// One status line per entry, `PASS`/`FAIL` style.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let line = match &e.status {
+                CorpusStatus::Match => format!("ok       {}", e.name),
+                CorpusStatus::Updated => format!("updated  {}", e.name),
+                CorpusStatus::MissingBaseline => {
+                    format!("MISSING  {} (run with --update to create)", e.name)
+                }
+                CorpusStatus::Mismatch { detail } => format!("DIFF     {}: {detail}", e.name),
+                CorpusStatus::Invalid { message } => format!("INVALID  {}: {message}", e.name),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Execute every scenario in `scenario_dir` (over `workers` threads; `0`
+/// = hardware parallelism) and diff its report against
+/// `baseline_dir/<stem>.report.json`. With `update`, baselines are
+/// rewritten instead of compared.
+pub fn run_corpus(
+    scenario_dir: &Path,
+    baseline_dir: &Path,
+    workers: usize,
+    update: bool,
+) -> Result<CorpusOutcome, GridError> {
+    let files = scenario_files(scenario_dir)?;
+    if files.is_empty() {
+        return Err(GridError::Corpus(format!(
+            "no scenario files (*.json) in {}",
+            scenario_dir.display()
+        )));
+    }
+
+    // Load and validate serially (cheap), run the valid ones in parallel.
+    let mut entries: Vec<CorpusEntry> = Vec::with_capacity(files.len());
+    let mut runnable: Vec<(usize, Scenario)> = Vec::new();
+    for path in &files {
+        let name = path
+            .file_stem()
+            .expect("scenario_files yields *.json only")
+            .to_string_lossy()
+            .into_owned();
+        let status = match load_scenario(path) {
+            Ok(scenario) => {
+                runnable.push((entries.len(), scenario));
+                CorpusStatus::Match // placeholder until the diff below
+            }
+            Err(message) => CorpusStatus::Invalid { message },
+        };
+        entries.push(CorpusEntry { name, status });
+    }
+
+    let reports = parallel_map(runnable, workers, |(idx, scenario)| {
+        (idx, scenario.run().expect("from_json validated"))
+    });
+
+    if update {
+        std::fs::create_dir_all(baseline_dir)
+            .map_err(|e| crate::error::io_error(baseline_dir, e))?;
+    }
+    for (idx, report) in reports {
+        let baseline = baseline_dir.join(format!("{}.report.json", entries[idx].name));
+        entries[idx].status = if update {
+            let mut text = serde_json::to_string_pretty(&report).expect("reports always serialise");
+            text.push('\n');
+            std::fs::write(&baseline, text).map_err(|e| crate::error::io_error(&baseline, e))?;
+            CorpusStatus::Updated
+        } else {
+            diff_against_baseline(&baseline, &report)?
+        };
+    }
+    Ok(CorpusOutcome { entries })
+}
+
+/// The `*.json` files directly inside `dir`, name-sorted (subdirectories
+/// — the baselines — are not descended into).
+fn scenario_files(dir: &Path) -> Result<Vec<PathBuf>, GridError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| crate::error::io_error(dir, e))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| crate::error::io_error(dir, e))?;
+        let path = entry.path();
+        if path.is_file() && path.extension().is_some_and(|ext| ext == "json") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Load one scenario file, rendering failures as `file:line:column:`
+/// messages.
+fn load_scenario(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Scenario::from_json(&text).map_err(|e| match &e {
+        ScenarioFileError::Parse { line, column, .. } => {
+            format!("{}:{line}:{column}: {e}", path.display())
+        }
+        ScenarioFileError::Invalid(_) => format!("{}: {e}", path.display()),
+    })
+}
+
+/// Compare `report` against the stored baseline, summarising the first
+/// difference found.
+fn diff_against_baseline(baseline: &Path, report: &Report) -> Result<CorpusStatus, GridError> {
+    let text = match std::fs::read_to_string(baseline) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(CorpusStatus::MissingBaseline)
+        }
+        Err(e) => return Err(crate::error::io_error(baseline, e)),
+    };
+    let stored: Report = match serde_json::from_str(&text) {
+        Ok(stored) => stored,
+        Err(e) => {
+            return Ok(CorpusStatus::Mismatch {
+                detail: format!("baseline does not parse ({e}); regenerate with --update"),
+            })
+        }
+    };
+    if stored == *report {
+        return Ok(CorpusStatus::Match);
+    }
+    Ok(CorpusStatus::Mismatch {
+        detail: first_difference(&stored, report),
+    })
+}
+
+/// A short human-oriented description of where two reports diverge.
+fn first_difference(baseline: &Report, got: &Report) -> String {
+    let pairs = [
+        ("delay.mean", baseline.delay.mean, got.delay.mean),
+        ("delay.p99", baseline.delay.p99, got.delay.p99),
+        (
+            "mean_in_system",
+            baseline.mean_in_system,
+            got.mean_in_system,
+        ),
+        ("throughput", baseline.throughput, got.throughput),
+    ];
+    for (field, b, g) in pairs {
+        if b.to_bits() != g.to_bits() && !(b.is_nan() && g.is_nan()) {
+            return format!("{field}: baseline {b} vs run {g}");
+        }
+    }
+    if baseline.generated != got.generated {
+        return format!(
+            "generated: baseline {} vs run {}",
+            baseline.generated, got.generated
+        );
+    }
+    if baseline.events != got.events {
+        return format!("events: baseline {} vs run {}", baseline.events, got.events);
+    }
+    "reports differ outside the headline fields (see the JSON diff)".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperroute_core::scenario::Topology;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hyperroute-corpus-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_scenario(dir: &Path, name: &str, seed: u64) {
+        let s = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(0.9)
+            .horizon(50.0)
+            .warmup(10.0)
+            .seed(seed)
+            .build()
+            .unwrap();
+        std::fs::write(dir.join(format!("{name}.json")), s.to_json()).unwrap();
+    }
+
+    #[test]
+    fn update_then_verify_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        write_scenario(&dir, "b", 2);
+
+        let updated = run_corpus(&dir, &baselines, 0, true).unwrap();
+        assert!(updated.passed());
+        assert!(updated
+            .entries
+            .iter()
+            .all(|e| e.status == CorpusStatus::Updated));
+
+        let verified = run_corpus(&dir, &baselines, 2, false).unwrap();
+        assert!(verified.passed(), "{}", verified.summary());
+        assert!(verified
+            .entries
+            .iter()
+            .all(|e| e.status == CorpusStatus::Match));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drifted_baseline_fails_the_gate() {
+        let dir = temp_dir("drift");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+        // Tamper with the stored baseline the way a regression would.
+        let path = baselines.join("a.report.json");
+        let tampered = std::fs::read_to_string(&path).unwrap().replacen(
+            "\"generated\":",
+            "\"generated\": 1, \"_x\":",
+            1,
+        );
+        std::fs::write(&path, tampered).unwrap();
+        let outcome = run_corpus(&dir, &baselines, 1, false).unwrap();
+        assert!(!outcome.passed());
+        assert!(matches!(
+            outcome.entries[0].status,
+            CorpusStatus::Mismatch { .. }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_scenario_reports_location() {
+        let dir = temp_dir("invalid");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "good", 1);
+        std::fs::write(dir.join("broken.json"), "{\n  \"topology\": nope\n}").unwrap();
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+        let outcome = run_corpus(&dir, &baselines, 1, false).unwrap();
+        assert!(!outcome.passed());
+        let CorpusStatus::Invalid { message } = &outcome.entries[0].status else {
+            panic!("expected Invalid, got {:?}", outcome.entries[0]);
+        };
+        assert!(message.contains("broken.json:2:15"), "{message}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_baseline_is_flagged() {
+        let dir = temp_dir("missing");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        let outcome = run_corpus(&dir, &baselines, 1, false).unwrap();
+        assert!(!outcome.passed());
+        assert_eq!(outcome.entries[0].status, CorpusStatus::MissingBaseline);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! Sharded sweep execution and the scenario-corpus regression gate.
+//!
+//! `hyperroute-core`'s [`Sweep`](hyperroute_core::scenario::Sweep) fans
+//! out over local threads inside one process. This crate is the layer
+//! above: it cuts any sweep into serialisable [`GridSlice`] jobs, runs
+//! them through a pluggable [`ExecBackend`], and deterministically merges
+//! the out-of-order results back into the row-major `Vec<Report>` that
+//! `Sweep::run` would have produced — **byte-identical**, whatever the
+//! backend, worker count, or completion order, because every grid point
+//! is a pure function of the sweep spec and its index.
+//!
+//! # Layers
+//!
+//! | layer | type | job |
+//! |---|---|---|
+//! | slicing | [`GridSlice`], [`partition`], [`merge`] | cut a grid into self-contained JSON jobs; reassemble results |
+//! | execution | [`ExecBackend`]: [`ThreadPoolBackend`], [`SubprocessBackend`] | run slices in-process or on subprocess workers with retry/timeout |
+//! | dispatch | [`Campaign`] | checkpoint every finished slice to a manifest directory; resume without recomputing |
+//! | regression | [`run_corpus`] | execute `scenarios/` and diff reports against checked-in baselines |
+//!
+//! # The worker protocol
+//!
+//! `hyperroute-grid worker` reads one JSON `GridSlice` per stdin line and
+//! answers one JSON [`WorkerReply`] per stdout line (see
+//! [`subprocess`] for the exact framing and fault model). The
+//! [`SubprocessBackend`] speaks this protocol to any argv you give it —
+//! the bundled binary for multi-core, or an ssh/container wrapper for
+//! multi-machine.
+//!
+//! # Checkpoint / resume
+//!
+//! A [`Campaign`] with a checkpoint directory writes `manifest.json`
+//! (the campaign identity) once and one `slice_<id>.json` per finished
+//! slice, atomically. Rerunning the identical campaign over the same
+//! directory executes only the missing slices; a manifest describing a
+//! different sweep is refused. See [`campaign`] for the format.
+//!
+//! ```
+//! use hyperroute_core::scenario::{Axis, Scenario, Sweep, SweepParam, Topology};
+//! use hyperroute_grid::{Campaign, ThreadPoolBackend};
+//!
+//! let base = Scenario::builder(Topology::Hypercube { dim: 3 })
+//!     .horizon(80.0)
+//!     .warmup(20.0)
+//!     .build()
+//!     .unwrap();
+//! let sweep = Sweep::new(base, vec![Axis::new(SweepParam::Lambda, vec![0.5, 1.0, 1.5])]);
+//! let reports = Campaign::new(sweep.clone(), 1)
+//!     .run(&ThreadPoolBackend::new(2))
+//!     .unwrap();
+//! assert_eq!(reports, sweep.run(1).unwrap()); // same bytes, sharded
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod campaign;
+pub mod corpus;
+pub mod error;
+pub mod slice;
+pub mod subprocess;
+
+pub use backend::{ExecBackend, ThreadPoolBackend};
+pub use campaign::Campaign;
+pub use corpus::{run_corpus, CorpusEntry, CorpusOutcome, CorpusStatus};
+pub use error::GridError;
+pub use slice::{merge, partition, GridSlice, SliceResult};
+pub use subprocess::{run_worker, SubprocessBackend, WorkerReply};

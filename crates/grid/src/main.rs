@@ -1,0 +1,196 @@
+//! The `hyperroute-grid` CLI: sharded sweep campaigns and the
+//! scenario-corpus regression gate.
+//!
+//! ```text
+//! hyperroute-grid worker
+//!     Serve the stdio worker protocol (spawned by the subprocess
+//!     backend; also usable behind ssh for remote workers).
+//!
+//! hyperroute-grid run --sweep FILE [--backend threads|subprocess]
+//!     [--workers N] [--slice-len N] [--checkpoint DIR]
+//!     [--timeout-secs N] [--out FILE]
+//!     Execute a JSON sweep file, checkpointing and resuming through
+//!     DIR, and write the row-major report array as JSON.
+//!
+//! hyperroute-grid run-corpus [--scenarios DIR] [--baselines DIR]
+//!     [--workers N] [--update]
+//!     Run every scenario in DIR (default `scenarios/`) and diff the
+//!     reports against DIR/baselines; exit 1 on any difference.
+//! ```
+
+use hyperroute_core::scenario::Sweep;
+use hyperroute_grid::{
+    run_corpus, run_worker, Campaign, ExecBackend, SubprocessBackend, ThreadPoolBackend,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dispatch(&args));
+}
+
+fn dispatch(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("worker") => cmd_worker(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("run-corpus") => cmd_run_corpus(&args[1..]),
+        Some(other) => usage(&format!("unknown subcommand `{other}`")),
+        None => usage("missing subcommand"),
+    }
+}
+
+fn usage(problem: &str) -> i32 {
+    eprintln!("hyperroute-grid: {problem}");
+    eprintln!(
+        "usage:\n  hyperroute-grid worker\n  hyperroute-grid run --sweep FILE \
+         [--backend threads|subprocess] [--workers N] [--slice-len N] \
+         [--checkpoint DIR] [--timeout-secs N] [--out FILE]\n  \
+         hyperroute-grid run-corpus [--scenarios DIR] [--baselines DIR] \
+         [--workers N] [--update]"
+    );
+    2
+}
+
+/// Pull `--flag value` pairs and bare `--switch`es out of `args`.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl Flags<'_> {
+    fn value(&self, flag: &str) -> Result<Option<&str>, String> {
+        let mut found = None;
+        let mut i = 0;
+        while i < self.args.len() {
+            if self.args[i] == flag {
+                let v = self
+                    .args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                found = Some(v.as_str());
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(found)
+    }
+
+    fn switch(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag)? {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("{flag}: cannot parse `{text}`")),
+        }
+    }
+}
+
+fn cmd_worker() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match run_worker(stdin.lock(), stdout.lock()) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("hyperroute-grid worker: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let flags = Flags { args };
+    match try_run(&flags) {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("hyperroute-grid run: {message}");
+            1
+        }
+    }
+}
+
+fn try_run(flags: &Flags) -> Result<(), String> {
+    let sweep_path = flags
+        .value("--sweep")?
+        .ok_or("--sweep FILE is required")?
+        .to_string();
+    let workers: usize = flags.parsed("--workers", 0)?;
+    let slice_len: usize = flags.parsed("--slice-len", 1)?;
+    if slice_len == 0 {
+        return Err("--slice-len must be positive".into());
+    }
+    let timeout_secs: u64 = flags.parsed("--timeout-secs", 600)?;
+    let backend_name = flags.value("--backend")?.unwrap_or("threads").to_string();
+
+    let text = std::fs::read_to_string(&sweep_path).map_err(|e| format!("{sweep_path}: {e}"))?;
+    let sweep: Sweep = serde_json::from_str(&text)
+        .map_err(|e| format!("{sweep_path}: sweep does not parse: {e}"))?;
+
+    let mut campaign = Campaign::new(sweep, slice_len);
+    if let Some(dir) = flags.value("--checkpoint")? {
+        campaign = campaign.with_checkpoint(PathBuf::from(dir));
+    }
+
+    let backend: Box<dyn ExecBackend> = match backend_name.as_str() {
+        "threads" => Box::new(ThreadPoolBackend::new(workers)),
+        "subprocess" => Box::new(
+            SubprocessBackend::self_workers(workers)
+                .map_err(|e| e.to_string())?
+                .with_timeout(Duration::from_secs(timeout_secs)),
+        ),
+        other => return Err(format!("--backend: unknown backend `{other}`")),
+    };
+
+    let reports = campaign.run(backend.as_ref()).map_err(|e| e.to_string())?;
+    let mut rendered = serde_json::to_string_pretty(&reports).expect("reports always serialise");
+    rendered.push('\n');
+    match flags.value("--out")? {
+        Some(path) => std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}",))?,
+        None => print!("{rendered}"),
+    }
+    eprintln!(
+        "hyperroute-grid run: {} grid points on the {backend_name} backend",
+        reports.len()
+    );
+    Ok(())
+}
+
+fn cmd_run_corpus(args: &[String]) -> i32 {
+    let flags = Flags { args };
+    let scenarios = match flags.value("--scenarios") {
+        Ok(v) => v.unwrap_or("scenarios").to_string(),
+        Err(e) => return usage(&e),
+    };
+    let baselines = match flags.value("--baselines") {
+        Ok(v) => v
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{scenarios}/baselines")),
+        Err(e) => return usage(&e),
+    };
+    let workers = match flags.parsed("--workers", 0usize) {
+        Ok(w) => w,
+        Err(e) => return usage(&e),
+    };
+    let update = flags.switch("--update");
+
+    match run_corpus(scenarios.as_ref(), baselines.as_ref(), workers, update) {
+        Ok(outcome) => {
+            print!("{}", outcome.summary());
+            if outcome.passed() {
+                println!("corpus: {} scenarios ok", outcome.entries.len());
+                0
+            } else {
+                println!("corpus: FAILED");
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("hyperroute-grid run-corpus: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Out-of-process slice execution over a newline-delimited JSON protocol.
+//!
+//! # The worker protocol
+//!
+//! A worker is any process that reads **one JSON [`GridSlice`] per line**
+//! on stdin and writes **one JSON [`WorkerReply`] per line** on stdout,
+//! flushing after each reply, until stdin reaches EOF. `hyperroute-grid
+//! worker` is exactly [`run_worker`] over locked stdio; anything else
+//! (an ssh wrapper, a container entrypoint) can stand in as long as it
+//! speaks the same lines, which is why the backend takes a plain argv
+//! vector rather than a path.
+//!
+//! ```text
+//! dispatcher → worker:  {"id":3,"sweep":{…},"start":12,"len":4}\n
+//! worker → dispatcher:  {"Ok":{"id":3,"start":12,"reports":[…]}}\n
+//!                       {"Err":{"id":3,"message":"…"}}\n
+//! ```
+//!
+//! # Fault handling
+//!
+//! Workers hold no campaign state — a slice is a pure function of its
+//! JSON — so every failure mode has the same cure: kill the process,
+//! spawn a fresh one, hand the slice to someone else. The dispatcher
+//! retries a slice after a crash (stdin/stdout closed), a reply timeout,
+//! or a garbled reply, up to [`SubprocessBackend::max_retries`] times;
+//! only then does the campaign abort with [`GridError::SliceLost`]. A
+//! well-formed [`WorkerReply::Err`] is different: the worker is healthy
+//! and the slice itself is bad, so it fails the campaign immediately
+//! ([`GridError::SliceFailed`]) instead of burning retries.
+
+use crate::backend::ExecBackend;
+use crate::error::GridError;
+use crate::slice::{GridSlice, SliceResult};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One reply line of the worker protocol.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkerReply {
+    /// The slice executed; here are its reports.
+    Ok(SliceResult),
+    /// The slice failed deterministically (malformed job, invalid
+    /// scenario); retrying it elsewhere cannot help.
+    Err {
+        /// Id of the failing slice (`u64::MAX` when the job line itself
+        /// did not parse).
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Serve the worker side of the protocol until `input` reaches EOF.
+///
+/// Every line in is answered by exactly one line out (flushed), so a
+/// dispatcher can pipeline jobs without framing ambiguity. IO errors on
+/// the streams end the loop — the dispatcher treats a vanished worker as
+/// a retryable loss.
+pub fn run_worker(input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<GridSlice>(&line) {
+            Ok(slice) => {
+                let id = slice.id;
+                match slice.execute() {
+                    Ok(result) => WorkerReply::Ok(result),
+                    Err(e) => WorkerReply::Err {
+                        id,
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Err(e) => WorkerReply::Err {
+                id: u64::MAX,
+                message: format!("job line does not parse: {e}"),
+            },
+        };
+        let text = serde_json::to_string(&reply).expect("replies always serialise");
+        writeln!(output, "{text}")?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// Backend that fans slices out to subprocess workers.
+///
+/// Spawns up to [`SubprocessBackend::workers`] copies of
+/// [`SubprocessBackend::worker_cmd`] and feeds each one slice at a time,
+/// so grids scale across cores (or, with an ssh/container wrapper as the
+/// command, across machines) without sharing memory.
+#[derive(Clone, Debug)]
+pub struct SubprocessBackend {
+    /// argv of the worker command (program first).
+    pub worker_cmd: Vec<String>,
+    /// Concurrent worker processes (`0` = hardware parallelism, like
+    /// [`crate::ThreadPoolBackend`]; clamped to the job count).
+    pub workers: usize,
+    /// How long one slice may take before its worker is declared lost.
+    pub timeout: Duration,
+    /// How many times a slice is retried after losing a worker before
+    /// the campaign aborts.
+    pub max_retries: usize,
+}
+
+impl SubprocessBackend {
+    /// Backend running `worker_cmd` on `workers` processes, with a
+    /// 10-minute per-slice timeout and 2 retries.
+    pub fn new(worker_cmd: Vec<String>, workers: usize) -> SubprocessBackend {
+        SubprocessBackend {
+            worker_cmd,
+            workers,
+            timeout: Duration::from_secs(600),
+            max_retries: 2,
+        }
+    }
+
+    /// Backend whose workers are `hyperroute-grid worker` subprocesses of
+    /// the currently running binary — the zero-configuration multi-core
+    /// path used by the CLI.
+    pub fn self_workers(workers: usize) -> Result<SubprocessBackend, GridError> {
+        let exe = std::env::current_exe().map_err(|e| GridError::Spawn {
+            cmd: "<current_exe>".into(),
+            error: e.to_string(),
+        })?;
+        Ok(SubprocessBackend::new(
+            vec![exe.display().to_string(), "worker".into()],
+            workers,
+        ))
+    }
+
+    /// Per-slice timeout (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> SubprocessBackend {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Retry budget per slice (builder style).
+    pub fn with_max_retries(mut self, max_retries: usize) -> SubprocessBackend {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// A queue entry: which job, and how many times it has been attempted.
+#[derive(Clone, Copy, Debug)]
+struct Attempt {
+    index: usize,
+    attempts: usize,
+}
+
+/// What one job round on one worker produced.
+enum RoundOutcome {
+    /// The slice completed.
+    Done(SliceResult),
+    /// Unrecoverable (spawn failure, deterministic slice failure).
+    Fatal(GridError),
+    /// The worker was lost (crash / timeout / garbled reply); the slice
+    /// should be retried on a fresh worker.
+    Lost(String),
+}
+
+/// A live worker process: its stdin plus a channel of stdout lines fed
+/// by a detached reader thread (the only way to read with a timeout
+/// using std alone).
+struct WorkerProc {
+    child: Child,
+    stdin: ChildStdin,
+    lines: mpsc::Receiver<String>,
+}
+
+impl WorkerProc {
+    fn spawn(cmd: &[String]) -> Result<WorkerProc, GridError> {
+        let spawn_err = |error: String| GridError::Spawn {
+            cmd: cmd.join(" "),
+            error,
+        };
+        let (program, args) = cmd
+            .split_first()
+            .ok_or_else(|| spawn_err("empty worker command".into()))?;
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| spawn_err(e.to_string()))?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let (tx, lines) = mpsc::channel();
+        // Detached on purpose: it parks in a blocking read and exits on
+        // EOF, which killing the child guarantees.
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(WorkerProc {
+            child,
+            stdin,
+            lines,
+        })
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl SubprocessBackend {
+    /// Send one job to (possibly fresh) `proc` and await its reply.
+    /// On [`RoundOutcome::Lost`] the caller must discard `proc`.
+    fn one_round(&self, slice: &GridSlice, proc: &mut Option<WorkerProc>) -> RoundOutcome {
+        if proc.is_none() {
+            match WorkerProc::spawn(&self.worker_cmd) {
+                Ok(p) => *proc = Some(p),
+                Err(e) => return RoundOutcome::Fatal(e),
+            }
+        }
+        let worker = proc.as_mut().expect("spawned above");
+        let job_line = serde_json::to_string(slice).expect("slices always serialise");
+        if let Err(e) = writeln!(worker.stdin, "{job_line}").and_then(|()| worker.stdin.flush()) {
+            return RoundOutcome::Lost(format!("worker stdin closed: {e}"));
+        }
+        match worker.lines.recv_timeout(self.timeout) {
+            Ok(line) => match serde_json::from_str::<WorkerReply>(&line) {
+                Ok(WorkerReply::Ok(result)) if result.id == slice.id => RoundOutcome::Done(result),
+                Ok(WorkerReply::Ok(result)) => RoundOutcome::Lost(format!(
+                    "worker answered slice {} while slice {} was pending",
+                    result.id, slice.id
+                )),
+                Ok(WorkerReply::Err { id, message }) => {
+                    RoundOutcome::Fatal(GridError::SliceFailed {
+                        slice: if id == u64::MAX { slice.id } else { id },
+                        message,
+                    })
+                }
+                Err(e) => RoundOutcome::Lost(format!("garbled worker reply: {e}")),
+            },
+            Err(RecvTimeoutError::Timeout) => RoundOutcome::Lost(format!(
+                "no reply within {:.1}s",
+                self.timeout.as_secs_f64()
+            )),
+            Err(RecvTimeoutError::Disconnected) => {
+                RoundOutcome::Lost("worker exited before replying".into())
+            }
+        }
+    }
+
+    /// One manager loop: own a worker process, pull jobs off the shared
+    /// queue, retry lost slices (back onto the queue, so another manager
+    /// may pick them up) until the queue drains or the campaign cancels.
+    fn manage_worker(
+        &self,
+        jobs: &[GridSlice],
+        queue: &Mutex<Vec<Attempt>>,
+        cancelled: &AtomicBool,
+        tx: &mpsc::Sender<Result<SliceResult, GridError>>,
+    ) {
+        let mut proc: Option<WorkerProc> = None;
+        loop {
+            if cancelled.load(Ordering::Relaxed) {
+                break;
+            }
+            let Some(job) = queue.lock().expect("queue lock").pop() else {
+                break;
+            };
+            match self.one_round(&jobs[job.index], &mut proc) {
+                RoundOutcome::Done(result) => {
+                    if tx.send(Ok(result)).is_err() {
+                        break;
+                    }
+                }
+                RoundOutcome::Fatal(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+                RoundOutcome::Lost(reason) => {
+                    proc = None; // drop kills the stale process
+                    let attempts = job.attempts + 1;
+                    if attempts > self.max_retries {
+                        let _ = tx.send(Err(GridError::SliceLost {
+                            slice: jobs[job.index].id,
+                            attempts,
+                            last_error: reason,
+                        }));
+                        break;
+                    }
+                    queue.lock().expect("queue lock").push(Attempt {
+                        index: job.index,
+                        attempts,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl ExecBackend for SubprocessBackend {
+    fn execute(
+        &self,
+        jobs: &[GridSlice],
+        on_result: &mut dyn FnMut(SliceResult) -> Result<(), GridError>,
+    ) -> Result<(), GridError> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = if self.workers == 0 { hw } else { self.workers }
+            .min(jobs.len())
+            .max(1);
+        let queue = Mutex::new(
+            (0..jobs.len())
+                .rev() // pop() takes from the back; serve jobs in order
+                .map(|index| Attempt { index, attempts: 0 })
+                .collect::<Vec<_>>(),
+        );
+        let cancelled = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<Result<SliceResult, GridError>>();
+        std::thread::scope(|scope| -> Result<(), GridError> {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                let cancelled = &cancelled;
+                scope.spawn(move || self.manage_worker(jobs, queue, cancelled, &tx));
+            }
+            drop(tx);
+            let mut received = 0usize;
+            for outcome in rx {
+                let result = match outcome {
+                    Ok(result) => result,
+                    Err(e) => {
+                        cancelled.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = on_result(result) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+                received += 1;
+                if received == jobs.len() {
+                    break;
+                }
+            }
+            if received == jobs.len() {
+                Ok(())
+            } else {
+                // Every manager exited without delivering the full batch
+                // (all of them hit fatal sends racing the cancel flag, or
+                // the queue drained into failures).
+                Err(GridError::Merge(format!(
+                    "workers delivered {received} of {} slices",
+                    jobs.len()
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::partition;
+    use hyperroute_core::scenario::{Axis, Scenario, Sweep, SweepParam, Topology};
+    use std::io::Cursor;
+
+    fn small_sweep() -> Sweep {
+        let base = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(0.8)
+            .p(0.5)
+            .horizon(60.0)
+            .warmup(10.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        Sweep::new(base, vec![Axis::new(SweepParam::Lambda, vec![0.4, 0.8])])
+    }
+
+    #[test]
+    fn worker_answers_each_job_line() {
+        let slices = partition(&small_sweep(), 1);
+        let mut input = String::new();
+        for s in &slices {
+            input.push_str(&serde_json::to_string(s).unwrap());
+            input.push('\n');
+        }
+        let mut output = Vec::new();
+        run_worker(Cursor::new(input), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let replies: Vec<WorkerReply> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), slices.len());
+        for (reply, slice) in replies.iter().zip(&slices) {
+            let WorkerReply::Ok(result) = reply else {
+                panic!("worker failed a valid slice: {reply:?}");
+            };
+            assert_eq!(result, &slice.execute().unwrap());
+        }
+    }
+
+    #[test]
+    fn worker_reports_malformed_and_invalid_jobs_without_dying() {
+        let input = "not json\n".to_string();
+        let mut output = Vec::new();
+        run_worker(Cursor::new(input), &mut output).unwrap();
+        let reply: WorkerReply =
+            serde_json::from_str(String::from_utf8(output).unwrap().trim()).unwrap();
+        let WorkerReply::Err { id, .. } = reply else {
+            panic!("malformed job must produce an Err reply");
+        };
+        assert_eq!(id, u64::MAX);
+    }
+
+    #[test]
+    fn empty_worker_command_is_a_spawn_error() {
+        let backend = SubprocessBackend::new(vec![], 1);
+        let jobs = partition(&small_sweep(), 1);
+        let err = backend.execute(&jobs, &mut |_| Ok(())).unwrap_err();
+        assert!(matches!(err, GridError::Spawn { .. }), "{err}");
+    }
+}

@@ -31,6 +31,7 @@
 //! | [`queueing`] | M/M/1, M/D/1, M/D/s, FIFO/PS sample-path servers, product form |
 //! | [`analysis`] | every proposition's bound as a function |
 //! | [`routing`] | the scenario API and packet-level simulators (crate `hyperroute-core`) |
+//! | [`grid`] | sharded sweep campaigns: slice jobs, thread-pool/subprocess backends, checkpointed manifests, the scenario-corpus regression gate (crate `hyperroute-grid`) |
 //! | [`experiments`] | the E01–E23 harnesses and result tables |
 //!
 //! ## Quick start
@@ -57,6 +58,32 @@
 //! let bounds = greedy_delay_bounds(5, 1.4, 0.5);
 //! assert!(bounds.contains(report.delay.mean, 0.05));
 //! ```
+//!
+//! Grids that outgrow one process shard through [`grid`]: a sweep is cut
+//! into serialisable slices, executed on an in-process thread pool or on
+//! `hyperroute-grid worker` subprocesses (newline-delimited JSON over
+//! stdio), checkpointed per slice, and merged back **byte-identical** to
+//! `Sweep::run`:
+//!
+//! ```
+//! use hyperroute::prelude::*;
+//! use hyperroute_grid::{Campaign, ThreadPoolBackend};
+//!
+//! let base = Scenario::builder(Topology::Hypercube { dim: 3 })
+//!     .horizon(80.0)
+//!     .warmup(20.0)
+//!     .build()
+//!     .unwrap();
+//! let sweep = Sweep::new(base, vec![Axis::new(SweepParam::Lambda, vec![0.5, 1.0])]);
+//! let sharded = Campaign::new(sweep.clone(), 1)
+//!     .run(&ThreadPoolBackend::new(2))
+//!     .unwrap();
+//! assert_eq!(sharded, sweep.run(1).unwrap());
+//! ```
+//!
+//! The checked-in `scenarios/` corpus runs through the same machinery as
+//! a CI regression gate (`hyperroute-grid run-corpus`): every scenario's
+//! report is diffed bit-exactly against `scenarios/baselines/`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,6 +92,7 @@ pub use hyperroute_analysis as analysis;
 pub use hyperroute_core as routing;
 pub use hyperroute_desim as desim;
 pub use hyperroute_experiments as experiments;
+pub use hyperroute_grid as grid;
 pub use hyperroute_queueing as queueing;
 pub use hyperroute_topology as topology;
 
@@ -78,7 +106,7 @@ pub mod prelude {
     pub use hyperroute_analysis::load::{butterfly_load_factor, hypercube_load_factor};
     pub use hyperroute_core::equivalent_network::Discipline;
     pub use hyperroute_core::observe::{
-        NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
+        BufferedObserver, NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
     };
     pub use hyperroute_core::scenario::{
         Axis, ConfigError, EqNetSpec, Report, ReportExt, Scenario, ScenarioFileError, Simulator,
