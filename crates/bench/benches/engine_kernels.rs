@@ -6,14 +6,9 @@
 //! virtual-time PS, and the calendar-queue scheduler). The end-to-end
 //! engine grid with JSON output lives in the `engine_report` bench.
 
-// Perf harness pinned to the engine-level config structs so results stay
-// comparable with the frozen seed engine; the scenario layer adds nothing
-// to measure here.
-#![allow(deprecated)]
-
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hyperroute_core::batch::{random_permutation_batch, route_batch_greedy};
-use hyperroute_core::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 use hyperroute_desim::{CalendarQueue, EventQueue, SchedulerKind, SimRng};
 use hyperroute_queueing::PsServer;
 use std::hint::black_box;
@@ -84,19 +79,16 @@ fn bench_hypercube_sim(c: &mut Criterion) {
     for &(d, rho) in &[(6usize, 0.5f64), (8, 0.8)] {
         for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
             group.bench_function(format!("d{d}_rho{rho}/{}", kind.name()), |b| {
-                b.iter(|| {
-                    let cfg = HypercubeSimConfig {
-                        dim: d,
-                        lambda: rho / 0.5,
-                        p: 0.5,
-                        scheduler: kind,
-                        horizon: 100.0,
-                        warmup: 20.0,
-                        seed: 7,
-                        ..Default::default()
-                    };
-                    black_box(HypercubeSim::new(cfg).run().delivered)
-                });
+                let scenario = Scenario::builder(Topology::Hypercube { dim: d })
+                    .lambda(rho / 0.5)
+                    .p(0.5)
+                    .scheduler(kind)
+                    .horizon(100.0)
+                    .warmup(20.0)
+                    .seed(7)
+                    .build()
+                    .expect("valid scenario");
+                b.iter(|| black_box(scenario.run().expect("scenario runs").delivered));
             });
         }
     }

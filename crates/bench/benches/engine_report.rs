@@ -3,33 +3,46 @@
 //! process —
 //!
 //! * `seed`: the frozen seed engine (binary heap + `VecDeque` arc queues +
-//!   per-event asserts; see `hyperroute_bench::seed_baseline`) — the
-//!   baseline the calendar/slab engine is measured against;
-//! * `heap`: the shipped simulator with the heap scheduler backend
+//!   per-event asserts + in-queue arrival events; see
+//!   `hyperroute_bench::seed_baseline`) — the baseline the generic engine
+//!   is measured against;
+//! * `heap`: the shipped generic engine on the heap scheduler backend
 //!   (isolates the scheduler swap from the slab/layout work);
 //! * `calendar`: the shipped default.
+//!
+//! Since the generic-engine refactor, both shipped rows measure the
+//! **dequeued arrival stream** (arrivals/slot boundaries self-schedule in
+//! a side channel instead of the event queue) and the
+//! `Scheduler::peek_payload` next-event prefetch — the PR-1 hot-path
+//! follow-ups — while `seed` still pays one push+pop per arrival, so the
+//! seed/shipped gap records their effect. A `ring` section benches the
+//! fifth topology on the same engine (n = 256 bidirectional ring near
+//! ρ = 0.8).
 //!
 //! Each cell reports wall seconds (best of `reps` alternating repetitions,
 //! to shed scheduler noise), events/sec and packets/sec, plus the speedup
 //! of the default engine over both baselines. The JSON lands at the repo
 //! root (override with `HYPERROUTE_BENCH_OUT`) so the perf trajectory is
-//! tracked in-tree from this PR onward.
+//! tracked in-tree from PR 1 onward. The emitter stamps
+//! `"schema_version"` and self-checks the required keys before writing;
+//! CI's bench-schema job fails if the checked-in report predates the
+//! current schema.
 //!
 //! Scale: `HYPERROUTE_SCALE=full` lengthens the horizon and adds
 //! repetitions; the default `quick` keeps the grid under a minute.
 
-// Perf harness pinned to the engine-level config structs so results stay
-// comparable with the frozen seed engine; the scenario layer adds nothing
-// to measure here.
-#![allow(deprecated)]
-
 use hyperroute_bench::seed_baseline::run_seed_engine;
-use hyperroute_core::hypercube_sim::{HypercubeSim, HypercubeSimConfig};
+use hyperroute_core::{Scenario, Topology};
 use hyperroute_desim::SchedulerKind;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Bump when the report layout changes; CI checks the checked-in JSON
+/// carries the current value.
+const SCHEMA_VERSION: u32 = 2;
+
 struct Cell {
+    sim: &'static str,
     dim: usize,
     rho: f64,
     engine: &'static str,
@@ -40,19 +53,35 @@ struct Cell {
     packets_per_sec: f64,
 }
 
-fn run_new(kind: SchedulerKind, dim: usize, rho: f64, horizon: f64) -> (f64, u64, u64) {
-    let cfg = HypercubeSimConfig {
-        dim,
-        lambda: rho / 0.5,
-        p: 0.5,
-        horizon,
-        warmup: horizon * 0.2,
-        seed: 7,
-        scheduler: kind,
-        ..Default::default()
-    };
+fn run_hypercube(kind: SchedulerKind, dim: usize, rho: f64, horizon: f64) -> (f64, u64, u64) {
+    let scenario = Scenario::builder(Topology::Hypercube { dim })
+        .lambda(rho / 0.5)
+        .p(0.5)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(7)
+        .scheduler(kind)
+        .build()
+        .expect("valid scenario");
     let start = Instant::now();
-    let r = HypercubeSim::new(cfg).run();
+    let r = scenario.run().expect("scenario runs");
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
+fn run_ring(kind: SchedulerKind, nodes: usize, lambda: f64, horizon: f64) -> (f64, u64, u64) {
+    let scenario = Scenario::builder(Topology::Ring {
+        nodes,
+        bidirectional: true,
+    })
+    .lambda(lambda)
+    .horizon(horizon)
+    .warmup(horizon * 0.2)
+    .seed(7)
+    .scheduler(kind)
+    .build()
+    .expect("valid scenario");
+    let start = Instant::now();
+    let r = scenario.run().expect("scenario runs");
     (start.elapsed().as_secs_f64(), r.events, r.generated)
 }
 
@@ -72,6 +101,27 @@ fn main() {
     let rhos = [0.5f64, 0.8, 0.95];
 
     let mut cells: Vec<Cell> = Vec::new();
+    let record = |cells: &mut Vec<Cell>,
+                  sim: &'static str,
+                  dim: usize,
+                  rho: f64,
+                  engine: &'static str,
+                  wall_s: f64,
+                  events: u64,
+                  generated: u64| {
+        cells.push(Cell {
+            sim,
+            dim,
+            rho,
+            engine,
+            wall_s,
+            events,
+            generated,
+            events_per_sec: events as f64 / wall_s,
+            packets_per_sec: generated as f64 / wall_s,
+        });
+    };
+
     for &dim in &dims {
         for &rho in &rhos {
             // Alternate engines within each repetition so slow drift in
@@ -82,8 +132,8 @@ fn main() {
             for _ in 0..reps {
                 let runs = [
                     run_seed(dim, rho, horizon),
-                    run_new(SchedulerKind::Heap, dim, rho, horizon),
-                    run_new(SchedulerKind::Calendar, dim, rho, horizon),
+                    run_hypercube(SchedulerKind::Heap, dim, rho, horizon),
+                    run_hypercube(SchedulerKind::Calendar, dim, rho, horizon),
                 ];
                 for (i, &(t, ev, gen)) in runs.iter().enumerate() {
                     best[i] = best[i].min(t);
@@ -92,16 +142,16 @@ fn main() {
             }
             for (i, engine) in ["seed", "heap", "calendar"].into_iter().enumerate() {
                 let (events, generated) = meta[i];
-                cells.push(Cell {
+                record(
+                    &mut cells,
+                    "hypercube",
                     dim,
                     rho,
                     engine,
-                    wall_s: best[i],
+                    best[i],
                     events,
                     generated,
-                    events_per_sec: events as f64 / best[i],
-                    packets_per_sec: generated as f64 / best[i],
-                });
+                );
             }
             let speed = |engine: &str| {
                 let c = cells
@@ -121,28 +171,64 @@ fn main() {
         }
     }
 
-    let rate = |dim: usize, rho: f64, engine: &str| {
+    // The fifth topology on the same engine: a 256-node bidirectional
+    // ring (E[hops] = 64) near ρ = λ·E[cw hops] ≈ 0.8 per direction.
+    let (ring_nodes, ring_lambda) = (256usize, 0.025);
+    {
+        let mut best = [f64::MAX; 2];
+        let mut meta = [(0u64, 0u64); 2];
+        for _ in 0..reps {
+            let runs = [
+                run_ring(SchedulerKind::Heap, ring_nodes, ring_lambda, horizon),
+                run_ring(SchedulerKind::Calendar, ring_nodes, ring_lambda, horizon),
+            ];
+            for (i, &(t, ev, gen)) in runs.iter().enumerate() {
+                best[i] = best[i].min(t);
+                meta[i] = (ev, gen);
+            }
+        }
+        for (i, engine) in ["heap", "calendar"].into_iter().enumerate() {
+            let (events, generated) = meta[i];
+            record(
+                &mut cells, "ring", ring_nodes, 0.8, engine, best[i], events, generated,
+            );
+        }
+        eprintln!(
+            "ring n{ring_nodes}: heap {:.2} Mev/s | calendar {:.2} Mev/s",
+            meta[0].0 as f64 / best[0] / 1e6,
+            meta[1].0 as f64 / best[1] / 1e6,
+        );
+    }
+
+    let rate = |sim: &str, dim: usize, rho: f64, engine: &str| {
         cells
             .iter()
-            .find(|c| c.dim == dim && (c.rho - rho).abs() < 1e-9 && c.engine == engine)
+            .find(|c| {
+                c.sim == sim && c.dim == dim && (c.rho - rho).abs() < 1e-9 && c.engine == engine
+            })
             .map(|c| c.events_per_sec)
             .expect("grid cell present")
     };
-    let headline_seed = rate(8, 0.8, "calendar") / rate(8, 0.8, "seed");
-    let headline_heap = rate(8, 0.8, "calendar") / rate(8, 0.8, "heap");
+    let headline_seed = rate("hypercube", 8, 0.8, "calendar") / rate("hypercube", 8, 0.8, "seed");
+    let headline_heap = rate("hypercube", 8, 0.8, "calendar") / rate("hypercube", 8, 0.8, "heap");
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"engine\",");
+    let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(
         json,
         "  \"scale\": \"{}\",",
         if full { "full" } else { "quick" }
     );
-    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5, horizon {horizon}, warmup 20%, best of {reps}\",");
+    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5 (+ ring n={ring_nodes} bidirectional), horizon {horizon}, warmup 20%, best of {reps}\",");
     let _ = writeln!(
         json,
-        "  \"baseline\": \"seed = frozen pre-PR engine (binary-heap FEL, VecDeque arc queues, per-event asserts); heap = shipped simulator on the heap backend\","
+        "  \"baseline\": \"seed = frozen pre-PR engine (binary-heap FEL, VecDeque arc queues, per-event asserts, in-queue arrival events); heap/calendar = generic engine (dequeued arrival stream + peek_payload prefetch) on each scheduler backend\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"engine_features\": {{ \"generic_engine\": true, \"arrival_stream_dequeued\": true, \"peek_payload_prefetch\": true }},"
     );
     let _ = writeln!(
         json,
@@ -153,11 +239,22 @@ fn main() {
         let sep = if i + 1 == cells.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{ \"sim\": \"hypercube\", \"dim\": {}, \"rho\": {}, \"engine\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \"packets\": {}, \"events_per_sec\": {:.0}, \"packets_per_sec\": {:.0} }}{sep}",
-            c.dim, c.rho, c.engine, c.wall_s, c.events, c.generated, c.events_per_sec, c.packets_per_sec
+            "    {{ \"sim\": \"{}\", \"dim\": {}, \"rho\": {}, \"engine\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \"packets\": {}, \"events_per_sec\": {:.0}, \"packets_per_sec\": {:.0} }}{sep}",
+            c.sim, c.dim, c.rho, c.engine, c.wall_s, c.events, c.generated, c.events_per_sec, c.packets_per_sec
         );
     }
     json.push_str("  ]\n}\n");
+
+    // Schema self-check: refuse to write a report CI would reject.
+    for key in [
+        "\"schema_version\"",
+        "\"engine_features\"",
+        "\"arrival_stream_dequeued\"",
+        "\"sim\": \"ring\"",
+        "\"headline\"",
+    ] {
+        assert!(json.contains(key), "emitted report lost schema key {key}");
+    }
 
     let out = std::env::var("HYPERROUTE_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()

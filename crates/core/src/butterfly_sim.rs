@@ -1,253 +1,182 @@
-//! Event-driven packet-level simulation of the butterfly under greedy
-//! routing (paper §4).
+//! Butterfly instantiation of the generic engine (paper §4).
 //!
 //! Packets are generated at level-0 nodes by independent Poisson sources
-//! (merged network-wide, as in the hypercube simulator) and must reach a
-//! random level-`d` node chosen by bit-flips with probability `p`. The
-//! path is unique, so greedy routing is the only non-idling choice; FIFO
-//! resolves contention.
+//! (merged network-wide, like the hypercube's) and must reach a random
+//! level-`d` node chosen by bit-flips with probability `p`. The path is
+//! unique, so greedy routing is the only non-idling choice; FIFO resolves
+//! contention. A packet whose destination row equals its origin row still
+//! crosses all `d` straight arcs — the butterfly has no zero-hop
+//! deliveries.
+//!
+//! The event loop lives in [`crate::engine`]; this module is the
+//! butterfly's routing law ([`ButterflySpec`]), its per-level Prop. 15
+//! statistics, and its [`Report`] assembly. Construct through
+//! [`crate::scenario::Scenario`] with
+//! [`crate::scenario::Topology::Butterfly`].
 
-// The config struct defined here is the deprecated legacy entry point;
-// this module necessarily keeps using it internally.
-#![allow(deprecated)]
-
-use crate::config::{ArrivalModel, ConfigError};
-use crate::metrics::{DelayStats, MetricsCollector};
-use crate::observe::{NullObserver, Observer, TimeSeriesProbe};
+use crate::engine::{Advance, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
+use crate::observe::{NullObserver, Observer};
 use crate::packet::sample_flip_mask;
-use crate::pool::{ArcFifo, SlabPool};
-use hyperroute_desim::{Scheduler, SchedulerKind, SimRng, Tally};
-use hyperroute_topology::{ArcKind, Butterfly, ButterflyArc, NodeId};
-use serde::{Deserialize, Serialize};
+use crate::scenario::{ButterflyExt, Report, ReportExt, Scenario, Topology};
+use hyperroute_desim::{SimRng, Tally};
+use hyperroute_topology::{ArcKind, Butterfly, ButterflyArc};
 
-/// Configuration of a butterfly routing simulation.
-///
-/// Deprecated legacy entry point: build a
-/// [`crate::scenario::Scenario`] with
-/// [`crate::scenario::Topology::Butterfly`] instead; the scenario path
-/// produces byte-identical reports. This struct remains as a thin shim
-/// for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `scenario::Scenario` with `Topology::Butterfly` instead"
-)]
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct ButterflySimConfig {
-    /// Butterfly dimension `d` (levels `0..=d`, `2^d` rows).
-    pub dim: usize,
-    /// Per-row Poisson generation rate `λ` at level 0.
-    pub lambda: f64,
-    /// Bit-flip probability `p` of the destination distribution.
-    pub p: f64,
-    /// Continuous (Poisson) or slotted-batch arrivals — §4.3's closing
-    /// remark: "the case of slotted time can be treated as in §3.4".
-    pub arrivals: ArrivalModel,
-    /// Generation stops at this time.
-    pub horizon: f64,
-    /// Packets born before this time are not measured.
-    pub warmup: f64,
-    /// RNG seed.
-    pub seed: u64,
-    /// Deliver all in-flight packets after the horizon.
-    pub drain: bool,
-    /// Future-event-list backend (both are bit-identical; the calendar
-    /// queue is the fast default on this unit-service model).
-    pub scheduler: SchedulerKind,
-}
-
-impl Default for ButterflySimConfig {
-    fn default() -> Self {
-        ButterflySimConfig {
-            dim: 4,
-            lambda: 0.8,
-            p: 0.5,
-            arrivals: ArrivalModel::Poisson,
-            horizon: 1_000.0,
-            warmup: 200.0,
-            seed: 0xBF,
-            drain: true,
-            scheduler: SchedulerKind::default(),
-        }
-    }
-}
-
-impl ButterflySimConfig {
-    /// Butterfly load factor `ρ_bf = λ·max{p, 1-p}` (Eq. (17)).
-    pub fn load_factor(&self) -> f64 {
-        self.lambda * self.p.max(1.0 - self.p)
-    }
-
-    /// Structured validation of this configuration — every check the
-    /// constructor enforces, as a [`ConfigError`] instead of a panic.
-    ///
-    /// Release-mode validation happens here once, not per event in the
-    /// scheduler (see `HypercubeSimConfig::check`).
-    pub fn check(&self) -> Result<(), ConfigError> {
-        crate::config::check_sim_fields(
-            self.dim,
-            24,
-            self.lambda,
-            self.p,
-            self.horizon,
-            self.warmup,
-            self.arrivals,
-            None,
-        )
-    }
-
-    fn validate(&self) {
-        if let Err(e) = self.check() {
-            panic!("{e}");
-        }
-    }
-}
-
-/// Results of a butterfly simulation run.
-///
-/// `PartialEq` is bit-exact, for the scheduler-equivalence tests.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ButterflyReport {
-    /// Echo of the dimension.
-    pub dim: usize,
-    /// Echo of λ.
-    pub lambda: f64,
-    /// Echo of p.
-    pub p: f64,
-    /// Load factor `λ·max{p, 1-p}`.
-    pub rho: f64,
-    /// Per-packet delay statistics (all delays ≥ d, the path length).
-    pub delay: DelayStats,
-    /// Mean vertical arcs per packet (≈ dp).
-    pub mean_vertical_hops: f64,
-    /// Time-averaged packets in the network over the measurement window.
-    pub mean_in_system: f64,
-    /// Peak packets in the network.
-    pub peak_in_system: f64,
-    /// Delivered packets per unit time in the measurement window.
-    pub throughput: f64,
-    /// Relative Little's-law discrepancy.
-    pub little_error: f64,
-    /// Measured per-arc arrival rate of straight arcs, per level
-    /// (Prop. 15 predicts `λ(1-p)` everywhere).
-    pub straight_rate_per_level: Vec<f64>,
-    /// Measured per-arc arrival rate of vertical arcs, per level
-    /// (Prop. 15 predicts `λp` everywhere).
-    pub vertical_rate_per_level: Vec<f64>,
-    /// Total packets generated.
-    pub generated: u64,
-    /// Total packets delivered.
-    pub delivered: u64,
-    /// Discrete events processed (arrivals + slot boundaries + service
-    /// completions).
-    pub events: u64,
-}
-
+/// An in-flight butterfly packet. Its current node (row, level) is implied
+/// by the arc queue holding it, so only the destination row rides along.
 #[derive(Clone, Copy, Debug)]
-struct BfPacket {
+pub struct BfPacket {
     born: f64,
     dest: u32,
     verticals: u16,
 }
 
-#[derive(Clone, Copy, Debug)]
-enum Ev {
-    Arrival,
-    SlotBoundary,
-    Complete(u32),
+impl EnginePacket for BfPacket {
+    #[inline]
+    fn born(&self) -> f64 {
+        self.born
+    }
 }
 
-/// Per-arc state: the waiting list (whose head is the packet in service
-/// when `busy`), the busy flag, and the arc's precomputed geometry — one
-/// cache line per completion, and no integer division by the runtime
-/// dimension (`ButterflyArc::from_index` costs two) on the hot path.
-#[derive(Clone, Copy, Debug, Default)]
-struct ArcState {
-    queue: ArcFifo,
-    /// Row at the arc's head node (`to_row` of the topology arc).
-    to_row: u32,
-    /// Level the arc leaves from.
-    level: u8,
-    vertical: bool,
-    busy: bool,
-}
+/// Bits of the packed arc word holding the arc's head row (`d ≤ 24`).
+const ARC_ROW_MASK: u32 = (1 << 24) - 1;
 
-/// The butterfly simulator.
-pub struct ButterflySim {
-    cfg: ButterflySimConfig,
-    bf: Butterfly,
-    /// One slab for every queued packet; arcs hold intrusive lists (the
-    /// head of a busy arc's list is the packet in service).
-    pool: SlabPool<BfPacket>,
-    arcs: Vec<ArcState>,
-    events: Scheduler<Ev>,
-    events_processed: u64,
-    arrival_rng: SimRng,
-    dest_rng: SimRng,
-    collector: MetricsCollector,
+/// Bit offset of the arc's level (bits 24..29).
+const ARC_LEVEL_SHIFT: u32 = 24;
+
+/// Vertical-arc flag (bit 29).
+const ARC_VERTICAL: u32 = 1 << 29;
+
+/// The butterfly's per-topology half of the generic engine. Engine nodes
+/// encode `[row; level]` as `level·2^d + row` (the same encoding the
+/// [`hyperroute_topology::RoutingTopology`] impl uses), so a source id
+/// (level 0) is just the row.
+pub struct ButterflySpec {
+    dim: usize,
+    p: f64,
     straight_arrivals: Vec<u64>,
     vertical_arrivals: Vec<u64>,
     vertical_stats: Tally,
 }
 
-impl ButterflySim {
-    /// Build a simulator.
-    pub fn new(cfg: ButterflySimConfig) -> ButterflySim {
-        cfg.validate();
-        let bf = Butterfly::new(cfg.dim);
-        let arcs = bf.num_arcs();
-        let mut root = SimRng::new(cfg.seed);
-        let mut arrival_rng = root.split();
-        let dest_rng = root.split();
-        let expected = (cfg.lambda * bf.num_rows() as f64 * (cfg.horizon - cfg.warmup)).max(64.0);
-        let collector = MetricsCollector::new(
-            cfg.warmup,
-            cfg.horizon,
-            (expected / 32.0).ceil() as u64,
-            cfg.seed,
-        );
-        // Rate hint: one arrival plus d completions per packet per unit.
-        let events_per_unit = cfg.lambda * bf.num_rows() as f64 * (1.0 + cfg.dim as f64);
-        let mut events = Scheduler::new(cfg.scheduler, events_per_unit);
-        let total_rate = cfg.lambda * bf.num_rows() as f64;
-        match cfg.arrivals {
-            ArrivalModel::Poisson => {
-                if total_rate > 0.0 {
-                    events.push(arrival_rng.exp(total_rate), Ev::Arrival);
-                }
-            }
-            ArrivalModel::Slotted { .. } => {
-                events.push(0.0, Ev::SlotBoundary);
+impl EngineSpec for ButterflySpec {
+    type Pkt = BfPacket;
+
+    fn num_sources(&self) -> usize {
+        1 << self.dim
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.dim << (self.dim + 1)
+    }
+
+    fn arc_meta(&self, arc: usize) -> u32 {
+        let a = ButterflyArc::from_index(arc, self.dim);
+        let vertical = if a.kind == ArcKind::Vertical {
+            ARC_VERTICAL
+        } else {
+            0
+        };
+        a.to_row().0 as u32 | ((a.level as u32) << ARC_LEVEL_SHIFT) | vertical
+    }
+
+    fn mean_hops_hint(&self) -> f64 {
+        self.dim as f64
+    }
+
+    fn generate(&mut self, t: f64, source: u32, dest_rng: &mut SimRng) -> Spawn<BfPacket> {
+        let mask = sample_flip_mask(dest_rng, self.dim, self.p);
+        // Even a same-row destination crosses d straight arcs: never a
+        // self-delivery.
+        Spawn::Route(BfPacket {
+            born: t,
+            dest: source ^ mask,
+            verticals: 0,
+        })
+    }
+
+    fn choose_arc(
+        &mut self,
+        _t: f64,
+        in_window: bool,
+        node: u32,
+        pkt: &mut BfPacket,
+        _route_rng: &mut SimRng,
+    ) -> u32 {
+        let row = node & ((1 << self.dim) - 1);
+        let level = (node >> self.dim) as usize;
+        debug_assert!(level < self.dim);
+        let vertical = (row >> level) & 1 != (pkt.dest >> level) & 1;
+        if in_window {
+            if vertical {
+                self.vertical_arrivals[level] += 1;
+            } else {
+                self.straight_arrivals[level] += 1;
             }
         }
-        ButterflySim {
-            cfg,
-            bf,
-            pool: SlabPool::with_capacity(1024),
-            arcs: (0..arcs)
-                .map(|idx| {
-                    let arc = ButterflyArc::from_index(idx, cfg.dim);
-                    ArcState {
-                        queue: ArcFifo::new(),
-                        to_row: arc.to_row().0 as u32,
-                        level: arc.level as u8,
-                        vertical: arc.kind == ArcKind::Vertical,
-                        busy: false,
-                    }
-                })
-                .collect(),
-            events,
-            events_processed: 0,
-            arrival_rng,
-            dest_rng,
-            collector,
-            straight_arrivals: vec![0; cfg.dim],
-            vertical_arrivals: vec![0; cfg.dim],
+        // Dense butterfly arc index: ((level·2^d) + row)·2 + kind.
+        ((((level << self.dim) + row as usize) << 1) | vertical as usize) as u32
+    }
+
+    fn note_service_end(&mut self, _t: f64, _meta: u32) {}
+
+    fn advance(&mut self, meta: u32, pkt: &mut BfPacket) -> Advance {
+        if meta & ARC_VERTICAL != 0 {
+            pkt.verticals += 1;
+        }
+        let row = meta & ARC_ROW_MASK;
+        let level = ((meta >> ARC_LEVEL_SHIFT) & 0x1F) as usize + 1;
+        if level == self.dim {
+            Advance::Deliver(self.dim as u16)
+        } else {
+            Advance::Forward(((level << self.dim) as u32) | row)
+        }
+    }
+
+    fn note_deliver(&mut self, pkt: &BfPacket, in_window: bool) {
+        if in_window {
+            self.vertical_stats.push(pkt.verticals as f64);
+        }
+    }
+}
+
+/// The butterfly simulator: a [`ButterflySpec`] driven by the generic
+/// [`Engine`].
+pub struct ButterflySim {
+    engine: Engine<ButterflySpec>,
+}
+
+impl ButterflySim {
+    /// Build the simulator from a validated butterfly scenario.
+    pub(crate) fn from_scenario(s: &Scenario) -> ButterflySim {
+        let Topology::Butterfly { dim } = s.topology else {
+            unreachable!("butterfly simulator on a non-butterfly scenario");
+        };
+        let bf = Butterfly::new(dim);
+        let spec = ButterflySpec {
+            dim,
+            p: s.workload.p,
+            straight_arrivals: vec![0; dim],
+            vertical_arrivals: vec![0; dim],
             vertical_stats: Tally::new(),
+        };
+        debug_assert_eq!(bf.num_arcs(), dim << (dim + 1));
+        let cfg = EngineCfg {
+            lambda: s.workload.lambda,
+            arrivals: s.workload.arrivals,
+            contention: s.policy.contention,
+            scheduler: s.run.scheduler,
+            horizon: s.run.horizon,
+            warmup: s.run.warmup,
+            seed: s.run.seed,
+            drain: s.run.drain,
+        };
+        ButterflySim {
+            engine: Engine::new(spec, cfg),
         }
     }
 
     /// Run to completion and summarise.
-    pub fn run(self) -> ButterflyReport {
+    pub fn run(self) -> Report {
         self.run_observed(&mut NullObserver)
     }
 
@@ -255,161 +184,43 @@ impl ButterflySim {
     ///
     /// The observer never changes the simulation — reports are
     /// bit-identical to an unobserved [`ButterflySim::run`].
-    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> ButterflyReport {
-        self.drive(obs);
+    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> Report {
+        self.engine.drive(obs);
         self.report()
     }
 
-    /// Run and sample the number-in-system every `interval`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "run with an `observe::TimeSeriesProbe` via `run_observed` instead"
-    )]
-    pub fn run_sampled(self, interval: f64) -> (ButterflyReport, Vec<(f64, f64)>) {
-        let mut probe = TimeSeriesProbe::new(interval, self.cfg.horizon);
-        let report = self.run_observed(&mut probe);
-        (report, probe.into_samples())
-    }
-
-    fn drive<O: Observer>(&mut self, obs: &mut O) {
-        while let Some((t, ev)) = self.events.pop() {
-            obs.on_event(t, self.collector.current_in_system());
-            self.events_processed += 1;
-            match ev {
-                Ev::Arrival => self.on_arrival(t),
-                Ev::SlotBoundary => self.on_slot_boundary(t),
-                Ev::Complete(arc) => self.on_complete(t, arc as usize, obs),
-            }
-            if !self.cfg.drain && t >= self.cfg.horizon {
-                break;
-            }
-        }
-    }
-
-    fn on_arrival(&mut self, t: f64) {
-        let total_rate = self.cfg.lambda * self.bf.num_rows() as f64;
-        let next = t + self.arrival_rng.exp(total_rate);
-        if next < self.cfg.horizon {
-            self.events.push(next, Ev::Arrival);
-        }
-        let row = self.arrival_rng.below(self.bf.num_rows()) as u32;
-        self.inject(t, row);
-    }
-
-    fn on_slot_boundary(&mut self, t: f64) {
-        let ArrivalModel::Slotted { slots_per_unit } = self.cfg.arrivals else {
-            unreachable!("slot boundary event outside slotted model");
-        };
-        let r = 1.0 / slots_per_unit as f64;
-        let mean = self.cfg.lambda * self.bf.num_rows() as f64 * r;
-        let batch = self.arrival_rng.poisson(mean);
-        for _ in 0..batch {
-            let row = self.arrival_rng.below(self.bf.num_rows()) as u32;
-            self.inject(t, row);
-        }
-        let next = t + r;
-        if next < self.cfg.horizon {
-            self.events.push(next, Ev::SlotBoundary);
-        }
-    }
-
-    fn inject(&mut self, t: f64, row: u32) {
-        let mask = sample_flip_mask(&mut self.dest_rng, self.cfg.dim, self.cfg.p);
-        self.collector.on_generated(t);
-        let pkt = BfPacket {
-            born: t,
-            dest: row ^ mask,
-            verticals: 0,
-        };
-        self.enqueue(t, row, 0, pkt);
-    }
-
-    /// Queue `pkt` at the unique next arc out of `[row; level]`.
-    fn enqueue(&mut self, t: f64, row: u32, level: usize, pkt: BfPacket) {
-        debug_assert!(level < self.cfg.dim);
-        let kind = if (row >> level) & 1 == (pkt.dest >> level) & 1 {
-            ArcKind::Straight
-        } else {
-            ArcKind::Vertical
-        };
-        let arc = ButterflyArc {
-            row: NodeId(row as u64),
-            level,
-            kind,
-        }
-        .index(self.cfg.dim);
-        if t >= self.cfg.warmup && t < self.cfg.horizon {
-            match kind {
-                ArcKind::Straight => self.straight_arrivals[level] += 1,
-                ArcKind::Vertical => self.vertical_arrivals[level] += 1,
-            }
-        }
-        self.arcs[arc].queue.push_back(&mut self.pool, pkt);
-        if !self.arcs[arc].busy {
-            self.arcs[arc].busy = true;
-            self.events.push(t + 1.0, Ev::Complete(arc as u32));
-        }
-    }
-
-    fn on_complete<O: Observer>(&mut self, t: f64, arc_idx: usize, obs: &mut O) {
-        let mut pkt = self.arcs[arc_idx]
-            .queue
-            .pop_front(&mut self.pool)
-            .expect("completion on empty queue");
-        if self.arcs[arc_idx].queue.is_empty() {
-            self.arcs[arc_idx].busy = false;
-        } else {
-            self.events.push(t + 1.0, Ev::Complete(arc_idx as u32));
-        }
-        let state = self.arcs[arc_idx];
-        if state.vertical {
-            pkt.verticals += 1;
-        }
-        let row = state.to_row;
-        let level = state.level as usize + 1;
-        if level == self.cfg.dim {
-            if pkt.born >= self.cfg.warmup && pkt.born < self.cfg.horizon {
-                self.vertical_stats.push(pkt.verticals as f64);
-            }
-            self.collector
-                .on_delivered(t, pkt.born, self.cfg.dim as u16);
-            obs.on_delivered(t, pkt.born);
-        } else {
-            self.enqueue(t, row, level, pkt);
-        }
-    }
-
-    fn report(&self) -> ButterflyReport {
-        let cfg = &self.cfg;
+    fn report(&self) -> Report {
+        let engine = &self.engine;
+        let spec = engine.spec();
+        let cfg = engine.cfg();
+        let collector = engine.collector();
         let span = cfg.horizon - cfg.warmup;
-        let arcs_per_level = self.bf.num_rows() as f64;
-        let straight: Vec<f64> = self
+        let arcs_per_level = (1usize << spec.dim) as f64;
+        let straight: Vec<f64> = spec
             .straight_arrivals
             .iter()
             .map(|&c| c as f64 / (span * arcs_per_level))
             .collect();
-        let vertical: Vec<f64> = self
+        let vertical: Vec<f64> = spec
             .vertical_arrivals
             .iter()
             .map(|&c| c as f64 / (span * arcs_per_level))
             .collect();
-        let little = self.collector.little_check(cfg.horizon);
-        ButterflyReport {
-            dim: cfg.dim,
-            lambda: cfg.lambda,
-            p: cfg.p,
-            rho: cfg.load_factor(),
-            delay: self.collector.delay_stats(),
-            mean_vertical_hops: self.vertical_stats.mean(),
-            mean_in_system: self.collector.mean_in_system(cfg.horizon),
-            peak_in_system: self.collector.peak_in_system(),
-            throughput: self.collector.throughput(cfg.horizon),
-            little_error: little.relative_error(),
-            straight_rate_per_level: straight,
-            vertical_rate_per_level: vertical,
-            generated: self.collector.generated(),
-            delivered: self.collector.delivered_total(),
-            events: self.events_processed,
+        Report {
+            delay: collector.delay_stats(),
+            mean_in_system: collector.mean_in_system(cfg.horizon),
+            peak_in_system: collector.peak_in_system(),
+            throughput: collector.throughput(cfg.horizon),
+            little_error: collector.little_check(cfg.horizon).relative_error(),
+            generated: collector.generated(),
+            delivered: collector.delivered_total(),
+            events: engine.events_processed(),
+            ext: ReportExt::Butterfly(ButterflyExt {
+                rho: cfg.lambda * spec.p.max(1.0 - spec.p),
+                mean_vertical_hops: spec.vertical_stats.mean(),
+                straight_rate_per_level: straight,
+                vertical_rate_per_level: vertical,
+            }),
         }
     }
 }
@@ -417,23 +228,34 @@ impl ButterflySim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ArrivalModel;
     use hyperroute_analysis::butterfly_bounds;
 
-    fn base_cfg() -> ButterflySimConfig {
-        ButterflySimConfig {
-            dim: 4,
-            lambda: 1.2,
-            p: 0.5, // ρ_bf = 0.6
-            horizon: 3_000.0,
-            warmup: 500.0,
-            seed: 21,
-            ..Default::default()
-        }
+    fn base_scenario() -> Scenario {
+        Scenario::builder(Topology::Butterfly { dim: 4 })
+            .lambda(1.2)
+            .p(0.5) // ρ_bf = 0.6
+            .horizon(3_000.0)
+            .warmup(500.0)
+            .seed(21)
+            .build()
+            .expect("valid scenario")
+    }
+
+    fn run(s: &Scenario) -> Report {
+        ButterflySim::from_scenario(s).run()
+    }
+
+    fn bf(r: &Report) -> &ButterflyExt {
+        let ReportExt::Butterfly(ext) = &r.ext else {
+            panic!("wrong report extension");
+        };
+        ext
     }
 
     #[test]
     fn all_delivered_and_delay_at_least_d() {
-        let r = ButterflySim::new(base_cfg()).run();
+        let r = run(&base_scenario());
         assert_eq!(r.generated, r.delivered);
         assert!(r.delay.p50 >= 4.0);
         assert!(r.delay.mean >= 4.0);
@@ -441,10 +263,9 @@ mod tests {
 
     #[test]
     fn delay_within_paper_bracket() {
-        let cfg = base_cfg();
-        let r = ButterflySim::new(cfg).run();
-        let lb = butterfly_bounds::universal_lower_bound(cfg.dim, cfg.lambda, cfg.p);
-        let ub = butterfly_bounds::greedy_upper_bound(cfg.dim, cfg.lambda, cfg.p);
+        let r = run(&base_scenario());
+        let lb = butterfly_bounds::universal_lower_bound(4, 1.2, 0.5);
+        let ub = butterfly_bounds::greedy_upper_bound(4, 1.2, 0.5);
         assert!(
             r.delay.mean >= lb * 0.97 && r.delay.mean <= ub * 1.03,
             "measured {} outside [{lb}, {ub}]",
@@ -454,60 +275,49 @@ mod tests {
 
     #[test]
     fn proposition_15_arc_rates() {
-        let cfg = base_cfg();
-        let r = ButterflySim::new(cfg).run();
-        for lvl in 0..cfg.dim {
+        let r = run(&base_scenario());
+        for lvl in 0..4 {
             assert!(
-                (r.straight_rate_per_level[lvl] - 0.6).abs() < 0.035,
+                (bf(&r).straight_rate_per_level[lvl] - 0.6).abs() < 0.035,
                 "straight level {lvl}: {}",
-                r.straight_rate_per_level[lvl]
+                bf(&r).straight_rate_per_level[lvl]
             );
             assert!(
-                (r.vertical_rate_per_level[lvl] - 0.6).abs() < 0.035,
+                (bf(&r).vertical_rate_per_level[lvl] - 0.6).abs() < 0.035,
                 "vertical level {lvl}: {}",
-                r.vertical_rate_per_level[lvl]
+                bf(&r).vertical_rate_per_level[lvl]
             );
         }
     }
 
     #[test]
     fn asymmetric_p_rates() {
-        let mut cfg = base_cfg();
-        cfg.p = 0.25;
-        cfg.lambda = 1.0;
-        let r = ButterflySim::new(cfg).run();
+        let mut s = base_scenario();
+        s.workload.p = 0.25;
+        s.workload.lambda = 1.0;
+        let r = run(&s);
         // Straight ≈ 0.75, vertical ≈ 0.25 at every level.
-        for lvl in 0..cfg.dim {
-            assert!((r.straight_rate_per_level[lvl] - 0.75).abs() < 0.035);
-            assert!((r.vertical_rate_per_level[lvl] - 0.25).abs() < 0.035);
+        for lvl in 0..4 {
+            assert!((bf(&r).straight_rate_per_level[lvl] - 0.75).abs() < 0.035);
+            assert!((bf(&r).vertical_rate_per_level[lvl] - 0.25).abs() < 0.035);
         }
         // Mean vertical hops ≈ dp = 1.
-        assert!((r.mean_vertical_hops - 1.0).abs() < 0.05);
+        assert!((bf(&r).mean_vertical_hops - 1.0).abs() < 0.05);
     }
 
     #[test]
     fn little_and_determinism() {
-        let a = ButterflySim::new(base_cfg()).run();
+        let a = run(&base_scenario());
         assert!(a.little_error < 0.05, "little {}", a.little_error);
-        let b = ButterflySim::new(base_cfg()).run();
+        let b = run(&base_scenario());
         assert_eq!(a.delay.mean, b.delay.mean);
     }
 
     #[test]
-    #[should_panic(expected = "slot per unit")]
-    fn rejects_zero_slots_per_unit() {
-        let cfg = ButterflySimConfig {
-            arrivals: ArrivalModel::Slotted { slots_per_unit: 0 },
-            ..base_cfg()
-        };
-        ButterflySim::new(cfg);
-    }
-
-    #[test]
     fn zero_load_edge() {
-        let mut cfg = base_cfg();
-        cfg.lambda = 0.0;
-        let r = ButterflySim::new(cfg).run();
+        let mut s = base_scenario();
+        s.workload.lambda = 0.0;
+        let r = run(&s);
         assert_eq!(r.generated, 0);
     }
 
@@ -515,38 +325,36 @@ mod tests {
     fn slotted_butterfly_obeys_bound_plus_slot() {
         // §4.3 end: slotted time treated as §3.4 — delay within
         // UB + r (same coupling argument as the hypercube case).
-        let mut cfg = base_cfg();
-        cfg.arrivals = ArrivalModel::Slotted { slots_per_unit: 2 };
-        let r = ButterflySim::new(cfg).run();
+        let mut s = base_scenario();
+        s.workload.arrivals = ArrivalModel::Slotted { slots_per_unit: 2 };
+        let r = run(&s);
         assert_eq!(r.generated, r.delivered);
-        let ub = butterfly_bounds::greedy_upper_bound(cfg.dim, cfg.lambda, cfg.p) + 0.5;
+        let ub = butterfly_bounds::greedy_upper_bound(4, 1.2, 0.5) + 0.5;
         assert!(
             r.delay.mean <= ub * 1.03,
             "slotted butterfly delay {} above {ub}",
             r.delay.mean
         );
         // All arrivals happen on the slot grid: delays keep the d floor.
-        assert!(r.delay.p50 >= cfg.dim as f64);
+        assert!(r.delay.p50 >= 4.0);
     }
 
     #[test]
     fn p_one_quantiles_match_md1_distribution() {
-        // At p = 1 (hypercube analogue: here p=1 means all-vertical paths
-        // with per-row streams) the butterfly's first-level vertical arc is
-        // M/D/1 and deeper levels never queue (regular departures), so
-        // delay quantiles are d - 1 + (M/D/1 sojourn quantile).
-        let cfg = ButterflySimConfig {
-            dim: 4,
-            lambda: 0.7,
-            p: 1.0,
-            horizon: 12_000.0,
-            warmup: 2_000.0,
-            seed: 5,
-            ..Default::default()
-        };
-        let r = ButterflySim::new(cfg).run();
+        // At p = 1 the butterfly's first-level vertical arc is M/D/1 and
+        // deeper levels never queue (regular departures), so delay
+        // quantiles are d - 1 + (M/D/1 sojourn quantile).
+        let s = Scenario::builder(Topology::Butterfly { dim: 4 })
+            .lambda(0.7)
+            .p(1.0)
+            .horizon(12_000.0)
+            .warmup(2_000.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        let r = run(&s);
         for (q, measured) in [(0.5, r.delay.p50), (0.9, r.delay.p90)] {
-            let predicted = cfg.dim as f64 + hyperroute_queueing::md1::wait_quantile(0.7, q);
+            let predicted = 4.0 + hyperroute_queueing::md1::wait_quantile(0.7, q);
             assert!(
                 (measured - predicted).abs() <= 0.35,
                 "q={q}: measured {measured} vs M/D/1 prediction {predicted}"

@@ -6,9 +6,8 @@ use std::fmt;
 /// A structured configuration-validation error.
 ///
 /// Returned by the [`crate::scenario::Scenario`] builder and by the
-/// fallible constructors in this module; the legacy per-simulator config
-/// structs funnel the same checks through panics for backward
-/// compatibility (their `Display` text is the panic message).
+/// fallible constructors in this module — every malformed spec surfaces
+/// as one of these before any engine is built.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ConfigError {
     /// Topology dimension outside the supported range.
@@ -63,6 +62,15 @@ pub enum ConfigError {
         /// The rejected round count.
         usize,
     ),
+    /// Ring node count outside the supported range.
+    RingSize {
+        /// The rejected node count.
+        nodes: usize,
+        /// Smallest accepted value.
+        min: usize,
+        /// Largest accepted value.
+        max: usize,
+    },
     /// The requested combination is meaningless for the chosen topology
     /// (e.g. a routing scheme on the butterfly, whose paths are unique).
     Unsupported {
@@ -109,6 +117,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::Rounds(r) => {
                 write!(f, "pipelined simulation needs at least 2 rounds, got {r}")
+            }
+            ConfigError::RingSize { nodes, min, max } => {
+                write!(f, "ring size {nodes} outside supported range {min}..={max}")
             }
             ConfigError::Unsupported { topology, feature } => {
                 write!(f, "the {topology} topology does not support {feature}")
@@ -267,10 +278,30 @@ pub enum DestinationSpec {
 /// Tolerance for the pmf unit-sum check (matches the analysis crate's).
 const PMF_SUM_TOLERANCE: f64 = 1e-9;
 
-/// Borrowed-field validation shared by the legacy sim configs and the
-/// hypercube arm of `Scenario::validate` — one implementation, so the
-/// scenario's no-clone validation can never drift from what the engine
-/// constructor enforces.
+/// Workload + measurement-window validation shared by every topology arm
+/// of `Scenario::validate` — one implementation, so the rules can never
+/// drift between topologies.
+pub(crate) fn check_workload_window(
+    lambda: f64,
+    p: f64,
+    horizon: f64,
+    warmup: f64,
+    arrivals: ArrivalModel,
+) -> Result<(), ConfigError> {
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(ConfigError::Lambda(lambda));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ConfigError::FlipProbability(p));
+    }
+    if !(horizon.is_finite() && warmup.is_finite() && horizon > warmup && warmup >= 0.0) {
+        return Err(ConfigError::Window { horizon, warmup });
+    }
+    arrivals.validate()
+}
+
+/// Borrowed-field validation for the dimension-parameterised packet
+/// simulators (hypercube/butterfly arms of `Scenario::validate`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn check_sim_fields(
     dim: usize,
@@ -289,16 +320,7 @@ pub(crate) fn check_sim_fields(
             max: max_dim,
         });
     }
-    if !(lambda >= 0.0 && lambda.is_finite()) {
-        return Err(ConfigError::Lambda(lambda));
-    }
-    if !(0.0..=1.0).contains(&p) {
-        return Err(ConfigError::FlipProbability(p));
-    }
-    if !(horizon.is_finite() && warmup.is_finite() && horizon > warmup && warmup >= 0.0) {
-        return Err(ConfigError::Window { horizon, warmup });
-    }
-    arrivals.validate()?;
+    check_workload_window(lambda, p, horizon, warmup, arrivals)?;
     match dest {
         Some(dest) => dest.validate(dim),
         None => Ok(()),

@@ -1,336 +1,225 @@
-//! Event-driven packet-level simulation of the hypercube under greedy (and
-//! baseline) routing — the paper's model, exactly (§1.1, §3).
+//! Hypercube instantiation of the generic engine — the paper's model,
+//! exactly (§1.1, §3).
 //!
 //! One deterministic unit-service FIFO queue per directed arc; packets
 //! cross the dimensions their destination requires in the order the scheme
-//! dictates; contention is resolved FIFO; no idling. Per-node Poisson
-//! sources are merged into one network-wide Poisson process of rate
-//! `λ·2^d` with uniform node assignment (superposition is exact, and keeps
-//! the event heap small).
+//! dictates; contention is resolved FIFO (or by the configured ablation
+//! policy); no idling. Per-node Poisson sources are merged into one
+//! network-wide Poisson process of rate `λ·2^d` with uniform node
+//! assignment (superposition is exact, and keeps the event set small).
+//!
+//! Everything event-loop-shaped lives in [`crate::engine`]; this module is
+//! only the hypercube's routing law ([`HypercubeSpec`]), its per-dimension
+//! statistics, and its [`Report`] assembly. Construct through
+//! [`crate::scenario::Scenario`] with
+//! [`crate::scenario::Topology::Hypercube`].
 
-// The config struct defined here is the deprecated legacy entry point;
-// this module necessarily keeps using it internally.
-#![allow(deprecated)]
-
-use crate::config::{ArrivalModel, ConfigError, ContentionPolicy, DestinationSpec, Scheme};
-use crate::metrics::{DelayStats, MetricsCollector};
-use crate::observe::{NullObserver, Observer, TimeSeriesProbe};
+use crate::config::{DestinationSpec, Scheme};
+use crate::engine::{Advance, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
+use crate::observe::{NullObserver, Observer};
 use crate::packet::{next_dim, sample_flip_mask, MaskSampler, Packet, NO_SECOND_LEG};
-use crate::pool::{ArcBag, ArcFifo, SlabPool};
-use hyperroute_desim::{Scheduler, SchedulerKind, SimRng};
+use crate::scenario::{HypercubeExt, Report, ReportExt, Scenario, Topology};
+use hyperroute_desim::{SimRng, TimeIntegral};
 use hyperroute_topology::Hypercube;
-use serde::{Deserialize, Serialize};
 
-/// Configuration of a hypercube routing simulation.
-///
-/// Deprecated legacy entry point: build a
-/// [`crate::scenario::Scenario`] with
-/// [`crate::scenario::Topology::Hypercube`] instead — one spec drives all
-/// topologies, validates fallibly, and serialises to scenario files. This
-/// struct remains as a thin shim for one release; the scenario path
-/// produces byte-identical reports.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `scenario::Scenario` with `Topology::Hypercube` instead"
-)]
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct HypercubeSimConfig {
-    /// Hypercube dimension `d`.
-    pub dim: usize,
-    /// Per-node Poisson generation rate `λ`.
-    pub lambda: f64,
-    /// Bit-flip probability `p` of the destination distribution (Eq. (1)).
-    /// Ignored when `dest` is a custom pmf.
-    pub p: f64,
-    /// Routing scheme.
-    pub scheme: Scheme,
-    /// Continuous (Poisson) or slotted-batch arrivals (§3.4).
-    pub arrivals: ArrivalModel,
-    /// Destination distribution: Eq. (1) bit-flips, or an arbitrary
-    /// translation-invariant pmf over XOR masks (§2.2 generalisation).
-    pub dest: DestinationSpec,
-    /// Contention-resolution rule at each arc (paper: FIFO).
-    pub contention: ContentionPolicy,
-    /// Future-event-list backend. Both produce bit-identical runs; the
-    /// calendar queue (default) is amortized `O(1)` per event on this
-    /// unit-service model where the heap pays `O(log n)`.
-    pub scheduler: SchedulerKind,
-    /// Generation stops at this time.
-    pub horizon: f64,
-    /// Packets born before this time are not measured.
-    pub warmup: f64,
-    /// RNG seed; every run is a deterministic function of it.
-    pub seed: u64,
-    /// After the horizon, keep serving until every in-flight packet is
-    /// delivered (so all measured packets complete). Disable for
-    /// instability probes.
-    pub drain: bool,
-}
-
-impl Default for HypercubeSimConfig {
-    fn default() -> Self {
-        HypercubeSimConfig {
-            dim: 4,
-            lambda: 1.0,
-            p: 0.5,
-            scheme: Scheme::Greedy,
-            arrivals: ArrivalModel::Poisson,
-            dest: DestinationSpec::BitFlip,
-            contention: ContentionPolicy::Fifo,
-            scheduler: SchedulerKind::default(),
-            horizon: 1_000.0,
-            warmup: 200.0,
-            seed: 0xC0FFEE,
-            drain: true,
-        }
+impl EnginePacket for Packet {
+    #[inline]
+    fn born(&self) -> f64 {
+        self.born
     }
 }
 
-impl HypercubeSimConfig {
-    /// Load factor `ρ = λp` (doubled expected path ⇒ doubled effective load
-    /// under two-phase Valiant, which this does *not* account for).
-    pub fn load_factor(&self) -> f64 {
-        self.lambda * self.p
-    }
+/// Bits of the packed arc word holding the arc's target node (`d ≤ 26` ⇒
+/// nodes fit in 26 bits, below the dimension field and the engine's busy
+/// bit).
+const ARC_NODE_MASK: u32 = (1 << 26) - 1;
 
-    /// Structured validation of this configuration — every check the
-    /// constructor enforces, as a [`ConfigError`] instead of a panic.
-    ///
-    /// Release builds validate here, once, instead of per event inside
-    /// the scheduler's push (whose time check is a debug_assert!): every
-    /// event time is `now + 1.0`, `now + Exp(Λ)` or `now + r`, so finite
-    /// non-negative inputs imply finite non-negative event times.
-    pub fn check(&self) -> Result<(), ConfigError> {
-        crate::config::check_sim_fields(
-            self.dim,
-            26,
-            self.lambda,
-            self.p,
-            self.horizon,
-            self.warmup,
-            self.arrivals,
-            Some(&self.dest),
-        )
-    }
+/// Bit offset of the arc's dimension in the packed arc word (bits 26..31).
+const ARC_DIM_SHIFT: u32 = 26;
 
-    fn validate(&self) {
-        if let Err(e) = self.check() {
-            panic!("{e}");
-        }
-    }
-}
-
-/// Results of a hypercube simulation run.
-///
-/// `PartialEq` compares every field bit-for-bit — the scheduler-equivalence
-/// tests assert that heap- and calendar-backed runs of the same seed yield
-/// *equal* reports, not merely statistically close ones.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct HypercubeReport {
-    /// Echo of the dimension.
-    pub dim: usize,
-    /// Echo of λ.
-    pub lambda: f64,
-    /// Echo of p.
-    pub p: f64,
-    /// Load factor ρ = λp.
-    pub rho: f64,
-    /// Per-packet delay statistics (packets born in the measurement
-    /// window).
-    pub delay: DelayStats,
-    /// Mean hops per measured packet (≈ dp for greedy, Lemma 1).
-    pub mean_hops: f64,
-    /// Fraction of measured packets with destination = origin
-    /// (≈ (1-p)^d).
-    pub zero_hop_fraction: f64,
-    /// Time-averaged packets in the network over the measurement window.
-    pub mean_in_system: f64,
-    /// Peak packets in the network.
-    pub peak_in_system: f64,
-    /// Delivered packets per unit time in the measurement window.
-    pub throughput: f64,
-    /// Relative Little's-law discrepancy (sanity check; small when
-    /// converged).
-    pub little_error: f64,
-    /// Measured per-arc arrival rate for each dimension (Prop. 5 predicts
-    /// every entry ≈ ρ under greedy routing).
-    pub per_dim_arc_rate: Vec<f64>,
-    /// Time-averaged number of packets at an arc of each dimension
-    /// (queue + in service). Prop. 13's proof: dimension 0 is *exactly*
-    /// M/D/1 (`ρ + ρ²/(2(1-ρ))`, Eq. (16)); deeper dimensions hold at
-    /// least `ρ` (Eq. (15) machinery).
-    pub per_dim_mean_queue: Vec<f64>,
-    /// Total packets generated.
-    pub generated: u64,
-    /// Total packets delivered.
-    pub delivered: u64,
-    /// Discrete events processed (arrivals + slot boundaries + service
-    /// completions) — the denominator of the engine's events/sec metric.
-    pub events: u64,
-}
-
-#[derive(Clone, Copy, Debug)]
-enum Ev {
-    /// Merged-Poisson packet generation (continuous model).
-    Arrival,
-    /// Slot boundary: generate this slot's batches (slotted model).
-    SlotBoundary,
-    /// Service completion at the arc with this dense index, carrying the
-    /// packet that was in service. The packet rides in the event instead
-    /// of the arc, so a completion needs no dependent load of per-arc
-    /// serving state: the scheduler entry it just popped (hot by
-    /// construction) already holds the packet.
-    Complete(u32, Packet),
-}
-
-/// Busy flag of [`ArcState::to_node_dim`]: set while a packet occupies the
-/// arc's server (its payload rides in the pending [`Ev::Complete`]).
-const ARC_BUSY: u32 = 1 << 26;
-
-/// Bits of [`ArcState::to_node_dim`] holding the arc's target node
-/// (`d ≤ 26` ⇒ nodes fit in 26 bits, below the busy flag).
-const ARC_NODE_MASK: u32 = ARC_BUSY - 1;
-
-/// Per-arc state, exactly 16 bytes: the intrusive list of waiters plus the
-/// arc's precomputed routing word. Arcs are visited in data-dependent
-/// random order, so this is the simulator's locality-critical structure —
-/// at 16 bytes, four arcs share a cache line and the whole d=8 arc array
-/// is L1-resident. The in-service packet lives inside the pending
-/// [`Ev::Complete`] event (the completion that consumes it pops that very
-/// event), leaving only a busy bit here; the packed `to_node`/`dim`
-/// replaces two integer divisions by the runtime dimension on every
-/// completion.
-#[derive(Clone, Copy, Debug, Default)]
-struct ArcState {
-    waiting: ArcFifo,
-    /// Target node of this arc (bits 0..26, `node ⊕ 2^dim`), the busy
-    /// flag ([`ARC_BUSY`], bit 26) and the arc's dimension (bits 27..32);
-    /// `d ≤ 26` keeps every field in range.
-    to_node_dim: u32,
-}
-
-/// The simulator. Construct with [`HypercubeSim::new`], execute with
-/// [`HypercubeSim::run`] or [`HypercubeSim::run_observed`].
-pub struct HypercubeSim {
-    cfg: HypercubeSimConfig,
-    cube: Hypercube,
-    /// One slab for every waiting packet in the network; arcs hold only
-    /// intrusive `(head, tail)` lists into it.
-    pool: SlabPool<Packet>,
-    /// Packet in service + waiting list, one entry per arc.
-    arcs: Vec<ArcState>,
-    /// Indexed waiting storage, one bag per arc — allocated (and used)
-    /// only under [`ContentionPolicy::Random`], where a uniform pick from
-    /// an intrusive list would walk `O(queue)` links ([`ArcBag`]).
-    bags: Vec<ArcBag<Packet>>,
-    events: Scheduler<Ev>,
-    events_processed: u64,
-    arrival_rng: SimRng,
-    dest_rng: SimRng,
-    route_rng: SimRng,
-    contention_rng: SimRng,
+/// The hypercube's per-topology half of the generic engine: destination
+/// law (Eq. (1) bit-flips or a mask pmf), scheme-ordered dimension
+/// crossing (greedy / random-order / two-phase Valiant), and the Prop. 5 /
+/// Prop. 13 per-dimension measurements.
+pub struct HypercubeSpec {
+    dim: usize,
+    p: f64,
+    scheme: Scheme,
     mask_sampler: Option<MaskSampler>,
-    collector: MetricsCollector,
+    warmup: f64,
+    horizon: f64,
     dim_arrivals: Vec<u64>,
     /// Time-weighted total occupancy per dimension (all 2^d arcs pooled).
-    dim_occupancy: Vec<hyperroute_desim::TimeIntegral>,
+    dim_occupancy: Vec<TimeIntegral>,
     dim_occ_reset_done: bool,
-    now: f64,
 }
 
-impl HypercubeSim {
-    /// Build a simulator (allocates the per-arc queues).
-    pub fn new(cfg: HypercubeSimConfig) -> HypercubeSim {
-        cfg.validate();
-        let cube = Hypercube::new(cfg.dim);
-        let arcs = cube.num_arcs();
-        let mut root = SimRng::new(cfg.seed);
-        let mut arrival_rng = root.split();
-        let dest_rng = root.split();
-        let route_rng = root.split();
-        let contention_rng = root.split();
-        let mask_sampler = match &cfg.dest {
-            DestinationSpec::BitFlip => None,
-            DestinationSpec::MaskPmf(pmf) => Some(MaskSampler::new(pmf)),
-        };
-        // Batch size for the delay CI: aim for ~30 batches over the window.
-        let expected_packets =
-            (cfg.lambda * cube.num_nodes() as f64 * (cfg.horizon - cfg.warmup)).max(64.0);
-        let batch = (expected_packets / 32.0).ceil() as u64;
-        let collector = MetricsCollector::new(cfg.warmup, cfg.horizon, batch, cfg.seed);
-        // Calendar sizing hint: arrivals (λ·2^d per unit) plus one
-        // completion per hop (≤ d per packet). Only bucket granularity
-        // depends on this; correctness never does.
-        let events_per_unit = cfg.lambda * cube.num_nodes() as f64 * (1.0 + cfg.dim as f64);
-        let mut events = Scheduler::new(cfg.scheduler, events_per_unit);
-        match cfg.arrivals {
-            ArrivalModel::Poisson => {
-                // First merged arrival; rate λ·2^d.
-                let total_rate = cfg.lambda * cube.num_nodes() as f64;
-                if total_rate > 0.0 {
-                    events.push(arrival_rng.exp(total_rate), Ev::Arrival);
-                }
-            }
-            ArrivalModel::Slotted { .. } => {
-                events.push(0.0, Ev::SlotBoundary);
-            }
-        }
-        let dim = cfg.dim;
-        let warmup = cfg.warmup;
-        HypercubeSim {
-            bags: if cfg.contention == ContentionPolicy::Random {
-                vec![ArcBag::new(); arcs]
-            } else {
-                Vec::new()
-            },
-            cfg,
-            cube,
-            pool: SlabPool::with_capacity(1024),
-            arcs: (0..arcs)
-                .map(|arc| {
-                    let (node, d) = ((arc / dim) as u32, arc % dim);
-                    ArcState {
-                        waiting: ArcFifo::new(),
-                        to_node_dim: (node ^ (1 << d)) | ((d as u32) << 27),
-                    }
-                })
-                .collect(),
-            events,
-            events_processed: 0,
-            arrival_rng,
-            dest_rng,
-            route_rng,
-            contention_rng,
-            mask_sampler,
-            collector,
-            dim_arrivals: vec![0; dim],
-            dim_occupancy: (0..dim)
-                .map(|_| hyperroute_desim::TimeIntegral::new(0.0, 0.0))
-                .collect(),
-            dim_occ_reset_done: warmup == 0.0,
-            now: 0.0,
-        }
-    }
-
+impl HypercubeSpec {
     /// Track the pooled occupancy of one dimension's arcs; integration
     /// restarts at the warm-up boundary and freezes at the horizon, like
     /// the main collector's number-in-system signal.
     fn bump_dim_occupancy(&mut self, t: f64, dim: usize, delta: f64) {
-        if !self.dim_occ_reset_done && t >= self.cfg.warmup {
-            let w = self.cfg.warmup;
+        if !self.dim_occ_reset_done && t >= self.warmup {
+            let w = self.warmup;
             for tw in &mut self.dim_occupancy {
                 tw.add(w, 0.0);
                 tw.reset(w);
             }
             self.dim_occ_reset_done = true;
         }
-        if t < self.cfg.horizon {
+        if t < self.horizon {
             self.dim_occupancy[dim].add(t, delta);
         }
     }
 
+    /// One destination mask from the configured distribution.
+    fn sample_dest_mask(&mut self, rng: &mut SimRng) -> u32 {
+        match &self.mask_sampler {
+            Some(sampler) => sampler.sample(rng),
+            None => sample_flip_mask(rng, self.dim, self.p),
+        }
+    }
+}
+
+impl EngineSpec for HypercubeSpec {
+    type Pkt = Packet;
+
+    fn num_sources(&self) -> usize {
+        1 << self.dim
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.dim << self.dim
+    }
+
+    fn arc_meta(&self, arc: usize) -> u32 {
+        let (node, d) = ((arc / self.dim) as u32, arc % self.dim);
+        (node ^ (1 << d)) | ((d as u32) << ARC_DIM_SHIFT)
+    }
+
+    fn mean_hops_hint(&self) -> f64 {
+        self.dim as f64
+    }
+
+    fn generate(&mut self, t: f64, source: u32, dest_rng: &mut SimRng) -> Spawn<Packet> {
+        match self.scheme {
+            Scheme::Greedy | Scheme::RandomOrder => {
+                let mask = self.sample_dest_mask(dest_rng);
+                if mask == 0 {
+                    Spawn::SelfDeliver
+                } else {
+                    Spawn::Route(Packet::new(t, mask, NO_SECOND_LEG))
+                }
+            }
+            Scheme::TwoPhaseValiant => {
+                // Leg 1: uniformly random intermediate node ⇒ the leg mask
+                // flips each bit with probability 1/2.
+                let inter_mask = sample_flip_mask(dest_rng, self.dim, 0.5);
+                let dest_mask = self.sample_dest_mask(dest_rng);
+                let final_dest = source ^ dest_mask;
+                if inter_mask == 0 && source == final_dest {
+                    Spawn::SelfDeliver
+                } else if inter_mask == 0 {
+                    // Degenerate leg 1; go straight to leg 2.
+                    Spawn::Route(Packet::new(t, source ^ final_dest, NO_SECOND_LEG))
+                } else {
+                    Spawn::Route(Packet::new(t, inter_mask, final_dest))
+                }
+            }
+        }
+    }
+
+    fn choose_arc(
+        &mut self,
+        t: f64,
+        in_window: bool,
+        node: u32,
+        pkt: &mut Packet,
+        route_rng: &mut SimRng,
+    ) -> u32 {
+        debug_assert!(pkt.remaining != 0);
+        let dim = next_dim(self.scheme, pkt.remaining, route_rng);
+        pkt.remaining &= !(1u32 << dim);
+        if in_window {
+            self.dim_arrivals[dim] += 1;
+        }
+        self.bump_dim_occupancy(t, dim, 1.0);
+        (node as usize * self.dim + dim) as u32
+    }
+
+    fn note_service_end(&mut self, t: f64, meta: u32) {
+        self.bump_dim_occupancy(t, (meta >> ARC_DIM_SHIFT) as usize, -1.0);
+    }
+
+    fn advance(&mut self, meta: u32, pkt: &mut Packet) -> Advance {
+        pkt.hops += 1;
+        let node = meta & ARC_NODE_MASK;
+        if pkt.remaining != 0 {
+            Advance::Forward(node)
+        } else if pkt.second_leg_dest != NO_SECOND_LEG {
+            let mask = node ^ pkt.second_leg_dest;
+            pkt.second_leg_dest = NO_SECOND_LEG;
+            if mask == 0 {
+                Advance::Deliver(pkt.hops)
+            } else {
+                pkt.remaining = mask;
+                Advance::Forward(node)
+            }
+        } else {
+            Advance::Deliver(pkt.hops)
+        }
+    }
+
+    fn note_deliver(&mut self, _pkt: &Packet, _in_window: bool) {}
+}
+
+/// The hypercube simulator: a [`HypercubeSpec`] driven by the generic
+/// [`Engine`]. Built by the scenario layer; run with [`HypercubeSim::run`]
+/// or [`HypercubeSim::run_observed`].
+pub struct HypercubeSim {
+    engine: Engine<HypercubeSpec>,
+}
+
+impl HypercubeSim {
+    /// Build the simulator from a validated hypercube scenario.
+    pub(crate) fn from_scenario(s: &Scenario) -> HypercubeSim {
+        let Topology::Hypercube { dim } = s.topology else {
+            unreachable!("hypercube simulator on a non-hypercube scenario");
+        };
+        let cube = Hypercube::new(dim);
+        let mask_sampler = match &s.workload.dest {
+            DestinationSpec::BitFlip => None,
+            DestinationSpec::MaskPmf(pmf) => Some(MaskSampler::new(pmf)),
+        };
+        let spec = HypercubeSpec {
+            dim,
+            p: s.workload.p,
+            scheme: s.policy.scheme,
+            mask_sampler,
+            warmup: s.run.warmup,
+            horizon: s.run.horizon,
+            dim_arrivals: vec![0; dim],
+            dim_occupancy: (0..dim).map(|_| TimeIntegral::new(0.0, 0.0)).collect(),
+            dim_occ_reset_done: s.run.warmup == 0.0,
+        };
+        let cfg = EngineCfg {
+            lambda: s.workload.lambda,
+            arrivals: s.workload.arrivals,
+            contention: s.policy.contention,
+            scheduler: s.run.scheduler,
+            horizon: s.run.horizon,
+            warmup: s.run.warmup,
+            seed: s.run.seed,
+            drain: s.run.drain,
+        };
+        debug_assert_eq!(cube.num_arcs(), dim << dim);
+        HypercubeSim {
+            engine: Engine::new(spec, cfg),
+        }
+    }
+
     /// Run to completion and summarise.
-    pub fn run(self) -> HypercubeReport {
+    pub fn run(self) -> Report {
         self.run_observed(&mut NullObserver)
     }
 
@@ -339,222 +228,44 @@ impl HypercubeSim {
     /// The observer sees every event (before it is applied) and every
     /// delivery; it never changes the simulation — reports are
     /// bit-identical to an unobserved [`HypercubeSim::run`].
-    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> HypercubeReport {
-        self.drive(obs);
+    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> Report {
+        self.engine.drive(obs);
         self.report()
     }
 
-    /// Run to completion, additionally sampling the total number-in-system
-    /// every `interval` time units.
-    #[deprecated(
-        since = "0.2.0",
-        note = "run with an `observe::TimeSeriesProbe` via `run_observed` instead"
-    )]
-    pub fn run_sampled(self, interval: f64) -> (HypercubeReport, Vec<(f64, f64)>) {
-        let mut probe = TimeSeriesProbe::new(interval, self.cfg.horizon);
-        let report = self.run_observed(&mut probe);
-        (report, probe.into_samples())
-    }
-
-    fn drive<O: Observer>(&mut self, obs: &mut O) {
-        while let Some((t, ev)) = self.events.pop() {
-            obs.on_event(t, self.collector.current_in_system());
-            self.events_processed += 1;
-            self.now = t;
-            match ev {
-                Ev::Arrival => self.on_merged_arrival(t, obs),
-                Ev::SlotBoundary => self.on_slot_boundary(t, obs),
-                Ev::Complete(arc, pkt) => self.on_complete(t, arc as usize, pkt, obs),
-            }
-            if !self.cfg.drain && t >= self.cfg.horizon {
-                break;
-            }
-        }
-    }
-
-    fn on_merged_arrival<O: Observer>(&mut self, t: f64, obs: &mut O) {
-        // Schedule the next merged arrival first (keeps the stream's draws
-        // independent of per-packet sampling).
-        let total_rate = self.cfg.lambda * self.cube.num_nodes() as f64;
-        let next = t + self.arrival_rng.exp(total_rate);
-        if next < self.cfg.horizon {
-            self.events.push(next, Ev::Arrival);
-        }
-        let node = self.arrival_rng.below(self.cube.num_nodes()) as u32;
-        self.generate_packet(t, node, obs);
-    }
-
-    fn on_slot_boundary<O: Observer>(&mut self, t: f64, obs: &mut O) {
-        let ArrivalModel::Slotted { slots_per_unit } = self.cfg.arrivals else {
-            unreachable!("slot boundary event outside slotted model");
-        };
-        let r = 1.0 / slots_per_unit as f64;
-        // Total batch over all nodes is Poisson(λ·2^d·r); nodes uniform.
-        let mean = self.cfg.lambda * self.cube.num_nodes() as f64 * r;
-        let batch = self.arrival_rng.poisson(mean);
-        for _ in 0..batch {
-            let node = self.arrival_rng.below(self.cube.num_nodes()) as u32;
-            self.generate_packet(t, node, obs);
-        }
-        let next = t + r;
-        if next < self.cfg.horizon {
-            self.events.push(next, Ev::SlotBoundary);
-        }
-    }
-
-    /// One destination mask from the configured distribution.
-    fn sample_dest_mask(&mut self) -> u32 {
-        match &self.mask_sampler {
-            Some(sampler) => sampler.sample(&mut self.dest_rng),
-            None => sample_flip_mask(&mut self.dest_rng, self.cfg.dim, self.cfg.p),
-        }
-    }
-
-    fn generate_packet<O: Observer>(&mut self, t: f64, node: u32, obs: &mut O) {
-        self.collector.on_generated(t);
-        let d = self.cfg.dim;
-        match self.cfg.scheme {
-            Scheme::Greedy | Scheme::RandomOrder => {
-                let mask = self.sample_dest_mask();
-                let pkt = Packet::new(t, mask, NO_SECOND_LEG);
-                if mask == 0 {
-                    self.collector.on_delivered(t, t, 0);
-                    obs.on_delivered(t, t);
-                } else {
-                    self.enqueue(t, node, pkt);
-                }
-            }
-            Scheme::TwoPhaseValiant => {
-                // Leg 1: uniformly random intermediate node ⇒ the leg mask
-                // flips each bit with probability 1/2.
-                let inter_mask = sample_flip_mask(&mut self.dest_rng, d, 0.5);
-                let dest_mask = self.sample_dest_mask();
-                let final_dest = node ^ dest_mask;
-                if inter_mask == 0 && node == final_dest {
-                    self.collector.on_delivered(t, t, 0);
-                    obs.on_delivered(t, t);
-                    return;
-                }
-                if inter_mask == 0 {
-                    // Degenerate leg 1; go straight to leg 2.
-                    let pkt = Packet::new(t, node ^ final_dest, NO_SECOND_LEG);
-                    self.enqueue(t, node, pkt);
-                } else {
-                    let pkt = Packet::new(t, inter_mask, final_dest);
-                    self.enqueue(t, node, pkt);
-                }
-            }
-        }
-    }
-
-    /// Put `pkt` (whose `remaining` is non-empty) into the queue of the arc
-    /// its scheme chooses out of `node`; start service if the arc is idle.
-    fn enqueue(&mut self, t: f64, node: u32, mut pkt: Packet) {
-        debug_assert!(pkt.remaining != 0);
-        let dim = next_dim(self.cfg.scheme, pkt.remaining, &mut self.route_rng);
-        pkt.remaining &= !(1u32 << dim);
-        let arc = node as usize * self.cfg.dim + dim;
-        if t >= self.cfg.warmup && t < self.cfg.horizon {
-            self.dim_arrivals[dim] += 1;
-        }
-        self.bump_dim_occupancy(t, dim, 1.0);
-        if self.arcs[arc].to_node_dim & ARC_BUSY == 0 {
-            self.arcs[arc].to_node_dim |= ARC_BUSY;
-            self.events.push(t + 1.0, Ev::Complete(arc as u32, pkt));
-        } else if self.cfg.contention == ContentionPolicy::Random {
-            self.bags[arc].insert(pkt);
-        } else {
-            self.arcs[arc].waiting.push_back(&mut self.pool, pkt);
-        }
-    }
-
-    /// Pick the next waiting packet per the contention policy and start
-    /// its service. FIFO pops the head of the intrusive list, LIFO the
-    /// tail (both `O(1)`). Random draws a uniform position from the arc's
-    /// [`ArcBag`] — indexed storage where removal is a `swap_remove`, so
-    /// the pick is `O(1)` however long the queue grows (the intrusive
-    /// list would walk `O(min(n, len-n))` links; see [`ArcFifo::take_nth`]
-    /// for why). The bag does not preserve arrival order, which only a
-    /// policy that ignores arrival order can afford.
-    fn start_next_service(&mut self, t: f64, arc: usize) {
-        debug_assert!(self.arcs[arc].to_node_dim & ARC_BUSY != 0);
-        let pkt = match self.cfg.contention {
-            ContentionPolicy::Fifo => self.arcs[arc].waiting.pop_front(&mut self.pool),
-            ContentionPolicy::Lifo => self.arcs[arc].waiting.pop_back(&mut self.pool),
-            ContentionPolicy::Random => {
-                let len = self.bags[arc].len();
-                if len == 0 {
-                    None
-                } else {
-                    let n = self.contention_rng.below(len);
-                    self.bags[arc].take(n)
-                }
-            }
-        };
-        match pkt {
-            Some(pkt) => self.events.push(t + 1.0, Ev::Complete(arc as u32, pkt)),
-            None => self.arcs[arc].to_node_dim &= !ARC_BUSY,
-        }
-    }
-
-    fn on_complete<O: Observer>(&mut self, t: f64, arc: usize, mut pkt: Packet, obs: &mut O) {
-        let packed = self.arcs[arc].to_node_dim;
-        debug_assert!(packed & ARC_BUSY != 0, "completion on an idle arc");
-        self.bump_dim_occupancy(t, (packed >> 27) as usize, -1.0);
-        self.start_next_service(t, arc);
-        pkt.hops += 1;
-        let node = packed & ARC_NODE_MASK;
-        if pkt.remaining != 0 {
-            self.enqueue(t, node, pkt);
-        } else if pkt.second_leg_dest != NO_SECOND_LEG {
-            let mask = node ^ pkt.second_leg_dest;
-            pkt.second_leg_dest = NO_SECOND_LEG;
-            if mask == 0 {
-                self.collector.on_delivered(t, pkt.born, pkt.hops);
-                obs.on_delivered(t, pkt.born);
-            } else {
-                pkt.remaining = mask;
-                self.enqueue(t, node, pkt);
-            }
-        } else {
-            self.collector.on_delivered(t, pkt.born, pkt.hops);
-            obs.on_delivered(t, pkt.born);
-        }
-    }
-
-    fn report(&self) -> HypercubeReport {
-        let cfg = &self.cfg;
-        let t_end = cfg.horizon;
+    fn report(&self) -> Report {
+        let engine = &self.engine;
+        let spec = engine.spec();
+        let cfg = engine.cfg();
+        let collector = engine.collector();
         let span = cfg.horizon - cfg.warmup;
-        let arcs_per_dim = self.cube.num_nodes() as f64;
-        let per_dim_arc_rate: Vec<f64> = self
+        let arcs_per_dim = (1usize << spec.dim) as f64;
+        let per_dim_arc_rate: Vec<f64> = spec
             .dim_arrivals
             .iter()
             .map(|&c| c as f64 / (span * arcs_per_dim))
             .collect();
-        let per_dim_mean_queue: Vec<f64> = self
+        let per_dim_mean_queue: Vec<f64> = spec
             .dim_occupancy
             .iter()
             .map(|tw| tw.mean(cfg.horizon) / arcs_per_dim)
             .collect();
-        let little = self.collector.little_check(t_end);
-        HypercubeReport {
-            dim: cfg.dim,
-            lambda: cfg.lambda,
-            p: cfg.p,
-            rho: cfg.load_factor(),
-            delay: self.collector.delay_stats(),
-            mean_hops: self.collector.mean_hops(),
-            zero_hop_fraction: self.collector.zero_hop_fraction(),
-            mean_in_system: self.collector.mean_in_system(t_end),
-            peak_in_system: self.collector.peak_in_system(),
-            throughput: self.collector.throughput(t_end),
-            little_error: little.relative_error(),
-            per_dim_arc_rate,
-            per_dim_mean_queue,
-            generated: self.collector.generated(),
-            delivered: self.collector.delivered_total(),
-            events: self.events_processed,
+        Report {
+            delay: collector.delay_stats(),
+            mean_in_system: collector.mean_in_system(cfg.horizon),
+            peak_in_system: collector.peak_in_system(),
+            throughput: collector.throughput(cfg.horizon),
+            little_error: collector.little_check(cfg.horizon).relative_error(),
+            generated: collector.generated(),
+            delivered: collector.delivered_total(),
+            events: engine.events_processed(),
+            ext: ReportExt::Hypercube(HypercubeExt {
+                rho: cfg.lambda * spec.p,
+                mean_hops: collector.mean_hops(),
+                zero_hop_fraction: collector.zero_hop_fraction(),
+                per_dim_arc_rate,
+                per_dim_mean_queue,
+            }),
         }
     }
 }
@@ -562,43 +273,44 @@ impl HypercubeSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ContentionPolicy;
+    use crate::config::{ArrivalModel, ConfigError, ContentionPolicy};
+    use crate::scenario::Scenario;
     use hyperroute_analysis::hypercube_bounds;
 
-    fn base_cfg() -> HypercubeSimConfig {
-        HypercubeSimConfig {
-            dim: 4,
-            lambda: 1.2,
-            p: 0.5, // ρ = 0.6
-            horizon: 3_000.0,
-            warmup: 500.0,
-            seed: 12,
-            ..Default::default()
-        }
+    fn base_scenario() -> Scenario {
+        Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(1.2)
+            .p(0.5) // ρ = 0.6
+            .horizon(3_000.0)
+            .warmup(500.0)
+            .seed(12)
+            .build()
+            .expect("valid scenario")
     }
 
-    #[test]
-    fn arc_state_is_16_bytes() {
-        // The in-service packet rides inside the `Complete` event; the
-        // per-arc residue is the waiter list + packed routing word. Four
-        // arcs per cache line keeps the random arc walk L1-resident at
-        // d = 8 (1024 arcs × 16 B = 16 KiB).
-        assert_eq!(std::mem::size_of::<ArcState>(), 16);
+    fn run(s: &Scenario) -> Report {
+        HypercubeSim::from_scenario(s).run()
+    }
+
+    fn hc(r: &Report) -> &HypercubeExt {
+        let ReportExt::Hypercube(ext) = &r.ext else {
+            panic!("wrong report extension");
+        };
+        ext
     }
 
     #[test]
     fn everything_generated_is_delivered_with_drain() {
-        let r = HypercubeSim::new(base_cfg()).run();
+        let r = run(&base_scenario());
         assert_eq!(r.generated, r.delivered);
         assert!(r.generated > 50_000, "generated {}", r.generated);
     }
 
     #[test]
     fn delay_within_paper_bracket() {
-        let cfg = base_cfg();
-        let r = HypercubeSim::new(cfg.clone()).run();
-        let lb = hypercube_bounds::greedy_lower_bound(cfg.dim, cfg.lambda, cfg.p);
-        let ub = hypercube_bounds::greedy_upper_bound(cfg.dim, cfg.lambda, cfg.p);
+        let r = run(&base_scenario());
+        let lb = hypercube_bounds::greedy_lower_bound(4, 1.2, 0.5);
+        let ub = hypercube_bounds::greedy_upper_bound(4, 1.2, 0.5);
         assert!(
             r.delay.mean >= lb * 0.97 && r.delay.mean <= ub * 1.03,
             "measured {} outside [{lb}, {ub}]",
@@ -608,26 +320,24 @@ mod tests {
 
     #[test]
     fn mean_hops_matches_dp_and_zero_hop_fraction() {
-        let cfg = base_cfg();
-        let r = HypercubeSim::new(cfg).run();
+        let r = run(&base_scenario());
         assert!(
-            (r.mean_hops - 2.0).abs() < 0.05,
+            (hc(&r).mean_hops - 2.0).abs() < 0.05,
             "mean hops {} vs dp = 2",
-            r.mean_hops
+            hc(&r).mean_hops
         );
         // (1-p)^d = 0.0625.
         assert!(
-            (r.zero_hop_fraction - 0.0625).abs() < 0.01,
+            (hc(&r).zero_hop_fraction - 0.0625).abs() < 0.01,
             "zero-hop {}",
-            r.zero_hop_fraction
+            hc(&r).zero_hop_fraction
         );
     }
 
     #[test]
     fn proposition_5_arc_rates() {
-        let cfg = base_cfg();
-        let r = HypercubeSim::new(cfg).run();
-        for (dim, &rate) in r.per_dim_arc_rate.iter().enumerate() {
+        let r = run(&base_scenario());
+        for (dim, &rate) in hc(&r).per_dim_arc_rate.iter().enumerate() {
             assert!(
                 (rate - 0.6).abs() < 0.03,
                 "dimension {dim}: per-arc rate {rate} vs ρ=0.6"
@@ -637,35 +347,34 @@ mod tests {
 
     #[test]
     fn little_law_holds() {
-        let r = HypercubeSim::new(base_cfg()).run();
+        let r = run(&base_scenario());
         assert!(r.little_error < 0.05, "little error {}", r.little_error);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = HypercubeSim::new(base_cfg()).run();
-        let b = HypercubeSim::new(base_cfg()).run();
+        let a = run(&base_scenario());
+        let b = run(&base_scenario());
         assert_eq!(a.generated, b.generated);
         assert_eq!(a.delay.mean, b.delay.mean);
-        let mut cfg2 = base_cfg();
-        cfg2.seed ^= 1;
-        let c = HypercubeSim::new(cfg2).run();
+        let mut s2 = base_scenario();
+        s2.run.seed ^= 1;
+        let c = run(&s2);
         assert_ne!(a.delay.mean, c.delay.mean);
     }
 
     #[test]
     fn p_one_matches_exact_formula() {
         // §3.3 end: p = 1 ⇒ T = d + ρ/(2(1-ρ)) exactly (disjoint paths).
-        let cfg = HypercubeSimConfig {
-            dim: 4,
-            lambda: 0.7,
-            p: 1.0,
-            horizon: 4_000.0,
-            warmup: 500.0,
-            seed: 5,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
+        let s = Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(0.7)
+            .p(1.0)
+            .horizon(4_000.0)
+            .warmup(500.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        let r = run(&s);
         let exact = hypercube_bounds::p_one_exact_delay(4, 0.7);
         assert!(
             (r.delay.mean - exact).abs() / exact < 0.02,
@@ -673,80 +382,82 @@ mod tests {
             r.delay.mean
         );
         // Every packet takes exactly d hops.
-        assert!((r.mean_hops - 4.0).abs() < 1e-9);
-        assert_eq!(r.zero_hop_fraction, 0.0);
+        assert!((hc(&r).mean_hops - 4.0).abs() < 1e-9);
+        assert_eq!(hc(&r).zero_hop_fraction, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "slot per unit")]
     fn rejects_zero_slots_per_unit() {
-        let cfg = HypercubeSimConfig {
-            arrivals: ArrivalModel::Slotted { slots_per_unit: 0 },
-            ..base_cfg()
-        };
-        HypercubeSim::new(cfg);
+        let err = Scenario::builder(Topology::Hypercube { dim: 4 })
+            .arrivals(ArrivalModel::Slotted { slots_per_unit: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::SlotsPerUnit);
     }
 
     #[test]
     fn p_zero_all_packets_self_delivered() {
-        let cfg = HypercubeSimConfig {
-            dim: 5,
-            lambda: 1.0,
-            p: 0.0,
-            horizon: 200.0,
-            warmup: 10.0,
-            seed: 8,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
-        assert_eq!(r.zero_hop_fraction, 1.0);
+        let s = Scenario::builder(Topology::Hypercube { dim: 5 })
+            .lambda(1.0)
+            .p(0.0)
+            .horizon(200.0)
+            .warmup(10.0)
+            .seed(8)
+            .build()
+            .unwrap();
+        let r = run(&s);
+        assert_eq!(hc(&r).zero_hop_fraction, 1.0);
         assert_eq!(r.delay.mean, 0.0);
-        assert_eq!(r.mean_hops, 0.0);
+        assert_eq!(hc(&r).mean_hops, 0.0);
     }
 
     #[test]
     fn random_order_scheme_also_stable_and_shortest_path() {
-        let mut cfg = base_cfg();
-        cfg.scheme = Scheme::RandomOrder;
-        cfg.horizon = 2_000.0;
-        let r = HypercubeSim::new(cfg).run();
+        let mut s = base_scenario();
+        s.policy.scheme = Scheme::RandomOrder;
+        s.run.horizon = 2_000.0;
+        let r = run(&s);
         assert_eq!(r.generated, r.delivered);
         // Shortest paths: mean hops still dp.
-        assert!((r.mean_hops - 2.0).abs() < 0.06, "hops {}", r.mean_hops);
+        assert!(
+            (hc(&r).mean_hops - 2.0).abs() < 0.06,
+            "hops {}",
+            hc(&r).mean_hops
+        );
     }
 
     #[test]
     fn valiant_doubles_path_length() {
-        let mut cfg = base_cfg();
-        cfg.scheme = Scheme::TwoPhaseValiant;
-        cfg.lambda = 0.4; // keep effective load below 1 (paths ~ d/2 + dp)
-        cfg.horizon = 2_000.0;
-        let r = HypercubeSim::new(cfg.clone()).run();
+        let mut s = base_scenario();
+        s.policy.scheme = Scheme::TwoPhaseValiant;
+        s.workload.lambda = 0.4; // keep effective load below 1
+        s.run.horizon = 2_000.0;
+        let r = run(&s);
         assert_eq!(r.generated, r.delivered);
         // Expected hops = d/2 (leg 1) + dp (leg 2) = 2 + 2 = 4.
-        assert!((r.mean_hops - 4.0).abs() < 0.1, "hops {}", r.mean_hops);
+        assert!(
+            (hc(&r).mean_hops - 4.0).abs() < 0.1,
+            "hops {}",
+            hc(&r).mean_hops
+        );
         // Delay strictly worse than direct greedy at the same (λ, p).
-        let direct = HypercubeSim::new(HypercubeSimConfig {
-            scheme: Scheme::Greedy,
-            ..cfg
-        })
-        .run();
-        assert!(r.delay.mean > direct.delay.mean);
+        let mut direct = s.clone();
+        direct.policy.scheme = Scheme::Greedy;
+        assert!(r.delay.mean > run(&direct).delay.mean);
     }
 
     #[test]
     fn slotted_arrivals_obey_slotted_bound() {
-        let cfg = HypercubeSimConfig {
-            dim: 4,
-            lambda: 1.0,
-            p: 0.5,
-            arrivals: ArrivalModel::Slotted { slots_per_unit: 2 },
-            horizon: 3_000.0,
-            warmup: 500.0,
-            seed: 77,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
+        let s = Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(1.0)
+            .p(0.5)
+            .arrivals(ArrivalModel::Slotted { slots_per_unit: 2 })
+            .horizon(3_000.0)
+            .warmup(500.0)
+            .seed(77)
+            .build()
+            .unwrap();
+        let r = run(&s);
         let ub = hypercube_bounds::slotted_upper_bound(4, 1.0, 0.5, 0.5);
         assert!(
             r.delay.mean <= ub * 1.03,
@@ -762,51 +473,42 @@ mod tests {
         // occupancy is ρ + ρ²/(2(1-ρ)); Eq. (15) machinery: every deeper
         // dimension holds at least ρ (service alone) and at most the
         // product-form ρ/(1-ρ).
-        let cfg = base_cfg(); // ρ = 0.6
         let rho: f64 = 0.6;
-        let r = HypercubeSim::new(cfg).run();
+        let r = run(&base_scenario());
+        let queue = &hc(&r).per_dim_mean_queue;
         let md1_exact = rho + rho * rho / (2.0 * (1.0 - rho));
         assert!(
-            (r.per_dim_mean_queue[0] - md1_exact).abs() < 0.02,
+            (queue[0] - md1_exact).abs() < 0.02,
             "dim 0 occupancy {} vs M/D/1 {md1_exact}",
-            r.per_dim_mean_queue[0]
+            queue[0]
         );
-        for (dim, &n) in r.per_dim_mean_queue.iter().enumerate().skip(1) {
+        for (dim, &n) in queue.iter().enumerate().skip(1) {
             assert!(n >= rho * 0.97, "dim {dim} occupancy {n} below ρ = {rho}");
             assert!(
                 n <= rho / (1.0 - rho) * 1.05,
                 "dim {dim} occupancy {n} above product-form cap"
             );
         }
-        // Measured effect worth recording: occupancy *decreases* with the
-        // dimension index — deterministic unit service smooths traffic, so
-        // deeper dimensions see a stream more regular than Poisson and
-        // queue less than the M/D/1 first dimension. (This is why the
-        // product-form PS network, whose every server sees geometric
-        // occupancy ρ/(1-ρ), is an upper bound and not tight.)
-        assert!(
-            r.per_dim_mean_queue[3] <= r.per_dim_mean_queue[0] + 0.02,
-            "{:?}",
-            r.per_dim_mean_queue
-        );
+        // Deterministic unit service smooths traffic, so deeper dimensions
+        // see a stream more regular than Poisson and queue less than the
+        // M/D/1 first dimension.
+        assert!(queue[3] <= queue[0] + 0.02, "{queue:?}");
     }
 
     #[test]
     fn contention_policies_share_mean_but_not_tail() {
         // Non-preemptive work-conserving policies that ignore service
         // times have (near-)identical mean delay; LIFO fattens the tail.
-        let run = |contention| {
-            let cfg = HypercubeSimConfig {
-                contention,
-                horizon: 6_000.0,
-                warmup: 1_000.0,
-                ..base_cfg()
-            };
-            HypercubeSim::new(cfg).run()
+        let run_policy = |contention| {
+            let mut s = base_scenario();
+            s.policy.contention = contention;
+            s.run.horizon = 6_000.0;
+            s.run.warmup = 1_000.0;
+            run(&s)
         };
-        let fifo = run(ContentionPolicy::Fifo);
-        let lifo = run(ContentionPolicy::Lifo);
-        let rand = run(ContentionPolicy::Random);
+        let fifo = run_policy(ContentionPolicy::Fifo);
+        let lifo = run_policy(ContentionPolicy::Lifo);
+        let rand = run_policy(ContentionPolicy::Random);
         let rel = |a: f64, b: f64| (a - b).abs() / a;
         assert!(
             rel(fifo.delay.mean, lifo.delay.mean) < 0.06,
@@ -828,21 +530,18 @@ mod tests {
         // A product-of-flips pmf with uniform q must match BitFlip(q) in
         // law; same seed gives close statistics (not identical draws: the
         // samplers consume different variates).
-        let q = 0.5;
-        let base = base_cfg();
-        let bitflip = HypercubeSim::new(base.clone()).run();
-        let custom = HypercubeSim::new(HypercubeSimConfig {
-            dest: DestinationSpec::product_of_flips(&[q; 4]),
-            ..base
-        })
-        .run();
+        let base = base_scenario();
+        let bitflip = run(&base);
+        let mut custom = base.clone();
+        custom.workload.dest = DestinationSpec::product_of_flips(&[0.5; 4]);
+        let custom = run(&custom);
         assert!(
             (bitflip.delay.mean - custom.delay.mean).abs() / bitflip.delay.mean < 0.05,
             "bitflip {} vs custom {}",
             bitflip.delay.mean,
             custom.delay.mean
         );
-        assert!((bitflip.mean_hops - custom.mean_hops).abs() < 0.1);
+        assert!((hc(&bitflip).mean_hops - hc(&custom).mean_hops).abs() < 0.1);
     }
 
     #[test]
@@ -850,35 +549,29 @@ mod tests {
         // Flip dim 0 always, others rarely: arc rate in dim 0 is λ, in the
         // others λ·0.1 (Prop. 5's generalisation: rate_j = λ·p_j).
         let lambda = 0.8;
-        let cfg = HypercubeSimConfig {
-            dim: 4,
-            lambda,
-            dest: DestinationSpec::product_of_flips(&[1.0, 0.1, 0.1, 0.1]),
-            horizon: 3_000.0,
-            warmup: 500.0,
-            seed: 99,
-            ..Default::default()
-        };
-        let r = HypercubeSim::new(cfg).run();
-        assert!(
-            (r.per_dim_arc_rate[0] - lambda).abs() < 0.04,
-            "dim0 rate {}",
-            r.per_dim_arc_rate[0]
-        );
-        for dim in 1..4 {
-            assert!(
-                (r.per_dim_arc_rate[dim] - lambda * 0.1).abs() < 0.02,
-                "dim{dim} rate {}",
-                r.per_dim_arc_rate[dim]
-            );
+        let s = Scenario::builder(Topology::Hypercube { dim: 4 })
+            .lambda(lambda)
+            .dest(DestinationSpec::product_of_flips(&[1.0, 0.1, 0.1, 0.1]))
+            .horizon(3_000.0)
+            .warmup(500.0)
+            .seed(99)
+            .build()
+            .unwrap();
+        let r = run(&s);
+        let rates = &hc(&r).per_dim_arc_rate;
+        assert!((rates[0] - lambda).abs() < 0.04, "dim0 rate {}", rates[0]);
+        for (dim, &rate) in rates.iter().enumerate().skip(1) {
+            assert!((rate - lambda * 0.1).abs() < 0.02, "dim{dim} rate {rate}");
         }
         // No packet is self-destined (dim 0 always flips).
-        assert_eq!(r.zero_hop_fraction, 0.0);
+        assert_eq!(hc(&r).zero_hop_fraction, 0.0);
     }
 
     #[test]
-    fn sampled_run_produces_monotone_timestamps() {
-        let (_, samples) = HypercubeSim::new(base_cfg()).run_sampled(50.0);
+    fn observed_run_produces_monotone_timestamps() {
+        let mut probe = crate::observe::TimeSeriesProbe::new(50.0, 3_000.0);
+        HypercubeSim::from_scenario(&base_scenario()).run_observed(&mut probe);
+        let samples = probe.into_samples();
         assert!(samples.len() >= 50);
         assert!(samples.windows(2).all(|w| w[0].0 < w[1].0));
         // In a stable run the trajectory stays bounded.

@@ -1,26 +1,65 @@
-//! Packet-level simulators for greedy routing in hypercubes and
-//! butterflies — the reproduction's core.
+//! Packet-level simulators for greedy routing — one topology-generic
+//! engine, many topologies.
 //!
 //! This crate simulates the paper's model *exactly*: independent Poisson
 //! packet generation at every node, destinations drawn by independent
 //! bit-flips with probability `p` (Eq. (1) / Lemma 1), unit transmission
 //! times, one packet per arc at a time, infinite buffers, FIFO contention
-//! resolution, and no idling. On top of the same engine it provides the
-//! baseline and ablation schemes discussed in the paper, the abstract
-//! equivalent queueing networks of §3.1/§4.3 under both FIFO and
-//! Processor-Sharing service, static batch routing, and empirical stability
-//! detection.
+//! resolution, and no idling. On the same engine it runs the baseline and
+//! ablation schemes discussed in the paper, the abstract equivalent
+//! queueing networks of §3.1/§4.3 under both FIFO and Processor-Sharing
+//! service, static batch routing, empirical stability detection — and
+//! topologies beyond the paper (greedy routing in rings, the Papillon
+//! direction).
+//!
+//! # Architecture: one generic engine, thin topology specs
+//!
+//! The event loop lives **once**, in [`engine`]: a monomorphised
+//! `Engine<Spec>` owns the slab packet pool, the calendar/heap scheduler,
+//! the contention policies, warm-up truncation, drain control, metrics
+//! and the observer taps. What a topology contributes is an
+//! [`engine::EngineSpec`] — its packet representation, destination law,
+//! next-arc choice and per-topology statistics — typically ~100–150
+//! lines. The current instantiations:
+//!
+//! | module | spec | the paper's name |
+//! |---|---|---|
+//! | [`hypercube_sim`] | schemes over XOR masks, per-dimension stats | §3 |
+//! | [`butterfly_sim`] | unique levelled paths, per-level stats | §4 |
+//! | [`ring_sim`] | shortest-way-around, per-direction stats | (Papillon) |
+//!
+//! Two simulators deliberately stay off the generic engine:
+//! [`equivalent_network`] (per-*server* PS service with positional
+//! coupling — the §3.1 proof device) and [`pipelined`] (round-driven, no
+//! event queue). They share the scheduler, metrics and report surface.
+//!
+//! ## How to add a topology in ~100 lines
+//!
+//! The ring ([`ring_sim`]) is the worked example; the recipe is:
+//!
+//! 1. Implement `hyperroute_topology::RoutingTopology` for the graph
+//!    (dense arcs + greedy `next_arc` + `distance`); property tests in
+//!    `tests/proptest_routing.rs` check strict per-hop progress.
+//! 2. Write the [`engine::EngineSpec`]: a `Copy` packet, `generate`
+//!    (destination sampling), `choose_arc` (the greedy step + per-arc
+//!    stats), `advance` (deliver or forward), and a packed 31-bit arc
+//!    word.
+//! 3. Add a [`scenario::Topology`] variant, a validation arm, and a
+//!    [`scenario::ReportExt`] extension; wire `into_simulator`.
+//! 4. Drop scenario files into `scenarios/` and regenerate baselines —
+//!    sweeps, sharded grids (`hyperroute-grid`), observers, stability
+//!    probes and the corpus gate now all work on the new topology.
 //!
 //! # The scenario API
 //!
 //! Every workload is expressed as one typed [`scenario::Scenario`]:
-//! a [`scenario::Topology`] (hypercube, butterfly, equivalent network, or
-//! the §2.3 pipelined scheme), a [`scenario::Workload`] (arrival model,
-//! `λ`, destination distribution), a [`scenario::Policy`] (routing scheme,
-//! contention rule, service discipline) and a [`scenario::RunControl`]
-//! (horizon, warm-up, seed, scheduler backend). The builder validates the
-//! combination up front and returns a structured
-//! [`scenario::ConfigError`]; `run()` dispatches through the
+//! a [`scenario::Topology`] (hypercube, butterfly, equivalent network,
+//! pipelined scheme, or ring), a [`scenario::Workload`] (arrival model,
+//! `λ`, destination distribution), a [`scenario::Policy`] (routing
+//! scheme, contention rule, service discipline) and a
+//! [`scenario::RunControl`] (horizon, warm-up, seed, scheduler backend).
+//! The builder validates the combination up front and returns a
+//! structured [`scenario::ConfigError`]; `run()` dispatches through the
 //! [`scenario::Simulator`] trait onto the matching engine and yields a
 //! unified [`scenario::Report`].
 //!
@@ -41,6 +80,25 @@
 //! assert!(report.delay.mean < 4.0 && report.delay.mean > 2.0);
 //! ```
 //!
+//! The same spec drives the ring:
+//!
+//! ```
+//! use hyperroute_core::scenario::{Scenario, Topology};
+//!
+//! let report = Scenario::builder(Topology::Ring { nodes: 16, bidirectional: true })
+//!     .lambda(0.3)
+//!     .horizon(2_000.0)
+//!     .warmup(400.0)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid scenario")
+//!     .run()
+//!     .expect("runs to completion");
+//! // Uniform destinations on a 16-ring: mean greedy path = 4 hops.
+//! let ring = report.ring().expect("ring extension");
+//! assert!((ring.mean_hops - 4.0).abs() < 0.2);
+//! ```
+//!
 //! Scenarios serialise to JSON files ([`scenario::Scenario::to_json`] /
 //! [`scenario::Scenario::from_json`]) and parameter grids run as
 //! deterministic [`scenario::Sweep`]s with splitmix-derived per-point
@@ -53,11 +111,6 @@
 //! [`observe`] probes (time series, occupancy, delay reservoirs) without
 //! touching the simulation's random draws; high-frequency consumers
 //! batch the per-event virtual call with [`observe::BufferedObserver`].
-//!
-//! The per-simulator config structs (`HypercubeSimConfig`,
-//! `ButterflySimConfig`, `EqNetConfig`, `PipelinedConfig`) remain as
-//! deprecated shims for one release; scenario-driven runs are
-//! byte-identical to them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,6 +118,7 @@
 pub mod batch;
 pub mod butterfly_sim;
 pub mod config;
+pub mod engine;
 pub mod equivalent_network;
 pub mod hypercube_sim;
 pub mod metrics;
@@ -72,6 +126,7 @@ pub mod observe;
 pub mod packet;
 pub mod pipelined;
 pub mod pool;
+pub mod ring_sim;
 pub mod runner;
 pub mod scenario;
 pub mod stability;
@@ -82,6 +137,3 @@ pub use observe::{
     BufferedObserver, NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
 };
 pub use scenario::{Report, Scenario, Simulator, Sweep, Topology};
-
-#[allow(deprecated)]
-pub use hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};

@@ -13,8 +13,7 @@
 //! The stock probes are
 //!
 //! * [`TimeSeriesProbe`] — the `(t, N(t))` trajectory at a fixed sampling
-//!   interval (what the deprecated `run_sampled` drivers produced, with
-//!   identical sample points);
+//!   interval;
 //! * [`OccupancyProbe`] — the time-weighted distribution of the total
 //!   number in system;
 //! * [`ReservoirProbe`] — a deterministic reservoir sample of individual
@@ -84,10 +83,9 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
 
 /// Samples `(t, N(t))` every `interval` time units up to `horizon`.
 ///
-/// Sample points are the same grid the legacy `run_sampled` drivers used
-/// (`interval, 2·interval, …`, capped at the horizon), and each sample
-/// reads the state *before* the first event at or past the sample time —
-/// so trajectories are bit-identical to the deprecated API's.
+/// Sample points sit on the fixed grid `interval, 2·interval, …` (capped
+/// at the horizon), and each sample reads the state *before* the first
+/// event at or past the sample time.
 #[derive(Clone, Debug)]
 pub struct TimeSeriesProbe {
     interval: f64,

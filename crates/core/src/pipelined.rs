@@ -9,111 +9,48 @@
 //! time ≈ `R·d`, so the scheme destabilises once `λ·R·d ≥ 1` — at any
 //! fixed load factor it fails for large `d`, which is the paper's §2.3
 //! point (experiment E12).
-
-// The config struct defined here is the deprecated legacy entry point;
-// this module necessarily keeps using it internally.
-#![allow(deprecated)]
+//!
+//! This scheme is round-driven, not event-driven: it shares the slab
+//! pool, statistics and [`Report`] surface with the generic engine but
+//! has no event queue at all (its `events` count is 0). Construct through
+//! [`crate::scenario::Scenario`] with
+//! [`crate::scenario::Topology::Pipelined`].
 
 use crate::batch::route_batch_greedy;
 use crate::config::ConfigError;
-use crate::observe::{NullObserver, Observer};
+use crate::metrics::DelayStats;
+use crate::observe::Observer;
 use crate::packet::sample_flip_mask;
 use crate::pool::{ArcFifo, SlabPool};
+use crate::scenario::{PipelinedExt, Report, ReportExt, Scenario, Topology};
 use hyperroute_desim::{SimRng, Welford};
-use serde::{Deserialize, Serialize};
 
-/// Configuration of a pipelined-scheme simulation.
-///
-/// Deprecated legacy entry point: build a
-/// [`crate::scenario::Scenario`] with
-/// [`crate::scenario::Topology::Pipelined`] instead; the scenario path
-/// produces byte-identical reports. This struct remains as a thin shim
-/// for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `scenario::Scenario` with `Topology::Pipelined` instead"
-)]
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct PipelinedConfig {
-    /// Hypercube dimension.
-    pub dim: usize,
-    /// Per-node Poisson generation rate.
-    pub lambda: f64,
-    /// Destination bit-flip probability.
-    pub p: f64,
-    /// Number of routing rounds to simulate.
-    pub rounds: usize,
-    /// RNG seed.
-    pub seed: u64,
-}
-
-impl Default for PipelinedConfig {
-    fn default() -> Self {
-        PipelinedConfig {
-            dim: 4,
-            lambda: 0.05,
-            p: 0.5,
-            rounds: 400,
-            seed: 0x717E,
-        }
+/// Structured validation of the pipelined parameters (shared with
+/// `Scenario::validate`, so the scenario checks can never drift from what
+/// the round loop assumes).
+pub(crate) fn check_params(
+    dim: usize,
+    lambda: f64,
+    p: f64,
+    rounds: usize,
+) -> Result<(), ConfigError> {
+    if !(1..=16).contains(&dim) {
+        return Err(ConfigError::Dimension {
+            dim,
+            min: 1,
+            max: 16,
+        });
     }
-}
-
-/// Results of a pipelined-scheme simulation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct PipelinedReport {
-    /// Mean delay of delivered packets (generation → batch completion).
-    pub mean_delay: f64,
-    /// Mean round length (empirical `R·d`).
-    pub mean_round_length: f64,
-    /// Empirical round constant `R` (mean round length / d).
-    pub round_constant: f64,
-    /// Mean total backlog (stored packets) at round starts.
-    pub mean_backlog: f64,
-    /// Total backlog remaining after the last round.
-    pub final_backlog: u64,
-    /// Least-squares backlog growth per round (positive slope ⇒ unstable).
-    pub backlog_slope_per_round: f64,
-    /// Packets generated / delivered.
-    pub generated: u64,
-    /// Packets delivered.
-    pub delivered: u64,
-}
-
-impl PipelinedReport {
-    /// Heuristic instability verdict: backlog grows by a noticeable
-    /// fraction of the per-round input.
-    pub fn looks_unstable(&self, per_round_input: f64) -> bool {
-        self.backlog_slope_per_round > 0.1 * per_round_input
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(ConfigError::Lambda(lambda));
     }
-}
-
-impl PipelinedConfig {
-    /// Structured validation of this configuration.
-    pub fn check(&self) -> Result<(), ConfigError> {
-        if self.dim < 1 || self.dim > 16 {
-            return Err(ConfigError::Dimension {
-                dim: self.dim,
-                min: 1,
-                max: 16,
-            });
-        }
-        if !(self.lambda >= 0.0 && self.lambda.is_finite()) {
-            return Err(ConfigError::Lambda(self.lambda));
-        }
-        if !(0.0..=1.0).contains(&self.p) {
-            return Err(ConfigError::FlipProbability(self.p));
-        }
-        if self.rounds < 2 {
-            return Err(ConfigError::Rounds(self.rounds));
-        }
-        Ok(())
+    if !(0.0..=1.0).contains(&p) {
+        return Err(ConfigError::FlipProbability(p));
     }
-}
-
-/// Run the pipelined scheme.
-pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
-    simulate_pipelined_observed(cfg, &mut NullObserver)
+    if rounds < 2 {
+        return Err(ConfigError::Rounds(rounds));
+    }
+    Ok(())
 }
 
 /// Run the pipelined scheme under a streaming [`Observer`].
@@ -121,15 +58,17 @@ pub fn simulate_pipelined(cfg: PipelinedConfig) -> PipelinedReport {
 /// The observer sees one event per routing round (clock = accumulated
 /// simulated time, signal = stored backlog at the round start) and every
 /// delivered packet; it never changes the simulation.
-pub fn simulate_pipelined_observed<O: Observer>(
-    cfg: PipelinedConfig,
-    obs: &mut O,
-) -> PipelinedReport {
-    if let Err(e) = cfg.check() {
-        panic!("{e}");
-    }
-    let n = 1usize << cfg.dim;
-    let mut rng = SimRng::new(cfg.seed);
+pub(crate) fn simulate_pipelined_observed<O: Observer>(scenario: &Scenario, obs: &mut O) -> Report {
+    let Topology::Pipelined { dim, rounds } = scenario.topology else {
+        unreachable!("pipelined simulator on a non-pipelined scenario");
+    };
+    let (lambda, p, seed) = (
+        scenario.workload.lambda,
+        scenario.workload.p,
+        scenario.run.seed,
+    );
+    let n = 1usize << dim;
+    let mut rng = SimRng::new(seed);
     let mut arrival_rng = rng.split();
     let mut dest_rng = rng.split();
 
@@ -140,11 +79,11 @@ pub fn simulate_pipelined_observed<O: Observer>(
     let mut now = 0.0f64;
     let mut delays = Welford::new();
     let mut round_lengths = Welford::new();
-    let mut backlog_at_round = Vec::with_capacity(cfg.rounds);
+    let mut backlog_at_round = Vec::with_capacity(rounds);
     let mut generated = 0u64;
     let mut delivered = 0u64;
 
-    for _ in 0..cfg.rounds {
+    for _ in 0..rounds {
         obs.on_event(now, pool.len() as f64);
         backlog_at_round.push(pool.len() as f64);
 
@@ -165,7 +104,7 @@ pub fn simulate_pipelined_observed<O: Observer>(
         let round_len = if batch.is_empty() {
             1.0
         } else {
-            let result = route_batch_greedy(cfg.dim, &batch);
+            let result = route_batch_greedy(dim, &batch);
             for (i, &born) in births.iter().enumerate() {
                 delays.push(now + result.completion[i] - born);
                 obs.on_delivered(now + result.completion[i], born);
@@ -180,13 +119,13 @@ pub fn simulate_pipelined_observed<O: Observer>(
         // Arrivals during [now, now + round_len): per-node Poisson batch
         // with uniform birth times (order within a store is by birth).
         for store in stores.iter_mut() {
-            let k = arrival_rng.poisson(cfg.lambda * round_len);
+            let k = arrival_rng.poisson(lambda * round_len);
             let mut times: Vec<f64> = (0..k)
                 .map(|_| now + arrival_rng.uniform01() * round_len)
                 .collect();
             times.sort_by(f64::total_cmp);
             for t in times {
-                let dest_mask = sample_flip_mask(&mut dest_rng, cfg.dim, cfg.p);
+                let dest_mask = sample_flip_mask(&mut dest_rng, dim, p);
                 store.push_back(&mut pool, (t, dest_mask));
                 generated += 1;
             }
@@ -196,15 +135,30 @@ pub fn simulate_pipelined_observed<O: Observer>(
 
     let slope = least_squares_slope(&backlog_at_round);
     let mean_round = round_lengths.mean();
-    PipelinedReport {
-        mean_delay: delays.mean(),
-        mean_round_length: mean_round,
-        round_constant: mean_round / cfg.dim as f64,
-        mean_backlog: backlog_at_round.iter().sum::<f64>() / backlog_at_round.len() as f64,
-        final_backlog: pool.len() as u64,
-        backlog_slope_per_round: slope,
+    let mean_backlog = backlog_at_round.iter().sum::<f64>() / backlog_at_round.len() as f64;
+    Report {
+        delay: DelayStats {
+            mean: delays.mean(),
+            ci95: f64::NAN,
+            p50: f64::NAN,
+            p90: f64::NAN,
+            p99: f64::NAN,
+            count: delivered,
+        },
+        mean_in_system: mean_backlog,
+        peak_in_system: f64::NAN,
+        throughput: f64::NAN,
+        little_error: f64::NAN,
         generated,
         delivered,
+        events: 0,
+        ext: ReportExt::Pipelined(PipelinedExt {
+            mean_round_length: mean_round,
+            round_constant: mean_round / dim as f64,
+            mean_backlog,
+            final_backlog: pool.len() as u64,
+            backlog_slope_per_round: slope,
+        }),
     }
 }
 
@@ -235,6 +189,24 @@ pub fn least_squares_slope(ys: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::NullObserver;
+
+    fn simulate_pipelined(s: &Scenario) -> Report {
+        simulate_pipelined_observed(s, &mut NullObserver)
+    }
+
+    fn scenario(dim: usize, lambda: f64, p: f64, rounds: usize, seed: u64) -> Scenario {
+        Scenario::builder(Topology::Pipelined { dim, rounds })
+            .lambda(lambda)
+            .p(p)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+    }
+
+    fn pipe(r: &Report) -> &PipelinedExt {
+        r.pipelined().expect("pipelined report")
+    }
 
     #[test]
     fn slope_of_linear_series() {
@@ -247,62 +219,67 @@ mod tests {
     #[test]
     fn light_load_is_stable() {
         // λ well below 1/(Rd): backlog stays flat.
-        let cfg = PipelinedConfig {
-            dim: 4,
-            lambda: 0.02,
-            rounds: 300,
-            ..Default::default()
-        };
-        let r = simulate_pipelined(cfg);
-        let per_round_input = cfg.lambda * 16.0 * r.mean_round_length;
+        let r = simulate_pipelined(&scenario(4, 0.02, 0.5, 300, 0x717E));
+        let per_round_input = 0.02 * 16.0 * pipe(&r).mean_round_length;
         assert!(
-            !r.looks_unstable(per_round_input),
+            !pipe(&r).looks_unstable(per_round_input),
             "slope {} at light load",
-            r.backlog_slope_per_round
+            pipe(&r).backlog_slope_per_round
         );
         assert!(r.delivered > 0);
-        assert!(r.round_constant > 0.1 && r.round_constant < 5.0);
+        assert!(pipe(&r).round_constant > 0.1 && pipe(&r).round_constant < 5.0);
     }
 
     #[test]
     fn moderate_load_unstable_where_greedy_would_sail() {
         // ρ = λp = 0.3 — trivially stable for greedy — swamps the pipeline
         // at d=6 (threshold λRd < 1 means λ < ~1/(1.1·6) ≈ 0.15 < 0.6).
-        let cfg = PipelinedConfig {
-            dim: 6,
-            lambda: 0.6,
-            p: 0.5,
-            rounds: 150,
-            seed: 3,
-        };
-        let r = simulate_pipelined(cfg);
-        let per_round_input = cfg.lambda * 64.0 * r.mean_round_length;
+        let r = simulate_pipelined(&scenario(6, 0.6, 0.5, 150, 3));
+        let per_round_input = 0.6 * 64.0 * pipe(&r).mean_round_length;
         assert!(
-            r.looks_unstable(per_round_input),
+            pipe(&r).looks_unstable(per_round_input),
             "expected instability, slope {}",
-            r.backlog_slope_per_round
+            pipe(&r).backlog_slope_per_round
         );
-        assert!(r.final_backlog > 1000, "backlog {}", r.final_backlog);
+        assert!(
+            pipe(&r).final_backlog > 1000,
+            "backlog {}",
+            pipe(&r).final_backlog
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = PipelinedConfig::default();
-        let a = simulate_pipelined(cfg);
-        let b = simulate_pipelined(cfg);
+        let s = scenario(4, 0.05, 0.5, 400, 0x717E);
+        let a = simulate_pipelined(&s);
+        let b = simulate_pipelined(&s);
         assert_eq!(a.generated, b.generated);
-        assert_eq!(a.mean_delay, b.mean_delay);
+        assert_eq!(a.delay.mean, b.delay.mean);
     }
 
     #[test]
     fn zero_lambda_never_generates() {
-        let cfg = PipelinedConfig {
-            lambda: 0.0,
-            rounds: 10,
-            ..Default::default()
-        };
-        let r = simulate_pipelined(cfg);
+        let r = simulate_pipelined(&scenario(4, 0.0, 0.5, 10, 0x717E));
         assert_eq!(r.generated, 0);
         assert_eq!(r.delivered, 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_params() {
+        assert!(matches!(
+            Scenario::builder(Topology::Pipelined { dim: 4, rounds: 1 })
+                .build()
+                .unwrap_err(),
+            ConfigError::Rounds(1)
+        ));
+        assert!(matches!(
+            Scenario::builder(Topology::Pipelined {
+                dim: 17,
+                rounds: 10
+            })
+            .build()
+            .unwrap_err(),
+            ConfigError::Dimension { dim: 17, .. }
+        ));
     }
 }

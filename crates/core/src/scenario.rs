@@ -42,18 +42,17 @@
 //! assert_eq!(report.generated, report.delivered);
 //! ```
 
-#![allow(deprecated)] // constructs the legacy config shims internally
-
-use crate::butterfly_sim::{ButterflyReport, ButterflySim, ButterflySimConfig};
+use crate::butterfly_sim::ButterflySim;
 use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
-use crate::equivalent_network::{Discipline, EqNetConfig, EqNetReport, EqNetSim};
-use crate::hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};
+use crate::equivalent_network::{Discipline, EqNetSim};
+use crate::hypercube_sim::HypercubeSim;
 use crate::metrics::DelayStats;
 use crate::observe::{NullObserver, Observer};
-use crate::pipelined::{simulate_pipelined_observed, PipelinedConfig, PipelinedReport};
+use crate::pipelined::simulate_pipelined_observed;
+use crate::ring_sim::RingSim;
 use crate::runner::parallel_map;
 use hyperroute_desim::{splitmix64, SchedulerKind};
-use hyperroute_topology::{Butterfly, Hypercube, LevelledNetwork};
+use hyperroute_topology::{ring::MAX_RING_NODES, Butterfly, Hypercube, LevelledNetwork};
 use serde::{Deserialize, Serialize};
 
 pub use crate::config::ConfigError;
@@ -91,6 +90,16 @@ pub enum Topology {
         /// Number of routing rounds (≥ 2).
         rounds: usize,
     },
+    /// The `n`-node ring under greedy shortest-way-around routing
+    /// (Papillon-style; destinations uniform over all nodes, so the
+    /// workload's `p` is ignored).
+    Ring {
+        /// Number of nodes (3..=2^26).
+        nodes: usize,
+        /// Whether counter-clockwise arcs exist (greedy then takes the
+        /// shorter way around; ties break clockwise).
+        bidirectional: bool,
+    },
 }
 
 impl Topology {
@@ -101,6 +110,7 @@ impl Topology {
             Topology::Butterfly { .. } => "butterfly",
             Topology::EqNet { .. } => "eqnet",
             Topology::Pipelined { .. } => "pipelined",
+            Topology::Ring { .. } => "ring",
         }
     }
 }
@@ -298,7 +308,16 @@ impl Scenario {
                 if w.dest != DestinationSpec::BitFlip {
                     return unsupported("custom destination pmfs");
                 }
-                self.butterfly_config().check()
+                crate::config::check_sim_fields(
+                    self.dim(),
+                    24,
+                    w.lambda,
+                    w.p,
+                    self.run.horizon,
+                    self.run.warmup,
+                    w.arrivals,
+                    None,
+                )
             }
             Topology::EqNet { net, .. } => {
                 if pol.scheme != Scheme::Greedy {
@@ -313,12 +332,6 @@ impl Scenario {
                 if w.dest != DestinationSpec::BitFlip {
                     return unsupported("custom destination pmfs");
                 }
-                if !(w.lambda >= 0.0 && w.lambda.is_finite()) {
-                    return Err(ConfigError::Lambda(w.lambda));
-                }
-                if !(0.0..=1.0).contains(&w.p) {
-                    return Err(ConfigError::FlipProbability(w.p));
-                }
                 if let EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } = net {
                     if *dim < 1 || *dim > 20 {
                         return Err(ConfigError::Dimension {
@@ -328,7 +341,13 @@ impl Scenario {
                         });
                     }
                 }
-                self.eqnet_config().check()
+                crate::config::check_workload_window(
+                    w.lambda,
+                    w.p,
+                    self.run.horizon,
+                    self.run.warmup,
+                    w.arrivals,
+                )
             }
             Topology::Pipelined { .. } => {
                 if pol.scheme != Scheme::Greedy {
@@ -346,7 +365,38 @@ impl Scenario {
                 if w.dest != DestinationSpec::BitFlip {
                     return unsupported("custom destination pmfs");
                 }
-                self.pipelined_config().check()
+                let Topology::Pipelined { dim, rounds } = &self.topology else {
+                    unreachable!("matched above");
+                };
+                crate::pipelined::check_params(*dim, w.lambda, w.p, *rounds)
+            }
+            Topology::Ring {
+                nodes,
+                bidirectional: _,
+            } => {
+                if pol.scheme != Scheme::Greedy {
+                    return unsupported("non-greedy schemes (ring paths are deterministic)");
+                }
+                if pol.discipline != Discipline::Fifo {
+                    return unsupported("processor-sharing service (use Topology::EqNet)");
+                }
+                if w.dest != DestinationSpec::BitFlip {
+                    return unsupported("custom destination pmfs (ring destinations are uniform)");
+                }
+                if *nodes < 3 || *nodes > MAX_RING_NODES {
+                    return Err(ConfigError::RingSize {
+                        nodes: *nodes,
+                        min: 3,
+                        max: MAX_RING_NODES,
+                    });
+                }
+                crate::config::check_workload_window(
+                    w.lambda,
+                    w.p,
+                    self.run.horizon,
+                    self.run.warmup,
+                    w.arrivals,
+                )
             }
         }
     }
@@ -355,17 +405,16 @@ impl Scenario {
     pub fn into_simulator(&self) -> Result<Box<dyn Simulator>, ConfigError> {
         self.validate()?;
         Ok(match &self.topology {
-            // Validation above used borrowed checks; assembly here is the
-            // single (unavoidable) clone handed to the engine.
-            Topology::Hypercube { .. } => Box::new(HypercubeSim::new(self.hypercube_config())),
-            Topology::Butterfly { .. } => Box::new(ButterflySim::new(self.butterfly_config())),
+            Topology::Hypercube { .. } => Box::new(HypercubeSim::from_scenario(self)),
+            Topology::Butterfly { .. } => Box::new(ButterflySim::from_scenario(self)),
             Topology::EqNet { net, .. } => {
                 let network = net.build(self.workload.lambda, self.workload.p);
-                Box::new(EqNetSim::new(&network, self.eqnet_config()))
+                Box::new(EqNetSim::from_scenario(&network, self))
             }
             Topology::Pipelined { .. } => Box::new(PipelinedRunner {
-                cfg: self.pipelined_config(),
+                scenario: self.clone(),
             }),
+            Topology::Ring { .. } => Box::new(RingSim::from_scenario(self)),
         })
     }
 
@@ -400,12 +449,6 @@ impl Scenario {
         Ok(scenario)
     }
 
-    // -----------------------------------------------------------------
-    // Legacy-config assembly (the single dispatch point onto the
-    // engines; shared by `validate` and `into_simulator` so the checks
-    // can never drift from what actually runs).
-    // -----------------------------------------------------------------
-
     fn dim(&self) -> usize {
         match &self.topology {
             Topology::Hypercube { dim }
@@ -415,71 +458,7 @@ impl Scenario {
                 EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => *dim,
                 EqNetSpec::Fig2 { .. } => 0,
             },
-        }
-    }
-
-    fn hypercube_config(&self) -> HypercubeSimConfig {
-        HypercubeSimConfig {
-            dim: self.dim(),
-            lambda: self.workload.lambda,
-            p: self.workload.p,
-            scheme: self.policy.scheme,
-            arrivals: self.workload.arrivals,
-            dest: self.workload.dest.clone(),
-            contention: self.policy.contention,
-            scheduler: self.run.scheduler,
-            horizon: self.run.horizon,
-            warmup: self.run.warmup,
-            seed: self.run.seed,
-            drain: self.run.drain,
-        }
-    }
-
-    fn butterfly_config(&self) -> ButterflySimConfig {
-        ButterflySimConfig {
-            dim: self.dim(),
-            lambda: self.workload.lambda,
-            p: self.workload.p,
-            arrivals: self.workload.arrivals,
-            horizon: self.run.horizon,
-            warmup: self.run.warmup,
-            seed: self.run.seed,
-            drain: self.run.drain,
-            scheduler: self.run.scheduler,
-        }
-    }
-
-    fn eqnet_config(&self) -> EqNetConfig {
-        let Topology::EqNet {
-            record_departures,
-            occupancy_cap,
-            ..
-        } = &self.topology
-        else {
-            unreachable!("eqnet_config on non-eqnet scenario");
-        };
-        EqNetConfig {
-            discipline: self.policy.discipline,
-            horizon: self.run.horizon,
-            warmup: self.run.warmup,
-            seed: self.run.seed,
-            drain: self.run.drain,
-            record_departures: *record_departures,
-            occupancy_cap: *occupancy_cap,
-            scheduler: self.run.scheduler,
-        }
-    }
-
-    fn pipelined_config(&self) -> PipelinedConfig {
-        let Topology::Pipelined { dim, rounds } = &self.topology else {
-            unreachable!("pipelined_config on non-pipelined scenario");
-        };
-        PipelinedConfig {
-            dim: *dim,
-            lambda: self.workload.lambda,
-            p: self.workload.p,
-            rounds: *rounds,
-            seed: self.run.seed,
+            Topology::Ring { .. } => 0,
         }
     }
 }
@@ -679,6 +658,8 @@ pub enum ReportExt {
     EqNet(EqNetExt),
     /// Pipelined-scheme-only measurements.
     Pipelined(PipelinedExt),
+    /// Ring-only measurements.
+    Ring(RingExt),
 }
 
 /// Hypercube-specific fields of a [`Report`].
@@ -737,11 +718,28 @@ pub struct PipelinedExt {
 
 impl PipelinedExt {
     /// Heuristic instability verdict: backlog grows by a noticeable
-    /// fraction of the per-round input (mirrors
-    /// `PipelinedReport::looks_unstable`).
+    /// fraction of the per-round input.
     pub fn looks_unstable(&self, per_round_input: f64) -> bool {
         self.backlog_slope_per_round > 0.1 * per_round_input
     }
+}
+
+/// Ring-specific fields of a [`Report`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RingExt {
+    /// Per-arc load factor `λ·E[hops per direction]` (the ring's analogue
+    /// of `ρ = λp`; stability needs it below 1).
+    pub rho: f64,
+    /// Mean hops per measured packet (`(n-1)/2` clockwise-only, `≈ n/4`
+    /// bidirectional, under uniform destinations).
+    pub mean_hops: f64,
+    /// Fraction of measured packets with destination = origin (`1/n`).
+    pub zero_hop_fraction: f64,
+    /// Measured per-arc arrival rate over the clockwise arcs.
+    pub clockwise_arc_rate: f64,
+    /// Measured per-arc arrival rate over the counter-clockwise arcs
+    /// (0 on unidirectional rings).
+    pub counter_clockwise_arc_rate: f64,
 }
 
 /// Bit-exact float comparison that also equates NaNs with differing
@@ -776,8 +774,22 @@ impl PartialEq for ReportExt {
             (ReportExt::Butterfly(a), ReportExt::Butterfly(b)) => a == b,
             (ReportExt::EqNet(a), ReportExt::EqNet(b)) => a == b,
             (ReportExt::Pipelined(a), ReportExt::Pipelined(b)) => a == b,
+            (ReportExt::Ring(a), ReportExt::Ring(b)) => a == b,
             _ => false,
         }
+    }
+}
+
+impl PartialEq for RingExt {
+    fn eq(&self, other: &Self) -> bool {
+        f64_eq(self.rho, other.rho)
+            && f64_eq(self.mean_hops, other.mean_hops)
+            && f64_eq(self.zero_hop_fraction, other.zero_hop_fraction)
+            && f64_eq(self.clockwise_arc_rate, other.clockwise_arc_rate)
+            && f64_eq(
+                self.counter_clockwise_arc_rate,
+                other.counter_clockwise_arc_rate,
+            )
     }
 }
 
@@ -860,95 +872,12 @@ impl Report {
             _ => None,
         }
     }
-}
 
-impl From<HypercubeReport> for Report {
-    fn from(r: HypercubeReport) -> Report {
-        Report {
-            delay: r.delay,
-            mean_in_system: r.mean_in_system,
-            peak_in_system: r.peak_in_system,
-            throughput: r.throughput,
-            little_error: r.little_error,
-            generated: r.generated,
-            delivered: r.delivered,
-            events: r.events,
-            ext: ReportExt::Hypercube(HypercubeExt {
-                rho: r.rho,
-                mean_hops: r.mean_hops,
-                zero_hop_fraction: r.zero_hop_fraction,
-                per_dim_arc_rate: r.per_dim_arc_rate,
-                per_dim_mean_queue: r.per_dim_mean_queue,
-            }),
-        }
-    }
-}
-
-impl From<ButterflyReport> for Report {
-    fn from(r: ButterflyReport) -> Report {
-        Report {
-            delay: r.delay,
-            mean_in_system: r.mean_in_system,
-            peak_in_system: r.peak_in_system,
-            throughput: r.throughput,
-            little_error: r.little_error,
-            generated: r.generated,
-            delivered: r.delivered,
-            events: r.events,
-            ext: ReportExt::Butterfly(ButterflyExt {
-                rho: r.rho,
-                mean_vertical_hops: r.mean_vertical_hops,
-                straight_rate_per_level: r.straight_rate_per_level,
-                vertical_rate_per_level: r.vertical_rate_per_level,
-            }),
-        }
-    }
-}
-
-impl From<EqNetReport> for Report {
-    fn from(r: EqNetReport) -> Report {
-        Report {
-            delay: r.delay,
-            mean_in_system: r.mean_in_system,
-            peak_in_system: r.peak_in_system,
-            throughput: r.throughput,
-            little_error: r.little_error,
-            generated: r.generated,
-            delivered: r.delivered,
-            events: r.events,
-            ext: ReportExt::EqNet(EqNetExt {
-                departures: r.departures,
-                occupancy_fractions: r.occupancy_fractions,
-            }),
-        }
-    }
-}
-
-impl From<PipelinedReport> for Report {
-    fn from(r: PipelinedReport) -> Report {
-        Report {
-            delay: DelayStats {
-                mean: r.mean_delay,
-                ci95: f64::NAN,
-                p50: f64::NAN,
-                p90: f64::NAN,
-                p99: f64::NAN,
-                count: r.delivered,
-            },
-            mean_in_system: r.mean_backlog,
-            peak_in_system: f64::NAN,
-            throughput: f64::NAN,
-            little_error: f64::NAN,
-            generated: r.generated,
-            delivered: r.delivered,
-            events: 0,
-            ext: ReportExt::Pipelined(PipelinedExt {
-                mean_round_length: r.mean_round_length,
-                round_constant: r.round_constant,
-                mean_backlog: r.mean_backlog,
-                final_backlog: r.final_backlog,
-                backlog_slope_per_round: r.backlog_slope_per_round,
-            }),
+    /// The ring extension, if any.
+    pub fn ring(&self) -> Option<&RingExt> {
+        match &self.ext {
+            ReportExt::Ring(ext) => Some(ext),
+            _ => None,
         }
     }
 }
@@ -978,47 +907,57 @@ pub trait Simulator {
 
 impl Simulator for HypercubeSim {
     fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
-        self.run_observed(&mut &mut *obs).into()
+        self.run_observed(&mut &mut *obs)
     }
 
     fn run_unobserved(self: Box<Self>) -> Report {
-        self.run().into()
+        self.run()
     }
 }
 
 impl Simulator for ButterflySim {
     fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
-        self.run_observed(&mut &mut *obs).into()
+        self.run_observed(&mut &mut *obs)
     }
 
     fn run_unobserved(self: Box<Self>) -> Report {
-        self.run().into()
+        self.run()
+    }
+}
+
+impl Simulator for RingSim {
+    fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
+        self.run_observed(&mut &mut *obs)
+    }
+
+    fn run_unobserved(self: Box<Self>) -> Report {
+        self.run()
     }
 }
 
 impl Simulator for EqNetSim {
     fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
-        self.run_observed(&mut &mut *obs).into()
+        self.run_observed(&mut &mut *obs)
     }
 
     fn run_unobserved(self: Box<Self>) -> Report {
-        self.run().into()
+        self.run()
     }
 }
 
 /// Adapter running the round-driven pipelined scheme behind the
 /// [`Simulator`] trait.
 struct PipelinedRunner {
-    cfg: PipelinedConfig,
+    scenario: Scenario,
 }
 
 impl Simulator for PipelinedRunner {
     fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
-        simulate_pipelined_observed(self.cfg, &mut &mut *obs).into()
+        simulate_pipelined_observed(&self.scenario, &mut &mut *obs)
     }
 
     fn run_unobserved(self: Box<Self>) -> Report {
-        simulate_pipelined_observed(self.cfg, &mut NullObserver).into()
+        simulate_pipelined_observed(&self.scenario, &mut NullObserver)
     }
 }
 
@@ -1191,6 +1130,8 @@ fn apply_param(s: &mut Scenario, param: SweepParam, value: f64) -> Result<(), Co
             Topology::Hypercube { dim }
             | Topology::Butterfly { dim }
             | Topology::Pipelined { dim, .. } => *dim = as_usize(value),
+            // The ring's size parameter: a Dim axis sweeps the node count.
+            Topology::Ring { nodes, .. } => *nodes = as_usize(value),
             Topology::EqNet { net, .. } => match net {
                 EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => {
                     *dim = as_usize(value)

@@ -6,14 +6,10 @@
 //! so the verdict reads as "fraction of offered packets that accumulate":
 //! ≈ 0 for stable systems, approaching `1 - 1/ρ` for supercritical ones.
 
-#![allow(deprecated)] // drives the legacy config shims internally
-
-use crate::butterfly_sim::{ButterflySim, ButterflySimConfig};
 use crate::config::{ConfigError, Scheme};
-use crate::hypercube_sim::{HypercubeSim, HypercubeSimConfig};
 use crate::observe::TimeSeriesProbe;
 use crate::pipelined::least_squares_slope;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of a stability probe.
@@ -66,29 +62,16 @@ pub fn probe_hypercube(
     horizon: f64,
     seed: u64,
 ) -> StabilityVerdict {
-    probe_config(HypercubeSimConfig {
-        dim,
-        lambda,
-        p,
-        scheme,
-        horizon,
-        seed,
-        ..Default::default()
-    })
-}
-
-/// Probe an arbitrary hypercube configuration (custom destination
-/// distributions, contention policies, slotted arrivals, …); `drain` and
-/// `warmup` are overridden for the probe.
-pub fn probe_config(mut cfg: HypercubeSimConfig) -> StabilityVerdict {
-    cfg.drain = false;
-    cfg.warmup = 0.0001;
-    let horizon = cfg.horizon;
-    let injection = cfg.lambda * (1usize << cfg.dim) as f64;
-    let interval = (horizon / 200.0).max(1.0);
-    let mut probe = TimeSeriesProbe::new(interval, horizon);
-    HypercubeSim::new(cfg).run_observed(&mut probe);
-    assess_samples(&probe.into_samples(), injection, DEFAULT_DRIFT_THRESHOLD)
+    let scenario = Scenario::builder(Topology::Hypercube { dim })
+        .lambda(lambda)
+        .p(p)
+        .scheme(scheme)
+        .horizon(horizon)
+        .warmup(0.0001)
+        .seed(seed)
+        .build()
+        .expect("valid probe scenario");
+    probe_scenario(&scenario).expect("pre-validated scenario")
 }
 
 /// Probe any scenario: run without draining, sample `N(t)` on a 200-point
@@ -102,17 +85,18 @@ pub fn probe_scenario(scenario: &Scenario) -> Result<StabilityVerdict, ConfigErr
     probed.run.drain = false;
     probed.run.warmup = 0.0001;
     let horizon = probed.run.horizon;
-    let rows = match &probed.topology {
-        crate::scenario::Topology::Butterfly { dim }
-        | crate::scenario::Topology::Hypercube { dim }
-        | crate::scenario::Topology::Pipelined { dim, .. } => 1usize << dim,
-        crate::scenario::Topology::EqNet { .. } => 1,
+    let sources = match &probed.topology {
+        Topology::Butterfly { dim }
+        | Topology::Hypercube { dim }
+        | Topology::Pipelined { dim, .. } => 1usize << dim,
+        Topology::Ring { nodes, .. } => *nodes,
+        Topology::EqNet { .. } => 1,
     };
     let injection = match &probed.topology {
-        crate::scenario::Topology::EqNet { net, .. } => net
+        Topology::EqNet { net, .. } => net
             .build(probed.workload.lambda, probed.workload.p)
             .total_external_rate(),
-        _ => probed.workload.lambda * rows as f64,
+        _ => probed.workload.lambda * sources as f64,
     };
     let interval = (horizon / 200.0).max(1.0);
     let mut probe = TimeSeriesProbe::new(interval, horizon);
@@ -132,21 +116,37 @@ pub fn probe_butterfly(
     horizon: f64,
     seed: u64,
 ) -> StabilityVerdict {
-    let cfg = ButterflySimConfig {
-        dim,
-        lambda,
-        p,
-        horizon,
-        warmup: 0.0001,
-        seed,
-        drain: false,
-        ..Default::default()
-    };
-    let interval = (horizon / 200.0).max(1.0);
-    let mut probe = TimeSeriesProbe::new(interval, horizon);
-    ButterflySim::new(cfg).run_observed(&mut probe);
-    let injection = lambda * (1usize << dim) as f64;
-    assess_samples(&probe.into_samples(), injection, DEFAULT_DRIFT_THRESHOLD)
+    let scenario = Scenario::builder(Topology::Butterfly { dim })
+        .lambda(lambda)
+        .p(p)
+        .horizon(horizon)
+        .warmup(0.0001)
+        .seed(seed)
+        .build()
+        .expect("valid probe scenario");
+    probe_scenario(&scenario).expect("pre-validated scenario")
+}
+
+/// Probe the ring: run without draining and assess the drift against the
+/// ring's total injection rate `λ·n`.
+pub fn probe_ring(
+    nodes: usize,
+    bidirectional: bool,
+    lambda: f64,
+    horizon: f64,
+    seed: u64,
+) -> StabilityVerdict {
+    let scenario = Scenario::builder(Topology::Ring {
+        nodes,
+        bidirectional,
+    })
+    .lambda(lambda)
+    .horizon(horizon)
+    .warmup(0.0001)
+    .seed(seed)
+    .build()
+    .expect("valid probe scenario");
+    probe_scenario(&scenario).expect("pre-validated scenario")
 }
 
 #[cfg(test)]

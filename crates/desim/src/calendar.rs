@@ -245,6 +245,33 @@ impl<E: Clone> CalendarQueue<E> {
         Some((entry.time, entry.payload))
     }
 
+    /// Pop the earliest event only if its time is at or before `bound` —
+    /// the one-call merge primitive for simulators that keep a
+    /// self-scheduling stream outside the queue. The fast path is a
+    /// single compare against the tail of the drain buffer.
+    #[inline]
+    pub fn pop_at_or_before(&mut self, bound: SimTime) -> Option<(SimTime, E)> {
+        if self.draining {
+            if let Some(entry) = self.drain_buf.last() {
+                if entry.time <= bound {
+                    let entry = self.drain_buf.pop().expect("checked non-empty");
+                    self.wheel_len -= 1;
+                    return Some((entry.time, entry.payload));
+                }
+                return None;
+            }
+        }
+        // Slow path: load the next bucket, then re-check the bound.
+        self.advance_to_nonempty()?;
+        let entry = self.drain_buf.last().expect("advance filled the buffer");
+        if entry.time > bound {
+            return None;
+        }
+        let entry = self.drain_buf.pop().expect("checked non-empty");
+        self.wheel_len -= 1;
+        Some((entry.time, entry.payload))
+    }
+
     /// Payload of the next event without removing it (the event that the
     /// next `pop` returns).
     #[inline]

@@ -91,6 +91,18 @@ impl<E: Clone> Scheduler<E> {
         }
     }
 
+    /// Pop the earliest event only if its time is at or before `bound`
+    /// (ties: insertion order) — one call instead of `peek_time` +
+    /// conditional `pop`, for merging the queue with an out-of-queue
+    /// self-scheduling event stream.
+    #[inline]
+    pub fn pop_at_or_before(&mut self, bound: SimTime) -> Option<(SimTime, E)> {
+        match self {
+            Scheduler::Heap(q) => q.pop_at_or_before(bound),
+            Scheduler::Calendar(q) => q.pop_at_or_before(bound),
+        }
+    }
+
     /// Time of the next event without removing it.
     #[inline]
     pub fn peek_time(&mut self) -> Option<SimTime> {

@@ -1,0 +1,126 @@
+//! E24 — beyond the paper: greedy routing in rings (the *Papillon*
+//! direction), as the proof that the simulation core is topology-generic.
+//!
+//! The ring's analogue of the paper's program: uniform destinations give
+//! mean greedy path `(n-1)/2` (clockwise-only) or `≈ n/4` (bidirectional),
+//! the per-arc load factor is `ρ_ring = λ·E[hops per direction]`, and the
+//! system is stable exactly while `ρ_ring < 1` — measured here with the
+//! same engine, sweep machinery and stability probes as E01–E23, via a
+//! `Sweep` whose `Dim` axis varies the ring size.
+
+use crate::table::{f4, yn, Table};
+use crate::Scale;
+use hyperroute_core::scenario::{Axis, Sweep, SweepParam};
+use hyperroute_core::stability::probe_ring;
+use hyperroute_core::{Scenario, Topology};
+
+/// Delay and mean-hops vs ring size (both variants), plus the stability
+/// frontier at the ring's capacity bound.
+pub fn run(scale: Scale) -> Table {
+    let sizes: Vec<f64> = match scale {
+        Scale::Quick => vec![8.0, 16.0],
+        Scale::Full => vec![8.0, 16.0, 32.0, 64.0],
+    };
+    let horizon = scale.horizon(6_000.0);
+
+    let mut t = Table::new(
+        "E24 (beyond the paper) — greedy routing in rings: delay, hops, and the ρ_ring < 1 frontier",
+        &[
+            "n",
+            "variant",
+            "rho_ring",
+            "E[hops]",
+            "hops_meas",
+            "delay",
+            "stable@rho",
+            "unstable@1.2rho",
+        ],
+    );
+
+    for bidirectional in [false, true] {
+        // One declarative sweep per variant: the Dim axis is the ring
+        // size, every point at a fixed per-arc load of ~0.7.
+        let base = Scenario::builder(Topology::Ring {
+            nodes: 8,
+            bidirectional,
+        })
+        .lambda(0.1) // placeholder; per-point λ set below via rho target
+        .horizon(horizon)
+        .warmup(horizon * 0.15)
+        .seed(0xE24)
+        .build()
+        .expect("valid scenario");
+        let sweep = Sweep::new(base, vec![Axis::new(SweepParam::Dim, sizes.clone())]);
+        for (i, mut scenario) in sweep
+            .scenarios()
+            .expect("valid grid")
+            .into_iter()
+            .enumerate()
+        {
+            let Topology::Ring { nodes, .. } = scenario.topology else {
+                unreachable!("ring sweep");
+            };
+            let ring = hyperroute_topology::Ring::new(nodes, bidirectional);
+            // λ chosen so the busiest direction sees per-arc load 0.7.
+            let lambda = 0.7 / (ring.load_factor(1.0));
+            scenario.workload.lambda = lambda;
+            let report = scenario.run().expect("scenario runs");
+            let ext = report.ring().expect("ring extension");
+            let stable = probe_ring(
+                nodes,
+                bidirectional,
+                lambda,
+                horizon / 2.0,
+                0xE2400 + i as u64,
+            );
+            let unstable = probe_ring(
+                nodes,
+                bidirectional,
+                lambda * 1.2 / 0.7, // per-arc load 1.2
+                horizon / 2.0,
+                0xE2450 + i as u64,
+            );
+            t.row(vec![
+                nodes.to_string(),
+                if bidirectional { "bidir" } else { "cw" }.to_string(),
+                f4(ext.rho),
+                f4(ring.mean_path_length()),
+                f4(ext.mean_hops),
+                f4(report.delay.mean),
+                yn(stable.stable),
+                yn(!unstable.stable),
+            ]);
+        }
+    }
+    t.note(
+        "rho_ring = λ·E[hops in the busier direction]; capacity requires rho_ring < 1 \
+         (the ring analogue of ρ = λp < 1, Prop. 6)",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_match_theory_and_frontier_is_sharp() {
+        let t = run(Scale::Quick);
+        let (eh, mh) = (t.col("E[hops]"), t.col("hops_meas"));
+        let (st, un) = (t.col("stable@rho"), t.col("unstable@1.2rho"));
+        for row in &t.rows {
+            let expect: f64 = row[eh].parse().unwrap();
+            let measured: f64 = row[mh].parse().unwrap();
+            assert!(
+                (measured - expect).abs() < expect * 0.1 + 0.05,
+                "hops {measured} vs theory {expect}: {row:?}"
+            );
+            assert_eq!(row[st], "yes", "{row:?}");
+            assert_eq!(row[un], "yes", "{row:?}");
+        }
+        // Both variants present.
+        let v = t.col("variant");
+        assert!(t.rows.iter().any(|r| r[v] == "cw"));
+        assert!(t.rows.iter().any(|r| r[v] == "bidir"));
+    }
+}

@@ -41,6 +41,7 @@ pub mod e20_markovian_routing;
 pub mod e21_general_destinations;
 pub mod e22_contention_policies;
 pub mod e23_dimension_occupancy;
+pub mod e24_ring_greedy;
 pub mod figures;
 
 pub use table::Table;
@@ -101,5 +102,6 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("E21", e21_general_destinations::run),
         ("E22", e22_contention_policies::run),
         ("E23", e23_dimension_occupancy::run),
+        ("E24", e24_ring_greedy::run),
     ]
 }

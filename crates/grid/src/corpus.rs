@@ -316,6 +316,36 @@ mod tests {
     }
 
     #[test]
+    fn invalid_validation_failure_reports_file_path() {
+        // Validation (`ConfigError`) failures — well-formed JSON naming an
+        // impossible combination — must carry the offending file path in
+        // the gate output, exactly like parse failures do (which also get
+        // a line/column).
+        let dir = temp_dir("invalid-combo");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "good", 1);
+        let mut bad = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(0.9)
+            .horizon(50.0)
+            .warmup(10.0)
+            .build()
+            .unwrap();
+        bad.workload.lambda = -1.0; // invalid, but serialisable
+        std::fs::write(dir.join("bad_combo.json"), bad.to_json()).unwrap();
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+        let outcome = run_corpus(&dir, &baselines, 1, false).unwrap();
+        assert!(!outcome.passed());
+        let CorpusStatus::Invalid { message } = &outcome.entries[0].status else {
+            panic!("expected Invalid, got {:?}", outcome.entries[0]);
+        };
+        assert!(
+            message.contains("bad_combo.json") && message.contains("invalid"),
+            "validation failure lost its file path: {message}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn missing_baseline_is_flagged() {
         let dir = temp_dir("missing");
         let baselines = dir.join("baselines");

@@ -71,6 +71,28 @@ fn butterfly_sweep() -> Sweep {
     )
 }
 
+/// The fifth topology through the same machinery: a Dim axis on a ring
+/// sweeps its node count.
+fn ring_sweep() -> Sweep {
+    let base = Scenario::builder(Topology::Ring {
+        nodes: 8,
+        bidirectional: true,
+    })
+    .lambda(0.12)
+    .horizon(80.0)
+    .warmup(20.0)
+    .seed(53)
+    .build()
+    .unwrap();
+    Sweep::new(
+        base,
+        vec![
+            Axis::new(SweepParam::Dim, vec![8.0, 12.0]),
+            Axis::new(SweepParam::Lambda, vec![0.08, 0.16]),
+        ],
+    )
+}
+
 /// Byte-level report comparison: JSON text equality is stricter than any
 /// tolerance and exactly what the corpus gate stores.
 fn as_json(reports: &[Report]) -> String {
@@ -79,7 +101,7 @@ fn as_json(reports: &[Report]) -> String {
 
 #[test]
 fn thread_pool_byte_identical_to_sweep_run_for_1_2_8_workers() {
-    for sweep in [hypercube_sweep(), butterfly_sweep()] {
+    for sweep in [hypercube_sweep(), butterfly_sweep(), ring_sweep()] {
         let direct = sweep.run(1).unwrap();
         for workers in [1, 2, 8] {
             for slice_len in [1, 4] {
@@ -107,6 +129,18 @@ fn subprocess_byte_identical_to_sweep_run_for_1_2_8_workers() {
         assert_eq!(got, direct, "workers={workers}");
         assert_eq!(as_json(&got), as_json(&direct), "workers={workers}");
     }
+}
+
+#[test]
+fn subprocess_byte_identical_for_ring_sweep() {
+    // The new topology crosses the process boundary (scenario JSON in,
+    // report JSON out) bit-exactly, like the paper's topologies.
+    let sweep = ring_sweep();
+    let direct = sweep.run(1).unwrap();
+    let backend = SubprocessBackend::new(vec![grid_bin(), "worker".into()], 2);
+    let got = Campaign::new(sweep, 2).run(&backend).unwrap();
+    assert_eq!(got, direct);
+    assert_eq!(as_json(&got), as_json(&direct));
 }
 
 /// Backend adapter that delivers `limit` results and then reports the

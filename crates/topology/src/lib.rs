@@ -38,9 +38,13 @@ pub mod dot;
 pub mod hypercube;
 pub mod levelled;
 pub mod node;
+pub mod ring;
+pub mod routing;
 
 pub use arcs::{ArcKind, ButterflyArc, HypercubeArc};
 pub use butterfly::{Butterfly, ButterflyNode};
 pub use hypercube::Hypercube;
 pub use levelled::{LevelledNetwork, ServerId};
 pub use node::NodeId;
+pub use ring::{Ring, RingDirection};
+pub use routing::RoutingTopology;

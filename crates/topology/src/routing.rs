@@ -1,0 +1,288 @@
+//! The topology-generic greedy-routing abstraction.
+//!
+//! [`RoutingTopology`] is what a network must provide for the generic
+//! simulation core (`hyperroute-core::engine`) to route packets over it:
+//! a dense arc space and a deterministic greedy next-arc function. The
+//! contract — property-tested in `tests/proptest_routing.rs` over every
+//! implementation — is:
+//!
+//! 1. **Dense arcs.** Arc indices cover `0..num_arcs()` without gaps;
+//!    [`RoutingTopology::arc_tail`] / [`RoutingTopology::arc_head`] invert
+//!    the indexing.
+//! 2. **Greedy progress.** For `node != dest` (with `dest` reachable),
+//!    [`RoutingTopology::next_arc`] returns an arc whose tail is `node`
+//!    and whose head is **strictly closer** to `dest` — so every greedy
+//!    route terminates in exactly `distance(node, dest)` hops and the
+//!    per-hop simulators never cycle.
+//! 3. **Delivery.** `next_arc(node, node)` is `None`.
+//!
+//! The packet-level engines keep their packed per-arc fast paths (bit
+//! tricks over XOR masks for the hypercube, level words for the
+//! butterfly), but those fast paths must agree with the trait — the
+//! property tests pin them together, so "add a topology" means
+//! implementing this trait plus a ~100-line engine spec (see the ring,
+//! `hyperroute-core::ring_sim`, for the worked example).
+//!
+//! Node encodings are plain `u64`s, chosen per topology:
+//!
+//! * [`Hypercube`]: the node id `0..2^d`.
+//! * [`Butterfly`]: `level · 2^d + row` (level-major); routing
+//!   destinations are level-`d` nodes.
+//! * [`Ring`]: the node id `0..n`.
+
+use crate::arcs::{ArcKind, ButterflyArc, HypercubeArc};
+use crate::butterfly::Butterfly;
+use crate::hypercube::Hypercube;
+use crate::node::NodeId;
+use crate::ring::Ring;
+
+/// A network with dense arc indexing and deterministic greedy routing.
+///
+/// See the [module docs](self) for the full contract.
+pub trait RoutingTopology {
+    /// Number of nodes (the size of the node-id space actually used).
+    fn num_nodes(&self) -> usize;
+
+    /// Number of directed arcs; indices are dense in `0..num_arcs()`.
+    fn num_arcs(&self) -> usize;
+
+    /// Dense index of the greedy arc out of `node` toward `dest`, or
+    /// `None` when `node == dest` (the packet is delivered).
+    fn next_arc(&self, node: u64, dest: u64) -> Option<usize>;
+
+    /// Tail node of arc `arc`.
+    fn arc_tail(&self, arc: usize) -> u64;
+
+    /// Head node of arc `arc`.
+    fn arc_head(&self, arc: usize) -> u64;
+
+    /// Hops a greedy route takes from `node` to `dest`.
+    fn distance(&self, node: u64, dest: u64) -> usize;
+}
+
+impl RoutingTopology for Hypercube {
+    fn num_nodes(&self) -> usize {
+        Hypercube::num_nodes(*self)
+    }
+
+    fn num_arcs(&self) -> usize {
+        Hypercube::num_arcs(*self)
+    }
+
+    /// Canonical greedy order (paper §1.1): cross the lowest differing
+    /// dimension first.
+    fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
+        let diff = node ^ dest;
+        if diff == 0 {
+            return None;
+        }
+        let dim = diff.trailing_zeros() as usize;
+        Some(
+            HypercubeArc {
+                from: NodeId(node),
+                dim,
+            }
+            .index(self.dim()),
+        )
+    }
+
+    fn arc_tail(&self, arc: usize) -> u64 {
+        HypercubeArc::from_index(arc, self.dim()).from.0
+    }
+
+    fn arc_head(&self, arc: usize) -> u64 {
+        HypercubeArc::from_index(arc, self.dim()).to().0
+    }
+
+    fn distance(&self, node: u64, dest: u64) -> usize {
+        NodeId(node).hamming(NodeId(dest)) as usize
+    }
+}
+
+impl Butterfly {
+    /// Flat node encoding for [`RoutingTopology`]: `level · 2^d + row`.
+    #[inline]
+    pub fn encode_node(self, row: u64, level: usize) -> u64 {
+        debug_assert!(row < (1u64 << self.dim()) && level <= self.dim());
+        ((level as u64) << self.dim()) | row
+    }
+
+    /// Inverse of [`Butterfly::encode_node`]: `(row, level)`.
+    #[inline]
+    pub fn decode_node(self, node: u64) -> (u64, usize) {
+        let rows = 1u64 << self.dim();
+        (node & (rows - 1), (node >> self.dim()) as usize)
+    }
+}
+
+impl RoutingTopology for Butterfly {
+    fn num_nodes(&self) -> usize {
+        Butterfly::num_nodes(*self)
+    }
+
+    fn num_arcs(&self) -> usize {
+        Butterfly::num_arcs(*self)
+    }
+
+    /// The unique (hence greedy) next arc: straight when bit `level` of
+    /// the row already matches the destination row, vertical otherwise.
+    /// `dest` must be a level-`d` node.
+    fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
+        let (row, level) = self.decode_node(node);
+        let (dest_row, dest_level) = self.decode_node(dest);
+        debug_assert_eq!(dest_level, self.dim(), "butterfly dests sit at level d");
+        if node == dest {
+            return None;
+        }
+        let kind = if (row >> level) & 1 == (dest_row >> level) & 1 {
+            ArcKind::Straight
+        } else {
+            ArcKind::Vertical
+        };
+        Some(
+            ButterflyArc {
+                row: NodeId(row),
+                level,
+                kind,
+            }
+            .index(self.dim()),
+        )
+    }
+
+    fn arc_tail(&self, arc: usize) -> u64 {
+        let a = ButterflyArc::from_index(arc, self.dim());
+        self.encode_node(a.row.0, a.level)
+    }
+
+    fn arc_head(&self, arc: usize) -> u64 {
+        let a = ButterflyArc::from_index(arc, self.dim());
+        self.encode_node(a.to_row().0, a.level + 1)
+    }
+
+    /// Levels remaining: the unique path from `[row; j]` to `[z; d]`
+    /// always has exactly `d - j` arcs (paper §4.1).
+    fn distance(&self, node: u64, dest: u64) -> usize {
+        let (_, level) = self.decode_node(node);
+        let (_, dest_level) = self.decode_node(dest);
+        debug_assert!(dest_level >= level);
+        dest_level - level
+    }
+}
+
+impl RoutingTopology for Ring {
+    fn num_nodes(&self) -> usize {
+        Ring::num_nodes(*self)
+    }
+
+    fn num_arcs(&self) -> usize {
+        Ring::num_arcs(*self)
+    }
+
+    /// Shorter way around (ties clockwise); always clockwise on
+    /// unidirectional rings.
+    fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
+        if node == dest {
+            return None;
+        }
+        Some(self.arc_index(node, self.greedy_direction(node, dest)))
+    }
+
+    fn arc_tail(&self, arc: usize) -> u64 {
+        self.arc_from_index(arc).0
+    }
+
+    fn arc_head(&self, arc: usize) -> u64 {
+        let (node, dir) = self.arc_from_index(arc);
+        self.step(node, dir)
+    }
+
+    fn distance(&self, node: u64, dest: u64) -> usize {
+        Ring::distance(*self, node, dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walk the greedy route and check termination + strict progress.
+    fn assert_greedy_route<T: RoutingTopology>(t: &T, src: u64, dest: u64) {
+        let mut at = src;
+        let mut hops = 0;
+        while let Some(arc) = t.next_arc(at, dest) {
+            assert!(arc < t.num_arcs());
+            assert_eq!(t.arc_tail(arc), at);
+            let next = t.arc_head(arc);
+            assert_eq!(
+                t.distance(next, dest),
+                t.distance(at, dest) - 1,
+                "hop {at}→{next} toward {dest} is not strict progress"
+            );
+            at = next;
+            hops += 1;
+            assert!(hops <= t.num_nodes(), "greedy route cycles");
+        }
+        assert_eq!(at, dest);
+        assert_eq!(hops, t.distance(src, dest));
+    }
+
+    #[test]
+    fn hypercube_greedy_routes() {
+        let c = Hypercube::new(5);
+        for src in [0u64, 7, 19, 31] {
+            for dest in [0u64, 1, 21, 30] {
+                assert_greedy_route(&c, src, dest);
+            }
+        }
+        assert_eq!(RoutingTopology::num_arcs(&c), 160);
+    }
+
+    #[test]
+    fn hypercube_greedy_matches_canonical_path() {
+        let c = Hypercube::new(6);
+        let (src, dest) = (NodeId(0b100101), NodeId(0b011001));
+        let canonical: Vec<usize> = c.canonical_path(src, dest).map(|a| a.index(6)).collect();
+        let mut walked = Vec::new();
+        let mut at = src.0;
+        while let Some(arc) = c.next_arc(at, dest.0) {
+            walked.push(arc);
+            at = RoutingTopology::arc_head(&c, arc);
+        }
+        assert_eq!(walked, canonical);
+    }
+
+    #[test]
+    fn butterfly_greedy_routes() {
+        let b = Butterfly::new(4);
+        for src_row in [0u64, 5, 12, 15] {
+            for dest_row in [0u64, 3, 9, 15] {
+                let src = b.encode_node(src_row, 0);
+                let dest = b.encode_node(dest_row, 4);
+                assert_eq!(b.distance(src, dest), 4);
+                assert_greedy_route(&b, src, dest);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_greedy_routes_both_variants() {
+        for bidirectional in [false, true] {
+            let r = Ring::new(11, bidirectional);
+            for src in 0..11u64 {
+                for dest in 0..11u64 {
+                    assert_greedy_route(&r, src, dest);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_encoding_round_trips() {
+        let b = Butterfly::new(3);
+        for level in 0..=3usize {
+            for row in 0..8u64 {
+                assert_eq!(b.decode_node(b.encode_node(row, level)), (row, level));
+            }
+        }
+    }
+}

@@ -26,21 +26,21 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`topology`] | hypercube, butterfly, canonical paths, equivalent networks Q/R, DOT figures |
+//! | [`topology`] | hypercube, butterfly, ring, the generic `RoutingTopology` trait, canonical paths, equivalent networks Q/R, DOT figures |
 //! | [`desim`] | event schedulers (binary heap + calendar queue), RNG streams, statistics |
 //! | [`queueing`] | M/M/1, M/D/1, M/D/s, FIFO/PS sample-path servers, product form |
 //! | [`analysis`] | every proposition's bound as a function |
-//! | [`routing`] | the scenario API and packet-level simulators (crate `hyperroute-core`) |
+//! | [`routing`] | the topology-generic engine, the scenario API, and the per-topology simulator specs (crate `hyperroute-core`) |
 //! | [`grid`] | sharded sweep campaigns: slice jobs, thread-pool/subprocess backends, checkpointed manifests, the scenario-corpus regression gate (crate `hyperroute-grid`) |
-//! | [`experiments`] | the E01–E23 harnesses and result tables |
+//! | [`experiments`] | the E01–E24 harnesses and result tables |
 //!
 //! ## Quick start
 //!
 //! One typed [`prelude::Scenario`] drives every topology — hypercube,
-//! butterfly, the equivalent queueing networks, and the pipelined
-//! baseline — through a shared engine dispatch, serialises to JSON
-//! scenario files, and expands into deterministic parameter
-//! [`prelude::Sweep`]s:
+//! butterfly, ring, the equivalent queueing networks, and the pipelined
+//! baseline — through **one** topology-generic engine
+//! (`hyperroute_core::engine`), serialises to JSON scenario files, and
+//! expands into deterministic parameter [`prelude::Sweep`]s:
 //!
 //! ```
 //! use hyperroute::prelude::*;
@@ -114,16 +114,9 @@ pub mod prelude {
     };
     pub use hyperroute_core::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
     pub use hyperroute_experiments::{Scale, Table};
-    pub use hyperroute_topology::{Butterfly, Hypercube, LevelledNetwork, NodeId};
-
-    // Legacy per-simulator entry points, re-exported for the one-release
-    // deprecation window. New code goes through `Scenario`.
-    #[allow(deprecated)]
-    pub use hyperroute_core::butterfly_sim::{ButterflyReport, ButterflySim, ButterflySimConfig};
-    #[allow(deprecated)]
-    pub use hyperroute_core::equivalent_network::{EqNetConfig, EqNetSim};
-    #[allow(deprecated)]
-    pub use hyperroute_core::hypercube_sim::{HypercubeReport, HypercubeSim, HypercubeSimConfig};
+    pub use hyperroute_topology::{
+        Butterfly, Hypercube, LevelledNetwork, NodeId, Ring, RoutingTopology,
+    };
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! with each other — every system expressed as one `Scenario`.
 
 use hyperroute::prelude::*;
-use hyperroute::routing::stability::{probe_butterfly, probe_hypercube};
+use hyperroute::routing::stability::{probe_butterfly, probe_hypercube, probe_ring};
 
 fn hypercube(dim: usize) -> Scenario {
     Scenario::builder(Topology::Hypercube { dim })
@@ -168,6 +168,9 @@ fn stability_frontiers() {
     // Butterfly: ρ_bf = λ·max{p, 1-p}; skew p breaks it sooner.
     assert!(probe_butterfly(4, 1.2, 0.5, 3_000.0, 53).stable);
     assert!(!probe_butterfly(4, 1.2, 0.1, 3_000.0, 54).stable); // ρ_bf=1.08
+                                                                // Ring (clockwise-only n=9): ρ_ring = λ(n-1)/2 crosses 1 at λ = 0.25.
+    assert!(probe_ring(9, false, 0.2, 3_000.0, 55).stable); // ρ = 0.8
+    assert!(!probe_ring(9, false, 0.32, 3_000.0, 56).stable); // ρ = 1.28
 }
 
 /// Slotted arrivals obey the §3.4 bound and approach the continuous delay

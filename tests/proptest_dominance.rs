@@ -5,11 +5,12 @@
 
 // Randomly *generated* levelled networks are not expressible as a
 // `scenario::EqNetSpec` (which names the paper's concrete networks), so
-// this test drives the engine-level `EqNetSim` API directly.
-#![allow(deprecated)]
-
+// this test drives the engine-level `EqNetSim::with_network` hook with
+// explicit run control.
 use hyperroute::prelude::*;
 use hyperroute::queueing::sample_path::counting_dominates;
+use hyperroute::routing::equivalent_network::EqNetSim;
+use hyperroute::routing::scenario::RunControl;
 use hyperroute::topology::ServerId;
 use proptest::prelude::*;
 
@@ -90,21 +91,23 @@ proptest! {
     fn lemma_10_on_random_networks(spec in net_spec()) {
         let net = build(&spec);
         prop_assume!(net.max_utilization() < 0.95);
-        let mk = |discipline| EqNetConfig {
-            discipline,
+        let run = RunControl {
             horizon: 400.0,
             warmup: 50.0,
             seed: spec.seed,
-            record_departures: true,
             ..Default::default()
         };
-        let fifo = EqNetSim::new(&net, mk(Discipline::Fifo)).run();
-        let ps = EqNetSim::new(&net, mk(Discipline::Ps)).run();
+        let fifo = EqNetSim::with_network(&net, Discipline::Fifo, &run, true, 0).run();
+        let ps = EqNetSim::with_network(&net, Discipline::Ps, &run, true, 0).run();
         // Coupled sample paths: same customers in both systems.
         prop_assert_eq!(fifo.generated, ps.generated);
+        let (fifo_dep, ps_dep) = (
+            &fifo.eqnet().expect("eqnet report").departures,
+            &ps.eqnet().expect("eqnet report").departures,
+        );
         // Lemma 10: B(t) ≥ B̄(t) for every t.
         prop_assert!(
-            counting_dominates(&fifo.departures, &ps.departures, 1e-7),
+            counting_dominates(fifo_dep, ps_dep, 1e-7),
             "PS departures got ahead on a random levelled network"
         );
         // Prop. 11 corollary in expectation.

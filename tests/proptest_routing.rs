@@ -1,0 +1,148 @@
+//! Property tests of the `RoutingTopology` contract — the abstraction the
+//! generic simulation core routes over.
+//!
+//! Two properties, over every implementation (hypercube, butterfly, ring
+//! clockwise-only and bidirectional — which between them back all five
+//! simulator instantiations: the equivalent networks route over the
+//! hypercube/butterfly graphs and the pipelined scheme batch-routes the
+//! hypercube):
+//!
+//! 1. **Strict greedy progress**: for any `(node, dest)`, `next_arc`
+//!    leaves from `node` and its head is exactly one hop closer to
+//!    `dest`, so greedy routes terminate in `distance(node, dest)` hops
+//!    and the per-hop engines can never cycle.
+//! 2. **Dense arc enumeration**: arc indices cover `0..num_arcs()`
+//!    bijectively via `arc_tail`/`arc_head`, and `num_arcs()` matches the
+//!    concrete topology's published arc counts (`d·2^d` hypercube,
+//!    `d·2^(d+1)` butterfly, `n`/`2n` ring).
+
+use hyperroute::prelude::*;
+use proptest::prelude::*;
+
+/// Walk the greedy route, asserting strict per-hop progress; returns hops.
+fn walk_greedy<T: RoutingTopology>(t: &T, src: u64, dest: u64) -> usize {
+    let mut at = src;
+    let mut hops = 0usize;
+    while let Some(arc) = t.next_arc(at, dest) {
+        assert!(arc < t.num_arcs(), "arc index {arc} out of range");
+        assert_eq!(t.arc_tail(arc), at, "next_arc leaves the wrong node");
+        let next = t.arc_head(arc);
+        assert_eq!(
+            t.distance(next, dest) + 1,
+            t.distance(at, dest),
+            "hop {at}→{next} toward {dest} is not strict progress"
+        );
+        at = next;
+        hops += 1;
+        assert!(hops <= t.num_nodes(), "greedy route cycles");
+    }
+    assert_eq!(at, dest, "greedy route ended off-destination");
+    hops
+}
+
+/// Check the arc index space is dense and tail/head are total on it.
+fn check_arc_enumeration<T: RoutingTopology>(t: &T) {
+    let n = t.num_nodes() as u64;
+    for arc in 0..t.num_arcs() {
+        assert!(t.arc_tail(arc) < n);
+        assert!(t.arc_head(arc) < n);
+        assert_ne!(t.arc_tail(arc), t.arc_head(arc), "self-loop arc {arc}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hypercube_greedy_strictly_decreases_distance(
+        dim in 1usize..=10,
+        src_bits in any::<u64>(),
+        dest_bits in any::<u64>(),
+    ) {
+        let cube = Hypercube::new(dim);
+        let mask = (1u64 << dim) - 1;
+        let (src, dest) = (src_bits & mask, dest_bits & mask);
+        let hops = walk_greedy(&cube, src, dest);
+        prop_assert_eq!(hops, NodeId(src).hamming(NodeId(dest)) as usize);
+    }
+
+    #[test]
+    fn butterfly_greedy_strictly_decreases_distance(
+        dim in 1usize..=8,
+        src_bits in any::<u64>(),
+        dest_bits in any::<u64>(),
+        level_bits in any::<u64>(),
+    ) {
+        let bf = Butterfly::new(dim);
+        let mask = (1u64 << dim) - 1;
+        let level = (level_bits % (dim as u64 + 1)) as usize;
+        // A mid-route packet at [row; level] heads for a level-d node
+        // whose bits below `level` already match (the crossed levels).
+        let row = src_bits & mask;
+        let low = (1u64 << level) - 1;
+        let dest_row = (dest_bits & mask & !low) | (row & low);
+        let src = bf.encode_node(row, level);
+        let dest = bf.encode_node(dest_row, dim);
+        let hops = walk_greedy(&bf, src, dest);
+        prop_assert_eq!(hops, dim - level);
+    }
+
+    #[test]
+    fn ring_greedy_strictly_decreases_distance(
+        nodes in 3usize..=64,
+        bidirectional in any::<bool>(),
+        src_bits in any::<u64>(),
+        dest_bits in any::<u64>(),
+    ) {
+        let ring = Ring::new(nodes, bidirectional);
+        let (src, dest) = (src_bits % nodes as u64, dest_bits % nodes as u64);
+        let hops = walk_greedy(&ring, src, dest);
+        prop_assert_eq!(hops, ring.distance(src, dest));
+        // Bidirectional greedy never walks more than half way around.
+        if bidirectional {
+            prop_assert!(hops <= nodes / 2);
+        }
+    }
+
+    #[test]
+    fn arc_enumeration_matches_topology_arc_counts(
+        dim in 1usize..=8,
+        nodes in 3usize..=64,
+        bidirectional in any::<bool>(),
+    ) {
+        let cube = Hypercube::new(dim);
+        prop_assert_eq!(RoutingTopology::num_arcs(&cube), dim << dim);
+        check_arc_enumeration(&cube);
+
+        let bf = Butterfly::new(dim);
+        prop_assert_eq!(RoutingTopology::num_arcs(&bf), dim << (dim + 1));
+        check_arc_enumeration(&bf);
+
+        let ring = Ring::new(nodes, bidirectional);
+        let expected = if bidirectional { 2 * nodes } else { nodes };
+        prop_assert_eq!(RoutingTopology::num_arcs(&ring), expected);
+        check_arc_enumeration(&ring);
+    }
+
+    /// The hypercube spec's packed fast path (trailing_zeros over the XOR
+    /// mask) must agree with the trait's canonical `next_arc` — the pin
+    /// that keeps engine fast paths honest.
+    #[test]
+    fn hypercube_trait_agrees_with_canonical_path(
+        dim in 1usize..=10,
+        src_bits in any::<u64>(),
+        dest_bits in any::<u64>(),
+    ) {
+        let cube = Hypercube::new(dim);
+        let mask = (1u64 << dim) - 1;
+        let (src, dest) = (src_bits & mask, dest_bits & mask);
+        let mut canonical = cube.canonical_path(NodeId(src), NodeId(dest));
+        let mut at = src;
+        while let Some(arc) = cube.next_arc(at, dest) {
+            let expected = canonical.next().expect("canonical path too short");
+            prop_assert_eq!(arc, expected.index(dim));
+            at = RoutingTopology::arc_head(&cube, arc);
+        }
+        prop_assert!(canonical.next().is_none(), "canonical path too long");
+    }
+}

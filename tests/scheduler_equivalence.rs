@@ -156,6 +156,36 @@ fn butterfly_reports_identical_both_arrival_models() {
 }
 
 #[test]
+fn ring_reports_identical_across_variants_and_arrivals() {
+    for (bidirectional, arrivals, seed) in [
+        (false, ArrivalModel::Poisson, 61u64),
+        (true, ArrivalModel::Poisson, 62),
+        (true, ArrivalModel::Slotted { slots_per_unit: 2 }, 63),
+    ] {
+        let run = |kind| {
+            Scenario::builder(Topology::Ring {
+                nodes: 12,
+                bidirectional,
+            })
+            .lambda(0.12)
+            .arrivals(arrivals)
+            .scheduler(kind)
+            .horizon(400.0)
+            .warmup(80.0)
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+            .run()
+            .expect("scenario runs")
+        };
+        let heap = run(SchedulerKind::Heap);
+        let calendar = run(SchedulerKind::Calendar);
+        assert_eq!(heap, calendar, "bidir={bidirectional} / {arrivals:?}");
+        assert!(heap.generated > 0);
+    }
+}
+
+#[test]
 fn equivalent_network_reports_identical_both_disciplines() {
     for discipline in [Discipline::Fifo, Discipline::Ps] {
         let run = |kind| {
