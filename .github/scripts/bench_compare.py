@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a freshly-generated BENCH_engine.json against the checked-in one.
+
+Usage: bench_compare.py <baseline.json> <fresh.json>
+
+CI machines are slower and noisier than the dev boxes that generate the
+checked-in report, so raw events/sec cells are not comparable across
+machines. The trick: every report carries in-process `seed` cells (the
+frozen pre-PR engine) measured on the *same* machine and run as the
+shipped cells, so the median seed-cell ratio fresh/baseline estimates the
+machine-speed factor. Each shipped cell's throughput ratio is divided by
+that factor before gating:
+
+  * normalised ratio < 1 - THRESHOLD  -> regression, job FAILS
+  * raw ratio < 1 - THRESHOLD only    -> warning (machine speed, not code)
+  * cells missing on either side      -> warning (grid drift)
+
+Exit status: 0 clean/warnings, 1 regression or unusable input.
+"""
+
+import json
+import statistics
+import sys
+
+THRESHOLD = 0.25  # fail on >25% normalised regression
+
+
+def cells_by_key(report):
+    return {
+        (c["sim"], c["dim"], c["rho"], c["engine"]): c["events_per_sec"]
+        for c in report["results"]
+    }
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    base = cells_by_key(baseline)
+    new = cells_by_key(fresh)
+
+    seed_ratios = [
+        new[k] / base[k]
+        for k in base
+        if k[3] == "seed" and k in new and base[k] > 0
+    ]
+    if not seed_ratios:
+        print("bench-compare: no common seed cells; cannot normalise machine speed")
+        return 1
+    machine = statistics.median(seed_ratios)
+    print(f"bench-compare: machine-speed factor (median of {len(seed_ratios)} "
+          f"seed cells) = {machine:.3f}")
+
+    regressions, warnings = [], []
+    shipped = sorted(k for k in base if k[3] != "seed")
+    for key in shipped:
+        if key not in new:
+            warnings.append(f"cell {key} missing from fresh report")
+            continue
+        raw = new[key] / base[key]
+        norm = raw / machine
+        marker = "ok"
+        if norm < 1.0 - THRESHOLD:
+            marker = "REGRESSION"
+            regressions.append(
+                f"{key}: normalised throughput ratio {norm:.3f} "
+                f"(raw {raw:.3f}, machine {machine:.3f})"
+            )
+        elif raw < 1.0 - THRESHOLD:
+            marker = "warn(raw)"
+            warnings.append(
+                f"{key}: raw ratio {raw:.3f} low but normalised {norm:.3f} fine "
+                f"(slow machine)"
+            )
+        sim, dim, rho, engine = key
+        print(f"  {sim:10s} dim={dim:<5} rho={rho:<5} {engine:9s} "
+              f"raw={raw:6.3f} norm={norm:6.3f}  {marker}")
+    for key in sorted(new):
+        if key[3] != "seed" and key not in base:
+            warnings.append(f"cell {key} missing from checked-in report "
+                            f"(regenerate BENCH_engine.json)")
+
+    for w in warnings:
+        print(f"bench-compare: WARNING: {w}")
+    if regressions:
+        print(f"bench-compare: FAILED — {len(regressions)} cell(s) regressed "
+              f"by more than {THRESHOLD:.0%} after machine normalisation:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print(f"bench-compare: {len(shipped)} shipped cells within "
+          f"{THRESHOLD:.0%} of the checked-in report")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+//! Bench target regenerating the e25_torus_greedy experiment table (see DESIGN.md §4).
+fn main() {
+    hyperroute_bench::run_table_bench(
+        "e25_torus_greedy",
+        hyperroute_experiments::e25_torus_greedy::run,
+    );
+}

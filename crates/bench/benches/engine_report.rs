@@ -28,8 +28,16 @@
 //! CI's bench-schema job fails if the checked-in report predates the
 //! current schema.
 //!
+//! A `ring` section benches the fifth topology on the same engine, and
+//! `torus` / `debruijn` sections bench the blanket `GraphSpec`
+//! trait-impl-only topologies (same cell keys at every scale, so CI can
+//! diff cells across reports).
+//!
 //! Scale: `HYPERROUTE_SCALE=full` lengthens the horizon and adds
-//! repetitions; the default `quick` keeps the grid under a minute.
+//! repetitions; the default `quick` keeps the grid under a minute;
+//! `ci` shrinks the horizon further for the `bench-compare` CI job
+//! (same grid, noisier cells — the job normalises by the in-process
+//! seed baseline before comparing).
 
 use hyperroute_bench::seed_baseline::run_seed_engine;
 use hyperroute_core::{Scenario, Topology};
@@ -39,7 +47,7 @@ use std::time::Instant;
 
 /// Bump when the report layout changes; CI checks the checked-in JSON
 /// carries the current value.
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
 
 struct Cell {
     sim: &'static str,
@@ -85,6 +93,40 @@ fn run_ring(kind: SchedulerKind, nodes: usize, lambda: f64, horizon: f64) -> (f6
     (start.elapsed().as_secs_f64(), r.events, r.generated)
 }
 
+fn run_torus(
+    kind: SchedulerKind,
+    radix: usize,
+    dim: usize,
+    lambda: f64,
+    horizon: f64,
+) -> (f64, u64, u64) {
+    let scenario = Scenario::builder(Topology::Torus { radix, dim })
+        .lambda(lambda)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(7)
+        .scheduler(kind)
+        .build()
+        .expect("valid scenario");
+    let start = Instant::now();
+    let r = scenario.run().expect("scenario runs");
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
+fn run_debruijn(kind: SchedulerKind, dim: usize, lambda: f64, horizon: f64) -> (f64, u64, u64) {
+    let scenario = Scenario::builder(Topology::DeBruijn { dim })
+        .lambda(lambda)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(7)
+        .scheduler(kind)
+        .build()
+        .expect("valid scenario");
+    let start = Instant::now();
+    let r = scenario.run().expect("scenario runs");
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
 fn run_seed(dim: usize, rho: f64, horizon: f64) -> (f64, u64, u64) {
     let start = Instant::now();
     let r = run_seed_engine(dim, rho / 0.5, 0.5, horizon, 7);
@@ -92,11 +134,17 @@ fn run_seed(dim: usize, rho: f64, horizon: f64) -> (f64, u64, u64) {
 }
 
 fn main() {
-    let full = matches!(
-        std::env::var("HYPERROUTE_SCALE").as_deref(),
-        Ok("full") | Ok("FULL")
-    );
-    let (horizon, reps) = if full { (400.0, 9) } else { (120.0, 5) };
+    let scale = std::env::var("HYPERROUTE_SCALE").unwrap_or_default();
+    let scale = match scale.to_ascii_lowercase().as_str() {
+        "full" => "full",
+        "ci" => "ci",
+        _ => "quick",
+    };
+    let (horizon, reps) = match scale {
+        "full" => (400.0, 9),
+        "ci" => (60.0, 3),
+        _ => (120.0, 5),
+    };
     let dims = [6usize, 8, 10];
     let rhos = [0.5f64, 0.8, 0.95];
 
@@ -171,17 +219,43 @@ fn main() {
         }
     }
 
-    // The fifth topology on the same engine: a 256-node bidirectional
-    // ring (E[hops] = 64) near ρ = λ·E[cw hops] ≈ 0.8 per direction.
-    let (ring_nodes, ring_lambda) = (256usize, 0.025);
-    {
+    // The non-hypercube topologies on the same engine, both scheduler
+    // backends (cell key = sim name + node count + nominal load):
+    // a 256-node bidirectional ring near per-direction ρ ≈ 0.8, a
+    // 16-ary 2-cube at ρ ≈ 0.8, and a 1024-node de Bruijn graph at a
+    // mean per-arc load ≈ 0.45 — the last two on the blanket GraphSpec.
+    let ring_nodes = 256usize;
+    type TopoRun = (
+        &'static str,
+        usize,
+        f64,
+        Box<dyn Fn(SchedulerKind) -> (f64, u64, u64)>,
+    );
+    let extra: Vec<TopoRun> = vec![
+        (
+            "ring",
+            ring_nodes,
+            0.8,
+            Box::new(move |kind| run_ring(kind, ring_nodes, 0.025, horizon)),
+        ),
+        (
+            "torus",
+            256,
+            0.8,
+            Box::new(move |kind| run_torus(kind, 16, 2, 0.355, horizon)),
+        ),
+        (
+            "debruijn",
+            1024,
+            0.45,
+            Box::new(move |kind| run_debruijn(kind, 10, 0.1, horizon)),
+        ),
+    ];
+    for (sim, size, rho, runner) in &extra {
         let mut best = [f64::MAX; 2];
         let mut meta = [(0u64, 0u64); 2];
         for _ in 0..reps {
-            let runs = [
-                run_ring(SchedulerKind::Heap, ring_nodes, ring_lambda, horizon),
-                run_ring(SchedulerKind::Calendar, ring_nodes, ring_lambda, horizon),
-            ];
+            let runs = [runner(SchedulerKind::Heap), runner(SchedulerKind::Calendar)];
             for (i, &(t, ev, gen)) in runs.iter().enumerate() {
                 best[i] = best[i].min(t);
                 meta[i] = (ev, gen);
@@ -190,11 +264,11 @@ fn main() {
         for (i, engine) in ["heap", "calendar"].into_iter().enumerate() {
             let (events, generated) = meta[i];
             record(
-                &mut cells, "ring", ring_nodes, 0.8, engine, best[i], events, generated,
+                &mut cells, sim, *size, *rho, engine, best[i], events, generated,
             );
         }
         eprintln!(
-            "ring n{ring_nodes}: heap {:.2} Mev/s | calendar {:.2} Mev/s",
+            "{sim} n{size}: heap {:.2} Mev/s | calendar {:.2} Mev/s",
             meta[0].0 as f64 / best[0] / 1e6,
             meta[1].0 as f64 / best[1] / 1e6,
         );
@@ -216,19 +290,15 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"engine\",");
     let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
-    let _ = writeln!(
-        json,
-        "  \"scale\": \"{}\",",
-        if full { "full" } else { "quick" }
-    );
-    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5 (+ ring n={ring_nodes} bidirectional), horizon {horizon}, warmup 20%, best of {reps}\",");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5 (+ ring n={ring_nodes} bidirectional, torus 16^2, de Bruijn n=1024 on the blanket GraphSpec), horizon {horizon}, warmup 20%, best of {reps}\",");
     let _ = writeln!(
         json,
         "  \"baseline\": \"seed = frozen pre-PR engine (binary-heap FEL, VecDeque arc queues, per-event asserts, in-queue arrival events); heap/calendar = generic engine (dequeued arrival stream + peek_payload prefetch) on each scheduler backend\","
     );
     let _ = writeln!(
         json,
-        "  \"engine_features\": {{ \"generic_engine\": true, \"arrival_stream_dequeued\": true, \"peek_payload_prefetch\": true }},"
+        "  \"engine_features\": {{ \"generic_engine\": true, \"arrival_stream_dequeued\": true, \"peek_payload_prefetch\": true, \"blanket_graph_spec\": true }},"
     );
     let _ = writeln!(
         json,
@@ -251,6 +321,8 @@ fn main() {
         "\"engine_features\"",
         "\"arrival_stream_dequeued\"",
         "\"sim\": \"ring\"",
+        "\"sim\": \"torus\"",
+        "\"sim\": \"debruijn\"",
         "\"headline\"",
     ] {
         assert!(json.contains(key), "emitted report lost schema key {key}");

@@ -14,7 +14,7 @@
 //! [`crate::scenario::Scenario`] with
 //! [`crate::scenario::Topology::Butterfly`].
 
-use crate::engine::{Advance, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
+use crate::engine::{Advance, ArcChoice, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
 use crate::observe::{NullObserver, Observer};
 use crate::packet::sample_flip_mask;
 use crate::scenario::{ButterflyExt, Report, ReportExt, Scenario, Topology};
@@ -101,7 +101,7 @@ impl EngineSpec for ButterflySpec {
         node: u32,
         pkt: &mut BfPacket,
         _route_rng: &mut SimRng,
-    ) -> u32 {
+    ) -> ArcChoice {
         let row = node & ((1 << self.dim) - 1);
         let level = (node >> self.dim) as usize;
         debug_assert!(level < self.dim);
@@ -114,7 +114,7 @@ impl EngineSpec for ButterflySpec {
             }
         }
         // Dense butterfly arc index: ((level·2^d) + row)·2 + kind.
-        ((((level << self.dim) + row as usize) << 1) | vertical as usize) as u32
+        ArcChoice::Arc(((((level << self.dim) + row as usize) << 1) | vertical as usize) as u32)
     }
 
     fn note_service_end(&mut self, _t: f64, _meta: u32) {}

@@ -71,6 +71,38 @@ pub enum ConfigError {
         /// Largest accepted value.
         max: usize,
     },
+    /// Torus shape outside the supported range (`k >= 3`, `d >= 1`,
+    /// `k^d <= 2^26`).
+    TorusShape {
+        /// The rejected radix `k`.
+        radix: usize,
+        /// The rejected dimension count `d`.
+        dim: usize,
+    },
+    /// Weighted-node destination pmf has the wrong number of entries.
+    NodePmfLength {
+        /// Number of entries supplied.
+        len: usize,
+        /// Required length (the topology's node count).
+        expected: usize,
+    },
+    /// Power-law destination exponent is negative, NaN or infinite.
+    PowerLawExponent(
+        /// The rejected exponent.
+        f64,
+    ),
+    /// Seeded fault fraction outside `[0, 1]`.
+    FaultFraction(
+        /// The rejected fraction.
+        f64,
+    ),
+    /// Explicit dead-arc index outside the topology's arc space.
+    FaultArc {
+        /// The rejected arc index.
+        index: usize,
+        /// Number of arcs the topology has.
+        num_arcs: usize,
+    },
     /// The requested combination is meaningless for the chosen topology
     /// (e.g. a routing scheme on the butterfly, whose paths are unique).
     Unsupported {
@@ -121,6 +153,26 @@ impl fmt::Display for ConfigError {
             ConfigError::RingSize { nodes, min, max } => {
                 write!(f, "ring size {nodes} outside supported range {min}..={max}")
             }
+            ConfigError::TorusShape { radix, dim } => write!(
+                f,
+                "torus shape {radix}^{dim} unsupported (need radix >= 3, dim >= 1, \
+                 at most 2^26 nodes)"
+            ),
+            ConfigError::NodePmfLength { len, expected } => write!(
+                f,
+                "node destination pmf has {len} entries, needs one per node = {expected}"
+            ),
+            ConfigError::PowerLawExponent(a) => write!(
+                f,
+                "power-law destination exponent {a} must be finite and non-negative"
+            ),
+            ConfigError::FaultFraction(x) => {
+                write!(f, "fault fraction {x} outside [0, 1]")
+            }
+            ConfigError::FaultArc { index, num_arcs } => write!(
+                f,
+                "explicit dead arc {index} outside the topology's arc space 0..{num_arcs}"
+            ),
             ConfigError::Unsupported { topology, feature } => {
                 write!(f, "the {topology} topology does not support {feature}")
             }
@@ -262,7 +314,9 @@ impl ContentionPolicy {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum DestinationSpec {
     /// Eq. (1): flip each bit independently with the config's `p`
-    /// (Lemma 1's product form).
+    /// (Lemma 1's product form). On the node-addressed graph topologies
+    /// (ring, torus, de Bruijn) this default means **uniform over all
+    /// nodes** (`p` is ignored).
     #[default]
     BitFlip,
     /// Arbitrary pmf over XOR masks `0..2^d` (must have length `2^d` and
@@ -273,6 +327,24 @@ pub enum DestinationSpec {
     /// Construct with [`DestinationSpec::mask_pmf`], which validates the
     /// entries up front.
     MaskPmf(Vec<f64>),
+    /// Arbitrary pmf over **absolute destination nodes** (one entry per
+    /// node, summing to 1) — the reusable weighted-node arm for the
+    /// graph topologies (ring, torus, de Bruijn). A destination equal to
+    /// the origin self-delivers with zero hops, like the uniform law's
+    /// `1/n` mass.
+    ///
+    /// Construct with [`DestinationSpec::node_pmf`], which validates the
+    /// entries up front.
+    NodePmf(Vec<f64>),
+    /// Papillon-style skewed ring demand (ring only): the destination is
+    /// `origin + ℓ (mod n)` with the clockwise offset `ℓ` drawn from
+    /// `P(ℓ) ∝ ℓ^-alpha` over `ℓ ∈ 1..n` — translation-invariant,
+    /// never self-destined, harmonic for `alpha = 1` (the small-world /
+    /// DHT demand Abraham et al. route greedily under).
+    RingPowerLaw {
+        /// Skew exponent `α >= 0` (`0` = uniform over non-self nodes).
+        alpha: f64,
+    },
 }
 
 /// Tolerance for the pmf unit-sum check (matches the analysis crate's).
@@ -341,6 +413,11 @@ fn check_pmf(pmf: &[f64], expected: Option<usize>) -> Result<(), ConfigError> {
             expected,
         });
     }
+    check_pmf_entries(pmf)
+}
+
+/// Entry/sum checks shared by mask and node pmfs (length rules differ).
+fn check_pmf_entries(pmf: &[f64]) -> Result<(), ConfigError> {
     for (index, &value) in pmf.iter().enumerate() {
         if !value.is_finite() || value < 0.0 {
             return Err(ConfigError::PmfEntry { index, value });
@@ -362,14 +439,69 @@ impl DestinationSpec {
         Ok(DestinationSpec::MaskPmf(pmf))
     }
 
+    /// Validated construction of a [`DestinationSpec::NodePmf`]: finite
+    /// non-negative entries with unit sum (the length is checked against
+    /// the topology's node count at scenario validation).
+    pub fn node_pmf(pmf: Vec<f64>) -> Result<DestinationSpec, ConfigError> {
+        if pmf.is_empty() {
+            return Err(ConfigError::NodePmfLength {
+                len: 0,
+                expected: 1,
+            });
+        }
+        check_pmf_entries(&pmf)?;
+        Ok(DestinationSpec::NodePmf(pmf))
+    }
+
+    /// Check this spec against a node-addressed graph topology with
+    /// `nodes` nodes (ring / torus / de Bruijn arms of
+    /// `Scenario::validate`). `BitFlip` means uniform there; `MaskPmf` is
+    /// rejected by the caller before this runs.
+    pub(crate) fn validate_nodes(&self, nodes: usize) -> Result<(), ConfigError> {
+        match self {
+            DestinationSpec::BitFlip => Ok(()),
+            DestinationSpec::MaskPmf(_) => unreachable!("mask pmfs are hypercube-only"),
+            DestinationSpec::NodePmf(pmf) => {
+                if pmf.len() != nodes {
+                    return Err(ConfigError::NodePmfLength {
+                        len: pmf.len(),
+                        expected: nodes,
+                    });
+                }
+                check_pmf_entries(pmf)
+            }
+            DestinationSpec::RingPowerLaw { alpha } => {
+                if alpha.is_finite() && *alpha >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(ConfigError::PowerLawExponent(*alpha))
+                }
+            }
+        }
+    }
+
     /// Check this spec against a concrete topology dimension `d` (re-runs
     /// the construction checks too, because the `MaskPmf` variant is still
-    /// directly constructible).
+    /// directly constructible). The node-addressed arms (`NodePmf`,
+    /// `RingPowerLaw`) are not meaningful against a hypercube dimension
+    /// and are rejected.
     pub fn validate(&self, dim: usize) -> Result<(), ConfigError> {
         match self {
             DestinationSpec::BitFlip => Ok(()),
             DestinationSpec::MaskPmf(pmf) => check_pmf(pmf, Some(1usize << dim)),
+            DestinationSpec::NodePmf(_) | DestinationSpec::RingPowerLaw { .. } => {
+                Err(ConfigError::Unsupported {
+                    topology: "hypercube".to_string(),
+                    feature: "node-addressed destination laws (mask pmfs instead)".to_string(),
+                })
+            }
         }
+    }
+
+    /// Papillon-style harmonic ring demand (`RingPowerLaw` with
+    /// `alpha = 1`).
+    pub fn ring_harmonic() -> DestinationSpec {
+        DestinationSpec::RingPowerLaw { alpha: 1.0 }
     }
 
     /// Build the Eq.-(1)-style product pmf from per-dimension flip
@@ -393,6 +525,74 @@ impl DestinationSpec {
             *slot = prob;
         }
         DestinationSpec::mask_pmf(pmf).expect("product pmf is valid by construction")
+    }
+}
+
+/// Arc-failure mask of a faulty-network workload (Angel et al., *Routing
+/// Complexity of Faulty Networks*): a set of dead directed arcs plus the
+/// policy applied when a packet's greedy arc is dead.
+///
+/// Supported on the graph-routed topologies (ring, torus, de Bruijn, and
+/// the hypercube under the canonical greedy scheme); the simulators count
+/// a delivered/dropped split in the report's graph extension.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Which arcs are dead.
+    pub mode: FaultMode,
+    /// What a packet does when its greedy arc is dead.
+    pub fallback: FaultFallback,
+}
+
+/// How the dead-arc set of a [`FaultSpec`] is chosen.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultMode {
+    /// Kill `round(fraction · num_arcs)` arcs chosen uniformly without
+    /// replacement by a dedicated RNG — independent of the run seed, so
+    /// sweeps can vary traffic over a fixed fault pattern (or vice
+    /// versa).
+    Seeded {
+        /// Fraction of arcs to kill, in `[0, 1]`.
+        fraction: f64,
+        /// Seed of the fault-pattern RNG.
+        seed: u64,
+    },
+    /// Kill exactly these dense arc indices.
+    Explicit {
+        /// The dead arcs (duplicates are idempotent).
+        arcs: Vec<usize>,
+    },
+}
+
+/// Fallback applied when a packet's greedy arc is dead ("next arc
+/// unavailable" hook).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FaultFallback {
+    /// Deterministically scan the node's other outgoing arcs in dense
+    /// index order and take the first **live** arc whose head is strictly
+    /// closer to the destination (shortest-path progress is preserved, so
+    /// routes still terminate); drop the packet if none exists.
+    #[default]
+    Detour,
+    /// Drop the packet immediately.
+    Drop,
+}
+
+impl FaultSpec {
+    /// Check the spec against a topology with `num_arcs` arcs.
+    pub fn validate(&self, num_arcs: usize) -> Result<(), ConfigError> {
+        match &self.mode {
+            FaultMode::Seeded { fraction, .. } => {
+                if !(0.0..=1.0).contains(fraction) {
+                    return Err(ConfigError::FaultFraction(*fraction));
+                }
+            }
+            FaultMode::Explicit { arcs } => {
+                if let Some(&index) = arcs.iter().find(|&&a| a >= num_arcs) {
+                    return Err(ConfigError::FaultArc { index, num_arcs });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -529,6 +729,79 @@ mod tests {
         // Directly-constructed malformed pmfs are caught by validate too.
         let bad = DestinationSpec::MaskPmf(vec![0.7, 0.7]);
         assert_eq!(bad.validate(1), Err(ConfigError::PmfSum(1.4)));
+    }
+
+    #[test]
+    fn node_pmf_validation() {
+        assert!(matches!(
+            DestinationSpec::node_pmf(vec![]),
+            Err(ConfigError::NodePmfLength { len: 0, .. })
+        ));
+        assert!(matches!(
+            DestinationSpec::node_pmf(vec![0.5, 0.4]),
+            Err(ConfigError::PmfSum(_))
+        ));
+        let spec = DestinationSpec::node_pmf(vec![0.5, 0.25, 0.25]).unwrap();
+        assert!(spec.validate_nodes(3).is_ok());
+        assert_eq!(
+            spec.validate_nodes(4),
+            Err(ConfigError::NodePmfLength {
+                len: 3,
+                expected: 4,
+            })
+        );
+        // Node-addressed laws are rejected against a hypercube dimension.
+        assert!(matches!(
+            spec.validate(2),
+            Err(ConfigError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn power_law_validation() {
+        assert!(DestinationSpec::ring_harmonic().validate_nodes(8).is_ok());
+        assert!(matches!(
+            DestinationSpec::RingPowerLaw { alpha: f64::NAN }.validate_nodes(8),
+            Err(ConfigError::PowerLawExponent(a)) if a.is_nan()
+        ));
+        assert!(matches!(
+            DestinationSpec::RingPowerLaw { alpha: -1.0 }.validate_nodes(8),
+            Err(ConfigError::PowerLawExponent(_))
+        ));
+    }
+
+    #[test]
+    fn fault_spec_validation() {
+        let ok = FaultSpec {
+            mode: FaultMode::Seeded {
+                fraction: 0.25,
+                seed: 7,
+            },
+            fallback: FaultFallback::Detour,
+        };
+        assert!(ok.validate(64).is_ok());
+        let bad_fraction = FaultSpec {
+            mode: FaultMode::Seeded {
+                fraction: 1.5,
+                seed: 7,
+            },
+            fallback: FaultFallback::Drop,
+        };
+        assert_eq!(
+            bad_fraction.validate(64),
+            Err(ConfigError::FaultFraction(1.5))
+        );
+        let bad_arc = FaultSpec {
+            mode: FaultMode::Explicit { arcs: vec![3, 64] },
+            fallback: FaultFallback::Drop,
+        };
+        assert_eq!(
+            bad_arc.validate(64),
+            Err(ConfigError::FaultArc {
+                index: 64,
+                num_arcs: 64,
+            })
+        );
     }
 
     #[test]

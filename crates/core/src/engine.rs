@@ -7,7 +7,8 @@
 //! per-topology logic — destination sampling, next-arc choice, per-arc
 //! bookkeeping, report extensions — is actually a thin skin over a common
 //! engine, captured here as the [`EngineSpec`] trait. A topology is now a
-//! ~100-line spec (see `ring_sim.rs` for the worked example); everything
+//! ~100-line spec — or **zero** lines via the blanket
+//! `graph_sim::GraphSpec<T: RoutingTopology>`; everything
 //! else — slab packet pool, calendar/heap scheduler, contention policies,
 //! warm-up truncation, drain control, metrics, observers — lives here
 //! **once**, monomorphised per topology by [`Engine::drive`].
@@ -71,6 +72,22 @@ pub enum Advance {
     Deliver(u16),
 }
 
+/// What [`EngineSpec::choose_arc`] decided for a packet at a node.
+///
+/// Fault-free specs always return [`ArcChoice::Arc`]; the `Drop` variant
+/// exists for faulty-network workloads (Angel et al.'s arc-failure
+/// masks), where a packet whose greedy arc is dead and whose fallback
+/// finds no live alternative leaves the network undelivered. The engine
+/// counts the drop in its [`MetricsCollector`] (keeping the
+/// number-in-system trajectory and conservation exact) and notifies the
+/// spec through [`EngineSpec::note_drop`].
+pub enum ArcChoice {
+    /// Enqueue the packet on this arc.
+    Arc(u32),
+    /// The packet cannot proceed: count it dropped.
+    Drop,
+}
+
 /// An in-flight packet the generic engine can carry: `Copy` (it lives in
 /// slab slots and scheduler entries) and stamped with its birth time.
 pub trait EnginePacket: Copy {
@@ -110,7 +127,8 @@ pub trait EngineSpec {
     /// The arc `pkt` takes out of `node` (mutating `pkt`'s routing state),
     /// plus any per-arc arrival bookkeeping (`in_window` is
     /// `warmup <= t < horizon`). `route_rng` is the dedicated stream for
-    /// randomised schemes.
+    /// randomised schemes. Specs with fault masks may return
+    /// [`ArcChoice::Drop`] when no usable arc exists.
     fn choose_arc(
         &mut self,
         t: f64,
@@ -118,7 +136,7 @@ pub trait EngineSpec {
         node: u32,
         pkt: &mut Self::Pkt,
         route_rng: &mut SimRng,
-    ) -> u32;
+    ) -> ArcChoice;
 
     /// A service completed at `t` on the arc with routing word `meta`
     /// (busy bit cleared) — occupancy-style bookkeeping hook.
@@ -131,6 +149,11 @@ pub trait EngineSpec {
     /// A packet is delivered (`in_window` refers to its *birth* time) —
     /// per-topology delivery statistics hook.
     fn note_deliver(&mut self, pkt: &Self::Pkt, in_window: bool);
+
+    /// A packet was dropped after [`EngineSpec::choose_arc`] returned
+    /// [`ArcChoice::Drop`] (`in_window` refers to its *birth* time).
+    /// Only fault-aware specs ever see this; the default is a no-op.
+    fn note_drop(&mut self, _pkt: &Self::Pkt, _in_window: bool) {}
 }
 
 /// Execution parameters of one engine run — the topology-independent
@@ -347,12 +370,26 @@ impl<T: EngineSpec> Engine<T> {
     }
 
     /// Put `pkt` into the queue of the arc the spec chooses out of `node`;
-    /// start service if the arc is idle.
+    /// start service if the arc is idle. A spec returning
+    /// [`ArcChoice::Drop`] (fault masks with no live fallback) removes the
+    /// packet from the system instead: the collector's drop counter and
+    /// number-in-system trajectory stay exact, so conservation
+    /// (`generated == delivered + dropped`) holds at drain.
     fn enqueue(&mut self, t: f64, node: u32, mut pkt: T::Pkt) {
         let in_window = t >= self.cfg.warmup && t < self.cfg.horizon;
-        let arc =
-            self.spec
-                .choose_arc(t, in_window, node, &mut pkt, &mut self.route_rng) as usize;
+        let arc = match self
+            .spec
+            .choose_arc(t, in_window, node, &mut pkt, &mut self.route_rng)
+        {
+            ArcChoice::Arc(arc) => arc as usize,
+            ArcChoice::Drop => {
+                let born = pkt.born();
+                let born_in_window = born >= self.cfg.warmup && born < self.cfg.horizon;
+                self.spec.note_drop(&pkt, born_in_window);
+                self.collector.on_dropped(t);
+                return;
+            }
+        };
         if self.arcs[arc].meta & ARC_BUSY == 0 {
             self.arcs[arc].meta |= ARC_BUSY;
             self.events.push(t + 1.0, (arc as u32, pkt));

@@ -1,0 +1,787 @@
+//! The blanket graph simulator: **any** [`RoutingTopology`] runs on the
+//! generic engine with zero per-topology event code.
+//!
+//! PR 4 proved the engine/topology split with a hand-written ring spec;
+//! this module closes the loop. [`GraphSpec`] is one [`EngineSpec`]
+//! parameterised over the routing trait: the packet is a 16-byte
+//! `(born, dest, hops)` triple, the greedy step is the trait's
+//! `next_arc`, and the packed arc word is the arc's head node. Adding a
+//! topology is now exactly the trait impl — the ring, the torus (`k`-ary
+//! `d`-cube) and the de Bruijn graph all route through this one spec, and
+//! the ring replays its former hand-written spec **draw for draw** (its
+//! corpus baselines are byte-identical across the port).
+//!
+//! On top of the blanket spec sit the two workload extensions the
+//! ROADMAP's related-work directions call for:
+//!
+//! * **Arc-fault masks** (Angel et al., *Routing Complexity of Faulty
+//!   Networks*): a seeded or explicit set of dead arcs. When a packet's
+//!   greedy arc is dead, the [`FaultFallback`] hook either detours —
+//!   deterministically scanning the node's other outgoing arcs for a
+//!   live one that still makes strict shortest-path progress (so routes
+//!   terminate) — or drops. Drops are first-class: the engine keeps
+//!   `generated == delivered + dropped` exact, and the report's
+//!   [`GraphExt`] carries the split.
+//! * **Skewed destination laws**: uniform, Eq.-(1) bit-flips (for the
+//!   faulty hypercube), an arbitrary weighted-node pmf, and Papillon's
+//!   power-law ring offsets — see [`GraphDestination`].
+
+use crate::config::{FaultFallback, FaultMode, FaultSpec};
+use crate::engine::{Advance, ArcChoice, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
+use crate::metrics::MetricsCollector;
+use crate::observe::{NullObserver, Observer};
+use crate::packet::sample_flip_mask;
+use crate::scenario::{GraphExt, Report, ReportExt, Scenario};
+use hyperroute_desim::SimRng;
+use hyperroute_topology::RoutingTopology;
+
+/// An in-flight packet of the blanket spec: birth time, absolute
+/// destination node, hops taken. Its current node is implied by the arc
+/// queue holding it.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphPacket {
+    born: f64,
+    dest: u32,
+    hops: u16,
+}
+
+impl EnginePacket for GraphPacket {
+    #[inline]
+    fn born(&self) -> f64 {
+        self.born
+    }
+}
+
+/// Destination law of a [`GraphSpec`] — the lowered, sampler-ready form
+/// of [`DestinationSpec`](crate::config::DestinationSpec).
+#[derive(Clone, Debug)]
+pub enum GraphDestination {
+    /// Uniform over all nodes (destination = origin self-delivers).
+    Uniform,
+    /// Eq. (1) bit-flips: destination = origin ⊕ mask with each of `dim`
+    /// bits flipped independently with probability `p` (the faulty
+    /// hypercube's law).
+    FlipMask {
+        /// Word width (the hypercube dimension).
+        dim: usize,
+        /// Per-bit flip probability.
+        p: f64,
+    },
+    /// Inverse-CDF sampling over absolute destination nodes.
+    NodeCdf(Vec<f64>),
+    /// Inverse-CDF sampling over clockwise ring offsets `1..n`
+    /// (translation-invariant; never self-destined): destination =
+    /// `(origin + 1 + index) mod n`.
+    OffsetCdf(Vec<f64>),
+}
+
+impl GraphDestination {
+    /// Lower a weighted-node pmf (entries pre-validated by the scenario
+    /// layer) into its sampling CDF.
+    pub fn from_node_pmf(pmf: &[f64]) -> GraphDestination {
+        GraphDestination::NodeCdf(cdf_of(pmf))
+    }
+
+    /// Lower a Papillon power-law over clockwise offsets `ℓ ∈ 1..n`
+    /// (`P(ℓ) ∝ ℓ^-alpha`) into its sampling CDF.
+    pub fn ring_power_law(nodes: usize, alpha: f64) -> GraphDestination {
+        let weights: Vec<f64> = (1..nodes).map(|l| (l as f64).powf(-alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        GraphDestination::OffsetCdf(cdf_of_scaled(&weights, total))
+    }
+}
+
+fn cdf_of(pmf: &[f64]) -> Vec<f64> {
+    cdf_of_scaled(pmf, 1.0)
+}
+
+fn cdf_of_scaled(weights: &[f64], total: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = weights
+        .iter()
+        .map(|&w| {
+            acc += w / total;
+            acc
+        })
+        .collect();
+    // Guard the final bucket against rounding, like `MaskSampler`.
+    *cdf.last_mut().expect("nonempty pmf") = 1.0;
+    cdf
+}
+
+/// The realised dead-arc set plus the adjacency index the detour fallback
+/// scans.
+struct FaultState {
+    dead: Vec<bool>,
+    dead_count: u64,
+    fallback: FaultFallback,
+    /// CSR adjacency over dense arc indices, grouped by tail node — the
+    /// deterministic scan order of [`FaultFallback::Detour`].
+    out_start: Vec<u32>,
+    out_arcs: Vec<u32>,
+}
+
+impl FaultState {
+    fn build<T: RoutingTopology>(topo: &T, spec: &FaultSpec) -> FaultState {
+        let num_arcs = topo.num_arcs();
+        let mut dead = vec![false; num_arcs];
+        match &spec.mode {
+            FaultMode::Seeded { fraction, seed } => {
+                let kill = ((fraction * num_arcs as f64).round() as usize).min(num_arcs);
+                // Partial Fisher–Yates over a dedicated RNG: the fault
+                // pattern is a function of the fault seed alone, not the
+                // run seed.
+                let mut rng = SimRng::new(*seed);
+                let mut idx: Vec<u32> = (0..num_arcs as u32).collect();
+                for i in 0..kill {
+                    let j = i + rng.below(num_arcs - i);
+                    idx.swap(i, j);
+                    dead[idx[i] as usize] = true;
+                }
+            }
+            FaultMode::Explicit { arcs } => {
+                for &arc in arcs {
+                    dead[arc] = true;
+                }
+            }
+        }
+        // Counting-sort CSR of arcs by tail node (most topologies already
+        // enumerate node-major, but the trait does not promise it). Only
+        // the detour fallback ever scans it; Drop runs skip the build —
+        // two full arc passes and ~8 bytes/arc on large topologies.
+        let (out_start, out_arcs) = if spec.fallback == FaultFallback::Detour {
+            let nodes = topo.num_nodes();
+            let mut out_start = vec![0u32; nodes + 1];
+            for arc in 0..num_arcs {
+                out_start[topo.arc_tail(arc) as usize + 1] += 1;
+            }
+            for i in 0..nodes {
+                out_start[i + 1] += out_start[i];
+            }
+            let mut cursor = out_start.clone();
+            let mut out_arcs = vec![0u32; num_arcs];
+            for arc in 0..num_arcs {
+                let tail = topo.arc_tail(arc) as usize;
+                out_arcs[cursor[tail] as usize] = arc as u32;
+                cursor[tail] += 1;
+            }
+            (out_start, out_arcs)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        FaultState {
+            dead_count: dead.iter().filter(|&&d| d).count() as u64,
+            dead,
+            fallback: spec.fallback,
+            out_start,
+            out_arcs,
+        }
+    }
+
+    /// First live outgoing arc of `node` (dense index order) whose head
+    /// is strictly closer to `dest`, or `None` (→ drop).
+    fn detour<T: RoutingTopology>(&self, topo: &T, node: u64, dest: u64) -> Option<usize> {
+        let here = topo.distance(node, dest);
+        let range =
+            self.out_start[node as usize] as usize..self.out_start[node as usize + 1] as usize;
+        self.out_arcs[range]
+            .iter()
+            .map(|&a| a as usize)
+            .find(|&a| !self.dead[a] && topo.distance(topo.arc_head(a), dest) < here)
+    }
+}
+
+/// The blanket per-topology half of the generic engine: routing delegated
+/// to `T`'s [`RoutingTopology`] impl, destination law and fault mask as
+/// data.
+pub struct GraphSpec<T: RoutingTopology> {
+    topo: T,
+    dest: GraphDestination,
+    faults: Option<FaultState>,
+    hint: f64,
+    /// In-window packet arrivals per arc (feeds the per-direction ring
+    /// rates and the [`GraphExt`] rate summary).
+    arc_arrivals: Vec<u64>,
+    dropped_in_window: u64,
+}
+
+impl<T: RoutingTopology> GraphSpec<T> {
+    /// Build the spec (materialising the fault mask, if any).
+    pub fn new(topo: T, dest: GraphDestination, faults: Option<&FaultSpec>) -> GraphSpec<T> {
+        let faults = faults.map(|f| FaultState::build(&topo, f));
+        GraphSpec {
+            hint: topo.mean_distance_hint(),
+            arc_arrivals: vec![0; topo.num_arcs()],
+            dropped_in_window: 0,
+            topo,
+            dest,
+            faults,
+        }
+    }
+
+    /// The routed topology (for per-topology report assembly).
+    pub fn topology(&self) -> &T {
+        &self.topo
+    }
+
+    /// In-window packet arrivals per dense arc index.
+    pub fn arc_arrivals(&self) -> &[u64] {
+        &self.arc_arrivals
+    }
+
+    /// Number of dead arcs in the fault mask (0 without one).
+    pub fn dead_arcs(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.dead_count)
+    }
+
+    /// Packets born in the measurement window that were dropped.
+    pub fn dropped_in_window(&self) -> u64 {
+        self.dropped_in_window
+    }
+}
+
+impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
+    type Pkt = GraphPacket;
+
+    fn num_sources(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.topo.num_arcs()
+    }
+
+    fn arc_meta(&self, arc: usize) -> u32 {
+        self.topo.arc_head(arc) as u32
+    }
+
+    fn mean_hops_hint(&self) -> f64 {
+        self.hint
+    }
+
+    fn generate(&mut self, t: f64, source: u32, dest_rng: &mut SimRng) -> Spawn<GraphPacket> {
+        let n = self.topo.num_nodes();
+        let dest = match &self.dest {
+            GraphDestination::Uniform => dest_rng.below(n) as u32,
+            GraphDestination::FlipMask { dim, p } => source ^ sample_flip_mask(dest_rng, *dim, *p),
+            GraphDestination::NodeCdf(cdf) => {
+                let u = dest_rng.uniform01();
+                cdf.partition_point(|&c| c <= u) as u32
+            }
+            GraphDestination::OffsetCdf(cdf) => {
+                let u = dest_rng.uniform01();
+                let offset = cdf.partition_point(|&c| c <= u) as u64 + 1;
+                ((source as u64 + offset) % n as u64) as u32
+            }
+        };
+        if dest == source {
+            Spawn::SelfDeliver
+        } else {
+            Spawn::Route(GraphPacket {
+                born: t,
+                dest,
+                hops: 0,
+            })
+        }
+    }
+
+    fn choose_arc(
+        &mut self,
+        _t: f64,
+        in_window: bool,
+        node: u32,
+        pkt: &mut GraphPacket,
+        _route_rng: &mut SimRng,
+    ) -> ArcChoice {
+        let mut arc = self
+            .topo
+            .next_arc(node as u64, pkt.dest as u64)
+            .expect("routed packet is never at its destination");
+        if let Some(faults) = &self.faults {
+            if faults.dead[arc] {
+                match faults.fallback {
+                    FaultFallback::Drop => return ArcChoice::Drop,
+                    FaultFallback::Detour => {
+                        match faults.detour(&self.topo, node as u64, pkt.dest as u64) {
+                            Some(live) => arc = live,
+                            None => return ArcChoice::Drop,
+                        }
+                    }
+                }
+            }
+        }
+        if in_window {
+            self.arc_arrivals[arc] += 1;
+        }
+        ArcChoice::Arc(arc as u32)
+    }
+
+    fn note_service_end(&mut self, _t: f64, _meta: u32) {}
+
+    fn advance(&mut self, meta: u32, pkt: &mut GraphPacket) -> Advance {
+        pkt.hops += 1;
+        if meta == pkt.dest {
+            Advance::Deliver(pkt.hops)
+        } else {
+            Advance::Forward(meta)
+        }
+    }
+
+    fn note_deliver(&mut self, _pkt: &GraphPacket, _in_window: bool) {}
+
+    fn note_drop(&mut self, _pkt: &GraphPacket, in_window: bool) {
+        if in_window {
+            self.dropped_in_window += 1;
+        }
+    }
+}
+
+/// How a [`GraphSim`] renders its per-topology report extension.
+pub type ExtBuilder<T> = fn(&GraphSpec<T>, &EngineCfg, &MetricsCollector) -> ReportExt;
+
+/// The blanket graph simulator: a [`GraphSpec`] driven by the generic
+/// [`Engine`], plus a per-topology extension builder (the **only**
+/// topology-specific code left). Construct through
+/// [`crate::scenario::Scenario`].
+pub struct GraphSim<T: RoutingTopology> {
+    engine: Engine<GraphSpec<T>>,
+    ext: ExtBuilder<T>,
+}
+
+impl<T: RoutingTopology> GraphSim<T> {
+    /// Build the simulator from a validated scenario's run parameters.
+    pub(crate) fn from_parts(
+        topo: T,
+        dest: GraphDestination,
+        s: &Scenario,
+        ext: ExtBuilder<T>,
+    ) -> GraphSim<T> {
+        let spec = GraphSpec::new(topo, dest, s.workload.faults.as_ref());
+        let cfg = EngineCfg {
+            lambda: s.workload.lambda,
+            arrivals: s.workload.arrivals,
+            contention: s.policy.contention,
+            scheduler: s.run.scheduler,
+            horizon: s.run.horizon,
+            warmup: s.run.warmup,
+            seed: s.run.seed,
+            drain: s.run.drain,
+        };
+        GraphSim {
+            engine: Engine::new(spec, cfg),
+            ext,
+        }
+    }
+
+    /// Run to completion and summarise.
+    pub fn run(self) -> Report {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Run to completion under a streaming [`Observer`] and summarise
+    /// (bit-identical to an unobserved run).
+    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> Report {
+        self.engine.drive(obs);
+        self.report()
+    }
+
+    fn report(&self) -> Report {
+        let engine = &self.engine;
+        let (spec, cfg, collector) = (engine.spec(), engine.cfg(), engine.collector());
+        Report {
+            delay: collector.delay_stats(),
+            mean_in_system: collector.mean_in_system(cfg.horizon),
+            peak_in_system: collector.peak_in_system(),
+            throughput: collector.throughput(cfg.horizon),
+            little_error: collector.little_check(cfg.horizon).relative_error(),
+            generated: collector.generated(),
+            delivered: collector.delivered_total(),
+            events: engine.events_processed(),
+            ext: (self.ext)(spec, cfg, collector),
+        }
+    }
+}
+
+/// The generic [`GraphExt`] extension builder — what every topology gets
+/// unless it installs a specialised one (the plain ring keeps its
+/// byte-compatible `RingExt`).
+pub fn graph_ext<T: RoutingTopology>(
+    spec: &GraphSpec<T>,
+    cfg: &EngineCfg,
+    collector: &MetricsCollector,
+) -> ReportExt {
+    let span = cfg.horizon - cfg.warmup;
+    let arcs = spec.topology().num_arcs() as u64;
+    let live = arcs - spec.dead_arcs();
+    let total: u64 = spec.arc_arrivals().iter().sum();
+    let max = spec.arc_arrivals().iter().copied().max().unwrap_or(0);
+    let delivered_measured = collector.delay_stats().count;
+    let dropped_measured = spec.dropped_in_window();
+    let measured = delivered_measured + dropped_measured;
+    ReportExt::Graph(GraphExt {
+        nodes: spec.topology().num_nodes() as u64,
+        arcs,
+        dead_arcs: spec.dead_arcs(),
+        mean_hops: collector.mean_hops(),
+        zero_hop_fraction: collector.zero_hop_fraction(),
+        mean_arc_rate: if live == 0 {
+            0.0
+        } else {
+            total as f64 / (span * live as f64)
+        },
+        max_arc_rate: max as f64 / span,
+        dropped: collector.dropped_total(),
+        dropped_in_window: dropped_measured,
+        delivery_fraction: if measured == 0 {
+            f64::NAN
+        } else {
+            delivered_measured as f64 / measured as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ContentionPolicy, DestinationSpec};
+    use crate::scenario::{Scenario, Topology};
+
+    fn torus_scenario(radix: usize, dim: usize, lambda: f64) -> Scenario {
+        Scenario::builder(Topology::Torus { radix, dim })
+            .lambda(lambda)
+            .horizon(2_000.0)
+            .warmup(400.0)
+            .seed(21)
+            .build()
+            .expect("valid scenario")
+    }
+
+    fn graph(r: &Report) -> &GraphExt {
+        r.graph().expect("graph extension")
+    }
+
+    #[test]
+    fn torus_delivers_everything_with_theoretical_hops() {
+        // 4-ary 2-cube: E[hops] = 2·⌊16/4⌋/4 = 2.0, zero-hop mass 1/16.
+        let r = torus_scenario(4, 2, 0.5).run().unwrap();
+        assert_eq!(r.generated, r.delivered);
+        assert!(r.generated > 10_000);
+        let g = graph(&r);
+        assert!((g.mean_hops - 2.0).abs() < 0.05, "hops {}", g.mean_hops);
+        assert!(
+            (g.zero_hop_fraction - 1.0 / 16.0).abs() < 0.01,
+            "zero-hop {}",
+            g.zero_hop_fraction
+        );
+        assert_eq!(g.dead_arcs, 0);
+        assert_eq!(g.dropped, 0);
+        assert!((g.delivery_fraction - 1.0).abs() < 1e-12);
+        assert!(r.little_error < 0.05, "little {}", r.little_error);
+    }
+
+    #[test]
+    fn debruijn_delivers_with_near_diameter_hops() {
+        let r = Scenario::builder(Topology::DeBruijn { dim: 5 })
+            .lambda(0.2)
+            .horizon(2_000.0)
+            .warmup(400.0)
+            .seed(3)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.generated, r.delivered);
+        let g = graph(&r);
+        // Mean distance sits between n-2 and n for the shift graph.
+        assert!(
+            g.mean_hops > 3.0 && g.mean_hops < 5.0,
+            "hops {}",
+            g.mean_hops
+        );
+        assert_eq!(g.nodes, 32);
+        assert_eq!(g.arcs, 62);
+    }
+
+    #[test]
+    fn torus_one_dim_matches_bidirectional_ring() {
+        // A k-ary 1-cube IS the bidirectional ring; same seed, same λ —
+        // the uniform destination draw and the greedy step coincide, so
+        // the common report fields agree exactly.
+        let t = torus_scenario(16, 1, 0.2).run().unwrap();
+        let r = Scenario::builder(Topology::Ring {
+            nodes: 16,
+            bidirectional: true,
+        })
+        .lambda(0.2)
+        .horizon(2_000.0)
+        .warmup(400.0)
+        .seed(21)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(t.delay, r.delay);
+        assert_eq!(t.generated, r.generated);
+        assert_eq!(t.events, r.events);
+    }
+
+    #[test]
+    fn seeded_faults_split_delivered_and_dropped() {
+        let mut s = torus_scenario(4, 2, 0.4);
+        s.workload.faults = Some(FaultSpec {
+            mode: FaultMode::Seeded {
+                fraction: 0.25,
+                seed: 99,
+            },
+            fallback: FaultFallback::Drop,
+        });
+        let r = s.run().unwrap();
+        let g = graph(&r);
+        assert_eq!(g.dead_arcs, 16); // 0.25 · 64
+        assert!(g.dropped > 0, "a quarter of arcs dead but nothing dropped");
+        assert_eq!(r.generated, r.delivered + g.dropped, "conservation");
+        assert!(g.delivery_fraction < 1.0 && g.delivery_fraction > 0.0);
+    }
+
+    #[test]
+    fn detour_fallback_delivers_more_than_drop() {
+        let faulty = |fallback| {
+            let mut s = torus_scenario(5, 2, 0.3);
+            s.workload.faults = Some(FaultSpec {
+                mode: FaultMode::Seeded {
+                    fraction: 0.15,
+                    seed: 4,
+                },
+                fallback,
+            });
+            s.run().unwrap()
+        };
+        let dropped = faulty(FaultFallback::Drop);
+        let detoured = faulty(FaultFallback::Detour);
+        let (gd, gt) = (graph(&dropped), graph(&detoured));
+        assert!(
+            gt.delivery_fraction > gd.delivery_fraction,
+            "detour {} vs drop {}",
+            gt.delivery_fraction,
+            gd.delivery_fraction
+        );
+        assert_eq!(dropped.generated, dropped.delivered + gd.dropped);
+        assert_eq!(detoured.generated, detoured.delivered + gt.dropped);
+    }
+
+    #[test]
+    fn explicit_fault_on_unidirectional_ring_drops_all_crossing_traffic() {
+        // Killing one arc of a clockwise-only ring partitions every route
+        // that crosses it; with Drop fallback those packets must all drop
+        // (there is no alternative arc, so Detour behaves identically).
+        for fallback in [FaultFallback::Drop, FaultFallback::Detour] {
+            let mut s = Scenario::builder(Topology::Ring {
+                nodes: 8,
+                bidirectional: false,
+            })
+            .lambda(0.1)
+            .horizon(1_000.0)
+            .warmup(100.0)
+            .seed(11)
+            .build()
+            .unwrap();
+            s.workload.faults = Some(FaultSpec {
+                mode: FaultMode::Explicit { arcs: vec![3] },
+                fallback,
+            });
+            let r = s.run().unwrap();
+            let g = graph(&r);
+            assert_eq!(g.dead_arcs, 1);
+            assert!(g.dropped > 0);
+            assert_eq!(r.generated, r.delivered + g.dropped);
+            // Uniform destinations: arc 3 carries 7/16 of routes... just
+            // bound it loosely.
+            let frac = g.dropped as f64 / r.generated as f64;
+            assert!(frac > 0.2 && frac < 0.6, "drop fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn node_pmf_point_mass_sends_everything_to_one_node() {
+        let mut pmf = vec![0.0; 25];
+        pmf[7] = 1.0;
+        let s = Scenario::builder(Topology::Torus { radix: 5, dim: 2 })
+            .lambda(0.1)
+            .dest(DestinationSpec::node_pmf(pmf).unwrap())
+            .horizon(1_000.0)
+            .warmup(200.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        let r = s.run().unwrap();
+        assert_eq!(r.generated, r.delivered);
+        let g = graph(&r);
+        // 1/25 of packets originate at node 7 and self-deliver.
+        assert!((g.zero_hop_fraction - 0.04).abs() < 0.01);
+        // Hot-spot demand concentrates on the destination's in-arcs.
+        assert!(g.max_arc_rate > 3.0 * g.mean_arc_rate);
+    }
+
+    #[test]
+    fn ring_power_law_skews_toward_short_hops() {
+        let run_alpha = |alpha: f64| {
+            let s = Scenario::builder(Topology::Ring {
+                nodes: 64,
+                bidirectional: true,
+            })
+            .lambda(0.05)
+            .dest(DestinationSpec::RingPowerLaw { alpha })
+            .horizon(2_000.0)
+            .warmup(400.0)
+            .seed(6)
+            .build()
+            .unwrap();
+            s.run().unwrap()
+        };
+        let skewed = run_alpha(1.5);
+        let flat = run_alpha(0.0);
+        let (gs, gf) = (graph(&skewed), graph(&flat));
+        // Power-law demand prefers nearby destinations → shorter greedy
+        // paths; alpha = 0 is uniform over the 63 non-self offsets.
+        assert!(
+            gs.mean_hops < 0.5 * gf.mean_hops,
+            "skewed {} vs flat {}",
+            gs.mean_hops,
+            gf.mean_hops
+        );
+        assert_eq!(gs.zero_hop_fraction, 0.0, "power law never self-delivers");
+        assert!((gf.mean_hops - 64.0 / 4.0 * 64.0 / 63.0).abs() < 0.3);
+        assert_eq!(skewed.generated, skewed.delivered);
+    }
+
+    #[test]
+    fn faults_compose_with_contention_policies_and_slotted_arrivals() {
+        for contention in [
+            ContentionPolicy::Fifo,
+            ContentionPolicy::Lifo,
+            ContentionPolicy::Random,
+        ] {
+            let mut s = torus_scenario(4, 2, 0.4);
+            s.policy.contention = contention;
+            s.workload.arrivals = crate::config::ArrivalModel::Slotted { slots_per_unit: 2 };
+            s.workload.faults = Some(FaultSpec {
+                mode: FaultMode::Seeded {
+                    fraction: 0.2,
+                    seed: 13,
+                },
+                fallback: FaultFallback::Detour,
+            });
+            let r = s.run().unwrap();
+            let g = graph(&r);
+            assert_eq!(
+                r.generated,
+                r.delivered + g.dropped,
+                "conservation under {contention}"
+            );
+        }
+    }
+
+    // --- The ring on the blanket spec (ports of the retired
+    // `ring_sim.rs` suite; the corpus gate already proves byte-identical
+    // baselines, these keep the physics honest) ---
+
+    fn ring_scenario(nodes: usize, bidirectional: bool, lambda: f64) -> Scenario {
+        Scenario::builder(Topology::Ring {
+            nodes,
+            bidirectional,
+        })
+        .lambda(lambda)
+        .horizon(3_000.0)
+        .warmup(500.0)
+        .seed(41)
+        .build()
+        .expect("valid scenario")
+    }
+
+    fn ring(r: &Report) -> &crate::scenario::RingExt {
+        r.ring().expect("ring extension")
+    }
+
+    #[test]
+    fn ring_everything_delivered_and_mean_hops_match() {
+        // 16-node bidirectional ring: mean greedy path = 4.0 hops,
+        // zero-hop fraction 1/16.
+        let r = ring_scenario(16, true, 0.2).run().unwrap();
+        assert_eq!(r.generated, r.delivered);
+        assert!(r.generated > 5_000);
+        assert!(
+            (ring(&r).mean_hops - 4.0).abs() < 0.1,
+            "hops {}",
+            ring(&r).mean_hops
+        );
+        assert!((ring(&r).zero_hop_fraction - 1.0 / 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn unidirectional_ring_never_uses_ccw_arcs() {
+        let r = ring_scenario(12, false, 0.1).run().unwrap();
+        assert_eq!(ring(&r).counter_clockwise_arc_rate, 0.0);
+        // Per-arc clockwise rate = λ · (n-1)/2 = 0.55.
+        assert!((ring(&r).clockwise_arc_rate - 0.55).abs() < 0.05);
+        assert_eq!(r.generated, r.delivered);
+    }
+
+    #[test]
+    fn bidirectional_ring_splits_load_between_directions() {
+        let r = ring_scenario(16, true, 0.2).run().unwrap();
+        let (cw, ccw) = (
+            ring(&r).clockwise_arc_rate,
+            ring(&r).counter_clockwise_arc_rate,
+        );
+        // Clockwise carries slightly more (antipode ties go clockwise).
+        assert!(cw > ccw, "cw {cw} vs ccw {ccw}");
+        assert!(ccw > 0.0);
+        assert!((cw + ccw - 0.2 * 4.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn ring_delay_grows_near_capacity() {
+        // Unidirectional n=9: capacity λ(n-1)/2 < 1 ⇒ λ < 0.25.
+        let light = ring_scenario(9, false, 0.05).run().unwrap();
+        let heavy = ring_scenario(9, false, 0.22).run().unwrap();
+        assert!(ring(&heavy).rho > ring(&light).rho);
+        assert!(ring(&heavy).rho < 1.0);
+        assert!(heavy.delay.mean > light.delay.mean);
+        assert_eq!(heavy.generated, heavy.delivered);
+    }
+
+    #[test]
+    fn ring_little_law_and_determinism() {
+        let a = ring_scenario(16, true, 0.3).run().unwrap();
+        assert!(a.little_error < 0.05, "little {}", a.little_error);
+        let b = ring_scenario(16, true, 0.3).run().unwrap();
+        assert_eq!(a.delay.mean, b.delay.mean);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn fault_pattern_is_a_function_of_the_fault_seed_not_the_run_seed() {
+        let run = |run_seed: u64, fault_seed: u64| {
+            let mut s = torus_scenario(4, 2, 0.3);
+            s.run.seed = run_seed;
+            s.workload.faults = Some(FaultSpec {
+                mode: FaultMode::Seeded {
+                    fraction: 0.25,
+                    seed: fault_seed,
+                },
+                fallback: FaultFallback::Drop,
+            });
+            s.run().unwrap()
+        };
+        let a = run(1, 7);
+        let b = run(1, 7);
+        assert_eq!(a, b, "same seeds, same report");
+        let c = run(2, 7);
+        assert_ne!(a.delay.mean, c.delay.mean, "run seed changes traffic");
+        let d = run(1, 8);
+        assert_ne!(
+            a.delivered, d.delivered,
+            "fault seed changes the dead-arc pattern"
+        );
+    }
+}

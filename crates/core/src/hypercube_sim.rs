@@ -15,7 +15,7 @@
 //! [`crate::scenario::Topology::Hypercube`].
 
 use crate::config::{DestinationSpec, Scheme};
-use crate::engine::{Advance, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
+use crate::engine::{Advance, ArcChoice, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
 use crate::observe::{NullObserver, Observer};
 use crate::packet::{next_dim, sample_flip_mask, MaskSampler, Packet, NO_SECOND_LEG};
 use crate::scenario::{HypercubeExt, Report, ReportExt, Scenario, Topology};
@@ -136,7 +136,7 @@ impl EngineSpec for HypercubeSpec {
         node: u32,
         pkt: &mut Packet,
         route_rng: &mut SimRng,
-    ) -> u32 {
+    ) -> ArcChoice {
         debug_assert!(pkt.remaining != 0);
         let dim = next_dim(self.scheme, pkt.remaining, route_rng);
         pkt.remaining &= !(1u32 << dim);
@@ -144,7 +144,7 @@ impl EngineSpec for HypercubeSpec {
             self.dim_arrivals[dim] += 1;
         }
         self.bump_dim_occupancy(t, dim, 1.0);
-        (node as usize * self.dim + dim) as u32
+        ArcChoice::Arc((node as usize * self.dim + dim) as u32)
     }
 
     fn note_service_end(&mut self, t: f64, meta: u32) {
@@ -190,6 +190,9 @@ impl HypercubeSim {
         let mask_sampler = match &s.workload.dest {
             DestinationSpec::BitFlip => None,
             DestinationSpec::MaskPmf(pmf) => Some(MaskSampler::new(pmf)),
+            DestinationSpec::NodePmf(_) | DestinationSpec::RingPowerLaw { .. } => {
+                unreachable!("node-addressed laws are rejected for the hypercube")
+            }
         };
         let spec = HypercubeSpec {
             dim,

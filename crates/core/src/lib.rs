@@ -19,36 +19,47 @@
 //! the contention policies, warm-up truncation, drain control, metrics
 //! and the observer taps. What a topology contributes is an
 //! [`engine::EngineSpec`] — its packet representation, destination law,
-//! next-arc choice and per-topology statistics — typically ~100–150
-//! lines. The current instantiations:
+//! next-arc choice and per-topology statistics. The current
+//! instantiations:
 //!
 //! | module | spec | the paper's name |
 //! |---|---|---|
 //! | [`hypercube_sim`] | schemes over XOR masks, per-dimension stats | §3 |
 //! | [`butterfly_sim`] | unique levelled paths, per-level stats | §4 |
-//! | [`ring_sim`] | shortest-way-around, per-direction stats | (Papillon) |
+//! | [`graph_sim`] | **any** `RoutingTopology` as pure data | ring (Papillon), torus, de Bruijn |
 //!
 //! Two simulators deliberately stay off the generic engine:
 //! [`equivalent_network`] (per-*server* PS service with positional
 //! coupling — the §3.1 proof device) and [`pipelined`] (round-driven, no
 //! event queue). They share the scheduler, metrics and report surface.
 //!
-//! ## How to add a topology in ~100 lines
+//! ## How to add a topology with zero event code
 //!
-//! The ring ([`ring_sim`]) is the worked example; the recipe is:
+//! The blanket [`graph_sim::GraphSpec`] runs any
+//! `hyperroute_topology::RoutingTopology` on the generic engine — the
+//! torus and de Bruijn graphs are the worked examples, each landed as
+//! pure graph code. The recipe is:
 //!
-//! 1. Implement `hyperroute_topology::RoutingTopology` for the graph
-//!    (dense arcs + greedy `next_arc` + `distance`); property tests in
-//!    `tests/proptest_routing.rs` check strict per-hop progress.
-//! 2. Write the [`engine::EngineSpec`]: a `Copy` packet, `generate`
-//!    (destination sampling), `choose_arc` (the greedy step + per-arc
-//!    stats), `advance` (deliver or forward), and a packed 31-bit arc
-//!    word.
-//! 3. Add a [`scenario::Topology`] variant, a validation arm, and a
-//!    [`scenario::ReportExt`] extension; wire `into_simulator`.
-//! 4. Drop scenario files into `scenarios/` and regenerate baselines —
-//!    sweeps, sharded grids (`hyperroute-grid`), observers, stability
-//!    probes and the corpus gate now all work on the new topology.
+//! 1. Implement `RoutingTopology` for the graph (dense arcs + greedy
+//!    `next_arc` + `distance`, plus a `mean_distance_hint` closed form if
+//!    you have one); property tests in `tests/proptest_routing.rs` check
+//!    strict per-hop progress.
+//! 2. Add a [`scenario::Topology`] variant and a validation arm, and
+//!    register it in `Scenario::into_simulator` as
+//!    `GraphSim::from_parts(YourGraph::new(..), dest, self, graph_ext)`
+//!    — done. Destination laws (uniform / weighted-node pmf), arc-fault
+//!    masks with the detour/drop fallback, contention policies, slotted
+//!    arrivals, sweeps, sharded grids, observers, stability probes and
+//!    the corpus gate all work immediately; reports carry the generic
+//!    [`scenario::GraphExt`].
+//! 3. Drop scenario files into `scenarios/` and regenerate baselines
+//!    with `hyperroute-grid run-corpus --update`.
+//!
+//! Topologies that need custom per-hop state or statistics (the
+//! hypercube's schemes, the butterfly's per-level rates) still write a
+//! hand-tuned [`engine::EngineSpec`] (~150 lines) against the same
+//! engine; the plain ring keeps its byte-compatible `RingExt` through a
+//! specialised extension builder over the blanket spec.
 //!
 //! # The scenario API
 //!
@@ -120,13 +131,13 @@ pub mod butterfly_sim;
 pub mod config;
 pub mod engine;
 pub mod equivalent_network;
+pub mod graph_sim;
 pub mod hypercube_sim;
 pub mod metrics;
 pub mod observe;
 pub mod packet;
 pub mod pipelined;
 pub mod pool;
-pub mod ring_sim;
 pub mod runner;
 pub mod scenario;
 pub mod stability;

@@ -55,6 +55,7 @@ pub struct MetricsCollector {
     generated: u64,
     delivered_measured: u64,
     delivered_total: u64,
+    dropped_total: u64,
 }
 
 impl MetricsCollector {
@@ -78,6 +79,7 @@ impl MetricsCollector {
             generated: 0,
             delivered_measured: 0,
             delivered_total: 0,
+            dropped_total: 0,
         }
     }
 
@@ -106,6 +108,17 @@ impl MetricsCollector {
             }
             self.delivered_measured += 1;
         }
+    }
+
+    /// Record a drop at `t` (fault-mask workloads): the packet leaves the
+    /// system undelivered. Keeps the number-in-system trajectory exact and
+    /// the conservation identity `generated == delivered + dropped +
+    /// in_flight` intact; dropped packets never enter the delay
+    /// statistics.
+    #[inline]
+    pub fn on_dropped(&mut self, t: f64) {
+        self.dropped_total += 1;
+        self.bump_in_system(t, -1.0);
     }
 
     fn bump_in_system(&mut self, t: f64, delta: f64) {
@@ -138,9 +151,14 @@ impl MetricsCollector {
         self.delivered_total
     }
 
+    /// Number of packets dropped (all time; fault-mask workloads only).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
     /// Packets currently in flight.
     pub fn in_flight(&self) -> u64 {
-        self.generated - self.delivered_total
+        self.generated - self.delivered_total - self.dropped_total
     }
 
     /// Current number-in-system value.
@@ -267,6 +285,19 @@ mod tests {
             "little error {}",
             check.relative_error()
         );
+    }
+
+    #[test]
+    fn dropped_packets_leave_the_system_without_delay_stats() {
+        let mut m = MetricsCollector::new(0.0, 100.0, 4, 1);
+        m.on_generated(1.0);
+        m.on_generated(2.0);
+        m.on_dropped(3.0);
+        m.on_delivered(4.0, 2.0, 1);
+        assert_eq!(m.dropped_total(), 1);
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.current_in_system(), 0.0);
+        assert_eq!(m.delay_stats().count, 1);
     }
 
     #[test]

@@ -43,16 +43,20 @@
 //! ```
 
 use crate::butterfly_sim::ButterflySim;
-use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
+use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, FaultSpec, Scheme};
+use crate::engine::EngineCfg;
 use crate::equivalent_network::{Discipline, EqNetSim};
+use crate::graph_sim::{graph_ext, GraphDestination, GraphSim, GraphSpec};
 use crate::hypercube_sim::HypercubeSim;
-use crate::metrics::DelayStats;
+use crate::metrics::{DelayStats, MetricsCollector};
 use crate::observe::{NullObserver, Observer};
 use crate::pipelined::simulate_pipelined_observed;
-use crate::ring_sim::RingSim;
 use crate::runner::parallel_map;
 use hyperroute_desim::{splitmix64, SchedulerKind};
-use hyperroute_topology::{ring::MAX_RING_NODES, Butterfly, Hypercube, LevelledNetwork};
+use hyperroute_topology::{
+    debruijn::MAX_DEBRUIJN_DIM, ring::MAX_RING_NODES, torus::MAX_TORUS_NODES, Butterfly, DeBruijn,
+    Hypercube, LevelledNetwork, Ring, RoutingTopology, Torus,
+};
 use serde::{Deserialize, Serialize};
 
 pub use crate::config::ConfigError;
@@ -91,14 +95,30 @@ pub enum Topology {
         rounds: usize,
     },
     /// The `n`-node ring under greedy shortest-way-around routing
-    /// (Papillon-style; destinations uniform over all nodes, so the
-    /// workload's `p` is ignored).
+    /// (Papillon-style; destinations default to uniform over all nodes,
+    /// so the workload's `p` is ignored — skew with
+    /// [`DestinationSpec::RingPowerLaw`] or [`DestinationSpec::NodePmf`]).
     Ring {
         /// Number of nodes (3..=2^26).
         nodes: usize,
         /// Whether counter-clockwise arcs exist (greedy then takes the
         /// shorter way around; ties break clockwise).
         bidirectional: bool,
+    },
+    /// The `k`-ary `d`-cube (torus) under dimension-ordered greedy
+    /// routing — a trait-impl-only topology on the blanket
+    /// [`GraphSpec`].
+    Torus {
+        /// Ring size `k` of every dimension (>= 3).
+        radix: usize,
+        /// Number of dimensions `d` (>= 1; `k^d <= 2^26` nodes).
+        dim: usize,
+    },
+    /// The binary de Bruijn graph `B(2, n)` under shift-register greedy
+    /// routing — constant degree 2, diameter `n`; also trait-impl-only.
+    DeBruijn {
+        /// Shift-register width `n` (1..=26; `2^n` nodes).
+        dim: usize,
     },
 }
 
@@ -111,6 +131,8 @@ impl Topology {
             Topology::EqNet { .. } => "eqnet",
             Topology::Pipelined { .. } => "pipelined",
             Topology::Ring { .. } => "ring",
+            Topology::Torus { .. } => "torus",
+            Topology::DeBruijn { .. } => "debruijn",
         }
     }
 }
@@ -180,9 +202,16 @@ pub struct Workload {
     pub p: f64,
     /// Continuous (Poisson) or slotted-batch arrivals (§3.4).
     pub arrivals: ArrivalModel,
-    /// Destination distribution: Eq. (1) bit-flips or an arbitrary
-    /// translation-invariant mask pmf (§2.2; hypercube only).
+    /// Destination distribution: Eq. (1) bit-flips, an arbitrary
+    /// translation-invariant mask pmf (§2.2; hypercube only), a
+    /// weighted-node pmf, or a power-law ring demand (graph topologies).
     pub dest: DestinationSpec,
+    /// Optional arc-failure mask (Angel et al.): dead arcs plus a
+    /// dead-greedy-arc fallback. Supported on the graph-routed
+    /// topologies (ring, torus, de Bruijn, greedy hypercube); `None`
+    /// (the default, and what an absent JSON key parses to) is the
+    /// fault-free network.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for Workload {
@@ -192,6 +221,7 @@ impl Default for Workload {
             p: 0.5,
             arrivals: ArrivalModel::Poisson,
             dest: DestinationSpec::BitFlip,
+            faults: None,
         }
     }
 }
@@ -276,9 +306,23 @@ impl Scenario {
             })
         };
         match &self.topology {
-            Topology::Hypercube { .. } => {
+            Topology::Hypercube { dim } => {
                 if pol.discipline != Discipline::Fifo {
                     return unsupported("processor-sharing service (use Topology::EqNet)");
+                }
+                if let Some(faults) = &w.faults {
+                    // The faulty hypercube routes through the blanket
+                    // graph spec, which follows the trait's canonical
+                    // greedy arcs and Eq.-(1) destinations only.
+                    if pol.scheme != Scheme::Greedy {
+                        return unsupported("non-greedy schemes under fault masks");
+                    }
+                    if w.dest != DestinationSpec::BitFlip {
+                        return unsupported("custom destination pmfs under fault masks");
+                    }
+                    if *dim >= 1 && *dim <= 26 {
+                        faults.validate(dim << dim)?;
+                    }
                 }
                 // The exact checks `HypercubeSimConfig::check` runs, via
                 // the shared borrowed-field helper — no config assembly
@@ -298,6 +342,9 @@ impl Scenario {
             Topology::Butterfly { .. } => {
                 if pol.scheme != Scheme::Greedy {
                     return unsupported("non-greedy schemes (butterfly paths are unique)");
+                }
+                if w.faults.is_some() {
+                    return unsupported("fault masks (unique paths cannot route around faults)");
                 }
                 if pol.contention != ContentionPolicy::Fifo {
                     return unsupported("non-FIFO contention");
@@ -322,6 +369,9 @@ impl Scenario {
             Topology::EqNet { net, .. } => {
                 if pol.scheme != Scheme::Greedy {
                     return unsupported("routing schemes (routing is Markovian)");
+                }
+                if w.faults.is_some() {
+                    return unsupported("fault masks (servers, not arcs)");
                 }
                 if pol.contention != ContentionPolicy::Fifo {
                     return unsupported("contention policies (per-server discipline instead)");
@@ -353,6 +403,9 @@ impl Scenario {
                 if pol.scheme != Scheme::Greedy {
                     return unsupported("schemes (rounds are routed as greedy batches)");
                 }
+                if w.faults.is_some() {
+                    return unsupported("fault masks");
+                }
                 if pol.contention != ContentionPolicy::Fifo {
                     return unsupported("non-FIFO contention");
                 }
@@ -372,7 +425,7 @@ impl Scenario {
             }
             Topology::Ring {
                 nodes,
-                bidirectional: _,
+                bidirectional,
             } => {
                 if pol.scheme != Scheme::Greedy {
                     return unsupported("non-greedy schemes (ring paths are deterministic)");
@@ -380,8 +433,8 @@ impl Scenario {
                 if pol.discipline != Discipline::Fifo {
                     return unsupported("processor-sharing service (use Topology::EqNet)");
                 }
-                if w.dest != DestinationSpec::BitFlip {
-                    return unsupported("custom destination pmfs (ring destinations are uniform)");
+                if matches!(w.dest, DestinationSpec::MaskPmf(_)) {
+                    return unsupported("mask pmfs (use NodePmf or RingPowerLaw)");
                 }
                 if *nodes < 3 || *nodes > MAX_RING_NODES {
                     return Err(ConfigError::RingSize {
@@ -389,6 +442,73 @@ impl Scenario {
                         min: 3,
                         max: MAX_RING_NODES,
                     });
+                }
+                w.dest.validate_nodes(*nodes)?;
+                if let Some(f) = &w.faults {
+                    f.validate(if *bidirectional { 2 * nodes } else { *nodes })?;
+                }
+                crate::config::check_workload_window(
+                    w.lambda,
+                    w.p,
+                    self.run.horizon,
+                    self.run.warmup,
+                    w.arrivals,
+                )
+            }
+            Topology::Torus { radix, dim } => {
+                if pol.scheme != Scheme::Greedy {
+                    return unsupported("non-greedy schemes (torus paths are deterministic)");
+                }
+                if pol.discipline != Discipline::Fifo {
+                    return unsupported("processor-sharing service (use Topology::EqNet)");
+                }
+                if matches!(
+                    w.dest,
+                    DestinationSpec::MaskPmf(_) | DestinationSpec::RingPowerLaw { .. }
+                ) {
+                    return unsupported("this destination law (use BitFlip=uniform or NodePmf)");
+                }
+                let Some(nodes) = torus_nodes(*radix, *dim) else {
+                    return Err(ConfigError::TorusShape {
+                        radix: *radix,
+                        dim: *dim,
+                    });
+                };
+                w.dest.validate_nodes(nodes)?;
+                if let Some(f) = &w.faults {
+                    f.validate(nodes * 2 * dim)?;
+                }
+                crate::config::check_workload_window(
+                    w.lambda,
+                    w.p,
+                    self.run.horizon,
+                    self.run.warmup,
+                    w.arrivals,
+                )
+            }
+            Topology::DeBruijn { dim } => {
+                if pol.scheme != Scheme::Greedy {
+                    return unsupported("non-greedy schemes (shift paths are deterministic)");
+                }
+                if pol.discipline != Discipline::Fifo {
+                    return unsupported("processor-sharing service (use Topology::EqNet)");
+                }
+                if matches!(
+                    w.dest,
+                    DestinationSpec::MaskPmf(_) | DestinationSpec::RingPowerLaw { .. }
+                ) {
+                    return unsupported("this destination law (use BitFlip=uniform or NodePmf)");
+                }
+                if *dim < 1 || *dim > MAX_DEBRUIJN_DIM {
+                    return Err(ConfigError::Dimension {
+                        dim: *dim,
+                        min: 1,
+                        max: MAX_DEBRUIJN_DIM,
+                    });
+                }
+                w.dest.validate_nodes(1 << dim)?;
+                if let Some(f) = &w.faults {
+                    f.validate((1 << (dim + 1)) - 2)?;
                 }
                 crate::config::check_workload_window(
                     w.lambda,
@@ -404,17 +524,54 @@ impl Scenario {
     /// Instantiate the engine behind this scenario.
     pub fn into_simulator(&self) -> Result<Box<dyn Simulator>, ConfigError> {
         self.validate()?;
+        let w = &self.workload;
         Ok(match &self.topology {
+            // A fault mask sends the hypercube through the blanket graph
+            // spec (trait-canonical greedy arcs + the detour/drop hook);
+            // fault-free runs keep the packed fast-path spec.
+            Topology::Hypercube { dim } if w.faults.is_some() => Box::new(GraphSim::from_parts(
+                Hypercube::new(*dim),
+                GraphDestination::FlipMask { dim: *dim, p: w.p },
+                self,
+                graph_ext,
+            )),
             Topology::Hypercube { .. } => Box::new(HypercubeSim::from_scenario(self)),
             Topology::Butterfly { .. } => Box::new(ButterflySim::from_scenario(self)),
             Topology::EqNet { net, .. } => {
-                let network = net.build(self.workload.lambda, self.workload.p);
+                let network = net.build(w.lambda, w.p);
                 Box::new(EqNetSim::from_scenario(&network, self))
             }
             Topology::Pipelined { .. } => Box::new(PipelinedRunner {
                 scenario: self.clone(),
             }),
-            Topology::Ring { .. } => Box::new(RingSim::from_scenario(self)),
+            Topology::Ring {
+                nodes,
+                bidirectional,
+            } => {
+                let ring = Ring::new(*nodes, *bidirectional);
+                // The legacy combination (uniform destinations, no
+                // faults) keeps its byte-compatible RingExt; any new
+                // workload feature reports the generic graph extension.
+                let plain = w.faults.is_none() && w.dest == DestinationSpec::BitFlip;
+                let ext = if plain { ring_ext } else { graph_ext };
+                Box::new(GraphSim::from_parts(
+                    ring,
+                    graph_destination(&w.dest, *nodes),
+                    self,
+                    ext,
+                ))
+            }
+            Topology::Torus { radix, dim } => {
+                let torus = Torus::new(*radix, *dim);
+                let dest = graph_destination(&w.dest, torus.num_nodes());
+                Box::new(GraphSim::from_parts(torus, dest, self, graph_ext))
+            }
+            Topology::DeBruijn { dim } => Box::new(GraphSim::from_parts(
+                DeBruijn::new(*dim),
+                graph_destination(&w.dest, 1 << dim),
+                self,
+                graph_ext,
+            )),
         })
     }
 
@@ -458,9 +615,63 @@ impl Scenario {
                 EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => *dim,
                 EqNetSpec::Fig2 { .. } => 0,
             },
-            Topology::Ring { .. } => 0,
+            Topology::Ring { .. } | Topology::Torus { .. } | Topology::DeBruijn { .. } => 0,
         }
     }
+}
+
+/// Node count of a `k`-ary `d`-cube, or `None` when the shape is out of
+/// range (`k < 3`, `d < 1`, or more than `2^26` nodes).
+fn torus_nodes(radix: usize, dim: usize) -> Option<usize> {
+    if radix < 3 || dim < 1 {
+        return None;
+    }
+    let mut nodes = 1usize;
+    for _ in 0..dim {
+        nodes = nodes.checked_mul(radix).filter(|&n| n <= MAX_TORUS_NODES)?;
+    }
+    Some(nodes)
+}
+
+/// Lower a validated [`DestinationSpec`] into the graph engine's sampler
+/// (`BitFlip` means uniform on node-addressed topologies; `MaskPmf` never
+/// reaches this — validation rejects it).
+fn graph_destination(dest: &DestinationSpec, nodes: usize) -> GraphDestination {
+    match dest {
+        DestinationSpec::BitFlip => GraphDestination::Uniform,
+        DestinationSpec::MaskPmf(_) => unreachable!("mask pmfs are hypercube-only"),
+        DestinationSpec::NodePmf(pmf) => GraphDestination::from_node_pmf(pmf),
+        DestinationSpec::RingPowerLaw { alpha } => GraphDestination::ring_power_law(nodes, *alpha),
+    }
+}
+
+/// The ring's byte-compatible report extension over the blanket graph
+/// spec: identical numbers to the retired hand-written `RingSpec` (the
+/// per-direction arrival sums fall out of the per-arc counters — even
+/// dense indices are clockwise on bidirectional rings).
+fn ring_ext(spec: &GraphSpec<Ring>, cfg: &EngineCfg, collector: &MetricsCollector) -> ReportExt {
+    let ring = *spec.topology();
+    let span = cfg.horizon - cfg.warmup;
+    let arcs_per_direction = ring.num_nodes() as f64;
+    let (mut cw, mut ccw) = (0u64, 0u64);
+    for (arc, &count) in spec.arc_arrivals().iter().enumerate() {
+        if !ring.bidirectional() || arc & 1 == 0 {
+            cw += count;
+        } else {
+            ccw += count;
+        }
+    }
+    ReportExt::Ring(RingExt {
+        rho: ring.load_factor(cfg.lambda),
+        mean_hops: collector.mean_hops(),
+        zero_hop_fraction: collector.zero_hop_fraction(),
+        clockwise_arc_rate: cw as f64 / (span * arcs_per_direction),
+        counter_clockwise_arc_rate: if ring.bidirectional() {
+            ccw as f64 / (span * arcs_per_direction)
+        } else {
+            0.0
+        },
+    })
 }
 
 /// Why a scenario file was rejected: malformed JSON, or well-formed JSON
@@ -555,6 +766,12 @@ impl ScenarioBuilder {
     /// Set the destination distribution.
     pub fn dest(mut self, dest: DestinationSpec) -> Self {
         self.scenario.workload.dest = dest;
+        self
+    }
+
+    /// Set (or clear) the arc-failure mask.
+    pub fn faults(mut self, faults: Option<FaultSpec>) -> Self {
+        self.scenario.workload.faults = faults;
         self
     }
 
@@ -660,6 +877,9 @@ pub enum ReportExt {
     Pipelined(PipelinedExt),
     /// Ring-only measurements.
     Ring(RingExt),
+    /// Generic graph-topology measurements (torus, de Bruijn, and any
+    /// ring/hypercube run with fault masks or skewed destinations).
+    Graph(GraphExt),
 }
 
 /// Hypercube-specific fields of a [`Report`].
@@ -742,6 +962,35 @@ pub struct RingExt {
     pub counter_clockwise_arc_rate: f64,
 }
 
+/// Graph-topology fields of a [`Report`] — what every blanket-spec run
+/// measures, including the delivered/dropped split of fault-mask
+/// workloads.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphExt {
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Number of directed arcs (dense index space).
+    pub arcs: u64,
+    /// Number of dead arcs in the fault mask (0 without one).
+    pub dead_arcs: u64,
+    /// Mean hops per measured delivered packet.
+    pub mean_hops: f64,
+    /// Fraction of measured deliveries with destination = origin.
+    pub zero_hop_fraction: f64,
+    /// Mean in-window packet-arrival rate over the **live** arcs.
+    pub mean_arc_rate: f64,
+    /// The busiest arc's in-window arrival rate.
+    pub max_arc_rate: f64,
+    /// Packets dropped, all time (`generated = delivered + dropped` after
+    /// a drained run).
+    pub dropped: u64,
+    /// Dropped packets born inside the measurement window.
+    pub dropped_in_window: u64,
+    /// Measured deliveries / (measured deliveries + measured drops) — the
+    /// fault-tolerance headline; NaN when nothing was measured.
+    pub delivery_fraction: f64,
+}
+
 /// Bit-exact float comparison that also equates NaNs with differing
 /// payloads (a JSON round-trip maps every NaN through `null` to the
 /// canonical `f64::NAN`).
@@ -775,8 +1024,24 @@ impl PartialEq for ReportExt {
             (ReportExt::EqNet(a), ReportExt::EqNet(b)) => a == b,
             (ReportExt::Pipelined(a), ReportExt::Pipelined(b)) => a == b,
             (ReportExt::Ring(a), ReportExt::Ring(b)) => a == b,
+            (ReportExt::Graph(a), ReportExt::Graph(b)) => a == b,
             _ => false,
         }
+    }
+}
+
+impl PartialEq for GraphExt {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.arcs == other.arcs
+            && self.dead_arcs == other.dead_arcs
+            && f64_eq(self.mean_hops, other.mean_hops)
+            && f64_eq(self.zero_hop_fraction, other.zero_hop_fraction)
+            && f64_eq(self.mean_arc_rate, other.mean_arc_rate)
+            && f64_eq(self.max_arc_rate, other.max_arc_rate)
+            && self.dropped == other.dropped
+            && self.dropped_in_window == other.dropped_in_window
+            && f64_eq(self.delivery_fraction, other.delivery_fraction)
     }
 }
 
@@ -880,6 +1145,14 @@ impl Report {
             _ => None,
         }
     }
+
+    /// The generic graph extension, if any.
+    pub fn graph(&self) -> Option<&GraphExt> {
+        match &self.ext {
+            ReportExt::Graph(ext) => Some(ext),
+            _ => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -925,7 +1198,7 @@ impl Simulator for ButterflySim {
     }
 }
 
-impl Simulator for RingSim {
+impl<T: RoutingTopology> Simulator for GraphSim<T> {
     fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
         self.run_observed(&mut &mut *obs)
     }
@@ -1129,7 +1402,11 @@ fn apply_param(s: &mut Scenario, param: SweepParam, value: f64) -> Result<(), Co
         SweepParam::Dim => match &mut s.topology {
             Topology::Hypercube { dim }
             | Topology::Butterfly { dim }
-            | Topology::Pipelined { dim, .. } => *dim = as_usize(value),
+            | Topology::Pipelined { dim, .. }
+            // Torus: a Dim axis sweeps d at fixed radix; de Bruijn: the
+            // shift-register width (both scale the node count).
+            | Topology::Torus { dim, .. }
+            | Topology::DeBruijn { dim } => *dim = as_usize(value),
             // The ring's size parameter: a Dim axis sweeps the node count.
             Topology::Ring { nodes, .. } => *nodes = as_usize(value),
             Topology::EqNet { net, .. } => match net {

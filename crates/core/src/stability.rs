@@ -88,8 +88,10 @@ pub fn probe_scenario(scenario: &Scenario) -> Result<StabilityVerdict, ConfigErr
     let sources = match &probed.topology {
         Topology::Butterfly { dim }
         | Topology::Hypercube { dim }
-        | Topology::Pipelined { dim, .. } => 1usize << dim,
+        | Topology::Pipelined { dim, .. }
+        | Topology::DeBruijn { dim } => 1usize << dim,
         Topology::Ring { nodes, .. } => *nodes,
+        Topology::Torus { radix, dim } => radix.pow(*dim as u32),
         Topology::EqNet { .. } => 1,
     };
     let injection = match &probed.topology {

@@ -1,0 +1,104 @@
+//! E25 — beyond the paper: greedy routing on the `k`-ary `d`-cube
+//! (torus), the first **trait-impl-only** topology on the blanket
+//! `GraphSpec`.
+//!
+//! The torus composes the paper's two structures — dimension-ordered
+//! greedy crossing (the hypercube's canonical order) over bidirectional
+//! rings — so its theory composes too: `E[hops] = d·⌊k²/4⌋/k` under
+//! uniform destinations, the busiest-direction per-arc load is
+//! `ρ = λ·m(m+1)/2k` (`m = ⌊k/2⌋`), and delay grows with `ρ` toward the
+//! `ρ < 1` frontier. This experiment sweeps `ρ` at several shapes
+//! through a declarative `Sweep` (Lambda axis) and checks mean hops
+//! against the closed form, unit-service lower bound `delay >= E[hops]`,
+//! and monotone growth in `ρ`.
+
+use crate::table::{f4, Table};
+use crate::Scale;
+use hyperroute_core::scenario::{Axis, Sweep, SweepParam};
+use hyperroute_core::{Scenario, Topology};
+use hyperroute_topology::Torus;
+
+/// Delay and mean hops vs per-arc load ρ, per torus shape.
+pub fn run(scale: Scale) -> Table {
+    let shapes: Vec<(usize, usize)> = match scale {
+        Scale::Quick => vec![(4, 2), (5, 2)],
+        Scale::Full => vec![(4, 2), (5, 2), (8, 2), (4, 3)],
+    };
+    let rhos: Vec<f64> = match scale {
+        Scale::Quick => vec![0.3, 0.6, 0.85],
+        Scale::Full => vec![0.3, 0.5, 0.7, 0.85, 0.95],
+    };
+    let horizon = scale.horizon(6_000.0);
+
+    let mut t = Table::new(
+        "E25 (beyond the paper) — torus greedy routing: delay vs per-arc load ρ on the blanket GraphSpec",
+        &["k", "d", "rho", "E[hops]", "hops_meas", "delay", "delay/E[hops]"],
+    );
+
+    for &(radix, dim) in &shapes {
+        let torus = Torus::new(radix, dim);
+        // λ values hitting the target per-arc loads in the busiest
+        // direction: ρ = λ·load_factor(1).
+        let lambdas: Vec<f64> = rhos.iter().map(|r| r / torus.load_factor(1.0)).collect();
+        let base = Scenario::builder(Topology::Torus { radix, dim })
+            .lambda(lambdas[0])
+            .horizon(horizon)
+            .warmup(horizon * 0.15)
+            .seed(0xE25)
+            .build()
+            .expect("valid scenario");
+        let sweep = Sweep::new(base, vec![Axis::new(SweepParam::Lambda, lambdas)]);
+        for (i, report) in sweep.run(0).expect("valid grid").into_iter().enumerate() {
+            let ext = report.graph().expect("graph extension");
+            t.row(vec![
+                radix.to_string(),
+                dim.to_string(),
+                f4(rhos[i]),
+                f4(torus.mean_path_length()),
+                f4(ext.mean_hops),
+                f4(report.delay.mean),
+                f4(report.delay.mean / torus.mean_path_length()),
+            ]);
+        }
+    }
+    t.note(
+        "rho = λ·m(m+1)/2k per arc of the busiest direction (m = ⌊k/2⌋); \
+         E[hops] = d·⌊k²/4⌋/k; unit service forces delay >= E[hops], and the \
+         gap opens as rho → 1 (the torus analogue of Prop. 12's dp/(1-ρ) ceiling)",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_match_closed_form_and_delay_grows_with_rho() {
+        let t = run(Scale::Quick);
+        let (eh, mh, de, rho) = (
+            t.col("E[hops]"),
+            t.col("hops_meas"),
+            t.col("delay"),
+            t.col("rho"),
+        );
+        let mut prev: Option<(f64, f64)> = None;
+        for row in &t.rows {
+            let expect: f64 = row[eh].parse().unwrap();
+            let measured: f64 = row[mh].parse().unwrap();
+            let delay: f64 = row[de].parse().unwrap();
+            let r: f64 = row[rho].parse().unwrap();
+            assert!(
+                (measured - expect).abs() < expect * 0.06 + 0.05,
+                "hops {measured} vs theory {expect}: {row:?}"
+            );
+            assert!(delay >= expect * 0.98, "delay below hop bound: {row:?}");
+            if let Some((prev_rho, prev_delay)) = prev {
+                if r > prev_rho {
+                    assert!(delay > prev_delay, "delay not increasing in rho: {row:?}");
+                }
+            }
+            prev = Some((r, delay));
+        }
+    }
+}

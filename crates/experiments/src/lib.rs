@@ -42,6 +42,8 @@ pub mod e21_general_destinations;
 pub mod e22_contention_policies;
 pub mod e23_dimension_occupancy;
 pub mod e24_ring_greedy;
+pub mod e25_torus_greedy;
+pub mod e26_fault_tolerance;
 pub mod figures;
 
 pub use table::Table;
@@ -103,5 +105,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("E22", e22_contention_policies::run),
         ("E23", e23_dimension_occupancy::run),
         ("E24", e24_ring_greedy::run),
+        ("E25", e25_torus_greedy::run),
+        ("E26", e26_fault_tolerance::run),
     ]
 }

@@ -35,6 +35,13 @@ pub enum CorpusStatus {
         /// `file:line:column`-style description of the failure.
         message: String,
     },
+    /// The baseline exists but could not be read (I/O failure). Recorded
+    /// per entry — one unreadable baseline must not mask the diffs of
+    /// the scenarios after it.
+    Error {
+        /// Description of the I/O failure.
+        message: String,
+    },
 }
 
 /// One corpus entry: the scenario's stem name and what happened to it.
@@ -75,6 +82,7 @@ impl CorpusOutcome {
                 }
                 CorpusStatus::Mismatch { detail } => format!("DIFF     {}: {detail}", e.name),
                 CorpusStatus::Invalid { message } => format!("INVALID  {}: {message}", e.name),
+                CorpusStatus::Error { message } => format!("ERROR    {}: {message}", e.name),
             };
             out.push_str(&line);
             out.push('\n');
@@ -136,10 +144,136 @@ pub fn run_corpus(
             std::fs::write(&baseline, text).map_err(|e| crate::error::io_error(&baseline, e))?;
             CorpusStatus::Updated
         } else {
-            diff_against_baseline(&baseline, &report)?
+            // Diff failures (unreadable baseline included) are recorded
+            // per entry, never propagated: every scenario's verdict lands
+            // in the summary even when an earlier baseline is broken.
+            diff_against_baseline(&baseline, &report)
         };
     }
     Ok(CorpusOutcome { entries })
+}
+
+/// Outcome of one [`validate_corpus`] round-trip check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoundTripStatus {
+    /// The file is bit-exactly `Scenario::to_json` of what it parses to.
+    Canonical,
+    /// Rewritten to canonical form (fix mode).
+    Fixed,
+    /// The file does not parse / validate as a `Scenario`.
+    Invalid {
+        /// `file:line:column`-style description of the failure.
+        message: String,
+    },
+    /// The file parses but is not in canonical form — hand-edited corpus
+    /// drift that would survive a parse yet churn on the next `--update`.
+    Drifted {
+        /// 1-based line where the on-disk text first diverges from the
+        /// canonical rendering.
+        first_divergent_line: usize,
+    },
+}
+
+/// Results of a whole [`validate_corpus`] run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundTripOutcome {
+    /// Per-scenario `(stem, status)`, in file-name order.
+    pub entries: Vec<(String, RoundTripStatus)>,
+}
+
+impl RoundTripOutcome {
+    /// Whether every file is canonical (or was just fixed).
+    pub fn passed(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|(_, s)| matches!(s, RoundTripStatus::Canonical | RoundTripStatus::Fixed))
+    }
+
+    /// One status line per entry.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, status) in &self.entries {
+            let line = match status {
+                RoundTripStatus::Canonical => format!("ok       {name}"),
+                RoundTripStatus::Fixed => format!("fixed    {name}"),
+                RoundTripStatus::Invalid { message } => format!("INVALID  {name}: {message}"),
+                RoundTripStatus::Drifted {
+                    first_divergent_line,
+                } => format!(
+                    "DRIFT    {name}: not canonical from line {first_divergent_line} \
+                     (re-render with validate-corpus --fix)"
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Round-trip every scenario in `scenario_dir` through
+/// `Scenario::from_json` / `Scenario::to_json` and flag any file that
+/// parses but is not bit-exactly its own canonical rendering — the drift
+/// a hand edit introduces silently (a non-canonical file still runs, but
+/// churns spuriously on the next `--update` and can hide real diffs in
+/// review). With `fix`, drifted files are rewritten canonically instead.
+pub fn validate_corpus(scenario_dir: &Path, fix: bool) -> Result<RoundTripOutcome, GridError> {
+    let files = scenario_files(scenario_dir)?;
+    if files.is_empty() {
+        return Err(GridError::Corpus(format!(
+            "no scenario files (*.json) in {}",
+            scenario_dir.display()
+        )));
+    }
+    let mut entries = Vec::with_capacity(files.len());
+    for path in &files {
+        let name = path
+            .file_stem()
+            .expect("scenario_files yields *.json only")
+            .to_string_lossy()
+            .into_owned();
+        entries.push((name, round_trip_file(path, fix)?));
+    }
+    Ok(RoundTripOutcome { entries })
+}
+
+fn round_trip_file(path: &Path, fix: bool) -> Result<RoundTripStatus, GridError> {
+    let on_disk = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            return Ok(RoundTripStatus::Invalid {
+                message: format!("{}: {e}", path.display()),
+            })
+        }
+    };
+    let scenario = match Scenario::from_json(&on_disk) {
+        Ok(s) => s,
+        Err(e) => {
+            return Ok(RoundTripStatus::Invalid {
+                message: format!("{}: {e}", path.display()),
+            })
+        }
+    };
+    let mut canonical = scenario.to_json();
+    canonical.push('\n');
+    if on_disk == canonical {
+        return Ok(RoundTripStatus::Canonical);
+    }
+    if fix {
+        std::fs::write(path, canonical).map_err(|e| crate::error::io_error(path, e))?;
+        return Ok(RoundTripStatus::Fixed);
+    }
+    let first_divergent_line = on_disk
+        .lines()
+        .zip(canonical.lines())
+        .position(|(a, b)| a != b)
+        .map_or_else(
+            || on_disk.lines().count().min(canonical.lines().count()) + 1,
+            |i| i + 1,
+        );
+    Ok(RoundTripStatus::Drifted {
+        first_divergent_line,
+    })
 }
 
 /// The `*.json` files directly inside `dir`, name-sorted (subdirectories
@@ -171,29 +305,33 @@ fn load_scenario(path: &Path) -> Result<Scenario, String> {
 }
 
 /// Compare `report` against the stored baseline, summarising the first
-/// difference found.
-fn diff_against_baseline(baseline: &Path, report: &Report) -> Result<CorpusStatus, GridError> {
+/// difference found. Every failure mode — missing, unreadable, or
+/// unparseable baseline — is a per-entry status, so the caller's loop
+/// reaches every scenario.
+fn diff_against_baseline(baseline: &Path, report: &Report) -> CorpusStatus {
     let text = match std::fs::read_to_string(baseline) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(CorpusStatus::MissingBaseline)
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CorpusStatus::MissingBaseline,
+        Err(e) => {
+            return CorpusStatus::Error {
+                message: format!("{}: {e}", baseline.display()),
+            }
         }
-        Err(e) => return Err(crate::error::io_error(baseline, e)),
     };
     let stored: Report = match serde_json::from_str(&text) {
         Ok(stored) => stored,
         Err(e) => {
-            return Ok(CorpusStatus::Mismatch {
+            return CorpusStatus::Mismatch {
                 detail: format!("baseline does not parse ({e}); regenerate with --update"),
-            })
+            }
         }
     };
     if stored == *report {
-        return Ok(CorpusStatus::Match);
+        return CorpusStatus::Match;
     }
-    Ok(CorpusStatus::Mismatch {
+    CorpusStatus::Mismatch {
         detail: first_difference(&stored, report),
-    })
+    }
 }
 
 /// A short human-oriented description of where two reports diverge.
@@ -250,7 +388,11 @@ mod tests {
             .seed(seed)
             .build()
             .unwrap();
-        std::fs::write(dir.join(format!("{name}.json")), s.to_json()).unwrap();
+        std::fs::write(
+            dir.join(format!("{name}.json")),
+            format!("{}\n", s.to_json()),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -342,6 +484,112 @@ mod tests {
             message.contains("bad_combo.json") && message.contains("invalid"),
             "validation failure lost its file path: {message}"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_diffs_collected_when_multiple_baselines_break() {
+        // One broken baseline must not mask the others: tamper with two
+        // of three and check both verdicts (plus the pass) land in the
+        // outcome and the summary.
+        let dir = temp_dir("collect-all");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        write_scenario(&dir, "b", 2);
+        write_scenario(&dir, "c", 3);
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+        for name in ["a", "c"] {
+            let path = baselines.join(format!("{name}.report.json"));
+            let tampered = std::fs::read_to_string(&path).unwrap().replacen(
+                "\"generated\":",
+                "\"generated\": 1, \"_x\":",
+                1,
+            );
+            std::fs::write(&path, tampered).unwrap();
+        }
+        let outcome = run_corpus(&dir, &baselines, 1, false).unwrap();
+        assert!(!outcome.passed());
+        assert!(matches!(
+            outcome.entries[0].status,
+            CorpusStatus::Mismatch { .. }
+        ));
+        assert_eq!(outcome.entries[1].status, CorpusStatus::Match);
+        assert!(matches!(
+            outcome.entries[2].status,
+            CorpusStatus::Mismatch { .. }
+        ));
+        let summary = outcome.summary();
+        assert_eq!(summary.matches("DIFF").count(), 2, "{summary}");
+        assert_eq!(summary.matches("ok").count(), 1, "{summary}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_baseline_is_a_per_entry_error() {
+        // A baseline that exists but is a directory (read fails with a
+        // non-NotFound error) must surface as that entry's status, not
+        // abort the run before later entries are diffed.
+        let dir = temp_dir("unreadable");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        write_scenario(&dir, "b", 2);
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+        std::fs::remove_file(baselines.join("a.report.json")).unwrap();
+        std::fs::create_dir(baselines.join("a.report.json")).unwrap();
+        let outcome = run_corpus(&dir, &baselines, 1, false).unwrap();
+        assert!(!outcome.passed());
+        assert!(
+            matches!(outcome.entries[0].status, CorpusStatus::Error { .. }),
+            "{:?}",
+            outcome.entries[0]
+        );
+        assert_eq!(outcome.entries[1].status, CorpusStatus::Match);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn round_trip_validation_flags_and_fixes_drift() {
+        let dir = temp_dir("roundtrip-validate");
+        write_scenario(&dir, "canonical", 1);
+        // Hand-edit: reorder nothing, just add harmless whitespace — the
+        // file still parses to the same scenario but is not canonical.
+        let path = dir.join("edited.json");
+        let s = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(0.9)
+            .horizon(50.0)
+            .warmup(10.0)
+            .seed(9)
+            .build()
+            .unwrap();
+        std::fs::write(&path, format!("  {}\n", s.to_json())).unwrap();
+        // And one file that does not parse at all.
+        std::fs::write(dir.join("broken.json"), "{ nope }").unwrap();
+
+        let outcome = validate_corpus(&dir, false).unwrap();
+        assert!(!outcome.passed());
+        let by_name = |n: &str| {
+            outcome
+                .entries
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, s)| s.clone())
+                .unwrap()
+        };
+        assert!(matches!(by_name("broken"), RoundTripStatus::Invalid { .. }));
+        assert_eq!(
+            by_name("edited"),
+            RoundTripStatus::Drifted {
+                first_divergent_line: 1,
+            }
+        );
+        assert_eq!(by_name("canonical"), RoundTripStatus::Canonical);
+
+        // Fix mode rewrites the drifted file; broken stays invalid.
+        let fixed = validate_corpus(&dir, true).unwrap();
+        assert!(!fixed.passed(), "broken.json cannot be fixed");
+        std::fs::remove_file(dir.join("broken.json")).unwrap();
+        let clean = validate_corpus(&dir, false).unwrap();
+        assert!(clean.passed(), "{}", clean.summary());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

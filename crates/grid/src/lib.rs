@@ -63,7 +63,10 @@ pub mod subprocess;
 
 pub use backend::{ExecBackend, ThreadPoolBackend};
 pub use campaign::Campaign;
-pub use corpus::{run_corpus, CorpusEntry, CorpusOutcome, CorpusStatus};
+pub use corpus::{
+    run_corpus, validate_corpus, CorpusEntry, CorpusOutcome, CorpusStatus, RoundTripOutcome,
+    RoundTripStatus,
+};
 pub use error::GridError;
 pub use slice::{merge, partition, GridSlice, SliceResult};
 pub use subprocess::{run_worker, SubprocessBackend, WorkerReply};

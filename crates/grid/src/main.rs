@@ -16,11 +16,17 @@
 //!     [--workers N] [--update]
 //!     Run every scenario in DIR (default `scenarios/`) and diff the
 //!     reports against DIR/baselines; exit 1 on any difference.
+//!
+//! hyperroute-grid validate-corpus [--scenarios DIR] [--fix]
+//!     Round-trip every scenario file through `Scenario::from_json` /
+//!     `to_json`; exit 1 on files that parse but are not bit-exactly
+//!     canonical (hand-edited drift). `--fix` rewrites them instead.
 //! ```
 
 use hyperroute_core::scenario::Sweep;
 use hyperroute_grid::{
-    run_corpus, run_worker, Campaign, ExecBackend, SubprocessBackend, ThreadPoolBackend,
+    run_corpus, run_worker, validate_corpus, Campaign, ExecBackend, SubprocessBackend,
+    ThreadPoolBackend,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -35,6 +41,7 @@ fn dispatch(args: &[String]) -> i32 {
         Some("worker") => cmd_worker(),
         Some("run") => cmd_run(&args[1..]),
         Some("run-corpus") => cmd_run_corpus(&args[1..]),
+        Some("validate-corpus") => cmd_validate_corpus(&args[1..]),
         Some(other) => usage(&format!("unknown subcommand `{other}`")),
         None => usage("missing subcommand"),
     }
@@ -47,7 +54,8 @@ fn usage(problem: &str) -> i32 {
          [--backend threads|subprocess] [--workers N] [--slice-len N] \
          [--checkpoint DIR] [--timeout-secs N] [--out FILE]\n  \
          hyperroute-grid run-corpus [--scenarios DIR] [--baselines DIR] \
-         [--workers N] [--update]"
+         [--workers N] [--update]\n  \
+         hyperroute-grid validate-corpus [--scenarios DIR] [--fix]"
     );
     2
 }
@@ -190,6 +198,34 @@ fn cmd_run_corpus(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("hyperroute-grid run-corpus: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_validate_corpus(args: &[String]) -> i32 {
+    let flags = Flags { args };
+    let scenarios = match flags.value("--scenarios") {
+        Ok(v) => v.unwrap_or("scenarios").to_string(),
+        Err(e) => return usage(&e),
+    };
+    let fix = flags.switch("--fix");
+    match validate_corpus(scenarios.as_ref(), fix) {
+        Ok(outcome) => {
+            print!("{}", outcome.summary());
+            if outcome.passed() {
+                println!(
+                    "validate-corpus: {} scenario files canonical",
+                    outcome.entries.len()
+                );
+                0
+            } else {
+                println!("validate-corpus: FAILED");
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("hyperroute-grid validate-corpus: {e}");
             1
         }
     }

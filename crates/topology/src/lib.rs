@@ -34,17 +34,21 @@
 
 pub mod arcs;
 pub mod butterfly;
+pub mod debruijn;
 pub mod dot;
 pub mod hypercube;
 pub mod levelled;
 pub mod node;
 pub mod ring;
 pub mod routing;
+pub mod torus;
 
 pub use arcs::{ArcKind, ButterflyArc, HypercubeArc};
 pub use butterfly::{Butterfly, ButterflyNode};
+pub use debruijn::DeBruijn;
 pub use hypercube::Hypercube;
 pub use levelled::{LevelledNetwork, ServerId};
 pub use node::NodeId;
 pub use ring::{Ring, RingDirection};
 pub use routing::RoutingTopology;
+pub use torus::{Torus, TorusDirection};

@@ -19,9 +19,10 @@
 //! The packet-level engines keep their packed per-arc fast paths (bit
 //! tricks over XOR masks for the hypercube, level words for the
 //! butterfly), but those fast paths must agree with the trait — the
-//! property tests pin them together, so "add a topology" means
-//! implementing this trait plus a ~100-line engine spec (see the ring,
-//! `hyperroute-core::ring_sim`, for the worked example).
+//! property tests pin them together. "Add a topology" means implementing
+//! this trait and nothing else: the blanket `GraphSpec<T>` in
+//! `hyperroute-core::graph_sim` runs any impl on the generic engine (the
+//! torus and de Bruijn graphs are the worked examples).
 //!
 //! Node encodings are plain `u64`s, chosen per topology:
 //!
@@ -29,12 +30,16 @@
 //! * [`Butterfly`]: `level · 2^d + row` (level-major); routing
 //!   destinations are level-`d` nodes.
 //! * [`Ring`]: the node id `0..n`.
+//! * [`Torus`]: the node id `0..k^d` (base-`k` digit vector).
+//! * [`DeBruijn`]: the `n`-bit shift-register word `0..2^n`.
 
 use crate::arcs::{ArcKind, ButterflyArc, HypercubeArc};
 use crate::butterfly::Butterfly;
+use crate::debruijn::DeBruijn;
 use crate::hypercube::Hypercube;
 use crate::node::NodeId;
 use crate::ring::Ring;
+use crate::torus::Torus;
 
 /// A network with dense arc indexing and deterministic greedy routing.
 ///
@@ -58,6 +63,25 @@ pub trait RoutingTopology {
 
     /// Hops a greedy route takes from `node` to `dest`.
     fn distance(&self, node: u64, dest: u64) -> usize;
+
+    /// Expected greedy path length under uniform destinations — a
+    /// **sizing hint** (the simulators use it to pick scheduler bucket
+    /// counts; correctness never depends on it). The default samples
+    /// distances out of node 0, which is exact for vertex-transitive
+    /// topologies; implementations with closed forms override it.
+    fn mean_distance_hint(&self) -> f64 {
+        let n = self.num_nodes();
+        let stride = n.div_ceil(4096).max(1);
+        let mut total = 0usize;
+        let mut count = 0usize;
+        let mut dest = 0usize;
+        while dest < n {
+            total += self.distance(0, dest as u64);
+            count += 1;
+            dest += stride;
+        }
+        total as f64 / count as f64
+    }
 }
 
 impl RoutingTopology for Hypercube {
@@ -96,6 +120,11 @@ impl RoutingTopology for Hypercube {
 
     fn distance(&self, node: u64, dest: u64) -> usize {
         NodeId(node).hamming(NodeId(dest)) as usize
+    }
+
+    /// Uniform destinations flip each bit with probability 1/2: `d/2`.
+    fn mean_distance_hint(&self) -> f64 {
+        self.dim() as f64 / 2.0
     }
 }
 
@@ -199,6 +228,88 @@ impl RoutingTopology for Ring {
     fn distance(&self, node: u64, dest: u64) -> usize {
         Ring::distance(*self, node, dest)
     }
+
+    /// Closed form: `(n-1)/2` clockwise-only, `⌊n²/4⌋/n` bidirectional.
+    fn mean_distance_hint(&self) -> f64 {
+        self.mean_path_length()
+    }
+}
+
+impl RoutingTopology for Torus {
+    fn num_nodes(&self) -> usize {
+        Torus::num_nodes(*self)
+    }
+
+    fn num_arcs(&self) -> usize {
+        Torus::num_arcs(*self)
+    }
+
+    /// Lowest differing dimension first (the hypercube's canonical
+    /// order), walked the shorter way around that digit's ring (ties
+    /// toward `+1`).
+    fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
+        if node == dest {
+            return None;
+        }
+        let (dim, dir) = self.greedy_step(node, dest);
+        Some(self.arc_index(node, dim, dir))
+    }
+
+    fn arc_tail(&self, arc: usize) -> u64 {
+        self.arc_from_index(arc).0
+    }
+
+    fn arc_head(&self, arc: usize) -> u64 {
+        let (node, dim, dir) = self.arc_from_index(arc);
+        self.step(node, dim, dir)
+    }
+
+    fn distance(&self, node: u64, dest: u64) -> usize {
+        Torus::distance(*self, node, dest)
+    }
+
+    /// Closed form: `d·⌊k²/4⌋/k` (independent uniform ring offsets).
+    fn mean_distance_hint(&self) -> f64 {
+        self.mean_path_length()
+    }
+}
+
+impl RoutingTopology for DeBruijn {
+    fn num_nodes(&self) -> usize {
+        DeBruijn::num_nodes(*self)
+    }
+
+    fn num_arcs(&self) -> usize {
+        DeBruijn::num_arcs(*self)
+    }
+
+    /// Shift in the destination's highest unmatched bit (the unique
+    /// shortest-path step; never a self-loop).
+    fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
+        if node == dest {
+            return None;
+        }
+        Some(self.arc_index(node, self.greedy_bit(node, dest)))
+    }
+
+    fn arc_tail(&self, arc: usize) -> u64 {
+        self.arc_from_index(arc).0
+    }
+
+    fn arc_head(&self, arc: usize) -> u64 {
+        let (node, bit) = self.arc_from_index(arc);
+        self.shift(node, bit)
+    }
+
+    fn distance(&self, node: u64, dest: u64) -> usize {
+        DeBruijn::distance(*self, node, dest)
+    }
+
+    /// Closed form for the node-0 row: `n - 1 + 2^-n` (see
+    /// [`DeBruijn::mean_path_length_hint`]).
+    fn mean_distance_hint(&self) -> f64 {
+        self.mean_path_length_hint()
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +372,60 @@ mod tests {
                 assert_eq!(b.distance(src, dest), 4);
                 assert_greedy_route(&b, src, dest);
             }
+        }
+    }
+
+    #[test]
+    fn torus_greedy_routes() {
+        let t = Torus::new(4, 2);
+        for src in 0..16u64 {
+            for dest in 0..16u64 {
+                assert_greedy_route(&t, src, dest);
+            }
+        }
+        assert_eq!(RoutingTopology::num_arcs(&t), 64);
+        assert_eq!(t.mean_distance_hint(), t.mean_path_length());
+    }
+
+    #[test]
+    fn debruijn_greedy_routes() {
+        let g = DeBruijn::new(4);
+        for src in 0..16u64 {
+            for dest in 0..16u64 {
+                assert_greedy_route(&g, src, dest);
+            }
+        }
+        assert_eq!(RoutingTopology::num_arcs(&g), 30);
+    }
+
+    #[test]
+    fn default_mean_distance_hint_samples_node_zero_row() {
+        // The ring override (closed form) must agree with the default
+        // sampling implementation on a vertex-transitive topology.
+        struct Plain(Ring);
+        impl RoutingTopology for Plain {
+            fn num_nodes(&self) -> usize {
+                RoutingTopology::num_nodes(&self.0)
+            }
+            fn num_arcs(&self) -> usize {
+                RoutingTopology::num_arcs(&self.0)
+            }
+            fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
+                self.0.next_arc(node, dest)
+            }
+            fn arc_tail(&self, arc: usize) -> u64 {
+                RoutingTopology::arc_tail(&self.0, arc)
+            }
+            fn arc_head(&self, arc: usize) -> u64 {
+                RoutingTopology::arc_head(&self.0, arc)
+            }
+            fn distance(&self, node: u64, dest: u64) -> usize {
+                RoutingTopology::distance(&self.0, node, dest)
+            }
+        }
+        for bidirectional in [false, true] {
+            let ring = Ring::new(24, bidirectional);
+            assert_eq!(Plain(ring).mean_distance_hint(), ring.mean_distance_hint());
         }
     }
 

@@ -26,19 +26,19 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`topology`] | hypercube, butterfly, ring, the generic `RoutingTopology` trait, canonical paths, equivalent networks Q/R, DOT figures |
+//! | [`topology`] | hypercube, butterfly, ring, torus, de Bruijn, the generic `RoutingTopology` trait, canonical paths, equivalent networks Q/R, DOT figures |
 //! | [`desim`] | event schedulers (binary heap + calendar queue), RNG streams, statistics |
 //! | [`queueing`] | M/M/1, M/D/1, M/D/s, FIFO/PS sample-path servers, product form |
 //! | [`analysis`] | every proposition's bound as a function |
 //! | [`routing`] | the topology-generic engine, the scenario API, and the per-topology simulator specs (crate `hyperroute-core`) |
 //! | [`grid`] | sharded sweep campaigns: slice jobs, thread-pool/subprocess backends, checkpointed manifests, the scenario-corpus regression gate (crate `hyperroute-grid`) |
-//! | [`experiments`] | the E01–E24 harnesses and result tables |
+//! | [`experiments`] | the E01–E26 harnesses and result tables |
 //!
 //! ## Quick start
 //!
 //! One typed [`prelude::Scenario`] drives every topology — hypercube,
-//! butterfly, ring, the equivalent queueing networks, and the pipelined
-//! baseline — through **one** topology-generic engine
+//! butterfly, ring, torus, de Bruijn, the equivalent queueing networks,
+//! and the pipelined baseline — through **one** topology-generic engine
 //! (`hyperroute_core::engine`), serialises to JSON scenario files, and
 //! expands into deterministic parameter [`prelude::Sweep`]s:
 //!
@@ -104,18 +104,19 @@ pub mod prelude {
         universal_lower_bound, DelayBounds,
     };
     pub use hyperroute_analysis::load::{butterfly_load_factor, hypercube_load_factor};
+    pub use hyperroute_core::config::{FaultFallback, FaultMode, FaultSpec};
     pub use hyperroute_core::equivalent_network::Discipline;
     pub use hyperroute_core::observe::{
         BufferedObserver, NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
     };
     pub use hyperroute_core::scenario::{
-        Axis, ConfigError, EqNetSpec, Report, ReportExt, Scenario, ScenarioFileError, Simulator,
-        Sweep, SweepParam, Topology,
+        Axis, ConfigError, EqNetSpec, GraphExt, Report, ReportExt, Scenario, ScenarioFileError,
+        Simulator, Sweep, SweepParam, Topology,
     };
     pub use hyperroute_core::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
     pub use hyperroute_experiments::{Scale, Table};
     pub use hyperroute_topology::{
-        Butterfly, Hypercube, LevelledNetwork, NodeId, Ring, RoutingTopology,
+        Butterfly, DeBruijn, Hypercube, LevelledNetwork, NodeId, Ring, RoutingTopology, Torus,
     };
 }
 

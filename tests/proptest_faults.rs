@@ -1,0 +1,109 @@
+//! Property tests of the fault-mask workloads: **no packet is ever
+//! stranded silently**. Whatever the topology, contention policy,
+//! fallback and fault pattern, a drained run accounts for every generated
+//! packet as either delivered or dropped — conservation is exact, and the
+//! report's delivered/dropped split agrees with the totals.
+
+use hyperroute::prelude::*;
+use proptest::prelude::*;
+
+/// Run a faulty scenario to completion and assert exact conservation.
+fn assert_conservation(
+    topology: Topology,
+    lambda: f64,
+    spec: FaultSpec,
+    contention: ContentionPolicy,
+) {
+    let scenario = Scenario::builder(topology.clone())
+        .lambda(lambda)
+        .contention(contention)
+        .horizon(120.0)
+        .warmup(20.0)
+        .seed(0xFA)
+        .faults(Some(spec))
+        .build()
+        .expect("valid faulty scenario");
+    let report = scenario.run().expect("runs to completion");
+    let ext = report
+        .graph()
+        .expect("faulty runs report the graph extension");
+    assert_eq!(
+        report.generated,
+        report.delivered + ext.dropped,
+        "stranded packets on {topology:?}: generated {} != delivered {} + dropped {}",
+        report.generated,
+        report.delivered,
+        ext.dropped
+    );
+    assert!(
+        ext.dropped_in_window <= ext.dropped,
+        "window drops exceed total drops"
+    );
+    // Measured splits stay within the totals.
+    assert!(report.delay.count <= report.delivered);
+    if ext.dead_arcs == 0 {
+        assert_eq!(ext.dropped, 0, "drops without dead arcs");
+    }
+    // Rerunning is bit-identical (fault pattern + traffic both seeded).
+    let again = scenario.run().expect("reruns");
+    assert_eq!(report, again, "faulty run not deterministic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn faulty_runs_conserve_packets_across_topologies_and_policies(
+        fraction in 0.0f64..0.5,
+        fault_seed in any::<u64>(),
+        contention_pick in 0usize..3,
+        drop_fallback in any::<bool>(),
+        topo_pick in 0usize..4,
+    ) {
+        let contention = [
+            ContentionPolicy::Fifo,
+            ContentionPolicy::Lifo,
+            ContentionPolicy::Random,
+        ][contention_pick];
+        let fallback = if drop_fallback {
+            FaultFallback::Drop
+        } else {
+            FaultFallback::Detour
+        };
+        let (topology, lambda) = match topo_pick {
+            0 => (Topology::Hypercube { dim: 3 }, 0.8),
+            1 => (Topology::Ring { nodes: 12, bidirectional: true }, 0.2),
+            2 => (Topology::Torus { radix: 4, dim: 2 }, 0.35),
+            _ => (Topology::DeBruijn { dim: 4 }, 0.12),
+        };
+        let spec = FaultSpec {
+            mode: FaultMode::Seeded { fraction, seed: fault_seed },
+            fallback,
+        };
+        assert_conservation(topology, lambda, spec, contention);
+    }
+
+    #[test]
+    fn explicit_masks_conserve_packets_too(
+        dead_bits in any::<u32>(),
+        drop_fallback in any::<bool>(),
+    ) {
+        // A 12-node unidirectional ring has 12 arcs; kill an arbitrary
+        // subset chosen by the low 12 bits.
+        let arcs: Vec<usize> = (0..12).filter(|i| dead_bits >> i & 1 == 1).collect();
+        let spec = FaultSpec {
+            mode: FaultMode::Explicit { arcs },
+            fallback: if drop_fallback {
+                FaultFallback::Drop
+            } else {
+                FaultFallback::Detour
+            },
+        };
+        assert_conservation(
+            Topology::Ring { nodes: 12, bidirectional: false },
+            0.15,
+            spec,
+            ContentionPolicy::Fifo,
+        );
+    }
+}

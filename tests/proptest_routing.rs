@@ -2,10 +2,11 @@
 //! generic simulation core routes over.
 //!
 //! Two properties, over every implementation (hypercube, butterfly, ring
-//! clockwise-only and bidirectional — which between them back all five
-//! simulator instantiations: the equivalent networks route over the
-//! hypercube/butterfly graphs and the pipelined scheme batch-routes the
-//! hypercube):
+//! clockwise-only and bidirectional, torus, de Bruijn — which between
+//! them back every simulator instantiation: the equivalent networks
+//! route over the hypercube/butterfly graphs, the pipelined scheme
+//! batch-routes the hypercube, and the blanket `GraphSpec` runs any of
+//! them as pure data):
 //!
 //! 1. **Strict greedy progress**: for any `(node, dest)`, `next_arc`
 //!    leaves from `node` and its head is exactly one hop closer to
@@ -105,9 +106,40 @@ proptest! {
     }
 
     #[test]
+    fn torus_greedy_strictly_decreases_distance(
+        radix in 3usize..=9,
+        dim in 1usize..=3,
+        src_bits in any::<u64>(),
+        dest_bits in any::<u64>(),
+    ) {
+        let torus = Torus::new(radix, dim);
+        let n = torus.num_nodes() as u64;
+        let (src, dest) = (src_bits % n, dest_bits % n);
+        let hops = walk_greedy(&torus, src, dest);
+        prop_assert_eq!(hops, torus.distance(src, dest));
+        prop_assert!(hops <= torus.diameter());
+    }
+
+    #[test]
+    fn debruijn_greedy_strictly_decreases_distance(
+        dim in 1usize..=10,
+        src_bits in any::<u64>(),
+        dest_bits in any::<u64>(),
+    ) {
+        let g = DeBruijn::new(dim);
+        let mask = (1u64 << dim) - 1;
+        let (src, dest) = (src_bits & mask, dest_bits & mask);
+        let hops = walk_greedy(&g, src, dest);
+        prop_assert_eq!(hops, g.distance(src, dest));
+        // The shift route never exceeds the diameter n.
+        prop_assert!(hops <= dim);
+    }
+
+    #[test]
     fn arc_enumeration_matches_topology_arc_counts(
         dim in 1usize..=8,
         nodes in 3usize..=64,
+        radix in 3usize..=8,
         bidirectional in any::<bool>(),
     ) {
         let cube = Hypercube::new(dim);
@@ -122,6 +154,14 @@ proptest! {
         let expected = if bidirectional { 2 * nodes } else { nodes };
         prop_assert_eq!(RoutingTopology::num_arcs(&ring), expected);
         check_arc_enumeration(&ring);
+
+        let torus = Torus::new(radix, 2);
+        prop_assert_eq!(RoutingTopology::num_arcs(&torus), radix * radix * 4);
+        check_arc_enumeration(&torus);
+
+        let db = DeBruijn::new(dim);
+        prop_assert_eq!(RoutingTopology::num_arcs(&db), (2 << dim) - 2);
+        check_arc_enumeration(&db);
     }
 
     /// The hypercube spec's packed fast path (trailing_zeros over the XOR

@@ -330,11 +330,17 @@ pub mod __private {
         key: &str,
         ty: &str,
     ) -> Result<T, DeError> {
-        let value = obj
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| DeError(format!("missing field `{key}` of {ty}")))?;
+        let value = match obj.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => v,
+            // Absent key: try deserializing from `null`, which succeeds
+            // exactly for `Option` fields (as `None`) — matching real
+            // serde's implicitly-optional treatment of `Option<T>` struct
+            // fields — and keeps the "missing field" error for the rest.
+            None => {
+                return T::from_value(&Value::Null)
+                    .map_err(|_| DeError(format!("missing field `{key}` of {ty}")))
+            }
+        };
         T::from_value(value).map_err(|e| DeError(format!("{ty}.{key}: {e}")))
     }
 
@@ -378,6 +384,18 @@ mod tests {
     fn out_of_range_integers_error() {
         assert!(u8::from_value(&Value::U64(300)).is_err());
         assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn absent_field_is_none_for_options_and_error_otherwise() {
+        let obj = [(String::from("present"), Value::U64(3))];
+        assert_eq!(
+            __private::field::<Option<u64>>(&obj, "absent", "T"),
+            Ok(None)
+        );
+        assert_eq!(__private::field::<u64>(&obj, "present", "T"), Ok(3));
+        let err = __private::field::<u64>(&obj, "absent", "T").unwrap_err();
+        assert!(err.0.contains("missing field `absent`"), "{err}");
     }
 
     #[test]
