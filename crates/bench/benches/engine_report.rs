@@ -29,9 +29,9 @@
 //! current schema.
 //!
 //! A `ring` section benches the fifth topology on the same engine, and
-//! `torus` / `debruijn` sections bench the blanket `GraphSpec`
-//! trait-impl-only topologies (same cell keys at every scale, so CI can
-//! diff cells across reports).
+//! `torus` / `debruijn` / `fattree` sections bench the blanket
+//! `GraphSpec` trait-impl-only topologies (same cell keys at every
+//! scale, so CI can diff cells across reports).
 //!
 //! Scale: `HYPERROUTE_SCALE=full` lengthens the horizon and adds
 //! repetitions; the default `quick` keeps the grid under a minute;
@@ -115,6 +115,20 @@ fn run_torus(
 
 fn run_debruijn(kind: SchedulerKind, dim: usize, lambda: f64, horizon: f64) -> (f64, u64, u64) {
     let scenario = Scenario::builder(Topology::DeBruijn { dim })
+        .lambda(lambda)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(7)
+        .scheduler(kind)
+        .build()
+        .expect("valid scenario");
+    let start = Instant::now();
+    let r = scenario.run().expect("scenario runs");
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
+fn run_fattree(kind: SchedulerKind, levels: usize, lambda: f64, horizon: f64) -> (f64, u64, u64) {
+    let scenario = Scenario::builder(Topology::FatTree { levels })
         .lambda(lambda)
         .horizon(horizon)
         .warmup(horizon * 0.2)
@@ -222,8 +236,9 @@ fn main() {
     // The non-hypercube topologies on the same engine, both scheduler
     // backends (cell key = sim name + node count + nominal load):
     // a 256-node bidirectional ring near per-direction ρ ≈ 0.8, a
-    // 16-ary 2-cube at ρ ≈ 0.8, and a 1024-node de Bruijn graph at a
-    // mean per-arc load ≈ 0.45 — the last two on the blanket GraphSpec.
+    // 16-ary 2-cube at ρ ≈ 0.8, a 1024-node de Bruijn graph at a mean
+    // per-arc load ≈ 0.45, and a 256-leaf fat tree at a nominal up-link
+    // load ≈ 0.5 — all but the ring on the blanket GraphSpec.
     let ring_nodes = 256usize;
     type TopoRun = (
         &'static str,
@@ -249,6 +264,12 @@ fn main() {
             1024,
             0.45,
             Box::new(move |kind| run_debruijn(kind, 10, 0.1, horizon)),
+        ),
+        (
+            "fattree",
+            256,
+            0.5,
+            Box::new(move |kind| run_fattree(kind, 8, 0.18, horizon)),
         ),
     ];
     for (sim, size, rho, runner) in &extra {
@@ -291,7 +312,7 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"engine\",");
     let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(json, "  \"scale\": \"{scale}\",");
-    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5 (+ ring n={ring_nodes} bidirectional, torus 16^2, de Bruijn n=1024 on the blanket GraphSpec), horizon {horizon}, warmup 20%, best of {reps}\",");
+    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5 (+ ring n={ring_nodes} bidirectional, torus 16^2, de Bruijn n=1024, fat tree 256 leaves on the blanket GraphSpec), horizon {horizon}, warmup 20%, best of {reps}\",");
     let _ = writeln!(
         json,
         "  \"baseline\": \"seed = frozen pre-PR engine (binary-heap FEL, VecDeque arc queues, per-event asserts, in-queue arrival events); heap/calendar = generic engine (dequeued arrival stream + peek_payload prefetch) on each scheduler backend\","
@@ -323,6 +344,7 @@ fn main() {
         "\"sim\": \"ring\"",
         "\"sim\": \"torus\"",
         "\"sim\": \"debruijn\"",
+        "\"sim\": \"fattree\"",
         "\"headline\"",
     ] {
         assert!(json.contains(key), "emitted report lost schema key {key}");

@@ -103,6 +103,14 @@ pub enum ConfigError {
         /// Number of arcs the topology has.
         num_arcs: usize,
     },
+    /// Retry fallback configured with a zero budget (a packet must be
+    /// allowed at least one paid deflection to differ from `Drop`).
+    RetryBudget,
+    /// Dynamic fault-arrival rate is negative, NaN or infinite.
+    FaultRate(
+        /// The rejected rate.
+        f64,
+    ),
     /// The requested combination is meaningless for the chosen topology
     /// (e.g. a routing scheme on the butterfly, whose paths are unique).
     Unsupported {
@@ -173,6 +181,12 @@ impl fmt::Display for ConfigError {
                 f,
                 "explicit dead arc {index} outside the topology's arc space 0..{num_arcs}"
             ),
+            ConfigError::RetryBudget => {
+                write!(f, "retry fallback needs a budget of at least 1 deflection")
+            }
+            ConfigError::FaultRate(r) => {
+                write!(f, "fault arrival rate {r} must be finite and non-negative")
+            }
             ConfigError::Unsupported { topology, feature } => {
                 write!(f, "the {topology} topology does not support {feature}")
             }
@@ -537,10 +551,31 @@ impl DestinationSpec {
 /// a delivered/dropped split in the report's graph extension.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
-    /// Which arcs are dead.
+    /// Which arcs are dead at the start of the run.
     pub mode: FaultMode,
     /// What a packet does when its greedy arc is dead.
     pub fallback: FaultFallback,
+    /// Optional **dynamic** fault process: further arcs die mid-run at
+    /// seeded exponential interarrival times, on top of the static
+    /// `mode` mask. `None` (the default, omitted from serialised specs)
+    /// keeps the fault pattern fixed at `t = 0`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dynamics: Option<FaultArrivals>,
+}
+
+/// A seeded Poisson process of arc deaths for [`FaultSpec::dynamics`]:
+/// every `Exp(rate)` time units another uniformly-chosen arc dies
+/// (already-dead picks are idempotent, so the kill rate tapers as the
+/// mask fills). The process has its own RNG seed, independent of both
+/// the traffic seed and the static-mask seed, so sweeps can vary any of
+/// the three alone.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultArrivals {
+    /// Mean arc deaths per unit time (must be finite and non-negative;
+    /// `0` disables the process).
+    pub rate: f64,
+    /// Seed of the dedicated fault-arrival RNG.
+    pub seed: u64,
 }
 
 /// How the dead-arc set of a [`FaultSpec`] is chosen.
@@ -564,7 +599,9 @@ pub enum FaultMode {
 }
 
 /// Fallback applied when a packet's greedy arc is dead ("next arc
-/// unavailable" hook).
+/// unavailable" hook). The four arms span the free/paid × single/multi
+/// recovery space; the `hyperroute-core` crate docs walk through all
+/// four on a worked butterfly example.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum FaultFallback {
     /// Deterministically scan the node's other outgoing arcs in dense
@@ -575,6 +612,22 @@ pub enum FaultFallback {
     Detour,
     /// Drop the packet immediately.
     Drop,
+    /// Detour when a free (strict-progress) live arc exists; otherwise
+    /// spend one unit of the packet's deflection budget on **any** live
+    /// arc out of the node — scanned dense-index-first, then the
+    /// topology's ranked alternates (which on the butterfly reach the
+    /// level-`d` wrap back into a fresh pass). A packet whose budget is
+    /// exhausted with no free arc is dropped, so routes still terminate.
+    Retry {
+        /// Paid (non-progress) deflections allowed per packet, `>= 1`.
+        budget: u16,
+    },
+    /// Consult the topology's **ranked alternate arcs**
+    /// (`RoutingTopology::alternate_arcs`) and take the first live one —
+    /// free when it makes strict progress, otherwise one of a bounded
+    /// number of paid deflections per packet; drop when no ranked
+    /// alternate is live or the deflection bound is spent.
+    Multipath,
 }
 
 impl FaultSpec {
@@ -592,7 +645,25 @@ impl FaultSpec {
                 }
             }
         }
+        if matches!(self.fallback, FaultFallback::Retry { budget: 0 }) {
+            return Err(ConfigError::RetryBudget);
+        }
+        if let Some(FaultArrivals { rate, .. }) = self.dynamics {
+            if !(rate.is_finite() && rate >= 0.0) {
+                return Err(ConfigError::FaultRate(rate));
+            }
+        }
         Ok(())
+    }
+
+    /// Whether any arc can ever be dead under this spec — `false` only
+    /// for a statically-empty mask with no dynamic arrivals.
+    pub fn can_kill(&self) -> bool {
+        let static_kill = match &self.mode {
+            FaultMode::Seeded { fraction, .. } => *fraction > 0.0,
+            FaultMode::Explicit { arcs } => !arcs.is_empty(),
+        };
+        static_kill || self.dynamics.is_some_and(|d| d.rate > 0.0)
     }
 }
 
@@ -778,6 +849,7 @@ mod tests {
                 seed: 7,
             },
             fallback: FaultFallback::Detour,
+            dynamics: None,
         };
         assert!(ok.validate(64).is_ok());
         let bad_fraction = FaultSpec {
@@ -786,6 +858,7 @@ mod tests {
                 seed: 7,
             },
             fallback: FaultFallback::Drop,
+            dynamics: None,
         };
         assert_eq!(
             bad_fraction.validate(64),
@@ -794,6 +867,7 @@ mod tests {
         let bad_arc = FaultSpec {
             mode: FaultMode::Explicit { arcs: vec![3, 64] },
             fallback: FaultFallback::Drop,
+            dynamics: None,
         };
         assert_eq!(
             bad_arc.validate(64),
@@ -802,6 +876,90 @@ mod tests {
                 num_arcs: 64,
             })
         );
+    }
+
+    #[test]
+    fn retry_and_dynamics_validation() {
+        let base = FaultSpec {
+            mode: FaultMode::Seeded {
+                fraction: 0.1,
+                seed: 7,
+            },
+            fallback: FaultFallback::Retry { budget: 3 },
+            dynamics: None,
+        };
+        assert!(base.validate(64).is_ok());
+        let zero_budget = FaultSpec {
+            fallback: FaultFallback::Retry { budget: 0 },
+            ..base.clone()
+        };
+        assert_eq!(zero_budget.validate(64), Err(ConfigError::RetryBudget));
+        let dynamic = FaultSpec {
+            fallback: FaultFallback::Multipath,
+            dynamics: Some(FaultArrivals { rate: 0.5, seed: 9 }),
+            ..base.clone()
+        };
+        assert!(dynamic.validate(64).is_ok());
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let spec = FaultSpec {
+                dynamics: Some(FaultArrivals { rate: bad, seed: 9 }),
+                ..base.clone()
+            };
+            assert!(matches!(spec.validate(64), Err(ConfigError::FaultRate(_))));
+        }
+    }
+
+    #[test]
+    fn can_kill_accounts_for_statics_and_dynamics() {
+        let empty = FaultSpec {
+            mode: FaultMode::Explicit { arcs: vec![] },
+            fallback: FaultFallback::Detour,
+            dynamics: None,
+        };
+        assert!(!empty.can_kill());
+        assert!(FaultSpec {
+            dynamics: Some(FaultArrivals { rate: 0.1, seed: 1 }),
+            ..empty.clone()
+        }
+        .can_kill());
+        assert!(!FaultSpec {
+            dynamics: Some(FaultArrivals { rate: 0.0, seed: 1 }),
+            ..empty.clone()
+        }
+        .can_kill());
+        assert!(FaultSpec {
+            mode: FaultMode::Seeded {
+                fraction: 0.2,
+                seed: 3,
+            },
+            ..empty
+        }
+        .can_kill());
+    }
+
+    #[test]
+    fn fault_spec_serde_is_backward_compatible() {
+        // Specs written before the dynamics field existed still parse,
+        // and a static spec round-trips without serialising `dynamics` —
+        // this is what keeps the pre-existing corpus scenarios
+        // byte-identical.
+        let legacy = r#"{"mode":{"Seeded":{"fraction":0.15,"seed":77}},"fallback":"Detour"}"#;
+        let spec: FaultSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(spec.dynamics, None);
+        assert_eq!(serde_json::to_string(&spec).unwrap(), legacy);
+        let dynamic = FaultSpec {
+            dynamics: Some(FaultArrivals { rate: 0.5, seed: 9 }),
+            ..spec
+        };
+        let json = serde_json::to_string(&dynamic).unwrap();
+        assert!(json.contains("dynamics"));
+        assert_eq!(serde_json::from_str::<FaultSpec>(&json).unwrap(), dynamic);
+    }
+
+    #[test]
+    fn new_fault_error_messages_render() {
+        assert!(ConfigError::RetryBudget.to_string().contains("at least 1"));
+        assert!(ConfigError::FaultRate(-2.0).to_string().contains("-2"));
     }
 
     #[test]

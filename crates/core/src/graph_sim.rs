@@ -15,18 +15,22 @@
 //! ROADMAP's related-work directions call for:
 //!
 //! * **Arc-fault masks** (Angel et al., *Routing Complexity of Faulty
-//!   Networks*): a seeded or explicit set of dead arcs. When a packet's
-//!   greedy arc is dead, the [`FaultFallback`] hook either detours —
-//!   deterministically scanning the node's other outgoing arcs for a
-//!   live one that still makes strict shortest-path progress (so routes
-//!   terminate) — or drops. Drops are first-class: the engine keeps
+//!   Networks*): a seeded or explicit set of dead arcs, optionally grown
+//!   mid-run by a seeded fault-arrival process
+//!   ([`FaultSpec::dynamics`](crate::config::FaultSpec)). When a packet's
+//!   greedy arc is dead, the [`FaultFallback`] hook picks one of four
+//!   recoveries — `Drop`, `Detour` (first live strict-progress arc),
+//!   `Retry` (paid deflections onto any live arc, bounded by a per-packet
+//!   budget carried in the packet itself), or `Multipath` (the
+//!   topology's ranked alternate arcs) — see the crate docs for the
+//!   worked four-way example. Drops are first-class: the engine keeps
 //!   `generated == delivered + dropped` exact, and the report's
 //!   [`GraphExt`] carries the split.
 //! * **Skewed destination laws**: uniform, Eq.-(1) bit-flips (for the
 //!   faulty hypercube), an arbitrary weighted-node pmf, and Papillon's
 //!   power-law ring offsets — see [`GraphDestination`].
 
-use crate::config::{FaultFallback, FaultMode, FaultSpec};
+use crate::config::{FaultArrivals, FaultFallback, FaultMode, FaultSpec};
 use crate::engine::{Advance, ArcChoice, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
 use crate::metrics::MetricsCollector;
 use crate::observe::{NullObserver, Observer};
@@ -36,13 +40,17 @@ use hyperroute_desim::SimRng;
 use hyperroute_topology::RoutingTopology;
 
 /// An in-flight packet of the blanket spec: birth time, absolute
-/// destination node, hops taken. Its current node is implied by the arc
-/// queue holding it.
+/// destination node, hops taken, and paid deflections spent — the
+/// per-packet retry state of the `Retry`/`Multipath` fallbacks rides in
+/// the packet's existing 16-byte headroom (sst-macro packs its PAR
+/// retry header the same way), so the packet stays two words. Its
+/// current node is implied by the arc queue holding it.
 #[derive(Clone, Copy, Debug)]
 pub struct GraphPacket {
     born: f64,
     dest: u32,
     hops: u16,
+    tries: u16,
 }
 
 impl EnginePacket for GraphPacket {
@@ -73,6 +81,25 @@ pub enum GraphDestination {
     /// (translation-invariant; never self-destined): destination =
     /// `(origin + 1 + index) mod n`.
     OffsetCdf(Vec<f64>),
+    /// The faulty butterfly's law: from source row `x` (a level-0 node
+    /// id) route to the level-`d` node of row `x ⊕ mask` with each of
+    /// `dim` mask bits flipped independently with probability `p` — the
+    /// Eq. (1) bit-flip law lifted onto the level-major butterfly
+    /// encoding. Never self-delivers (source and destination sit on
+    /// different levels).
+    RowFlip {
+        /// Butterfly dimension `d` (row width and destination level).
+        dim: usize,
+        /// Per-bit flip probability.
+        p: f64,
+    },
+    /// Uniform over the first `count` node ids — the fat tree's law
+    /// (destinations are the leaves, node ids `0..2^L`; destination =
+    /// origin self-delivers).
+    LeafUniform(
+        /// Number of leaves.
+        usize,
+    ),
 }
 
 impl GraphDestination {
@@ -109,20 +136,34 @@ fn cdf_of_scaled(weights: &[f64], total: f64) -> Vec<f64> {
     cdf
 }
 
-/// The realised dead-arc set plus the adjacency index the detour fallback
-/// scans.
+/// Paid (non-progress) deflections a `Multipath` packet may spend before
+/// it drops — a termination backstop, not a tuning knob: ranked
+/// alternates regress by a bounded stretch, so honest recoveries use a
+/// handful. Mirrors `Retry`'s explicit per-packet budget.
+const MULTIPATH_DEFLECTION_CAP: u16 = 64;
+
+/// The realised dead-arc set, the adjacency index the detour-style
+/// fallbacks scan, and the pre-drawn dynamic fault-arrival schedule.
 struct FaultState {
     dead: Vec<bool>,
     dead_count: u64,
     fallback: FaultFallback,
     /// CSR adjacency over dense arc indices, grouped by tail node — the
-    /// deterministic scan order of [`FaultFallback::Detour`].
+    /// deterministic scan order of [`FaultFallback::Detour`] and
+    /// [`FaultFallback::Retry`].
     out_start: Vec<u32>,
     out_arcs: Vec<u32>,
+    /// Dynamic arc deaths `(time, arc)` in time order, pre-drawn from the
+    /// dedicated fault-arrival RNG so the pattern is a function of the
+    /// arrival seed alone; applied lazily as simulation time passes.
+    schedule: Vec<(f64, u32)>,
+    cursor: usize,
+    /// Scratch for [`RoutingTopology::alternate_arcs`] enumerations.
+    alt_buf: Vec<usize>,
 }
 
 impl FaultState {
-    fn build<T: RoutingTopology>(topo: &T, spec: &FaultSpec) -> FaultState {
+    fn build<T: RoutingTopology>(topo: &T, spec: &FaultSpec, horizon: f64) -> FaultState {
         let num_arcs = topo.num_arcs();
         let mut dead = vec![false; num_arcs];
         match &spec.mode {
@@ -145,11 +186,35 @@ impl FaultState {
                 }
             }
         }
+        // Dynamic deaths: exponential interarrivals up to the generation
+        // horizon, each killing a uniformly-chosen arc (re-killing a dead
+        // arc is an idempotent no-op, so the effective rate tapers).
+        let schedule = match spec.dynamics {
+            Some(FaultArrivals { rate, seed }) if rate > 0.0 => {
+                let mut rng = SimRng::new(seed);
+                let mut t = 0.0;
+                let mut events = Vec::new();
+                loop {
+                    t += rng.exp(rate);
+                    if t >= horizon {
+                        break;
+                    }
+                    events.push((t, rng.below(num_arcs) as u32));
+                }
+                events
+            }
+            _ => Vec::new(),
+        };
         // Counting-sort CSR of arcs by tail node (most topologies already
         // enumerate node-major, but the trait does not promise it). Only
-        // the detour fallback ever scans it; Drop runs skip the build —
-        // two full arc passes and ~8 bytes/arc on large topologies.
-        let (out_start, out_arcs) = if spec.fallback == FaultFallback::Detour {
+        // the detour-scanning fallbacks (Detour, Retry) ever read it;
+        // Drop and Multipath runs skip the build — two full arc passes
+        // and ~8 bytes/arc on large topologies.
+        let scans_csr = matches!(
+            spec.fallback,
+            FaultFallback::Detour | FaultFallback::Retry { .. }
+        );
+        let (out_start, out_arcs) = if scans_csr {
             let nodes = topo.num_nodes();
             let mut out_start = vec![0u32; nodes + 1];
             for arc in 0..num_arcs {
@@ -175,6 +240,25 @@ impl FaultState {
             fallback: spec.fallback,
             out_start,
             out_arcs,
+            schedule,
+            cursor: 0,
+            alt_buf: Vec::new(),
+        }
+    }
+
+    /// Apply every scheduled arc death at or before `t`. Arcs only ever
+    /// die (never revive), so the strict-progress termination arguments
+    /// of the fallbacks are unaffected by dynamics.
+    fn apply_until(&mut self, t: f64) {
+        while let Some(&(when, arc)) = self.schedule.get(self.cursor) {
+            if when > t {
+                break;
+            }
+            self.cursor += 1;
+            if !self.dead[arc as usize] {
+                self.dead[arc as usize] = true;
+                self.dead_count += 1;
+            }
         }
     }
 
@@ -188,6 +272,71 @@ impl FaultState {
             .iter()
             .map(|&a| a as usize)
             .find(|&a| !self.dead[a] && topo.distance(topo.arc_head(a), dest) < here)
+    }
+
+    /// `Retry`: a free detour when one exists; otherwise spend one unit
+    /// of the packet's budget on **any** live arc out of the node —
+    /// dense CSR order first, then the topology's ranked alternates
+    /// (which reach arcs whose tail differs from `node`, like the
+    /// butterfly's level-`d` wrap back into a fresh pass). Returns the
+    /// arc and whether it was paid, or `None` (→ drop).
+    fn retry<T: RoutingTopology>(
+        &mut self,
+        topo: &T,
+        node: u64,
+        dest: u64,
+        tries: u16,
+        budget: u16,
+    ) -> Option<(usize, bool)> {
+        if let Some(live) = self.detour(topo, node, dest) {
+            return Some((live, false));
+        }
+        if tries >= budget {
+            return None;
+        }
+        let range =
+            self.out_start[node as usize] as usize..self.out_start[node as usize + 1] as usize;
+        if let Some(any) = self.out_arcs[range]
+            .iter()
+            .map(|&a| a as usize)
+            .find(|&a| !self.dead[a])
+        {
+            return Some((any, true));
+        }
+        self.alt_buf.clear();
+        topo.alternate_arcs(node, dest, &mut self.alt_buf);
+        self.alt_buf
+            .iter()
+            .find(|&&a| !self.dead[a])
+            .map(|&a| (a, true))
+    }
+
+    /// `Multipath`: the first live arc of the topology's ranked
+    /// alternates — free when it makes strict progress, else one of the
+    /// packet's capped paid deflections. Returns the arc and whether it
+    /// was paid, or `None` (→ drop).
+    fn multipath<T: RoutingTopology>(
+        &mut self,
+        topo: &T,
+        node: u64,
+        dest: u64,
+        tries: u16,
+    ) -> Option<(usize, bool)> {
+        self.alt_buf.clear();
+        topo.alternate_arcs(node, dest, &mut self.alt_buf);
+        let here = topo.distance(node, dest);
+        for &alt in &self.alt_buf {
+            if self.dead[alt] {
+                continue;
+            }
+            if topo.distance(topo.arc_head(alt), dest) < here {
+                return Some((alt, false));
+            }
+            if tries < MULTIPATH_DEFLECTION_CAP {
+                return Some((alt, true));
+            }
+        }
+        None
     }
 }
 
@@ -206,9 +355,15 @@ pub struct GraphSpec<T: RoutingTopology> {
 }
 
 impl<T: RoutingTopology> GraphSpec<T> {
-    /// Build the spec (materialising the fault mask, if any).
-    pub fn new(topo: T, dest: GraphDestination, faults: Option<&FaultSpec>) -> GraphSpec<T> {
-        let faults = faults.map(|f| FaultState::build(&topo, f));
+    /// Build the spec (materialising the fault mask and pre-drawing the
+    /// dynamic fault-arrival schedule up to `horizon`, if any).
+    pub fn new(
+        topo: T,
+        dest: GraphDestination,
+        faults: Option<&FaultSpec>,
+        horizon: f64,
+    ) -> GraphSpec<T> {
+        let faults = faults.map(|f| FaultState::build(&topo, f, horizon));
         GraphSpec {
             hint: topo.mean_distance_hint(),
             arc_arrivals: vec![0; topo.num_arcs()],
@@ -244,7 +399,7 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
     type Pkt = GraphPacket;
 
     fn num_sources(&self) -> usize {
-        self.topo.num_nodes()
+        self.topo.num_sources()
     }
 
     fn num_arcs(&self) -> usize {
@@ -273,6 +428,10 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
                 let offset = cdf.partition_point(|&c| c <= u) as u64 + 1;
                 ((source as u64 + offset) % n as u64) as u32
             }
+            GraphDestination::RowFlip { dim, p } => {
+                ((*dim as u32) << *dim) | (source ^ sample_flip_mask(dest_rng, *dim, *p))
+            }
+            GraphDestination::LeafUniform(count) => dest_rng.below(*count) as u32,
         };
         if dest == source {
             Spawn::SelfDeliver
@@ -281,32 +440,41 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
                 born: t,
                 dest,
                 hops: 0,
+                tries: 0,
             })
         }
     }
 
     fn choose_arc(
         &mut self,
-        _t: f64,
+        t: f64,
         in_window: bool,
         node: u32,
         pkt: &mut GraphPacket,
         _route_rng: &mut SimRng,
     ) -> ArcChoice {
-        let mut arc = self
-            .topo
-            .next_arc(node as u64, pkt.dest as u64)
+        let (node, dest) = (node as u64, pkt.dest as u64);
+        let topo = &self.topo;
+        let mut arc = topo
+            .next_arc(node, dest)
             .expect("routed packet is never at its destination");
-        if let Some(faults) = &self.faults {
+        if let Some(faults) = self.faults.as_mut() {
+            faults.apply_until(t);
             if faults.dead[arc] {
-                match faults.fallback {
-                    FaultFallback::Drop => return ArcChoice::Drop,
-                    FaultFallback::Detour => {
-                        match faults.detour(&self.topo, node as u64, pkt.dest as u64) {
-                            Some(live) => arc = live,
-                            None => return ArcChoice::Drop,
-                        }
+                let recovery = match faults.fallback {
+                    FaultFallback::Drop => None,
+                    FaultFallback::Detour => faults.detour(topo, node, dest).map(|a| (a, false)),
+                    FaultFallback::Retry { budget } => {
+                        faults.retry(topo, node, dest, pkt.tries, budget)
                     }
+                    FaultFallback::Multipath => faults.multipath(topo, node, dest, pkt.tries),
+                };
+                match recovery {
+                    Some((live, paid)) => {
+                        arc = live;
+                        pkt.tries += paid as u16;
+                    }
+                    None => return ArcChoice::Drop,
                 }
             }
         }
@@ -349,14 +517,19 @@ pub struct GraphSim<T: RoutingTopology> {
 }
 
 impl<T: RoutingTopology> GraphSim<T> {
-    /// Build the simulator from a validated scenario's run parameters.
-    pub(crate) fn from_parts(
+    /// Build the simulator from a scenario's run parameters.
+    ///
+    /// [`crate::scenario::Scenario::into_simulator`] is the validated
+    /// front door; this constructor stays public for harnesses that need
+    /// to measure combinations validation deliberately refuses (E27 uses
+    /// it for the butterfly's counterfactual drop baseline).
+    pub fn from_parts(
         topo: T,
         dest: GraphDestination,
         s: &Scenario,
         ext: ExtBuilder<T>,
     ) -> GraphSim<T> {
-        let spec = GraphSpec::new(topo, dest, s.workload.faults.as_ref());
+        let spec = GraphSpec::new(topo, dest, s.workload.faults.as_ref(), s.run.horizon);
         let cfg = EngineCfg {
             lambda: s.workload.lambda,
             arrivals: s.workload.arrivals,
@@ -534,6 +707,7 @@ mod tests {
                 seed: 99,
             },
             fallback: FaultFallback::Drop,
+            dynamics: None,
         });
         let r = s.run().unwrap();
         let g = graph(&r);
@@ -553,6 +727,7 @@ mod tests {
                     seed: 4,
                 },
                 fallback,
+                dynamics: None,
             });
             s.run().unwrap()
         };
@@ -588,6 +763,7 @@ mod tests {
             s.workload.faults = Some(FaultSpec {
                 mode: FaultMode::Explicit { arcs: vec![3] },
                 fallback,
+                dynamics: None,
             });
             let r = s.run().unwrap();
             let g = graph(&r);
@@ -670,6 +846,7 @@ mod tests {
                     seed: 13,
                 },
                 fallback: FaultFallback::Detour,
+                dynamics: None,
             });
             let r = s.run().unwrap();
             let g = graph(&r);
@@ -770,6 +947,7 @@ mod tests {
                     seed: fault_seed,
                 },
                 fallback: FaultFallback::Drop,
+                dynamics: None,
             });
             s.run().unwrap()
         };
@@ -782,6 +960,104 @@ mod tests {
         assert_ne!(
             a.delivered, d.delivered,
             "fault seed changes the dead-arc pattern"
+        );
+    }
+
+    #[test]
+    fn graph_packet_keeps_its_two_word_layout() {
+        // The retry state rides in the existing headroom: born (8) +
+        // dest (4) + hops (2) + tries (2) — growing the packet would
+        // inflate every arc queue in the engine.
+        assert_eq!(std::mem::size_of::<GraphPacket>(), 16);
+    }
+
+    fn faulty_torus(fallback: FaultFallback, fraction: f64) -> Report {
+        let mut s = torus_scenario(5, 2, 0.3);
+        s.workload.faults = Some(FaultSpec {
+            mode: FaultMode::Seeded { fraction, seed: 4 },
+            fallback,
+            dynamics: None,
+        });
+        s.run().unwrap()
+    }
+
+    #[test]
+    fn retry_outdelivers_detour_which_outdelivers_drop() {
+        // At 30% dead arcs the strict-progress detour often has no live
+        // option left; retry's paid deflections route around the hole.
+        let dropped = faulty_torus(FaultFallback::Drop, 0.3);
+        let detoured = faulty_torus(FaultFallback::Detour, 0.3);
+        let retried = faulty_torus(FaultFallback::Retry { budget: 8 }, 0.3);
+        let (gd, gt, gr) = (graph(&dropped), graph(&detoured), graph(&retried));
+        assert!(
+            gr.delivery_fraction > gt.delivery_fraction,
+            "retry {} vs detour {}",
+            gr.delivery_fraction,
+            gt.delivery_fraction
+        );
+        assert!(gt.delivery_fraction > gd.delivery_fraction);
+        for r in [&dropped, &detoured, &retried] {
+            assert_eq!(r.generated, r.delivered + graph(r).dropped, "conservation");
+        }
+    }
+
+    #[test]
+    fn multipath_outdelivers_drop_and_conserves() {
+        let dropped = faulty_torus(FaultFallback::Drop, 0.25);
+        let multi = faulty_torus(FaultFallback::Multipath, 0.25);
+        let (gd, gm) = (graph(&dropped), graph(&multi));
+        assert!(
+            gm.delivery_fraction > gd.delivery_fraction,
+            "multipath {} vs drop {}",
+            gm.delivery_fraction,
+            gd.delivery_fraction
+        );
+        assert_eq!(multi.generated, multi.delivered + gm.dropped);
+        // Reruns are bit-identical (no RNG involved in the fallback).
+        let again = faulty_torus(FaultFallback::Multipath, 0.25);
+        assert_eq!(multi, again);
+    }
+
+    #[test]
+    fn dynamic_faults_grow_the_dead_set_mid_run() {
+        let run = |rate: f64| {
+            let mut s = torus_scenario(4, 2, 0.4);
+            s.workload.faults = Some(FaultSpec {
+                mode: FaultMode::Explicit { arcs: vec![] },
+                fallback: FaultFallback::Detour,
+                dynamics: Some(FaultArrivals { rate, seed: 31 }),
+            });
+            s.run().unwrap()
+        };
+        let calm = run(0.0);
+        // Rate 0 disables the process: identical to a static empty mask.
+        assert_eq!(graph(&calm).dead_arcs, 0);
+        assert_eq!(graph(&calm).dropped, 0);
+        let stormy = run(0.02);
+        let g = graph(&stormy);
+        assert!(g.dead_arcs > 0, "no arcs died over a 2000-unit horizon");
+        assert!(g.dead_arcs < 64, "every arc died");
+        assert_eq!(stormy.generated, stormy.delivered + g.dropped);
+        // Same arrival seed, same run: bit-identical.
+        assert_eq!(stormy, run(0.02));
+    }
+
+    #[test]
+    fn dynamic_fault_pattern_follows_its_own_seed() {
+        let run = |seed: u64| {
+            let mut s = torus_scenario(4, 2, 0.4);
+            s.workload.faults = Some(FaultSpec {
+                mode: FaultMode::Explicit { arcs: vec![] },
+                fallback: FaultFallback::Drop,
+                dynamics: Some(FaultArrivals { rate: 0.05, seed }),
+            });
+            s.run().unwrap()
+        };
+        let a = run(5);
+        let b = run(6);
+        assert_ne!(
+            a.delivered, b.delivered,
+            "arrival seed changes the death schedule"
         );
     }
 }

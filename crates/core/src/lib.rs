@@ -48,7 +48,7 @@
 //!    register it in `Scenario::into_simulator` as
 //!    `GraphSim::from_parts(YourGraph::new(..), dest, self, graph_ext)`
 //!    — done. Destination laws (uniform / weighted-node pmf), arc-fault
-//!    masks with the detour/drop fallback, contention policies, slotted
+//!    masks with all four fallbacks, contention policies, slotted
 //!    arrivals, sweeps, sharded grids, observers, stability probes and
 //!    the corpus gate all work immediately; reports carry the generic
 //!    [`scenario::GraphExt`].
@@ -60,6 +60,48 @@
 //! hand-tuned [`engine::EngineSpec`] (~150 lines) against the same
 //! engine; the plain ring keeps its byte-compatible `RingExt` through a
 //! specialised extension builder over the blanket spec.
+//!
+//! # Fault handling: the four-fallback model
+//!
+//! A [`config::FaultSpec`] kills a set of directed arcs — a static
+//! seeded/explicit mask, an optional dynamic arrival process
+//! ([`config::FaultArrivals`]: further arcs die mid-run at seeded
+//! exponential interarrival times), or both. When a packet's greedy arc
+//! is dead, its [`config::FaultFallback`] decides what happens next:
+//!
+//! | fallback | recovery rule | needs |
+//! |---|---|---|
+//! | `Drop` | count the packet as dropped, always | nothing |
+//! | `Detour` | first live same-kind arc with strict shortest-path progress | spare greedy arcs (hypercube, torus) |
+//! | `Multipath` | first live arc from the topology's **ranked alternates**, regressing ones capped per packet | `RoutingTopology::alternate_arcs` |
+//! | `Retry { budget }` | free detour if one exists, else any live ranked alternate, charged against a per-packet deflection budget | both |
+//!
+//! Whatever the fallback, conservation stays exact: every generated
+//! packet ends as delivered or dropped (`generated == delivered +
+//! dropped`, retries counted once), and reruns are bit-identical because
+//! the mask, the dynamic arrival schedule, and the traffic are all
+//! independently seeded.
+//!
+//! The ranked-alternate fallbacks are what make faults survivable on
+//! topologies whose greedy paths are *unique*. The worked example is the
+//! butterfly's back-routing: a greedy butterfly path crosses levels
+//! `0..d` once, choosing the straight or cross arc at level `l` by the
+//! destination row bit `l`. If the required arc at level `l` is dead,
+//! `alternate_arcs` offers the *sibling* arc — the other kind at the
+//! same level. Taking it sets row bit `l` wrong, so when the packet
+//! reaches level `d` it is on the destination column but the wrong row;
+//! the topology then routes it through a **fresh pass** (re-entering at
+//! level 0 of its current row, the extra-pass analogue of back-routing
+//! through the spare stage permutation), which re-fixes the damaged bit
+//! and retries the dead level with new row context. Each deflection
+//! costs at most `d` extra hops — one bounded-stretch pass — and the
+//! per-packet deflection cap keeps worst-case masks from cycling
+//! packets forever. The de Bruijn graph plays the same trick with its
+//! binary sibling shift (stretch ≤ diameter), the fat tree with its
+//! second, equal-cost up arc (stretch 0 while ascending). Experiment
+//! E27 quantifies what this buys: delivery rates on the butterfly and
+//! de Bruijn graph under `Multipath`/`Retry` sit far above the
+//! `Drop`/`Detour` baselines at equal fault fractions.
 //!
 //! # The scenario API
 //!

@@ -43,7 +43,9 @@
 //! ```
 
 use crate::butterfly_sim::ButterflySim;
-use crate::config::{ArrivalModel, ContentionPolicy, DestinationSpec, FaultSpec, Scheme};
+use crate::config::{
+    ArrivalModel, ContentionPolicy, DestinationSpec, FaultFallback, FaultSpec, Scheme,
+};
 use crate::engine::EngineCfg;
 use crate::equivalent_network::{Discipline, EqNetSim};
 use crate::graph_sim::{graph_ext, GraphDestination, GraphSim, GraphSpec};
@@ -54,8 +56,9 @@ use crate::pipelined::simulate_pipelined_observed;
 use crate::runner::parallel_map;
 use hyperroute_desim::{splitmix64, SchedulerKind};
 use hyperroute_topology::{
-    debruijn::MAX_DEBRUIJN_DIM, ring::MAX_RING_NODES, torus::MAX_TORUS_NODES, Butterfly, DeBruijn,
-    Hypercube, LevelledNetwork, Ring, RoutingTopology, Torus,
+    debruijn::MAX_DEBRUIJN_DIM, fattree::MAX_LEVELS as MAX_FATTREE_LEVELS, ring::MAX_RING_NODES,
+    torus::MAX_TORUS_NODES, Butterfly, DeBruijn, FatTree, Hypercube, LevelledNetwork, Ring,
+    RoutingTopology, Torus,
 };
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +123,16 @@ pub enum Topology {
         /// Shift-register width `n` (1..=26; `2^n` nodes).
         dim: usize,
     },
+    /// The `L`-level binary fat tree under up/down routing — `2^L`
+    /// leaves inject, packets climb to the least common ancestor level
+    /// and descend; also trait-impl-only. Two parallel up arcs per
+    /// switch give every ascent a same-cost alternate, so Multipath and
+    /// Retry route around most single faults with zero stretch.
+    FatTree {
+        /// Number of switching levels `L` above the leaves (1..=20;
+        /// `2^L` leaves).
+        levels: usize,
+    },
 }
 
 impl Topology {
@@ -133,6 +146,7 @@ impl Topology {
             Topology::Ring { .. } => "ring",
             Topology::Torus { .. } => "torus",
             Topology::DeBruijn { .. } => "debruijn",
+            Topology::FatTree { .. } => "fattree",
         }
     }
 }
@@ -339,12 +353,9 @@ impl Scenario {
                     Some(&w.dest),
                 )
             }
-            Topology::Butterfly { .. } => {
+            Topology::Butterfly { dim } => {
                 if pol.scheme != Scheme::Greedy {
                     return unsupported("non-greedy schemes (butterfly paths are unique)");
-                }
-                if w.faults.is_some() {
-                    return unsupported("fault masks (unique paths cannot route around faults)");
                 }
                 if pol.contention != ContentionPolicy::Fifo {
                     return unsupported("non-FIFO contention");
@@ -354,6 +365,23 @@ impl Scenario {
                 }
                 if w.dest != DestinationSpec::BitFlip {
                     return unsupported("custom destination pmfs");
+                }
+                if let Some(faults) = &w.faults {
+                    // Greedy butterfly paths are unique, so the Detour
+                    // fallback has no same-kind arc to progress on and
+                    // Drop discards every packet whose unique path is
+                    // cut. The ranked-alternate fallbacks recover by
+                    // back-routing through a fresh pass instead.
+                    if matches!(faults.fallback, FaultFallback::Detour | FaultFallback::Drop) {
+                        return unsupported(
+                            "the Detour and Drop fault fallbacks (greedy paths are unique; \
+                             use the Multipath or Retry fallback, which back-routes through \
+                             an extra pass)",
+                        );
+                    }
+                    if *dim >= 1 && *dim <= 24 {
+                        faults.validate(dim << (dim + 1))?;
+                    }
                 }
                 crate::config::check_sim_fields(
                     self.dim(),
@@ -518,6 +546,36 @@ impl Scenario {
                     w.arrivals,
                 )
             }
+            Topology::FatTree { levels } => {
+                if pol.scheme != Scheme::Greedy {
+                    return unsupported("non-greedy schemes (up/down paths are deterministic)");
+                }
+                if pol.discipline != Discipline::Fifo {
+                    return unsupported("processor-sharing service (use Topology::EqNet)");
+                }
+                if w.dest != DestinationSpec::BitFlip {
+                    return unsupported("custom destination pmfs (leaves are drawn uniformly)");
+                }
+                if *levels < 1 || *levels > MAX_FATTREE_LEVELS {
+                    return Err(ConfigError::Dimension {
+                        dim: *levels,
+                        min: 1,
+                        max: MAX_FATTREE_LEVELS,
+                    });
+                }
+                if let Some(f) = &w.faults {
+                    // 2·2^L up arcs and 2·2^L down arcs per boundary,
+                    // over L boundaries: 4L·2^L arcs in total.
+                    f.validate((4 * levels) << levels)?;
+                }
+                crate::config::check_workload_window(
+                    w.lambda,
+                    w.p,
+                    self.run.horizon,
+                    self.run.warmup,
+                    w.arrivals,
+                )
+            }
         }
     }
 
@@ -536,6 +594,17 @@ impl Scenario {
                 graph_ext,
             )),
             Topology::Hypercube { .. } => Box::new(HypercubeSim::from_scenario(self)),
+            // A faulty butterfly likewise routes through the blanket
+            // graph spec: level-0 rows inject, Eq.-(1) row flips pick a
+            // level-`d` output, and the ranked-alternate fallbacks
+            // (validation admits only Multipath/Retry here) back-route
+            // around dead arcs via an extra pass.
+            Topology::Butterfly { dim } if w.faults.is_some() => Box::new(GraphSim::from_parts(
+                Butterfly::new(*dim),
+                GraphDestination::RowFlip { dim: *dim, p: w.p },
+                self,
+                graph_ext,
+            )),
             Topology::Butterfly { .. } => Box::new(ButterflySim::from_scenario(self)),
             Topology::EqNet { net, .. } => {
                 let network = net.build(w.lambda, w.p);
@@ -569,6 +638,14 @@ impl Scenario {
             Topology::DeBruijn { dim } => Box::new(GraphSim::from_parts(
                 DeBruijn::new(*dim),
                 graph_destination(&w.dest, 1 << dim),
+                self,
+                graph_ext,
+            )),
+            Topology::FatTree { levels } => Box::new(GraphSim::from_parts(
+                FatTree::new(*levels),
+                // Only the 2^L leaves send and receive; internal
+                // switches are transit-only.
+                GraphDestination::LeafUniform(1 << levels),
                 self,
                 graph_ext,
             )),
@@ -615,7 +692,10 @@ impl Scenario {
                 EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => *dim,
                 EqNetSpec::Fig2 { .. } => 0,
             },
-            Topology::Ring { .. } | Topology::Torus { .. } | Topology::DeBruijn { .. } => 0,
+            Topology::Ring { .. }
+            | Topology::Torus { .. }
+            | Topology::DeBruijn { .. }
+            | Topology::FatTree { .. } => 0,
         }
     }
 }
@@ -1409,6 +1489,9 @@ fn apply_param(s: &mut Scenario, param: SweepParam, value: f64) -> Result<(), Co
             | Topology::DeBruijn { dim } => *dim = as_usize(value),
             // The ring's size parameter: a Dim axis sweeps the node count.
             Topology::Ring { nodes, .. } => *nodes = as_usize(value),
+            // The fat tree's level count: a Dim axis sweeps the tree
+            // height (and with it the 2^L leaf count).
+            Topology::FatTree { levels } => *levels = as_usize(value),
             Topology::EqNet { net, .. } => match net {
                 EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => {
                     *dim = as_usize(value)
@@ -1483,6 +1566,66 @@ mod tests {
     }
 
     #[test]
+    fn butterfly_fault_rejection_names_the_multipath_alternative() {
+        use crate::config::{FaultMode, FaultSpec};
+        let spec = |fallback| {
+            Some(FaultSpec {
+                mode: FaultMode::Seeded {
+                    fraction: 0.1,
+                    seed: 7,
+                },
+                fallback,
+                dynamics: None,
+            })
+        };
+        // Detour and Drop stay rejected, and the error text points at
+        // the fallbacks that do work on unique-path topologies.
+        for fallback in [FaultFallback::Detour, FaultFallback::Drop] {
+            let err = Scenario::builder(Topology::Butterfly { dim: 3 })
+                .faults(spec(fallback))
+                .build()
+                .unwrap_err();
+            let text = err.to_string();
+            assert!(
+                text.contains("Multipath or Retry"),
+                "error must name the working fallbacks: {text}"
+            );
+        }
+        // The ranked-alternate fallbacks are accepted.
+        for fallback in [FaultFallback::Multipath, FaultFallback::Retry { budget: 4 }] {
+            Scenario::builder(Topology::Butterfly { dim: 3 })
+                .faults(spec(fallback))
+                .build()
+                .expect("multipath-capable fallbacks pass validation");
+        }
+    }
+
+    #[test]
+    fn fattree_validates_and_sweeps_its_level_count() {
+        let err = Scenario::builder(Topology::FatTree { levels: 0 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Dimension { dim: 0, .. }));
+        let base = Scenario::builder(Topology::FatTree { levels: 2 })
+            .lambda(0.2)
+            .horizon(100.0)
+            .warmup(10.0)
+            .build()
+            .unwrap();
+        let sweep = Sweep::new(base, vec![Axis::new(SweepParam::Dim, vec![2.0, 3.0, 4.0])]);
+        let levels: Vec<usize> = sweep
+            .scenarios()
+            .unwrap()
+            .iter()
+            .map(|s| match s.topology {
+                Topology::FatTree { levels } => levels,
+                _ => unreachable!("sweeping Dim keeps the topology"),
+            })
+            .collect();
+        assert_eq!(levels, vec![2, 3, 4]);
+    }
+
+    #[test]
     fn eqnet_rejects_slotted_arrivals() {
         let err = Scenario::builder(Topology::EqNet {
             net: EqNetSpec::HypercubeQ { dim: 3 },
@@ -1535,6 +1678,46 @@ mod tests {
             .unwrap();
         assert!(pipe.pipelined().is_some());
         assert!(pipe.delivered > 0);
+
+        let ft = Scenario::builder(Topology::FatTree { levels: 3 })
+            .lambda(0.3)
+            .horizon(300.0)
+            .warmup(50.0)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let ft_ext = ft.graph().expect("fat tree reports GraphExt");
+        assert_eq!(ft.generated, ft.delivered + ft_ext.dropped);
+        assert!(ft.delivered > 0);
+    }
+
+    #[test]
+    fn faulty_butterfly_routes_through_the_graph_engine() {
+        use crate::config::{FaultMode, FaultSpec};
+        let report = Scenario::builder(Topology::Butterfly { dim: 3 })
+            .lambda(0.4)
+            .horizon(300.0)
+            .warmup(50.0)
+            .faults(Some(FaultSpec {
+                mode: FaultMode::Seeded {
+                    fraction: 0.15,
+                    seed: 9,
+                },
+                fallback: FaultFallback::Multipath,
+                dynamics: None,
+            }))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let ext = report.graph().expect("faulty butterfly reports GraphExt");
+        assert!(ext.dead_arcs > 0, "the seeded mask must kill arcs");
+        assert_eq!(report.generated, report.delivered + ext.dropped);
+        assert!(
+            report.delivered > 0,
+            "multipath back-routing keeps the butterfly delivering"
+        );
     }
 
     #[test]

@@ -92,6 +92,8 @@ pub fn probe_scenario(scenario: &Scenario) -> Result<StabilityVerdict, ConfigErr
         | Topology::DeBruijn { dim } => 1usize << dim,
         Topology::Ring { nodes, .. } => *nodes,
         Topology::Torus { radix, dim } => radix.pow(*dim as u32),
+        // Only the leaves inject in a fat tree.
+        Topology::FatTree { levels } => 1usize << levels,
         Topology::EqNet { .. } => 1,
     };
     let injection = match &probed.topology {

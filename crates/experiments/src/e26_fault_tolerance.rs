@@ -59,6 +59,7 @@ pub fn run(scale: Scale) -> Table {
                             seed: 0xFA017 + (fraction * 100.0) as u64,
                         },
                         fallback,
+                        dynamics: None,
                     }))
                     .build()
                     .expect("valid scenario");
@@ -75,7 +76,7 @@ pub fn run(scale: Scale) -> Table {
                     ext.dead_arcs.to_string(),
                     match fallback {
                         FaultFallback::Detour => "detour",
-                        FaultFallback::Drop => "drop",
+                        _ => "drop",
                     }
                     .to_string(),
                     f4(ext.delivery_fraction),

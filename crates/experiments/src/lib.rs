@@ -44,6 +44,7 @@ pub mod e23_dimension_occupancy;
 pub mod e24_ring_greedy;
 pub mod e25_torus_greedy;
 pub mod e26_fault_tolerance;
+pub mod e27_multipath;
 pub mod figures;
 
 pub use table::Table;
@@ -107,5 +108,6 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("E24", e24_ring_greedy::run),
         ("E25", e25_torus_greedy::run),
         ("E26", e26_fault_tolerance::run),
+        ("E27", e27_multipath::run),
     ]
 }

@@ -31,6 +31,7 @@
 use crate::backend::ExecBackend;
 use crate::error::GridError;
 use crate::slice::{GridSlice, SliceResult};
+use hyperroute_desim::splitmix64;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
@@ -108,17 +109,25 @@ pub struct SubprocessBackend {
     /// How many times a slice is retried after losing a worker before
     /// the campaign aborts.
     pub max_retries: usize,
+    /// First-retry respawn delay (doubles per attempt, jittered ±50%;
+    /// see [`respawn_backoff`]). Zero disables the backoff sleep.
+    pub backoff_base: Duration,
+    /// Ceiling on the un-jittered respawn delay.
+    pub backoff_cap: Duration,
 }
 
 impl SubprocessBackend {
     /// Backend running `worker_cmd` on `workers` processes, with a
-    /// 10-minute per-slice timeout and 2 retries.
+    /// 10-minute per-slice timeout, 2 retries, and a 50 ms–2 s
+    /// jittered-exponential respawn backoff.
     pub fn new(worker_cmd: Vec<String>, workers: usize) -> SubprocessBackend {
         SubprocessBackend {
             worker_cmd,
             workers,
             timeout: Duration::from_secs(600),
             max_retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
         }
     }
 
@@ -147,6 +156,34 @@ impl SubprocessBackend {
         self.max_retries = max_retries;
         self
     }
+
+    /// Respawn backoff envelope (builder style); a zero `base` disables
+    /// the sleep entirely.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> SubprocessBackend {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+}
+
+/// Delay before respawning a worker for retry `attempt` (1-based) of the
+/// slice with id `seed`: exponential `base · 2^(attempt-1)` capped at
+/// `cap`, then jittered to 50–150% by a [`splitmix64`] draw of
+/// `(seed, attempt)`.
+///
+/// The schedule is a pure function of its arguments — no clocks, no
+/// global RNG — so a given slice retries on the same timetable in every
+/// campaign run, while different slices (different seeds) spread their
+/// respawns apart instead of stampeding a recovering machine together.
+pub fn respawn_backoff(seed: u64, attempt: usize, base: Duration, cap: Duration) -> Duration {
+    if base.is_zero() || attempt == 0 {
+        return Duration::ZERO;
+    }
+    let doublings = (attempt - 1).min(31) as u32;
+    let envelope = base.saturating_mul(1u32 << doublings).min(cap);
+    // 53 uniform bits → [0, 1), mapped to a jitter factor in [0.5, 1.5).
+    let u = (splitmix64(seed ^ attempt as u64) >> 11) as f64 / (1u64 << 53) as f64;
+    envelope.mul_f64(0.5 + u)
 }
 
 /// A queue entry: which job, and how many times it has been attempted.
@@ -299,6 +336,15 @@ impl SubprocessBackend {
                         }));
                         break;
                     }
+                    // Back off before the retry reaches a fresh process —
+                    // a worker command that dies on startup would
+                    // otherwise respawn in a tight fork loop.
+                    std::thread::sleep(respawn_backoff(
+                        jobs[job.index].id,
+                        attempts,
+                        self.backoff_base,
+                        self.backoff_cap,
+                    ));
                     queue.lock().expect("queue lock").push(Attempt {
                         index: job.index,
                         attempts,
@@ -427,6 +473,39 @@ mod tests {
             panic!("malformed job must produce an Err reply");
         };
         assert_eq!(id, u64::MAX);
+    }
+
+    #[test]
+    fn respawn_backoff_schedule_is_deterministic_per_retry_budget() {
+        let (base, cap) = (Duration::from_millis(50), Duration::from_secs(2));
+        // The schedule for a retry budget is a pure function of the
+        // slice id: recomputing it gives the identical delays.
+        let schedule = |seed: u64, budget: usize| -> Vec<Duration> {
+            (1..=budget)
+                .map(|attempt| respawn_backoff(seed, attempt, base, cap))
+                .collect()
+        };
+        assert_eq!(schedule(42, 6), schedule(42, 6));
+        // Every delay sits inside the jitter band of its attempt's
+        // capped exponential envelope.
+        for seed in [0u64, 42, u64::MAX] {
+            for (i, delay) in schedule(seed, 10).iter().enumerate() {
+                let envelope = base.saturating_mul(1 << i.min(31)).min(cap);
+                assert!(
+                    *delay >= envelope / 2 && *delay < envelope.mul_f64(1.5),
+                    "seed {seed} attempt {}: {delay:?} outside [{:?}, {:?})",
+                    i + 1,
+                    envelope / 2,
+                    envelope.mul_f64(1.5),
+                );
+            }
+        }
+        // The cap binds: deep retries stop growing.
+        assert!(respawn_backoff(7, 30, base, cap) < cap.mul_f64(1.5));
+        // Different slices jitter apart (anti-stampede), same envelope.
+        assert_ne!(schedule(1, 4), schedule(2, 4));
+        // Zero base disables the sleep for every attempt.
+        assert_eq!(respawn_backoff(9, 3, Duration::ZERO, cap), Duration::ZERO);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod arcs;
 pub mod butterfly;
 pub mod debruijn;
 pub mod dot;
+pub mod fattree;
 pub mod hypercube;
 pub mod levelled;
 pub mod node;
@@ -46,6 +47,7 @@ pub mod torus;
 pub use arcs::{ArcKind, ButterflyArc, HypercubeArc};
 pub use butterfly::{Butterfly, ButterflyNode};
 pub use debruijn::DeBruijn;
+pub use fattree::FatTree;
 pub use hypercube::Hypercube;
 pub use levelled::{LevelledNetwork, ServerId};
 pub use node::NodeId;

@@ -16,6 +16,19 @@
 //!    per-hop simulators never cycle.
 //! 3. **Delivery.** `next_arc(node, node)` is `None`.
 //!
+//! On top of the greedy contract sits the **multipath contract**:
+//! [`RoutingTopology::alternate_arcs`] enumerates the ranked second-choice
+//! arcs out of a node — the arcs a fault-survivability fallback consults
+//! when the greedy arc is dead. Alternates need not make strict progress
+//! (the de Bruijn sibling arc and the butterfly's extra-pass wrap regress
+//! by a bounded stretch), so the callers budget non-progress hops; the
+//! enumeration itself must be deterministic and finite. The default is an
+//! empty enumeration (single-path topology: a dead greedy arc is fatal).
+//!
+//! [`RoutingTopology::num_sources`] names the prefix of node ids that
+//! inject packets (all nodes by default; the butterfly's level-0 rows and
+//! the fat tree's leaves override it).
+//!
 //! The packet-level engines keep their packed per-arc fast paths (bit
 //! tricks over XOR masks for the hypercube, level words for the
 //! butterfly), but those fast paths must agree with the trait — the
@@ -32,14 +45,17 @@
 //! * [`Ring`]: the node id `0..n`.
 //! * [`Torus`]: the node id `0..k^d` (base-`k` digit vector).
 //! * [`DeBruijn`]: the `n`-bit shift-register word `0..2^n`.
+//! * [`FatTree`]: `level · 2^L + word` (level-major, like the butterfly);
+//!   routing destinations are the level-0 leaves `0..2^L`.
 
 use crate::arcs::{ArcKind, ButterflyArc, HypercubeArc};
 use crate::butterfly::Butterfly;
 use crate::debruijn::DeBruijn;
+use crate::fattree::FatTree;
 use crate::hypercube::Hypercube;
 use crate::node::NodeId;
-use crate::ring::Ring;
-use crate::torus::Torus;
+use crate::ring::{Ring, RingDirection};
+use crate::torus::{Torus, TorusDirection};
 
 /// A network with dense arc indexing and deterministic greedy routing.
 ///
@@ -63,6 +79,29 @@ pub trait RoutingTopology {
 
     /// Hops a greedy route takes from `node` to `dest`.
     fn distance(&self, node: u64, dest: u64) -> usize;
+
+    /// Append the **ranked alternate arcs** out of `node` toward
+    /// `dest != node` to `out` — the arcs a fault fallback consults, best
+    /// first, when the greedy arc is dead. Strict-progress alternates
+    /// (hypercube/torus dimension-order siblings, the fat tree's flipped
+    /// up-arc) come before regressing ones (the de Bruijn binary sibling,
+    /// the butterfly's extra-pass wrap, the ring's long way around); the
+    /// greedy arc itself is never listed. The enumeration is deterministic
+    /// and must not contain duplicates. Default: no alternates (a dead
+    /// greedy arc on a single-path topology is fatal).
+    fn alternate_arcs(&self, node: u64, dest: u64, out: &mut Vec<usize>) {
+        let _ = (node, dest, out);
+    }
+
+    /// Number of packet-injecting sources: the engine drives sources
+    /// `0..num_sources()` and uses the source index as the injection node
+    /// id. Defaults to every node; topologies whose packets enter at a
+    /// distinguished level (butterfly level-0 rows, fat-tree leaves)
+    /// override it — their encodings put the injection nodes at ids
+    /// `0..num_sources()` exactly.
+    fn num_sources(&self) -> usize {
+        self.num_nodes()
+    }
 
     /// Expected greedy path length under uniform destinations — a
     /// **sizing hint** (the simulators use it to pick scheduler bucket
@@ -122,6 +161,26 @@ impl RoutingTopology for Hypercube {
         NodeId(node).hamming(NodeId(dest)) as usize
     }
 
+    /// The other differing dimensions in increasing index order — every
+    /// alternate still makes strict shortest-path progress (any differing
+    /// dimension may be crossed first).
+    fn alternate_arcs(&self, node: u64, dest: u64, out: &mut Vec<usize>) {
+        let diff = node ^ dest;
+        debug_assert_ne!(diff, 0);
+        let greedy = diff.trailing_zeros() as usize;
+        for dim in (greedy + 1)..self.dim() {
+            if (diff >> dim) & 1 == 1 {
+                out.push(
+                    HypercubeArc {
+                        from: NodeId(node),
+                        dim,
+                    }
+                    .index(self.dim()),
+                );
+            }
+        }
+    }
+
     /// Uniform destinations flip each bit with probability 1/2: `d/2`.
     fn mean_distance_hint(&self) -> f64 {
         self.dim() as f64 / 2.0
@@ -153,9 +212,18 @@ impl RoutingTopology for Butterfly {
         Butterfly::num_arcs(*self)
     }
 
-    /// The unique (hence greedy) next arc: straight when bit `level` of
-    /// the row already matches the destination row, vertical otherwise.
-    /// `dest` must be a level-`d` node.
+    /// On the canonical path (no bit below `level` misrouted) this is the
+    /// unique greedy arc: straight when bit `level` of the row already
+    /// matches the destination row, vertical otherwise. A **misrouted**
+    /// packet — one a fault fallback deflected, so some bit below `level`
+    /// is wrong — finishes its pass and then takes the extra-pass **wrap**:
+    /// at level `d` with the wrong row, the greedy arc is the first arc of
+    /// a fresh pass out of `[row; 0]` (its tail is the packet's row
+    /// re-entering level 0, not the level-`d` node — back-routing through
+    /// the spare stage permutation, exactly how a repeated-stage butterfly
+    /// retries a blocked setting). Fault-free runs never leave the
+    /// canonical path, so they never see a wrap. `dest` must be a
+    /// level-`d` node.
     fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
         let (row, level) = self.decode_node(node);
         let (dest_row, dest_level) = self.decode_node(dest);
@@ -163,7 +231,8 @@ impl RoutingTopology for Butterfly {
         if node == dest {
             return None;
         }
-        let kind = if (row >> level) & 1 == (dest_row >> level) & 1 {
+        let pass_level = if level == self.dim() { 0 } else { level };
+        let kind = if (row >> pass_level) & 1 == (dest_row >> pass_level) & 1 {
             ArcKind::Straight
         } else {
             ArcKind::Vertical
@@ -171,7 +240,7 @@ impl RoutingTopology for Butterfly {
         Some(
             ButterflyArc {
                 row: NodeId(row),
-                level,
+                level: pass_level,
                 kind,
             }
             .index(self.dim()),
@@ -188,13 +257,58 @@ impl RoutingTopology for Butterfly {
         self.encode_node(a.to_row().0, a.level + 1)
     }
 
-    /// Levels remaining: the unique path from `[row; j]` to `[z; d]`
-    /// always has exactly `d - j` arcs (paper §4.1).
+    /// Levels remaining, plus a full extra pass (`d` more hops) when the
+    /// packet was misrouted: bit `j < level` of the row can only be fixed
+    /// by wrapping back to level 0 and crossing level `j` again. On the
+    /// canonical path (no wrong bit below `level`) this is the paper's
+    /// `d - j` (§4.1); greedy progress stays strictly `-1` per hop either
+    /// way, so deflected routes still terminate.
     fn distance(&self, node: u64, dest: u64) -> usize {
-        let (_, level) = self.decode_node(node);
-        let (_, dest_level) = self.decode_node(dest);
-        debug_assert!(dest_level >= level);
-        dest_level - level
+        let (row, level) = self.decode_node(node);
+        let (dest_row, dest_level) = self.decode_node(dest);
+        debug_assert_eq!(dest_level, self.dim(), "butterfly dests sit at level d");
+        let fixed = (1u64 << level) - 1;
+        let extra_pass = if (row ^ dest_row) & fixed != 0 {
+            self.dim()
+        } else {
+            0
+        };
+        (dest_level - level) + extra_pass
+    }
+
+    /// The sibling arc of the same pass step: the packet crosses the
+    /// current level with the *wrong* bit (stretch: one extra pass). At
+    /// level `d` the greedy arc is already the wrap out of `[row; 0]`, so
+    /// the alternate is the wrap's sibling.
+    fn alternate_arcs(&self, node: u64, dest: u64, out: &mut Vec<usize>) {
+        let (row, level) = self.decode_node(node);
+        let (dest_row, _) = self.decode_node(dest);
+        let pass_level = if level == self.dim() { 0 } else { level };
+        let kind = if (row >> pass_level) & 1 == (dest_row >> pass_level) & 1 {
+            ArcKind::Vertical
+        } else {
+            ArcKind::Straight
+        };
+        out.push(
+            ButterflyArc {
+                row: NodeId(row),
+                level: pass_level,
+                kind,
+            }
+            .index(self.dim()),
+        );
+    }
+
+    /// Packets inject at the level-0 rows, which the level-major encoding
+    /// places at node ids `0..2^d` exactly.
+    fn num_sources(&self) -> usize {
+        self.num_rows()
+    }
+
+    /// Every fault-free route is exactly `d` hops (the default sampler
+    /// would average over invalid below-level-`d` destinations).
+    fn mean_distance_hint(&self) -> f64 {
+        self.dim() as f64
     }
 }
 
@@ -227,6 +341,19 @@ impl RoutingTopology for Ring {
 
     fn distance(&self, node: u64, dest: u64) -> usize {
         Ring::distance(*self, node, dest)
+    }
+
+    /// Bidirectional rings can go the long way around (regressing, but it
+    /// reaches every destination); unidirectional rings have no alternate.
+    fn alternate_arcs(&self, node: u64, dest: u64, out: &mut Vec<usize>) {
+        if !self.bidirectional() {
+            return;
+        }
+        let other = match self.greedy_direction(node, dest) {
+            RingDirection::Clockwise => RingDirection::CounterClockwise,
+            RingDirection::CounterClockwise => RingDirection::Clockwise,
+        };
+        out.push(self.arc_index(node, other));
     }
 
     /// Closed form: `(n-1)/2` clockwise-only, `⌊n²/4⌋/n` bidirectional.
@@ -268,6 +395,30 @@ impl RoutingTopology for Torus {
         Torus::distance(*self, node, dest)
     }
 
+    /// The other differing dimensions in increasing index order, each
+    /// walked its digit ring's shorter way (ties toward `+1`, like the
+    /// greedy step) — all strict-progress alternates.
+    fn alternate_arcs(&self, node: u64, dest: u64, out: &mut Vec<usize>) {
+        debug_assert_ne!(node, dest);
+        let k = self.radix() as u64;
+        let (greedy_dim, _) = self.greedy_step(node, dest);
+        let (mut s, mut t) = (node, dest);
+        for i in 0..self.dim() {
+            let (sd, td) = (s % k, t % k);
+            if sd != td && i != greedy_dim {
+                let cw = (td + k - sd) % k;
+                let dir = if 2 * cw > k {
+                    TorusDirection::Down
+                } else {
+                    TorusDirection::Up
+                };
+                out.push(self.arc_index(node, i, dir));
+            }
+            s /= k;
+            t /= k;
+        }
+    }
+
     /// Closed form: `d·⌊k²/4⌋/k` (independent uniform ring offsets).
     fn mean_distance_hint(&self) -> f64 {
         self.mean_path_length()
@@ -305,10 +456,83 @@ impl RoutingTopology for DeBruijn {
         DeBruijn::distance(*self, node, dest)
     }
 
+    /// The **binary sibling arc**: shift in the complement of the greedy
+    /// bit. The wrong bit can destroy the whole suffix overlap with
+    /// `dest`, so the stretch is bounded by one full re-route (at most
+    /// `n` extra hops — the diameter), never a cycle. Skipped at the two
+    /// self-loop corners (node 0 shifting 0, all-ones shifting 1) where
+    /// the sibling arc does not exist.
+    fn alternate_arcs(&self, node: u64, dest: u64, out: &mut Vec<usize>) {
+        debug_assert_ne!(node, dest);
+        let other = 1 - self.greedy_bit(node, dest);
+        if self.shift(node, other) != node {
+            out.push(self.arc_index(node, other));
+        }
+    }
+
     /// Closed form for the node-0 row: `n - 1 + 2^-n` (see
     /// [`DeBruijn::mean_path_length_hint`]).
     fn mean_distance_hint(&self) -> f64 {
         self.mean_path_length_hint()
+    }
+}
+
+impl RoutingTopology for FatTree {
+    fn num_nodes(&self) -> usize {
+        FatTree::num_nodes(*self)
+    }
+
+    fn num_arcs(&self) -> usize {
+        FatTree::num_arcs(*self)
+    }
+
+    /// Descend forcing one destination bit per hop once the subtree
+    /// contains the destination leaf; climb straight otherwise. `dest`
+    /// must be a leaf (`< 2^L`).
+    fn next_arc(&self, node: u64, dest: u64) -> Option<usize> {
+        self.greedy_arc(node, dest)
+    }
+
+    fn arc_tail(&self, arc: usize) -> u64 {
+        self.arc_endpoints(arc).0
+    }
+
+    fn arc_head(&self, arc: usize) -> u64 {
+        self.arc_endpoints(arc).1
+    }
+
+    fn distance(&self, node: u64, dest: u64) -> usize {
+        FatTree::distance(*self, node, dest)
+    }
+
+    /// Climbing: the flipped up arc — **also strict progress** (flipping
+    /// bit `ℓ` never matters above level `ℓ`), the fat tree's signature
+    /// two-way ascent diversity. Descending: the wrong-subtree down arc
+    /// (stretch 2), then the two up arcs (stretch 2) where a level above
+    /// exists.
+    fn alternate_arcs(&self, node: u64, dest: u64, out: &mut Vec<usize>) {
+        let (word, level) = self.decode_node(node);
+        if !self.subtree_contains(word, level, dest) {
+            out.push(self.up_arc_index(word, level, true));
+        } else if level > 0 {
+            let bit = (dest >> (level - 1)) & 1;
+            out.push(self.down_arc_index(word, level, 1 - bit));
+            if level < self.levels() {
+                out.push(self.up_arc_index(word, level, false));
+                out.push(self.up_arc_index(word, level, true));
+            }
+        }
+    }
+
+    /// Packets inject at the leaves, node ids `0..2^L` exactly.
+    fn num_sources(&self) -> usize {
+        self.num_leaves()
+    }
+
+    /// Closed form over uniform leaf destinations (see
+    /// [`FatTree::mean_path_length`]).
+    fn mean_distance_hint(&self) -> f64 {
+        self.mean_path_length()
     }
 }
 
@@ -447,6 +671,185 @@ mod tests {
         for level in 0..=3usize {
             for row in 0..8u64 {
                 assert_eq!(b.decode_node(b.encode_node(row, level)), (row, level));
+            }
+        }
+    }
+
+    #[test]
+    fn fattree_greedy_routes() {
+        let f = FatTree::new(4);
+        for src in 0..16u64 {
+            for dest in 0..16u64 {
+                assert_greedy_route(&f, src, dest);
+            }
+        }
+        assert_eq!(RoutingTopology::num_arcs(&f), 256);
+        assert_eq!(f.mean_distance_hint(), f.mean_path_length());
+    }
+
+    #[test]
+    fn source_prefixes_are_the_injection_nodes() {
+        // Default: every node injects.
+        assert_eq!(Hypercube::new(4).num_sources(), 16);
+        assert_eq!(Torus::new(4, 2).num_sources(), 16);
+        // Levelled topologies inject at their distinguished level, which
+        // the level-major encodings place at the node-id prefix.
+        let b = Butterfly::new(3);
+        assert_eq!(b.num_sources(), 8);
+        for row in 0..8u64 {
+            assert_eq!(b.encode_node(row, 0), row);
+        }
+        let f = FatTree::new(3);
+        assert_eq!(f.num_sources(), 8);
+        for word in 0..8u64 {
+            assert_eq!(f.encode_node(word, 0), word);
+        }
+    }
+
+    /// Deflecting onto any alternate still leaves a terminating greedy
+    /// route — the contract Retry/Multipath fallbacks rely on: alternates
+    /// are valid non-greedy arcs out of the node (the butterfly wrap's
+    /// tail is the level-0 re-entry instead) and each deflection costs at
+    /// most `max_extra` hops over the greedy route.
+    fn assert_alternates_recoverable<T: RoutingTopology>(
+        t: &T,
+        src: u64,
+        dest: u64,
+        wrap: bool,
+        max_extra: usize,
+    ) {
+        let mut alts = Vec::new();
+        let mut at = src;
+        while let Some(greedy) = t.next_arc(at, dest) {
+            alts.clear();
+            t.alternate_arcs(at, dest, &mut alts);
+            let mut seen = alts.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), alts.len(), "duplicate alternates at {at}");
+            for &alt in &alts {
+                assert!(alt < t.num_arcs());
+                assert_ne!(alt, greedy, "greedy arc listed as alternate at {at}");
+                if !wrap {
+                    assert_eq!(t.arc_tail(alt), at, "alternate not out of {at}");
+                }
+                // Bounded stretch: the deflected route still terminates,
+                // within `max_extra` hops of the greedy one.
+                let deflected = t.arc_head(alt);
+                // (One hop onto the alternate + remaining distance, vs the
+                // greedy distance plus the allowed stretch.)
+                assert!(
+                    t.distance(deflected, dest) < t.distance(at, dest) + max_extra,
+                    "deflection at {at} toward {dest} stretches past {max_extra}"
+                );
+                let mut walk = deflected;
+                let mut hops = 0;
+                while let Some(arc) = t.next_arc(walk, dest) {
+                    walk = t.arc_head(arc);
+                    hops += 1;
+                    assert!(hops <= 4 * t.num_nodes(), "deflected route cycles");
+                }
+                assert_eq!(walk, dest, "deflection at {at} strands the packet");
+            }
+            at = t.arc_head(greedy);
+        }
+    }
+
+    #[test]
+    fn alternates_recover_on_every_topology() {
+        // Stretch budgets: strict progress (0 extra) on the hypercube and
+        // torus, a wasted round trip (2) on the fat tree and ring, a full
+        // re-route on the diameter-bounded shift/pass graphs.
+        let c = Hypercube::new(4);
+        let t = Torus::new(4, 2);
+        let g = DeBruijn::new(4);
+        let f = FatTree::new(4);
+        let r = Ring::new(9, true);
+        for src in 0..16u64 {
+            for dest in [0u64, 5, 10, 15] {
+                assert_alternates_recoverable(&c, src, dest, false, 0);
+                assert_alternates_recoverable(&t, src, dest, false, 0);
+                assert_alternates_recoverable(&g, src, dest, false, g.dim());
+                assert_alternates_recoverable(&f, src, dest, false, 2);
+            }
+        }
+        for src in 0..9u64 {
+            assert_alternates_recoverable(&r, src, 4, false, 2);
+        }
+        let b = Butterfly::new(3);
+        for src_row in 0..8u64 {
+            for dest_row in 0..8u64 {
+                assert_alternates_recoverable(
+                    &b,
+                    b.encode_node(src_row, 0),
+                    b.encode_node(dest_row, 3),
+                    true,
+                    b.dim(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_and_torus_alternates_make_strict_progress() {
+        let c = Hypercube::new(5);
+        let t = Torus::new(5, 2);
+        let mut alts = Vec::new();
+        for src in 0..25u64 {
+            for dest in 0..25u64 {
+                for (topo, ok) in [
+                    (&c as &dyn RoutingTopology, src < 32 && dest < 32),
+                    (&t, true),
+                ] {
+                    if src == dest || !ok {
+                        continue;
+                    }
+                    alts.clear();
+                    topo.alternate_arcs(src, dest, &mut alts);
+                    for &alt in &alts {
+                        assert_eq!(
+                            topo.distance(topo.arc_head(alt), dest),
+                            topo.distance(src, dest) - 1,
+                            "alternate {alt} out of {src} toward {dest} regresses"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_wrap_restarts_the_pass_and_terminates() {
+        // Misroute a packet on its first hop (take the sibling arc), then
+        // follow greedy: it finishes the ruined pass, wraps at level d,
+        // and delivers after exactly one extra pass — 2d hops total.
+        let b = Butterfly::new(3);
+        let d = 3;
+        for src_row in 0..8u64 {
+            for dest_row in 0..8u64 {
+                let src = b.encode_node(src_row, 0);
+                let dest = b.encode_node(dest_row, d);
+                let mut alts = Vec::new();
+                b.alternate_arcs(src, dest, &mut alts);
+                assert_eq!(alts.len(), 1);
+                let mut at = b.arc_head(alts[0]);
+                // The sibling arc ruined bit 0 of the row.
+                assert_eq!(b.distance(at, dest), 2 * d - 1);
+                let mut hops = 1;
+                while let Some(arc) = b.next_arc(at, dest) {
+                    let next = b.arc_head(arc);
+                    assert_eq!(b.distance(next, dest), b.distance(at, dest) - 1);
+                    if b.decode_node(at).1 == d {
+                        // The wrap: re-enter the pass at the packet's row.
+                        assert_eq!(b.arc_tail(arc), b.encode_node(b.decode_node(at).0, 0));
+                    } else {
+                        assert_eq!(b.arc_tail(arc), at);
+                    }
+                    at = next;
+                    hops += 1;
+                }
+                assert_eq!(at, dest);
+                assert_eq!(hops, 2 * d, "{src_row}→{dest_row}");
             }
         }
     }

@@ -104,7 +104,7 @@ pub mod prelude {
         universal_lower_bound, DelayBounds,
     };
     pub use hyperroute_analysis::load::{butterfly_load_factor, hypercube_load_factor};
-    pub use hyperroute_core::config::{FaultFallback, FaultMode, FaultSpec};
+    pub use hyperroute_core::config::{FaultArrivals, FaultFallback, FaultMode, FaultSpec};
     pub use hyperroute_core::equivalent_network::Discipline;
     pub use hyperroute_core::observe::{
         BufferedObserver, NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
@@ -116,7 +116,8 @@ pub mod prelude {
     pub use hyperroute_core::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
     pub use hyperroute_experiments::{Scale, Table};
     pub use hyperroute_topology::{
-        Butterfly, DeBruijn, Hypercube, LevelledNetwork, NodeId, Ring, RoutingTopology, Torus,
+        Butterfly, DeBruijn, FatTree, Hypercube, LevelledNetwork, NodeId, Ring, RoutingTopology,
+        Torus,
     };
 }
 

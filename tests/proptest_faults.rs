@@ -1,7 +1,9 @@
 //! Property tests of the fault-mask workloads: **no packet is ever
 //! stranded silently**. Whatever the topology, contention policy,
-//! fallback and fault pattern, a drained run accounts for every generated
-//! packet as either delivered or dropped — conservation is exact, and the
+//! fallback (Drop, Detour, Retry, Multipath) and fault pattern — static
+//! masks, dynamic mid-run arc deaths, or both — a drained run accounts
+//! for every generated packet as either delivered or dropped:
+//! conservation is exact, retried packets are counted once, and the
 //! report's delivered/dropped split agrees with the totals.
 
 use hyperroute::prelude::*;
@@ -44,9 +46,20 @@ fn assert_conservation(
     if ext.dead_arcs == 0 {
         assert_eq!(ext.dropped, 0, "drops without dead arcs");
     }
-    // Rerunning is bit-identical (fault pattern + traffic both seeded).
+    // Rerunning is bit-identical (static mask, dynamic arrival schedule
+    // and traffic are all seeded).
     let again = scenario.run().expect("reruns");
     assert_eq!(report, again, "faulty run not deterministic");
+}
+
+/// The four fallbacks, indexable by a proptest draw.
+fn fallback(pick: usize) -> FaultFallback {
+    [
+        FaultFallback::Drop,
+        FaultFallback::Detour,
+        FaultFallback::Retry { budget: 4 },
+        FaultFallback::Multipath,
+    ][pick]
 }
 
 proptest! {
@@ -57,28 +70,40 @@ proptest! {
         fraction in 0.0f64..0.5,
         fault_seed in any::<u64>(),
         contention_pick in 0usize..3,
-        drop_fallback in any::<bool>(),
-        topo_pick in 0usize..4,
+        fallback_pick in 0usize..4,
+        topo_pick in 0usize..6,
+        dynamic in any::<bool>(),
     ) {
         let contention = [
             ContentionPolicy::Fifo,
             ContentionPolicy::Lifo,
             ContentionPolicy::Random,
         ][contention_pick];
-        let fallback = if drop_fallback {
-            FaultFallback::Drop
-        } else {
-            FaultFallback::Detour
-        };
+        let mut fallback = fallback(fallback_pick);
+        let mut contention = contention;
         let (topology, lambda) = match topo_pick {
             0 => (Topology::Hypercube { dim: 3 }, 0.8),
             1 => (Topology::Ring { nodes: 12, bidirectional: true }, 0.2),
             2 => (Topology::Torus { radix: 4, dim: 2 }, 0.35),
-            _ => (Topology::DeBruijn { dim: 4 }, 0.12),
+            3 => (Topology::DeBruijn { dim: 4 }, 0.12),
+            4 => (Topology::FatTree { levels: 3 }, 0.25),
+            _ => (Topology::Butterfly { dim: 3 }, 0.3),
         };
+        if matches!(topology, Topology::Butterfly { .. }) {
+            // The butterfly admits only the ranked-alternate fallbacks
+            // (unique paths) and FIFO contention.
+            if matches!(fallback, FaultFallback::Drop | FaultFallback::Detour) {
+                fallback = FaultFallback::Multipath;
+            }
+            contention = ContentionPolicy::Fifo;
+        }
         let spec = FaultSpec {
             mode: FaultMode::Seeded { fraction, seed: fault_seed },
             fallback,
+            dynamics: dynamic.then_some(FaultArrivals {
+                rate: 0.1,
+                seed: fault_seed ^ 0xD1,
+            }),
         };
         assert_conservation(topology, lambda, spec, contention);
     }
@@ -86,18 +111,20 @@ proptest! {
     #[test]
     fn explicit_masks_conserve_packets_too(
         dead_bits in any::<u32>(),
-        drop_fallback in any::<bool>(),
+        fallback_pick in 0usize..4,
+        dynamic in any::<bool>(),
     ) {
         // A 12-node unidirectional ring has 12 arcs; kill an arbitrary
-        // subset chosen by the low 12 bits.
+        // subset chosen by the low 12 bits, optionally with further
+        // mid-run deaths on top.
         let arcs: Vec<usize> = (0..12).filter(|i| dead_bits >> i & 1 == 1).collect();
         let spec = FaultSpec {
             mode: FaultMode::Explicit { arcs },
-            fallback: if drop_fallback {
-                FaultFallback::Drop
-            } else {
-                FaultFallback::Detour
-            },
+            fallback: fallback(fallback_pick),
+            dynamics: dynamic.then_some(FaultArrivals {
+                rate: 0.05,
+                seed: dead_bits as u64,
+            }),
         };
         assert_conservation(
             Topology::Ring { nodes: 12, bidirectional: false },

@@ -13,6 +13,11 @@
 //! scanner over `proc_macro::TokenTree`s (no `syn`/`quote` in the sealed
 //! environment); generic parameters are not supported (no derive site in
 //! this workspace needs them) and produce a compile error via `panic!`.
+//! Of serde's field attributes, `skip_serializing_if = "path"` is honoured
+//! on named fields (real-serde semantics: the field is omitted when
+//! `path(&value)` is true); `default` needs no generated-code support
+//! because absent keys already deserialise from `Value::Null`, which
+//! `Option` fields accept as `None`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
@@ -22,10 +27,21 @@ use std::iter::Peekable;
 enum Fields {
     /// `struct X;` or `Variant`.
     Unit,
-    /// `struct X { a: T, b: U }` — the field names.
-    Named(Vec<String>),
+    /// `struct X { a: T, b: U }` — the named fields.
+    Named(Vec<NamedField>),
     /// `struct X(T, U);` — the arity.
     Tuple(usize),
+}
+
+/// One named field plus the serde knobs the generated code honours.
+struct NamedField {
+    name: String,
+    /// `#[serde(skip_serializing_if = "path")]` predicate, if any: the
+    /// field is omitted from serialised objects when `path(&value)` is
+    /// true (real serde's behaviour). The deserializer needs no matching
+    /// support — absent keys already fall back to `Value::Null`, which
+    /// `Option` fields accept as `None`.
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -144,16 +160,19 @@ fn parse_item(input: TokenStream) -> Item {
 /// angle brackets (`Vec<(f64, f64)>` style generics) do not split fields:
 /// nested `()`/`[]`/`{}` arrive as single `Group` tokens, and `<`/`>`
 /// depth is tracked explicitly.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
-    let mut names = Vec::new();
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut iter);
+        let skip_if = take_field_attrs(&mut iter);
         let Some(tree) = iter.next() else { break };
         let TokenTree::Ident(id) = tree else {
             panic!("mini serde_derive: expected field name, found {tree:?}");
         };
-        names.push(id.to_string());
+        fields.push(NamedField {
+            name: id.to_string(),
+            skip_if,
+        });
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("mini serde_derive: expected `:` after field, found {other:?}"),
@@ -169,7 +188,63 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
         }
     }
-    names
+    fields
+}
+
+/// Consume the attributes and visibility before a named field, returning
+/// the `skip_serializing_if` predicate path if a `#[serde(...)]`
+/// attribute carries one. Other serde knobs (`default`) need no
+/// generated-code support and are ignored.
+fn take_field_attrs(iter: &mut Tokens) -> Option<String> {
+    let mut skip_if = None;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(attr)) = iter.next() {
+                    skip_if = parse_serde_attr(attr.stream()).or(skip_if);
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return skip_if,
+        }
+    }
+}
+
+/// Extract `skip_serializing_if = "path"` from one attribute body
+/// (`serde(...)` only; doc comments and other attributes return `None`).
+fn parse_serde_attr(stream: TokenStream) -> Option<String> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return None;
+    };
+    let mut args = args.stream().into_iter();
+    while let Some(tree) = args.next() {
+        let TokenTree::Ident(id) = &tree else {
+            continue;
+        };
+        if id.to_string() != "skip_serializing_if" {
+            continue;
+        }
+        match (args.next(), args.next()) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                return Some(lit.to_string().trim_matches('"').to_string());
+            }
+            other => panic!("mini serde_derive: malformed skip_serializing_if ({other:?})"),
+        }
+    }
+    None
 }
 
 /// Count the fields of a tuple struct / tuple variant body: the number of
@@ -257,18 +332,36 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
 // Code generation.
 // ---------------------------------------------------------------------
 
+/// Emit the statements filling a `fields` vec from named fields, honouring
+/// each field's `skip_serializing_if` predicate. `access` prefixes the
+/// field name (`&self.` in struct impls, `` for match bindings, which are
+/// already references).
+fn named_field_pushes(fields: &[NamedField], access: &str, vec_name: &str) -> String {
+    let mut parts = String::new();
+    for f in fields {
+        let (name, value) = (&f.name, format!("{access}{}", f.name));
+        let push = format!(
+            "{vec_name}.push((String::from(\"{name}\"), serde::__private::to_value({value})));"
+        );
+        match &f.skip_if {
+            Some(pred) => {
+                let _ = write!(parts, "if !{pred}({value}) {{ {push} }}");
+            }
+            None => parts.push_str(&push),
+        }
+    }
+    parts
+}
+
 fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Unit => "serde::Value::Null".to_string(),
-        Fields::Named(names) => {
-            let mut parts = String::new();
-            for f in names {
-                let _ = write!(
-                    parts,
-                    "(String::from(\"{f}\"), serde::__private::to_value(&self.{f})),"
-                );
-            }
-            format!("serde::Value::Object(vec![{parts}])")
+        Fields::Named(fields) => {
+            let parts = named_field_pushes(fields, "&self.", "fields");
+            format!(
+                "{{ let mut fields: Vec<(String, serde::Value)> = Vec::new(); \
+                 {parts} serde::Value::Object(fields) }}"
+            )
         }
         Fields::Tuple(1) => "serde::__private::to_value(&self.0)".to_string(),
         Fields::Tuple(n) => {
@@ -289,9 +382,10 @@ fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
 fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
     let body = match fields {
         Fields::Unit => format!("Ok({name})"),
-        Fields::Named(names) => {
+        Fields::Named(fields) => {
             let mut parts = String::new();
-            for f in names {
+            for f in fields {
+                let f = &f.name;
                 let _ = write!(
                     parts,
                     "{f}: serde::__private::field(obj, \"{f}\", \"{name}\")?,"
@@ -334,18 +428,20 @@ fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
                     "{name}::{vn} => serde::Value::String(String::from(\"{vn}\")),"
                 );
             }
-            Fields::Named(field_names) => {
-                let binds = field_names.join(", ");
-                let mut parts = String::new();
-                for f in field_names {
-                    let _ = write!(
-                        parts,
-                        "(String::from(\"{f}\"), serde::__private::to_value({f})),"
-                    );
-                }
+            Fields::Named(fields) => {
+                let binds = fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let parts = named_field_pushes(fields, "", "inner");
                 let _ = write!(
                     arms,
-                    "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Object(vec![{parts}]))]),"
+                    "{name}::{vn} {{ {binds} }} => {{ \
+                         let mut inner: Vec<(String, serde::Value)> = Vec::new(); \
+                         {parts} \
+                         serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Object(inner))]) \
+                     }}"
                 );
             }
             Fields::Tuple(1) => {
@@ -386,9 +482,10 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
             Fields::Unit => {
                 let _ = write!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
             }
-            Fields::Named(field_names) => {
+            Fields::Named(fields) => {
                 let mut parts = String::new();
-                for f in field_names {
+                for f in fields {
+                    let f = &f.name;
                     let _ = write!(
                         parts,
                         "{f}: serde::__private::field(obj, \"{f}\", \"{name}::{vn}\")?,"
