@@ -31,7 +31,12 @@
 //! A `ring` section benches the fifth topology on the same engine, and
 //! `torus` / `debruijn` / `fattree` sections bench the blanket
 //! `GraphSpec` trait-impl-only topologies (same cell keys at every
-//! scale, so CI can diff cells across reports).
+//! scale, so CI can diff cells across reports). Schema v4 adds the
+//! generated sparse topologies: a 65536-node Kleinberg `smallworld`
+//! and a 65536-node Krioukov `hyperbolic` disk, both routed by metric
+//! greedy over the CSR — each cell pays the seeded generator *and* the
+//! routed run, so it tracks the build+route budget the sparse subsystem
+//! promises. The `ci` scale shrinks those two to 4096 nodes.
 //!
 //! Scale: `HYPERROUTE_SCALE=full` lengthens the horizon and adds
 //! repetitions; the default `quick` keeps the grid under a minute;
@@ -47,7 +52,7 @@ use std::time::Instant;
 
 /// Bump when the report layout changes; CI checks the checked-in JSON
 /// carries the current value.
-const SCHEMA_VERSION: u32 = 3;
+const SCHEMA_VERSION: u32 = 4;
 
 struct Cell {
     sim: &'static str,
@@ -136,6 +141,45 @@ fn run_fattree(kind: SchedulerKind, levels: usize, lambda: f64, horizon: f64) ->
         .scheduler(kind)
         .build()
         .expect("valid scenario");
+    let start = Instant::now();
+    let r = scenario.run().expect("scenario runs");
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
+fn run_smallworld(kind: SchedulerKind, side: u32, lambda: f64, horizon: f64) -> (f64, u64, u64) {
+    let scenario = Scenario::builder(Topology::SmallWorld {
+        side,
+        dims: 2,
+        links: 2,
+        alpha: 2.0,
+        seed: 7,
+    })
+    .lambda(lambda)
+    .horizon(horizon)
+    .warmup(horizon * 0.2)
+    .seed(7)
+    .scheduler(kind)
+    .build()
+    .expect("valid scenario");
+    let start = Instant::now();
+    let r = scenario.run().expect("scenario runs");
+    (start.elapsed().as_secs_f64(), r.events, r.generated)
+}
+
+fn run_hyperbolic(kind: SchedulerKind, nodes: u32, lambda: f64, horizon: f64) -> (f64, u64, u64) {
+    let scenario = Scenario::builder(Topology::Hyperbolic {
+        nodes,
+        alpha: 0.7,
+        radius_offset: -1.5,
+        seed: 7,
+    })
+    .lambda(lambda)
+    .horizon(horizon)
+    .warmup(horizon * 0.2)
+    .seed(7)
+    .scheduler(kind)
+    .build()
+    .expect("valid scenario");
     let start = Instant::now();
     let r = scenario.run().expect("scenario runs");
     (start.elapsed().as_secs_f64(), r.events, r.generated)
@@ -240,6 +284,10 @@ fn main() {
     // per-arc load ≈ 0.45, and a 256-leaf fat tree at a nominal up-link
     // load ≈ 0.5 — all but the ring on the blanket GraphSpec.
     let ring_nodes = 256usize;
+    // The sparse generators run at 65536 nodes except under the CI
+    // scale, whose shared runners can't hold the full build+route grid.
+    let sparse_n: u32 = if scale == "ci" { 4096 } else { 65536 };
+    let sw_side = (sparse_n as f64).sqrt() as u32;
     type TopoRun = (
         &'static str,
         usize,
@@ -270,6 +318,18 @@ fn main() {
             256,
             0.5,
             Box::new(move |kind| run_fattree(kind, 8, 0.18, horizon)),
+        ),
+        (
+            "smallworld",
+            sparse_n as usize,
+            0.3,
+            Box::new(move |kind| run_smallworld(kind, sw_side, 0.02, horizon)),
+        ),
+        (
+            "hyperbolic",
+            sparse_n as usize,
+            0.3,
+            Box::new(move |kind| run_hyperbolic(kind, sparse_n, 0.02, horizon)),
         ),
     ];
     for (sim, size, rho, runner) in &extra {
@@ -312,14 +372,14 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"engine\",");
     let _ = writeln!(json, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(json, "  \"scale\": \"{scale}\",");
-    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5 (+ ring n={ring_nodes} bidirectional, torus 16^2, de Bruijn n=1024, fat tree 256 leaves on the blanket GraphSpec), horizon {horizon}, warmup 20%, best of {reps}\",");
+    let _ = writeln!(json, "  \"kernel\": \"hypercube_sim greedy p=0.5 (+ ring n={ring_nodes} bidirectional, torus 16^2, de Bruijn n=1024, fat tree 256 leaves on the blanket GraphSpec; smallworld/hyperbolic n={sparse_n} generated CSR + metric greedy, build included), horizon {horizon}, warmup 20%, best of {reps}\",");
     let _ = writeln!(
         json,
         "  \"baseline\": \"seed = frozen pre-PR engine (binary-heap FEL, VecDeque arc queues, per-event asserts, in-queue arrival events); heap/calendar = generic engine (dequeued arrival stream + peek_payload prefetch) on each scheduler backend\","
     );
     let _ = writeln!(
         json,
-        "  \"engine_features\": {{ \"generic_engine\": true, \"arrival_stream_dequeued\": true, \"peek_payload_prefetch\": true, \"blanket_graph_spec\": true }},"
+        "  \"engine_features\": {{ \"generic_engine\": true, \"arrival_stream_dequeued\": true, \"peek_payload_prefetch\": true, \"blanket_graph_spec\": true, \"sparse_metric_greedy\": true }},"
     );
     let _ = writeln!(
         json,
@@ -345,6 +405,8 @@ fn main() {
         "\"sim\": \"torus\"",
         "\"sim\": \"debruijn\"",
         "\"sim\": \"fattree\"",
+        "\"sim\": \"smallworld\"",
+        "\"sim\": \"hyperbolic\"",
         "\"headline\"",
     ] {
         assert!(json.contains(key), "emitted report lost schema key {key}");

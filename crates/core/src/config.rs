@@ -106,6 +106,18 @@ pub enum ConfigError {
     /// Retry fallback configured with a zero budget (a packet must be
     /// allowed at least one paid deflection to differ from `Drop`).
     RetryBudget,
+    /// Escape fallback configured with a zero TTL (a stuck packet must
+    /// be allowed at least one paid escape hop to differ from `Drop`).
+    EscapeTtl,
+    /// A sparse-generator parameter outside its supported range.
+    GeneratorParam {
+        /// Which parameter was rejected.
+        param: String,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable statement of the accepted range.
+        requirement: String,
+    },
     /// Dynamic fault-arrival rate is negative, NaN or infinite.
     FaultRate(
         /// The rejected rate.
@@ -183,6 +195,19 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::RetryBudget => {
                 write!(f, "retry fallback needs a budget of at least 1 deflection")
+            }
+            ConfigError::EscapeTtl => {
+                write!(f, "escape fallback needs a TTL of at least 1 hop")
+            }
+            ConfigError::GeneratorParam {
+                param,
+                value,
+                requirement,
+            } => {
+                write!(
+                    f,
+                    "generator parameter {param} = {value} invalid: {requirement}"
+                )
             }
             ConfigError::FaultRate(r) => {
                 write!(f, "fault arrival rate {r} must be finite and non-negative")
@@ -598,10 +623,11 @@ pub enum FaultMode {
     },
 }
 
-/// Fallback applied when a packet's greedy arc is dead ("next arc
-/// unavailable" hook). The four arms span the free/paid × single/multi
-/// recovery space; the `hyperroute-core` crate docs walk through all
-/// four on a worked butterfly example.
+/// Fallback applied when a packet's greedy arc is **unavailable** — dead
+/// under a fault mask, or absent entirely because metric greedy on a
+/// sparse topology hit a local minimum. The arms span the free/paid ×
+/// single/multi recovery space; the `hyperroute-core` crate docs walk
+/// through them on a worked butterfly example.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum FaultFallback {
     /// Deterministically scan the node's other outgoing arcs in dense
@@ -628,6 +654,18 @@ pub enum FaultFallback {
     /// number of paid deflections per packet; drop when no ranked
     /// alternate is live or the deflection bound is spent.
     Multipath,
+    /// GOAFR-style last-resort escape for **metric-greedy** local minima
+    /// (and dead greedy arcs generally): forward to the live
+    /// out-neighbour closest to the destination even when that regresses,
+    /// remembering the distance where the walk got stuck. Regressing
+    /// hops are paid against a per-packet TTL; the packet leaves escape
+    /// mode the moment it reaches a node strictly closer than the entry
+    /// point and resumes plain greedy. Drops when the TTL is spent or no
+    /// live out-arc exists (a dead end).
+    Escape {
+        /// Paid (non-progress) escape hops allowed per packet, `>= 1`.
+        ttl: u16,
+    },
 }
 
 impl FaultSpec {
@@ -647,6 +685,9 @@ impl FaultSpec {
         }
         if matches!(self.fallback, FaultFallback::Retry { budget: 0 }) {
             return Err(ConfigError::RetryBudget);
+        }
+        if matches!(self.fallback, FaultFallback::Escape { ttl: 0 }) {
+            return Err(ConfigError::EscapeTtl);
         }
         if let Some(FaultArrivals { rate, .. }) = self.dynamics {
             if !(rate.is_finite() && rate >= 0.0) {
@@ -960,6 +1001,32 @@ mod tests {
     fn new_fault_error_messages_render() {
         assert!(ConfigError::RetryBudget.to_string().contains("at least 1"));
         assert!(ConfigError::FaultRate(-2.0).to_string().contains("-2"));
+        assert!(ConfigError::EscapeTtl.to_string().contains("TTL"));
+        let g = ConfigError::GeneratorParam {
+            param: "alpha".to_string(),
+            value: -1.0,
+            requirement: "must be positive".to_string(),
+        };
+        assert!(g.to_string().contains("alpha"));
+        assert!(g.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn escape_ttl_validation() {
+        let base = FaultSpec {
+            mode: FaultMode::Seeded {
+                fraction: 0.1,
+                seed: 7,
+            },
+            fallback: FaultFallback::Escape { ttl: 8 },
+            dynamics: None,
+        };
+        assert!(base.validate(64).is_ok());
+        let zero = FaultSpec {
+            fallback: FaultFallback::Escape { ttl: 0 },
+            ..base
+        };
+        assert_eq!(zero.validate(64), Err(ConfigError::EscapeTtl));
     }
 
     #[test]

@@ -3,13 +3,22 @@
 //!
 //! PR 4 proved the engine/topology split with a hand-written ring spec;
 //! this module closes the loop. [`GraphSpec`] is one [`EngineSpec`]
-//! parameterised over the routing trait: the packet is a 16-byte
-//! `(born, dest, hops)` triple, the greedy step is the trait's
-//! `next_arc`, and the packed arc word is the arc's head node. Adding a
-//! topology is now exactly the trait impl — the ring, the torus (`k`-ary
-//! `d`-cube) and the de Bruijn graph all route through this one spec, and
-//! the ring replays its former hand-written spec **draw for draw** (its
-//! corpus baselines are byte-identical across the port).
+//! parameterised over the routing trait: the packet is a 32-byte record
+//! (birth, destination, and the recovery/stretch state riding in one
+//! headroom block), the greedy step is the trait's `next_arc`, and the
+//! packed arc word is the arc's head node. Adding a topology is now
+//! exactly the trait impl — the ring, the torus (`k`-ary `d`-cube), the
+//! de Bruijn graph and the generated sparse topologies
+//! (`hyperroute-sparse`) all route through this one spec, and the ring
+//! replays its former hand-written spec **draw for draw** (its corpus
+//! baselines are byte-identical across the port).
+//!
+//! The sparse topologies relax the greedy contract: `next_arc` may
+//! return `None` away from the destination when metric greedy stalls.
+//! The spec maps that to the route-outcome taxonomy `SUCCESS |
+//! LOCAL_MINIMUM | DEAD_END` (tallied in [`OutcomeExt`]) and — when the
+//! fault spec selects [`FaultFallback::Escape`] — runs a GOAFR-style
+//! best-neighbour escape with a per-packet TTL instead of dropping.
 //!
 //! On top of the blanket spec sit the two workload extensions the
 //! ROADMAP's related-work directions call for:
@@ -35,20 +44,42 @@ use crate::engine::{Advance, ArcChoice, Engine, EngineCfg, EnginePacket, EngineS
 use crate::metrics::MetricsCollector;
 use crate::observe::{NullObserver, Observer};
 use crate::packet::sample_flip_mask;
-use crate::scenario::{GraphExt, Report, ReportExt, Scenario};
+use crate::scenario::{GraphExt, OutcomeExt, Report, ReportExt, Scenario, StretchExt};
 use hyperroute_desim::SimRng;
 use hyperroute_topology::RoutingTopology;
 
+/// Sticky "ever escaped" bit of [`GraphPacket::state`] — survives escape
+/// exit so delivery can count the packet as recovered.
+const ESCAPE_STICKY: u32 = 1 << 31;
+
+/// Low 31 bits of [`GraphPacket::state`]: `d_entry + 1` while the packet
+/// is in escape mode (0 = routing greedily).
+const ESCAPE_DEPTH: u32 = ESCAPE_STICKY - 1;
+
 /// An in-flight packet of the blanket spec: birth time, absolute
-/// destination node, hops taken, and paid deflections spent — the
-/// per-packet retry state of the `Retry`/`Multipath` fallbacks rides in
-/// the packet's existing 16-byte headroom (sst-macro packs its PAR
-/// retry header the same way), so the packet stays two words. Its
-/// current node is implied by the arc queue holding it.
+/// destination node, and the recovery/stretch state — previous node,
+/// escape word, birth distance, hops taken, and paid deflections spent.
+/// The per-packet state of the `Retry`/`Multipath`/`Escape` fallbacks
+/// rides in one extra 16-byte headroom block (sst-macro packs its PAR
+/// retry header the same way), so the packet is four words. Its current
+/// node is implied by the arc queue holding it.
 #[derive(Clone, Copy, Debug)]
 pub struct GraphPacket {
     born: f64,
     dest: u32,
+    /// Node this packet left on its previous hop (`u32::MAX` at birth) —
+    /// the escape fallback avoids bouncing straight back across the arc
+    /// it arrived on unless that is the only live option.
+    prev: u32,
+    /// Escape word: [`ESCAPE_STICKY`] is the sticky "ever escaped" flag,
+    /// the [`ESCAPE_DEPTH`] bits hold the quantised entry distance plus
+    /// one while escaping (0 = plain greedy).
+    state: u32,
+    /// Quantised `distance(source, dest)` at birth — the stretch
+    /// denominator. Relative to the topology's distance function: exact
+    /// hops for the dense topologies, the quantised embedding metric for
+    /// the sparse ones.
+    dist0: u32,
     hops: u16,
     tries: u16,
 }
@@ -207,13 +238,16 @@ impl FaultState {
         };
         // Counting-sort CSR of arcs by tail node (most topologies already
         // enumerate node-major, but the trait does not promise it). Only
-        // the detour-scanning fallbacks (Detour, Retry) ever read it;
-        // Drop and Multipath runs skip the build — two full arc passes
-        // and ~8 bytes/arc on large topologies.
+        // the out-arc-scanning fallbacks (Detour, Retry, Escape) ever
+        // read it; Drop and Multipath runs skip the build — two full arc
+        // passes and ~8 bytes/arc on large topologies. Topologies whose
+        // arc indices are already tail-grouped (`out_arc_range`, i.e. the
+        // sparse CSR graphs) skip it too: at 10⁷ arcs the duplicate index
+        // would double the adjacency footprint for nothing.
         let scans_csr = matches!(
             spec.fallback,
-            FaultFallback::Detour | FaultFallback::Retry { .. }
-        );
+            FaultFallback::Detour | FaultFallback::Retry { .. } | FaultFallback::Escape { .. }
+        ) && topo.out_arc_range(0).is_none();
         let (out_start, out_arcs) = if scans_csr {
             let nodes = topo.num_nodes();
             let mut out_start = vec![0u32; nodes + 1];
@@ -262,16 +296,43 @@ impl FaultState {
         }
     }
 
+    /// Visit `node`'s outgoing arcs in dense index order, stopping when
+    /// `f` returns `true` — through the topology's own tail-grouped arc
+    /// ranges when it has them, else through the counting-sort index
+    /// built at construction.
+    #[inline]
+    fn scan_out<T: RoutingTopology>(&self, topo: &T, node: u64, mut f: impl FnMut(usize) -> bool) {
+        if let Some(range) = topo.out_arc_range(node) {
+            for a in range {
+                if f(a) {
+                    return;
+                }
+            }
+        } else {
+            let range =
+                self.out_start[node as usize] as usize..self.out_start[node as usize + 1] as usize;
+            for &a in &self.out_arcs[range] {
+                if f(a as usize) {
+                    return;
+                }
+            }
+        }
+    }
+
     /// First live outgoing arc of `node` (dense index order) whose head
     /// is strictly closer to `dest`, or `None` (→ drop).
     fn detour<T: RoutingTopology>(&self, topo: &T, node: u64, dest: u64) -> Option<usize> {
         let here = topo.distance(node, dest);
-        let range =
-            self.out_start[node as usize] as usize..self.out_start[node as usize + 1] as usize;
-        self.out_arcs[range]
-            .iter()
-            .map(|&a| a as usize)
-            .find(|&a| !self.dead[a] && topo.distance(topo.arc_head(a), dest) < here)
+        let mut found = None;
+        self.scan_out(topo, node, |a| {
+            if !self.dead[a] && topo.distance(topo.arc_head(a), dest) < here {
+                found = Some(a);
+                true
+            } else {
+                false
+            }
+        });
+        found
     }
 
     /// `Retry`: a free detour when one exists; otherwise spend one unit
@@ -294,13 +355,16 @@ impl FaultState {
         if tries >= budget {
             return None;
         }
-        let range =
-            self.out_start[node as usize] as usize..self.out_start[node as usize + 1] as usize;
-        if let Some(any) = self.out_arcs[range]
-            .iter()
-            .map(|&a| a as usize)
-            .find(|&a| !self.dead[a])
-        {
+        let mut any = None;
+        self.scan_out(topo, node, |a| {
+            if !self.dead[a] {
+                any = Some(a);
+                true
+            } else {
+                false
+            }
+        });
+        if let Some(any) = any {
             return Some((any, true));
         }
         self.alt_buf.clear();
@@ -338,6 +402,94 @@ impl FaultState {
         }
         None
     }
+
+    /// `Escape`: the live out-arc whose head is closest to `dest` even
+    /// when that regresses (GOAFR's last-resort step), avoiding the node
+    /// the packet just came from unless it is the only live option. Ties
+    /// break to the lowest arc index. Returns the arc and its head's
+    /// quantised distance, or `None` when every out-arc is dead (a dead
+    /// end). The caller decides paid-vs-free against the TTL.
+    fn escape<T: RoutingTopology>(
+        &self,
+        topo: &T,
+        node: u64,
+        dest: u64,
+        prev: u32,
+    ) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        let mut back: Option<(usize, usize)> = None;
+        self.scan_out(topo, node, |a| {
+            if !self.dead[a] {
+                let head = topo.arc_head(a);
+                let d = topo.distance(head, dest);
+                let slot = if head == prev as u64 {
+                    &mut back
+                } else {
+                    &mut best
+                };
+                if slot.is_none_or(|(bd, _)| d < bd) {
+                    *slot = Some((d, a));
+                }
+            }
+            false
+        });
+        best.or(back).map(|(d, a)| (a, d))
+    }
+}
+
+/// Whether `node` has no live outgoing arc at all — the `DEAD_END`
+/// outcome. Answerable only when some out-arc index exists (the
+/// topology's own ranges or the fault CSR); otherwise conservatively
+/// `false` (the drop counts as a local minimum).
+fn no_live_out<T: RoutingTopology>(faults: Option<&FaultState>, topo: &T, node: u64) -> bool {
+    if let Some(range) = topo.out_arc_range(node) {
+        match faults {
+            Some(f) => range.into_iter().all(|a| f.dead[a]),
+            None => range.is_empty(),
+        }
+    } else if let Some(f) = faults {
+        if f.out_start.is_empty() {
+            return false;
+        }
+        let range = f.out_start[node as usize] as usize..f.out_start[node as usize + 1] as usize;
+        f.out_arcs[range].iter().all(|&a| f.dead[a as usize])
+    } else {
+        false
+    }
+}
+
+/// In-window route-outcome tallies (the `SUCCESS | LOCAL_MINIMUM |
+/// DEAD_END` taxonomy; success is the collector's delivered count).
+#[derive(Default)]
+struct OutcomeTally {
+    /// Drops at a node that still had a live out-arc (metric local
+    /// minimum, or an exhausted escape TTL).
+    local_minimum: u64,
+    /// Drops at a node with no live out-arc at all.
+    dead_end: u64,
+    /// Deliveries that passed through escape mode at least once.
+    recovered: u64,
+    /// Paid escape hops summed over those recovered deliveries.
+    escape_hops: u64,
+}
+
+/// In-window stretch tallies over delivered packets.
+#[derive(Default)]
+struct StretchTally {
+    delivered: u64,
+    /// Sum of paid deflections (`pkt.tries`) over deliveries.
+    deflections: u64,
+    /// Deliveries with at least one paid deflection.
+    deflected: u64,
+    /// Sum of `hops / max(dist0, 1)` over all deliveries.
+    stretch_sum: f64,
+    /// Same ratio, deflection-free deliveries only.
+    clean_sum: f64,
+    /// Same ratio, deflected deliveries only.
+    deflected_sum: f64,
+    /// Sum of `hops - dist0` (signed: long-range links can beat the
+    /// lattice metric, so the excess can be negative on a small world).
+    excess_sum: i64,
 }
 
 /// The blanket per-topology half of the generic engine: routing delegated
@@ -349,25 +501,54 @@ pub struct GraphSpec<T: RoutingTopology> {
     faults: Option<FaultState>,
     hint: f64,
     /// In-window packet arrivals per arc (feeds the per-direction ring
-    /// rates and the [`GraphExt`] rate summary).
-    arc_arrivals: Vec<u64>,
+    /// rates and the [`GraphExt`] rate summary). Saturating `u32`: four
+    /// bytes per arc keeps the table at 40 MB for 10⁷ arcs, and a window
+    /// long enough to overflow one arc 4 × 10⁹ times saturates
+    /// harmlessly instead of wrapping.
+    arc_arrivals: Vec<u32>,
     dropped_in_window: u64,
+    /// Whether the scenario asked for the stretch extension (tallying is
+    /// cheap and always on; this gates emission only).
+    stretch_on: bool,
+    outcomes: OutcomeTally,
+    stretch: StretchTally,
+    /// Why the packet `choose_arc` just condemned is being dropped —
+    /// consumed by the engine's immediately-following `note_drop`, which
+    /// knows the *birth*-window flag the taxonomy is measured over.
+    pending_drop: Option<DropKind>,
+}
+
+/// Outcome classification of a drop decided in `choose_arc`, handed to
+/// `note_drop` (which applies the birth-window gate).
+#[derive(Clone, Copy, Debug)]
+enum DropKind {
+    /// A live out-neighbour existed but none improved the metric (or the
+    /// escape TTL ran out trying).
+    LocalMinimum,
+    /// No live out-arc at all.
+    DeadEnd,
 }
 
 impl<T: RoutingTopology> GraphSpec<T> {
     /// Build the spec (materialising the fault mask and pre-drawing the
     /// dynamic fault-arrival schedule up to `horizon`, if any).
+    /// `stretch` opts the report into the [`StretchExt`] block.
     pub fn new(
         topo: T,
         dest: GraphDestination,
         faults: Option<&FaultSpec>,
         horizon: f64,
+        stretch: bool,
     ) -> GraphSpec<T> {
         let faults = faults.map(|f| FaultState::build(&topo, f, horizon));
         GraphSpec {
             hint: topo.mean_distance_hint(),
             arc_arrivals: vec![0; topo.num_arcs()],
             dropped_in_window: 0,
+            stretch_on: stretch,
+            outcomes: OutcomeTally::default(),
+            stretch: StretchTally::default(),
+            pending_drop: None,
             topo,
             dest,
             faults,
@@ -379,8 +560,8 @@ impl<T: RoutingTopology> GraphSpec<T> {
         &self.topo
     }
 
-    /// In-window packet arrivals per dense arc index.
-    pub fn arc_arrivals(&self) -> &[u64] {
+    /// In-window packet arrivals per dense arc index (saturating).
+    pub fn arc_arrivals(&self) -> &[u32] {
         &self.arc_arrivals
     }
 
@@ -439,6 +620,10 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
             Spawn::Route(GraphPacket {
                 born: t,
                 dest,
+                prev: u32::MAX,
+                state: 0,
+                dist0: u32::try_from(self.topo.distance(source as u64, dest as u64))
+                    .unwrap_or(u32::MAX),
                 hops: 0,
                 tries: 0,
             })
@@ -454,34 +639,120 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
         _route_rng: &mut SimRng,
     ) -> ArcChoice {
         let (node, dest) = (node as u64, pkt.dest as u64);
+        let prev = pkt.prev;
+        pkt.prev = node as u32;
         let topo = &self.topo;
-        let mut arc = topo
-            .next_arc(node, dest)
-            .expect("routed packet is never at its destination");
         if let Some(faults) = self.faults.as_mut() {
             faults.apply_until(t);
-            if faults.dead[arc] {
-                let recovery = match faults.fallback {
-                    FaultFallback::Drop => None,
-                    FaultFallback::Detour => faults.detour(topo, node, dest).map(|a| (a, false)),
-                    FaultFallback::Retry { budget } => {
-                        faults.retry(topo, node, dest, pkt.tries, budget)
-                    }
-                    FaultFallback::Multipath => faults.multipath(topo, node, dest, pkt.tries),
+        }
+
+        // Escape-mode continuation: keep taking best-neighbour hops until
+        // the packet sits strictly closer than where it got stuck, then
+        // resume plain greedy.
+        if pkt.state & ESCAPE_DEPTH != 0 {
+            let d_here = topo.distance(node, dest);
+            if (d_here as u64) + 1 < (pkt.state & ESCAPE_DEPTH) as u64 {
+                pkt.state &= ESCAPE_STICKY;
+            } else {
+                let faults = self
+                    .faults
+                    .as_ref()
+                    .expect("escape mode implies a fault spec");
+                let FaultFallback::Escape { ttl } = faults.fallback else {
+                    unreachable!("escape mode implies the escape fallback");
                 };
-                match recovery {
-                    Some((live, paid)) => {
-                        arc = live;
-                        pkt.tries += paid as u16;
+                return match faults.escape(topo, node, dest, prev) {
+                    None => {
+                        self.pending_drop = Some(DropKind::DeadEnd);
+                        ArcChoice::Drop
                     }
-                    None => return ArcChoice::Drop,
-                }
+                    Some((arc, d_head)) => {
+                        if d_head >= d_here {
+                            if pkt.tries >= ttl {
+                                self.pending_drop = Some(DropKind::LocalMinimum);
+                                return ArcChoice::Drop;
+                            }
+                            pkt.tries += 1;
+                        }
+                        if in_window {
+                            self.arc_arrivals[arc] = self.arc_arrivals[arc].saturating_add(1);
+                        }
+                        ArcChoice::Arc(arc as u32)
+                    }
+                };
             }
         }
-        if in_window {
-            self.arc_arrivals[arc] += 1;
+
+        // The greedy arc — absent at a metric local minimum or dead end
+        // (the sparse topologies' relaxed contract; dense topologies
+        // always have one away from the destination).
+        let greedy = topo.next_arc(node, dest);
+        let blocked = match greedy {
+            Some(a) => self.faults.as_ref().is_some_and(|f| f.dead[a]),
+            None => true,
+        };
+        if !blocked {
+            let arc = greedy.expect("unblocked implies a greedy arc");
+            if in_window {
+                self.arc_arrivals[arc] = self.arc_arrivals[arc].saturating_add(1);
+            }
+            return ArcChoice::Arc(arc as u32);
         }
-        ArcChoice::Arc(arc as u32)
+
+        // Greedy unavailable — dead arc or stall. Consult the fallback.
+        let recovery: Option<(usize, bool)> = match self.faults.as_mut() {
+            None => None,
+            Some(faults) => match faults.fallback {
+                FaultFallback::Drop => None,
+                FaultFallback::Detour => faults.detour(topo, node, dest).map(|a| (a, false)),
+                FaultFallback::Retry { budget } => {
+                    faults.retry(topo, node, dest, pkt.tries, budget)
+                }
+                FaultFallback::Multipath => faults.multipath(topo, node, dest, pkt.tries),
+                FaultFallback::Escape { ttl } => {
+                    let d_here = topo.distance(node, dest);
+                    match faults.escape(topo, node, dest, prev) {
+                        None => None,
+                        Some((arc, d_head)) => {
+                            let paid = d_head >= d_here;
+                            if paid && pkt.tries >= ttl {
+                                None
+                            } else {
+                                pkt.state = ESCAPE_STICKY
+                                    | (d_here.min(ESCAPE_DEPTH as usize - 2) as u32 + 1);
+                                Some((arc, paid))
+                            }
+                        }
+                    }
+                }
+            },
+        };
+        match recovery {
+            Some((arc, paid)) => {
+                pkt.tries += paid as u16;
+                if in_window {
+                    self.arc_arrivals[arc] = self.arc_arrivals[arc].saturating_add(1);
+                }
+                ArcChoice::Arc(arc as u32)
+            }
+            None => {
+                // Outcome taxonomy: classify metric stalls (and escape
+                // failures); dead-greedy-arc drops under the other
+                // fallbacks stay plain fault drops.
+                let escape = matches!(
+                    self.faults.as_ref().map(|f| f.fallback),
+                    Some(FaultFallback::Escape { .. })
+                );
+                if greedy.is_none() || escape {
+                    self.pending_drop = Some(if no_live_out(self.faults.as_ref(), topo, node) {
+                        DropKind::DeadEnd
+                    } else {
+                        DropKind::LocalMinimum
+                    });
+                }
+                ArcChoice::Drop
+            }
+        }
     }
 
     fn note_service_end(&mut self, _t: f64, _meta: u32) {}
@@ -495,11 +766,38 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
         }
     }
 
-    fn note_deliver(&mut self, _pkt: &GraphPacket, _in_window: bool) {}
+    fn note_deliver(&mut self, pkt: &GraphPacket, in_window: bool) {
+        if !in_window {
+            return;
+        }
+        if pkt.state & ESCAPE_STICKY != 0 {
+            self.outcomes.recovered += 1;
+            self.outcomes.escape_hops += pkt.tries as u64;
+        }
+        let s = &mut self.stretch;
+        s.delivered += 1;
+        s.deflections += pkt.tries as u64;
+        let ratio = pkt.hops as f64 / pkt.dist0.max(1) as f64;
+        s.stretch_sum += ratio;
+        if pkt.tries > 0 {
+            s.deflected += 1;
+            s.deflected_sum += ratio;
+        } else {
+            s.clean_sum += ratio;
+        }
+        s.excess_sum += pkt.hops as i64 - pkt.dist0 as i64;
+    }
 
     fn note_drop(&mut self, _pkt: &GraphPacket, in_window: bool) {
+        let kind = self.pending_drop.take();
         if in_window {
             self.dropped_in_window += 1;
+            match kind {
+                Some(DropKind::LocalMinimum) => self.outcomes.local_minimum += 1,
+                Some(DropKind::DeadEnd) => self.outcomes.dead_end += 1,
+                // Plain fault drop under a non-escape fallback.
+                None => {}
+            }
         }
     }
 }
@@ -529,7 +827,13 @@ impl<T: RoutingTopology> GraphSim<T> {
         s: &Scenario,
         ext: ExtBuilder<T>,
     ) -> GraphSim<T> {
-        let spec = GraphSpec::new(topo, dest, s.workload.faults.as_ref(), s.run.horizon);
+        let spec = GraphSpec::new(
+            topo,
+            dest,
+            s.workload.faults.as_ref(),
+            s.run.horizon,
+            s.workload.stretch.unwrap_or(false),
+        );
         let cfg = EngineCfg {
             lambda: s.workload.lambda,
             arrivals: s.workload.arrivals,
@@ -575,23 +879,46 @@ impl<T: RoutingTopology> GraphSim<T> {
     }
 }
 
-/// The generic [`GraphExt`] extension builder — what every topology gets
-/// unless it installs a specialised one (the plain ring keeps its
-/// byte-compatible `RingExt`).
-pub fn graph_ext<T: RoutingTopology>(
+/// Shared [`GraphExt`] assembly; `emit_outcomes` controls whether the
+/// route-outcome taxonomy block is attached (always for sparse
+/// topologies, only under the escape fallback for dense ones — keeping
+/// the pre-existing dense baselines byte-identical).
+fn assemble<T: RoutingTopology>(
     spec: &GraphSpec<T>,
     cfg: &EngineCfg,
     collector: &MetricsCollector,
-) -> ReportExt {
+    emit_outcomes: bool,
+) -> GraphExt {
     let span = cfg.horizon - cfg.warmup;
     let arcs = spec.topology().num_arcs() as u64;
     let live = arcs - spec.dead_arcs();
-    let total: u64 = spec.arc_arrivals().iter().sum();
+    let total: u64 = spec.arc_arrivals().iter().map(|&c| c as u64).sum();
     let max = spec.arc_arrivals().iter().copied().max().unwrap_or(0);
     let delivered_measured = collector.delay_stats().count;
     let dropped_measured = spec.dropped_in_window();
     let measured = delivered_measured + dropped_measured;
-    ReportExt::Graph(GraphExt {
+    let outcomes = emit_outcomes.then(|| {
+        let o = &spec.outcomes;
+        OutcomeExt {
+            success: delivered_measured,
+            local_minimum: o.local_minimum,
+            dead_end: o.dead_end,
+            recovered: o.recovered,
+            mean_escape_hops: o.escape_hops as f64 / o.recovered as f64,
+        }
+    });
+    let stretch = spec.stretch_on.then(|| {
+        let s = &spec.stretch;
+        StretchExt {
+            mean_stretch: s.stretch_sum / s.delivered as f64,
+            mean_deflections: s.deflections as f64 / s.delivered as f64,
+            deflected_fraction: s.deflected as f64 / s.delivered as f64,
+            clean_stretch: s.clean_sum / (s.delivered - s.deflected) as f64,
+            deflected_stretch: s.deflected_sum / s.deflected as f64,
+            mean_excess_hops: s.excess_sum as f64 / s.delivered as f64,
+        }
+    });
+    GraphExt {
         nodes: spec.topology().num_nodes() as u64,
         arcs,
         dead_arcs: spec.dead_arcs(),
@@ -610,7 +937,36 @@ pub fn graph_ext<T: RoutingTopology>(
         } else {
             delivered_measured as f64 / measured as f64
         },
-    })
+        outcomes,
+        stretch,
+    }
+}
+
+/// The generic [`GraphExt`] extension builder — what every dense
+/// topology gets unless it installs a specialised one (the plain ring
+/// keeps its byte-compatible `RingExt`). Outcome taxonomy appears only
+/// when the escape fallback is configured.
+pub fn graph_ext<T: RoutingTopology>(
+    spec: &GraphSpec<T>,
+    cfg: &EngineCfg,
+    collector: &MetricsCollector,
+) -> ReportExt {
+    let emit = spec
+        .faults
+        .as_ref()
+        .is_some_and(|f| matches!(f.fallback, FaultFallback::Escape { .. }));
+    ReportExt::Graph(assemble(spec, cfg, collector, emit))
+}
+
+/// The sparse-topology extension builder: identical to [`graph_ext`]
+/// but always emits the `SUCCESS | LOCAL_MINIMUM | DEAD_END` outcome
+/// taxonomy — metric greedy can stall even without faults.
+pub fn sparse_ext<T: RoutingTopology>(
+    spec: &GraphSpec<T>,
+    cfg: &EngineCfg,
+    collector: &MetricsCollector,
+) -> ReportExt {
+    ReportExt::Graph(assemble(spec, cfg, collector, true))
 }
 
 #[cfg(test)]
@@ -964,11 +1320,11 @@ mod tests {
     }
 
     #[test]
-    fn graph_packet_keeps_its_two_word_layout() {
-        // The retry state rides in the existing headroom: born (8) +
-        // dest (4) + hops (2) + tries (2) — growing the packet would
-        // inflate every arc queue in the engine.
-        assert_eq!(std::mem::size_of::<GraphPacket>(), 16);
+    fn graph_packet_keeps_its_four_word_layout() {
+        // born (8) + dest/prev/state/dist0 (4 each) + hops/tries (2
+        // each) — four words flat, no padding; growing the packet
+        // inflates every arc queue in the engine.
+        assert_eq!(std::mem::size_of::<GraphPacket>(), 32);
     }
 
     fn faulty_torus(fallback: FaultFallback, fraction: f64) -> Report {
@@ -1059,5 +1415,114 @@ mod tests {
             a.delivered, b.delivered,
             "arrival seed changes the death schedule"
         );
+    }
+
+    #[test]
+    fn escape_outdelivers_drop_and_classifies_every_measured_drop() {
+        let dropped = faulty_torus(FaultFallback::Drop, 0.3);
+        let escaped = faulty_torus(FaultFallback::Escape { ttl: 8 }, 0.3);
+        let (gd, ge) = (graph(&dropped), graph(&escaped));
+        assert!(
+            ge.delivery_fraction > gd.delivery_fraction,
+            "escape {} vs drop {}",
+            ge.delivery_fraction,
+            gd.delivery_fraction
+        );
+        assert_eq!(
+            escaped.generated,
+            escaped.delivered + ge.dropped,
+            "conservation"
+        );
+        // Outcome taxonomy appears only under the escape fallback, so
+        // every pre-existing dense baseline stays byte-identical.
+        assert!(gd.outcomes.is_none(), "drop runs must not grow a taxonomy");
+        let o = ge.outcomes.as_ref().expect("escape reports outcomes");
+        assert!(o.success > 0);
+        assert!(o.recovered > 0, "30% dead arcs but nothing ever escaped");
+        assert!(o.mean_escape_hops > 0.0);
+        // Every measured drop is classified, exhaustively.
+        assert_eq!(o.local_minimum + o.dead_end, ge.dropped_in_window);
+        // Bit-identical reruns: the fallback uses no RNG.
+        assert_eq!(escaped, faulty_torus(FaultFallback::Escape { ttl: 8 }, 0.3));
+    }
+
+    #[test]
+    fn escape_ttl_bounds_the_paid_walk() {
+        // TTL 1 allows a single paid hop per minimum: strictly fewer
+        // deliveries than a generous TTL, strictly more than plain drop.
+        let tight = faulty_torus(FaultFallback::Escape { ttl: 1 }, 0.3);
+        let loose = faulty_torus(FaultFallback::Escape { ttl: 12 }, 0.3);
+        let dropped = faulty_torus(FaultFallback::Drop, 0.3);
+        assert!(graph(&loose).delivery_fraction >= graph(&tight).delivery_fraction);
+        assert!(graph(&tight).delivery_fraction > graph(&dropped).delivery_fraction);
+        for r in [&tight, &loose] {
+            assert_eq!(r.generated, r.delivered + graph(r).dropped, "conservation");
+        }
+    }
+
+    #[test]
+    fn stretch_accounting_is_opt_in_and_exact_on_the_clean_path() {
+        // Fault-free torus: greedy hops equal the initial distance, so
+        // every delivery is clean with stretch exactly 1.
+        let mut s = torus_scenario(4, 2, 0.4);
+        s.workload.stretch = Some(true);
+        let r = s.run().unwrap();
+        let st = graph(&r).stretch.as_ref().expect("stretch was requested");
+        assert_eq!(st.mean_deflections, 0.0);
+        assert_eq!(st.deflected_fraction, 0.0);
+        assert!(
+            (st.mean_stretch - 1.0).abs() < 1e-12,
+            "stretch {}",
+            st.mean_stretch
+        );
+        assert!((st.clean_stretch - 1.0).abs() < 1e-12);
+        assert!(st.deflected_stretch.is_nan(), "nothing deflected");
+        assert_eq!(st.mean_excess_hops, 0.0);
+        // Off by default: the plain run reports no stretch block.
+        let plain = torus_scenario(4, 2, 0.4).run().unwrap();
+        assert!(graph(&plain).stretch.is_none());
+    }
+
+    #[test]
+    fn faulted_butterfly_multipath_stretch_counts_deflections() {
+        // Satellite regression: the multipath-recovered butterfly pays
+        // extra passes, and the stretch block must expose them — clean
+        // deliveries ride the unique greedy path (stretch exactly 1),
+        // deflected ones exceed it.
+        let s = Scenario::builder(Topology::Butterfly { dim: 4 })
+            .lambda(0.3)
+            .p(0.5)
+            .horizon(2_000.0)
+            .warmup(400.0)
+            .seed(17)
+            .faults(Some(FaultSpec {
+                mode: FaultMode::Seeded {
+                    fraction: 0.08,
+                    seed: 23,
+                },
+                fallback: FaultFallback::Multipath,
+                dynamics: None,
+            }))
+            .stretch(true)
+            .build()
+            .unwrap();
+        let r = s.run().unwrap();
+        let g = graph(&r);
+        let st = g.stretch.as_ref().expect("stretch was requested");
+        assert!(st.mean_deflections > 0.0, "8% dead arcs but no deflections");
+        assert!(st.deflected_fraction > 0.0 && st.deflected_fraction < 1.0);
+        assert!(
+            (st.clean_stretch - 1.0).abs() < 1e-12,
+            "unique paths are tight"
+        );
+        assert!(
+            st.deflected_stretch > 1.0,
+            "back-routed passes must stretch: {}",
+            st.deflected_stretch
+        );
+        assert!(st.mean_stretch > 1.0 && st.mean_stretch < st.deflected_stretch);
+        assert!(st.mean_excess_hops > 0.0);
+        // Bit-identical reruns, stretch block included.
+        assert_eq!(r, s.run().unwrap());
     }
 }

@@ -26,7 +26,7 @@
 //! |---|---|---|
 //! | [`hypercube_sim`] | schemes over XOR masks, per-dimension stats | §3 |
 //! | [`butterfly_sim`] | unique levelled paths, per-level stats | §4 |
-//! | [`graph_sim`] | **any** `RoutingTopology` as pure data | ring (Papillon), torus, de Bruijn |
+//! | [`graph_sim`] | **any** `RoutingTopology` as pure data | ring (Papillon), torus, de Bruijn, the generated sparse graphs |
 //!
 //! Two simulators deliberately stay off the generic engine:
 //! [`equivalent_network`] (per-*server* PS service with positional
@@ -55,13 +55,22 @@
 //! 3. Drop scenario files into `scenarios/` and regenerate baselines
 //!    with `hyperroute-grid run-corpus --update`.
 //!
+//! Generated sparse graphs (`hyperroute-sparse`: Kleinberg small-world,
+//! hyperbolic disk, configuration-model scale-free and expander) skip
+//! step 1 entirely — `SparseTopology` already implements the trait over
+//! any seeded CSR + embedding, so adding a *generator* is a ~100-line
+//! pure function (the walkthrough lives in that crate's docs). Because
+//! metric greedy can stall, their runs additionally report the
+//! `SUCCESS | LOCAL_MINIMUM | DEAD_END` route-outcome taxonomy in
+//! [`scenario::OutcomeExt`].
+//!
 //! Topologies that need custom per-hop state or statistics (the
 //! hypercube's schemes, the butterfly's per-level rates) still write a
 //! hand-tuned [`engine::EngineSpec`] (~150 lines) against the same
 //! engine; the plain ring keeps its byte-compatible `RingExt` through a
 //! specialised extension builder over the blanket spec.
 //!
-//! # Fault handling: the four-fallback model
+//! # Fault handling: the five-fallback model
 //!
 //! A [`config::FaultSpec`] kills a set of directed arcs — a static
 //! seeded/explicit mask, an optional dynamic arrival process
@@ -75,6 +84,7 @@
 //! | `Detour` | first live same-kind arc with strict shortest-path progress | spare greedy arcs (hypercube, torus) |
 //! | `Multipath` | first live arc from the topology's **ranked alternates**, regressing ones capped per packet | `RoutingTopology::alternate_arcs` |
 //! | `Retry { budget }` | free detour if one exists, else any live ranked alternate, charged against a per-packet deflection budget | both |
+//! | `Escape { ttl }` | GOAFR-style walk to the best live neighbour even **without** strict progress, up to `ttl` paid (non-improving) hops per packet | a metric `distance` (sparse topologies; recovers local minima, not just dead arcs) |
 //!
 //! Whatever the fallback, conservation stays exact: every generated
 //! packet ends as delivered or dropped (`generated == delivered +

@@ -8,9 +8,12 @@ use serde::{Deserialize, Serialize};
 ///
 /// `PartialEq` is bit-exact (no tolerance): it exists for the
 /// scheduler-equivalence tests, which demand identical reports from both
-/// event-queue backends. It compares floats by bit pattern, so the NaN
-/// quantiles of an empty measurement window compare equal instead of
-/// poisoning `Report == Report` with IEEE `NaN != NaN`.
+/// event-queue backends. It compares floats by bit pattern, except that
+/// any two non-finite values are equal: JSON maps every non-finite `f64`
+/// through `null` (read back as the canonical NaN), so the NaN quantiles
+/// of an empty measurement window — and the infinite `ci95` of a
+/// too-short one — must compare equal across a baseline round-trip
+/// instead of poisoning `Report == Report` with IEEE `NaN != NaN`.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct DelayStats {
     /// Mean delay over measured packets.
@@ -29,11 +32,14 @@ pub struct DelayStats {
 
 impl PartialEq for DelayStats {
     fn eq(&self, other: &Self) -> bool {
-        self.mean.to_bits() == other.mean.to_bits()
-            && self.ci95.to_bits() == other.ci95.to_bits()
-            && self.p50.to_bits() == other.p50.to_bits()
-            && self.p90.to_bits() == other.p90.to_bits()
-            && self.p99.to_bits() == other.p99.to_bits()
+        fn feq(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits() || (!a.is_finite() && !b.is_finite())
+        }
+        feq(self.mean, other.mean)
+            && feq(self.ci95, other.ci95)
+            && feq(self.p50, other.p50)
+            && feq(self.p90, other.p90)
+            && feq(self.p99, other.p99)
             && self.count == other.count
     }
 }

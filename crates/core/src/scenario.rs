@@ -48,13 +48,14 @@ use crate::config::{
 };
 use crate::engine::EngineCfg;
 use crate::equivalent_network::{Discipline, EqNetSim};
-use crate::graph_sim::{graph_ext, GraphDestination, GraphSim, GraphSpec};
+use crate::graph_sim::{graph_ext, sparse_ext, GraphDestination, GraphSim, GraphSpec};
 use crate::hypercube_sim::HypercubeSim;
 use crate::metrics::{DelayStats, MetricsCollector};
 use crate::observe::{NullObserver, Observer};
 use crate::pipelined::simulate_pipelined_observed;
 use crate::runner::parallel_map;
 use hyperroute_desim::{splitmix64, SchedulerKind};
+use hyperroute_sparse::{expander, hyperbolic, scale_free, small_world, MAX_SPARSE_NODES};
 use hyperroute_topology::{
     debruijn::MAX_DEBRUIJN_DIM, fattree::MAX_LEVELS as MAX_FATTREE_LEVELS, ring::MAX_RING_NODES,
     torus::MAX_TORUS_NODES, Butterfly, DeBruijn, FatTree, Hypercube, LevelledNetwork, Ring,
@@ -133,6 +134,66 @@ pub enum Topology {
         /// `2^L` leaves).
         levels: usize,
     },
+    /// A Kleinberg small-world lattice: a `dims`-dimensional circular
+    /// grid of side `side` plus `links` long-range contacts per node
+    /// drawn from the harmonic law `P(ℓ) ∝ ℓ^{-alpha}`. Greedy routes on
+    /// the lattice's circular L1 metric — sparse CSR, seeded generator
+    /// (E28's Θ(log²n) regime at `alpha = dims`).
+    SmallWorld {
+        /// Lattice side per dimension (≥ 3; `side^dims ≤ 2^26`).
+        side: u32,
+        /// Lattice dimensionality (1..=4).
+        dims: u32,
+        /// Long-range contacts per node (0..=16).
+        links: u32,
+        /// Harmonic-law exponent (finite, ≥ 0; `alpha = dims` is the
+        /// navigable point).
+        alpha: f64,
+        /// Generator seed (independent of the run seed).
+        seed: u64,
+    },
+    /// A hyperbolic random graph (Krioukov et al.): nodes in the native
+    /// disk of radius `R = 2 ln n + radius_offset`, connected below
+    /// hyperbolic distance `R`. Greedy routes on the exact hyperbolic
+    /// metric and can stall — the `LOCAL_MINIMUM`/`DEAD_END` outcome
+    /// taxonomy is always reported (E29).
+    Hyperbolic {
+        /// Number of nodes (2..=2^26).
+        nodes: u32,
+        /// Radial density exponent (> 0, finite; degree law exponent is
+        /// `2·alpha + 1`).
+        alpha: f64,
+        /// Added to the canonical disk radius `2 ln n` (finite; negative
+        /// densifies).
+        radius_offset: f64,
+        /// Generator seed (independent of the run seed).
+        seed: u64,
+    },
+    /// An erased-configuration-model scale-free graph with power-law
+    /// degree exponent `gamma`. No geometric embedding — greedy routes
+    /// on the circular node-id metric, mostly to exercise the outcome
+    /// taxonomy.
+    ScaleFree {
+        /// Number of nodes (4..=2^26).
+        nodes: u32,
+        /// Power-law exponent (> 1, finite).
+        gamma: f64,
+        /// Minimum degree of the law (1..=64, below `nodes`).
+        min_degree: u32,
+        /// Generator seed (independent of the run seed).
+        seed: u64,
+    },
+    /// A seeded random `degree`-regular graph (an expander whp) via the
+    /// erased configuration model; greedy routes on the circular node-id
+    /// metric. Extends E27's fault-survivability comparison.
+    Expander {
+        /// Number of nodes (4..=2^26; `nodes · degree` even).
+        nodes: u32,
+        /// Uniform degree (3..=64, below `nodes`).
+        degree: u32,
+        /// Generator seed (independent of the run seed).
+        seed: u64,
+    },
 }
 
 impl Topology {
@@ -147,6 +208,10 @@ impl Topology {
             Topology::Torus { .. } => "torus",
             Topology::DeBruijn { .. } => "debruijn",
             Topology::FatTree { .. } => "fattree",
+            Topology::SmallWorld { .. } => "smallworld",
+            Topology::Hyperbolic { .. } => "hyperbolic",
+            Topology::ScaleFree { .. } => "scalefree",
+            Topology::Expander { .. } => "expander",
         }
     }
 }
@@ -226,6 +291,13 @@ pub struct Workload {
     /// (the default, and what an absent JSON key parses to) is the
     /// fault-free network.
     pub faults: Option<FaultSpec>,
+    /// Attach per-delivery stretch accounting (mean deflections,
+    /// per-outcome hop stretch vs the initial greedy distance) to the
+    /// graph report extension. `None`/absent (the default) keeps
+    /// pre-existing reports byte-identical; only blanket-graph-spec
+    /// topologies honour it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stretch: Option<bool>,
 }
 
 impl Default for Workload {
@@ -236,6 +308,7 @@ impl Default for Workload {
             arrivals: ArrivalModel::Poisson,
             dest: DestinationSpec::BitFlip,
             faults: None,
+            stretch: None,
         }
     }
 }
@@ -576,7 +649,124 @@ impl Scenario {
                     w.arrivals,
                 )
             }
+            Topology::SmallWorld {
+                side,
+                dims,
+                links,
+                alpha,
+                ..
+            } => {
+                self.check_sparse_common()?;
+                check_generator_param(*side as f64, "side", 3.0, f64::MAX, "at least 3")?;
+                check_generator_param(*dims as f64, "dims", 1.0, 4.0, "in 1..=4")?;
+                check_generator_param(*links as f64, "links", 0.0, 16.0, "at most 16")?;
+                check_generator_param(*alpha, "alpha", 0.0, f64::MAX, "finite and non-negative")?;
+                if (*side as u64)
+                    .checked_pow(*dims)
+                    .is_none_or(|n| n > MAX_SPARSE_NODES as u64)
+                {
+                    return Err(ConfigError::GeneratorParam {
+                        param: "side^dims".to_string(),
+                        value: (*side as f64).powi(*dims as i32),
+                        requirement: format!("at most {MAX_SPARSE_NODES} nodes"),
+                    });
+                }
+                Ok(())
+            }
+            Topology::Hyperbolic {
+                nodes,
+                alpha,
+                radius_offset,
+                ..
+            } => {
+                self.check_sparse_common()?;
+                check_sparse_nodes(*nodes, 2)?;
+                check_generator_param(*alpha, "alpha", f64::MIN_POSITIVE, f64::MAX, "positive")?;
+                check_generator_param(
+                    *radius_offset,
+                    "radius_offset",
+                    f64::MIN,
+                    f64::MAX,
+                    "finite",
+                )?;
+                Ok(())
+            }
+            Topology::ScaleFree {
+                nodes,
+                gamma,
+                min_degree,
+                ..
+            } => {
+                self.check_sparse_common()?;
+                check_sparse_nodes(*nodes, 4)?;
+                check_generator_param(*gamma, "gamma", 1.0 + f64::EPSILON, f64::MAX, "above 1")?;
+                check_generator_param(
+                    *min_degree as f64,
+                    "min_degree",
+                    1.0,
+                    64.0f64.min(*nodes as f64 - 1.0),
+                    "in 1..=64 and below the node count",
+                )?;
+                Ok(())
+            }
+            Topology::Expander { nodes, degree, .. } => {
+                self.check_sparse_common()?;
+                check_sparse_nodes(*nodes, 4)?;
+                check_generator_param(
+                    *degree as f64,
+                    "degree",
+                    3.0,
+                    64.0f64.min(*nodes as f64 - 1.0),
+                    "in 3..=64 and below the node count",
+                )?;
+                if (*nodes as u64 * *degree as u64) % 2 == 1 {
+                    return Err(ConfigError::GeneratorParam {
+                        param: "nodes * degree".to_string(),
+                        value: *nodes as f64 * *degree as f64,
+                        requirement: "an even stub total".to_string(),
+                    });
+                }
+                Ok(())
+            }
         }
+    }
+
+    /// The workload/policy checks every sparse generated topology
+    /// shares: greedy routing on the embedding metric, FIFO service,
+    /// uniform destinations, and any fault mode except `Explicit`
+    /// (whose dense arc indices are generator-dependent).
+    fn check_sparse_common(&self) -> Result<(), ConfigError> {
+        let w = &self.workload;
+        let unsupported = |feature: &str| {
+            Err(ConfigError::Unsupported {
+                topology: self.topology.name().to_string(),
+                feature: feature.to_string(),
+            })
+        };
+        if self.policy.scheme != Scheme::Greedy {
+            return unsupported("non-greedy schemes (greedy is the embedding metric)");
+        }
+        if self.policy.discipline != Discipline::Fifo {
+            return unsupported("processor-sharing service (use Topology::EqNet)");
+        }
+        if w.dest != DestinationSpec::BitFlip {
+            return unsupported("custom destination pmfs (destinations are uniform)");
+        }
+        if let Some(f) = &w.faults {
+            if matches!(f.mode, crate::config::FaultMode::Explicit { .. }) {
+                return unsupported(
+                    "explicit dead-arc lists (arc indices are generator-dependent)",
+                );
+            }
+            f.validate(usize::MAX)?;
+        }
+        crate::config::check_workload_window(
+            w.lambda,
+            w.p,
+            self.run.horizon,
+            self.run.warmup,
+            w.arrivals,
+        )
     }
 
     /// Instantiate the engine behind this scenario.
@@ -649,6 +839,54 @@ impl Scenario {
                 self,
                 graph_ext,
             )),
+            // The sparse generated topologies all route through the
+            // blanket graph spec with the outcome-taxonomy extension:
+            // metric greedy can stall even fault-free, so SUCCESS /
+            // LOCAL_MINIMUM / DEAD_END is always reported.
+            Topology::SmallWorld {
+                side,
+                dims,
+                links,
+                alpha,
+                seed,
+            } => Box::new(GraphSim::from_parts(
+                small_world(*side, *dims, *links, *alpha, *seed),
+                GraphDestination::Uniform,
+                self,
+                sparse_ext,
+            )),
+            Topology::Hyperbolic {
+                nodes,
+                alpha,
+                radius_offset,
+                seed,
+            } => Box::new(GraphSim::from_parts(
+                hyperbolic(*nodes, *alpha, *radius_offset, *seed),
+                GraphDestination::Uniform,
+                self,
+                sparse_ext,
+            )),
+            Topology::ScaleFree {
+                nodes,
+                gamma,
+                min_degree,
+                seed,
+            } => Box::new(GraphSim::from_parts(
+                scale_free(*nodes, *gamma, *min_degree, *seed),
+                GraphDestination::Uniform,
+                self,
+                sparse_ext,
+            )),
+            Topology::Expander {
+                nodes,
+                degree,
+                seed,
+            } => Box::new(GraphSim::from_parts(
+                expander(*nodes, *degree, *seed),
+                GraphDestination::Uniform,
+                self,
+                sparse_ext,
+            )),
         })
     }
 
@@ -695,9 +933,44 @@ impl Scenario {
             Topology::Ring { .. }
             | Topology::Torus { .. }
             | Topology::DeBruijn { .. }
-            | Topology::FatTree { .. } => 0,
+            | Topology::FatTree { .. }
+            | Topology::SmallWorld { .. }
+            | Topology::Hyperbolic { .. }
+            | Topology::ScaleFree { .. }
+            | Topology::Expander { .. } => 0,
         }
     }
+}
+
+/// Reject a sparse-generator parameter outside `[min, max]` (or not
+/// finite) with a structured [`ConfigError::GeneratorParam`].
+fn check_generator_param(
+    value: f64,
+    param: &str,
+    min: f64,
+    max: f64,
+    requirement: &str,
+) -> Result<(), ConfigError> {
+    if value.is_finite() && (min..=max).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::GeneratorParam {
+            param: param.to_string(),
+            value,
+            requirement: requirement.to_string(),
+        })
+    }
+}
+
+/// Reject a sparse node count below `min` or above the CSR ceiling.
+fn check_sparse_nodes(nodes: u32, min: u32) -> Result<(), ConfigError> {
+    check_generator_param(
+        nodes as f64,
+        "nodes",
+        min as f64,
+        MAX_SPARSE_NODES as f64,
+        "within the sparse node ceiling",
+    )
 }
 
 /// Node count of a `k`-ary `d`-cube, or `None` when the shape is out of
@@ -736,9 +1009,9 @@ fn ring_ext(spec: &GraphSpec<Ring>, cfg: &EngineCfg, collector: &MetricsCollecto
     let (mut cw, mut ccw) = (0u64, 0u64);
     for (arc, &count) in spec.arc_arrivals().iter().enumerate() {
         if !ring.bidirectional() || arc & 1 == 0 {
-            cw += count;
+            cw += count as u64;
         } else {
-            ccw += count;
+            ccw += count as u64;
         }
     }
     ReportExt::Ring(RingExt {
@@ -852,6 +1125,12 @@ impl ScenarioBuilder {
     /// Set (or clear) the arc-failure mask.
     pub fn faults(mut self, faults: Option<FaultSpec>) -> Self {
         self.scenario.workload.faults = faults;
+        self
+    }
+
+    /// Enable per-delivery stretch accounting in the graph extension.
+    pub fn stretch(mut self, stretch: bool) -> Self {
+        self.scenario.workload.stretch = Some(stretch);
         self
     }
 
@@ -1069,13 +1348,73 @@ pub struct GraphExt {
     /// Measured deliveries / (measured deliveries + measured drops) — the
     /// fault-tolerance headline; NaN when nothing was measured.
     pub delivery_fraction: f64,
+    /// Route-outcome taxonomy (`SUCCESS | LOCAL_MINIMUM | DEAD_END` plus
+    /// escape-recovery counters). Always present on sparse generated
+    /// topologies; on dense topologies only under the Escape fallback.
+    /// Absent (`None`) keys serialise to nothing, keeping pre-existing
+    /// baselines byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub outcomes: Option<OutcomeExt>,
+    /// Per-delivery stretch accounting; present iff
+    /// [`Workload::stretch`] asked for it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stretch: Option<StretchExt>,
 }
 
-/// Bit-exact float comparison that also equates NaNs with differing
-/// payloads (a JSON round-trip maps every NaN through `null` to the
-/// canonical `f64::NAN`).
+/// How measured routes ended: the `SUCCESS | LOCAL_MINIMUM | DEAD_END`
+/// taxonomy of greedy routing on a metric embedding, plus the
+/// escape-recovery counters of the GOAFR-style fallback.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OutcomeExt {
+    /// Measured packets delivered (`SUCCESS`).
+    pub success: u64,
+    /// Measured packets dropped at a metric local minimum — a live
+    /// out-neighbour existed but none improved (includes escape-TTL
+    /// exhaustion).
+    pub local_minimum: u64,
+    /// Measured packets dropped with **no** live out-arc at all.
+    pub dead_end: u64,
+    /// Measured deliveries that entered escape mode at least once and
+    /// still made it.
+    pub recovered: u64,
+    /// Mean paid (non-improving) escape hops per recovered delivery
+    /// (NaN when nothing recovered).
+    pub mean_escape_hops: f64,
+}
+
+/// Per-delivery stretch accounting over the measurement window: hops
+/// relative to the packet's initial greedy distance, split by whether
+/// the route ever deflected (paid a non-improving hop).
+///
+/// On the dense topologies the initial distance **is** the shortest
+/// hop count, so `mean_stretch` is path stretch in the usual sense. On
+/// the sparse generators the denominator is the quantised *embedding*
+/// distance (ring offset, scaled hyperbolic distance), which is not a
+/// hop count — the values are deterministic and comparable across runs
+/// of the same scenario, but for true hop stretch on sparse graphs use
+/// the BFS-baselined measurements in experiment E29.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StretchExt {
+    /// Mean `hops / initial_distance` over measured deliveries.
+    pub mean_stretch: f64,
+    /// Mean paid deflections per measured delivery.
+    pub mean_deflections: f64,
+    /// Fraction of measured deliveries with at least one deflection.
+    pub deflected_fraction: f64,
+    /// Mean stretch over never-deflected deliveries (NaN if none).
+    pub clean_stretch: f64,
+    /// Mean stretch over deflected deliveries (NaN if none).
+    pub deflected_stretch: f64,
+    /// Mean `hops - initial_distance` over measured deliveries.
+    pub mean_excess_hops: f64,
+}
+
+/// Bit-exact float comparison that also equates any two non-finite
+/// values (a JSON round-trip maps every NaN *and infinity* through
+/// `null` to the canonical `f64::NAN`, so non-finite values are
+/// indistinguishable after persisting a report).
 fn f64_eq(a: f64, b: f64) -> bool {
-    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+    a.to_bits() == b.to_bits() || (!a.is_finite() && !b.is_finite())
 }
 
 fn f64_slice_eq(a: &[f64], b: &[f64]) -> bool {
@@ -1122,6 +1461,29 @@ impl PartialEq for GraphExt {
             && self.dropped == other.dropped
             && self.dropped_in_window == other.dropped_in_window
             && f64_eq(self.delivery_fraction, other.delivery_fraction)
+            && self.outcomes == other.outcomes
+            && self.stretch == other.stretch
+    }
+}
+
+impl PartialEq for OutcomeExt {
+    fn eq(&self, other: &Self) -> bool {
+        self.success == other.success
+            && self.local_minimum == other.local_minimum
+            && self.dead_end == other.dead_end
+            && self.recovered == other.recovered
+            && f64_eq(self.mean_escape_hops, other.mean_escape_hops)
+    }
+}
+
+impl PartialEq for StretchExt {
+    fn eq(&self, other: &Self) -> bool {
+        f64_eq(self.mean_stretch, other.mean_stretch)
+            && f64_eq(self.mean_deflections, other.mean_deflections)
+            && f64_eq(self.deflected_fraction, other.deflected_fraction)
+            && f64_eq(self.clean_stretch, other.clean_stretch)
+            && f64_eq(self.deflected_stretch, other.deflected_stretch)
+            && f64_eq(self.mean_excess_hops, other.mean_excess_hops)
     }
 }
 
@@ -1332,6 +1694,10 @@ pub enum SweepParam {
     Horizon,
     /// Vary the pipelined round count.
     Rounds,
+    /// Vary the sparse generator's law exponent: the small-world
+    /// harmonic `alpha`, the hyperbolic radial `alpha`, or the
+    /// scale-free `gamma`.
+    Alpha,
 }
 
 /// One named grid axis of a [`Sweep`].
@@ -1492,6 +1858,13 @@ fn apply_param(s: &mut Scenario, param: SweepParam, value: f64) -> Result<(), Co
             // The fat tree's level count: a Dim axis sweeps the tree
             // height (and with it the 2^L leaf count).
             Topology::FatTree { levels } => *levels = as_usize(value),
+            // Sparse generators: a Dim axis sweeps the size knob (the
+            // lattice side, or the node count) — the E28/E29 n-scaling
+            // axis.
+            Topology::SmallWorld { side, .. } => *side = as_usize(value) as u32,
+            Topology::Hyperbolic { nodes, .. }
+            | Topology::ScaleFree { nodes, .. }
+            | Topology::Expander { nodes, .. } => *nodes = as_usize(value) as u32,
             Topology::EqNet { net, .. } => match net {
                 EqNetSpec::HypercubeQ { dim } | EqNetSpec::ButterflyR { dim } => {
                     *dim = as_usize(value)
@@ -1510,6 +1883,18 @@ fn apply_param(s: &mut Scenario, param: SweepParam, value: f64) -> Result<(), Co
                 return Err(ConfigError::Unsupported {
                     topology: s.topology.name().to_string(),
                     feature: "sweeping Rounds (pipelined only)".to_string(),
+                })
+            }
+        },
+        SweepParam::Alpha => match &mut s.topology {
+            Topology::SmallWorld { alpha, .. } | Topology::Hyperbolic { alpha, .. } => {
+                *alpha = value
+            }
+            Topology::ScaleFree { gamma, .. } => *gamma = value,
+            _ => {
+                return Err(ConfigError::Unsupported {
+                    topology: s.topology.name().to_string(),
+                    feature: "sweeping Alpha (sparse generated topologies only)".to_string(),
                 })
             }
         },
@@ -1893,5 +2278,187 @@ mod tests {
         let points = sweep.scenarios().unwrap();
         assert_eq!(points[0].topology, Topology::Hypercube { dim: 3 });
         assert_eq!(points[1].topology, Topology::Hypercube { dim: 5 });
+    }
+
+    fn smallworld_scenario() -> Scenario {
+        Scenario::builder(Topology::SmallWorld {
+            side: 32,
+            dims: 2,
+            links: 2,
+            alpha: 2.0,
+            seed: 11,
+        })
+        .lambda(0.05)
+        .horizon(400.0)
+        .warmup(80.0)
+        .seed(5)
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn sparse_generator_bounds_are_validated() {
+        let bad = |t: Topology| {
+            let err = Scenario::builder(t).build().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::GeneratorParam { .. }),
+                "wanted GeneratorParam, got {err:?}"
+            );
+        };
+        bad(Topology::SmallWorld {
+            side: 2,
+            dims: 2,
+            links: 1,
+            alpha: 2.0,
+            seed: 0,
+        });
+        bad(Topology::SmallWorld {
+            side: 9000,
+            dims: 4,
+            links: 1,
+            alpha: 2.0,
+            seed: 0,
+        });
+        bad(Topology::Hyperbolic {
+            nodes: 128,
+            alpha: 0.0,
+            radius_offset: 0.0,
+            seed: 0,
+        });
+        bad(Topology::Hyperbolic {
+            nodes: 128,
+            alpha: 0.8,
+            radius_offset: f64::NAN,
+            seed: 0,
+        });
+        bad(Topology::ScaleFree {
+            nodes: 256,
+            gamma: 1.0,
+            min_degree: 2,
+            seed: 0,
+        });
+        bad(Topology::Expander {
+            nodes: 256,
+            degree: 2,
+            seed: 0,
+        });
+        // Odd stub total.
+        bad(Topology::Expander {
+            nodes: 255,
+            degree: 3,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn sparse_topologies_reject_dense_only_features() {
+        let err = Scenario::builder(Topology::Hyperbolic {
+            nodes: 128,
+            alpha: 0.8,
+            radius_offset: 0.0,
+            seed: 1,
+        })
+        .dest(DestinationSpec::RingPowerLaw { alpha: 1.0 })
+        .build()
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::Unsupported { .. }));
+        // Explicit dead-arc lists are generator-dependent — rejected.
+        use crate::config::FaultMode;
+        let err = Scenario::builder(Topology::ScaleFree {
+            nodes: 256,
+            gamma: 2.5,
+            min_degree: 2,
+            seed: 1,
+        })
+        .faults(Some(FaultSpec {
+            mode: FaultMode::Explicit { arcs: vec![0] },
+            fallback: FaultFallback::Drop,
+            dynamics: None,
+        }))
+        .build()
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn smallworld_runs_end_to_end_with_outcome_taxonomy() {
+        let r = smallworld_scenario().run().unwrap();
+        let g = r.graph().expect("sparse runs report the graph extension");
+        assert_eq!(g.nodes, 1024);
+        let o = g.outcomes.as_ref().expect("sparse always reports outcomes");
+        // The fault-free lattice with long links never stalls: the
+        // lattice arcs alone always improve the L1 metric.
+        assert_eq!(o.local_minimum + o.dead_end, 0);
+        assert_eq!(r.generated, r.delivered);
+        assert!(o.success > 0);
+        // Bit-identical reruns across schedulers.
+        let mut alt = smallworld_scenario();
+        alt.run.scheduler = SchedulerKind::Heap;
+        assert_eq!(r, alt.run().unwrap());
+    }
+
+    #[test]
+    fn sparse_scenario_json_round_trips() {
+        let s = smallworld_scenario();
+        let parsed = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, parsed);
+        assert_eq!(s.run().unwrap(), parsed.run().unwrap());
+        // Absent stretch key parses to None and emits no block.
+        assert!(!s.to_json().contains("stretch"));
+    }
+
+    #[test]
+    fn alpha_sweep_touches_the_law_exponent() {
+        let sweep = Sweep::new(
+            smallworld_scenario(),
+            vec![Axis::new(SweepParam::Alpha, vec![1.0, 2.0, 3.0])],
+        );
+        let alphas: Vec<f64> = sweep
+            .scenarios()
+            .unwrap()
+            .iter()
+            .map(|s| match s.topology {
+                Topology::SmallWorld { alpha, .. } => alpha,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(alphas, vec![1.0, 2.0, 3.0]);
+        // Alpha on a dense topology is a structured error.
+        let err = Sweep::new(
+            hypercube_scenario(),
+            vec![Axis::new(SweepParam::Alpha, vec![1.0])],
+        )
+        .scenarios()
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn hyperbolic_reports_stalls_in_the_taxonomy() {
+        // A sparse disk at alpha close to 1 leaves some node pairs
+        // without a greedy path — those must surface as LOCAL_MINIMUM
+        // or DEAD_END drops, conserving the packet count.
+        let r = Scenario::builder(Topology::Hyperbolic {
+            nodes: 256,
+            alpha: 0.9,
+            radius_offset: 0.0,
+            seed: 3,
+        })
+        .lambda(0.05)
+        .horizon(400.0)
+        .warmup(80.0)
+        .seed(9)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+        let g = r.graph().unwrap();
+        let o = g.outcomes.as_ref().unwrap();
+        assert!(
+            o.local_minimum + o.dead_end > 0,
+            "a sparse disk should stall somewhere"
+        );
+        assert_eq!(r.generated, r.delivered + g.dropped, "conservation");
+        assert_eq!(o.local_minimum + o.dead_end, g.dropped_in_window);
     }
 }

@@ -94,6 +94,10 @@ pub fn probe_scenario(scenario: &Scenario) -> Result<StabilityVerdict, ConfigErr
         Topology::Torus { radix, dim } => radix.pow(*dim as u32),
         // Only the leaves inject in a fat tree.
         Topology::FatTree { levels } => 1usize << levels,
+        Topology::SmallWorld { side, dims, .. } => (*side as usize).pow(*dims),
+        Topology::Hyperbolic { nodes, .. }
+        | Topology::ScaleFree { nodes, .. }
+        | Topology::Expander { nodes, .. } => *nodes as usize,
         Topology::EqNet { .. } => 1,
     };
     let injection = match &probed.topology {

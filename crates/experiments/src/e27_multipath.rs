@@ -39,6 +39,14 @@ fn fallbacks_for(topology: &Topology) -> Vec<(&'static str, FaultFallback)> {
     if !matches!(topology, Topology::Butterfly { .. }) {
         out.insert(1, ("detour", FaultFallback::Detour));
     }
+    // The expander routes greedily on the circular node-id metric, which
+    // stalls at metric local minima even fault-free — exactly what the
+    // GOAFR-style escape walk recovers and the ranked-alternate
+    // fallbacks cannot (there is no strictly-improving alternate at a
+    // local minimum).
+    if matches!(topology, Topology::Expander { .. }) {
+        out.push(("escape16", FaultFallback::Escape { ttl: 16 }));
+    }
     out
 }
 
@@ -81,6 +89,15 @@ pub fn run(scale: Scale) -> Table {
         ("debruijn", Topology::DeBruijn { dim: 6 }, 0.12),
         ("butterfly", Topology::Butterfly { dim: 4 }, 0.3),
         ("fattree", Topology::FatTree { levels: 4 }, 0.25),
+        (
+            "expander",
+            Topology::Expander {
+                nodes: 512,
+                degree: 4,
+                seed: 0xE27,
+            },
+            0.05,
+        ),
     ];
 
     let mut t = Table::new(
@@ -151,7 +168,11 @@ pub fn run(scale: Scale) -> Table {
          shift, butterfly fresh-pass back-route, fat-tree flipped up arc) before \
          dropping; retry8 additionally charges recoveries against an 8-deflection \
          per-packet budget. The butterfly has no detour row: unique greedy paths \
-         leave it no same-kind alternative, so Detour is rejected at validation",
+         leave it no same-kind alternative, so Detour is rejected at validation. \
+         The random 4-regular expander greedily routes on the circular node-id \
+         metric and stalls at local minima even fault-free; escape16 adds the \
+         GOAFR-style best-neighbour walk (TTL 16 paid hops), the only fallback \
+         that recovers metric stalls rather than just dead arcs",
     );
     t
 }
@@ -215,6 +236,26 @@ mod tests {
             assert!(
                 get("butterfly", fraction, "retry8") > bf_drop * 1.15,
                 "butterfly retry gain over drop at {fraction}"
+            );
+        }
+        // The expander's metric greedy stalls even fault-free: only the
+        // escape walk recovers those, so it must beat drop everywhere —
+        // including the zero-fault column where the alternate-arc
+        // fallbacks recover nothing.
+        for fraction in ["0", "0.1000", "0.2500"] {
+            let ex_drop = get("expander", fraction, "drop");
+            let ex_escape = get("expander", fraction, "escape16");
+            assert!(
+                ex_drop < 1.0,
+                "expander@{fraction}: id-metric greedy should stall somewhere"
+            );
+            assert!(
+                ex_escape > ex_drop,
+                "expander@{fraction}: escape {ex_escape} not above drop {ex_drop}"
+            );
+            assert!(
+                ex_escape >= get("expander", fraction, "multipath"),
+                "expander@{fraction}: escape must recover at least what multipath does"
             );
         }
     }

@@ -1,0 +1,197 @@
+//! E29 — beyond the paper: greedy routing on hyperbolic random graphs.
+//!
+//! Krioukov et al.: scale-free networks embed naturally in the
+//! hyperbolic disk, and greedy forwarding on the hyperbolic metric
+//! succeeds with high probability at near-optimal stretch. Two parts:
+//!
+//! 1. **Static walks vs n** — generate disks across a geometric size
+//!    ladder, walk deterministic source/destination pairs greedily
+//!    ([`hyperroute_sparse::SparseTopology::greedy_walk`]), and compare
+//!    the successful walks' hop counts against true shortest paths
+//!    ([`hyperroute_sparse::SparseTopology::bfs_distance`]): success
+//!    rate and mean stretch
+//!    per n, with mean hops tracking the `Θ(log n)` diameter.
+//! 2. **Queued delay vs load** — drive the same disk through the full
+//!    engine ([`Topology::Hyperbolic`]) at a ladder of arrival rates:
+//!    sojourn delay, delivery fraction, and the `SUCCESS |
+//!    LOCAL_MINIMUM | DEAD_END` outcome taxonomy under contention.
+//!
+//! Greedy on a metric embedding *can* stall — the outcome taxonomy (and
+//! E27's escape fallback) exists for exactly that reason; the static
+//! part measures how rarely it happens on a well-parameterised disk.
+
+use crate::table::{f4, Table};
+use crate::Scale;
+use hyperroute_core::{Scenario, Topology};
+use hyperroute_sparse::hyperbolic;
+use hyperroute_topology::RoutingTopology;
+
+/// Disk parameters: `alpha < 1` concentrates mass near the centre and
+/// the negative radius offset densifies — the navigable regime.
+const ALPHA: f64 = 0.7;
+const OFFSET: f64 = -1.5;
+
+/// Deterministic stride sample of distinct (src, dest) pairs.
+fn sample_pairs(n: u64, pairs: u64) -> impl Iterator<Item = (u64, u64)> {
+    (0..pairs).filter_map(move |i| {
+        let src = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) % n;
+        let dest = (i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 7).wrapping_add(n / 3) % n;
+        (src != dest).then_some((src, dest))
+    })
+}
+
+/// Success rate, stretch, and loaded delay on hyperbolic disks.
+pub fn run(scale: Scale) -> Table {
+    let sizes: Vec<u32> = match scale {
+        Scale::Quick => vec![512, 1024, 2048],
+        Scale::Full => vec![1024, 4096, 16384, 65536],
+    };
+    let pairs = match scale {
+        Scale::Quick => 150,
+        Scale::Full => 300,
+    };
+    // BFS ground truth is O(n + m) per pair; subsample it.
+    let bfs_pairs = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 60,
+    };
+
+    let mut t = Table::new(
+        "E29 (beyond the paper) — hyperbolic greedy: success rate, stretch, \
+         and queued delay under load",
+        &[
+            "part",
+            "n",
+            "lambda",
+            "success_frac",
+            "mean_hops",
+            "stretch",
+            "delay",
+            "local_min",
+            "dead_end",
+        ],
+    );
+
+    // Part 1: static greedy walks vs n.
+    for &n in &sizes {
+        let topo = hyperbolic(n, ALPHA, OFFSET, 0xE29);
+        let nodes = topo.num_nodes() as u64;
+        let (mut ok, mut total, mut hops_sum) = (0u64, 0u64, 0u64);
+        let (mut stretch_sum, mut stretch_count) = (0.0f64, 0u64);
+        for (i, (src, dest)) in sample_pairs(nodes, pairs).enumerate() {
+            total += 1;
+            if let Ok(hops) = topo.greedy_walk(src, dest) {
+                ok += 1;
+                hops_sum += hops as u64;
+                if (i as u64) < bfs_pairs {
+                    if let Some(shortest) = topo.bfs_distance(src, dest) {
+                        stretch_sum += hops as f64 / shortest as f64;
+                        stretch_count += 1;
+                    }
+                }
+            }
+        }
+        t.row(vec![
+            "static".into(),
+            n.to_string(),
+            "0".into(),
+            f4(ok as f64 / total as f64),
+            f4(hops_sum as f64 / ok as f64),
+            f4(stretch_sum / stretch_count as f64),
+            "nan".into(),
+            "0".into(),
+            "0".into(),
+        ]);
+    }
+
+    // Part 2: the engine under load at a fixed n.
+    let n = match scale {
+        Scale::Quick => 1024,
+        Scale::Full => 16384,
+    };
+    let horizon = scale.horizon(3_000.0);
+    for lambda in [0.01, 0.03, 0.06] {
+        let r = Scenario::builder(Topology::Hyperbolic {
+            nodes: n,
+            alpha: ALPHA,
+            radius_offset: OFFSET,
+            seed: 0xE29,
+        })
+        .lambda(lambda)
+        .horizon(horizon)
+        .warmup(horizon * 0.2)
+        .seed(0x5E29)
+        .build()
+        .expect("valid scenario")
+        .run()
+        .expect("scenario runs");
+        let g = r.graph().expect("graph extension");
+        let o = g.outcomes.as_ref().expect("sparse outcome taxonomy");
+        assert_eq!(r.generated, r.delivered + g.dropped, "conservation");
+        t.row(vec![
+            "loaded".into(),
+            n.to_string(),
+            f4(lambda),
+            f4(g.delivery_fraction),
+            f4(g.mean_hops),
+            "nan".into(),
+            f4(r.delay.mean),
+            o.local_minimum.to_string(),
+            o.dead_end.to_string(),
+        ]);
+    }
+    t.note(
+        "disk: R = 2 ln n - 1.5, radial exponent 0.7 (navigable regime). The \
+         static part walks deterministic pairs and divides greedy hops by the \
+         BFS shortest path on a subsample; stalls count against success_frac. \
+         The loaded part drives the engine: unit-service FIFO arcs, uniform \
+         destinations, delay in service units, with the packets that stall \
+         classified LOCAL_MINIMUM (live neighbours, none closer) or DEAD_END \
+         (no live out-arc)",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperbolic_greedy_succeeds_with_low_stretch_and_bounded_delay() {
+        let t = run(Scale::Quick);
+        let (part_c, n_c, succ_c, stretch_c, delay_c) = (
+            t.col("part"),
+            t.col("n"),
+            t.col("success_frac"),
+            t.col("stretch"),
+            t.col("delay"),
+        );
+        for r in t.rows.iter().filter(|r| r[part_c] == "static") {
+            let succ: f64 = r[succ_c].parse().unwrap();
+            let stretch: f64 = r[stretch_c].parse().unwrap();
+            assert!(
+                succ >= 0.7,
+                "n={}: success {succ} below the navigable regime",
+                r[n_c]
+            );
+            assert!(
+                (1.0..1.6).contains(&stretch),
+                "n={}: greedy stretch {stretch} not near-optimal",
+                r[n_c]
+            );
+        }
+        // The loaded part: delay grows with lambda and stays finite.
+        let delays: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[part_c] == "loaded")
+            .map(|r| r[delay_c].parse().unwrap())
+            .collect();
+        assert_eq!(delays.len(), 3);
+        assert!(delays.iter().all(|d| d.is_finite() && *d > 0.0));
+        assert!(
+            delays[2] > delays[0],
+            "delay must grow with load: {delays:?}"
+        );
+    }
+}

@@ -45,6 +45,8 @@ pub mod e24_ring_greedy;
 pub mod e25_torus_greedy;
 pub mod e26_fault_tolerance;
 pub mod e27_multipath;
+pub mod e28_smallworld;
+pub mod e29_hyperbolic;
 pub mod figures;
 
 pub use table::Table;
@@ -109,5 +111,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("E25", e25_torus_greedy::run),
         ("E26", e26_fault_tolerance::run),
         ("E27", e27_multipath::run),
+        ("E28", e28_smallworld::run),
+        ("E29", e29_hyperbolic::run),
     ]
 }

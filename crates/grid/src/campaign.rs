@@ -268,6 +268,56 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// A sparse-generator sweep: the campaign identity must cover the
+    /// generator parameters (they live inside the serialised `Topology`).
+    fn sparse_sweep() -> Sweep {
+        let base = Scenario::builder(Topology::SmallWorld {
+            side: 10,
+            dims: 2,
+            links: 2,
+            alpha: 2.0,
+            seed: 77,
+        })
+        .lambda(0.04)
+        .horizon(120.0)
+        .warmup(20.0)
+        .seed(9)
+        .build()
+        .unwrap();
+        Sweep::new(
+            base,
+            vec![Axis::new(SweepParam::Alpha, vec![0.0, 2.0, 4.0])],
+        )
+    }
+
+    #[test]
+    fn sparse_campaign_checkpoints_and_refuses_a_foreign_generator() {
+        let sweep = sparse_sweep();
+        let direct = sweep.run(1).unwrap();
+        let dir = temp_dir("sparse");
+        let campaign = Campaign::new(sweep, 1).with_checkpoint(&dir);
+        let got = campaign.run(&ThreadPoolBackend::new(2)).unwrap();
+        assert_eq!(got, direct);
+        // Same sweep shape, different generator seed: a different random
+        // graph, hence a different campaign. Resuming it over this
+        // directory would merge reports from the wrong topology — the
+        // manifest must refuse, not silently reuse the stale slices.
+        let mut other = sparse_sweep();
+        other.base.topology = Topology::SmallWorld {
+            side: 10,
+            dims: 2,
+            links: 2,
+            alpha: 2.0,
+            seed: 78,
+        };
+        let err = Campaign::new(other, 1)
+            .with_checkpoint(&dir)
+            .run(&ThreadPoolBackend::new(2))
+            .unwrap_err();
+        assert!(matches!(err, GridError::Checkpoint(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn checkpoint_refuses_foreign_manifest() {
         let dir = temp_dir("foreign");

@@ -1,0 +1,171 @@
+//! Property tests of the sparse generators: **determinism, CSR
+//! well-formedness, and degree laws** hold for every parameter draw.
+//!
+//! Determinism is the load-bearing contract — the corpus baselines,
+//! the grid's cross-backend byte-equality, and the engine's replay
+//! guarantees all assume that identical generator inputs produce a
+//! byte-identical CSR. Well-formedness (sorted deduped rows, no self
+//! loops, in-range heads, monotone row pointers) is what `SparseGraph`
+//! promises every consumer; the degree bounds pin each generator to its
+//! model (lattice + directed long links, erased configuration matching).
+
+use hyperroute_sparse::{
+    expander, hyperbolic, scale_free, small_world, SparseGraph, SparseTopology,
+};
+use proptest::prelude::*;
+
+/// Every structural invariant a finished CSR must satisfy.
+fn assert_well_formed(g: &SparseGraph) {
+    let n = g.num_nodes();
+    let row_ptr = g.row_ptr();
+    assert_eq!(row_ptr.len(), n + 1);
+    assert_eq!(row_ptr[0], 0);
+    assert_eq!(row_ptr[n] as usize, g.num_arcs());
+    for v in 0..n {
+        assert!(row_ptr[v] <= row_ptr[v + 1], "row_ptr not monotone at {v}");
+        let row = g.neighbors(v);
+        for w in row.windows(2) {
+            assert!(w[0] < w[1], "row {v} not sorted/deduped: {row:?}");
+        }
+        for &h in row {
+            assert!((h as usize) < n, "head {h} out of range in row {v}");
+            assert_ne!(h as usize, v, "self-loop in row {v}");
+        }
+    }
+    // arc_tail agrees with the row layout on a sample of arcs.
+    for arc in (0..g.num_arcs()).step_by((g.num_arcs() / 16).max(1)) {
+        let t = g.arc_tail(arc) as usize;
+        assert!(g.out_range(t).contains(&arc), "arc_tail({arc}) wrong");
+    }
+}
+
+/// Undirected models must come out symmetric: `u→v` implies `v→u`.
+fn assert_symmetric(g: &SparseGraph) {
+    for v in 0..g.num_nodes() {
+        for &h in g.neighbors(v) {
+            assert!(
+                g.neighbors(h as usize).contains(&(v as u32)),
+                "arc {v}→{h} has no reverse"
+            );
+        }
+    }
+}
+
+/// Same parameters and seed ⇒ byte-identical CSR; a different seed must
+/// actually reshuffle the random structure.
+fn assert_deterministic(build: impl Fn(u64) -> SparseTopology, seed: u64) {
+    let a = build(seed);
+    let b = build(seed);
+    assert_eq!(a.graph().row_ptr(), b.graph().row_ptr(), "row_ptr differs");
+    assert_eq!(a.graph().adj(), b.graph().adj(), "adj differs");
+    let c = build(seed ^ 0x5EED_CAFE);
+    assert_ne!(
+        a.graph().adj(),
+        c.graph().adj(),
+        "seed change left the graph untouched"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn small_world_is_deterministic_well_formed_and_lattice_plus_links(
+        side in 4u32..24,
+        dims in 1u32..3,
+        links in 1u32..4,
+        alpha in 0.0f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let t = small_world(side, dims, links, alpha, seed);
+        let g = t.graph();
+        assert_eq!(g.num_nodes(), (side as usize).pow(dims));
+        assert_well_formed(g);
+        // Circular lattice arcs are always present (±1 per dimension,
+        // distinct for side ≥ 4); long links are directed and merge into
+        // the row on collision, so the degree is bounded both ways.
+        let lattice = 2 * dims as usize;
+        for v in 0..g.num_nodes() {
+            let d = g.degree(v);
+            assert!(
+                (lattice..=lattice + links as usize).contains(&d),
+                "node {v}: degree {d} outside [{lattice}, {}]",
+                lattice + links as usize
+            );
+        }
+        assert_deterministic(|s| small_world(side, dims, links, alpha, s), seed);
+    }
+
+    #[test]
+    fn hyperbolic_is_deterministic_well_formed_and_symmetric(
+        nodes in 16u32..160,
+        alpha in 0.55f64..1.2,
+        offset in -2.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let t = hyperbolic(nodes, alpha, offset, seed);
+        let g = t.graph();
+        assert_eq!(g.num_nodes(), nodes as usize);
+        assert_well_formed(g);
+        assert_symmetric(g);
+        assert_deterministic(|s| hyperbolic(nodes, alpha, offset, s), seed);
+    }
+
+    #[test]
+    fn scale_free_is_deterministic_and_keeps_the_degree_law(
+        nodes in 64u32..256,
+        gamma in 1.8f64..3.2,
+        min_degree in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let t = scale_free(nodes, gamma, min_degree, seed);
+        let g = t.graph();
+        assert_eq!(g.num_nodes(), nodes as usize);
+        assert_well_formed(g);
+        assert_symmetric(g);
+        // The erased configuration model: degrees stay under the natural
+        // cutoff √n (+1 for the odd-stub parity bump on node 0), and the
+        // erasure (loops + multi-edges) removes only a small fraction of
+        // the drawn stubs, so the mean stays near the drawn law's floor.
+        let kmax = ((nodes as f64).sqrt() as usize).max(min_degree as usize);
+        for v in 0..g.num_nodes() {
+            assert!(
+                g.degree(v) <= kmax + 1,
+                "node {v}: degree {} above the √n cutoff {kmax}",
+                g.degree(v)
+            );
+        }
+        let mean = g.num_arcs() as f64 / g.num_nodes() as f64;
+        prop_assert!(
+            mean >= 0.7 * min_degree as f64,
+            "mean degree {mean} collapsed below the drawn floor {min_degree}"
+        );
+        assert_deterministic(|s| scale_free(nodes, gamma, min_degree, s), seed);
+    }
+
+    #[test]
+    fn expander_is_deterministic_near_regular_and_symmetric(
+        nodes in 32u32..256,
+        degree in 3u32..7,
+        seed in any::<u64>(),
+    ) {
+        // Keep the stub total even, matching the scenario-layer bound.
+        let nodes = nodes & !1;
+        let t = expander(nodes, degree, seed);
+        let g = t.graph();
+        assert_eq!(g.num_nodes(), nodes as usize);
+        assert_well_formed(g);
+        assert_symmetric(g);
+        // Erasure only removes arcs, so d is a per-node ceiling — and it
+        // removes O(d²) arcs in total, so the graph stays near-regular.
+        for v in 0..g.num_nodes() {
+            assert!(g.degree(v) <= degree as usize, "node {v} over-degree");
+        }
+        let mean = g.num_arcs() as f64 / g.num_nodes() as f64;
+        prop_assert!(
+            mean >= 0.8 * degree as f64,
+            "mean degree {mean} far below d = {degree}"
+        );
+        assert_deterministic(|s| expander(nodes, degree, s), seed);
+    }
+}

@@ -2,19 +2,41 @@
 //!
 //! [`RoutingTopology`] is what a network must provide for the generic
 //! simulation core (`hyperroute-core::engine`) to route packets over it:
-//! a dense arc space and a deterministic greedy next-arc function. The
-//! contract — property-tested in `tests/proptest_routing.rs` over every
-//! implementation — is:
+//! a dense arc space and a deterministic greedy next-arc function. Two
+//! families implement it — the **dense** closed-form topologies in this
+//! crate and the **sparse** generated graphs in `hyperroute-sparse` —
+//! and the trait contract is written for both:
 //!
 //! 1. **Dense arcs.** Arc indices cover `0..num_arcs()` without gaps;
 //!    [`RoutingTopology::arc_tail`] / [`RoutingTopology::arc_head`] invert
 //!    the indexing.
-//! 2. **Greedy progress.** For `node != dest` (with `dest` reachable),
+//! 2. **Greedy descent.** For `node != dest`,
 //!    [`RoutingTopology::next_arc`] returns an arc whose tail is `node`
-//!    and whose head is **strictly closer** to `dest` — so every greedy
-//!    route terminates in exactly `distance(node, dest)` hops and the
-//!    per-hop simulators never cycle.
-//! 3. **Delivery.** `next_arc(node, node)` is `None`.
+//!    and whose head is **strictly closer** to `dest` under
+//!    [`RoutingTopology::distance`] — so greedy routes never cycle.
+//! 3. **Termination.** `next_arc(node, node)` is `None`. Away from the
+//!    destination, `None` means greedy is **stuck**: a *local minimum*
+//!    (neighbours exist, none strictly closer) or a *dead end* (no
+//!    out-arcs). The engine classifies those route outcomes and can
+//!    recover with the escape fallback.
+//!
+//! # Dense vs sparse
+//!
+//! The dense family (hypercube, butterfly, ring, torus, de Bruijn, fat
+//! tree) is *enumerated*: a closed-form arc indexing, a `next_arc` that
+//! is a bit trick, and a `distance` that counts exact greedy hops —
+//! greedy on these never returns `None` short of a reachable
+//! destination, so their routes take exactly `distance(node, dest)`
+//! hops. The sparse family (`hyperroute-sparse`: Kleinberg small-world,
+//! hyperbolic disk, configuration-model scale-free/expander) is
+//! *generated*: a seeded builder streams a random graph into a CSR, and
+//! `next_arc` scans the CSR row for the neighbour closest to `dest`
+//! under an embedding metric. There `distance` is the **quantised
+//! metric** — it orders nodes for strict-progress checks but is not a
+//! hop count — and `next_arc` exercises the relaxed termination arm of
+//! the contract. The property tests in `tests/proptest_routing.rs`
+//! (dense) and `crates/sparse/tests/` (sparse) pin each family to its
+//! half of the contract.
 //!
 //! On top of the greedy contract sits the **multipath contract**:
 //! [`RoutingTopology::alternate_arcs`] enumerates the ranked second-choice
@@ -35,7 +57,11 @@
 //! property tests pin them together. "Add a topology" means implementing
 //! this trait and nothing else: the blanket `GraphSpec<T>` in
 //! `hyperroute-core::graph_sim` runs any impl on the generic engine (the
-//! torus and de Bruijn graphs are the worked examples).
+//! torus and de Bruijn graphs are the worked examples). "Add a sparse
+//! *generator*" is even less: write a seeded `params → SparseTopology`
+//! function (draw structure with a `SimRng`, stream arcs into the CSR,
+//! pick an embedding) and the trait impl comes for free — the
+//! ~100-line walkthrough lives in the `hyperroute-sparse` crate docs.
 //!
 //! Node encodings are plain `u64`s, chosen per topology:
 //!
@@ -67,8 +93,11 @@ pub trait RoutingTopology {
     /// Number of directed arcs; indices are dense in `0..num_arcs()`.
     fn num_arcs(&self) -> usize;
 
-    /// Dense index of the greedy arc out of `node` toward `dest`, or
-    /// `None` when `node == dest` (the packet is delivered).
+    /// Dense index of the greedy arc out of `node` toward `dest`.
+    /// `None` when `node == dest` (delivered) — or, on sparse metric
+    /// topologies, when greedy is stuck at a local minimum or dead end
+    /// (see the [module docs](self)); dense closed-form topologies never
+    /// stall short of a reachable destination.
     fn next_arc(&self, node: u64, dest: u64) -> Option<usize>;
 
     /// Tail node of arc `arc`.
@@ -77,7 +106,10 @@ pub trait RoutingTopology {
     /// Head node of arc `arc`.
     fn arc_head(&self, arc: usize) -> u64;
 
-    /// Hops a greedy route takes from `node` to `dest`.
+    /// The measure greedy descends: on dense topologies the exact hop
+    /// count of the greedy route from `node` to `dest`; on sparse metric
+    /// topologies the quantised embedding distance (an ordering for
+    /// strict-progress checks, **not** a hop count).
     fn distance(&self, node: u64, dest: u64) -> usize;
 
     /// Append the **ranked alternate arcs** out of `node` toward
@@ -101,6 +133,19 @@ pub trait RoutingTopology {
     /// `0..num_sources()` exactly.
     fn num_sources(&self) -> usize {
         self.num_nodes()
+    }
+
+    /// Dense arc range out of `node`, when arc indices are **grouped by
+    /// tail** (CSR layout): arcs `out_arc_range(v)` all have tail `v`,
+    /// and the ranges tile `0..num_arcs()`. The engine's fault fallbacks
+    /// use it to scan a node's out-arcs directly instead of building
+    /// their own counting-sort index. All-or-nothing contract: an
+    /// implementation returns `Some` for every node or for none.
+    /// Default: `None` (dense closed-form topologies interleave arc
+    /// kinds, so their indices are not tail-grouped).
+    fn out_arc_range(&self, node: u64) -> Option<std::ops::Range<usize>> {
+        let _ = node;
+        None
     }
 
     /// Expected greedy path length under uniform destinations — a

@@ -31,6 +31,7 @@
 //! | [`queueing`] | M/M/1, M/D/1, M/D/s, FIFO/PS sample-path servers, product form |
 //! | [`analysis`] | every proposition's bound as a function |
 //! | [`routing`] | the topology-generic engine, the scenario API, and the per-topology simulator specs (crate `hyperroute-core`) |
+//! | [`sparse`] | seeded million-node graph generators (Kleinberg small-world, hyperbolic disk, configuration-model scale-free/expander) on a streaming CSR with metric greedy routing (crate `hyperroute-sparse`) |
 //! | [`grid`] | sharded sweep campaigns: slice jobs, thread-pool/subprocess backends, checkpointed manifests, the scenario-corpus regression gate (crate `hyperroute-grid`) |
 //! | [`experiments`] | the E01–E26 harnesses and result tables |
 //!
@@ -94,6 +95,7 @@ pub use hyperroute_desim as desim;
 pub use hyperroute_experiments as experiments;
 pub use hyperroute_grid as grid;
 pub use hyperroute_queueing as queueing;
+pub use hyperroute_sparse as sparse;
 pub use hyperroute_topology as topology;
 
 /// The most common imports in one place.
@@ -110,11 +112,14 @@ pub mod prelude {
         BufferedObserver, NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
     };
     pub use hyperroute_core::scenario::{
-        Axis, ConfigError, EqNetSpec, GraphExt, Report, ReportExt, Scenario, ScenarioFileError,
-        Simulator, Sweep, SweepParam, Topology,
+        Axis, ConfigError, EqNetSpec, GraphExt, OutcomeExt, Report, ReportExt, Scenario,
+        ScenarioFileError, Simulator, StretchExt, Sweep, SweepParam, Topology,
     };
     pub use hyperroute_core::{ArrivalModel, ContentionPolicy, DestinationSpec, Scheme};
     pub use hyperroute_experiments::{Scale, Table};
+    pub use hyperroute_sparse::{
+        expander, hyperbolic, scale_free, small_world, Embedding, SparseGraph, SparseTopology,
+    };
     pub use hyperroute_topology::{
         Butterfly, DeBruijn, FatTree, Hypercube, LevelledNetwork, NodeId, Ring, RoutingTopology,
         Torus,

@@ -1,0 +1,62 @@
+//! Million-node scale proof for the sparse generators: build plus a
+//! routed sample must stay single-core interactive (well under a
+//! minute). Ignored by default because the budget assumes an optimised
+//! build — run with `cargo test --release --test million_node -- --ignored`.
+
+use std::time::{Duration, Instant};
+
+/// Deterministic sample of (src, dest) pairs over `n` nodes.
+fn pairs(n: u64, count: u64) -> impl Iterator<Item = (u64, u64)> {
+    (0..count).filter_map(move |i| {
+        let s = (i * 499_979) % n;
+        let d = (i * 737_111 + 13) % n;
+        (s != d).then_some((s, d))
+    })
+}
+
+#[test]
+#[ignore = "release-build timing budget; see module docs"]
+fn million_node_build_and_route_is_interactive() {
+    let budget = Duration::from_secs(60);
+
+    let t0 = Instant::now();
+    let sw = hyperroute_sparse::small_world(1000, 2, 2, 2.0, 7);
+    let mut delivered = 0u64;
+    let mut hops = 0u64;
+    for (s, d) in pairs(1_000_000, 2000) {
+        if let Ok(h) = sw.greedy_walk(s, d) {
+            delivered += 1;
+            hops += h as u64;
+        }
+    }
+    let sw_wall = t0.elapsed();
+    assert!(
+        sw_wall < budget,
+        "small-world 10^6 build+route took {sw_wall:?}"
+    );
+    // Kleinberg at the harmonic exponent: polylog hop counts, far below
+    // the ~1000-hop lattice walks of the bare grid.
+    assert!(delivered >= 1900, "delivered {delivered}/2000");
+    let mean = hops as f64 / delivered as f64;
+    assert!(mean < 120.0, "mean greedy hops {mean}");
+
+    let t0 = Instant::now();
+    let hy = hyperroute_sparse::hyperbolic(1_000_000, 0.7, -1.5, 7);
+    let mut delivered = 0u64;
+    let mut hops = 0u64;
+    for (s, d) in pairs(1_000_000, 2000) {
+        if let Ok(h) = hy.greedy_walk(s, d) {
+            delivered += 1;
+            hops += h as u64;
+        }
+    }
+    let hy_wall = t0.elapsed();
+    assert!(
+        hy_wall < budget,
+        "hyperbolic 10^6 build+route took {hy_wall:?}"
+    );
+    // Krioukov greedy: near-ubiquitous success at O(log n) hops.
+    assert!(delivered >= 1900, "delivered {delivered}/2000");
+    let mean = hops as f64 / delivered as f64;
+    assert!(mean < 10.0, "mean greedy hops {mean}");
+}
