@@ -52,7 +52,7 @@ use std::time::Instant;
 
 /// Bump when the report layout changes; CI checks the checked-in JSON
 /// carries the current value.
-const SCHEMA_VERSION: u32 = 4;
+const SCHEMA_VERSION: u32 = 5;
 
 struct Cell {
     sim: &'static str,
@@ -385,6 +385,34 @@ fn main() {
         json,
         "  \"headline\": {{ \"kernel\": \"hypercube_sim/d8_rho0.8\", \"calendar_vs_seed_speedup\": {headline_seed:.3}, \"calendar_vs_heap_backend_speedup\": {headline_heap:.3} }},"
     );
+    // Engine phase timers (schema v5). In default builds the feature is
+    // off and only `enabled: false` is recorded — the grid above then
+    // measured a timer-free hot loop. Rebuild with
+    // `--features hyperroute-core/profile` for per-phase costs.
+    let profile = hyperroute_core::profile::take();
+    if profile.enabled {
+        let total_nanos: u64 = profile.phases.iter().map(|p| p.nanos).sum();
+        let _ = writeln!(
+            json,
+            "  \"profile\": {{ \"enabled\": true, \"total_timed_s\": {:.6}, \"phases\": {{",
+            total_nanos as f64 / 1e9
+        );
+        for (i, p) in profile.phases.iter().enumerate() {
+            let sep = if i + 1 == profile.phases.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                json,
+                "    \"{}\": {{ \"nanos\": {}, \"hits\": {} }}{sep}",
+                p.name, p.nanos, p.hits
+            );
+        }
+        json.push_str("  } },\n");
+    } else {
+        let _ = writeln!(json, "  \"profile\": {{ \"enabled\": false }},");
+    }
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let sep = if i + 1 == cells.len() { "" } else { "," };
@@ -408,6 +436,7 @@ fn main() {
         "\"sim\": \"smallworld\"",
         "\"sim\": \"hyperbolic\"",
         "\"headline\"",
+        "\"profile\"",
     ] {
         assert!(json.contains(key), "emitted report lost schema key {key}");
     }

@@ -221,6 +221,7 @@ impl ButterflySim {
                 straight_rate_per_level: straight,
                 vertical_rate_per_level: vertical,
             }),
+            telemetry: None,
         }
     }
 }

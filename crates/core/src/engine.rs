@@ -47,6 +47,7 @@ use crate::config::{ArrivalModel, ContentionPolicy};
 use crate::metrics::MetricsCollector;
 use crate::observe::Observer;
 use crate::pool::{ArcBag, ArcFifo, SlabPool};
+use crate::profile::{Phase, PhaseTimers, Tick};
 use hyperroute_desim::{Scheduler, SchedulerKind, SimRng};
 
 /// Busy flag of a packed per-arc routing word: set while a packet occupies
@@ -88,11 +89,39 @@ pub enum ArcChoice {
     Drop,
 }
 
+/// Trace-id sentinel: an [`EnginePacket`] whose representation has no
+/// room for a trace id reports this from [`EnginePacket::trace_id`], and
+/// telemetry consumers skip hop records carrying it. Real ids are the
+/// engine's birth-sequence numbers, which never reach `u32::MAX` in
+/// practice (that is ~4·10⁹ packets in one run).
+pub const NO_TRACE: u32 = u32::MAX;
+
 /// An in-flight packet the generic engine can carry: `Copy` (it lives in
 /// slab slots and scheduler entries) and stamped with its birth time.
 pub trait EnginePacket: Copy {
     /// Generation time (drives warm-up truncation of delivery stats).
     fn born(&self) -> f64;
+
+    /// Store the engine-assigned trace id (birth-sequence number) in the
+    /// packet. Defaults to discarding it — specs whose packet layout has
+    /// spare padding override this (and [`EnginePacket::trace_id`]) to
+    /// make the packet traceable by hop-level observers.
+    #[inline]
+    fn set_trace_id(&mut self, _id: u32) {}
+
+    /// The stored trace id, or [`NO_TRACE`] when the packet is anonymous.
+    #[inline]
+    fn trace_id(&self) -> u32 {
+        NO_TRACE
+    }
+
+    /// Non-greedy arc crossings this packet has paid so far (fallback
+    /// detours, escape-walk hops). Purely observational; defaults to 0
+    /// for specs without deflection state.
+    #[inline]
+    fn deflections(&self) -> u16 {
+        0
+    }
 }
 
 /// The per-topology half of a packet-level simulation.
@@ -154,6 +183,15 @@ pub trait EngineSpec {
     /// [`ArcChoice::Drop`] (`in_window` refers to its *birth* time).
     /// Only fault-aware specs ever see this; the default is a no-op.
     fn note_drop(&mut self, _pkt: &Self::Pkt, _in_window: bool) {}
+
+    /// Whether `pkt` is currently walking an escape fallback (queried
+    /// right after [`EngineSpec::choose_arc`], so it reflects the hop
+    /// just chosen). Drives [`Observer::on_escape_hop`]; specs without
+    /// an escape mode keep the default `false`.
+    #[inline]
+    fn in_escape(&self, _pkt: &Self::Pkt) -> bool {
+        false
+    }
 }
 
 /// Execution parameters of one engine run — the topology-independent
@@ -217,6 +255,9 @@ pub struct Engine<T: EngineSpec> {
     route_rng: SimRng,
     contention_rng: SimRng,
     collector: MetricsCollector,
+    /// Hot-loop phase timers; a zero-sized no-op unless the crate is
+    /// built with `--features profile`.
+    timers: PhaseTimers,
 }
 
 impl<T: EngineSpec> Engine<T> {
@@ -277,6 +318,7 @@ impl<T: EngineSpec> Engine<T> {
             route_rng,
             contention_rng,
             collector,
+            timers: PhaseTimers::new(),
         }
     }
 
@@ -292,10 +334,12 @@ impl<T: EngineSpec> Engine<T> {
             // ties (`pop_at_or_before` is inclusive) — see the module
             // docs for why this reproduces the retired in-queue arrival
             // order.
+            let tick = Tick::start();
             let popped = match self.next_stream {
                 Some(stream_t) => self.events.pop_at_or_before(stream_t),
                 None => self.events.pop(),
             };
+            self.timers.record(Phase::SchedPop, tick);
             let t = match popped {
                 Some((t, (arc, pkt))) => {
                     // Software prefetch (PR-1 follow-up): peek the next
@@ -307,14 +351,18 @@ impl<T: EngineSpec> Engine<T> {
                     if let Some(next) = self.events.peek_payload() {
                         std::hint::black_box(next);
                     }
+                    let tick = Tick::start();
                     obs.on_event(t, self.collector.current_in_system());
+                    self.timers.record(Phase::Observer, tick);
                     self.events_processed += 1;
                     self.on_complete(t, arc as usize, pkt, obs);
                     t
                 }
                 None => match self.next_stream {
                     Some(t) => {
+                        let tick = Tick::start();
                         obs.on_event(t, self.collector.current_in_system());
+                        self.timers.record(Phase::Observer, tick);
                         self.events_processed += 1;
                         match self.cfg.arrivals {
                             ArrivalModel::Poisson => self.on_merged_arrival(t, obs),
@@ -329,6 +377,7 @@ impl<T: EngineSpec> Engine<T> {
                 break;
             }
         }
+        self.timers.flush();
     }
 
     fn on_merged_arrival<O: Observer>(&mut self, t: f64, obs: &mut O) {
@@ -359,13 +408,28 @@ impl<T: EngineSpec> Engine<T> {
     }
 
     fn generate<O: Observer>(&mut self, t: f64, source: u32, obs: &mut O) {
+        // Birth-sequence id: the collector's generated() count *before*
+        // this packet is recorded. Deterministic, and costs no RNG draw,
+        // so traced and untraced runs stay byte-identical.
+        let id = self.collector.generated();
+        let tick = Tick::start();
         self.collector.on_generated(t);
+        self.timers.record(Phase::Metrics, tick);
         match self.spec.generate(t, source, &mut self.dest_rng) {
             Spawn::SelfDeliver => {
+                obs.on_generated(t, id, source);
                 self.collector.on_delivered(t, t, 0);
                 obs.on_delivered(t, t);
+                obs.on_packet_delivered(t, id, t, 0, 0);
             }
-            Spawn::Route(pkt) => self.enqueue(t, source, pkt),
+            Spawn::Route(mut pkt) => {
+                pkt.set_trace_id(id as u32);
+                // Read the id back so anonymous packet layouts (no
+                // storage) report NO_TRACE here too, matching every
+                // later hook for the same packet.
+                obs.on_generated(t, pkt.trace_id() as u64, source);
+                self.enqueue(t, source, pkt, obs);
+            }
         }
     }
 
@@ -375,28 +439,40 @@ impl<T: EngineSpec> Engine<T> {
     /// packet from the system instead: the collector's drop counter and
     /// number-in-system trajectory stay exact, so conservation
     /// (`generated == delivered + dropped`) holds at drain.
-    fn enqueue(&mut self, t: f64, node: u32, mut pkt: T::Pkt) {
+    fn enqueue<O: Observer>(&mut self, t: f64, node: u32, mut pkt: T::Pkt, obs: &mut O) {
         let in_window = t >= self.cfg.warmup && t < self.cfg.horizon;
-        let arc = match self
+        let tick = Tick::start();
+        let choice = self
             .spec
-            .choose_arc(t, in_window, node, &mut pkt, &mut self.route_rng)
-        {
+            .choose_arc(t, in_window, node, &mut pkt, &mut self.route_rng);
+        self.timers.record(Phase::ArcChoice, tick);
+        let arc = match choice {
             ArcChoice::Arc(arc) => arc as usize,
             ArcChoice::Drop => {
                 let born = pkt.born();
                 let born_in_window = born >= self.cfg.warmup && born < self.cfg.horizon;
                 self.spec.note_drop(&pkt, born_in_window);
                 self.collector.on_dropped(t);
+                obs.on_drop(t, pkt.trace_id() as u64, node);
                 return;
             }
         };
-        if self.arcs[arc].meta & ARC_BUSY == 0 {
+        let id = pkt.trace_id() as u64;
+        let escape = self.spec.in_escape(&pkt);
+        let queue_depth = if self.arcs[arc].meta & ARC_BUSY == 0 {
             self.arcs[arc].meta |= ARC_BUSY;
             self.events.push(t + 1.0, (arc as u32, pkt));
+            1
         } else if self.cfg.contention == ContentionPolicy::Random {
             self.bags[arc].insert(pkt);
+            1 + self.bags[arc].len() as u32
         } else {
             self.arcs[arc].waiting.push_back(&mut self.pool, pkt);
+            1 + self.arcs[arc].waiting.len() as u32
+        };
+        obs.on_hop(t, id, node, arc as u32, queue_depth);
+        if escape {
+            obs.on_escape_hop(t, id, node);
         }
     }
 
@@ -426,20 +502,36 @@ impl<T: EngineSpec> Engine<T> {
         }
     }
 
+    /// Packets still occupying `arc` (waiting plus any one in service).
+    #[inline]
+    fn arc_depth(&self, arc: usize) -> u32 {
+        let busy = (self.arcs[arc].meta & ARC_BUSY != 0) as u32;
+        let waiting = if self.cfg.contention == ContentionPolicy::Random {
+            self.bags[arc].len()
+        } else {
+            self.arcs[arc].waiting.len()
+        } as u32;
+        busy + waiting
+    }
+
     fn on_complete<O: Observer>(&mut self, t: f64, arc: usize, mut pkt: T::Pkt, obs: &mut O) {
         let meta = self.arcs[arc].meta;
         debug_assert!(meta & ARC_BUSY != 0, "completion on an idle arc");
         let meta = meta & !ARC_BUSY;
         self.spec.note_service_end(t, meta);
         self.start_next_service(t, arc);
+        obs.on_service_end(t, arc as u32, self.arc_depth(arc));
         match self.spec.advance(meta, &mut pkt) {
-            Advance::Forward(node) => self.enqueue(t, node, pkt),
+            Advance::Forward(node) => self.enqueue(t, node, pkt, obs),
             Advance::Deliver(hops) => {
                 let born = pkt.born();
                 let in_window = born >= self.cfg.warmup && born < self.cfg.horizon;
                 self.spec.note_deliver(&pkt, in_window);
+                let tick = Tick::start();
                 self.collector.on_delivered(t, born, hops);
+                self.timers.record(Phase::Metrics, tick);
                 obs.on_delivered(t, born);
+                obs.on_packet_delivered(t, pkt.trace_id() as u64, born, hops, pkt.deflections());
             }
         }
     }

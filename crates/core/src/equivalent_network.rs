@@ -353,6 +353,7 @@ impl EqNetSim {
                 departures: self.departures.clone(),
                 occupancy_fractions,
             }),
+            telemetry: None,
         }
     }
 }

@@ -41,7 +41,7 @@
 
 use crate::config::{FaultArrivals, FaultFallback, FaultMode, FaultSpec};
 use crate::engine::{Advance, ArcChoice, Engine, EngineCfg, EnginePacket, EngineSpec, Spawn};
-use crate::metrics::MetricsCollector;
+use crate::metrics::{MetricsCollector, ShardedArcTally};
 use crate::observe::{NullObserver, Observer};
 use crate::packet::sample_flip_mask;
 use crate::scenario::{GraphExt, OutcomeExt, Report, ReportExt, Scenario, StretchExt};
@@ -80,6 +80,9 @@ pub struct GraphPacket {
     /// hops for the dense topologies, the quantised embedding metric for
     /// the sparse ones.
     dist0: u32,
+    /// Engine-assigned trace id (birth-sequence number), stamped by the
+    /// engine at generation; rides in what used to be padding.
+    trace: u32,
     hops: u16,
     tries: u16,
 }
@@ -88,6 +91,21 @@ impl EnginePacket for GraphPacket {
     #[inline]
     fn born(&self) -> f64 {
         self.born
+    }
+
+    #[inline]
+    fn set_trace_id(&mut self, id: u32) {
+        self.trace = id;
+    }
+
+    #[inline]
+    fn trace_id(&self) -> u32 {
+        self.trace
+    }
+
+    #[inline]
+    fn deflections(&self) -> u16 {
+        self.tries
     }
 }
 
@@ -501,11 +519,11 @@ pub struct GraphSpec<T: RoutingTopology> {
     faults: Option<FaultState>,
     hint: f64,
     /// In-window packet arrivals per arc (feeds the per-direction ring
-    /// rates and the [`GraphExt`] rate summary). Saturating `u32`: four
-    /// bytes per arc keeps the table at 40 MB for 10⁷ arcs, and a window
-    /// long enough to overflow one arc 4 × 10⁹ times saturates
-    /// harmlessly instead of wrapping.
-    arc_arrivals: Vec<u32>,
+    /// rates and the [`GraphExt`] rate summary). Saturating counters
+    /// sharded by node range: untouched ranges of a ≥10⁷-arc graph
+    /// allocate nothing, and a window long enough to overflow one arc
+    /// 4 × 10⁹ times saturates harmlessly instead of wrapping.
+    arc_arrivals: ShardedArcTally,
     dropped_in_window: u64,
     /// Whether the scenario asked for the stretch extension (tallying is
     /// cheap and always on; this gates emission only).
@@ -543,7 +561,7 @@ impl<T: RoutingTopology> GraphSpec<T> {
         let faults = faults.map(|f| FaultState::build(&topo, f, horizon));
         GraphSpec {
             hint: topo.mean_distance_hint(),
-            arc_arrivals: vec![0; topo.num_arcs()],
+            arc_arrivals: ShardedArcTally::new(topo.num_arcs()),
             dropped_in_window: 0,
             stretch_on: stretch,
             outcomes: OutcomeTally::default(),
@@ -560,8 +578,9 @@ impl<T: RoutingTopology> GraphSpec<T> {
         &self.topo
     }
 
-    /// In-window packet arrivals per dense arc index (saturating).
-    pub fn arc_arrivals(&self) -> &[u32] {
+    /// In-window packet arrivals per dense arc index (saturating,
+    /// node-range sharded).
+    pub fn arc_arrivals(&self) -> &ShardedArcTally {
         &self.arc_arrivals
     }
 
@@ -624,6 +643,7 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
                 state: 0,
                 dist0: u32::try_from(self.topo.distance(source as u64, dest as u64))
                     .unwrap_or(u32::MAX),
+                trace: u32::MAX,
                 hops: 0,
                 tries: 0,
             })
@@ -675,7 +695,7 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
                             pkt.tries += 1;
                         }
                         if in_window {
-                            self.arc_arrivals[arc] = self.arc_arrivals[arc].saturating_add(1);
+                            self.arc_arrivals.bump(arc);
                         }
                         ArcChoice::Arc(arc as u32)
                     }
@@ -694,7 +714,7 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
         if !blocked {
             let arc = greedy.expect("unblocked implies a greedy arc");
             if in_window {
-                self.arc_arrivals[arc] = self.arc_arrivals[arc].saturating_add(1);
+                self.arc_arrivals.bump(arc);
             }
             return ArcChoice::Arc(arc as u32);
         }
@@ -731,7 +751,7 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
             Some((arc, paid)) => {
                 pkt.tries += paid as u16;
                 if in_window {
-                    self.arc_arrivals[arc] = self.arc_arrivals[arc].saturating_add(1);
+                    self.arc_arrivals.bump(arc);
                 }
                 ArcChoice::Arc(arc as u32)
             }
@@ -799,6 +819,13 @@ impl<T: RoutingTopology> EngineSpec for GraphSpec<T> {
                 None => {}
             }
         }
+    }
+
+    #[inline]
+    fn in_escape(&self, pkt: &GraphPacket) -> bool {
+        // Queried right after `choose_arc`, so the depth word reflects the
+        // hop just chosen (set on fallback entry, cleared on recovery).
+        pkt.state & ESCAPE_DEPTH != 0
     }
 }
 
@@ -875,6 +902,7 @@ impl<T: RoutingTopology> GraphSim<T> {
             delivered: collector.delivered_total(),
             events: engine.events_processed(),
             ext: (self.ext)(spec, cfg, collector),
+            telemetry: None,
         }
     }
 }
@@ -892,8 +920,8 @@ fn assemble<T: RoutingTopology>(
     let span = cfg.horizon - cfg.warmup;
     let arcs = spec.topology().num_arcs() as u64;
     let live = arcs - spec.dead_arcs();
-    let total: u64 = spec.arc_arrivals().iter().map(|&c| c as u64).sum();
-    let max = spec.arc_arrivals().iter().copied().max().unwrap_or(0);
+    let total: u64 = spec.arc_arrivals().total();
+    let max = spec.arc_arrivals().max();
     let delivered_measured = collector.delay_stats().count;
     let dropped_measured = spec.dropped_in_window();
     let measured = delivered_measured + dropped_measured;
@@ -1321,8 +1349,8 @@ mod tests {
 
     #[test]
     fn graph_packet_keeps_its_four_word_layout() {
-        // born (8) + dest/prev/state/dist0 (4 each) + hops/tries (2
-        // each) — four words flat, no padding; growing the packet
+        // born (8) + dest/prev/state/dist0/trace (4 each) + hops/tries
+        // (2 each) — four words flat, no padding; growing the packet
         // inflates every arc queue in the engine.
         assert_eq!(std::mem::size_of::<GraphPacket>(), 32);
     }

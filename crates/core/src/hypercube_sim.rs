@@ -27,6 +27,16 @@ impl EnginePacket for Packet {
     fn born(&self) -> f64 {
         self.born
     }
+
+    #[inline]
+    fn set_trace_id(&mut self, id: u32) {
+        self.trace = id;
+    }
+
+    #[inline]
+    fn trace_id(&self) -> u32 {
+        self.trace
+    }
 }
 
 /// Bits of the packed arc word holding the arc's target node (`d ≤ 26` ⇒
@@ -269,6 +279,7 @@ impl HypercubeSim {
                 per_dim_arc_rate,
                 per_dim_mean_queue,
             }),
+            telemetry: None,
         }
     }
 }

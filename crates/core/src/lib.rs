@@ -174,6 +174,35 @@
 //! [`observe`] probes (time series, occupancy, delay reservoirs) without
 //! touching the simulation's random draws; high-frequency consumers
 //! batch the per-event virtual call with [`observe::BufferedObserver`].
+//!
+//! # Observability
+//!
+//! The [`observe::Observer`] trait is the engine's only tap: default
+//! no-op hooks fire on every event, generation, hop (`on_hop`, with the
+//! arc and its queue depth), escape-mode hop, drop, service end, and
+//! packet delivery. Two observers compose as a tuple, and the contract
+//! is strict **non-interference** — hooks receive values the engine
+//! already computed, never influence an arc choice or a random draw, so
+//! a run observed by anything is byte-identical to the unobserved run
+//! (property-tested across every engine-backed topology and both
+//! schedulers).
+//!
+//! On top of the hooks, the `hyperroute-telemetry` crate builds the
+//! flight recorder (deterministically sampled per-packet hop traces,
+//! exportable as NDJSON or Chrome `chrome://tracing` JSON) and the
+//! histogram probe, whose [`telemetry::TelemetryExt`] — log-bucketed
+//! [`telemetry::LogHistogram`]s of delay, queue wait, deflections and
+//! escape-walk lengths, plus per-arc occupancy integrals and peak
+//! depths in [`telemetry::ArcTelemetry`] — attaches to a
+//! [`scenario::Report`] only through an explicit post-run call, keeping
+//! unobserved baselines byte-identical.
+//!
+//! Wall-clock profiling is deliberately separate from all of the above
+//! (timings never enter a `Report`): building with `--features profile`
+//! compiles phase timers into the engine's hot loop ([`profile`]), and
+//! the bench harness drains them into the `profile` section of
+//! `BENCH_engine.json`. Default builds compile the timer call sites to
+//! nothing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -190,9 +219,11 @@ pub mod observe;
 pub mod packet;
 pub mod pipelined;
 pub mod pool;
+pub mod profile;
 pub mod runner;
 pub mod scenario;
 pub mod stability;
+pub mod telemetry;
 
 pub use config::{ArrivalModel, ConfigError, ContentionPolicy, DestinationSpec, Scheme};
 pub use metrics::DelayStats;

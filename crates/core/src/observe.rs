@@ -47,6 +47,64 @@ pub trait Observer {
     fn on_delivered(&mut self, t: f64, born: f64) {
         let _ = (t, born);
     }
+
+    /// A packet was generated at `t` on `source`. `packet_id` is the
+    /// engine's birth-sequence number (0, 1, 2, …) — or
+    /// [`NO_TRACE`](crate::engine::NO_TRACE) when the spec's packet
+    /// representation does not carry a trace id (the packet then stays
+    /// anonymous at every later hook).
+    #[inline]
+    fn on_generated(&mut self, t: f64, packet_id: u64, source: u32) {
+        let _ = (t, packet_id, source);
+    }
+
+    /// Packet `packet_id` was enqueued at `t` on `arc` out of `node`.
+    /// `queue_depth` counts the packets occupying the arc *after* this one
+    /// joined, including the one in service (so an uncontended hop reports
+    /// depth 1).
+    #[inline]
+    fn on_hop(&mut self, t: f64, packet_id: u64, node: u32, arc: u32, queue_depth: u32) {
+        let _ = (t, packet_id, node, arc, queue_depth);
+    }
+
+    /// The hop just reported via [`Observer::on_hop`] was taken in escape
+    /// mode (the GOAFR-style fallback walk out of a greedy local minimum).
+    /// Fires immediately after the matching `on_hop`, never alone.
+    #[inline]
+    fn on_escape_hop(&mut self, t: f64, packet_id: u64, node: u32) {
+        let _ = (t, packet_id, node);
+    }
+
+    /// Packet `packet_id` was dropped at `t` at `node` (fault-mask
+    /// workloads with no live fallback arc).
+    #[inline]
+    fn on_drop(&mut self, t: f64, packet_id: u64, node: u32) {
+        let _ = (t, packet_id, node);
+    }
+
+    /// A service completed at `t` on `arc`; `queue_depth` counts the
+    /// packets still occupying the arc after the completed one left
+    /// (including any successor already in service).
+    #[inline]
+    fn on_service_end(&mut self, t: f64, arc: u32, queue_depth: u32) {
+        let _ = (t, arc, queue_depth);
+    }
+
+    /// Packet `packet_id`, born at `born`, was delivered at `t` after
+    /// `hops` arc crossings, `deflections` of them non-greedy (fallback
+    /// detours / escape hops). Fires alongside — not instead of —
+    /// [`Observer::on_delivered`].
+    #[inline]
+    fn on_packet_delivered(
+        &mut self,
+        t: f64,
+        packet_id: u64,
+        born: f64,
+        hops: u16,
+        deflections: u16,
+    ) {
+        let _ = (t, packet_id, born, hops, deflections);
+    }
 }
 
 /// The do-nothing observer driving plain `run()`; optimises away.
@@ -65,6 +123,43 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     fn on_delivered(&mut self, t: f64, born: f64) {
         (**self).on_delivered(t, born);
     }
+
+    #[inline]
+    fn on_generated(&mut self, t: f64, packet_id: u64, source: u32) {
+        (**self).on_generated(t, packet_id, source);
+    }
+
+    #[inline]
+    fn on_hop(&mut self, t: f64, packet_id: u64, node: u32, arc: u32, queue_depth: u32) {
+        (**self).on_hop(t, packet_id, node, arc, queue_depth);
+    }
+
+    #[inline]
+    fn on_escape_hop(&mut self, t: f64, packet_id: u64, node: u32) {
+        (**self).on_escape_hop(t, packet_id, node);
+    }
+
+    #[inline]
+    fn on_drop(&mut self, t: f64, packet_id: u64, node: u32) {
+        (**self).on_drop(t, packet_id, node);
+    }
+
+    #[inline]
+    fn on_service_end(&mut self, t: f64, arc: u32, queue_depth: u32) {
+        (**self).on_service_end(t, arc, queue_depth);
+    }
+
+    #[inline]
+    fn on_packet_delivered(
+        &mut self,
+        t: f64,
+        packet_id: u64,
+        born: f64,
+        hops: u16,
+        deflections: u16,
+    ) {
+        (**self).on_packet_delivered(t, packet_id, born, hops, deflections);
+    }
 }
 
 impl<A: Observer, B: Observer> Observer for (A, B) {
@@ -78,6 +173,51 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_delivered(&mut self, t: f64, born: f64) {
         self.0.on_delivered(t, born);
         self.1.on_delivered(t, born);
+    }
+
+    #[inline]
+    fn on_generated(&mut self, t: f64, packet_id: u64, source: u32) {
+        self.0.on_generated(t, packet_id, source);
+        self.1.on_generated(t, packet_id, source);
+    }
+
+    #[inline]
+    fn on_hop(&mut self, t: f64, packet_id: u64, node: u32, arc: u32, queue_depth: u32) {
+        self.0.on_hop(t, packet_id, node, arc, queue_depth);
+        self.1.on_hop(t, packet_id, node, arc, queue_depth);
+    }
+
+    #[inline]
+    fn on_escape_hop(&mut self, t: f64, packet_id: u64, node: u32) {
+        self.0.on_escape_hop(t, packet_id, node);
+        self.1.on_escape_hop(t, packet_id, node);
+    }
+
+    #[inline]
+    fn on_drop(&mut self, t: f64, packet_id: u64, node: u32) {
+        self.0.on_drop(t, packet_id, node);
+        self.1.on_drop(t, packet_id, node);
+    }
+
+    #[inline]
+    fn on_service_end(&mut self, t: f64, arc: u32, queue_depth: u32) {
+        self.0.on_service_end(t, arc, queue_depth);
+        self.1.on_service_end(t, arc, queue_depth);
+    }
+
+    #[inline]
+    fn on_packet_delivered(
+        &mut self,
+        t: f64,
+        packet_id: u64,
+        born: f64,
+        hops: u16,
+        deflections: u16,
+    ) {
+        self.0
+            .on_packet_delivered(t, packet_id, born, hops, deflections);
+        self.1
+            .on_packet_delivered(t, packet_id, born, hops, deflections);
     }
 }
 
@@ -185,6 +325,18 @@ enum Buffered {
     Event(f64, f64),
     /// An `on_delivered(t, born)` call.
     Delivered(f64, f64),
+    /// An `on_generated(t, packet_id, source)` call.
+    Generated(f64, u64, u32),
+    /// An `on_hop(t, packet_id, node, arc, queue_depth)` call.
+    Hop(f64, u64, u32, u32, u32),
+    /// An `on_escape_hop(t, packet_id, node)` call.
+    EscapeHop(f64, u64, u32),
+    /// An `on_drop(t, packet_id, node)` call.
+    Drop(f64, u64, u32),
+    /// An `on_service_end(t, arc, queue_depth)` call.
+    ServiceEnd(f64, u32, u32),
+    /// An `on_packet_delivered(t, packet_id, born, hops, deflections)` call.
+    PacketDelivered(f64, u64, f64, u16, u16),
 }
 
 /// Batches observations before the `&mut dyn Observer` virtual call.
@@ -248,6 +400,16 @@ impl<'a> BufferedObserver<'a> {
             match obs {
                 Buffered::Event(t, in_system) => self.inner.on_event(t, in_system),
                 Buffered::Delivered(t, born) => self.inner.on_delivered(t, born),
+                Buffered::Generated(t, id, source) => self.inner.on_generated(t, id, source),
+                Buffered::Hop(t, id, node, arc, depth) => {
+                    self.inner.on_hop(t, id, node, arc, depth)
+                }
+                Buffered::EscapeHop(t, id, node) => self.inner.on_escape_hop(t, id, node),
+                Buffered::Drop(t, id, node) => self.inner.on_drop(t, id, node),
+                Buffered::ServiceEnd(t, arc, depth) => self.inner.on_service_end(t, arc, depth),
+                Buffered::PacketDelivered(t, id, born, hops, deflections) => self
+                    .inner
+                    .on_packet_delivered(t, id, born, hops, deflections),
             }
         }
     }
@@ -270,6 +432,49 @@ impl Observer for BufferedObserver<'_> {
     #[inline]
     fn on_delivered(&mut self, t: f64, born: f64) {
         self.push(Buffered::Delivered(t, born));
+    }
+
+    #[inline]
+    fn on_generated(&mut self, t: f64, packet_id: u64, source: u32) {
+        self.push(Buffered::Generated(t, packet_id, source));
+    }
+
+    #[inline]
+    fn on_hop(&mut self, t: f64, packet_id: u64, node: u32, arc: u32, queue_depth: u32) {
+        self.push(Buffered::Hop(t, packet_id, node, arc, queue_depth));
+    }
+
+    #[inline]
+    fn on_escape_hop(&mut self, t: f64, packet_id: u64, node: u32) {
+        self.push(Buffered::EscapeHop(t, packet_id, node));
+    }
+
+    #[inline]
+    fn on_drop(&mut self, t: f64, packet_id: u64, node: u32) {
+        self.push(Buffered::Drop(t, packet_id, node));
+    }
+
+    #[inline]
+    fn on_service_end(&mut self, t: f64, arc: u32, queue_depth: u32) {
+        self.push(Buffered::ServiceEnd(t, arc, queue_depth));
+    }
+
+    #[inline]
+    fn on_packet_delivered(
+        &mut self,
+        t: f64,
+        packet_id: u64,
+        born: f64,
+        hops: u16,
+        deflections: u16,
+    ) {
+        self.push(Buffered::PacketDelivered(
+            t,
+            packet_id,
+            born,
+            hops,
+            deflections,
+        ));
     }
 }
 

@@ -1,9 +1,10 @@
 //! In-flight packet state and destination sampling.
 //!
-//! A packet in the hypercube simulator is 16 bytes: its birth time, the
-//! bitmask of dimensions it still has to cross, and (for the two-phase
-//! Valiant scheme) the final destination of its second leg. Its current
-//! node is implied by the arc queue holding it, so it is not stored.
+//! A packet in the hypercube simulator is 24 bytes: its birth time, the
+//! bitmask of dimensions it still has to cross, (for the two-phase
+//! Valiant scheme) the final destination of its second leg, and the
+//! engine's trace id in what used to be padding. Its current node is
+//! implied by the arc queue holding it, so it is not stored.
 
 use crate::config::Scheme;
 use hyperroute_desim::SimRng;
@@ -22,6 +23,9 @@ pub struct Packet {
     /// Final destination of the second leg (two-phase Valiant only), or
     /// [`NO_SECOND_LEG`].
     pub second_leg_dest: u32,
+    /// Engine-assigned trace id (birth-sequence number), stamped by the
+    /// engine at generation; rides in what used to be padding.
+    pub trace: u32,
     /// Hops taken so far (for path-length statistics).
     pub hops: u16,
 }
@@ -33,6 +37,7 @@ impl Packet {
             born,
             remaining,
             second_leg_dest,
+            trace: u32::MAX,
             hops: 0,
         }
     }

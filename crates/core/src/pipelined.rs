@@ -159,6 +159,7 @@ pub(crate) fn simulate_pipelined_observed<O: Observer>(scenario: &Scenario, obs:
             final_backlog: pool.len() as u64,
             backlog_slope_per_round: slope,
         }),
+        telemetry: None,
     }
 }
 

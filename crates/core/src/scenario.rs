@@ -54,6 +54,7 @@ use crate::metrics::{DelayStats, MetricsCollector};
 use crate::observe::{NullObserver, Observer};
 use crate::pipelined::simulate_pipelined_observed;
 use crate::runner::parallel_map;
+use crate::telemetry::TelemetryExt;
 use hyperroute_desim::{splitmix64, SchedulerKind};
 use hyperroute_sparse::{expander, hyperbolic, scale_free, small_world, MAX_SPARSE_NODES};
 use hyperroute_topology::{
@@ -1007,7 +1008,7 @@ fn ring_ext(spec: &GraphSpec<Ring>, cfg: &EngineCfg, collector: &MetricsCollecto
     let span = cfg.horizon - cfg.warmup;
     let arcs_per_direction = ring.num_nodes() as f64;
     let (mut cw, mut ccw) = (0u64, 0u64);
-    for (arc, &count) in spec.arc_arrivals().iter().enumerate() {
+    for (arc, count) in spec.arc_arrivals().iter().enumerate() {
         if !ring.bidirectional() || arc & 1 == 0 {
             cw += count as u64;
         } else {
@@ -1221,6 +1222,11 @@ pub struct Report {
     pub events: u64,
     /// Topology-specific measurements.
     pub ext: ReportExt,
+    /// Opt-in telemetry histograms and per-arc load, attached **after**
+    /// the run by `hyperroute-telemetry`'s probe; absent keys serialise
+    /// to nothing, keeping unobserved baselines byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<TelemetryExt>,
 }
 
 /// The per-topology extension of a [`Report`].
@@ -1413,11 +1419,11 @@ pub struct StretchExt {
 /// values (a JSON round-trip maps every NaN *and infinity* through
 /// `null` to the canonical `f64::NAN`, so non-finite values are
 /// indistinguishable after persisting a report).
-fn f64_eq(a: f64, b: f64) -> bool {
+pub(crate) fn f64_eq(a: f64, b: f64) -> bool {
     a.to_bits() == b.to_bits() || (!a.is_finite() && !b.is_finite())
 }
 
-fn f64_slice_eq(a: &[f64], b: &[f64]) -> bool {
+pub(crate) fn f64_slice_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| f64_eq(x, y))
 }
 
@@ -1432,6 +1438,7 @@ impl PartialEq for Report {
             && self.delivered == other.delivered
             && self.events == other.events
             && self.ext == other.ext
+            && self.telemetry == other.telemetry
     }
 }
 

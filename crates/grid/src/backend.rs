@@ -34,6 +34,68 @@ pub trait ExecBackend {
     ) -> Result<(), GridError>;
 }
 
+/// One campaign progress snapshot, emitted after each finished slice.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProgressUpdate {
+    /// Slices finished so far in this batch.
+    pub done: usize,
+    /// Slices in this batch (pending only — checkpointed slices a
+    /// resumed campaign skips are not counted).
+    pub total: usize,
+    /// Grid points finished so far.
+    pub points: usize,
+    /// Grid points per wall-clock second since the batch started.
+    pub points_per_sec: f64,
+}
+
+/// Decorator that reports campaign progress — one [`ProgressUpdate`] per
+/// finished slice — to a sink, then forwards the result unchanged. The
+/// sink runs on the dispatching thread, so a plain `eprintln!` closure
+/// is enough; results and merge order are untouched.
+pub struct ProgressBackend<'a> {
+    inner: &'a dyn ExecBackend,
+    sink: &'a (dyn Fn(&ProgressUpdate) + Sync),
+}
+
+impl<'a> ProgressBackend<'a> {
+    /// Wrap `inner`, reporting each finished slice to `sink`.
+    pub fn new(
+        inner: &'a dyn ExecBackend,
+        sink: &'a (dyn Fn(&ProgressUpdate) + Sync),
+    ) -> ProgressBackend<'a> {
+        ProgressBackend { inner, sink }
+    }
+}
+
+impl ExecBackend for ProgressBackend<'_> {
+    fn execute(
+        &self,
+        jobs: &[GridSlice],
+        on_result: &mut dyn FnMut(SliceResult) -> Result<(), GridError>,
+    ) -> Result<(), GridError> {
+        let total = jobs.len();
+        let started = std::time::Instant::now();
+        let mut done = 0usize;
+        let mut points = 0usize;
+        self.inner.execute(jobs, &mut |result| {
+            done += 1;
+            points += result.reports.len();
+            let secs = started.elapsed().as_secs_f64();
+            (self.sink)(&ProgressUpdate {
+                done,
+                total,
+                points,
+                points_per_sec: if secs > 0.0 {
+                    points as f64 / secs
+                } else {
+                    0.0
+                },
+            });
+            on_result(result)
+        })
+    }
+}
+
 /// In-process backend: a scoped thread pool with an atomic work-stealing
 /// cursor, mirroring `hyperroute_core::runner::parallel_map` but
 /// streaming results out as slices finish instead of waiting for the
@@ -139,6 +201,32 @@ mod tests {
             })
             .unwrap();
         assert_eq!(results.len(), jobs.len());
+        assert_eq!(merge(sweep.len(), results).unwrap(), sweep.run(1).unwrap());
+    }
+
+    #[test]
+    fn progress_backend_reports_each_slice_and_forwards_results_unchanged() {
+        let sweep = small_sweep();
+        let jobs = partition(&sweep, 2); // 3 slices over 5 points
+        let updates = std::sync::Mutex::new(Vec::new());
+        let sink = |u: &ProgressUpdate| updates.lock().unwrap().push(*u);
+        let inner = ThreadPoolBackend::new(2);
+        let mut results = Vec::new();
+        ProgressBackend::new(&inner, &sink)
+            .execute(&jobs, &mut |r| {
+                results.push(r);
+                Ok(())
+            })
+            .unwrap();
+        let updates = updates.into_inner().unwrap();
+        assert_eq!(
+            updates.iter().map(|u| u.done).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(updates.iter().all(|u| u.total == jobs.len()));
+        let last = updates.last().unwrap();
+        assert_eq!(last.points, sweep.len());
+        assert!(last.points_per_sec.is_finite() && last.points_per_sec >= 0.0);
         assert_eq!(merge(sweep.len(), results).unwrap(), sweep.run(1).unwrap());
     }
 

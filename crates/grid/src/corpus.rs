@@ -52,6 +52,9 @@ pub struct CorpusEntry {
     pub name: String,
     /// What happened.
     pub status: CorpusStatus,
+    /// Wall-clock seconds the scenario took to run (`None` for files
+    /// that never ran — parse/validation failures).
+    pub wall_secs: Option<f64>,
 }
 
 /// Results of a whole corpus run.
@@ -70,7 +73,8 @@ impl CorpusOutcome {
             .all(|e| matches!(e.status, CorpusStatus::Match | CorpusStatus::Updated))
     }
 
-    /// One status line per entry, `PASS`/`FAIL` style.
+    /// One status line per entry, `PASS`/`FAIL` style, with the
+    /// scenario's wall-clock run time appended when it ran.
     pub fn summary(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
@@ -85,9 +89,26 @@ impl CorpusOutcome {
                 CorpusStatus::Error { message } => format!("ERROR    {}: {message}", e.name),
             };
             out.push_str(&line);
+            if let Some(wall) = e.wall_secs {
+                out.push_str(&format!("  [{wall:.3}s]"));
+            }
             out.push('\n');
         }
         out
+    }
+
+    /// The `n` slowest entries as `(name, wall-clock seconds)`, slowest
+    /// first; entries that never ran are excluded. Ties break by name so
+    /// the listing is stable across runs.
+    pub fn slowest(&self, n: usize) -> Vec<(&str, f64)> {
+        let mut timed: Vec<(&str, f64)> = self
+            .entries
+            .iter()
+            .filter_map(|e| e.wall_secs.map(|w| (e.name.as_str(), w)))
+            .collect();
+        timed.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        timed.truncate(n);
+        timed
     }
 }
 
@@ -125,19 +146,26 @@ pub fn run_corpus(
             }
             Err(message) => CorpusStatus::Invalid { message },
         };
-        entries.push(CorpusEntry { name, status });
+        entries.push(CorpusEntry {
+            name,
+            status,
+            wall_secs: None,
+        });
     }
 
     let reports = parallel_map(runnable, workers, |(idx, scenario)| {
-        (idx, scenario.run().expect("from_json validated"))
+        let started = std::time::Instant::now();
+        let report = scenario.run().expect("from_json validated");
+        (idx, report, started.elapsed().as_secs_f64())
     });
 
     if update {
         std::fs::create_dir_all(baseline_dir)
             .map_err(|e| crate::error::io_error(baseline_dir, e))?;
     }
-    for (idx, report) in reports {
+    for (idx, report, wall_secs) in reports {
         let baseline = baseline_dir.join(format!("{}.report.json", entries[idx].name));
+        entries[idx].wall_secs = Some(wall_secs);
         entries[idx].status = if update {
             let mut text = serde_json::to_string_pretty(&report).expect("reports always serialise");
             text.push('\n');
@@ -415,7 +443,36 @@ mod tests {
             .entries
             .iter()
             .all(|e| e.status == CorpusStatus::Match));
+        // Every executed scenario carries its wall time, and the summary
+        // prints it.
+        assert!(verified.entries.iter().all(|e| e.wall_secs.is_some()));
+        assert!(verified.summary().contains("s]"), "{}", verified.summary());
+        assert_eq!(verified.slowest(5).len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slowest_orders_by_wall_time_and_breaks_ties_by_name() {
+        let entry = |name: &str, wall_secs: Option<f64>| CorpusEntry {
+            name: name.into(),
+            status: CorpusStatus::Match,
+            wall_secs,
+        };
+        let outcome = CorpusOutcome {
+            entries: vec![
+                entry("quick", Some(0.5)),
+                entry("never_ran", None),
+                entry("slow_b", Some(2.0)),
+                entry("slow_a", Some(2.0)),
+                entry("glacial", Some(9.0)),
+            ],
+        };
+        assert_eq!(
+            outcome.slowest(3),
+            vec![("glacial", 9.0), ("slow_a", 2.0), ("slow_b", 2.0)]
+        );
+        // n past the timed entries just returns them all.
+        assert_eq!(outcome.slowest(10).len(), 4);
     }
 
     #[test]

@@ -21,11 +21,15 @@
 //! # The worker protocol
 //!
 //! `hyperroute-grid worker` reads one JSON `GridSlice` per stdin line and
-//! answers one JSON [`WorkerReply`] per stdout line (see
-//! [`subprocess`] for the exact framing and fault model). The
+//! answers one terminal JSON [`WorkerReply`] per stdout line, with
+//! throttled `Progress` heartbeat lines interleaved while a long slice
+//! runs (see [`subprocess`] for the exact framing and fault model). The
 //! [`SubprocessBackend`] speaks this protocol to any argv you give it —
 //! the bundled binary for multi-core, or an ssh/container wrapper for
-//! multi-machine.
+//! multi-machine — and treats heartbeats as keep-alives, so its timeout
+//! bounds worker silence rather than slice duration. Wrap any backend in
+//! a [`ProgressBackend`] to stream per-slice campaign progress to a
+//! callback.
 //!
 //! # Checkpoint / resume
 //!
@@ -61,7 +65,7 @@ pub mod error;
 pub mod slice;
 pub mod subprocess;
 
-pub use backend::{ExecBackend, ThreadPoolBackend};
+pub use backend::{ExecBackend, ProgressBackend, ProgressUpdate, ThreadPoolBackend};
 pub use campaign::Campaign;
 pub use corpus::{
     run_corpus, validate_corpus, CorpusEntry, CorpusOutcome, CorpusStatus, RoundTripOutcome,
@@ -69,4 +73,4 @@ pub use corpus::{
 };
 pub use error::GridError;
 pub use slice::{merge, partition, GridSlice, SliceResult};
-pub use subprocess::{run_worker, SubprocessBackend, WorkerReply};
+pub use subprocess::{run_worker, run_worker_with, SubprocessBackend, WorkerReply};

@@ -25,8 +25,8 @@
 
 use hyperroute_core::scenario::Sweep;
 use hyperroute_grid::{
-    run_corpus, run_worker, validate_corpus, Campaign, ExecBackend, SubprocessBackend,
-    ThreadPoolBackend,
+    run_corpus, run_worker, validate_corpus, Campaign, ExecBackend, ProgressBackend,
+    ProgressUpdate, SubprocessBackend, ThreadPoolBackend,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -153,7 +153,18 @@ fn try_run(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("--backend: unknown backend `{other}`")),
     };
 
-    let reports = campaign.run(backend.as_ref()).map_err(|e| e.to_string())?;
+    // One progress line per finished slice, on stderr so stdout stays
+    // clean report JSON.
+    let progress = |u: &ProgressUpdate| {
+        eprintln!(
+            "hyperroute-grid run: {}/{} slices, {} points, {:.1} points/s",
+            u.done, u.total, u.points, u.points_per_sec
+        );
+    };
+    let started = std::time::Instant::now();
+    let reports = campaign
+        .run(&ProgressBackend::new(backend.as_ref(), &progress))
+        .map_err(|e| e.to_string())?;
     let mut rendered = serde_json::to_string_pretty(&reports).expect("reports always serialise");
     rendered.push('\n');
     match flags.value("--out")? {
@@ -161,8 +172,9 @@ fn try_run(flags: &Flags) -> Result<(), String> {
         None => print!("{rendered}"),
     }
     eprintln!(
-        "hyperroute-grid run: {} grid points on the {backend_name} backend",
-        reports.len()
+        "hyperroute-grid run: {} grid points on the {backend_name} backend in {:.1}s",
+        reports.len(),
+        started.elapsed().as_secs_f64()
     );
     Ok(())
 }
@@ -188,6 +200,13 @@ fn cmd_run_corpus(args: &[String]) -> i32 {
     match run_corpus(scenarios.as_ref(), baselines.as_ref(), workers, update) {
         Ok(outcome) => {
             print!("{}", outcome.summary());
+            let slowest = outcome.slowest(5);
+            if !slowest.is_empty() {
+                println!("slowest {}:", slowest.len());
+                for (name, secs) in slowest {
+                    println!("  {secs:8.3}s  {name}");
+                }
+            }
             if outcome.passed() {
                 println!("corpus: {} scenarios ok", outcome.entries.len());
                 0

@@ -34,6 +34,18 @@ impl GridSlice {
     /// index, so executing the same slice anywhere — any process, any
     /// machine, any number of times — yields the same reports.
     pub fn execute(&self) -> Result<SliceResult, GridError> {
+        self.execute_with(&mut |_, _| {})
+    }
+
+    /// [`GridSlice::execute`] with progress reporting: `progress(done,
+    /// total)` fires after each grid point completes. The callback sees
+    /// only counts — it cannot touch the runs — so observed and
+    /// unobserved executions produce identical reports. Workers use this
+    /// to emit heartbeat lines mid-slice.
+    pub fn execute_with(
+        &self,
+        progress: &mut dyn FnMut(usize, usize),
+    ) -> Result<SliceResult, GridError> {
         if self
             .start
             .checked_add(self.len)
@@ -54,10 +66,12 @@ impl GridSlice {
             });
         }
         let scenarios = self.sweep.slice_scenarios(self.start, self.len)?;
-        let reports = scenarios
-            .into_iter()
-            .map(|s| s.run())
-            .collect::<Result<Vec<_>, _>>()?;
+        let total = scenarios.len();
+        let mut reports = Vec::with_capacity(total);
+        for scenario in scenarios {
+            reports.push(scenario.run()?);
+            progress(reports.len(), total);
+        }
         Ok(SliceResult {
             id: self.id,
             start: self.start,
@@ -194,6 +208,17 @@ mod tests {
             merge(sweep.len(), duplicated),
             Err(GridError::Merge(_))
         ));
+    }
+
+    #[test]
+    fn progress_callback_counts_rows_without_changing_reports() {
+        let slice = partition(&small_sweep(), 100).remove(0); // whole 5-point grid
+        let mut seen = Vec::new();
+        let observed = slice
+            .execute_with(&mut |done, total| seen.push((done, total)))
+            .unwrap();
+        assert_eq!(seen, vec![(1, 5), (2, 5), (3, 5), (4, 5), (5, 5)]);
+        assert_eq!(observed, slice.execute().unwrap());
     }
 
     #[test]

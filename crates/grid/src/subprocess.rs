@@ -12,9 +12,18 @@
 //!
 //! ```text
 //! dispatcher → worker:  {"id":3,"sweep":{…},"start":12,"len":4}\n
-//! worker → dispatcher:  {"Ok":{"id":3,"start":12,"reports":[…]}}\n
+//! worker → dispatcher:  {"Progress":{"id":3,"done":2,"total":4,"rows_per_sec":1.7}}\n  (zero or more)
+//!                       {"Ok":{"id":3,"start":12,"reports":[…]}}\n
 //!                       {"Err":{"id":3,"message":"…"}}\n
 //! ```
+//!
+//! While a slice runs, the worker may interleave any number of
+//! [`WorkerReply::Progress`] heartbeat lines (throttled to one per
+//! [`DEFAULT_HEARTBEAT`]; see [`run_worker_with`]) before the single
+//! terminal `Ok`/`Err` line. Each heartbeat restarts the dispatcher's
+//! reply timeout, so [`SubprocessBackend::timeout`] bounds worker
+//! *silence*, not slice duration — a slow slice on a live, heartbeating
+//! worker never times out spuriously.
 //!
 //! # Fault handling
 //!
@@ -38,7 +47,7 @@ use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One reply line of the worker protocol.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -54,15 +63,52 @@ pub enum WorkerReply {
         /// What went wrong.
         message: String,
     },
+    /// Heartbeat for the slice currently executing. A worker may emit
+    /// any number of these before the terminal `Ok`/`Err` line; each
+    /// one proves the worker is alive and restarts the dispatcher's
+    /// reply timeout. Heartbeats never carry results.
+    Progress {
+        /// Id of the slice being executed.
+        id: u64,
+        /// Grid points finished so far.
+        done: usize,
+        /// Grid points in the slice.
+        total: usize,
+        /// Throughput since the slice started (grid points per wall
+        /// second).
+        rows_per_sec: f64,
+    },
 }
 
-/// Serve the worker side of the protocol until `input` reaches EOF.
+/// Minimum wall-clock gap between two [`WorkerReply::Progress`] lines
+/// from [`run_worker`] — frequent enough to outrun any sane dispatcher
+/// timeout, rare enough to stay invisible in fast campaigns.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_secs(5);
+
+/// Serve the worker side of the protocol until `input` reaches EOF,
+/// heartbeating at [`DEFAULT_HEARTBEAT`].
 ///
-/// Every line in is answered by exactly one line out (flushed), so a
-/// dispatcher can pipeline jobs without framing ambiguity. IO errors on
-/// the streams end the loop — the dispatcher treats a vanished worker as
-/// a retryable loss.
-pub fn run_worker(input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+/// Every job line in is answered by exactly one **terminal** line out
+/// (flushed), so a dispatcher can pipeline jobs without framing
+/// ambiguity; long slices additionally interleave throttled
+/// [`WorkerReply::Progress`] lines before the terminal reply. IO errors
+/// on the streams end the loop — the dispatcher treats a vanished worker
+/// as a retryable loss.
+pub fn run_worker(input: impl BufRead, output: impl Write) -> std::io::Result<()> {
+    run_worker_with(input, output, DEFAULT_HEARTBEAT)
+}
+
+/// [`run_worker`] with an explicit heartbeat interval: while a slice
+/// executes, a [`WorkerReply::Progress`] line is emitted after any grid
+/// point that completes at least `heartbeat` after the previous emission
+/// (`Duration::ZERO` beats on every point). Heartbeats are best-effort —
+/// a failed heartbeat write is dropped, and a genuinely broken pipe
+/// still surfaces on the terminal reply.
+pub fn run_worker_with(
+    input: impl BufRead,
+    mut output: impl Write,
+    heartbeat: Duration,
+) -> std::io::Result<()> {
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -71,7 +117,24 @@ pub fn run_worker(input: impl BufRead, mut output: impl Write) -> std::io::Resul
         let reply = match serde_json::from_str::<GridSlice>(&line) {
             Ok(slice) => {
                 let id = slice.id;
-                match slice.execute() {
+                let started = Instant::now();
+                let mut last_beat = started;
+                let outcome = slice.execute_with(&mut |done, total| {
+                    if last_beat.elapsed() < heartbeat {
+                        return;
+                    }
+                    last_beat = Instant::now();
+                    let secs = started.elapsed().as_secs_f64();
+                    let beat = WorkerReply::Progress {
+                        id,
+                        done,
+                        total,
+                        rows_per_sec: if secs > 0.0 { done as f64 / secs } else { 0.0 },
+                    };
+                    let text = serde_json::to_string(&beat).expect("replies always serialise");
+                    let _ = writeln!(output, "{text}").and_then(|()| output.flush());
+                });
+                match outcome {
                     Ok(result) => WorkerReply::Ok(result),
                     Err(e) => WorkerReply::Err {
                         id,
@@ -104,7 +167,10 @@ pub struct SubprocessBackend {
     /// Concurrent worker processes (`0` = hardware parallelism, like
     /// [`crate::ThreadPoolBackend`]; clamped to the job count).
     pub workers: usize,
-    /// How long one slice may take before its worker is declared lost.
+    /// How long a worker may stay *silent* — no terminal reply, no
+    /// [`WorkerReply::Progress`] heartbeat — before it is declared lost.
+    /// Heartbeats restart this clock, so the bound is on liveness, not
+    /// slice duration.
     pub timeout: Duration,
     /// How many times a slice is retried after losing a worker before
     /// the campaign aborts.
@@ -272,28 +338,39 @@ impl SubprocessBackend {
         if let Err(e) = writeln!(worker.stdin, "{job_line}").and_then(|()| worker.stdin.flush()) {
             return RoundOutcome::Lost(format!("worker stdin closed: {e}"));
         }
-        match worker.lines.recv_timeout(self.timeout) {
-            Ok(line) => match serde_json::from_str::<WorkerReply>(&line) {
-                Ok(WorkerReply::Ok(result)) if result.id == slice.id => RoundOutcome::Done(result),
-                Ok(WorkerReply::Ok(result)) => RoundOutcome::Lost(format!(
-                    "worker answered slice {} while slice {} was pending",
-                    result.id, slice.id
+        // Heartbeats are keep-alives: each Progress line for the pending
+        // slice restarts the timeout, so only true silence is a loss.
+        loop {
+            return match worker.lines.recv_timeout(self.timeout) {
+                Ok(line) => match serde_json::from_str::<WorkerReply>(&line) {
+                    Ok(WorkerReply::Progress { id, .. }) if id == slice.id => continue,
+                    Ok(WorkerReply::Progress { id, .. }) => RoundOutcome::Lost(format!(
+                        "worker heartbeat for slice {id} while slice {} was pending",
+                        slice.id
+                    )),
+                    Ok(WorkerReply::Ok(result)) if result.id == slice.id => {
+                        RoundOutcome::Done(result)
+                    }
+                    Ok(WorkerReply::Ok(result)) => RoundOutcome::Lost(format!(
+                        "worker answered slice {} while slice {} was pending",
+                        result.id, slice.id
+                    )),
+                    Ok(WorkerReply::Err { id, message }) => {
+                        RoundOutcome::Fatal(GridError::SliceFailed {
+                            slice: if id == u64::MAX { slice.id } else { id },
+                            message,
+                        })
+                    }
+                    Err(e) => RoundOutcome::Lost(format!("garbled worker reply: {e}")),
+                },
+                Err(RecvTimeoutError::Timeout) => RoundOutcome::Lost(format!(
+                    "no reply or heartbeat within {:.1}s",
+                    self.timeout.as_secs_f64()
                 )),
-                Ok(WorkerReply::Err { id, message }) => {
-                    RoundOutcome::Fatal(GridError::SliceFailed {
-                        slice: if id == u64::MAX { slice.id } else { id },
-                        message,
-                    })
+                Err(RecvTimeoutError::Disconnected) => {
+                    RoundOutcome::Lost("worker exited before replying".into())
                 }
-                Err(e) => RoundOutcome::Lost(format!("garbled worker reply: {e}")),
-            },
-            Err(RecvTimeoutError::Timeout) => RoundOutcome::Lost(format!(
-                "no reply within {:.1}s",
-                self.timeout.as_secs_f64()
-            )),
-            Err(RecvTimeoutError::Disconnected) => {
-                RoundOutcome::Lost("worker exited before replying".into())
-            }
+            };
         }
     }
 
@@ -449,9 +526,11 @@ mod tests {
         let mut output = Vec::new();
         run_worker(Cursor::new(input), &mut output).unwrap();
         let text = String::from_utf8(output).unwrap();
+        // Heartbeats are a side channel; only terminal replies frame jobs.
         let replies: Vec<WorkerReply> = text
             .lines()
             .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|r| !matches!(r, WorkerReply::Progress { .. }))
             .collect();
         assert_eq!(replies.len(), slices.len());
         for (reply, slice) in replies.iter().zip(&slices) {
@@ -460,6 +539,73 @@ mod tests {
             };
             assert_eq!(result, &slice.execute().unwrap());
         }
+    }
+
+    #[test]
+    fn zero_interval_worker_heartbeats_every_row_before_the_terminal_reply() {
+        let slices = partition(&small_sweep(), 100); // one slice, 2 points
+        assert_eq!(slices.len(), 1);
+        let slice = &slices[0];
+        let input = format!("{}\n", serde_json::to_string(slice).unwrap());
+        let mut output = Vec::new();
+        run_worker_with(Cursor::new(input), &mut output, Duration::ZERO).unwrap();
+        let replies: Vec<WorkerReply> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        // One heartbeat per grid point, then the terminal Ok — in order.
+        let (beats, terminal) = replies.split_at(replies.len() - 1);
+        assert_eq!(beats.len(), slice.len);
+        for (i, beat) in beats.iter().enumerate() {
+            let WorkerReply::Progress {
+                id,
+                done,
+                total,
+                rows_per_sec,
+            } = beat
+            else {
+                panic!("expected a heartbeat, got {beat:?}");
+            };
+            assert_eq!(*id, slice.id);
+            assert_eq!(*done, i + 1);
+            assert_eq!(*total, slice.len);
+            assert!(rows_per_sec.is_finite() && *rows_per_sec >= 0.0);
+        }
+        let WorkerReply::Ok(result) = &terminal[0] else {
+            panic!("expected the terminal Ok, got {:?}", terminal[0]);
+        };
+        assert_eq!(result, &slice.execute().unwrap());
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_worker_alive_past_the_silence_timeout() {
+        // A hand-rolled worker whose slice takes ~1.2s of wall time —
+        // twice the 600ms silence timeout — but heartbeats every 300ms
+        // through it: each heartbeat restarts the clock, so the
+        // dispatcher must wait for the terminal reply instead of
+        // declaring the worker lost (retries are disabled, so a spurious
+        // timeout would fail the whole batch).
+        let script = concat!(
+            "read line; ",
+            r#"for i in 1 2 3 4; do "#,
+            r#"echo "{\"Progress\":{\"id\":0,\"done\":$i,\"total\":4,\"rows_per_sec\":1.0}}"; "#,
+            "sleep 0.3; done; ",
+            r#"echo '{"Ok":{"id":0,"start":0,"reports":[]}}'"#,
+        );
+        let backend = SubprocessBackend::new(vec!["sh".into(), "-c".into(), script.into()], 1)
+            .with_timeout(Duration::from_millis(600))
+            .with_max_retries(0);
+        let jobs = partition(&small_sweep(), 100);
+        let mut results = Vec::new();
+        backend
+            .execute(&jobs, &mut |r| {
+                results.push(r);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, 0);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Walkthrough: record hop-level flight traces and telemetry histograms
+//! for a faulty torus, then export them.
+//!
+//! ```text
+//! cargo run -p hyperroute-telemetry --example flight_recorder
+//! ```
+//!
+//! Writes `flight_trace.ndjson` (one JSON trace per line) and
+//! `flight_trace.chrome.json` (load it at `chrome://tracing` or in
+//! Perfetto) into the current directory, and prints the telemetry
+//! summary that attaches to the report.
+
+use hyperroute_core::config::{FaultFallback, FaultMode, FaultSpec};
+use hyperroute_core::scenario::{Scenario, Topology};
+use hyperroute_telemetry::{FlightRecorder, TelemetryProbe};
+
+fn main() {
+    // A 5×5 torus with 30% of its arcs dead and the GOAFR-style escape
+    // fallback — plenty of deflections and escape walks to look at.
+    let scenario = Scenario::builder(Topology::Torus { radix: 5, dim: 2 })
+        .lambda(0.3)
+        .horizon(2_000.0)
+        .warmup(400.0)
+        .seed(21)
+        .faults(Some(FaultSpec {
+            mode: FaultMode::Seeded {
+                fraction: 0.3,
+                seed: 4,
+            },
+            fallback: FaultFallback::Escape { ttl: 8 },
+            dynamics: None,
+        }))
+        .build()
+        .expect("valid scenario");
+
+    // Sample 25% of packets (a pure function of the recorder seed and
+    // the packet id — reruns trace the same packets), keep the newest
+    // 512 finished traces, and aggregate histograms over *all* packets.
+    let mut observers = (
+        FlightRecorder::new(0xF11C47, 0.25, 512),
+        TelemetryProbe::new(),
+    );
+    let mut report = scenario.run_observed(&mut observers).expect("runs");
+    let (mut recorder, probe) = observers;
+
+    recorder.seal(); // flush still-in-flight packets as unfinished traces
+    std::fs::write("flight_trace.ndjson", recorder.to_ndjson()).expect("write ndjson");
+    std::fs::write("flight_trace.chrome.json", recorder.to_chrome_trace())
+        .expect("write chrome trace");
+    println!(
+        "traced {} packets ({} evicted by the ring buffer) -> flight_trace.ndjson, \
+         flight_trace.chrome.json",
+        recorder.len(),
+        recorder.evicted()
+    );
+
+    // The histograms attach to the report as the opt-in `telemetry` key.
+    probe.attach(&mut report);
+    let telemetry = report.telemetry.as_ref().expect("attached above");
+    println!(
+        "delivered {} of {} generated; mean delay {:.3} (p99 bound {:.1})",
+        report.delivered,
+        report.generated,
+        telemetry.delay.mean(),
+        telemetry.delay.quantile_bound(0.99),
+    );
+    println!(
+        "deflections: mean {:.3} over {} packets; escape walks: {} recorded, longest {:.0} hops",
+        telemetry.deflections.mean(),
+        telemetry.deflections.count,
+        telemetry.escape_walks.count,
+        telemetry.escape_walks.max,
+    );
+    let busiest = telemetry
+        .arcs
+        .occupancy_time
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("arcs exist");
+    println!(
+        "busiest arc {} carried {:.1} packet-time-units (peak queue {})",
+        busiest.0, busiest.1, telemetry.arcs.peak_depth[busiest.0]
+    );
+}

@@ -1,0 +1,52 @@
+//! Golden-trace regression gate: a tiny seeded scenario's flight-recorder
+//! NDJSON export is byte-compared against a checked-in fixture, so any
+//! change to hook firing order, trace sampling, or the export format
+//! shows up as a reviewable diff instead of silent drift.
+//!
+//! Regenerate intentionally with
+//! `HYPERROUTE_UPDATE_GOLDEN=1 cargo test -p hyperroute-telemetry --test
+//! golden_trace` and commit the new fixture.
+
+use hyperroute_core::scenario::{Scenario, Topology};
+use hyperroute_telemetry::FlightRecorder;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/flight_trace.ndjson"
+);
+
+fn recorded_trace() -> String {
+    let scenario = Scenario::builder(Topology::Hypercube { dim: 3 })
+        .lambda(0.4)
+        .p(0.5)
+        .horizon(15.0)
+        .warmup(3.0)
+        .seed(7)
+        .build()
+        .unwrap();
+    let mut recorder = FlightRecorder::new(0x00F1_1C47, 1.0, 256);
+    scenario.run_observed(&mut recorder).unwrap();
+    recorder.seal();
+    recorder.to_ndjson()
+}
+
+#[test]
+fn tiny_seeded_scenario_trace_matches_the_checked_in_golden() {
+    let got = recorded_trace();
+    if std::env::var_os("HYPERROUTE_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden fixture missing: regenerate with HYPERROUTE_UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "flight trace drifted from tests/golden/flight_trace.ndjson; \
+         if the change is intended, regenerate with HYPERROUTE_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_scenario_trace_is_reproducible_within_a_process() {
+    assert_eq!(recorded_trace(), recorded_trace());
+}

@@ -1,0 +1,98 @@
+//! Property test of the telemetry non-interference contract: running any
+//! scenario with a [`FlightRecorder`] **and** a [`TelemetryProbe`]
+//! attached (as one composed observer) yields a `Report` byte-identical
+//! to the unobserved run — across every engine-backed topology arm and
+//! both scheduler backends.
+//!
+//! This is the load-bearing guarantee behind the corpus gate staying
+//! green with telemetry in the tree: observers see every hook the engine
+//! fires but never touch its random draws, queues, or metrics, and the
+//! telemetry extension only enters a report through an explicit
+//! post-run [`TelemetryProbe::attach`].
+
+use hyperroute_core::scenario::{Scenario, Topology};
+use hyperroute_desim::SchedulerKind;
+use hyperroute_telemetry::{FlightRecorder, TelemetryProbe};
+use proptest::prelude::*;
+
+/// The engine-backed topology arms (the equivalent network and the
+/// pipelined scheme run off-engine and fire no hop hooks).
+fn topology(arm: usize, gseed: u64) -> Topology {
+    match arm {
+        0 => Topology::Hypercube { dim: 4 },
+        1 => Topology::Butterfly { dim: 3 },
+        2 => Topology::Ring {
+            nodes: 16,
+            bidirectional: true,
+        },
+        3 => Topology::Torus { radix: 4, dim: 2 },
+        4 => Topology::DeBruijn { dim: 4 },
+        5 => Topology::FatTree { levels: 3 },
+        6 => Topology::SmallWorld {
+            side: 5,
+            dims: 2,
+            links: 2,
+            alpha: 2.0,
+            seed: gseed,
+        },
+        _ => Topology::Hyperbolic {
+            nodes: 64,
+            alpha: 0.75,
+            radius_offset: 0.0,
+            seed: gseed,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn observed_runs_are_byte_identical_to_unobserved_runs(
+        arm in 0usize..8,
+        heap in any::<bool>(),
+        lambda in 0.05f64..0.25,
+        seed in any::<u64>(),
+        gseed in 0u64..1_000,
+    ) {
+        let scenario = Scenario::builder(topology(arm, gseed))
+            .lambda(lambda)
+            .horizon(120.0)
+            .warmup(20.0)
+            .seed(seed)
+            .scheduler(if heap { SchedulerKind::Heap } else { SchedulerKind::Calendar })
+            .build()
+            .unwrap();
+        let baseline = scenario.run().unwrap();
+        let baseline_json = serde_json::to_string(&baseline).unwrap();
+
+        // Full-rate recorder and histogram probe composed into one
+        // observer, driven in a single pass.
+        let mut observers = (
+            FlightRecorder::new(seed ^ 0x0B5E_27ED, 1.0, 32),
+            TelemetryProbe::new(),
+        );
+        let observed = scenario.run_observed(&mut observers).unwrap();
+        prop_assert_eq!(
+            &serde_json::to_string(&observed).unwrap(),
+            &baseline_json,
+            "observers changed the report (arm {})", arm
+        );
+
+        // Attaching is explicit and additive: the telemetry key appears,
+        // and the extended report round-trips bit-exactly.
+        let (recorder, probe) = observers;
+        let mut extended = observed;
+        probe.attach(&mut extended);
+        let extended_json = serde_json::to_string(&extended).unwrap();
+        prop_assert!(extended_json.contains("\"telemetry\""));
+        prop_assert!(!baseline_json.contains("\"telemetry\""));
+        let back: hyperroute_core::scenario::Report =
+            serde_json::from_str(&extended_json).unwrap();
+        prop_assert!(back == extended, "telemetry extension lost in round-trip");
+
+        // The recorder sampled every traced packet at rate 1.0; sealed
+        // traces are a side channel, never part of the report.
+        drop(recorder);
+    }
+}
