@@ -26,8 +26,11 @@ THRESHOLD = 0.25  # fail on >25% normalised regression
 
 
 def cells_by_key(report):
+    # `workers` arrived with schema v6; default 1 keeps older reports
+    # comparable.
     return {
-        (c["sim"], c["dim"], c["rho"], c["engine"]): c["events_per_sec"]
+        (c["sim"], c["dim"], c["rho"], c["engine"], c.get("workers", 1)):
+            c["events_per_sec"]
         for c in report["results"]
     }
 
@@ -66,19 +69,31 @@ def main() -> int:
         norm = raw / machine
         marker = "ok"
         if norm < 1.0 - THRESHOLD:
-            marker = "REGRESSION"
-            regressions.append(
-                f"{key}: normalised throughput ratio {norm:.3f} "
-                f"(raw {raw:.3f}, machine {machine:.3f})"
-            )
+            if key[4] > 1:
+                # Sharded cells scale with the host's core count, which
+                # the seed-cell normalisation cannot cancel (seed is
+                # single-threaded); a CI runner with a different core
+                # count than the report box shifts these cells without
+                # any code change. Warn, never fail.
+                marker = "warn(cores)"
+                warnings.append(
+                    f"{key}: sharded cell normalised ratio {norm:.3f} "
+                    f"(core-count dependent, not gated)"
+                )
+            else:
+                marker = "REGRESSION"
+                regressions.append(
+                    f"{key}: normalised throughput ratio {norm:.3f} "
+                    f"(raw {raw:.3f}, machine {machine:.3f})"
+                )
         elif raw < 1.0 - THRESHOLD:
             marker = "warn(raw)"
             warnings.append(
                 f"{key}: raw ratio {raw:.3f} low but normalised {norm:.3f} fine "
                 f"(slow machine)"
             )
-        sim, dim, rho, engine = key
-        print(f"  {sim:10s} dim={dim:<5} rho={rho:<5} {engine:9s} "
+        sim, dim, rho, engine, workers = key
+        print(f"  {sim:10s} dim={dim:<5} rho={rho:<5} {engine:9s} w={workers} "
               f"raw={raw:6.3f} norm={norm:6.3f}  {marker}")
     for key in sorted(new):
         if key[3] != "seed" and key not in base:

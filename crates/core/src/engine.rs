@@ -250,6 +250,15 @@ pub struct Engine<T: EngineSpec> {
     /// Next firing of the self-scheduling arrival stream (merged Poisson
     /// arrival or slot boundary), or `None` once generation has ceased.
     next_stream: Option<f64>,
+    /// Batched Poisson arrival draws: `(next_time, source)` pairs
+    /// pre-drawn in exact stream order (the alternating `exp`/`below`
+    /// recurrence), consumed through `arrival_cursor`. Batching is
+    /// draw-for-draw invisible — `arrival_rng` feeds nothing else under
+    /// the Poisson model, so the eager tail draws past the horizon that
+    /// the unbatched path would never make are unobservable — and takes
+    /// the refill arithmetic off the per-event path.
+    arrival_buf: Vec<(f64, u32)>,
+    arrival_cursor: usize,
     arrival_rng: SimRng,
     dest_rng: SimRng,
     route_rng: SimRng,
@@ -313,6 +322,8 @@ impl<T: EngineSpec> Engine<T> {
             events,
             events_processed: 0,
             next_stream,
+            arrival_buf: Vec::new(),
+            arrival_cursor: 0,
             arrival_rng,
             dest_rng,
             route_rng,
@@ -380,13 +391,35 @@ impl<T: EngineSpec> Engine<T> {
         self.timers.flush();
     }
 
+    /// Poisson arrivals drawn per refill batch (the per-event-class RNG
+    /// buffer): one entry is `(t_{k+1}, source_k)` — the recurrence the
+    /// unbatched path computed per event, in the same `exp`-then-`below`
+    /// draw order, so the consumed stream is bit-identical.
+    const ARRIVAL_BATCH: usize = 64;
+
+    #[cold]
+    fn refill_arrivals(&mut self, mut t: f64) {
+        let total_rate = self.cfg.lambda * self.spec.num_sources() as f64;
+        let sources = self.spec.num_sources();
+        self.arrival_buf.clear();
+        self.arrival_cursor = 0;
+        for _ in 0..Self::ARRIVAL_BATCH {
+            let next = t + self.arrival_rng.exp(total_rate);
+            let source = self.arrival_rng.below(sources) as u32;
+            self.arrival_buf.push((next, source));
+            t = next;
+        }
+    }
+
     fn on_merged_arrival<O: Observer>(&mut self, t: f64, obs: &mut O) {
         // Schedule the next merged arrival first (keeps the stream's draws
         // independent of per-packet sampling).
-        let total_rate = self.cfg.lambda * self.spec.num_sources() as f64;
-        let next = t + self.arrival_rng.exp(total_rate);
+        if self.arrival_cursor == self.arrival_buf.len() {
+            self.refill_arrivals(t);
+        }
+        let (next, source) = self.arrival_buf[self.arrival_cursor];
+        self.arrival_cursor += 1;
         self.next_stream = (next < self.cfg.horizon).then_some(next);
-        let source = self.arrival_rng.below(self.spec.num_sources()) as u32;
         self.generate(t, source, obs);
     }
 
@@ -556,6 +589,14 @@ impl<T: EngineSpec> Engine<T> {
     /// retired per-topology loops reported.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Take the spec and run parameters back out of a **not-yet-driven**
+    /// engine — the hand-off point to the sharded executor
+    /// ([`crate::parallel::ParallelEngine`]), which rebuilds the RNGs and
+    /// collector from `cfg.seed` exactly as [`Engine::new`] did.
+    pub fn into_spec_cfg(self) -> (T, EngineCfg) {
+        (self.spec, self.cfg)
     }
 }
 

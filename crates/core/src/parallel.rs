@@ -1,0 +1,915 @@
+//! Sharded intra-run execution: one simulation across several cores,
+//! byte-identical to the single-threaded engine.
+//!
+//! # The lookahead argument
+//!
+//! Every arc has unit latency: a packet whose service starts at time `t`
+//! arrives at its next node at `t + 1`. Partition the nodes across `W`
+//! shards (each shard owning the arcs whose *tail* it owns) and advance
+//! simulation time in windows `[k, k+1)` aligned to the integer grid.
+//! Within one window, no event on shard A can affect shard B: the only
+//! cross-shard interaction is a packet crossing a boundary arc, and that
+//! crossing lands a full time unit after the service that launched it —
+//! always in a *later* window. Stronger still, every service completion
+//! scheduled during window `k` fires in window `k + 1`, so the complete
+//! event population of a window is known before the window begins. This
+//! is classic conservative parallel discrete-event simulation with
+//! lookahead 1 — the paper's unit-transmission model hands us the
+//! lookahead for free.
+//!
+//! # The determinism contract
+//!
+//! Reports must be **byte-identical** to the single-threaded
+//! [`Engine`](crate::engine::Engine) — it stays the differential oracle.
+//! Three mechanisms deliver that:
+//!
+//! 1. **Central arrival stream.** The coordinator owns the arrival and
+//!    destination RNGs and draws every arrival (next-interarrival first,
+//!    then the source, then the destination law) in exactly the
+//!    single-threaded order, then routes the packet to its owner shard.
+//! 2. **Coordinator-ordered agendas.** Identical timestamps are *not*
+//!    rare here: a queued packet's service starts the instant its
+//!    predecessor completes, so whole event lineages share one
+//!    fractional part and collide bitwise, and the single-threaded
+//!    engine breaks those ties by insertion order into its event queue.
+//!    The lookahead makes that order reproducible: because window
+//!    `k`'s events were all scheduled during window `k - 1`, each one
+//!    is announced to the coordinator (with its *parent* event and its
+//!    push slot within the parent — completions of a freed arc's next
+//!    waiter are pushed before the finished packet's next-arc
+//!    completion) a window before it fires. The coordinator sorts the
+//!    window globally by `(time, queue-beats-arrivals, parent's pop
+//!    position, slot)` — exactly the single-threaded `(time, seq)`
+//!    order — and hands every shard its slice of the sequence as an
+//!    explicit agenda. Shards execute agendas in order, so FIFO queues
+//!    fill identically; the coordinator then replays the shards'
+//!    effect records (service ends, hops, deliveries, drops) in the
+//!    same agenda order against the collector, the primary spec's
+//!    order-dependent statistics, and the observer. A
+//!    [`FlightRecorder`](../../hyperroute_telemetry) attached to a
+//!    sharded run sees the exact single-threaded call sequence.
+//! 3. **No shard-side randomness.** Configurations whose per-hop
+//!    decisions draw from shared RNG streams (random-order routing,
+//!    random contention, slotted arrival batches) are rejected by
+//!    validation at `workers > 1`; everything a shard does is a pure
+//!    function of the packets it receives.
+//!
+//! # When NOT to shard
+//!
+//! Sharding pays a per-window synchronisation barrier (two channel
+//! hand-offs per shard per simulated time unit) plus the agenda sort
+//! and record replay on the coordinator. It wins when the per-window
+//! event volume is large: big graphs under heavy traffic (a `d = 12`
+//! hypercube near saturation runs thousands of events per window). It
+//! loses on small or lightly loaded runs — a `d = 6` hypercube at
+//! `ρ = 0.5` has tens of events per window, and the barrier dominates.
+//! Sweeps that already saturate all cores with independent points
+//! should keep `workers = None`: intra-run sharding would only add
+//! overhead inside each point.
+
+use crate::config::{ArrivalModel, ContentionPolicy};
+use crate::engine::{Advance, ArcChoice, EngineCfg, EnginePacket, EngineSpec, Spawn, ARC_BUSY};
+use crate::metrics::MetricsCollector;
+use crate::observe::Observer;
+use crate::pool::{ArcFifo, SlabPool};
+use crate::profile::{Phase, PhaseTimers, Tick};
+use hyperroute_desim::SimRng;
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+/// Low bits of an event id carry the shard that created it.
+const SHARD_BITS: u32 = 6;
+/// Shard-tag value reserved for coordinator-drawn arrival events.
+const ARRIVAL_TAG: u64 = (1 << SHARD_BITS) - 1;
+/// Hard cap on shard workers (ids reserve [`ARRIVAL_TAG`]; far above
+/// any core count where window barriers still pay off).
+const MAX_WORKERS: usize = 32;
+
+/// A spec a shard worker can run: the worker-side half of a
+/// [`ShardableSpec`]. Shard-side statistics are either absorbed
+/// (order-independent integer tallies) or discarded in favour of the
+/// coordinator's replay, so the only extra surface is the drop-code
+/// hand-off.
+pub trait ShardSpec: EngineSpec {
+    /// Classification code of the drop [`EngineSpec::choose_arc`] just
+    /// decided (consumed: a second call returns the default). Carried in
+    /// the drop record so the primary spec can replay its taxonomy.
+    fn take_drop_code(&mut self) -> u8 {
+        0
+    }
+}
+
+/// The primary-side contract for sharded execution: how to clone
+/// worker specs, partition the nodes, replay order-dependent statistics
+/// from the merged record stream, and absorb the order-independent
+/// shard tallies.
+///
+/// Two purity requirements beyond [`EngineSpec`]'s, both already true
+/// of every engine-backed spec and checked by the differential suite:
+///
+/// * [`EngineSpec::advance`] must not read or write mutable spec state
+///   (the shard engine applies it at service *start*, one time unit
+///   before the single-threaded engine would).
+/// * [`EngineSpec::choose_arc`] must return arcs whose tail is the
+///   node the packet sits at (shard locality). Validation rejects the
+///   one configuration that violates this (butterfly fault fallbacks,
+///   whose ranked alternates include foreign-tail wrap arcs).
+pub trait ShardableSpec: EngineSpec {
+    /// The worker-side spec: same packets, fresh statistics.
+    type Shard: ShardSpec<Pkt = Self::Pkt> + Send;
+
+    /// Build one worker spec (fresh zeroed statistics; fault state
+    /// rebuilt deterministically from its own seeds).
+    fn shard(&self) -> Self::Shard;
+
+    /// Number of nodes (the partitioner's domain).
+    fn num_nodes(&self) -> usize;
+
+    /// Tail node of dense arc `arc` — drives the degree-balanced
+    /// partition and arc ownership.
+    fn arc_tail(&self, arc: usize) -> u32;
+
+    /// Replay a hop at `t` onto `arc` (the order-dependent half of what
+    /// [`EngineSpec::choose_arc`] tallies — time-weighted occupancies).
+    /// Order-independent tallies (per-arc/per-dimension arrival counts)
+    /// stay shard-side and come back through
+    /// [`absorb`](ShardableSpec::absorb). Default: nothing.
+    fn replay_hop(&mut self, _t: f64, _arc: u32) {}
+
+    /// Replay a service end at `t` on `arc` (the counterpart of
+    /// [`EngineSpec::note_service_end`], keyed by arc index instead of
+    /// meta word). Default: nothing.
+    fn replay_service_end(&mut self, _t: f64, _arc: u32) {}
+
+    /// Replay a drop with the classification `code` the shard captured
+    /// via [`ShardSpec::take_drop_code`]. Default: plain
+    /// [`EngineSpec::note_drop`].
+    fn replay_drop(&mut self, pkt: &Self::Pkt, in_window: bool, code: u8) {
+        let _ = code;
+        self.note_drop(pkt, in_window);
+    }
+
+    /// Fold a finished worker's order-independent tallies into the
+    /// primary statistics.
+    fn absorb(&mut self, shard: &Self::Shard);
+
+    /// The run is over; `t_last` is the time of the last routing
+    /// decision (dynamic fault masks catch up their schedules here).
+    fn finish(&mut self, _t_last: f64) {}
+}
+
+/// What a shard did during one agenda item, in the single-threaded
+/// engine's own vocabulary. All records of an item share the item's
+/// event time, so no time is stored.
+enum Rec<P> {
+    /// A service completed (`depth`: packets still on the arc after the
+    /// next service started).
+    ServiceEnd { arc: u32, depth: u32 },
+    /// A packet was enqueued on `arc` out of `node`.
+    Hop {
+        id: u32,
+        node: u32,
+        arc: u32,
+        depth: u32,
+        escape: bool,
+    },
+    /// A packet reached its destination.
+    Deliver { pkt: P, hops: u16 },
+    /// A packet was dropped at `node` with shard-captured taxonomy
+    /// `code`.
+    Drop { pkt: P, node: u32, code: u8 },
+}
+
+/// A future service completion, announced to the coordinator the window
+/// before it fires: the event's global order key is `(t, parent's pop
+/// position, slot)`.
+struct Header {
+    id: u64,
+    t: f64,
+    parent: u64,
+    slot: u8,
+}
+
+/// A boundary crossing: the continuation of completion event `id`
+/// lands `pkt` at `node` (owned by another shard) at `t`.
+struct Crossing<P> {
+    id: u64,
+    t: f64,
+    node: u32,
+    pkt: P,
+}
+
+/// One entry of a shard's window agenda, in global event order.
+enum Item<P> {
+    /// Pop the shard's pending completion `id`.
+    Event { id: u64 },
+    /// Process the packet fragment of event `id` (a boundary crossing's
+    /// continuation, or a coordinator-drawn arrival): `pkt` enters the
+    /// network at `node` at `t`.
+    Packet { id: u64, t: f64, node: u32, pkt: P },
+}
+
+/// Coordinator → worker: one lookahead window, or shutdown.
+enum ToShard<P> {
+    /// Process these items, strictly in order.
+    Window { agenda: Vec<Item<P>> },
+    /// The run is over; send the finished spec back.
+    Done,
+}
+
+/// Worker → coordinator, after each window.
+struct WindowResult<P> {
+    /// This window's record stream, in agenda order.
+    records: Vec<Rec<P>>,
+    /// `(event id, record count)` per processed agenda item, in order —
+    /// the coordinator's cursor into `records`.
+    spans: Vec<(u64, u32)>,
+    /// Completions scheduled this window (they all fire next window).
+    headers: Vec<Header>,
+    /// Boundary crossings launched this window.
+    crossings: Vec<Crossing<P>>,
+}
+
+/// Continuation of an in-service packet, precomputed at service start
+/// (legal because [`EngineSpec::advance`] is pure w.r.t. spec state).
+/// Boundary crossings are emitted the moment service starts, so the
+/// receiving shard's agenda can include the packet in the window where
+/// it arrives.
+enum Continue<P> {
+    /// Delivered at the head node.
+    Deliver { pkt: P, hops: u16 },
+    /// Forwards to a node this shard owns.
+    Local { node: u32, pkt: P },
+    /// Forwards to another shard (the crossing is already queued).
+    Remote,
+}
+
+/// Per-arc worker state: the intrusive waiter list plus the packed
+/// routing word (same layout as the single-threaded engine's).
+#[derive(Clone, Copy)]
+struct ShardArc {
+    waiting: ArcFifo,
+    meta: u32,
+}
+
+/// One worker: a stripped-down engine over the nodes it owns. No RNGs
+/// (validation guarantees no shard-side draws), no collector, no
+/// observer, and no event queue of its own — the coordinator's agenda
+/// *is* the schedule; effects stream out as [`Rec`]s.
+struct ShardEngine<S: ShardSpec> {
+    spec: S,
+    warmup: f64,
+    horizon: f64,
+    lifo: bool,
+    /// This shard's id tag (low [`SHARD_BITS`] of every event id it
+    /// creates).
+    me: u64,
+    owner: std::sync::Arc<Vec<u8>>,
+    pool: SlabPool<S::Pkt>,
+    arcs: Vec<ShardArc>,
+    /// In-flight services by event id, with their precomputed
+    /// continuations.
+    pending: HashMap<u64, (f64, u32, Continue<S::Pkt>)>,
+    next_id: u64,
+    records: Vec<Rec<S::Pkt>>,
+    spans: Vec<(u64, u32)>,
+    headers: Vec<Header>,
+    crossings: Vec<Crossing<S::Pkt>>,
+    /// Dead stream for the `choose_arc` signature; never sampled in any
+    /// configuration validation admits at `workers > 1`.
+    null_rng: SimRng,
+}
+
+impl<S: ShardSpec> ShardEngine<S> {
+    fn new(spec: S, cfg: &EngineCfg, me: u64, owner: std::sync::Arc<Vec<u8>>) -> ShardEngine<S> {
+        let arcs = (0..spec.num_arcs())
+            .map(|arc| ShardArc {
+                waiting: ArcFifo::new(),
+                meta: spec.arc_meta(arc),
+            })
+            .collect();
+        ShardEngine {
+            arcs,
+            warmup: cfg.warmup,
+            horizon: cfg.horizon,
+            lifo: cfg.contention == ContentionPolicy::Lifo,
+            me,
+            owner,
+            pool: SlabPool::with_capacity(1024),
+            pending: HashMap::new(),
+            next_id: 0,
+            records: Vec::new(),
+            spans: Vec::new(),
+            headers: Vec::new(),
+            crossings: Vec::new(),
+            null_rng: SimRng::new(0),
+            spec,
+        }
+    }
+
+    /// Execute one window's agenda, strictly in the order given.
+    fn run_window(&mut self, agenda: Vec<Item<S::Pkt>>) {
+        for item in agenda {
+            let start = self.records.len();
+            let id = match item {
+                Item::Event { id } => {
+                    let (t, arc, cont) = self
+                        .pending
+                        .remove(&id)
+                        .expect("agenda references an unknown pending event");
+                    self.on_complete(t, arc as usize, id, cont);
+                    id
+                }
+                Item::Packet { id, t, node, pkt } => {
+                    self.enqueue(t, node, pkt, id);
+                    id
+                }
+            };
+            self.spans.push((id, (self.records.len() - start) as u32));
+        }
+    }
+
+    /// Route `pkt` out of `node` at `t` and put it on an arc queue; any
+    /// service start this causes is a slot-1 child of event `parent`
+    /// (the single-threaded engine pushes the moved packet's completion
+    /// *after* the freed arc's next service).
+    fn enqueue(&mut self, t: f64, node: u32, mut pkt: S::Pkt, parent: u64) {
+        let in_window = t >= self.warmup && t < self.horizon;
+        let choice = self
+            .spec
+            .choose_arc(t, in_window, node, &mut pkt, &mut self.null_rng);
+        let arc = match choice {
+            ArcChoice::Arc(arc) => arc as usize,
+            ArcChoice::Drop => {
+                let code = self.spec.take_drop_code();
+                self.records.push(Rec::Drop { pkt, node, code });
+                return;
+            }
+        };
+        let id = pkt.trace_id();
+        let escape = self.spec.in_escape(&pkt);
+        let depth = if self.arcs[arc].meta & ARC_BUSY == 0 {
+            self.arcs[arc].meta |= ARC_BUSY;
+            self.start_service(t, arc, pkt, parent, 1);
+            1
+        } else {
+            self.arcs[arc].waiting.push_back(&mut self.pool, pkt);
+            1 + self.arcs[arc].waiting.len() as u32
+        };
+        self.records.push(Rec::Hop {
+            id,
+            node,
+            arc: arc as u32,
+            depth,
+            escape,
+        });
+    }
+
+    /// Begin serving `pkt` on `arc` at `t`: assign the completion event
+    /// an id, precompute its advance, and announce it to the
+    /// coordinator. A boundary crossing is emitted *now* — its arrival
+    /// time `t + 1` is in the next window by the lookahead argument, so
+    /// the receiving shard's agenda will include the packet.
+    fn start_service(&mut self, t: f64, arc: usize, mut pkt: S::Pkt, parent: u64, slot: u8) {
+        let meta = self.arcs[arc].meta & !ARC_BUSY;
+        let id = (self.next_id << SHARD_BITS) | self.me;
+        self.next_id += 1;
+        let due = t + 1.0;
+        let cont = match self.spec.advance(meta, &mut pkt) {
+            Advance::Deliver(hops) => Continue::Deliver { pkt, hops },
+            Advance::Forward(node) => {
+                if self.owner[node as usize] as u64 == self.me {
+                    Continue::Local { node, pkt }
+                } else {
+                    self.crossings.push(Crossing {
+                        id,
+                        t: due,
+                        node,
+                        pkt,
+                    });
+                    Continue::Remote
+                }
+            }
+        };
+        self.pending.insert(id, (due, arc as u32, cont));
+        self.headers.push(Header {
+            id,
+            t: due,
+            parent,
+            slot,
+        });
+    }
+
+    fn on_complete(&mut self, t: f64, arc: usize, id: u64, cont: Continue<S::Pkt>) {
+        let meta = self.arcs[arc].meta;
+        debug_assert!(meta & ARC_BUSY != 0, "completion on an idle arc");
+        self.spec.note_service_end(t, meta & !ARC_BUSY);
+        let next = if self.lifo {
+            self.arcs[arc].waiting.pop_back(&mut self.pool)
+        } else {
+            self.arcs[arc].waiting.pop_front(&mut self.pool)
+        };
+        match next {
+            // The freed arc's next service is this event's slot-0 child.
+            Some(pkt) => self.start_service(t, arc, pkt, id, 0),
+            None => self.arcs[arc].meta &= !ARC_BUSY,
+        }
+        let busy = (self.arcs[arc].meta & ARC_BUSY != 0) as u32;
+        let depth = busy + self.arcs[arc].waiting.len() as u32;
+        self.records.push(Rec::ServiceEnd {
+            arc: arc as u32,
+            depth,
+        });
+        match cont {
+            Continue::Deliver { pkt, hops } => self.records.push(Rec::Deliver { pkt, hops }),
+            Continue::Local { node, pkt } => self.enqueue(t, node, pkt, id),
+            Continue::Remote => {}
+        }
+    }
+}
+
+/// Contiguous node ranges balanced by cumulative out-degree, as a
+/// node → shard map. Degree balancing matters on skewed graphs
+/// (scale-free hubs); on regular topologies it degenerates to equal
+/// node counts. Contiguity keeps each shard's hot arcs in a compact
+/// index range (the CSR topologies enumerate arcs node-major).
+fn partition_nodes<T: ShardableSpec>(spec: &T, workers: usize) -> Vec<u8> {
+    let nodes = spec.num_nodes();
+    let mut degree = vec![0u32; nodes];
+    for arc in 0..spec.num_arcs() {
+        degree[spec.arc_tail(arc) as usize] += 1;
+    }
+    let total: u64 = degree.iter().map(|&d| d as u64).sum();
+    let mut owner = vec![0u8; nodes];
+    if total == 0 {
+        // Round-robin fallback for degenerate (arcless) graphs.
+        for (node, slot) in owner.iter_mut().enumerate() {
+            *slot = (node % workers) as u8;
+        }
+        return owner;
+    }
+    let mut acc = 0u64;
+    let mut shard = 0usize;
+    for node in 0..nodes {
+        // Advance to the next shard when this one has met its share of
+        // the total degree (never past the last shard).
+        if shard + 1 < workers && acc * workers as u64 >= total * (shard as u64 + 1) {
+            shard += 1;
+        }
+        owner[node] = shard as u8;
+        acc += degree[node] as u64;
+    }
+    owner
+}
+
+/// Arrival replay info carried on an arrival event entry.
+struct ArrivalInfo {
+    source: u32,
+    /// The id `on_generated`/`on_packet_delivered` report (the packet's
+    /// trace id as its representation stores it, or the birth sequence
+    /// for self-deliveries).
+    id: u64,
+    self_deliver: bool,
+}
+
+/// One event of the window being ordered: a completion (from a shard
+/// header) or a coordinator-drawn arrival.
+struct Ev<P> {
+    t: f64,
+    /// 0 = completion, 1 = arrival: the engine's queue wins timestamp
+    /// ties against the arrival stream.
+    kind: u8,
+    /// Global pop position of the parent event in the previous window.
+    parent_pos: u64,
+    slot: u8,
+    /// Draw sequence for arrivals (completions: 0; their key is already
+    /// unique).
+    tie: u64,
+    id: u64,
+    /// Shard holding the `Item::Event` half (completions only).
+    primary: Option<usize>,
+    /// Packet fragment awaiting agenda placement: `(shard, node, pkt)`.
+    fragment: Option<(usize, u32, P)>,
+    /// Shard the fragment was handed to (for replay cursoring).
+    fragment_shard: Option<usize>,
+    arrival: Option<ArrivalInfo>,
+}
+
+/// The sharded executor: byte-identical reports to
+/// [`Engine`](crate::engine::Engine), work spread across `workers`
+/// threads in lookahead-1 windows. See the [module docs](self) for the
+/// argument.
+pub struct ParallelEngine<T: ShardableSpec> {
+    spec: T,
+    cfg: EngineCfg,
+    workers: usize,
+    collector: MetricsCollector,
+    events_processed: u64,
+    timers: PhaseTimers,
+}
+
+impl<T: ShardableSpec> ParallelEngine<T>
+where
+    T::Pkt: Send,
+{
+    /// Build the executor. The RNG splits and collector construction
+    /// mirror [`Engine::new`](crate::engine::Engine::new) exactly, so a
+    /// sharded run is a drop-in replacement for a single-threaded one.
+    pub fn new(spec: T, cfg: EngineCfg, workers: usize) -> ParallelEngine<T> {
+        assert!(
+            matches!(cfg.arrivals, ArrivalModel::Poisson) && cfg.drain,
+            "sharded execution requires Poisson arrivals and drain (validation enforces this)"
+        );
+        let sources = spec.num_sources() as f64;
+        let expected = (cfg.lambda * sources * (cfg.horizon - cfg.warmup)).max(64.0);
+        let collector = MetricsCollector::new(
+            cfg.warmup,
+            cfg.horizon,
+            (expected / 32.0).ceil() as u64,
+            cfg.seed,
+        );
+        ParallelEngine {
+            spec,
+            cfg,
+            workers: workers.max(1),
+            collector,
+            events_processed: 0,
+            timers: PhaseTimers::new(),
+        }
+    }
+
+    /// Drive the simulation to completion under `obs`.
+    pub fn drive<O: Observer>(&mut self, obs: &mut O) {
+        let cfg = self.cfg;
+        let workers = self
+            .workers
+            .min(self.spec.num_nodes())
+            .clamp(1, MAX_WORKERS);
+        let owner = std::sync::Arc::new(partition_nodes(&self.spec, workers));
+        // Same split order as `Engine::new`; the route/contention
+        // streams exist only to keep the root state identical (no
+        // admitted configuration samples them shard-side).
+        let mut root = SimRng::new(cfg.seed);
+        let mut arrival_rng = root.split();
+        let mut dest_rng = root.split();
+        let _route_rng = root.split();
+        let _contention_rng = root.split();
+        let sources = self.spec.num_sources();
+        let total_rate = cfg.lambda * sources as f64;
+        let mut next_stream = (total_rate > 0.0).then(|| arrival_rng.exp(total_rate));
+
+        let mut shards: Vec<Option<ShardEngine<T::Shard>>> = (0..workers)
+            .map(|k| {
+                Some(ShardEngine::new(
+                    self.spec.shard(),
+                    &cfg,
+                    k as u64,
+                    std::sync::Arc::clone(&owner),
+                ))
+            })
+            .collect();
+
+        let mut arrival_seq: u64 = 0;
+        let mut t_last = f64::NEG_INFINITY;
+
+        std::thread::scope(|scope| {
+            let mut to_shard = Vec::with_capacity(workers);
+            let mut from_shard = Vec::with_capacity(workers);
+            for engine_slot in shards.iter_mut() {
+                let mut engine = engine_slot.take().expect("fresh shard");
+                let (to_tx, to_rx) = mpsc::channel::<ToShard<T::Pkt>>();
+                let (from_tx, from_rx) = mpsc::channel::<WindowResult<T::Pkt>>();
+                let (spec_tx, spec_rx) = mpsc::channel::<T::Shard>();
+                scope.spawn(move || {
+                    while let Ok(msg) = to_rx.recv() {
+                        match msg {
+                            ToShard::Window { agenda } => {
+                                engine.run_window(agenda);
+                                let result = WindowResult {
+                                    records: std::mem::take(&mut engine.records),
+                                    spans: std::mem::take(&mut engine.spans),
+                                    headers: std::mem::take(&mut engine.headers),
+                                    crossings: std::mem::take(&mut engine.crossings),
+                                };
+                                if from_tx.send(result).is_err() {
+                                    return;
+                                }
+                            }
+                            ToShard::Done => {
+                                let _ = spec_tx.send(engine.spec);
+                                return;
+                            }
+                        }
+                    }
+                });
+                to_shard.push(to_tx);
+                from_shard.push((from_rx, spec_rx));
+            }
+
+            // Global pop positions of the previous window's events —
+            // the parents of everything in the current window.
+            let mut pos: HashMap<u64, u64> = HashMap::new();
+            let mut pending_headers: Vec<Header> = Vec::new();
+            let mut pending_crossings: Vec<(usize, Crossing<T::Pkt>)> = Vec::new();
+
+            loop {
+                // Earliest actionable time across the arrival stream
+                // and everything the shards announced.
+                let mut next = next_stream;
+                let fold = |next: &mut Option<f64>, t: f64| {
+                    *next = Some(next.map_or(t, |n: f64| n.min(t)));
+                };
+                for h in &pending_headers {
+                    fold(&mut next, h.t);
+                }
+                for (_, c) in &pending_crossings {
+                    fold(&mut next, c.t);
+                }
+                let Some(start) = next else { break };
+                let end = start.floor() + 1.0;
+
+                // Assemble this window's event population: announced
+                // completions first, then freshly drawn arrivals, in
+                // exact single-threaded RNG order (next interarrival,
+                // then the source, then the destination law).
+                let mut evs: Vec<Ev<T::Pkt>> = Vec::new();
+                let mut index: HashMap<u64, usize> = HashMap::new();
+                let mut rest = Vec::new();
+                for h in pending_headers.drain(..) {
+                    if h.t < end {
+                        index.insert(h.id, evs.len());
+                        evs.push(Ev {
+                            t: h.t,
+                            kind: 0,
+                            parent_pos: pos.get(&h.parent).copied().unwrap_or(u64::MAX),
+                            slot: h.slot,
+                            tie: 0,
+                            primary: Some((h.id & ARRIVAL_TAG) as usize),
+                            fragment: None,
+                            fragment_shard: None,
+                            arrival: None,
+                            id: h.id,
+                        });
+                    } else {
+                        rest.push(h);
+                    }
+                }
+                pending_headers = rest;
+                let mut rest = Vec::new();
+                for (shard, c) in pending_crossings.drain(..) {
+                    if c.t < end {
+                        // A crossing always pairs with a header from
+                        // the same window (both emitted at one service
+                        // start).
+                        let i = index[&c.id];
+                        evs[i].fragment = Some((shard, c.node, c.pkt));
+                    } else {
+                        rest.push((shard, c));
+                    }
+                }
+                pending_crossings = rest;
+                while let Some(t) = next_stream.filter(|&t| t < end) {
+                    let next_t = t + arrival_rng.exp(total_rate);
+                    next_stream = (next_t < cfg.horizon).then_some(next_t);
+                    let source = arrival_rng.below(sources) as u32;
+                    let seq = arrival_seq;
+                    arrival_seq += 1;
+                    let id = (seq << SHARD_BITS) | ARRIVAL_TAG;
+                    let (fragment, info) = match self.spec.generate(t, source, &mut dest_rng) {
+                        Spawn::SelfDeliver => (
+                            None,
+                            ArrivalInfo {
+                                source,
+                                id: seq,
+                                self_deliver: true,
+                            },
+                        ),
+                        Spawn::Route(mut pkt) => {
+                            pkt.set_trace_id(seq as u32);
+                            let trace = pkt.trace_id() as u64;
+                            (
+                                Some((owner[source as usize] as usize, source, pkt)),
+                                ArrivalInfo {
+                                    source,
+                                    id: trace,
+                                    self_deliver: false,
+                                },
+                            )
+                        }
+                    };
+                    evs.push(Ev {
+                        t,
+                        kind: 1,
+                        parent_pos: 0,
+                        slot: 0,
+                        tie: seq,
+                        id,
+                        primary: None,
+                        fragment,
+                        fragment_shard: None,
+                        arrival: Some(info),
+                    });
+                }
+
+                // The single-threaded pop order: ascending time; at
+                // bitwise-equal times the queue beats the arrival
+                // stream, and queued completions follow their parents'
+                // pop order and push slots.
+                evs.sort_by(|a, b| {
+                    a.t.total_cmp(&b.t)
+                        .then(a.kind.cmp(&b.kind))
+                        .then(a.parent_pos.cmp(&b.parent_pos))
+                        .then(a.slot.cmp(&b.slot))
+                        .then(a.tie.cmp(&b.tie))
+                });
+                pos.clear();
+                for (i, ev) in evs.iter().enumerate() {
+                    pos.insert(ev.id, i as u64);
+                }
+
+                // Slice the global sequence into per-shard agendas.
+                let mut agendas: Vec<Vec<Item<T::Pkt>>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for ev in &mut evs {
+                    if let Some(shard) = ev.primary {
+                        agendas[shard].push(Item::Event { id: ev.id });
+                    }
+                    if let Some((shard, node, pkt)) = ev.fragment.take() {
+                        ev.fragment_shard = Some(shard);
+                        agendas[shard].push(Item::Packet {
+                            id: ev.id,
+                            t: ev.t,
+                            node,
+                            pkt,
+                        });
+                    }
+                }
+
+                // Window barrier: hand out the agendas, wait for every
+                // record stream.
+                let tick = Tick::start();
+                for (shard, agenda) in agendas.into_iter().enumerate() {
+                    if to_shard[shard].send(ToShard::Window { agenda }).is_err() {
+                        panic!("shard worker {shard} terminated early");
+                    }
+                }
+                let mut results: Vec<WindowResult<T::Pkt>> = Vec::with_capacity(workers);
+                for (shard, (from_rx, _)) in from_shard.iter().enumerate() {
+                    let Ok(result) = from_rx.recv() else {
+                        panic!("shard worker {shard} panicked");
+                    };
+                    results.push(result);
+                }
+                self.timers.record(Phase::ShardSync, tick);
+
+                // Bank next window's population.
+                for (shard, result) in results.iter_mut().enumerate() {
+                    let _ = shard;
+                    pending_headers.append(&mut result.headers);
+                    for c in result.crossings.drain(..) {
+                        pending_crossings.push((owner[c.node as usize] as usize, c));
+                    }
+                }
+
+                // Replay the window in the global order the agendas
+                // enforced: per event, the observer's event hook, the
+                // arrival effects, then the primary (completion) span
+                // and the packet-fragment span.
+                let mut cursors: Vec<(usize, usize)> = vec![(0, 0); workers];
+                for ev in &evs {
+                    obs.on_event(ev.t, self.collector.current_in_system());
+                    self.events_processed += 1;
+                    if let Some(info) = &ev.arrival {
+                        self.collector.on_generated(ev.t);
+                        obs.on_generated(ev.t, info.id, info.source);
+                        if info.self_deliver {
+                            self.collector.on_delivered(ev.t, ev.t, 0);
+                            obs.on_delivered(ev.t, ev.t);
+                            obs.on_packet_delivered(ev.t, info.id, ev.t, 0, 0);
+                        }
+                    }
+                    if let Some(shard) = ev.primary {
+                        t_last = self
+                            .replay_span(ev, &mut cursors[shard], &results[shard], obs)
+                            .unwrap_or(t_last);
+                    }
+                    if let Some(shard) = ev.fragment_shard {
+                        t_last = self
+                            .replay_span(ev, &mut cursors[shard], &results[shard], obs)
+                            .unwrap_or(t_last);
+                    }
+                }
+            }
+
+            // Shut down and absorb the shard tallies in shard order.
+            for tx in &to_shard {
+                let _ = tx.send(ToShard::Done);
+            }
+            for (shard, (_, spec_rx)) in from_shard.iter().enumerate() {
+                let Ok(shard_spec) = spec_rx.recv() else {
+                    panic!("shard worker {shard} panicked");
+                };
+                self.spec.absorb(&shard_spec);
+            }
+        });
+        if t_last > f64::NEG_INFINITY {
+            self.spec.finish(t_last);
+        }
+        self.timers.flush();
+    }
+
+    /// Replay one agenda item's records onto the primary spec, the
+    /// collector and the observer — the exact call sequence the
+    /// single-threaded engine makes at this event. Returns the time of
+    /// the last routing decision (hop or drop), for the spec's finish
+    /// hook.
+    fn replay_span<O: Observer>(
+        &mut self,
+        ev: &Ev<T::Pkt>,
+        cursor: &mut (usize, usize),
+        result: &WindowResult<T::Pkt>,
+        obs: &mut O,
+    ) -> Option<f64> {
+        let cfg = self.cfg;
+        let t = ev.t;
+        let (span_idx, rec_idx) = *cursor;
+        let (span_id, count) = result.spans[span_idx];
+        debug_assert_eq!(span_id, ev.id, "shard span out of agenda order");
+        let mut t_last = None;
+        for rec in &result.records[rec_idx..rec_idx + count as usize] {
+            match rec {
+                Rec::ServiceEnd { arc, depth } => {
+                    self.spec.replay_service_end(t, *arc);
+                    obs.on_service_end(t, *arc, *depth);
+                }
+                Rec::Hop {
+                    id,
+                    node,
+                    arc,
+                    depth,
+                    escape,
+                } => {
+                    self.spec.replay_hop(t, *arc);
+                    obs.on_hop(t, *id as u64, *node, *arc, *depth);
+                    if *escape {
+                        obs.on_escape_hop(t, *id as u64, *node);
+                    }
+                    t_last = Some(t);
+                }
+                Rec::Deliver { pkt, hops } => {
+                    let born = pkt.born();
+                    let in_window = born >= cfg.warmup && born < cfg.horizon;
+                    self.spec.note_deliver(pkt, in_window);
+                    self.collector.on_delivered(t, born, *hops);
+                    obs.on_delivered(t, born);
+                    obs.on_packet_delivered(
+                        t,
+                        pkt.trace_id() as u64,
+                        born,
+                        *hops,
+                        pkt.deflections(),
+                    );
+                }
+                Rec::Drop { pkt, node, code } => {
+                    let born = pkt.born();
+                    let in_window = born >= cfg.warmup && born < cfg.horizon;
+                    self.spec.replay_drop(pkt, in_window, *code);
+                    self.collector.on_dropped(t);
+                    obs.on_drop(t, pkt.trace_id() as u64, *node);
+                    t_last = Some(t);
+                }
+            }
+        }
+        *cursor = (span_idx + 1, rec_idx + count as usize);
+        t_last
+    }
+
+    /// The primary spec, for report assembly after
+    /// [`ParallelEngine::drive`].
+    pub fn spec(&self) -> &T {
+        &self.spec
+    }
+
+    /// The run parameters.
+    pub fn cfg(&self) -> &EngineCfg {
+        &self.cfg
+    }
+
+    /// The shared metrics collector.
+    pub fn collector(&self) -> &MetricsCollector {
+        &self.collector
+    }
+
+    /// Discrete events processed — identical to the single-threaded
+    /// engine's count (one per arrival firing or service completion).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Decompose into the primary spec, run parameters, collector, and
+    /// event count — for report assembly that needs the spec by value
+    /// (e.g. to reclaim a shared topology).
+    pub fn into_parts(self) -> (T, EngineCfg, MetricsCollector, u64) {
+        (self.spec, self.cfg, self.collector, self.events_processed)
+    }
+}

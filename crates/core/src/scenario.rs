@@ -340,6 +340,21 @@ pub struct RunControl {
     /// After the horizon, keep serving until every in-flight packet is
     /// delivered. Disable for instability probes.
     pub drain: bool,
+    /// Shard this one run across this many OS threads sharing a single
+    /// simulated clock ([`crate::parallel::ParallelEngine`]). `None`
+    /// (the default) and `Some(1)` run the classic single-threaded
+    /// engine; any value yields byte-identical reports. Only
+    /// engine-backed topologies under Poisson arrivals shard — see the
+    /// [`crate::parallel`] module docs for the exact gate.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workers: Option<std::num::NonZeroUsize>,
+}
+
+impl RunControl {
+    /// The effective intra-run worker count (`1` when unset).
+    pub fn intra_workers(&self) -> usize {
+        self.workers.map_or(1, |w| w.get())
+    }
 }
 
 impl Default for RunControl {
@@ -350,6 +365,7 @@ impl Default for RunControl {
             seed: 0x5CE9A810,
             scheduler: SchedulerKind::default(),
             drain: true,
+            workers: None,
         }
     }
 }
@@ -393,6 +409,43 @@ impl Scenario {
                 feature: feature.to_string(),
             })
         };
+        if self.run.intra_workers() > 1 {
+            // Sharded execution keeps reports byte-identical by replaying
+            // shard records in a deterministic merge order; combinations
+            // whose tie-breaking or randomness is inherently sequential
+            // are rejected rather than silently diverging (the gate is
+            // documented in the `parallel` module).
+            if matches!(
+                self.topology,
+                Topology::EqNet { .. } | Topology::Pipelined { .. }
+            ) {
+                return unsupported("sharded execution (run.workers > 1; no engine backend)");
+            }
+            if matches!(self.topology, Topology::Butterfly { .. }) && w.faults.is_some() {
+                return unsupported(
+                    "fault masks under sharded execution (ranked alternates re-enter \
+                     foreign rows, breaking shard-local arc ownership)",
+                );
+            }
+            if w.arrivals != ArrivalModel::Poisson {
+                return unsupported(
+                    "slotted arrivals under sharded execution (batch ties have no \
+                     deterministic cross-shard order)",
+                );
+            }
+            if pol.contention == ContentionPolicy::Random {
+                return unsupported("Random contention under sharded execution");
+            }
+            if pol.scheme == Scheme::RandomOrder {
+                return unsupported(
+                    "the RandomOrder scheme under sharded execution (per-hop route \
+                     randomness is drawn in pop order)",
+                );
+            }
+            if !self.run.drain {
+                return unsupported("drain = false under sharded execution");
+            }
+        }
         match &self.topology {
             Topology::Hypercube { dim } => {
                 if pol.discipline != Discipline::Fifo {
@@ -1183,6 +1236,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Shard the run across `workers` threads (`1` restores the
+    /// single-threaded engine; reports are byte-identical either way).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.scenario.run.workers = std::num::NonZeroUsize::new(workers);
+        self
+    }
+
     /// Validate and produce the scenario.
     pub fn build(self) -> Result<Scenario, ConfigError> {
         self.scenario.validate()?;
@@ -1647,7 +1707,7 @@ impl Simulator for ButterflySim {
     }
 }
 
-impl<T: RoutingTopology> Simulator for GraphSim<T> {
+impl<T: RoutingTopology + Send + Sync> Simulator for GraphSim<T> {
     fn run_boxed(self: Box<Self>, obs: &mut dyn Observer) -> Report {
         self.run_observed(&mut &mut *obs)
     }

@@ -112,6 +112,23 @@ impl CorpusOutcome {
     }
 }
 
+/// Optional knobs for [`run_corpus_with`] beyond the common defaults.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusOptions {
+    /// Override every scenario's `run.workers` before running — the
+    /// sharded-execution corpus arm: reports must stay bit-identical
+    /// to the same baselines the single-threaded gate checks, because
+    /// [`hyperroute_core::parallel`] is an execution strategy, not a
+    /// model change. Scenarios the workers gate rejects (randomised
+    /// contention, EqNet/Pipelined, …) surface as `Invalid`, so the
+    /// arm is pointed at compatible scenarios via [`Self::only`].
+    pub intra_workers: Option<std::num::NonZeroUsize>,
+    /// Restrict the run to these scenario stems (in file order, not
+    /// list order). Naming a stem with no matching file is an error —
+    /// a typo must not silently shrink the gate.
+    pub only: Option<Vec<String>>,
+}
+
 /// Execute every scenario in `scenario_dir` (over `workers` threads; `0`
 /// = hardware parallelism) and diff its report against
 /// `baseline_dir/<stem>.report.json`. With `update`, baselines are
@@ -122,7 +139,41 @@ pub fn run_corpus(
     workers: usize,
     update: bool,
 ) -> Result<CorpusOutcome, GridError> {
-    let files = scenario_files(scenario_dir)?;
+    run_corpus_with(
+        scenario_dir,
+        baseline_dir,
+        workers,
+        update,
+        &CorpusOptions::default(),
+    )
+}
+
+/// [`run_corpus`] with the extra [`CorpusOptions`] knobs.
+pub fn run_corpus_with(
+    scenario_dir: &Path,
+    baseline_dir: &Path,
+    workers: usize,
+    update: bool,
+    opts: &CorpusOptions,
+) -> Result<CorpusOutcome, GridError> {
+    let mut files = scenario_files(scenario_dir)?;
+    if let Some(only) = &opts.only {
+        for stem in only {
+            if !files
+                .iter()
+                .any(|p| p.file_stem().is_some_and(|s| *s == **stem))
+            {
+                return Err(GridError::Corpus(format!(
+                    "--only names `{stem}` but {}/{stem}.json does not exist",
+                    scenario_dir.display()
+                )));
+            }
+        }
+        files.retain(|p| {
+            p.file_stem()
+                .is_some_and(|s| only.iter().any(|stem| *s == **stem))
+        });
+    }
     if files.is_empty() {
         return Err(GridError::Corpus(format!(
             "no scenario files (*.json) in {}",
@@ -139,7 +190,7 @@ pub fn run_corpus(
             .expect("scenario_files yields *.json only")
             .to_string_lossy()
             .into_owned();
-        let status = match load_scenario(path) {
+        let status = match load_scenario(path).and_then(|s| reshard(s, opts, path)) {
             Ok(scenario) => {
                 runnable.push((entries.len(), scenario));
                 CorpusStatus::Match // placeholder until the diff below
@@ -318,6 +369,18 @@ fn scenario_files(dir: &Path) -> Result<Vec<PathBuf>, GridError> {
     }
     files.sort();
     Ok(files)
+}
+
+/// Apply the [`CorpusOptions::intra_workers`] override, re-running
+/// validation so scenarios the sharding gate rejects report as
+/// `Invalid` with the gate's own message.
+fn reshard(mut s: Scenario, opts: &CorpusOptions, path: &Path) -> Result<Scenario, String> {
+    if let Some(w) = opts.intra_workers {
+        s.run.workers = Some(w);
+        s.validate()
+            .map_err(|e| format!("{}: workers={w} rejected: {e}", path.display()))?;
+    }
+    Ok(s)
 }
 
 /// Load one scenario file, rendering failures as `file:line:column:`
@@ -647,6 +710,65 @@ mod tests {
         std::fs::remove_file(dir.join("broken.json")).unwrap();
         let clean = validate_corpus(&dir, false).unwrap();
         assert!(clean.passed(), "{}", clean.summary());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_arm_matches_single_threaded_baselines() {
+        // Baselines written by single-threaded runs must verify
+        // bit-exactly when re-run sharded (`--intra-workers 2`) — the
+        // corpus is the end-to-end differential gate for the parallel
+        // engine. `--only` narrows the arm and rejects typos.
+        let dir = temp_dir("sharded-arm");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        write_scenario(&dir, "b", 2);
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+
+        let opts = CorpusOptions {
+            intra_workers: std::num::NonZeroUsize::new(2),
+            only: Some(vec!["a".into()]),
+        };
+        let outcome = run_corpus_with(&dir, &baselines, 1, false, &opts).unwrap();
+        assert!(outcome.passed(), "{}", outcome.summary());
+        assert_eq!(outcome.entries.len(), 1, "--only did not narrow the run");
+        assert_eq!(outcome.entries[0].name, "a");
+
+        let typo = CorpusOptions {
+            intra_workers: None,
+            only: Some(vec!["nope".into()]),
+        };
+        assert!(run_corpus_with(&dir, &baselines, 1, false, &typo).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gate_rejected_scenario_is_invalid_under_sharding() {
+        // A scenario the workers>1 validation gate rejects must fail
+        // the sharded arm loudly (Invalid), never run-and-diverge.
+        let dir = temp_dir("sharded-gate");
+        let baselines = dir.join("baselines");
+        let mut s = Scenario::builder(Topology::Hypercube { dim: 3 })
+            .lambda(0.9)
+            .horizon(50.0)
+            .warmup(10.0)
+            .seed(5)
+            .build()
+            .unwrap();
+        s.policy.contention = hyperroute_core::ContentionPolicy::Random;
+        std::fs::write(dir.join("random.json"), format!("{}\n", s.to_json())).unwrap();
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+
+        let opts = CorpusOptions {
+            intra_workers: std::num::NonZeroUsize::new(2),
+            only: None,
+        };
+        let outcome = run_corpus_with(&dir, &baselines, 1, false, &opts).unwrap();
+        assert!(!outcome.passed());
+        let CorpusStatus::Invalid { message } = &outcome.entries[0].status else {
+            panic!("expected Invalid, got {:?}", outcome.entries[0]);
+        };
+        assert!(message.contains("workers=2"), "{message}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -68,8 +68,8 @@ pub mod subprocess;
 pub use backend::{ExecBackend, ProgressBackend, ProgressUpdate, ThreadPoolBackend};
 pub use campaign::Campaign;
 pub use corpus::{
-    run_corpus, validate_corpus, CorpusEntry, CorpusOutcome, CorpusStatus, RoundTripOutcome,
-    RoundTripStatus,
+    run_corpus, run_corpus_with, validate_corpus, CorpusEntry, CorpusOptions, CorpusOutcome,
+    CorpusStatus, RoundTripOutcome, RoundTripStatus,
 };
 pub use error::GridError;
 pub use slice::{merge, partition, GridSlice, SliceResult};

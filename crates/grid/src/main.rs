@@ -13,9 +13,13 @@
 //!     DIR, and write the row-major report array as JSON.
 //!
 //! hyperroute-grid run-corpus [--scenarios DIR] [--baselines DIR]
-//!     [--workers N] [--update]
+//!     [--workers N] [--update] [--intra-workers N] [--only a,b,c]
 //!     Run every scenario in DIR (default `scenarios/`) and diff the
 //!     reports against DIR/baselines; exit 1 on any difference.
+//!     `--intra-workers N` shards each run across N threads
+//!     (`RunControl::workers`) while diffing against the *same*
+//!     baselines — the bit-exactness gate for the parallel engine;
+//!     `--only` restricts the gate to named scenario stems.
 //!
 //! hyperroute-grid validate-corpus [--scenarios DIR] [--fix]
 //!     Round-trip every scenario file through `Scenario::from_json` /
@@ -25,8 +29,8 @@
 
 use hyperroute_core::scenario::Sweep;
 use hyperroute_grid::{
-    run_corpus, run_worker, validate_corpus, Campaign, ExecBackend, ProgressBackend,
-    ProgressUpdate, SubprocessBackend, ThreadPoolBackend,
+    run_corpus_with, run_worker, validate_corpus, Campaign, CorpusOptions, ExecBackend,
+    ProgressBackend, ProgressUpdate, SubprocessBackend, ThreadPoolBackend,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -54,7 +58,7 @@ fn usage(problem: &str) -> i32 {
          [--backend threads|subprocess] [--workers N] [--slice-len N] \
          [--checkpoint DIR] [--timeout-secs N] [--out FILE]\n  \
          hyperroute-grid run-corpus [--scenarios DIR] [--baselines DIR] \
-         [--workers N] [--update]\n  \
+         [--workers N] [--update] [--intra-workers N] [--only a,b,c]\n  \
          hyperroute-grid validate-corpus [--scenarios DIR] [--fix]"
     );
     2
@@ -196,8 +200,25 @@ fn cmd_run_corpus(args: &[String]) -> i32 {
         Err(e) => return usage(&e),
     };
     let update = flags.switch("--update");
+    let intra: usize = match flags.parsed("--intra-workers", 1usize) {
+        Ok(n) => n,
+        Err(e) => return usage(&e),
+    };
+    let opts = CorpusOptions {
+        intra_workers: std::num::NonZeroUsize::new(intra).filter(|n| n.get() > 1),
+        only: match flags.value("--only") {
+            Ok(v) => v.map(|list| list.split(',').map(str::to_string).collect()),
+            Err(e) => return usage(&e),
+        },
+    };
 
-    match run_corpus(scenarios.as_ref(), baselines.as_ref(), workers, update) {
+    match run_corpus_with(
+        scenarios.as_ref(),
+        baselines.as_ref(),
+        workers,
+        update,
+        &opts,
+    ) {
         Ok(outcome) => {
             print!("{}", outcome.summary());
             let slowest = outcome.slowest(5);

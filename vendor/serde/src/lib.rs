@@ -157,6 +157,20 @@ macro_rules! impl_signed {
 impl_unsigned!(u8, u16, u32, u64, usize);
 impl_signed!(i8, i16, i32, i64, isize);
 
+impl Serialize for std::num::NonZeroUsize {
+    fn to_value(&self) -> Value {
+        Value::U64(self.get() as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for std::num::NonZeroUsize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let n = usize::from_value(value)?;
+        std::num::NonZeroUsize::new(n)
+            .ok_or_else(|| DeError("expected a nonzero integer, found 0".to_string()))
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)
