@@ -258,4 +258,6 @@ pub use metrics::DelayStats;
 pub use observe::{
     BufferedObserver, NullObserver, Observer, OccupancyProbe, ReservoirProbe, TimeSeriesProbe,
 };
-pub use scenario::{Report, Scenario, Simulator, Sweep, Topology};
+pub use scenario::{
+    Report, Scenario, ScenarioHash, Simulator, Sweep, Topology, ENGINE_FINGERPRINT,
+};

@@ -975,6 +975,25 @@ impl Scenario {
         Ok(scenario)
     }
 
+    /// Content hash of this scenario's **canonical form** — the exact
+    /// [`Scenario::to_json`] rendering — folded with [`ENGINE_FINGERPRINT`].
+    ///
+    /// Because the hash is computed over the canonical re-rendering (not
+    /// whatever JSON text the scenario was parsed from), two scenario
+    /// files that differ only in field order, whitespace, or explicitly-
+    /// `null` optional fields hash identically, while **any** semantic
+    /// field change (a different seed, λ, `run.workers`, …) changes the
+    /// key. Folding in the engine fingerprint invalidates every key when
+    /// an engine change moves report bytes — a stale content-addressed
+    /// cache can never serve reports from an older engine.
+    pub fn canonical_hash(&self) -> ScenarioHash {
+        let mut h = Fnv128::new();
+        h.write(self.to_json().as_bytes());
+        h.write(&[0]);
+        h.write(ENGINE_FINGERPRINT.as_bytes());
+        ScenarioHash(h.finish())
+    }
+
     fn dim(&self) -> usize {
         match &self.topology {
             Topology::Hypercube { dim }
@@ -993,6 +1012,59 @@ impl Scenario {
             | Topology::ScaleFree { .. }
             | Topology::Expander { .. } => 0,
         }
+    }
+}
+
+/// Fingerprint of every engine behaviour that can move report bytes.
+///
+/// [`Scenario::canonical_hash`] folds this string into the key, so a
+/// content-addressed report cache (the `hyperroute-grid` service) is
+/// invalidated wholesale whenever simulation output changes. **Bump the
+/// version segment in the same PR as any intentional output change**
+/// (the scenario-corpus baselines moving is the tell).
+pub const ENGINE_FINGERPRINT: &str =
+    "hyperroute-engine/v6 calendar+heap arrival-stream peek-prefetch blanket-graph \
+     sparse-greedy escape-salt intra-shard";
+
+/// The 128-bit content hash of a scenario's canonical form, as produced
+/// by [`Scenario::canonical_hash`]. Displays as 32 lowercase hex digits
+/// (the on-disk cache file stem).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScenarioHash(pub u128);
+
+impl std::fmt::Display for ScenarioHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// FNV-1a, 128-bit variant: tiny, dependency-free, and stable across
+/// platforms and std releases (unlike `DefaultHasher`), which is what a
+/// cache shared between machines and CI runs needs. Not cryptographic —
+/// the cache is a determinism optimisation, not a security boundary.
+struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Fnv128 {
+        Fnv128 {
+            state: Fnv128::OFFSET,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(Fnv128::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.state
     }
 }
 
@@ -1982,6 +2054,36 @@ mod tests {
             .seed(12)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn canonical_hash_ignores_representation_but_not_semantics() {
+        let s = hypercube_scenario();
+        let hash = s.canonical_hash();
+        // The hash survives a JSON round trip: what gets parsed back is
+        // semantically the same scenario, whatever its on-disk text was.
+        assert_eq!(
+            Scenario::from_json(&s.to_json()).unwrap().canonical_hash(),
+            hash
+        );
+        // A semantic change — here the seed — moves the key.
+        let mut reseeded = s.clone();
+        reseeded.run.seed += 1;
+        assert_ne!(reseeded.canonical_hash(), hash);
+        // So does sharded execution: workers is a run-control field the
+        // engine reads, so it belongs in the key even though reports are
+        // proven byte-identical across worker counts.
+        let mut sharded = s.clone();
+        sharded.run.workers = std::num::NonZeroUsize::new(2);
+        assert_ne!(sharded.canonical_hash(), hash);
+    }
+
+    #[test]
+    fn scenario_hash_displays_as_32_hex_digits() {
+        let rendered = hypercube_scenario().canonical_hash().to_string();
+        assert_eq!(rendered.len(), 32);
+        assert!(rendered.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(ScenarioHash(0).to_string(), "0".repeat(32));
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! A resident sweep service fed three campaigns, exercising every Grid
+//! v2 surface: warm subprocess workers, the content-addressed report
+//! cache, and the submit/status/results API.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p hyperroute-grid --example grid_service
+//! ```
+//!
+//! The example submits a hypercube delay-vs-λ sweep, an overlapping
+//! wider sweep (partial cache hits), and then the first sweep again
+//! (pure cache hits, zero simulation), printing the cache and pool
+//! counters after each campaign. The same protocol is available over
+//! stdio NDJSON via `hyperroute-grid serve`.
+
+use hyperroute_core::scenario::{Axis, Scenario, Sweep, SweepParam, Topology};
+use hyperroute_grid::{CampaignState, MemoryCache, ServiceConfig, SweepService};
+use std::sync::Arc;
+
+fn sweep(lambdas: &[f64]) -> Sweep {
+    let base = Scenario::builder(Topology::Hypercube { dim: 6 })
+        .lambda(0.8)
+        .p(0.5)
+        .horizon(150.0)
+        .warmup(30.0)
+        .seed(97)
+        .build()
+        .expect("base scenario validates");
+    Sweep::new(base, vec![Axis::new(SweepParam::Lambda, lambdas.to_vec())])
+}
+
+fn main() {
+    // One point per slice gives exact per-point caching; workers: 0
+    // sizes the fleet to the host. Swap `worker_cmd` for
+    // `Some(vec!["ssh".into(), "box".into(), "hyperroute-grid".into(),
+    // "worker".into()])` to run the same campaigns on a remote fleet.
+    let service = SweepService::new(
+        ServiceConfig {
+            slice_len: 1,
+            workers: 0,
+            worker_cmd: None,
+            queue_capacity: 8,
+        },
+        Arc::new(MemoryCache::new(1024)),
+    );
+
+    let campaigns: [(&str, &[f64]); 3] = [
+        ("delay vs λ", &[0.4, 0.8, 1.2]),
+        ("wider grid (overlaps)", &[0.4, 0.6, 0.8, 1.0, 1.2]),
+        ("resubmitted (all cached)", &[0.4, 0.8, 1.2]),
+    ];
+    for (label, lambdas) in campaigns {
+        let before = service.cache_stats();
+        let id = service.submit(sweep(lambdas), 0).expect("queue has room");
+        match service.wait(id) {
+            CampaignState::Done { points } => {
+                let reports = service.results(id).expect("done campaign has results");
+                let stats = service.cache_stats();
+                println!(
+                    "campaign {id} ({label}): {points} points, \
+                     {hits} served from cache, {sims} simulated",
+                    hits = stats.hits - before.hits,
+                    sims = stats.misses - before.misses,
+                );
+                for (report, lambda) in reports.iter().zip(lambdas) {
+                    println!("  λ={lambda:<4} mean delay {:.3}", report.delay.mean);
+                }
+            }
+            state => panic!("campaign {id} did not finish: {state:?}"),
+        }
+    }
+
+    let stats = service.cache_stats();
+    println!(
+        "totals: {} hits / {} misses / {} inserts — the third campaign \
+         simulated nothing",
+        stats.hits, stats.misses, stats.inserts
+    );
+    service.shutdown();
+}

@@ -22,6 +22,7 @@
 //! ignored and recomputed.
 
 use crate::backend::ExecBackend;
+use crate::cache::{CacheKey, ReportCache};
 use crate::error::{io_error, GridError};
 use crate::slice::{merge, partition, GridSlice, SliceResult};
 use hyperroute_core::scenario::{Report, Sweep};
@@ -73,6 +74,38 @@ impl Campaign {
     /// before the campaign proceeds — an interrupted run resumes where it
     /// stopped.
     pub fn run(&self, backend: &dyn ExecBackend) -> Result<Vec<Report>, GridError> {
+        self.run_inner(backend, None)
+    }
+
+    /// [`Campaign::run`] behind a content-addressed report cache.
+    ///
+    /// Before anything is simulated, every slice is probed against
+    /// `cache` (one [`CacheKey`] per grid point): a slice whose points
+    /// are **all** hits is answered synthetically without touching the
+    /// backend, while a slice with any miss executes in full and its
+    /// reports are inserted afterwards. A resubmitted campaign over a
+    /// warm cache therefore performs *zero* simulations — assert it via
+    /// [`crate::CacheStats`]. Smaller slices cache at finer granularity;
+    /// `slice_len == 1` gives exact per-point reuse across overlapping
+    /// sweeps.
+    ///
+    /// Output is byte-identical to [`Campaign::run`] (and hence to
+    /// `Sweep::run`): cached reports are the same pure function of the
+    /// same canonical spec, and the engine fingerprint folded into every
+    /// key keeps stale engines out.
+    pub fn run_cached(
+        &self,
+        backend: &dyn ExecBackend,
+        cache: &dyn ReportCache,
+    ) -> Result<Vec<Report>, GridError> {
+        self.run_inner(backend, Some(cache))
+    }
+
+    fn run_inner(
+        &self,
+        backend: &dyn ExecBackend,
+        cache: Option<&dyn ReportCache>,
+    ) -> Result<Vec<Report>, GridError> {
         let slices = partition(&self.sweep, self.slice_len);
         let checkpoint = self
             .checkpoint_dir
@@ -84,19 +117,74 @@ impl Campaign {
             None => Vec::new(),
         };
         let done: HashSet<u64> = results.iter().map(|r| r.id).collect();
-        let pending: Vec<GridSlice> = slices
-            .into_iter()
-            .filter(|s| !done.contains(&s.id))
-            .collect();
+        let mut pending: Vec<GridSlice> = Vec::new();
+        for slice in slices {
+            if done.contains(&slice.id) {
+                continue;
+            }
+            match cache.map(|c| cached_slice(&slice, c)).transpose()? {
+                Some(Some(result)) => {
+                    if let Some(c) = &checkpoint {
+                        c.record(&result)?;
+                    }
+                    results.push(result);
+                }
+                // Uncached run, or at least one point missed the cache.
+                Some(None) | None => pending.push(slice),
+            }
+        }
         backend.execute(&pending, &mut |result| {
             if let Some(c) = &checkpoint {
                 c.record(&result)?;
+            }
+            if let Some(c) = cache {
+                insert_slice(&self.sweep, &result, c)?;
             }
             results.push(result);
             Ok(())
         })?;
         merge(self.sweep.len(), results)
     }
+}
+
+/// Probe every point of `slice` against the cache; a full house of hits
+/// becomes a synthetic [`SliceResult`] (indistinguishable from an
+/// executed one), any miss returns `None` and the slice simulates.
+///
+/// All points are probed even after the first miss so the cache's
+/// hit/miss counters describe the whole slice, not a prefix.
+fn cached_slice(
+    slice: &GridSlice,
+    cache: &dyn ReportCache,
+) -> Result<Option<SliceResult>, GridError> {
+    let scenarios = slice.sweep.slice_scenarios(slice.start, slice.len)?;
+    let mut reports = Vec::with_capacity(scenarios.len());
+    let mut complete = true;
+    for scenario in &scenarios {
+        match cache.get(&CacheKey::for_scenario(scenario)) {
+            Some(report) if complete => reports.push(report),
+            Some(_) => {}
+            None => complete = false,
+        }
+    }
+    Ok(complete.then_some(SliceResult {
+        id: slice.id,
+        start: slice.start,
+        reports,
+    }))
+}
+
+/// Insert every report of a freshly executed slice under its point's key.
+fn insert_slice(
+    sweep: &Sweep,
+    result: &SliceResult,
+    cache: &dyn ReportCache,
+) -> Result<(), GridError> {
+    let scenarios = sweep.slice_scenarios(result.start, result.reports.len())?;
+    for (scenario, report) in scenarios.iter().zip(&result.reports) {
+        cache.put(&CacheKey::for_scenario(scenario), report);
+    }
+    Ok(())
 }
 
 /// The identity block of `manifest.json`. Equality of the whole struct is
@@ -187,7 +275,8 @@ impl Checkpoint {
 }
 
 /// Write-then-rename so observers only ever see absent or complete files.
-fn atomic_write(path: &Path, text: &str) -> Result<(), GridError> {
+/// Shared with the disk report cache, which needs the same discipline.
+pub(crate) fn atomic_write(path: &Path, text: &str) -> Result<(), GridError> {
     let tmp = path.with_extension("json.tmp");
     std::fs::write(&tmp, text).map_err(|e| io_error(&tmp, e))?;
     std::fs::rename(&tmp, path).map_err(|e| io_error(path, e))
@@ -341,6 +430,78 @@ mod tests {
         let got = campaign.run(&ThreadPoolBackend::new(2)).unwrap();
         assert_eq!(got, direct);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cached_campaign_matches_sweep_run_and_resubmit_simulates_nothing() {
+        use crate::cache::{MemoryCache, ReportCache};
+        let sweep = small_sweep();
+        let direct = sweep.run(1).unwrap();
+        let cache = MemoryCache::new(64);
+        let campaign = Campaign::new(sweep, 1);
+        let executed = AtomicU64::new(0);
+        let counting = CountingBackend {
+            inner: ThreadPoolBackend::new(2),
+            executed: &executed,
+        };
+        // Cold cache: everything simulates, everything is inserted.
+        let cold = campaign.run_cached(&counting, &cache).unwrap();
+        assert_eq!(cold, direct);
+        assert_eq!(executed.load(Ordering::Relaxed), 5);
+        assert_eq!(cache.stats().inserts, 5);
+        // Warm cache: the identical campaign performs zero simulations.
+        executed.store(0, Ordering::Relaxed);
+        let warm = campaign.run_cached(&counting, &cache).unwrap();
+        assert_eq!(warm, direct);
+        assert_eq!(executed.load(Ordering::Relaxed), 0, "zero slices executed");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 5, "every point served from the cache");
+        assert_eq!(stats.inserts, 5, "warm pass inserted nothing new");
+    }
+
+    #[test]
+    fn partial_cache_hits_simulate_only_missing_slices() {
+        use crate::cache::{CacheKey, MemoryCache, ReportCache};
+        let sweep = small_sweep();
+        let direct = sweep.run(1).unwrap();
+        let cache = MemoryCache::new(64);
+        // Pre-seed points 0 and 1 (= slices 0 and 1 at slice_len 1).
+        for (start, report) in direct.iter().enumerate().take(2) {
+            let scenario = &sweep.slice_scenarios(start, 1).unwrap()[0];
+            cache.put(&CacheKey::for_scenario(scenario), report);
+        }
+        let executed = AtomicU64::new(0);
+        let counting = CountingBackend {
+            inner: ThreadPoolBackend::new(2),
+            executed: &executed,
+        };
+        let got = Campaign::new(sweep, 1)
+            .run_cached(&counting, &cache)
+            .unwrap();
+        assert_eq!(got, direct);
+        assert_eq!(executed.load(Ordering::Relaxed), 3, "only the misses ran");
+    }
+
+    #[test]
+    fn coarse_slices_need_every_point_cached_before_they_skip_the_backend() {
+        use crate::cache::{CacheKey, MemoryCache, ReportCache};
+        let sweep = small_sweep();
+        let direct = sweep.run(1).unwrap();
+        let cache = MemoryCache::new(64);
+        // Slices of 2: [0,1] [2,3] [4]. Seed only point 0 — its slice
+        // still has a miss at point 1, so the whole slice re-executes.
+        let scenario = &sweep.slice_scenarios(0, 1).unwrap()[0];
+        cache.put(&CacheKey::for_scenario(scenario), &direct[0]);
+        let executed = AtomicU64::new(0);
+        let counting = CountingBackend {
+            inner: ThreadPoolBackend::new(2),
+            executed: &executed,
+        };
+        let got = Campaign::new(sweep, 2)
+            .run_cached(&counting, &cache)
+            .unwrap();
+        assert_eq!(got, direct);
+        assert_eq!(executed.load(Ordering::Relaxed), 3, "all three slices ran");
     }
 
     /// Wraps a backend, counting executed slices.

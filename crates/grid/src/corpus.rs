@@ -11,10 +11,13 @@
 //! when an output change is intended, and let the diff reviewer see
 //! exactly which numbers moved.
 
+use crate::cache::{CacheKey, ReportCache};
 use crate::error::GridError;
+use crate::service::{CampaignState, ServiceConfig, SweepService};
 use hyperroute_core::runner::parallel_map;
-use hyperroute_core::scenario::{Report, Scenario, ScenarioFileError};
+use hyperroute_core::scenario::{Report, Scenario, ScenarioFileError, Sweep};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Outcome of one corpus entry.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +45,10 @@ pub enum CorpusStatus {
         /// Description of the I/O failure.
         message: String,
     },
+    /// The report matched its baseline but had to be *simulated* while
+    /// [`CorpusOptions::require_all_hits`] demanded a cache hit — the
+    /// failing verdict of the cache-differential arm's second pass.
+    CacheMiss,
 }
 
 /// One corpus entry: the scenario's stem name and what happened to it.
@@ -87,6 +94,10 @@ impl CorpusOutcome {
                 CorpusStatus::Mismatch { detail } => format!("DIFF     {}: {detail}", e.name),
                 CorpusStatus::Invalid { message } => format!("INVALID  {}: {message}", e.name),
                 CorpusStatus::Error { message } => format!("ERROR    {}: {message}", e.name),
+                CorpusStatus::CacheMiss => format!(
+                    "UNCACHED {} (simulated although --require-all-hits was set)",
+                    e.name
+                ),
             };
             out.push_str(&line);
             if let Some(wall) = e.wall_secs {
@@ -113,7 +124,7 @@ impl CorpusOutcome {
 }
 
 /// Optional knobs for [`run_corpus_with`] beyond the common defaults.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct CorpusOptions {
     /// Override every scenario's `run.workers` before running — the
     /// sharded-execution corpus arm: reports must stay bit-identical
@@ -127,6 +138,31 @@ pub struct CorpusOptions {
     /// list order). Naming a stem with no matching file is an error —
     /// a typo must not silently shrink the gate.
     pub only: Option<Vec<String>>,
+    /// Consult (and populate) this content-addressed report cache
+    /// before simulating any scenario. Cached reports still diff
+    /// against the baselines — a poisoned cache fails the gate exactly
+    /// like a regression would.
+    pub cache: Option<Arc<dyn ReportCache>>,
+    /// With [`Self::cache`]: fail any scenario that had to be simulated
+    /// (status [`CorpusStatus::CacheMiss`]) — the second pass of the
+    /// cache-differential arm, asserting "zero simulations on repeat".
+    pub require_all_hits: bool,
+    /// Route every scenario through a [`SweepService`] (as a one-point
+    /// sweep campaign) instead of running in-process — the end-to-end
+    /// gate for the service path, which must produce the same bytes.
+    pub via_service: bool,
+}
+
+impl std::fmt::Debug for CorpusOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorpusOptions")
+            .field("intra_workers", &self.intra_workers)
+            .field("only", &self.only)
+            .field("cache", &self.cache.as_ref().map(|c| c.stats()))
+            .field("require_all_hits", &self.require_all_hits)
+            .field("via_service", &self.via_service)
+            .finish()
+    }
 }
 
 /// Execute every scenario in `scenario_dir` (over `workers` threads; `0`
@@ -180,6 +216,11 @@ pub fn run_corpus_with(
             scenario_dir.display()
         )));
     }
+    if opts.require_all_hits && opts.cache.is_none() {
+        return Err(GridError::Corpus(
+            "require_all_hits needs a report cache (--cache)".into(),
+        ));
+    }
 
     // Load and validate serially (cheap), run the valid ones in parallel.
     let mut entries: Vec<CorpusEntry> = Vec::with_capacity(files.len());
@@ -204,17 +245,38 @@ pub fn run_corpus_with(
         });
     }
 
-    let reports = parallel_map(runnable, workers, |(idx, scenario)| {
-        let started = std::time::Instant::now();
-        let report = scenario.run().expect("from_json validated");
-        (idx, report, started.elapsed().as_secs_f64())
-    });
+    // Three execution routes, same bytes: in-process, in-process behind
+    // the cache, or through a sweep service. Each run reports whether it
+    // was served from the cache (always `false` without one).
+    let reports: Vec<(usize, Report, f64, bool)> = if opts.via_service {
+        run_via_service(runnable, opts)?
+    } else {
+        let cache = opts.cache.clone();
+        parallel_map(runnable, workers, move |(idx, scenario)| {
+            let started = std::time::Instant::now();
+            let (report, cache_hit) = match &cache {
+                Some(cache) => {
+                    let key = CacheKey::for_scenario(&scenario);
+                    match cache.get(&key) {
+                        Some(report) => (report, true),
+                        None => {
+                            let report = scenario.run().expect("from_json validated");
+                            cache.put(&key, &report);
+                            (report, false)
+                        }
+                    }
+                }
+                None => (scenario.run().expect("from_json validated"), false),
+            };
+            (idx, report, started.elapsed().as_secs_f64(), cache_hit)
+        })
+    };
 
     if update {
         std::fs::create_dir_all(baseline_dir)
             .map_err(|e| crate::error::io_error(baseline_dir, e))?;
     }
-    for (idx, report, wall_secs) in reports {
+    for (idx, report, wall_secs, cache_hit) in reports {
         let baseline = baseline_dir.join(format!("{}.report.json", entries[idx].name));
         entries[idx].wall_secs = Some(wall_secs);
         entries[idx].status = if update {
@@ -226,10 +288,64 @@ pub fn run_corpus_with(
             // Diff failures (unreadable baseline included) are recorded
             // per entry, never propagated: every scenario's verdict lands
             // in the summary even when an earlier baseline is broken.
-            diff_against_baseline(&baseline, &report)
+            let status = diff_against_baseline(&baseline, &report);
+            if opts.require_all_hits && !cache_hit && status == CorpusStatus::Match {
+                // Right bytes, wrong provenance: the cache-differential
+                // arm demanded this report be *served*, not simulated.
+                CorpusStatus::CacheMiss
+            } else {
+                status
+            }
         };
     }
     Ok(CorpusOutcome { entries })
+}
+
+/// Execute corpus scenarios through a [`SweepService`], each wrapped as
+/// a one-point sweep (no axes, seed untouched), sequentially — campaign
+/// isolation is the point here, not cross-scenario parallelism. Returns
+/// `(entry index, report, wall seconds, served-from-cache)`.
+fn run_via_service(
+    runnable: Vec<(usize, Scenario)>,
+    opts: &CorpusOptions,
+) -> Result<Vec<(usize, Report, f64, bool)>, GridError> {
+    let cache: Arc<dyn ReportCache> = opts
+        .cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(crate::cache::MemoryCache::new(runnable.len().max(1))));
+    let service = SweepService::new(
+        ServiceConfig {
+            slice_len: 1,
+            workers: 1,
+            worker_cmd: None,
+            queue_capacity: 1,
+        },
+        cache,
+    );
+    let mut out = Vec::with_capacity(runnable.len());
+    for (idx, scenario) in runnable {
+        let hits_before = service.cache_stats().hits;
+        let started = std::time::Instant::now();
+        let mut sweep = Sweep::new(scenario, Vec::new());
+        // One grid point that IS the corpus scenario: no derived seed.
+        sweep.derive_seeds = false;
+        let id = service.submit(sweep, 1)?;
+        let report = match service.wait(id) {
+            CampaignState::Done { .. } => service
+                .results(id)
+                .expect("Done campaigns have results")
+                .swap_remove(0),
+            CampaignState::Failed { error } => {
+                return Err(GridError::Corpus(format!(
+                    "service campaign for corpus entry {idx} failed: {error}"
+                )))
+            }
+            other => unreachable!("wait() returned non-terminal {other:?}"),
+        };
+        let cache_hit = service.cache_stats().hits > hits_before;
+        out.push((idx, report, started.elapsed().as_secs_f64(), cache_hit));
+    }
+    Ok(out)
 }
 
 /// Outcome of one [`validate_corpus`] round-trip check.
@@ -728,6 +844,7 @@ mod tests {
         let opts = CorpusOptions {
             intra_workers: std::num::NonZeroUsize::new(2),
             only: Some(vec!["a".into()]),
+            ..CorpusOptions::default()
         };
         let outcome = run_corpus_with(&dir, &baselines, 1, false, &opts).unwrap();
         assert!(outcome.passed(), "{}", outcome.summary());
@@ -735,8 +852,8 @@ mod tests {
         assert_eq!(outcome.entries[0].name, "a");
 
         let typo = CorpusOptions {
-            intra_workers: None,
             only: Some(vec!["nope".into()]),
+            ..CorpusOptions::default()
         };
         assert!(run_corpus_with(&dir, &baselines, 1, false, &typo).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
@@ -761,7 +878,7 @@ mod tests {
 
         let opts = CorpusOptions {
             intra_workers: std::num::NonZeroUsize::new(2),
-            only: None,
+            ..CorpusOptions::default()
         };
         let outcome = run_corpus_with(&dir, &baselines, 1, false, &opts).unwrap();
         assert!(!outcome.passed());
@@ -769,6 +886,101 @@ mod tests {
             panic!("expected Invalid, got {:?}", outcome.entries[0]);
         };
         assert!(message.contains("workers=2"), "{message}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_differential_second_pass_is_all_hits() {
+        use crate::cache::MemoryCache;
+        let dir = temp_dir("cache-arm");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        write_scenario(&dir, "b", 2);
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+
+        let cache = Arc::new(MemoryCache::new(16));
+        let first = CorpusOptions {
+            cache: Some(cache.clone()),
+            ..CorpusOptions::default()
+        };
+        // Pass 1 populates the cache and must still verify baselines.
+        let outcome = run_corpus_with(&dir, &baselines, 1, false, &first).unwrap();
+        assert!(outcome.passed(), "{}", outcome.summary());
+        assert_eq!(cache.stats().inserts, 2);
+
+        // Pass 2: 100% served from the cache, byte-identical baselines.
+        let second = CorpusOptions {
+            cache: Some(cache.clone()),
+            require_all_hits: true,
+            ..CorpusOptions::default()
+        };
+        let outcome = run_corpus_with(&dir, &baselines, 1, false, &second).unwrap();
+        assert!(outcome.passed(), "{}", outcome.summary());
+        assert_eq!(cache.stats().hits, 2, "second pass must be pure hits");
+        assert_eq!(cache.stats().inserts, 2, "second pass inserted nothing");
+
+        // A cold cache under require_all_hits fails loudly per entry.
+        let cold = CorpusOptions {
+            cache: Some(Arc::new(MemoryCache::new(16))),
+            require_all_hits: true,
+            ..CorpusOptions::default()
+        };
+        let outcome = run_corpus_with(&dir, &baselines, 1, false, &cold).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .entries
+            .iter()
+            .all(|e| e.status == CorpusStatus::CacheMiss));
+        assert!(
+            outcome.summary().contains("UNCACHED"),
+            "{}",
+            outcome.summary()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn require_all_hits_without_a_cache_is_a_config_error() {
+        let dir = temp_dir("cache-config");
+        write_scenario(&dir, "a", 1);
+        let opts = CorpusOptions {
+            require_all_hits: true,
+            ..CorpusOptions::default()
+        };
+        let err = run_corpus_with(&dir, &dir.join("baselines"), 1, false, &opts).unwrap_err();
+        assert!(matches!(err, GridError::Corpus(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn service_route_matches_in_process_baselines_byte_for_byte() {
+        use crate::cache::MemoryCache;
+        let dir = temp_dir("via-service");
+        let baselines = dir.join("baselines");
+        write_scenario(&dir, "a", 1);
+        write_scenario(&dir, "b", 2);
+        // Baselines come from the classic in-process route.
+        run_corpus(&dir, &baselines, 0, true).unwrap();
+
+        let cache = Arc::new(MemoryCache::new(16));
+        let via = CorpusOptions {
+            cache: Some(cache.clone()),
+            via_service: true,
+            ..CorpusOptions::default()
+        };
+        let outcome = run_corpus_with(&dir, &baselines, 1, false, &via).unwrap();
+        assert!(outcome.passed(), "{}", outcome.summary());
+
+        // The service's cache now holds both scenarios: a second
+        // service-routed pass serves them without simulating.
+        let again = CorpusOptions {
+            cache: Some(cache.clone()),
+            via_service: true,
+            require_all_hits: true,
+            ..CorpusOptions::default()
+        };
+        let outcome = run_corpus_with(&dir, &baselines, 1, false, &again).unwrap();
+        assert!(outcome.passed(), "{}", outcome.summary());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

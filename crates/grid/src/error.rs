@@ -51,6 +51,9 @@ pub enum GridError {
     Checkpoint(String),
     /// The scenario corpus is malformed (no files, unreadable directory).
     Corpus(String),
+    /// The sweep service refused a request (submit queue full, service
+    /// shut down, unknown campaign).
+    Service(String),
 }
 
 impl From<ConfigError> for GridError {
@@ -81,6 +84,7 @@ impl std::fmt::Display for GridError {
             GridError::Merge(msg) => write!(f, "cannot merge slice results: {msg}"),
             GridError::Checkpoint(msg) => write!(f, "checkpoint rejected: {msg}"),
             GridError::Corpus(msg) => write!(f, "corpus rejected: {msg}"),
+            GridError::Service(msg) => write!(f, "service refused: {msg}"),
         }
     }
 }

@@ -1,13 +1,19 @@
-//! Sharded sweep execution and the scenario-corpus regression gate.
+//! The sweep service: sharded campaign execution with warm workers, a
+//! content-addressed report cache, and the scenario-corpus regression
+//! gate.
 //!
 //! `hyperroute-core`'s [`Sweep`](hyperroute_core::scenario::Sweep) fans
-//! out over local threads inside one process. This crate is the layer
-//! above: it cuts any sweep into serialisable [`GridSlice`] jobs, runs
-//! them through a pluggable [`ExecBackend`], and deterministically merges
-//! the out-of-order results back into the row-major `Vec<Report>` that
-//! `Sweep::run` would have produced — **byte-identical**, whatever the
-//! backend, worker count, or completion order, because every grid point
-//! is a pure function of the sweep spec and its index.
+//! out over local threads inside one process. This crate is everything
+//! above that: it cuts any sweep into serialisable [`GridSlice`] jobs,
+//! runs them through a pluggable [`ExecBackend`], and deterministically
+//! merges the out-of-order results back into the row-major
+//! `Vec<Report>` that `Sweep::run` would have produced —
+//! **byte-identical**, whatever the backend, worker count, completion
+//! order, or cache state, because every grid point is a pure function
+//! of the sweep spec and its index. That purity is load-bearing twice
+//! over: it is what lets out-of-order shards merge exactly, and what
+//! makes a report *cacheable by scenario hash* so repeated campaigns
+//! cost zero simulation.
 //!
 //! # Layers
 //!
@@ -15,20 +21,49 @@
 //! |---|---|---|
 //! | slicing | [`GridSlice`], [`partition`], [`merge`] | cut a grid into self-contained JSON jobs; reassemble results |
 //! | execution | [`ExecBackend`]: [`ThreadPoolBackend`], [`SubprocessBackend`] | run slices in-process or on subprocess workers with retry/timeout |
-//! | dispatch | [`Campaign`] | checkpoint every finished slice to a manifest directory; resume without recomputing |
+//! | warm pools | [`WorkerPool`] | park live workers between campaigns; reuse instead of respawn |
+//! | caching | [`ReportCache`]: [`MemoryCache`], [`DiskCache`] | serve reports by [`CacheKey`] (canonical-scenario × engine fingerprint) |
+//! | dispatch | [`Campaign`] | checkpoint every finished slice; probe the cache before simulating |
+//! | service | [`SweepService`], [`serve`] | long-running daemon: submit/status/stream campaigns over NDJSON |
 //! | regression | [`run_corpus`] | execute `scenarios/` and diff reports against checked-in baselines |
+//!
+//! # The service model
+//!
+//! Batch mode ([`Campaign::run`]) spawns workers, runs one campaign and
+//! exits. The service ([`SweepService`], CLI `hyperroute-grid serve`)
+//! inverts that: it stays resident, accepts campaigns continuously over
+//! the NDJSON [`ServiceRequest`]/[`ServiceReply`] protocol (stdio, or a
+//! unix socket via any stream relay), and keeps two things warm between
+//! campaigns —
+//!
+//! * **Workers.** Subprocess workers speak protocol v2 (a handshake plus
+//!   tagged [`WorkerRequest`] frames) and are parked in a [`WorkerPool`]
+//!   when a campaign drains rather than killed; the next campaign checks
+//!   them out, so process spawn + monomorphisation cost is paid once per
+//!   fleet, not once per campaign. Dispatch is throughput-weighted:
+//!   per-worker points/sec is measured and the longest pending slices go
+//!   to the fastest workers (classic LPT), which keeps heterogeneous
+//!   fleets busy — scheduling never affects output bytes, only wall
+//!   time.
+//! * **Reports.** Every finished grid point is inserted into a
+//!   [`ReportCache`] keyed by [`CacheKey`]: the FNV-1a-128 hash of the
+//!   scenario's canonical JSON folded with the engine fingerprint.
+//!   Campaigns probe the cache before simulating, so resubmitting an
+//!   identical (or overlapping) sweep performs zero simulations and
+//!   still streams byte-identical reports. A fingerprint bump
+//!   invalidates every cached report at once.
 //!
 //! # The worker protocol
 //!
-//! `hyperroute-grid worker` reads one JSON `GridSlice` per stdin line and
-//! answers one terminal JSON [`WorkerReply`] per stdout line, with
-//! throttled `Progress` heartbeat lines interleaved while a long slice
-//! runs (see [`subprocess`] for the exact framing and fault model). The
+//! `hyperroute-grid worker` answers one terminal JSON [`WorkerReply`]
+//! per job line, with throttled `Progress` heartbeat lines interleaved
+//! while a long slice runs (see [`subprocess`] for the exact framing,
+//! the v1/v2 coexistence rules, and the fault model). The
 //! [`SubprocessBackend`] speaks this protocol to any argv you give it —
 //! the bundled binary for multi-core, or an ssh/container wrapper for
 //! multi-machine — and treats heartbeats as keep-alives, so its timeout
-//! bounds worker silence rather than slice duration. Wrap any backend in
-//! a [`ProgressBackend`] to stream per-slice campaign progress to a
+//! bounds worker silence rather than slice duration. Wrap any backend
+//! in a [`ProgressBackend`] to stream per-slice campaign progress to a
 //! callback.
 //!
 //! # Checkpoint / resume
@@ -41,7 +76,7 @@
 //!
 //! ```
 //! use hyperroute_core::scenario::{Axis, Scenario, Sweep, SweepParam, Topology};
-//! use hyperroute_grid::{Campaign, ThreadPoolBackend};
+//! use hyperroute_grid::{Campaign, MemoryCache, ReportCache, ThreadPoolBackend};
 //!
 //! let base = Scenario::builder(Topology::Hypercube { dim: 3 })
 //!     .horizon(80.0)
@@ -49,28 +84,45 @@
 //!     .build()
 //!     .unwrap();
 //! let sweep = Sweep::new(base, vec![Axis::new(SweepParam::Lambda, vec![0.5, 1.0, 1.5])]);
+//! let cache = MemoryCache::new(64);
+//! let backend = ThreadPoolBackend::new(2);
 //! let reports = Campaign::new(sweep.clone(), 1)
-//!     .run(&ThreadPoolBackend::new(2))
+//!     .run_cached(&backend, &cache)
 //!     .unwrap();
 //! assert_eq!(reports, sweep.run(1).unwrap()); // same bytes, sharded
+//!
+//! // Resubmission simulates nothing: every point is a cache hit.
+//! let again = Campaign::new(sweep, 1).run_cached(&backend, &cache).unwrap();
+//! assert_eq!(again, reports);
+//! assert_eq!(cache.stats().hits, 3);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod cache;
 pub mod campaign;
 pub mod corpus;
 pub mod error;
+pub mod service;
 pub mod slice;
 pub mod subprocess;
+pub mod warm;
 
 pub use backend::{ExecBackend, ProgressBackend, ProgressUpdate, ThreadPoolBackend};
+pub use cache::{CacheKey, CacheStats, DiskCache, MemoryCache, ReportCache};
 pub use campaign::Campaign;
 pub use corpus::{
     run_corpus, run_corpus_with, validate_corpus, CorpusEntry, CorpusOptions, CorpusOutcome,
     CorpusStatus, RoundTripOutcome, RoundTripStatus,
 };
 pub use error::GridError;
+pub use service::{
+    serve, CampaignState, ServiceConfig, ServiceReply, ServiceRequest, SweepService,
+};
 pub use slice::{merge, partition, GridSlice, SliceResult};
-pub use subprocess::{run_worker, run_worker_with, SubprocessBackend, WorkerReply};
+pub use subprocess::{
+    run_worker, run_worker_with, SubprocessBackend, WorkerReply, WorkerRequest, PROTOCOL_VERSION,
+};
+pub use warm::WorkerPool;

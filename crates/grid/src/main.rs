@@ -12,14 +12,30 @@
 //!     Execute a JSON sweep file, checkpointing and resuming through
 //!     DIR, and write the row-major report array as JSON.
 //!
+//! hyperroute-grid serve [--backend threads|subprocess] [--workers N]
+//!     [--slice-len N] [--queue N] [--cache-dir DIR] [--cache-capacity N]
+//!     Run the persistent sweep service over stdio NDJSON: campaign
+//!     submit / status / stream-results requests in, replies out (see
+//!     `hyperroute_grid::service`). Subprocess workers stay warm
+//!     between campaigns; reports are served from the content-addressed
+//!     cache (on disk under `--cache-dir`, else an in-memory LRU of
+//!     `--cache-capacity` reports). Bridge to a unix socket with any
+//!     stream relay, e.g. `socat UNIX-LISTEN:grid.sock,fork
+//!     EXEC:"hyperroute-grid serve"`.
+//!
 //! hyperroute-grid run-corpus [--scenarios DIR] [--baselines DIR]
 //!     [--workers N] [--update] [--intra-workers N] [--only a,b,c]
+//!     [--cache-dir DIR] [--require-all-hits] [--via-service]
 //!     Run every scenario in DIR (default `scenarios/`) and diff the
 //!     reports against DIR/baselines; exit 1 on any difference.
 //!     `--intra-workers N` shards each run across N threads
 //!     (`RunControl::workers`) while diffing against the *same*
 //!     baselines — the bit-exactness gate for the parallel engine;
 //!     `--only` restricts the gate to named scenario stems.
+//!     `--cache-dir` serves repeats from a disk report cache;
+//!     `--require-all-hits` fails any scenario that had to simulate
+//!     (the cache-differential arm's second pass); `--via-service`
+//!     routes every scenario through a sweep service campaign.
 //!
 //! hyperroute-grid validate-corpus [--scenarios DIR] [--fix]
 //!     Round-trip every scenario file through `Scenario::from_json` /
@@ -29,10 +45,12 @@
 
 use hyperroute_core::scenario::Sweep;
 use hyperroute_grid::{
-    run_corpus_with, run_worker, validate_corpus, Campaign, CorpusOptions, ExecBackend,
-    ProgressBackend, ProgressUpdate, SubprocessBackend, ThreadPoolBackend,
+    run_corpus_with, run_worker, serve, validate_corpus, Campaign, CorpusOptions, DiskCache,
+    ExecBackend, MemoryCache, ProgressBackend, ProgressUpdate, ReportCache, ServiceConfig,
+    SubprocessBackend, SweepService, ThreadPoolBackend,
 };
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -44,6 +62,7 @@ fn dispatch(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("worker") => cmd_worker(),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("run-corpus") => cmd_run_corpus(&args[1..]),
         Some("validate-corpus") => cmd_validate_corpus(&args[1..]),
         Some(other) => usage(&format!("unknown subcommand `{other}`")),
@@ -57,8 +76,11 @@ fn usage(problem: &str) -> i32 {
         "usage:\n  hyperroute-grid worker\n  hyperroute-grid run --sweep FILE \
          [--backend threads|subprocess] [--workers N] [--slice-len N] \
          [--checkpoint DIR] [--timeout-secs N] [--out FILE]\n  \
+         hyperroute-grid serve [--backend threads|subprocess] [--workers N] \
+         [--slice-len N] [--queue N] [--cache-dir DIR] [--cache-capacity N]\n  \
          hyperroute-grid run-corpus [--scenarios DIR] [--baselines DIR] \
-         [--workers N] [--update] [--intra-workers N] [--only a,b,c]\n  \
+         [--workers N] [--update] [--intra-workers N] [--only a,b,c] \
+         [--cache-dir DIR] [--require-all-hits] [--via-service]\n  \
          hyperroute-grid validate-corpus [--scenarios DIR] [--fix]"
     );
     2
@@ -183,6 +205,64 @@ fn try_run(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> i32 {
+    let flags = Flags { args };
+    match try_serve(&flags) {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("hyperroute-grid serve: {message}");
+            1
+        }
+    }
+}
+
+fn try_serve(flags: &Flags) -> Result<(), String> {
+    let workers: usize = flags.parsed("--workers", 0)?;
+    let slice_len: usize = flags.parsed("--slice-len", 1)?;
+    if slice_len == 0 {
+        return Err("--slice-len must be positive".into());
+    }
+    let queue_capacity: usize = flags.parsed("--queue", 16)?;
+    let backend_name = flags.value("--backend")?.unwrap_or("threads").to_string();
+    let worker_cmd = match backend_name.as_str() {
+        "threads" => None,
+        "subprocess" => {
+            let me = std::env::current_exe()
+                .map_err(|e| format!("cannot locate own binary for workers: {e}"))?;
+            Some(vec![me.display().to_string(), "worker".to_string()])
+        }
+        other => return Err(format!("--backend: unknown backend `{other}`")),
+    };
+    let cache: Arc<dyn ReportCache> = match flags.value("--cache-dir")? {
+        Some(dir) => Arc::new(DiskCache::open(PathBuf::from(dir)).map_err(|e| e.to_string())?),
+        None => {
+            let capacity: usize = flags.parsed("--cache-capacity", 4096)?;
+            Arc::new(MemoryCache::new(capacity.max(1)))
+        }
+    };
+
+    let config = ServiceConfig {
+        slice_len,
+        workers,
+        worker_cmd,
+        queue_capacity,
+    };
+    let service = SweepService::new(config, cache);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(&service, stdin.lock(), stdout.lock()).map_err(|e| format!("service io: {e}"))?;
+
+    let stats = service.cache_stats();
+    let (spawns, reuses) = (service.pool().spawns(), service.pool().reuses());
+    service.shutdown();
+    eprintln!(
+        "hyperroute-grid serve: cache {} hits / {} misses / {} inserts; \
+         workers {spawns} spawned / {reuses} reused",
+        stats.hits, stats.misses, stats.inserts,
+    );
+    Ok(())
+}
+
 fn cmd_run_corpus(args: &[String]) -> i32 {
     let flags = Flags { args };
     let scenarios = match flags.value("--scenarios") {
@@ -204,12 +284,26 @@ fn cmd_run_corpus(args: &[String]) -> i32 {
         Ok(n) => n,
         Err(e) => return usage(&e),
     };
+    let cache: Option<Arc<dyn ReportCache>> = match flags.value("--cache-dir") {
+        Ok(Some(dir)) => match DiskCache::open(PathBuf::from(dir)) {
+            Ok(c) => Some(Arc::new(c)),
+            Err(e) => {
+                eprintln!("hyperroute-grid run-corpus: {e}");
+                return 1;
+            }
+        },
+        Ok(None) => None,
+        Err(e) => return usage(&e),
+    };
     let opts = CorpusOptions {
         intra_workers: std::num::NonZeroUsize::new(intra).filter(|n| n.get() > 1),
         only: match flags.value("--only") {
             Ok(v) => v.map(|list| list.split(',').map(str::to_string).collect()),
             Err(e) => return usage(&e),
         },
+        cache,
+        require_all_hits: flags.switch("--require-all-hits"),
+        via_service: flags.switch("--via-service"),
     };
 
     match run_corpus_with(

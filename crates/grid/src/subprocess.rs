@@ -2,19 +2,39 @@
 //!
 //! # The worker protocol
 //!
-//! A worker is any process that reads **one JSON [`GridSlice`] per line**
-//! on stdin and writes **one JSON [`WorkerReply`] per line** on stdout,
+//! A worker is any process that reads **one JSON request per line** on
+//! stdin and writes **one JSON [`WorkerReply`] per line** on stdout,
 //! flushing after each reply, until stdin reaches EOF. `hyperroute-grid
 //! worker` is exactly [`run_worker`] over locked stdio; anything else
 //! (an ssh wrapper, a container entrypoint) can stand in as long as it
 //! speaks the same lines, which is why the backend takes a plain argv
 //! vector rather than a path.
 //!
+//! Two request framings coexist:
+//!
+//! * **v1 (legacy)** — a bare JSON [`GridSlice`] per line. This is what
+//!   an unpooled [`SubprocessBackend`] still sends, so any stub that
+//!   only understands slices keeps working.
+//! * **v2 (session)** — a tagged [`WorkerRequest`] per line. The
+//!   dispatcher opens the session with `Hello` (protocol version
+//!   handshake), marks campaign boundaries with `CampaignSubmit`,
+//!   parks an idle worker with `Drain`, and retires it with
+//!   `Shutdown`. [`run_worker`] answers both framings on the same
+//!   stdin, so one worker binary serves pooled and unpooled
+//!   dispatchers alike.
+//!
 //! ```text
-//! dispatcher → worker:  {"id":3,"sweep":{…},"start":12,"len":4}\n
+//! dispatcher → worker:  {"Hello":{"version":2}}\n
+//! worker → dispatcher:  {"HelloOk":{"version":2}}\n
+//! dispatcher → worker:  {"CampaignSubmit":{"campaign":7}}\n
+//! worker → dispatcher:  {"CampaignAck":{"campaign":7}}\n
+//! dispatcher → worker:  {"Slice":{"id":3,"sweep":{…},"start":12,"len":4}}\n
 //! worker → dispatcher:  {"Progress":{"id":3,"done":2,"total":4,"rows_per_sec":1.7}}\n  (zero or more)
 //!                       {"Ok":{"id":3,"start":12,"reports":[…]}}\n
-//!                       {"Err":{"id":3,"message":"…"}}\n
+//! dispatcher → worker:  "Drain"\n            (park in the warm pool)
+//! worker → dispatcher:  "Drained"\n
+//! dispatcher → worker:  "Shutdown"\n
+//! worker → dispatcher:  "Bye"\n              (worker exits cleanly)
 //! ```
 //!
 //! While a slice runs, the worker may interleave any number of
@@ -24,6 +44,23 @@
 //! reply timeout, so [`SubprocessBackend::timeout`] bounds worker
 //! *silence*, not slice duration — a slow slice on a live, heartbeating
 //! worker never times out spuriously.
+//!
+//! # Warm pools and weighted scheduling
+//!
+//! Attach a [`crate::WorkerPool`] with [`SubprocessBackend::with_pool`]
+//! and the backend switches to v2 framing: at campaign start it checks
+//! idle workers out of the pool (re-pinging each with `CampaignSubmit`
+//! and discarding any that died while parked) instead of spawning, and
+//! at campaign end it parks healthy workers back with `Drain` instead
+//! of killing them. Respawn becomes the exception, not the per-campaign
+//! rule. The pool also carries each parked worker's measured throughput
+//! (grid points per second, learned from round timings), which feeds the
+//! dispatcher's **throughput-weighted queue**: pending slices are kept
+//! sorted by length, and a worker whose measured rate is at or above the
+//! fleet mean takes the longest pending slice while a slower worker
+//! takes the shortest — classic longest-processing-time scheduling,
+//! weighted by who is asking. Results still merge deterministically, so
+//! scheduling policy can never change campaign output, only wall time.
 //!
 //! # Fault handling
 //!
@@ -35,19 +72,60 @@
 //! only then does the campaign abort with [`GridError::SliceLost`]. A
 //! well-formed [`WorkerReply::Err`] is different: the worker is healthy
 //! and the slice itself is bad, so it fails the campaign immediately
-//! ([`GridError::SliceFailed`]) instead of burning retries.
+//! ([`GridError::SliceFailed`]) instead of burning retries. When a pool
+//! is attached, worker losses also bump a pool-wide failure streak that
+//! stretches the respawn backoff — and the streak is reset at every
+//! campaign boundary, so one bad campaign can never slow down the next.
 
 use crate::backend::ExecBackend;
 use crate::error::GridError;
 use crate::slice::{GridSlice, SliceResult};
+use crate::warm::{pool_key, IdleWorker, WorkerPool};
 use hyperroute_desim::splitmix64;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Version of the session (v2) framing spoken by this build. A
+/// dispatcher opens every pooled worker with `Hello` and refuses to pool
+/// a worker that answers with a different version.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// One request line of the v2 worker protocol.
+///
+/// v1 dispatchers send a bare [`GridSlice`] instead; [`run_worker`]
+/// accepts both framings on the same stream.
+// Wire enum: boxing `Slice` would complicate the stable NDJSON framing
+// for a transient, one-per-line value.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkerRequest {
+    /// Protocol handshake: the dispatcher announces its version and the
+    /// worker answers [`WorkerReply::HelloOk`] with its own.
+    Hello {
+        /// Dispatcher protocol version (see [`PROTOCOL_VERSION`]).
+        version: u32,
+    },
+    /// Execute one slice (v2 framing of the v1 bare-slice line).
+    Slice(GridSlice),
+    /// The worker is now serving this campaign. Doubles as the liveness
+    /// ping when a worker is checked out of a warm pool: a parked
+    /// process that died answers nothing and is discarded.
+    CampaignSubmit {
+        /// Dispatcher-local campaign sequence number.
+        campaign: u64,
+    },
+    /// Park: the campaign is over, confirm idleness with
+    /// [`WorkerReply::Drained`] and await the next `CampaignSubmit`.
+    Drain,
+    /// Retire: answer [`WorkerReply::Bye`] and exit cleanly.
+    Shutdown,
+}
 
 /// One reply line of the worker protocol.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -78,6 +156,23 @@ pub enum WorkerReply {
         /// second).
         rows_per_sec: f64,
     },
+    /// Answer to [`WorkerRequest::Hello`]: the worker's own protocol
+    /// version.
+    HelloOk {
+        /// Worker protocol version (see [`PROTOCOL_VERSION`]).
+        version: u32,
+    },
+    /// Answer to [`WorkerRequest::CampaignSubmit`], echoing the campaign
+    /// number.
+    CampaignAck {
+        /// The campaign the worker now serves.
+        campaign: u64,
+    },
+    /// Answer to [`WorkerRequest::Drain`]: the worker is idle and
+    /// parked.
+    Drained,
+    /// Answer to [`WorkerRequest::Shutdown`], sent just before exiting.
+    Bye,
 }
 
 /// Minimum wall-clock gap between two [`WorkerReply::Progress`] lines
@@ -85,15 +180,33 @@ pub enum WorkerReply {
 /// timeout, rare enough to stay invisible in fast campaigns.
 pub const DEFAULT_HEARTBEAT: Duration = Duration::from_secs(5);
 
+/// Ceiling on the timeout used for protocol control exchanges (Hello,
+/// CampaignSubmit, Drain): a healthy idle worker answers these
+/// instantly, so a long slice timeout must not stall pool checkout on a
+/// corpse for minutes.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Parse one inbound line: v2 [`WorkerRequest`] first, then the v1 bare
+/// [`GridSlice`] fallback.
+fn parse_request(line: &str) -> Result<WorkerRequest, String> {
+    if let Ok(req) = serde_json::from_str::<WorkerRequest>(line) {
+        return Ok(req);
+    }
+    serde_json::from_str::<GridSlice>(line)
+        .map(WorkerRequest::Slice)
+        .map_err(|e| format!("job line does not parse: {e}"))
+}
+
 /// Serve the worker side of the protocol until `input` reaches EOF,
 /// heartbeating at [`DEFAULT_HEARTBEAT`].
 ///
-/// Every job line in is answered by exactly one **terminal** line out
-/// (flushed), so a dispatcher can pipeline jobs without framing
+/// Every request line in is answered by exactly one **terminal** line
+/// out (flushed), so a dispatcher can pipeline jobs without framing
 /// ambiguity; long slices additionally interleave throttled
-/// [`WorkerReply::Progress`] lines before the terminal reply. IO errors
-/// on the streams end the loop — the dispatcher treats a vanished worker
-/// as a retryable loss.
+/// [`WorkerReply::Progress`] lines before the terminal reply. Both v1
+/// (bare slice) and v2 ([`WorkerRequest`]) framings are accepted on the
+/// same stream. IO errors on the streams end the loop — the dispatcher
+/// treats a vanished worker as a retryable loss.
 pub fn run_worker(input: impl BufRead, output: impl Write) -> std::io::Result<()> {
     run_worker_with(input, output, DEFAULT_HEARTBEAT)
 }
@@ -114,8 +227,18 @@ pub fn run_worker_with(
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match serde_json::from_str::<GridSlice>(&line) {
-            Ok(slice) => {
+        let mut retire = false;
+        let reply = match parse_request(&line) {
+            Ok(WorkerRequest::Hello { version: _ }) => WorkerReply::HelloOk {
+                version: PROTOCOL_VERSION,
+            },
+            Ok(WorkerRequest::CampaignSubmit { campaign }) => WorkerReply::CampaignAck { campaign },
+            Ok(WorkerRequest::Drain) => WorkerReply::Drained,
+            Ok(WorkerRequest::Shutdown) => {
+                retire = true;
+                WorkerReply::Bye
+            }
+            Ok(WorkerRequest::Slice(slice)) => {
                 let id = slice.id;
                 let started = Instant::now();
                 let mut last_beat = started;
@@ -142,14 +265,17 @@ pub fn run_worker_with(
                     },
                 }
             }
-            Err(e) => WorkerReply::Err {
+            Err(message) => WorkerReply::Err {
                 id: u64::MAX,
-                message: format!("job line does not parse: {e}"),
+                message,
             },
         };
         let text = serde_json::to_string(&reply).expect("replies always serialise");
         writeln!(output, "{text}")?;
         output.flush()?;
+        if retire {
+            break;
+        }
     }
     Ok(())
 }
@@ -159,7 +285,9 @@ pub fn run_worker_with(
 /// Spawns up to [`SubprocessBackend::workers`] copies of
 /// [`SubprocessBackend::worker_cmd`] and feeds each one slice at a time,
 /// so grids scale across cores (or, with an ssh/container wrapper as the
-/// command, across machines) without sharing memory.
+/// command, across machines) without sharing memory. With a
+/// [`WorkerPool`] attached ([`SubprocessBackend::with_pool`]), worker
+/// processes outlive the campaign and are reused by the next one.
 #[derive(Clone, Debug)]
 pub struct SubprocessBackend {
     /// argv of the worker command (program first).
@@ -180,6 +308,9 @@ pub struct SubprocessBackend {
     pub backoff_base: Duration,
     /// Ceiling on the un-jittered respawn delay.
     pub backoff_cap: Duration,
+    /// Warm pool that keeps workers alive between campaigns (v2
+    /// protocol); `None` runs the classic spawn-per-campaign v1 path.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl SubprocessBackend {
@@ -194,6 +325,7 @@ impl SubprocessBackend {
             max_retries: 2,
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
+            pool: None,
         }
     }
 
@@ -229,6 +361,26 @@ impl SubprocessBackend {
         self.backoff_base = base;
         self.backoff_cap = cap;
         self
+    }
+
+    /// Keep workers warm in `pool` between campaigns (builder style).
+    ///
+    /// Switches the dispatcher to the v2 session protocol: fresh workers
+    /// are version-handshaked with `Hello`, campaign boundaries are
+    /// marked with `CampaignSubmit`, and at campaign end healthy workers
+    /// are parked back into the pool with `Drain` instead of being
+    /// killed. The worker command must therefore speak v2 —
+    /// `hyperroute-grid worker` does; a v1-only stub will fail the
+    /// handshake.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> SubprocessBackend {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Timeout for control exchanges: never longer than the slice
+    /// timeout, never longer than [`HANDSHAKE_TIMEOUT`].
+    fn handshake_timeout(&self) -> Duration {
+        self.timeout.min(HANDSHAKE_TIMEOUT)
     }
 }
 
@@ -273,10 +425,18 @@ enum RoundOutcome {
 /// A live worker process: its stdin plus a channel of stdout lines fed
 /// by a detached reader thread (the only way to read with a timeout
 /// using std alone).
-struct WorkerProc {
+pub(crate) struct WorkerProc {
     child: Child,
     stdin: ChildStdin,
     lines: mpsc::Receiver<String>,
+}
+
+impl std::fmt::Debug for WorkerProc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerProc")
+            .field("pid", &self.child.id())
+            .finish_non_exhaustive()
+    }
 }
 
 impl WorkerProc {
@@ -314,6 +474,43 @@ impl WorkerProc {
             lines,
         })
     }
+
+    /// Write one protocol line, flushed.
+    pub(crate) fn send_line(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.stdin, "{line}")
+            .and_then(|()| self.stdin.flush())
+            .map_err(|e| format!("worker stdin closed: {e}"))
+    }
+
+    /// Await the next reply line within `timeout` and parse it.
+    pub(crate) fn recv(&self, timeout: Duration) -> Result<WorkerReply, String> {
+        match self.lines.recv_timeout(timeout) {
+            Ok(line) => {
+                serde_json::from_str(&line).map_err(|e| format!("garbled worker reply: {e}"))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                Err(format!("no reply within {:.1}s", timeout.as_secs_f64()))
+            }
+            Err(RecvTimeoutError::Disconnected) => Err("worker exited before replying".into()),
+        }
+    }
+
+    /// One control round-trip: send `request`, require `expect(reply)`.
+    pub(crate) fn control(
+        &mut self,
+        request: &WorkerRequest,
+        timeout: Duration,
+        expect: impl Fn(&WorkerReply) -> bool,
+    ) -> Result<WorkerReply, String> {
+        let line = serde_json::to_string(request).expect("requests always serialise");
+        self.send_line(&line)?;
+        let reply = self.recv(timeout)?;
+        if expect(&reply) {
+            Ok(reply)
+        } else {
+            Err(format!("unexpected reply to {request:?}: {reply:?}"))
+        }
+    }
 }
 
 impl Drop for WorkerProc {
@@ -323,20 +520,204 @@ impl Drop for WorkerProc {
     }
 }
 
+/// Shared per-campaign scheduling state: the pending queue, kept sorted
+/// by slice length, plus the measured throughput of every manager.
+///
+/// The policy is longest-processing-time with a twist: a manager whose
+/// measured rate (grid points per second) is at or above the mean of all
+/// measured rates — or that has no measurement yet — takes the *longest*
+/// pending slice, while a measurably slower manager takes the
+/// *shortest*. Fast workers chew through the bulk; stragglers can never
+/// strand a huge slice at the end of a campaign.
+struct SchedQueue {
+    inner: Mutex<SchedInner>,
+}
+
+struct SchedInner {
+    /// Pending attempts, sorted ascending by `(slice length, Reverse(index))`
+    /// so the back of the vector is the longest slice (lowest index among
+    /// equals) and the front is the shortest.
+    queue: Vec<Attempt>,
+    /// Latest throughput estimate per manager (EWMA, points/sec).
+    rates: Vec<Option<f64>>,
+}
+
+impl SchedQueue {
+    fn sort_key(jobs: &[GridSlice], a: &Attempt) -> (usize, Reverse<usize>) {
+        (jobs[a.index].len, Reverse(a.index))
+    }
+
+    fn new(jobs: &[GridSlice], managers: usize) -> SchedQueue {
+        let mut queue: Vec<Attempt> = (0..jobs.len())
+            .map(|index| Attempt { index, attempts: 0 })
+            .collect();
+        queue.sort_by_key(|a| Self::sort_key(jobs, a));
+        SchedQueue {
+            inner: Mutex::new(SchedInner {
+                queue,
+                rates: vec![None; managers],
+            }),
+        }
+    }
+
+    /// Pop the next attempt for `manager`, weighted by its measured
+    /// throughput relative to the fleet.
+    fn pop_for(&self, manager: usize, jobs: &[GridSlice]) -> Option<Attempt> {
+        let mut inner = self.inner.lock().expect("sched lock");
+        if inner.queue.is_empty() {
+            return None;
+        }
+        let fast = match inner.rates.get(manager).copied().flatten() {
+            None => true, // unmeasured: be optimistic, grab a big one
+            Some(mine) => {
+                let known: Vec<f64> = inner.rates.iter().filter_map(|r| *r).collect();
+                let mean = known.iter().sum::<f64>() / known.len() as f64;
+                mine >= mean
+            }
+        };
+        if fast {
+            inner.queue.pop()
+        } else {
+            Some(inner.queue.remove(0))
+        }
+        .inspect(|a| {
+            debug_assert!(a.index < jobs.len());
+        })
+    }
+
+    /// Requeue a lost slice for retry, keeping the length order.
+    fn push_retry(&self, attempt: Attempt, jobs: &[GridSlice]) {
+        let mut inner = self.inner.lock().expect("sched lock");
+        let key = Self::sort_key(jobs, &attempt);
+        let pos = inner
+            .queue
+            .partition_point(|b| Self::sort_key(jobs, b) <= key);
+        inner.queue.insert(pos, attempt);
+    }
+
+    /// Record a fresh throughput estimate for `manager`.
+    fn record(&self, manager: usize, points_per_sec: f64) {
+        let mut inner = self.inner.lock().expect("sched lock");
+        if let Some(slot) = inner.rates.get_mut(manager) {
+            *slot = Some(points_per_sec);
+        }
+    }
+}
+
 impl SubprocessBackend {
-    /// Send one job to (possibly fresh) `proc` and await its reply.
-    /// On [`RoundOutcome::Lost`] the caller must discard `proc`.
-    fn one_round(&self, slice: &GridSlice, proc: &mut Option<WorkerProc>) -> RoundOutcome {
-        if proc.is_none() {
-            match WorkerProc::spawn(&self.worker_cmd) {
-                Ok(p) => *proc = Some(p),
-                Err(e) => return RoundOutcome::Fatal(e),
+    /// Obtain a worker for this campaign: checked out of the warm pool
+    /// (re-pinged, stale corpses discarded) when one is available,
+    /// freshly spawned (and, in pooled mode, version-handshaked)
+    /// otherwise. Returns the worker plus its remembered throughput, if
+    /// the pool knew one.
+    fn acquire(&self, campaign: u64) -> Result<(WorkerProc, Option<f64>), RoundOutcome> {
+        let Some(pool) = &self.pool else {
+            let proc = WorkerProc::spawn(&self.worker_cmd).map_err(RoundOutcome::Fatal)?;
+            return Ok((proc, None));
+        };
+        let key = pool_key(&self.worker_cmd);
+        while let Some(mut idle) = pool.check_out(key) {
+            // Liveness ping doubling as the campaign marker: a worker
+            // that died while parked answers nothing and is discarded
+            // (drop kills), falling through to the next idle one.
+            let submit = WorkerRequest::CampaignSubmit { campaign };
+            let ack = |r: &WorkerReply| matches!(r, WorkerReply::CampaignAck { campaign: c } if *c == campaign);
+            if idle
+                .proc
+                .control(&submit, self.handshake_timeout(), ack)
+                .is_ok()
+            {
+                pool.note_reuse();
+                return Ok((idle.proc, idle.points_per_sec));
             }
         }
-        let worker = proc.as_mut().expect("spawned above");
-        let job_line = serde_json::to_string(slice).expect("slices always serialise");
-        if let Err(e) = writeln!(worker.stdin, "{job_line}").and_then(|()| worker.stdin.flush()) {
-            return RoundOutcome::Lost(format!("worker stdin closed: {e}"));
+        let mut proc = WorkerProc::spawn(&self.worker_cmd).map_err(RoundOutcome::Fatal)?;
+        pool.note_spawn();
+        let hello = WorkerRequest::Hello {
+            version: PROTOCOL_VERSION,
+        };
+        match proc.control(&hello, self.handshake_timeout(), |r| {
+            matches!(r, WorkerReply::HelloOk { .. })
+        }) {
+            Ok(WorkerReply::HelloOk { version }) if version == PROTOCOL_VERSION => {}
+            Ok(WorkerReply::HelloOk { version }) => {
+                return Err(RoundOutcome::Lost(format!(
+                    "protocol version mismatch: worker speaks v{version}, dispatcher v{PROTOCOL_VERSION}"
+                )));
+            }
+            Ok(_) => unreachable!("control() filtered non-HelloOk replies"),
+            Err(e) => {
+                return Err(RoundOutcome::Lost(format!(
+                    "protocol handshake failed: {e}"
+                )))
+            }
+        }
+        let submit = WorkerRequest::CampaignSubmit { campaign };
+        proc.control(
+            &submit,
+            self.handshake_timeout(),
+            |r| matches!(r, WorkerReply::CampaignAck { campaign: c } if *c == campaign),
+        )
+        .map_err(|e| RoundOutcome::Lost(format!("campaign submit failed: {e}")))?;
+        Ok((proc, None))
+    }
+
+    /// Park a healthy worker back into the pool at campaign end (v2:
+    /// `Drain` → `Drained`), or let drop kill it when unpooled, draining
+    /// fails, or the campaign was cancelled.
+    fn release(&self, proc: Option<WorkerProc>, points_per_sec: Option<f64>, cancelled: bool) {
+        let Some(mut proc) = proc else { return };
+        let Some(pool) = &self.pool else { return };
+        if cancelled {
+            return; // failed campaign: don't trust the worker's state
+        }
+        let drained = proc
+            .control(&WorkerRequest::Drain, self.handshake_timeout(), |r| {
+                matches!(r, WorkerReply::Drained)
+            })
+            .is_ok();
+        if drained {
+            pool.check_in(
+                pool_key(&self.worker_cmd),
+                IdleWorker {
+                    proc,
+                    points_per_sec,
+                },
+            );
+        }
+    }
+
+    /// Send one job to (possibly fresh) `proc` and await its reply.
+    /// On [`RoundOutcome::Lost`] the caller must discard `proc`.
+    /// `adopted_rate` reports the pool's remembered throughput when a
+    /// warm worker was checked out during this round.
+    fn one_round(
+        &self,
+        slice: &GridSlice,
+        proc: &mut Option<WorkerProc>,
+        campaign: u64,
+        adopted_rate: &mut Option<f64>,
+    ) -> RoundOutcome {
+        if proc.is_none() {
+            match self.acquire(campaign) {
+                Ok((p, rate)) => {
+                    *proc = Some(p);
+                    *adopted_rate = rate;
+                }
+                Err(outcome) => return outcome,
+            }
+        }
+        let worker = proc.as_mut().expect("acquired above");
+        // v2 sessions frame the slice as a tagged request; v1 sends the
+        // bare slice so legacy stub workers keep parsing.
+        let slice_json = serde_json::to_string(slice).expect("slices always serialise");
+        let job_line = if self.pool.is_some() {
+            format!("{{\"Slice\":{slice_json}}}")
+        } else {
+            slice_json
+        };
+        if let Err(e) = worker.send_line(&job_line) {
+            return RoundOutcome::Lost(e);
         }
         // Heartbeats are keep-alives: each Progress line for the pending
         // slice restarts the timeout, so only true silence is a loss.
@@ -361,6 +742,10 @@ impl SubprocessBackend {
                             message,
                         })
                     }
+                    Ok(other) => RoundOutcome::Lost(format!(
+                        "unexpected control reply while slice {} was pending: {other:?}",
+                        slice.id
+                    )),
                     Err(e) => RoundOutcome::Lost(format!("garbled worker reply: {e}")),
                 },
                 Err(RecvTimeoutError::Timeout) => RoundOutcome::Lost(format!(
@@ -375,25 +760,48 @@ impl SubprocessBackend {
     }
 
     /// One manager loop: own a worker process, pull jobs off the shared
-    /// queue, retry lost slices (back onto the queue, so another manager
-    /// may pick them up) until the queue drains or the campaign cancels.
+    /// weighted queue, retry lost slices (back onto the queue, so
+    /// another manager may pick them up) until the queue drains or the
+    /// campaign cancels; then park the worker in the warm pool, if any.
     fn manage_worker(
         &self,
         jobs: &[GridSlice],
-        queue: &Mutex<Vec<Attempt>>,
+        sched: &SchedQueue,
         cancelled: &AtomicBool,
         tx: &mpsc::Sender<Result<SliceResult, GridError>>,
+        campaign: u64,
+        manager: usize,
     ) {
         let mut proc: Option<WorkerProc> = None;
+        // This manager's throughput estimate: seeded from the pool's
+        // memory of the adopted worker, then EWMA-updated per round.
+        let mut rate: Option<f64> = None;
         loop {
             if cancelled.load(Ordering::Relaxed) {
                 break;
             }
-            let Some(job) = queue.lock().expect("queue lock").pop() else {
+            let Some(job) = sched.pop_for(manager, jobs) else {
                 break;
             };
-            match self.one_round(&jobs[job.index], &mut proc) {
+            let started = Instant::now();
+            let mut adopted_rate = None;
+            let outcome = self.one_round(&jobs[job.index], &mut proc, campaign, &mut adopted_rate);
+            if let (Some(seed), None) = (adopted_rate, rate) {
+                rate = Some(seed);
+                sched.record(manager, seed);
+            }
+            match outcome {
                 RoundOutcome::Done(result) => {
+                    let secs = started.elapsed().as_secs_f64();
+                    if secs > 0.0 {
+                        let measured = jobs[job.index].len as f64 / secs;
+                        let blended = match rate {
+                            Some(old) => 0.5 * old + 0.5 * measured,
+                            None => measured,
+                        };
+                        rate = Some(blended);
+                        sched.record(manager, blended);
+                    }
                     if tx.send(Ok(result)).is_err() {
                         break;
                     }
@@ -415,20 +823,30 @@ impl SubprocessBackend {
                     }
                     // Back off before the retry reaches a fresh process —
                     // a worker command that dies on startup would
-                    // otherwise respawn in a tight fork loop.
+                    // otherwise respawn in a tight fork loop. A pool-wide
+                    // failure streak (reset each campaign) stretches the
+                    // envelope when the whole fleet is struggling.
+                    let streak = self.pool.as_ref().map_or(0, |p| {
+                        p.note_loss();
+                        p.loss_streak().min(8)
+                    });
                     std::thread::sleep(respawn_backoff(
                         jobs[job.index].id,
-                        attempts,
+                        attempts + streak,
                         self.backoff_base,
                         self.backoff_cap,
                     ));
-                    queue.lock().expect("queue lock").push(Attempt {
-                        index: job.index,
-                        attempts,
-                    });
+                    sched.push_retry(
+                        Attempt {
+                            index: job.index,
+                            attempts,
+                        },
+                        jobs,
+                    );
                 }
             }
         }
+        self.release(proc.take(), rate, cancelled.load(Ordering::Relaxed));
     }
 }
 
@@ -447,20 +865,21 @@ impl ExecBackend for SubprocessBackend {
         let workers = if self.workers == 0 { hw } else { self.workers }
             .min(jobs.len())
             .max(1);
-        let queue = Mutex::new(
-            (0..jobs.len())
-                .rev() // pop() takes from the back; serve jobs in order
-                .map(|index| Attempt { index, attempts: 0 })
-                .collect::<Vec<_>>(),
-        );
+        // Campaign boundary: tag the campaign for the v2 protocol and
+        // wipe the pool-wide failure streak so this campaign's backoff
+        // starts from a clean slate.
+        let campaign = self.pool.as_ref().map_or(0, |pool| pool.begin_campaign());
+        let sched = SchedQueue::new(jobs, workers);
         let cancelled = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel::<Result<SliceResult, GridError>>();
         std::thread::scope(|scope| -> Result<(), GridError> {
-            for _ in 0..workers {
+            for manager in 0..workers {
                 let tx = tx.clone();
-                let queue = &queue;
+                let sched = &sched;
                 let cancelled = &cancelled;
-                scope.spawn(move || self.manage_worker(jobs, queue, cancelled, &tx));
+                scope.spawn(move || {
+                    self.manage_worker(jobs, sched, cancelled, &tx, campaign, manager)
+                });
             }
             drop(tx);
             let mut received = 0usize;
@@ -539,6 +958,80 @@ mod tests {
             };
             assert_eq!(result, &slice.execute().unwrap());
         }
+    }
+
+    #[test]
+    fn worker_speaks_the_v2_session_protocol() {
+        let slices = partition(&small_sweep(), 1);
+        let slice = &slices[0];
+        let mut input = String::new();
+        for request in [
+            WorkerRequest::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            WorkerRequest::CampaignSubmit { campaign: 7 },
+            WorkerRequest::Slice(slice.clone()),
+            WorkerRequest::Drain,
+            WorkerRequest::Shutdown,
+        ] {
+            input.push_str(&serde_json::to_string(&request).unwrap());
+            input.push('\n');
+        }
+        let mut output = Vec::new();
+        run_worker(Cursor::new(input), &mut output).unwrap();
+        let replies: Vec<WorkerReply> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|r| !matches!(r, WorkerReply::Progress { .. }))
+            .collect();
+        assert_eq!(
+            replies,
+            vec![
+                WorkerReply::HelloOk {
+                    version: PROTOCOL_VERSION
+                },
+                WorkerReply::CampaignAck { campaign: 7 },
+                WorkerReply::Ok(slice.execute().unwrap()),
+                WorkerReply::Drained,
+                WorkerReply::Bye,
+            ]
+        );
+    }
+
+    #[test]
+    fn worker_exits_cleanly_after_shutdown_ignoring_later_lines() {
+        let shutdown = serde_json::to_string(&WorkerRequest::Shutdown).unwrap();
+        let input = format!("{shutdown}\nnot json and never read\n");
+        let mut output = Vec::new();
+        run_worker(Cursor::new(input), &mut output).unwrap();
+        let replies: Vec<WorkerReply> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(replies, vec![WorkerReply::Bye]);
+    }
+
+    #[test]
+    fn v2_framed_slice_and_v1_bare_slice_produce_identical_results() {
+        let slices = partition(&small_sweep(), 1);
+        let slice = &slices[0];
+        let bare = format!("{}\n", serde_json::to_string(slice).unwrap());
+        let framed = format!(
+            "{}\n",
+            serde_json::to_string(&WorkerRequest::Slice(slice.clone())).unwrap()
+        );
+        let run = |input: String| -> WorkerReply {
+            let mut output = Vec::new();
+            run_worker(Cursor::new(input), &mut output).unwrap();
+            let text = String::from_utf8(output).unwrap();
+            text.lines()
+                .map(|l| serde_json::from_str(l).unwrap())
+                .find(|r| !matches!(r, WorkerReply::Progress { .. }))
+                .unwrap()
+        };
+        assert_eq!(run(bare), run(framed));
     }
 
     #[test]
@@ -660,5 +1153,87 @@ mod tests {
         let jobs = partition(&small_sweep(), 1);
         let err = backend.execute(&jobs, &mut |_| Ok(())).unwrap_err();
         assert!(matches!(err, GridError::Spawn { .. }), "{err}");
+    }
+
+    /// Slices with the given lengths, for scheduling tests (never
+    /// executed, so start offsets are immaterial).
+    fn sched_jobs(lens: &[usize]) -> Vec<GridSlice> {
+        let sweep = small_sweep();
+        lens.iter()
+            .enumerate()
+            .map(|(i, &len)| GridSlice {
+                id: i as u64,
+                sweep: sweep.clone(),
+                start: 0,
+                len,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn weighted_queue_gives_long_slices_to_fast_workers_and_short_to_slow() {
+        let jobs = sched_jobs(&[2, 9, 4, 1]);
+        let sched = SchedQueue::new(&jobs, 2);
+        sched.record(0, 10.0); // fast: at/above the mean of {10, 1}
+        sched.record(1, 1.0); // slow: below the mean
+        assert_eq!(sched.pop_for(0, &jobs).unwrap().index, 1); // len 9
+        assert_eq!(sched.pop_for(1, &jobs).unwrap().index, 3); // len 1
+        assert_eq!(sched.pop_for(0, &jobs).unwrap().index, 2); // len 4
+        assert_eq!(sched.pop_for(1, &jobs).unwrap().index, 0); // len 2
+        assert!(sched.pop_for(0, &jobs).is_none());
+    }
+
+    #[test]
+    fn unmeasured_workers_take_the_longest_pending_slice() {
+        // No measurements at all: everyone drains longest-first (LPT),
+        // with index order breaking length ties deterministically.
+        let jobs = sched_jobs(&[3, 3, 3, 7]);
+        let sched = SchedQueue::new(&jobs, 2);
+        let order: Vec<usize> = (0..4)
+            .map(|i| sched.pop_for(i % 2, &jobs).unwrap().index)
+            .collect();
+        assert_eq!(order, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn retried_slices_reenter_the_queue_in_length_order() {
+        let jobs = sched_jobs(&[5, 2]);
+        let sched = SchedQueue::new(&jobs, 1);
+        let first = sched.pop_for(0, &jobs).unwrap();
+        assert_eq!(first.index, 0);
+        sched.push_retry(
+            Attempt {
+                index: first.index,
+                attempts: 1,
+            },
+            &jobs,
+        );
+        // The retried len-5 slice outranks the pending len-2 slice again.
+        let again = sched.pop_for(0, &jobs).unwrap();
+        assert_eq!((again.index, again.attempts), (0, 1));
+        assert_eq!(sched.pop_for(0, &jobs).unwrap().index, 1);
+        assert!(sched.pop_for(0, &jobs).is_none());
+    }
+
+    #[test]
+    fn v1_only_stub_fails_the_pooled_handshake_and_never_enters_the_pool() {
+        // Warm reuse with the real binary is covered in
+        // tests/grid_exec.rs (CARGO_BIN_EXE is integration-test only);
+        // here: a v1-only stub cannot pass the v2 handshake, so the
+        // slice burns its retries and the stub is never parked.
+        let pool = Arc::new(WorkerPool::new());
+        let script = r#"read line; echo '{"Err":{"id":18446744073709551615,"message":"v1 stub"}}'"#;
+        let backend = SubprocessBackend::new(vec!["sh".into(), "-c".into(), script.into()], 1)
+            .with_backoff(Duration::ZERO, Duration::ZERO)
+            .with_timeout(Duration::from_secs(5))
+            .with_max_retries(0)
+            .with_pool(Arc::clone(&pool));
+        let jobs = partition(&small_sweep(), 1);
+        let err = backend.execute(&jobs, &mut |_| Ok(())).unwrap_err();
+        assert!(matches!(err, GridError::SliceLost { .. }), "{err}");
+        // The failed handshake never parks the stub in the pool.
+        assert_eq!(pool.idle_workers(), 0);
+        assert!(pool.spawns() >= 1);
+        assert_eq!(pool.reuses(), 0);
     }
 }

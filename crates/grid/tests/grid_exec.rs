@@ -16,11 +16,13 @@
 
 use hyperroute_core::scenario::{Axis, Report, Scenario, Sweep, SweepParam, Topology};
 use hyperroute_grid::{
-    partition, Campaign, ExecBackend, GridError, GridSlice, SliceResult, SubprocessBackend,
-    ThreadPoolBackend,
+    partition, Campaign, ExecBackend, GridError, GridSlice, MemoryCache, ReportCache, ServiceReply,
+    ServiceRequest, SliceResult, SubprocessBackend, ThreadPoolBackend, WorkerPool,
 };
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Path of the real worker binary Cargo built for this test run.
@@ -344,6 +346,81 @@ fn single_point_grid_is_identical_on_every_path() {
 }
 
 // ---------------------------------------------------------------------
+// Grid v2: warm worker pools and the content-addressed report cache.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cold_warm_and_cached_paths_byte_identical_at_1_2_8_workers() {
+    // The three execution paths a campaign can take under the sweep
+    // service — cold subprocess, warm-pooled subprocess, and cache-backed
+    // — must all reproduce in-process `Sweep::run` to the byte.
+    let sweep = hypercube_sweep();
+    let direct = sweep.run(1).unwrap();
+    for workers in [1, 2, 8] {
+        // Cold: fresh processes per campaign (the pre-v2 behaviour).
+        let cold = Campaign::new(sweep.clone(), 2)
+            .run(&SubprocessBackend::new(
+                vec![grid_bin(), "worker".into()],
+                workers,
+            ))
+            .unwrap();
+        assert_eq!(as_json(&cold), as_json(&direct), "cold workers={workers}");
+
+        // Warm: same campaign through a worker pool (protocol v2).
+        let pool = Arc::new(WorkerPool::new());
+        let warm_backend = SubprocessBackend::new(vec![grid_bin(), "worker".into()], workers)
+            .with_pool(Arc::clone(&pool));
+        let warm = Campaign::new(sweep.clone(), 2).run(&warm_backend).unwrap();
+        assert_eq!(as_json(&warm), as_json(&direct), "warm workers={workers}");
+
+        // Cached: run the pooled campaign again through a cache, twice.
+        let cache = MemoryCache::new(64);
+        let first = Campaign::new(sweep.clone(), 2)
+            .run_cached(&warm_backend, &cache)
+            .unwrap();
+        let second = Campaign::new(sweep.clone(), 2)
+            .run_cached(&warm_backend, &cache)
+            .unwrap();
+        assert_eq!(as_json(&first), as_json(&direct), "cache-miss pass");
+        assert_eq!(as_json(&second), as_json(&direct), "cache-hit pass");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits as usize,
+            sweep.len(),
+            "second pass must be all hits (workers={workers}): {stats:?}"
+        );
+        pool.shutdown();
+    }
+}
+
+#[test]
+fn warm_pool_reuses_real_workers_across_campaigns() {
+    // Two campaigns against one pool: the second must be served by the
+    // processes the first spawned, not by new ones.
+    let sweep = hypercube_sweep();
+    let direct = sweep.run(1).unwrap();
+    let pool = Arc::new(WorkerPool::new());
+    let backend =
+        SubprocessBackend::new(vec![grid_bin(), "worker".into()], 2).with_pool(Arc::clone(&pool));
+
+    let first = Campaign::new(sweep.clone(), 2).run(&backend).unwrap();
+    assert_eq!(as_json(&first), as_json(&direct));
+    let spawned = pool.spawns();
+    assert!(spawned >= 1, "first campaign must spawn workers");
+    assert!(pool.idle_workers() >= 1, "workers must park, not die");
+
+    let second = Campaign::new(sweep, 2).run(&backend).unwrap();
+    assert_eq!(as_json(&second), as_json(&direct));
+    assert!(
+        pool.reuses() >= 1,
+        "second campaign must reuse parked workers (spawns {spawned} -> {})",
+        pool.spawns()
+    );
+    pool.shutdown();
+    assert_eq!(pool.idle_workers(), 0, "shutdown drains the pool");
+}
+
+// ---------------------------------------------------------------------
 // CLI surface.
 // ---------------------------------------------------------------------
 
@@ -378,6 +455,93 @@ fn cli_run_executes_a_sweep_file_with_checkpoints() {
         serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
     assert_eq!(reports, direct);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cli_serve_streams_reports_and_caches_resubmission() {
+    // The full service loop over the real binary: submit a campaign as
+    // one NDJSON line, stream its reports back, resubmit the identical
+    // campaign, and require that the second submission is served
+    // entirely from the report cache (zero new simulations).
+    let sweep = butterfly_sweep();
+    let direct = sweep.run(1).unwrap();
+    let mut child = std::process::Command::new(grid_bin())
+        .args(["serve", "--backend", "subprocess", "--workers", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let mut ask = |req: &ServiceRequest| {
+        let mut line = serde_json::to_string(req).unwrap();
+        line.push('\n');
+        stdin.write_all(line.as_bytes()).unwrap();
+        stdin.flush().unwrap();
+    };
+    fn collect_results(
+        lines: &mut impl Iterator<Item = std::io::Result<String>>,
+        campaign: u64,
+    ) -> Vec<Report> {
+        let mut reports: Vec<Report> = Vec::new();
+        loop {
+            let line = lines.next().expect("service closed mid-stream").unwrap();
+            match serde_json::from_str::<ServiceReply>(&line).unwrap() {
+                ServiceReply::Report {
+                    campaign: c,
+                    index,
+                    report,
+                } => {
+                    assert_eq!(c, campaign);
+                    assert_eq!(index, reports.len(), "reports stream in grid order");
+                    reports.push(report);
+                }
+                ServiceReply::ResultsDone {
+                    campaign: c,
+                    points,
+                } => {
+                    assert_eq!(c, campaign);
+                    assert_eq!(points, reports.len());
+                    return reports;
+                }
+                other => panic!("unexpected reply in result stream: {other:?}"),
+            }
+        }
+    }
+
+    for pass in 0..2u64 {
+        ask(&ServiceRequest::Submit {
+            sweep: sweep.clone(),
+            slice_len: 0,
+        });
+        let line = lines.next().unwrap().unwrap();
+        let ServiceReply::Accepted { campaign } = serde_json::from_str(&line).unwrap() else {
+            panic!("expected Accepted, got {line}");
+        };
+        assert_eq!(campaign, pass);
+        ask(&ServiceRequest::Results { campaign });
+        let reports = collect_results(&mut lines, campaign);
+        assert_eq!(as_json(&reports), as_json(&direct), "pass {pass}");
+    }
+
+    ask(&ServiceRequest::Shutdown);
+    let line = lines.next().unwrap().unwrap();
+    assert_eq!(
+        serde_json::from_str::<ServiceReply>(&line).unwrap(),
+        ServiceReply::Bye
+    );
+    drop(stdin);
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success());
+    // The service's exit summary proves the second pass was pure cache:
+    // one miss+insert per grid point, then one hit per grid point.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let expect = format!("cache {n} hits / {n} misses / {n} inserts", n = sweep.len());
+    assert!(
+        stderr.contains(&expect),
+        "expected `{expect}` in serve summary:\n{stderr}"
+    );
 }
 
 #[test]
